@@ -1,0 +1,31 @@
+//! Figure 3 companion: model *build* cost.
+//!
+//! The paper picks REPTree over the equally-accurate M5P because it
+//! "builds faster and does not cause halting" (§4.A). This bench
+//! measures fit time of all four learners on the real campaign dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+use usta_bench::cached_training_log;
+use usta_core::predictor::PredictionTarget;
+use usta_ml::Learner;
+
+fn bench(c: &mut Criterion) {
+    let data = cached_training_log()
+        .to_dataset(PredictionTarget::Skin)
+        .expect("finite log");
+    let mut group = c.benchmark_group("fig3_training");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    group.sample_size(10);
+    for learner in Learner::paper_set() {
+        group.bench_function(learner.name(), |b| {
+            b.iter(|| black_box(learner.fit(black_box(&data), 7).expect("fit succeeds")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Governor decision cost: the baseline zoo vs the USTA stack
+//! (decision path only; prediction runs on its own 3 s cadence).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+use usta_bench::trained;
+use usta_core::predictor::PredictionTarget;
+use usta_core::{UstaGovernor, UstaPolicy};
+use usta_governors::{Conservative, CpuGovernor, GovernorInput, OnDemand, Performance};
+use usta_ml::reptree::RepTreeParams;
+use usta_ml::Learner;
+use usta_soc::nexus4;
+use usta_thermal::Celsius;
+
+fn bench(c: &mut Criterion) {
+    let opp = nexus4::opp_table();
+    let input = GovernorInput {
+        avg_utilization: 0.63,
+        max_utilization: 0.78,
+        current_level: 7,
+        max_allowed_level: opp.max_index(),
+        opp: &opp,
+    };
+    let mut group = c.benchmark_group("governor_decide");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    let mut ondemand = OnDemand::default();
+    group.bench_function("ondemand", |b| b.iter(|| black_box(ondemand.decide(&input))));
+    let mut conservative = Conservative::default();
+    group.bench_function("conservative", |b| {
+        b.iter(|| black_box(conservative.decide(&input)))
+    });
+    let mut performance = Performance;
+    group.bench_function("performance", |b| {
+        b.iter(|| black_box(performance.decide(&input)))
+    });
+    let mut usta = UstaGovernor::new(
+        Box::new(OnDemand::default()),
+        trained(
+            &Learner::RepTree(RepTreeParams::default()),
+            PredictionTarget::Skin,
+        ),
+        UstaPolicy::new(Celsius(37.0)),
+    );
+    group.bench_function("usta_wrapped_ondemand", |b| {
+        b.iter(|| black_box(usta.decide(&input)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

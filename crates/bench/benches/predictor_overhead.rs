@@ -1,0 +1,43 @@
+//! §4.A overhead claim: one skin/screen prediction per 3-second window.
+//!
+//! The paper measures 5.603 ms (skin) + 6.708 ms (screen) per window on
+//! the Nexus 4 — ~0.4 % of the window. Natively the fitted trees answer
+//! in nanoseconds–microseconds; the reproduced claim is that prediction
+//! cost is negligible against the 3 s cadence for every learner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use std::hint::black_box;
+use usta_bench::trained;
+use usta_core::predictor::PredictionTarget;
+use usta_core::FeatureVector;
+use usta_ml::Learner;
+use usta_thermal::Celsius;
+
+fn features() -> FeatureVector {
+    FeatureVector {
+        cpu_temp: Celsius(52.0),
+        battery_temp: Celsius(36.0),
+        utilization: 0.7,
+        freq_khz: 1_134_000.0,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor_overhead");
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for learner in Learner::paper_set() {
+        for target in [PredictionTarget::Skin, PredictionTarget::Screen] {
+            let model = trained(&learner, target);
+            let f = features();
+            group.bench_function(format!("{}/{}", learner.name(), target.name()), |b| {
+                b.iter(|| black_box(model.predict(black_box(&f))))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! # usta-bench — benchmark harness for the USTA reproduction
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Criterion benches** (`cargo bench -p usta-bench`) measure the
+//!   computational cost of each piece — most importantly the §4.A
+//!   predictor-overhead claim (the paper's REPTree inference costs
+//!   5.6 ms per skin prediction on the phone; the claim reproduced is
+//!   *negligible relative to the 3-second cadence*) and the paper's
+//!   stated reason for choosing REPTree over M5P ("builds faster").
+//! * **Repro binaries** (`cargo run --release -p usta-bench --bin
+//!   repro_table1` etc.) regenerate every table and figure of the
+//!   paper's evaluation as text rows/series, with the paper's numbers
+//!   printed alongside. `repro_all` runs the lot.
+//!
+//! This library exposes the small shared helpers the benches use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use usta_core::predictor::PredictionTarget;
+use usta_core::{TemperaturePredictor, TrainingLog};
+use usta_ml::Learner;
+use usta_sim::experiments::collect_global_training_log;
+
+/// A process-wide cached copy of the global training log (the full
+/// 13-benchmark campaign takes ~a second in release mode; benches should
+/// not repeat it per iteration).
+pub fn cached_training_log() -> &'static TrainingLog {
+    use std::sync::OnceLock;
+    static LOG: OnceLock<TrainingLog> = OnceLock::new();
+    LOG.get_or_init(|| collect_global_training_log(0xBEEF))
+}
+
+/// Trains a predictor of the given learner on the cached log.
+///
+/// # Panics
+///
+/// Panics if training fails (it cannot on the cached campaign log).
+pub fn trained(learner: &Learner, target: PredictionTarget) -> TemperaturePredictor {
+    TemperaturePredictor::train(learner, cached_training_log(), target, 7)
+        .expect("campaign log is non-empty and finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usta_ml::reptree::RepTreeParams;
+
+    #[test]
+    fn cache_and_training_work() {
+        let log = cached_training_log();
+        assert!(log.len() > 3000);
+        let p = trained(
+            &Learner::RepTree(RepTreeParams::default()),
+            PredictionTarget::Skin,
+        );
+        assert_eq!(p.algorithm(), "REPTree");
+    }
+}

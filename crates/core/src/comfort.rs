@@ -1,0 +1,156 @@
+//! Discomfort metrics over a temperature trace.
+//!
+//! Figure 2 of the paper reports "the percentage of time where the
+//! user's comfort threshold has been exceeded" during a half-hour Skype
+//! call; the user study reports the *instant* each participant found the
+//! heat unacceptable. Both reduce to simple functionals of a
+//! `(time, temperature)` trace against a limit.
+
+use usta_thermal::Celsius;
+
+/// Summary of a temperature trace against a comfort limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComfortStats {
+    /// Total trace duration, seconds.
+    pub duration_s: f64,
+    /// Seconds spent strictly above the limit.
+    pub time_over_s: f64,
+    /// Fraction of the duration spent above the limit, 0–1.
+    pub fraction_over: f64,
+    /// First instant the limit was exceeded, if ever.
+    pub first_crossing_s: Option<f64>,
+    /// Peak temperature seen.
+    pub peak: Celsius,
+    /// Mean temperature over the trace.
+    pub mean: Celsius,
+}
+
+impl ComfortStats {
+    /// Computes the stats from evenly-sampled `(t, temperature)` points
+    /// (`dt` seconds apart) against `limit`.
+    ///
+    /// An empty trace yields zeroed stats with a −∞ peak.
+    pub fn from_trace(samples: &[(f64, Celsius)], dt: f64, limit: Celsius) -> ComfortStats {
+        if samples.is_empty() {
+            return ComfortStats {
+                duration_s: 0.0,
+                time_over_s: 0.0,
+                fraction_over: 0.0,
+                first_crossing_s: None,
+                peak: Celsius(f64::NEG_INFINITY),
+                mean: Celsius(0.0),
+            };
+        }
+        let duration = samples.len() as f64 * dt;
+        let mut over = 0.0;
+        let mut first = None;
+        let mut peak = Celsius(f64::NEG_INFINITY);
+        let mut sum = 0.0;
+        for &(t, temp) in samples {
+            if temp > limit {
+                over += dt;
+                if first.is_none() {
+                    first = Some(t);
+                }
+            }
+            peak = peak.max(temp);
+            sum += temp.value();
+        }
+        ComfortStats {
+            duration_s: duration,
+            time_over_s: over,
+            fraction_over: over / duration,
+            first_crossing_s: first,
+            peak,
+            mean: Celsius(sum / samples.len() as f64),
+        }
+    }
+
+    /// The Figure 2 quantity: percent of time above the limit.
+    pub fn percent_over(&self) -> f64 {
+        self.fraction_over * 100.0
+    }
+}
+
+/// The user-study functional: the first instant a trace exceeds the
+/// user's limit *sustained* for `hold_s` seconds (a brief spike past the
+/// threshold is not yet "unacceptable discomfort"). Returns `None` if
+/// the user never quits within the trace.
+pub fn discomfort_instant(
+    samples: &[(f64, Celsius)],
+    dt: f64,
+    limit: Celsius,
+    hold_s: f64,
+) -> Option<f64> {
+    let need = (hold_s / dt).ceil() as usize;
+    let mut run = 0usize;
+    for &(t, temp) in samples {
+        if temp > limit {
+            run += 1;
+            if run >= need.max(1) {
+                return Some(t);
+            }
+        } else {
+            run = 0;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(temps: &[f64]) -> Vec<(f64, Celsius)> {
+        temps
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64, Celsius(v)))
+            .collect()
+    }
+
+    #[test]
+    fn fraction_over_counts_correctly() {
+        let t = trace(&[35.0, 36.0, 38.0, 38.0, 36.0]);
+        let s = ComfortStats::from_trace(&t, 1.0, Celsius(37.0));
+        assert_eq!(s.time_over_s, 2.0);
+        assert!((s.fraction_over - 0.4).abs() < 1e-12);
+        assert!((s.percent_over() - 40.0).abs() < 1e-12);
+        assert_eq!(s.first_crossing_s, Some(2.0));
+        assert_eq!(s.peak, Celsius(38.0));
+    }
+
+    #[test]
+    fn never_over_limit() {
+        let t = trace(&[30.0, 31.0, 32.0]);
+        let s = ComfortStats::from_trace(&t, 1.0, Celsius(37.0));
+        assert_eq!(s.time_over_s, 0.0);
+        assert_eq!(s.first_crossing_s, None);
+        assert!((s.mean.value() - 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_limit_is_not_over() {
+        let t = trace(&[37.0, 37.0]);
+        let s = ComfortStats::from_trace(&t, 1.0, Celsius(37.0));
+        assert_eq!(s.time_over_s, 0.0);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let s = ComfortStats::from_trace(&[], 1.0, Celsius(37.0));
+        assert_eq!(s.duration_s, 0.0);
+        assert_eq!(s.fraction_over, 0.0);
+    }
+
+    #[test]
+    fn discomfort_requires_sustained_exceedance() {
+        // One-sample spike at t=2, sustained from t=5.
+        let t = trace(&[35.0, 35.0, 38.0, 35.0, 35.0, 38.0, 38.0, 38.0, 38.0]);
+        assert_eq!(discomfort_instant(&t, 1.0, Celsius(37.0), 3.0), Some(7.0));
+        // With no hold requirement the spike triggers immediately.
+        assert_eq!(discomfort_instant(&t, 1.0, Celsius(37.0), 0.0), Some(2.0));
+        // A tolerant user never quits.
+        assert_eq!(discomfort_instant(&t, 1.0, Celsius(42.8), 3.0), None);
+    }
+}

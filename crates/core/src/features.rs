@@ -1,0 +1,78 @@
+//! The predictor's feature vector.
+//!
+//! The paper's model observes only what an unmodified Android phone can
+//! report about itself (§3.A): the CPU thermal zone, the battery
+//! temperature, CPU utilization, and the current CPU frequency. No
+//! external sensing is available at run time — that is the whole point
+//! of the predictor.
+
+use usta_thermal::Celsius;
+
+/// Names of the features, in [`FeatureVector::to_array`] order.
+pub const FEATURE_NAMES: [&str; 4] = ["cpu_temp", "battery_temp", "utilization", "freq_mhz"];
+
+/// One observation of the system-level signals the predictor uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeatureVector {
+    /// CPU thermal-zone reading.
+    pub cpu_temp: Celsius,
+    /// Battery temperature reading.
+    pub battery_temp: Celsius,
+    /// Mean CPU utilization over the logging window, 0–1.
+    pub utilization: f64,
+    /// CPU frequency, kHz.
+    pub freq_khz: f64,
+}
+
+impl FeatureVector {
+    /// Flattens into the learner's input layout.
+    ///
+    /// Frequency is expressed in MHz so all four features share a
+    /// similar numeric range (tree learners don't care, but the MLP and
+    /// ridge regression appreciate it).
+    pub fn to_array(&self) -> [f64; 4] {
+        [
+            self.cpu_temp.value(),
+            self.battery_temp.value(),
+            self.utilization,
+            self.freq_khz / 1000.0,
+        ]
+    }
+
+    /// Schema for [`usta_ml::Dataset`] construction.
+    pub fn feature_names() -> Vec<String> {
+        FEATURE_NAMES.iter().map(|s| (*s).to_owned()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FeatureVector {
+        FeatureVector {
+            cpu_temp: Celsius(52.0),
+            battery_temp: Celsius(36.5),
+            utilization: 0.75,
+            freq_khz: 1_134_000.0,
+        }
+    }
+
+    #[test]
+    fn array_layout_matches_names() {
+        let a = sample().to_array();
+        assert_eq!(a.len(), FEATURE_NAMES.len());
+        assert_eq!(a[0], 52.0);
+        assert_eq!(a[1], 36.5);
+        assert_eq!(a[2], 0.75);
+        assert_eq!(a[3], 1134.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(
+            FeatureVector::feature_names(),
+            vec!["cpu_temp", "battery_temp", "utilization", "freq_mhz"]
+        );
+    }
+}

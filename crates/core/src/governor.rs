@@ -1,0 +1,326 @@
+//! USTA as a governor layer: the banding policy driven by the predictor,
+//! wrapped around any baseline cpufreq governor.
+//!
+//! The paper's structure (§3.B): "USTA performs skin temperature
+//! prediction every 3 seconds and intervenes to enforce a DVFS decision
+//! on the system only if skin temperature needs to be controlled.
+//! Otherwise, the baseline DVFS performs its function for power
+//! optimization only."
+//!
+//! The device loop drives this in two strands:
+//! * every governor sampling period (100 ms): [`UstaGovernor::decide`] —
+//!   delegates to the baseline, clamped by the current cap;
+//! * continuously: [`UstaGovernor::tick`] with fresh sensor features —
+//!   internally rate-limited to the 3-second prediction cadence.
+
+use crate::features::FeatureVector;
+use crate::policy::{FrequencyCap, UstaPolicy};
+use crate::predictor::TemperaturePredictor;
+use usta_governors::{CpuGovernor, GovernorInput};
+use usta_thermal::Celsius;
+
+/// Default prediction cadence, seconds (§3.B).
+pub const DEFAULT_PREDICTION_PERIOD_S: f64 = 3.0;
+
+/// The USTA governor: baseline DVFS + predictor-driven frequency cap.
+#[derive(Debug)]
+pub struct UstaGovernor {
+    baseline: Box<dyn CpuGovernor>,
+    predictor: TemperaturePredictor,
+    policy: UstaPolicy,
+    period_s: f64,
+    since_prediction_s: f64,
+    cap: FrequencyCap,
+    last_prediction: Option<Celsius>,
+    predictions_made: u64,
+}
+
+impl UstaGovernor {
+    /// Wraps `baseline` with USTA control for the given user policy.
+    pub fn new(
+        baseline: Box<dyn CpuGovernor>,
+        predictor: TemperaturePredictor,
+        policy: UstaPolicy,
+    ) -> UstaGovernor {
+        UstaGovernor {
+            baseline,
+            predictor,
+            policy,
+            period_s: DEFAULT_PREDICTION_PERIOD_S,
+            // Force a prediction on the first tick.
+            since_prediction_s: f64::INFINITY,
+            cap: FrequencyCap::Unrestricted,
+            last_prediction: None,
+            predictions_made: 0,
+        }
+    }
+
+    /// Overrides the 3-second prediction cadence (for the cadence
+    /// ablation; the paper suggests lengthening it to cut overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_s` is not positive.
+    pub fn set_prediction_period(&mut self, period_s: f64) {
+        assert!(period_s > 0.0 && period_s.is_finite(), "period must be positive");
+        self.period_s = period_s;
+    }
+
+    /// Feeds fresh sensor features; runs a prediction if the cadence
+    /// elapsed. Returns the new cap when a prediction happened.
+    pub fn tick(&mut self, features: &FeatureVector, dt: f64) -> Option<FrequencyCap> {
+        self.since_prediction_s += dt;
+        if self.since_prediction_s < self.period_s {
+            return None;
+        }
+        self.since_prediction_s = 0.0;
+        let predicted = self.predictor.predict(features);
+        self.last_prediction = Some(predicted);
+        self.predictions_made += 1;
+        self.cap = self.policy.decide(predicted);
+        Some(self.cap)
+    }
+
+    /// The cap currently in force.
+    pub fn cap(&self) -> FrequencyCap {
+        self.cap
+    }
+
+    /// The most recent skin-temperature prediction.
+    pub fn last_prediction(&self) -> Option<Celsius> {
+        self.last_prediction
+    }
+
+    /// How many predictions have run (for overhead accounting).
+    pub fn predictions_made(&self) -> u64 {
+        self.predictions_made
+    }
+
+    /// The user policy in force.
+    pub fn policy(&self) -> &UstaPolicy {
+        &self.policy
+    }
+
+    /// Switches the comfort limit (configuring USTA for another user).
+    pub fn set_limit(&mut self, limit: Celsius) {
+        self.policy.set_limit(limit);
+    }
+
+    /// The wrapped predictor.
+    pub fn predictor(&self) -> &TemperaturePredictor {
+        &self.predictor
+    }
+}
+
+impl CpuGovernor for UstaGovernor {
+    fn name(&self) -> &str {
+        "usta"
+    }
+
+    fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
+        let usta_cap = self.cap.max_allowed_level(input.opp);
+        let clamped = GovernorInput {
+            max_allowed_level: input.max_allowed_level.min(usta_cap),
+            ..*input
+        };
+        self.baseline.decide(&clamped).min(usta_cap)
+    }
+
+    fn reset(&mut self) {
+        self.baseline.reset();
+        self.since_prediction_s = f64::INFINITY;
+        self.cap = FrequencyCap::Unrestricted;
+        self.last_prediction = None;
+        self.predictions_made = 0;
+    }
+
+    fn sampling_period(&self) -> f64 {
+        self.baseline.sampling_period()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictionTarget;
+    use crate::training::{LoggedSample, TrainingLog};
+    use usta_governors::OnDemand;
+    use usta_ml::reptree::RepTreeParams;
+    use usta_ml::Learner;
+    use usta_soc::nexus4;
+
+    /// A log where skin temperature equals battery temperature — gives a
+    /// predictor whose output we can steer precisely in tests.
+    fn identity_predictor() -> TemperaturePredictor {
+        let log: TrainingLog = (0..600)
+            .map(|i| {
+                let t = 25.0 + (i % 200) as f64 / 10.0; // 25..45 °C
+                LoggedSample {
+                    t: i as f64,
+                    features: FeatureVector {
+                        cpu_temp: Celsius(t + 8.0),
+                        battery_temp: Celsius(t),
+                        utilization: 0.5,
+                        freq_khz: 1_000_000.0,
+                    },
+                    skin: Celsius(t),
+                    screen: Celsius(t - 2.0),
+                }
+            })
+            .collect();
+        TemperaturePredictor::train(
+            &Learner::RepTree(RepTreeParams::default()),
+            &log,
+            PredictionTarget::Skin,
+            3,
+        )
+        .unwrap()
+    }
+
+    fn features(batt: f64) -> FeatureVector {
+        FeatureVector {
+            cpu_temp: Celsius(batt + 8.0),
+            battery_temp: Celsius(batt),
+            utilization: 0.5,
+            freq_khz: 1_000_000.0,
+        }
+    }
+
+    fn usta() -> UstaGovernor {
+        UstaGovernor::new(
+            Box::new(OnDemand::default()),
+            identity_predictor(),
+            UstaPolicy::new(Celsius(37.0)),
+        )
+    }
+
+    #[test]
+    fn first_tick_predicts_immediately() {
+        let mut g = usta();
+        let cap = g.tick(&features(30.0), 0.1);
+        assert_eq!(cap, Some(FrequencyCap::Unrestricted));
+        assert_eq!(g.predictions_made(), 1);
+    }
+
+    #[test]
+    fn cadence_is_three_seconds() {
+        let mut g = usta();
+        g.tick(&features(30.0), 0.1); // immediate first prediction
+        let mut predictions = 1;
+        // 30 simulated seconds at 100 ms ticks → 10 more predictions.
+        for _ in 0..300 {
+            if g.tick(&features(30.0), 0.1).is_some() {
+                predictions += 1;
+            }
+        }
+        assert_eq!(predictions, 11);
+    }
+
+    #[test]
+    fn hot_prediction_caps_the_baseline() {
+        let opp = nexus4::opp_table();
+        let mut g = usta();
+        g.tick(&features(36.8), 0.1); // within 0.5 °C of 37 → minimum
+        assert_eq!(g.cap(), FrequencyCap::MinimumFrequency);
+        let input = GovernorInput {
+            avg_utilization: 1.0,
+            max_utilization: 1.0,
+            current_level: 5,
+            max_allowed_level: opp.max_index(),
+            opp: &opp,
+        };
+        assert_eq!(g.decide(&input), 0, "saturated CPU must stay at min level");
+    }
+
+    #[test]
+    fn cool_prediction_leaves_baseline_alone() {
+        let opp = nexus4::opp_table();
+        let mut g = usta();
+        g.tick(&features(28.0), 0.1);
+        assert_eq!(g.cap(), FrequencyCap::Unrestricted);
+        let input = GovernorInput {
+            avg_utilization: 1.0,
+            max_utilization: 1.0,
+            current_level: 0,
+            max_allowed_level: opp.max_index(),
+            opp: &opp,
+        };
+        assert_eq!(g.decide(&input), opp.max_index());
+    }
+
+    #[test]
+    fn one_and_two_level_bands_cap_accordingly() {
+        let opp = nexus4::opp_table();
+        let mut g = usta();
+        g.tick(&features(35.5), 0.1); // margin 1.5 → one level below max
+        assert_eq!(g.cap(), FrequencyCap::OneLevelBelowMax);
+        let input = GovernorInput {
+            avg_utilization: 1.0,
+            max_utilization: 1.0,
+            current_level: 5,
+            max_allowed_level: opp.max_index(),
+            opp: &opp,
+        };
+        assert_eq!(g.decide(&input), opp.max_index() - 1);
+    }
+
+    #[test]
+    fn cap_releases_when_device_cools() {
+        let mut g = usta();
+        g.tick(&features(36.9), 0.1);
+        assert!(g.cap().is_active());
+        // 3 s later the device cooled well below the band.
+        g.tick(&features(30.0), 3.0);
+        assert_eq!(g.cap(), FrequencyCap::Unrestricted);
+    }
+
+    #[test]
+    fn respects_external_cap_too() {
+        let opp = nexus4::opp_table();
+        let mut g = usta();
+        g.tick(&features(28.0), 0.1); // USTA unrestricted
+        let input = GovernorInput {
+            avg_utilization: 1.0,
+            max_utilization: 1.0,
+            current_level: 5,
+            max_allowed_level: 4, // some other thermal layer
+            opp: &opp,
+        };
+        assert_eq!(g.decide(&input), 4);
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let mut g = usta();
+        g.tick(&features(36.9), 0.1);
+        g.reset();
+        assert_eq!(g.cap(), FrequencyCap::Unrestricted);
+        assert_eq!(g.predictions_made(), 0);
+        assert!(g.last_prediction().is_none());
+    }
+
+    #[test]
+    fn per_user_configuration_changes_behaviour() {
+        let mut g = usta();
+        g.set_limit(Celsius(42.8)); // the paper's most tolerant user
+        g.tick(&features(36.9), 0.1);
+        assert_eq!(g.cap(), FrequencyCap::Unrestricted);
+        assert_eq!(g.policy().limit(), Celsius(42.8));
+    }
+
+    #[test]
+    fn custom_cadence_is_respected() {
+        let mut g = usta();
+        g.set_prediction_period(10.0);
+        g.tick(&features(30.0), 0.1);
+        let mut predictions = 1;
+        for _ in 0..305 {
+            // ~30.5 s at 100 ms; the extra ticks absorb f64 accumulation
+            // drift (100 × 0.1 sums just below 10.0).
+            if g.tick(&features(30.0), 0.1).is_some() {
+                predictions += 1;
+            }
+        }
+        assert_eq!(predictions, 4, "≈30 s / 10 s cadence = 3 more predictions");
+    }
+}

@@ -1,0 +1,206 @@
+//! The USTA banding policy (§3.B of the paper, verbatim):
+//!
+//! > "USTA has a threshold for activation which is set to 2 °C below the
+//! > skin temperature limit of the user. If the difference between the
+//! > predicted skin temperature and the temperature limit is between
+//! > 1 °C and 2 °C, the maximum allowed CPU frequency is decreased by
+//! > one level (i.e., from the highest frequency to the one below). If
+//! > the difference between the prediction and the temperature limit is
+//! > between 0.5 °C and 1 °C, then, the maximum allowed CPU frequency is
+//! > decreased by two levels. Finally, if the prediction is closer than
+//! > 0.5 °C to the limit or it is exceeding the limit, then, the maximum
+//! > CPU frequency is set to the minimum frequency level."
+
+use usta_soc::OppTable;
+use usta_thermal::Celsius;
+
+/// The cap USTA imposes on the governor's frequency choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrequencyCap {
+    /// Predicted skin temperature is more than 2 °C below the limit:
+    /// the baseline governor runs unrestricted.
+    Unrestricted,
+    /// Within (1, 2] °C of the limit: cap one OPP level below maximum.
+    OneLevelBelowMax,
+    /// Within (0.5, 1] °C of the limit: cap two OPP levels below maximum.
+    TwoLevelsBelowMax,
+    /// Within 0.5 °C of the limit or exceeding it: pin to the minimum
+    /// frequency.
+    MinimumFrequency,
+}
+
+impl FrequencyCap {
+    /// The highest allowed OPP index under this cap.
+    pub fn max_allowed_level(self, opp: &OppTable) -> usize {
+        match self {
+            FrequencyCap::Unrestricted => opp.max_index(),
+            FrequencyCap::OneLevelBelowMax => opp.lower(opp.max_index(), 1),
+            FrequencyCap::TwoLevelsBelowMax => opp.lower(opp.max_index(), 2),
+            FrequencyCap::MinimumFrequency => 0,
+        }
+    }
+
+    /// `true` when USTA is actively restricting the governor.
+    pub fn is_active(self) -> bool {
+        self != FrequencyCap::Unrestricted
+    }
+}
+
+/// The per-user USTA policy: a comfort limit plus the paper's bands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UstaPolicy {
+    limit: Celsius,
+    activation_margin: f64,
+    one_level_margin: f64,
+    min_freq_margin: f64,
+}
+
+impl UstaPolicy {
+    /// The paper's banding around the given comfort limit
+    /// (activation at 2 °C, two-level at 1 °C, minimum at 0.5 °C).
+    pub fn new(limit: Celsius) -> UstaPolicy {
+        UstaPolicy {
+            limit,
+            activation_margin: 2.0,
+            one_level_margin: 1.0,
+            min_freq_margin: 0.5,
+        }
+    }
+
+    /// A policy with custom band margins (for the ablation benches).
+    /// Margins must satisfy `min_freq ≤ one_level ≤ activation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the margins are not ordered or not finite.
+    pub fn with_margins(
+        limit: Celsius,
+        activation: f64,
+        one_level: f64,
+        min_freq: f64,
+    ) -> UstaPolicy {
+        assert!(
+            min_freq.is_finite() && one_level.is_finite() && activation.is_finite(),
+            "margins must be finite"
+        );
+        assert!(
+            0.0 <= min_freq && min_freq <= one_level && one_level <= activation,
+            "margins must be ordered 0 ≤ min_freq ≤ one_level ≤ activation"
+        );
+        UstaPolicy {
+            limit,
+            activation_margin: activation,
+            one_level_margin: one_level,
+            min_freq_margin: min_freq,
+        }
+    }
+
+    /// The user's comfort limit.
+    pub fn limit(&self) -> Celsius {
+        self.limit
+    }
+
+    /// Changes the comfort limit (switching users).
+    pub fn set_limit(&mut self, limit: Celsius) {
+        self.limit = limit;
+    }
+
+    /// Maps a predicted skin temperature to the cap.
+    pub fn decide(&self, predicted_skin: Celsius) -> FrequencyCap {
+        let margin = self.limit - predicted_skin; // kelvins below the limit
+        if margin > self.activation_margin {
+            FrequencyCap::Unrestricted
+        } else if margin > self.one_level_margin {
+            FrequencyCap::OneLevelBelowMax
+        } else if margin > self.min_freq_margin {
+            FrequencyCap::TwoLevelsBelowMax
+        } else {
+            FrequencyCap::MinimumFrequency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usta_soc::nexus4;
+
+    #[test]
+    fn bands_match_the_paper_exactly() {
+        let p = UstaPolicy::new(Celsius(37.0));
+        // margin > 2.0 → unrestricted
+        assert_eq!(p.decide(Celsius(34.9)), FrequencyCap::Unrestricted);
+        // margin in (1, 2] → one level
+        assert_eq!(p.decide(Celsius(35.0)), FrequencyCap::OneLevelBelowMax);
+        assert_eq!(p.decide(Celsius(35.9)), FrequencyCap::OneLevelBelowMax);
+        // margin in (0.5, 1] → two levels
+        assert_eq!(p.decide(Celsius(36.0)), FrequencyCap::TwoLevelsBelowMax);
+        assert_eq!(p.decide(Celsius(36.4)), FrequencyCap::TwoLevelsBelowMax);
+        // margin ≤ 0.5, including exceeding → minimum
+        assert_eq!(p.decide(Celsius(36.5)), FrequencyCap::MinimumFrequency);
+        assert_eq!(p.decide(Celsius(37.0)), FrequencyCap::MinimumFrequency);
+        assert_eq!(p.decide(Celsius(45.0)), FrequencyCap::MinimumFrequency);
+    }
+
+    #[test]
+    fn caps_map_to_levels_on_the_nexus4_table() {
+        let opp = nexus4::opp_table();
+        assert_eq!(FrequencyCap::Unrestricted.max_allowed_level(&opp), 11);
+        assert_eq!(FrequencyCap::OneLevelBelowMax.max_allowed_level(&opp), 10);
+        assert_eq!(FrequencyCap::TwoLevelsBelowMax.max_allowed_level(&opp), 9);
+        assert_eq!(FrequencyCap::MinimumFrequency.max_allowed_level(&opp), 0);
+    }
+
+    #[test]
+    fn activity_flag() {
+        assert!(!FrequencyCap::Unrestricted.is_active());
+        assert!(FrequencyCap::OneLevelBelowMax.is_active());
+        assert!(FrequencyCap::MinimumFrequency.is_active());
+    }
+
+    #[test]
+    fn cap_tightens_monotonically_as_prediction_rises() {
+        let p = UstaPolicy::new(Celsius(37.0));
+        let opp = nexus4::opp_table();
+        let mut prev = usize::MAX;
+        for i in 0..200 {
+            let t = Celsius(30.0 + i as f64 * 0.05);
+            let level = p.decide(t).max_allowed_level(&opp);
+            assert!(level <= prev, "cap must not loosen as prediction rises");
+            prev = level;
+        }
+        assert_eq!(prev, 0);
+    }
+
+    #[test]
+    fn per_user_limits_shift_the_bands() {
+        let tolerant = UstaPolicy::new(Celsius(42.8));
+        let sensitive = UstaPolicy::new(Celsius(34.0));
+        let t = Celsius(36.0);
+        assert_eq!(tolerant.decide(t), FrequencyCap::Unrestricted);
+        assert_eq!(sensitive.decide(t), FrequencyCap::MinimumFrequency);
+    }
+
+    #[test]
+    fn custom_margins_for_ablation() {
+        let p = UstaPolicy::with_margins(Celsius(37.0), 4.0, 2.0, 1.0);
+        assert_eq!(p.decide(Celsius(33.5)), FrequencyCap::OneLevelBelowMax);
+        assert_eq!(p.decide(Celsius(35.5)), FrequencyCap::TwoLevelsBelowMax);
+        assert_eq!(p.decide(Celsius(36.5)), FrequencyCap::MinimumFrequency);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_margins_panic() {
+        let _ = UstaPolicy::with_margins(Celsius(37.0), 1.0, 2.0, 0.5);
+    }
+
+    #[test]
+    fn set_limit_switches_users() {
+        let mut p = UstaPolicy::new(Celsius(37.0));
+        assert_eq!(p.decide(Celsius(36.8)), FrequencyCap::MinimumFrequency);
+        p.set_limit(Celsius(42.8));
+        assert_eq!(p.limit(), Celsius(42.8));
+        assert_eq!(p.decide(Celsius(36.8)), FrequencyCap::Unrestricted);
+    }
+}

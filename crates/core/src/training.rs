@@ -1,0 +1,149 @@
+//! Training-data collection, mirroring the paper's logging application.
+//!
+//! The paper runs a logger that samples system state and the external
+//! thermistors "periodically" while thirteen benchmarks execute, then
+//! pools *all* benchmarks into one global dataset (§4.A: "for all the
+//! target applications, we have developed a single global model").
+//! [`TrainingLog`] is that log; [`TrainingLog::to_dataset`] produces the
+//! learner-ready dataset for either prediction target.
+
+use crate::features::FeatureVector;
+use crate::predictor::PredictionTarget;
+use usta_ml::{Dataset, MlError};
+use usta_thermal::Celsius;
+
+/// One logged observation: the runtime features plus the thermistor
+/// ground truth at the same instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoggedSample {
+    /// Seconds since the log started.
+    pub t: f64,
+    /// The system-level observables.
+    pub features: FeatureVector,
+    /// External thermistor on the back cover (skin ground truth).
+    pub skin: Celsius,
+    /// External thermistor on the screen (screen ground truth).
+    pub screen: Celsius,
+}
+
+/// An append-only log of observations across any number of benchmark
+/// runs.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingLog {
+    samples: Vec<LoggedSample>,
+}
+
+impl TrainingLog {
+    /// An empty log.
+    pub fn new() -> TrainingLog {
+        TrainingLog::default()
+    }
+
+    /// Appends one observation.
+    pub fn push(&mut self, sample: LoggedSample) {
+        self.samples.push(sample);
+    }
+
+    /// Appends every sample of another log (pooling benchmarks into the
+    /// global dataset).
+    pub fn extend_from(&mut self, other: &TrainingLog) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[LoggedSample] {
+        &self.samples
+    }
+
+    /// Builds the learner-ready dataset for the chosen target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MlError`] if any sample contains non-finite values.
+    pub fn to_dataset(&self, target: PredictionTarget) -> Result<Dataset, MlError> {
+        let mut data = Dataset::new(FeatureVector::feature_names())?;
+        for s in &self.samples {
+            let y = match target {
+                PredictionTarget::Skin => s.skin.value(),
+                PredictionTarget::Screen => s.screen.value(),
+            };
+            data.push(s.features.to_array().to_vec(), y)?;
+        }
+        Ok(data)
+    }
+}
+
+impl FromIterator<LoggedSample> for TrainingLog {
+    fn from_iter<I: IntoIterator<Item = LoggedSample>>(iter: I) -> TrainingLog {
+        TrainingLog {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<LoggedSample> for TrainingLog {
+    fn extend<I: IntoIterator<Item = LoggedSample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, skin: f64, screen: f64) -> LoggedSample {
+        LoggedSample {
+            t,
+            features: FeatureVector {
+                cpu_temp: Celsius(45.0 + t),
+                battery_temp: Celsius(33.0 + t / 2.0),
+                utilization: 0.5,
+                freq_khz: 1_026_000.0,
+            },
+            skin: Celsius(skin),
+            screen: Celsius(screen),
+        }
+    }
+
+    #[test]
+    fn datasets_pick_the_right_target() {
+        let log: TrainingLog = vec![sample(0.0, 35.0, 32.0), sample(3.0, 36.0, 33.0)]
+            .into_iter()
+            .collect();
+        let skin = log.to_dataset(PredictionTarget::Skin).unwrap();
+        let screen = log.to_dataset(PredictionTarget::Screen).unwrap();
+        assert_eq!(skin.targets(), &[35.0, 36.0]);
+        assert_eq!(screen.targets(), &[32.0, 33.0]);
+        assert_eq!(skin.n_features(), 4);
+    }
+
+    #[test]
+    fn pooling_logs_concatenates() {
+        let mut global = TrainingLog::new();
+        let a: TrainingLog = vec![sample(0.0, 35.0, 32.0)].into_iter().collect();
+        let b: TrainingLog = vec![sample(3.0, 36.0, 33.0), sample(6.0, 37.0, 34.0)]
+            .into_iter()
+            .collect();
+        global.extend_from(&a);
+        global.extend_from(&b);
+        assert_eq!(global.len(), 3);
+        assert!(!global.is_empty());
+    }
+
+    #[test]
+    fn extend_trait_works() {
+        let mut log = TrainingLog::new();
+        log.extend(vec![sample(0.0, 30.0, 29.0)]);
+        assert_eq!(log.samples()[0].skin, Celsius(30.0));
+    }
+}

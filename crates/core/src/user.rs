@@ -1,0 +1,206 @@
+//! The paper's user study population (Figure 1).
+//!
+//! Ten participants (5 male, 5 female) held the phone during an AnTuTu
+//! Tester run and reported the instant heat discomfort became
+//! unacceptable. Reported skin-temperature limits ranged from **34.0 °C**
+//! to **42.8 °C** and average **37.0 °C** — the "default user" limit used
+//! in Table 1 and Figure 4 (§4.B: "the temperature limit for USTA was
+//! set to 37 °C, which is calculated by finding the average discomfort
+//! limit reported by the users").
+//!
+//! The per-user limits between those anchors are read off Figure 1;
+//! they are *inputs* from the paper's human study, not re-derivable.
+//! Per §4.B, users a/d/e/i noticed no difference between systems (high
+//! limits → USTA rarely acts), users c/g preferred the baseline, and
+//! users b/f/h/j preferred USTA; the per-user sensitivity weights encode
+//! that reported behaviour for the Figure 5 reproduction.
+
+use usta_thermal::Celsius;
+
+/// One study participant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserProfile {
+    /// The paper's participant label, `'a'..='j'`.
+    pub label: char,
+    /// Skin-temperature discomfort limit (Figure 1).
+    pub skin_limit: Celsius,
+    /// Screen-temperature discomfort limit (Figure 1; screens were
+    /// tolerated slightly cooler than the back cover).
+    pub screen_limit: Celsius,
+    /// How strongly discomfort time degrades this user's rating
+    /// (dimensionless multiplier around 1).
+    pub heat_sensitivity: f64,
+    /// How strongly perceived sluggishness degrades this user's rating
+    /// (dimensionless multiplier around 1; users c and g weigh
+    /// performance heavily — they preferred the baseline).
+    pub performance_sensitivity: f64,
+}
+
+impl UserProfile {
+    /// The "default user": the average comfort limit of the population
+    /// (37 °C), used for Table 1 and Figure 4.
+    pub fn default_user() -> UserProfile {
+        UserProfile {
+            label: '*',
+            skin_limit: Celsius(37.0),
+            screen_limit: Celsius(35.8),
+            heat_sensitivity: 1.0,
+            performance_sensitivity: 1.0,
+        }
+    }
+}
+
+/// The ten-participant population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserPopulation {
+    users: Vec<UserProfile>,
+}
+
+impl UserPopulation {
+    /// The paper's population: limits anchored at the reported 34.0 °C
+    /// minimum, 42.8 °C maximum, and 37.0 °C mean.
+    pub fn paper() -> UserPopulation {
+        let mk = |label: char, skin: f64, heat: f64, perf: f64| UserProfile {
+            label,
+            skin_limit: Celsius(skin),
+            screen_limit: Celsius(skin - 1.2),
+            heat_sensitivity: heat,
+            performance_sensitivity: perf,
+        };
+        UserPopulation {
+            users: vec![
+                // High-limit users a, d, e, i: mildly heat-sensitive
+                // (they tolerated the heat) — USTA feels the same to them.
+                mk('a', 38.2, 0.55, 1.0),
+                mk('b', 35.2, 1.30, 0.7),
+                mk('c', 36.4, 0.80, 1.6), // preferred baseline
+                mk('d', 38.4, 0.55, 1.0),
+                mk('e', 37.6, 0.60, 1.0),
+                mk('f', 34.6, 1.40, 0.7),
+                mk('g', 42.8, 0.40, 1.7), // very tolerant; preferred baseline
+                mk('h', 35.8, 1.20, 0.8),
+                mk('i', 37.0, 0.60, 1.0),
+                mk('j', 34.0, 1.50, 0.6),
+            ],
+        }
+    }
+
+    /// The participants in label order.
+    pub fn users(&self) -> &[UserProfile] {
+        &self.users
+    }
+
+    /// Number of participants.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// `true` if the population is empty (never, for the paper set).
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Looks a participant up by label.
+    pub fn by_label(&self, label: char) -> Option<&UserProfile> {
+        self.users.iter().find(|u| u.label == label)
+    }
+
+    /// Mean skin limit — the paper's default-user limit.
+    pub fn mean_skin_limit(&self) -> Celsius {
+        let sum: f64 = self.users.iter().map(|u| u.skin_limit.value()).sum();
+        Celsius(sum / self.users.len() as f64)
+    }
+
+    /// Lowest (most sensitive) skin limit.
+    pub fn min_skin_limit(&self) -> Celsius {
+        self.users
+            .iter()
+            .map(|u| u.skin_limit)
+            .fold(Celsius(f64::INFINITY), Celsius::min)
+    }
+
+    /// Highest (most tolerant) skin limit.
+    pub fn max_skin_limit(&self) -> Celsius {
+        self.users
+            .iter()
+            .map(|u| u.skin_limit)
+            .fold(Celsius(f64::NEG_INFINITY), Celsius::max)
+    }
+
+    /// Iterates the participants.
+    pub fn iter(&self) -> impl Iterator<Item = &UserProfile> {
+        self.users.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_participants() {
+        assert_eq!(UserPopulation::paper().len(), 10);
+    }
+
+    #[test]
+    fn limits_match_figure_1_anchors() {
+        let p = UserPopulation::paper();
+        assert_eq!(p.min_skin_limit(), Celsius(34.0));
+        assert_eq!(p.max_skin_limit(), Celsius(42.8));
+        // Mean exactly 37.0 — the paper's default-user limit.
+        assert!((p.mean_skin_limit() - Celsius(37.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_a_through_j_unique() {
+        let p = UserPopulation::paper();
+        let labels: Vec<char> = p.iter().map(|u| u.label).collect();
+        assert_eq!(labels, vec!['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j']);
+    }
+
+    #[test]
+    fn lookup_by_label() {
+        let p = UserPopulation::paper();
+        assert_eq!(p.by_label('g').unwrap().skin_limit, Celsius(42.8));
+        assert!(p.by_label('z').is_none());
+    }
+
+    #[test]
+    fn high_limit_users_match_the_papers_no_difference_group() {
+        // §4.B: users a, d, e, i reported no noticeable difference —
+        // their limits sit at/above the default 37 °C so USTA rarely
+        // acted during their sessions.
+        let p = UserPopulation::paper();
+        for label in ['a', 'd', 'e', 'i'] {
+            let u = p.by_label(label).unwrap();
+            assert!(
+                u.skin_limit >= Celsius(37.0),
+                "user {label} should have a high limit, got {}",
+                u.skin_limit
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_preferring_users_weigh_performance_heavily() {
+        let p = UserPopulation::paper();
+        for label in ['c', 'g'] {
+            let u = p.by_label(label).unwrap();
+            assert!(u.performance_sensitivity > 1.4);
+        }
+    }
+
+    #[test]
+    fn screen_limits_sit_below_skin_limits() {
+        for u in UserPopulation::paper().iter() {
+            assert!(u.screen_limit < u.skin_limit);
+        }
+    }
+
+    #[test]
+    fn default_user_is_the_average() {
+        let d = UserProfile::default_user();
+        assert_eq!(d.skin_limit, Celsius(37.0));
+        assert_eq!(d.label, '*');
+    }
+}

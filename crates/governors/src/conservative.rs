@@ -1,0 +1,119 @@
+//! The **conservative** governor: like ondemand but moves one step at a
+//! time in both directions — gentler power ramps, slower response.
+
+use crate::governor::{CpuGovernor, GovernorInput};
+
+/// Tunables of the conservative governor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConservativeParams {
+    /// Step up above this utilization (kernel default 80 %).
+    pub up_threshold: f64,
+    /// Step down below this utilization (kernel default 20 %).
+    pub down_threshold: f64,
+    /// Sampling period in seconds.
+    pub sampling_period_s: f64,
+}
+
+impl Default for ConservativeParams {
+    fn default() -> ConservativeParams {
+        ConservativeParams {
+            up_threshold: 0.80,
+            down_threshold: 0.20,
+            sampling_period_s: 0.1,
+        }
+    }
+}
+
+/// The conservative governor.
+#[derive(Debug, Clone, Default)]
+pub struct Conservative {
+    params: ConservativeParams,
+}
+
+impl Conservative {
+    /// Builds a conservative governor with the given tunables.
+    pub fn new(params: ConservativeParams) -> Conservative {
+        Conservative { params }
+    }
+}
+
+impl CpuGovernor for Conservative {
+    fn name(&self) -> &str {
+        "conservative"
+    }
+
+    fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
+        let cap = input.opp.clamp_index(input.max_allowed_level);
+        let cur = input.opp.clamp_index(input.current_level).min(cap);
+        let load = input.max_utilization.clamp(0.0, 1.0);
+        if load > self.params.up_threshold {
+            (cur + 1).min(cap)
+        } else if load < self.params.down_threshold {
+            cur.saturating_sub(1)
+        } else {
+            cur
+        }
+    }
+
+    fn sampling_period(&self) -> f64 {
+        self.params.sampling_period_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usta_soc::nexus4;
+    use usta_soc::OppTable;
+
+    fn input<'a>(opp: &'a OppTable, load: f64, cur: usize, cap: usize) -> GovernorInput<'a> {
+        GovernorInput {
+            avg_utilization: load,
+            max_utilization: load,
+            current_level: cur,
+            max_allowed_level: cap,
+            opp,
+        }
+    }
+
+    #[test]
+    fn steps_up_one_level_at_a_time() {
+        let opp = nexus4::opp_table();
+        let mut g = Conservative::default();
+        assert_eq!(g.decide(&input(&opp, 0.95, 3, opp.max_index())), 4);
+    }
+
+    #[test]
+    fn steps_down_one_level_at_a_time() {
+        let opp = nexus4::opp_table();
+        let mut g = Conservative::default();
+        assert_eq!(g.decide(&input(&opp, 0.05, 3, opp.max_index())), 2);
+        assert_eq!(g.decide(&input(&opp, 0.05, 0, opp.max_index())), 0);
+    }
+
+    #[test]
+    fn holds_in_the_dead_band() {
+        let opp = nexus4::opp_table();
+        let mut g = Conservative::default();
+        assert_eq!(g.decide(&input(&opp, 0.5, 3, opp.max_index())), 3);
+    }
+
+    #[test]
+    fn respects_cap() {
+        let opp = nexus4::opp_table();
+        let mut g = Conservative::default();
+        assert_eq!(g.decide(&input(&opp, 1.0, 4, 4)), 4);
+        assert_eq!(g.decide(&input(&opp, 1.0, 9, 4)), 4);
+    }
+
+    #[test]
+    fn reaches_max_under_sustained_load() {
+        let opp = nexus4::opp_table();
+        let mut g = Conservative::default();
+        let mut level = 0;
+        for _ in 0..20 {
+            level = g.decide(&input(&opp, 1.0, level, opp.max_index()));
+        }
+        assert_eq!(level, opp.max_index());
+    }
+}

@@ -1,0 +1,74 @@
+//! The governor interface.
+
+use usta_soc::OppTable;
+
+/// Everything a governor sees at one sampling instant.
+#[derive(Debug, Clone, Copy)]
+pub struct GovernorInput<'a> {
+    /// Mean utilization across cores over the last window, 0–1.
+    pub avg_utilization: f64,
+    /// Utilization of the busiest core over the last window, 0–1.
+    /// (Linux ondemand reacts to the busiest CPU of a policy.)
+    pub max_utilization: f64,
+    /// The operating-point index currently in effect.
+    pub current_level: usize,
+    /// Highest level the thermal layer currently allows. Plain DVFS runs
+    /// with `opp.max_index()`; USTA lowers this.
+    pub max_allowed_level: usize,
+    /// The operating-point table.
+    pub opp: &'a OppTable,
+}
+
+/// A cpufreq governor: maps sampled utilization to an operating point.
+///
+/// Implementations must be deterministic and must never return a level
+/// above `max_allowed_level` (the thermal contract USTA relies on).
+pub trait CpuGovernor: std::fmt::Debug {
+    /// Sysfs-style governor name (`"ondemand"`, `"performance"`, …).
+    fn name(&self) -> &str;
+
+    /// Picks the next operating-point index.
+    fn decide(&mut self, input: &GovernorInput<'_>) -> usize;
+
+    /// Forgets internal state (between experiments).
+    fn reset(&mut self) {}
+
+    /// The governor's preferred sampling period, seconds.
+    fn sampling_period(&self) -> f64 {
+        0.1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usta_soc::nexus4;
+
+    #[derive(Debug)]
+    struct AlwaysTop;
+
+    impl CpuGovernor for AlwaysTop {
+        fn name(&self) -> &str {
+            "always-top"
+        }
+
+        fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
+            input.opp.max_index().min(input.max_allowed_level)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let opp = nexus4::opp_table();
+        let mut g: Box<dyn CpuGovernor> = Box::new(AlwaysTop);
+        let input = GovernorInput {
+            avg_utilization: 0.5,
+            max_utilization: 0.5,
+            current_level: 0,
+            max_allowed_level: opp.max_index(),
+            opp: &opp,
+        };
+        assert_eq!(g.decide(&input), opp.max_index());
+        assert_eq!(g.sampling_period(), 0.1);
+    }
+}

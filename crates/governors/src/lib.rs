@@ -1,0 +1,41 @@
+//! # usta-governors — cpufreq governors
+//!
+//! Reimplementations of the Linux/Android cpufreq governors the USTA
+//! paper builds on. The paper's baseline is the stock Android
+//! **ondemand** governor (§3.B): it samples CPU utilization every
+//! sampling period, jumps to the maximum frequency when utilization
+//! crosses ~80 %, and scales down proportionally when load falls. USTA
+//! itself is *not* a governor replacement — it clamps the **maximum
+//! allowed level** the baseline governor may pick, which is exactly the
+//! [`GovernorInput::max_allowed_level`] field here.
+//!
+//! ```
+//! use usta_governors::{CpuGovernor, GovernorInput, OnDemand};
+//! use usta_soc::nexus4;
+//!
+//! let opp = nexus4::opp_table();
+//! let mut gov = OnDemand::default();
+//! // A saturated CPU pushes ondemand straight to the top level…
+//! let busy = GovernorInput { avg_utilization: 1.0, max_utilization: 1.0,
+//!     current_level: 0, max_allowed_level: opp.max_index(), opp: &opp };
+//! assert_eq!(gov.decide(&busy), opp.max_index());
+//! // …unless a thermal cap says otherwise.
+//! let capped = GovernorInput { max_allowed_level: 3, ..busy };
+//! assert_eq!(gov.decide(&capped), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conservative;
+pub mod governor;
+pub mod interactive;
+pub mod ondemand;
+pub mod simple;
+
+pub use conservative::Conservative;
+pub use governor::{CpuGovernor, GovernorInput};
+pub use interactive::Interactive;
+pub use ondemand::OnDemand;
+pub use simple::{Performance, Powersave, Userspace};

@@ -1,0 +1,226 @@
+//! The Android/Linux **ondemand** governor — the paper's baseline DVFS.
+//!
+//! Semantics per the kernel implementation and the paper's description
+//! (§3.B): every sampling period the governor looks at the busiest
+//! core's utilization. Above `up_threshold` (80 %) it jumps straight to
+//! the highest (allowed) frequency. Below it, it scales the frequency
+//! down proportionally so the load would sit just under
+//! `up_threshold − down_differential`, picking the lowest operating
+//! point that still covers that target ("the reduction can be steep if
+//! the utilization is very low or in steps if it is below ~80 % but
+//! above a minimum"). `sampling_down_factor` makes it hold the top
+//! frequency for several periods before reevaluating downward.
+
+use crate::governor::{CpuGovernor, GovernorInput};
+
+/// Tunables of the ondemand governor (kernel sysfs names).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnDemandParams {
+    /// Utilization above which the governor jumps to max (kernel default
+    /// 80 %; the paper quotes "around 80%").
+    pub up_threshold: f64,
+    /// Hysteresis subtracted from `up_threshold` when scaling down
+    /// (kernel default 10 %).
+    pub down_differential: f64,
+    /// Number of sampling periods to stay at max before scaling down
+    /// (kernel default 1; Android commonly 2).
+    pub sampling_down_factor: u32,
+    /// Sampling period in seconds.
+    pub sampling_period_s: f64,
+}
+
+impl Default for OnDemandParams {
+    fn default() -> OnDemandParams {
+        OnDemandParams {
+            up_threshold: 0.80,
+            down_differential: 0.10,
+            sampling_down_factor: 2,
+            sampling_period_s: 0.1,
+        }
+    }
+}
+
+/// The ondemand governor.
+#[derive(Debug, Clone)]
+pub struct OnDemand {
+    params: OnDemandParams,
+    hold_remaining: u32,
+}
+
+impl OnDemand {
+    /// Builds an ondemand governor with the given tunables.
+    pub fn new(params: OnDemandParams) -> OnDemand {
+        OnDemand {
+            params,
+            hold_remaining: 0,
+        }
+    }
+
+    /// The governor's tunables.
+    pub fn params(&self) -> &OnDemandParams {
+        &self.params
+    }
+}
+
+impl Default for OnDemand {
+    fn default() -> OnDemand {
+        OnDemand::new(OnDemandParams::default())
+    }
+}
+
+impl CpuGovernor for OnDemand {
+    fn name(&self) -> &str {
+        "ondemand"
+    }
+
+    fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
+        let cap = input.opp.clamp_index(input.max_allowed_level);
+        let cur = input.opp.clamp_index(input.current_level).min(cap);
+        let load = input.max_utilization.clamp(0.0, 1.0);
+
+        if load > self.params.up_threshold {
+            self.hold_remaining = self.params.sampling_down_factor.saturating_sub(1);
+            return cap;
+        }
+
+        // Below the up threshold: optionally hold the current frequency
+        // for a few periods after a max jump, then scale down so the
+        // load would sit just under (up_threshold − down_differential).
+        if self.hold_remaining > 0 {
+            self.hold_remaining -= 1;
+            return cur;
+        }
+        let target_fraction = self.params.up_threshold - self.params.down_differential;
+        let cur_khz = input.opp.level(cur).khz as f64;
+        let wanted_khz = cur_khz * load / target_fraction.max(1e-6);
+        input.opp.level_for_khz(wanted_khz.ceil() as u32).min(cap)
+    }
+
+    fn reset(&mut self) {
+        self.hold_remaining = 0;
+    }
+
+    fn sampling_period(&self) -> f64 {
+        self.params.sampling_period_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usta_soc::nexus4;
+    use usta_soc::OppTable;
+
+    fn input<'a>(opp: &'a OppTable, load: f64, cur: usize, cap: usize) -> GovernorInput<'a> {
+        GovernorInput {
+            avg_utilization: load,
+            max_utilization: load,
+            current_level: cur,
+            max_allowed_level: cap,
+            opp,
+        }
+    }
+
+    #[test]
+    fn saturation_jumps_to_max() {
+        let opp = nexus4::opp_table();
+        let mut g = OnDemand::default();
+        assert_eq!(g.decide(&input(&opp, 0.95, 0, opp.max_index())), opp.max_index());
+    }
+
+    #[test]
+    fn saturation_respects_thermal_cap() {
+        let opp = nexus4::opp_table();
+        let mut g = OnDemand::default();
+        assert_eq!(g.decide(&input(&opp, 1.0, 0, 4)), 4);
+        assert_eq!(g.decide(&input(&opp, 1.0, 11, 0)), 0);
+    }
+
+    #[test]
+    fn low_load_scales_steeply_down() {
+        let opp = nexus4::opp_table();
+        let mut g = OnDemand::default();
+        // At the top level with 10 % load the wanted frequency is
+        // 1512 MHz · 0.1/0.7 ≈ 216 MHz → bottom level.
+        let lvl = g.decide(&input(&opp, 0.10, opp.max_index(), opp.max_index()));
+        assert_eq!(lvl, 0);
+    }
+
+    #[test]
+    fn moderate_load_steps_down_gradually() {
+        let opp = nexus4::opp_table();
+        let mut g = OnDemand::default();
+        // 60 % at the top: wanted = 1512·0.6/0.7 ≈ 1296 MHz → level 1350.
+        let lvl = g.decide(&input(&opp, 0.60, opp.max_index(), opp.max_index()));
+        assert_eq!(opp.level(lvl).khz, 1_350_000);
+        assert!(lvl < opp.max_index());
+    }
+
+    #[test]
+    fn settles_where_load_just_fits() {
+        let opp = nexus4::opp_table();
+        let mut g = OnDemand::default();
+        // Fixed compute demand of 600 MHz on the busiest core; iterate
+        // the loop: utilization = demand / current frequency.
+        let demand_khz = 600_000.0;
+        let mut level = opp.max_index();
+        for _ in 0..50 {
+            let load = (demand_khz / opp.level(level).khz as f64).min(1.0);
+            level = g.decide(&input(&opp, load, level, opp.max_index()));
+        }
+        let freq = opp.level(level).khz as f64;
+        let util = demand_khz / freq;
+        assert!(
+            util <= 0.80 && util > 0.55,
+            "settled at {} kHz (util {util:.2}) — should sit just under the threshold",
+            freq
+        );
+    }
+
+    #[test]
+    fn sampling_down_factor_holds_before_downscaling() {
+        let opp = nexus4::opp_table();
+        let mut g = OnDemand::new(OnDemandParams {
+            sampling_down_factor: 3,
+            ..Default::default()
+        });
+        // Jump to max…
+        assert_eq!(g.decide(&input(&opp, 1.0, 0, opp.max_index())), opp.max_index());
+        // …then two held periods at max despite low load…
+        assert_eq!(g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())), opp.max_index());
+        assert_eq!(g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())), opp.max_index());
+        // …then the drop.
+        assert_eq!(g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())), 0);
+    }
+
+    #[test]
+    fn reset_clears_hold() {
+        let opp = nexus4::opp_table();
+        let mut g = OnDemand::new(OnDemandParams {
+            sampling_down_factor: 3,
+            ..Default::default()
+        });
+        g.decide(&input(&opp, 1.0, 0, opp.max_index()));
+        g.reset();
+        assert_eq!(g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())), 0);
+    }
+
+    #[test]
+    fn zero_load_goes_to_bottom() {
+        let opp = nexus4::opp_table();
+        let mut g = OnDemand::default();
+        assert_eq!(g.decide(&input(&opp, 0.0, 6, opp.max_index())), 0);
+    }
+
+    #[test]
+    fn never_exceeds_cap_under_any_load() {
+        let opp = nexus4::opp_table();
+        let mut g = OnDemand::default();
+        for load_pct in 0..=100 {
+            for cap in 0..opp.len() {
+                let lvl = g.decide(&input(&opp, load_pct as f64 / 100.0, 5, cap));
+                assert!(lvl <= cap, "load {load_pct}% cap {cap} gave level {lvl}");
+            }
+        }
+    }
+}

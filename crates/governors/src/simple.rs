@@ -1,0 +1,110 @@
+//! The stateless governors: performance, powersave, userspace.
+
+use crate::governor::{CpuGovernor, GovernorInput};
+
+/// Always the highest allowed frequency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Performance;
+
+impl CpuGovernor for Performance {
+    fn name(&self) -> &str {
+        "performance"
+    }
+
+    fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
+        input.opp.clamp_index(input.max_allowed_level)
+    }
+}
+
+/// Always the lowest frequency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Powersave;
+
+impl CpuGovernor for Powersave {
+    fn name(&self) -> &str {
+        "powersave"
+    }
+
+    fn decide(&mut self, _input: &GovernorInput<'_>) -> usize {
+        0
+    }
+}
+
+/// A fixed, user-chosen level (clamped to the allowed maximum).
+#[derive(Debug, Clone, Copy)]
+pub struct Userspace {
+    level: usize,
+}
+
+impl Userspace {
+    /// Pins the CPU at `level`.
+    pub fn new(level: usize) -> Userspace {
+        Userspace { level }
+    }
+
+    /// Changes the pinned level.
+    pub fn set_level(&mut self, level: usize) {
+        self.level = level;
+    }
+
+    /// The pinned level.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+}
+
+impl CpuGovernor for Userspace {
+    fn name(&self) -> &str {
+        "userspace"
+    }
+
+    fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
+        input
+            .opp
+            .clamp_index(self.level)
+            .min(input.opp.clamp_index(input.max_allowed_level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usta_soc::nexus4;
+    use usta_soc::OppTable;
+
+    fn input<'a>(opp: &'a OppTable, cap: usize) -> GovernorInput<'a> {
+        GovernorInput {
+            avg_utilization: 0.5,
+            max_utilization: 0.5,
+            current_level: 3,
+            max_allowed_level: cap,
+            opp,
+        }
+    }
+
+    #[test]
+    fn performance_is_max_allowed() {
+        let opp = nexus4::opp_table();
+        let mut g = Performance;
+        assert_eq!(g.decide(&input(&opp, opp.max_index())), opp.max_index());
+        assert_eq!(g.decide(&input(&opp, 2)), 2);
+    }
+
+    #[test]
+    fn powersave_is_bottom() {
+        let opp = nexus4::opp_table();
+        let mut g = Powersave;
+        assert_eq!(g.decide(&input(&opp, opp.max_index())), 0);
+    }
+
+    #[test]
+    fn userspace_pins_and_respects_cap() {
+        let opp = nexus4::opp_table();
+        let mut g = Userspace::new(7);
+        assert_eq!(g.decide(&input(&opp, opp.max_index())), 7);
+        assert_eq!(g.decide(&input(&opp, 3)), 3);
+        g.set_level(100);
+        assert_eq!(g.level(), 100);
+        assert_eq!(g.decide(&input(&opp, opp.max_index())), opp.max_index());
+    }
+}

@@ -1,0 +1,170 @@
+//! The paper's evaluation protocol: k-fold cross-validation that pools
+//! every fold's (expected, predicted) pairs, "exactly as WEKA performs
+//! the 10-fold cross validation and then lists the expected values and
+//! predicted values from which we calculate average error rates" (§4.A).
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::metrics;
+use crate::regressor::Learner;
+
+/// Pooled cross-validation predictions and the metrics over them.
+#[derive(Debug, Clone)]
+pub struct CvOutcome {
+    /// Ground-truth targets in evaluation order.
+    pub expected: Vec<f64>,
+    /// Model predictions aligned with `expected`.
+    pub predicted: Vec<f64>,
+}
+
+impl CvOutcome {
+    /// The paper's Equation (1) error rate, %.
+    pub fn error_rate(&self) -> f64 {
+        metrics::error_rate(&self.expected, &self.predicted)
+    }
+
+    /// Equation (1) ignoring absolute errors below `deadband` (the
+    /// paper uses 1 °C).
+    pub fn error_rate_with_deadband(&self, deadband: f64) -> f64 {
+        metrics::error_rate_with_deadband(&self.expected, &self.predicted, deadband)
+    }
+
+    /// Mean absolute error.
+    pub fn mae(&self) -> f64 {
+        metrics::mae(&self.expected, &self.predicted)
+    }
+
+    /// Root-mean-square error.
+    pub fn rmse(&self) -> f64 {
+        metrics::rmse(&self.expected, &self.predicted)
+    }
+
+    /// Pearson correlation between expected and predicted.
+    pub fn correlation(&self) -> f64 {
+        metrics::correlation(&self.expected, &self.predicted)
+    }
+
+    /// Largest absolute error.
+    pub fn max_abs_error(&self) -> f64 {
+        metrics::max_abs_error(&self.expected, &self.predicted)
+    }
+}
+
+/// Runs `k`-fold cross-validation of `learner` over `data`.
+///
+/// Folds are deterministic in `seed`; the learner's internal randomness
+/// is seeded per-fold from the same stream. Returns pooled predictions
+/// across all folds (every row predicted exactly once, by a model that
+/// never saw it).
+///
+/// # Errors
+///
+/// Propagates [`MlError::BadFoldCount`] and any fitting error.
+pub fn k_fold(
+    learner: &Learner,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Result<CvOutcome, MlError> {
+    let folds = data.k_fold_indices(k, seed)?;
+    let mut expected = Vec::with_capacity(data.len());
+    let mut predicted = Vec::with_capacity(data.len());
+    for (fold_no, (train_idx, test_idx)) in folds.into_iter().enumerate() {
+        let train = data.subset(&train_idx);
+        let model = learner.fit(&train, seed.wrapping_add(fold_no as u64))?;
+        for i in test_idx {
+            expected.push(data.target(i));
+            predicted.push(model.predict(data.row(i)));
+        }
+    }
+    Ok(CvOutcome {
+        expected,
+        predicted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::LinearRegressionParams;
+    use crate::reptree::RepTreeParams;
+
+    fn linearish_data(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "z".into()]).unwrap();
+        for i in 0..n {
+            let x = i as f64 / 10.0;
+            let z = (i % 5) as f64;
+            d.push(vec![x, z], 3.0 * x + 0.5 * z + 20.0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn cv_predicts_every_row_once() {
+        let d = linearish_data(95);
+        let out = k_fold(
+            &Learner::Linear(LinearRegressionParams::default()),
+            &d,
+            10,
+            7,
+        )
+        .unwrap();
+        assert_eq!(out.expected.len(), 95);
+        assert_eq!(out.predicted.len(), 95);
+    }
+
+    #[test]
+    fn linear_learner_cv_is_nearly_perfect_on_linear_data() {
+        let d = linearish_data(100);
+        let out = k_fold(
+            &Learner::Linear(LinearRegressionParams::default()),
+            &d,
+            10,
+            7,
+        )
+        .unwrap();
+        assert!(out.error_rate() < 0.01, "error rate {}", out.error_rate());
+        assert!(out.correlation() > 0.999);
+    }
+
+    #[test]
+    fn deadband_never_increases_error() {
+        let d = linearish_data(100);
+        let out = k_fold(&Learner::RepTree(RepTreeParams::default()), &d, 10, 7).unwrap();
+        assert!(out.error_rate_with_deadband(1.0) <= out.error_rate() + 1e-12);
+    }
+
+    #[test]
+    fn cv_is_deterministic_per_seed() {
+        let d = linearish_data(60);
+        let learner = Learner::RepTree(RepTreeParams::default());
+        let a = k_fold(&learner, &d, 5, 3).unwrap();
+        let b = k_fold(&learner, &d, 5, 3).unwrap();
+        assert_eq!(a.predicted, b.predicted);
+    }
+
+    #[test]
+    fn bad_fold_count_propagates() {
+        let d = linearish_data(5);
+        assert!(matches!(
+            k_fold(
+                &Learner::Linear(LinearRegressionParams::default()),
+                &d,
+                10,
+                0
+            ),
+            Err(MlError::BadFoldCount { .. })
+        ));
+    }
+
+    #[test]
+    fn outcome_metrics_are_consistent() {
+        let out = CvOutcome {
+            expected: vec![40.0, 30.0],
+            predicted: vec![39.6, 30.6],
+        };
+        assert!((out.error_rate() - 1.5).abs() < 1e-9);
+        assert!((out.mae() - 0.5).abs() < 1e-9);
+        assert!(out.max_abs_error() - 0.6 < 1e-9);
+    }
+}

@@ -1,0 +1,275 @@
+//! Dense numeric regression datasets.
+
+use crate::error::MlError;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// `(train_indices, test_indices)` pairs as produced by
+/// [`Dataset::k_fold_indices`].
+pub type FoldIndices = Vec<(Vec<usize>, Vec<usize>)>;
+
+/// A dense numeric dataset: rows of features with one target each.
+///
+/// ```
+/// use usta_ml::Dataset;
+///
+/// # fn main() -> Result<(), usta_ml::MlError> {
+/// let mut d = Dataset::new(vec!["cpu_temp".into(), "util".into()])?;
+/// d.push(vec![45.0, 0.8], 38.2)?;
+/// d.push(vec![40.0, 0.3], 34.1)?;
+/// assert_eq!(d.len(), 2);
+/// assert_eq!(d.n_features(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given feature schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NoFeatures`] for an empty schema.
+    pub fn new(feature_names: Vec<String>) -> Result<Dataset, MlError> {
+        if feature_names.is_empty() {
+            return Err(MlError::NoFeatures);
+        }
+        Ok(Dataset {
+            feature_names,
+            rows: Vec::new(),
+            targets: Vec::new(),
+        })
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] when the row width differs
+    /// from the schema and [`MlError::NonFiniteValue`] for NaN/∞ entries.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) -> Result<(), MlError> {
+        if features.len() != self.feature_names.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: self.feature_names.len(),
+                got: features.len(),
+            });
+        }
+        if !target.is_finite() || features.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::NonFiniteValue);
+        }
+        self.rows.push(features);
+        self.targets.push(target);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features per row.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// The `i`-th feature row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// The `i`-th target.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Iterates `(features, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> + '_ {
+        self.rows
+            .iter()
+            .map(|r| r.as_slice())
+            .zip(self.targets.iter().copied())
+    }
+
+    /// Mean of the targets (0 for an empty dataset).
+    pub fn target_mean(&self) -> f64 {
+        if self.targets.is_empty() {
+            0.0
+        } else {
+            self.targets.iter().sum::<f64>() / self.targets.len() as f64
+        }
+    }
+
+    /// Population variance of the targets (0 for fewer than 2 rows).
+    pub fn target_variance(&self) -> f64 {
+        if self.targets.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.target_mean();
+        self.targets.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / self.targets.len() as f64
+    }
+
+    /// A new dataset containing the rows at `indices` (duplicates allowed).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            targets: indices.iter().map(|&i| self.targets[i]).collect(),
+        }
+    }
+
+    /// Row indices shuffled deterministically by `seed`.
+    pub fn shuffled_indices(&self, seed: u64) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        idx
+    }
+
+    /// Deterministic `k`-fold split: returns `(train, test)` index pairs
+    /// covering every row exactly once across the test sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::BadFoldCount`] when `k < 2` or `k > len()`.
+    pub fn k_fold_indices(&self, k: usize, seed: u64) -> Result<FoldIndices, MlError> {
+        if k < 2 || k > self.len() {
+            return Err(MlError::BadFoldCount { k, rows: self.len() });
+        }
+        let shuffled = self.shuffled_indices(seed);
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &row) in shuffled.iter().enumerate() {
+            folds[i % k].push(row);
+        }
+        Ok((0..k)
+            .map(|f| {
+                let test = folds[f].clone();
+                let train = folds
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != f)
+                    .flat_map(|(_, v)| v.iter().copied())
+                    .collect();
+                (train, test)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..n {
+            d.push(vec![i as f64], 2.0 * i as f64).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn schema_is_enforced() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        assert!(matches!(
+            d.push(vec![1.0], 0.0),
+            Err(MlError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        assert!(matches!(
+            d.push(vec![1.0, f64::NAN], 0.0),
+            Err(MlError::NonFiniteValue)
+        ));
+        assert!(matches!(
+            d.push(vec![1.0, 2.0], f64::INFINITY),
+            Err(MlError::NonFiniteValue)
+        ));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(Dataset::new(vec![]), Err(MlError::NoFeatures)));
+    }
+
+    #[test]
+    fn statistics() {
+        let d = data(4); // targets 0, 2, 4, 6
+        assert_eq!(d.target_mean(), 3.0);
+        assert_eq!(d.target_variance(), 5.0);
+    }
+
+    #[test]
+    fn subset_picks_rows() {
+        let d = data(10);
+        let s = d.subset(&[0, 5, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.target(1), 10.0);
+        assert_eq!(s.target(2), 10.0);
+    }
+
+    #[test]
+    fn k_fold_partitions_exactly() {
+        let d = data(23);
+        let folds = d.k_fold_indices(10, 7).unwrap();
+        assert_eq!(folds.len(), 10);
+        let mut seen = vec![0usize; d.len()];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), d.len());
+            for &i in test {
+                seen[i] += 1;
+            }
+            // No overlap within one fold.
+            for &i in test {
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each row tested exactly once");
+    }
+
+    #[test]
+    fn k_fold_is_deterministic_per_seed() {
+        let d = data(20);
+        assert_eq!(
+            d.k_fold_indices(5, 1).unwrap(),
+            d.k_fold_indices(5, 1).unwrap()
+        );
+        assert_ne!(
+            d.k_fold_indices(5, 1).unwrap(),
+            d.k_fold_indices(5, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn bad_fold_counts_rejected() {
+        let d = data(5);
+        assert!(d.k_fold_indices(1, 0).is_err());
+        assert!(d.k_fold_indices(6, 0).is_err());
+        assert!(d.k_fold_indices(5, 0).is_ok());
+    }
+
+    #[test]
+    fn iteration_pairs_rows_with_targets() {
+        let d = data(3);
+        let pairs: Vec<(f64, f64)> = d.iter().map(|(r, t)| (r[0], t)).collect();
+        assert_eq!(pairs, vec![(0.0, 0.0), (1.0, 2.0), (2.0, 4.0)]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the learners.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building datasets or fitting models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// A dataset was created without features.
+    NoFeatures,
+    /// A row's feature count does not match the dataset schema.
+    DimensionMismatch {
+        /// Features expected by the schema.
+        expected: usize,
+        /// Features in the offending row.
+        got: usize,
+    },
+    /// A row contained a non-finite feature or target.
+    NonFiniteValue,
+    /// Fitting requires at least this many rows.
+    NotEnoughRows {
+        /// Rows required.
+        needed: usize,
+        /// Rows available.
+        got: usize,
+    },
+    /// The linear system of a least-squares fit is singular.
+    SingularSystem,
+    /// A hyper-parameter is out of its valid range.
+    InvalidHyperparameter {
+        /// Which hyper-parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Cross-validation asked for an impossible fold count.
+    BadFoldCount {
+        /// Folds requested.
+        k: usize,
+        /// Rows available.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::NoFeatures => write!(f, "dataset must have at least one feature"),
+            MlError::DimensionMismatch { expected, got } => {
+                write!(f, "row has {got} features, schema expects {expected}")
+            }
+            MlError::NonFiniteValue => write!(f, "row contains a non-finite value"),
+            MlError::NotEnoughRows { needed, got } => {
+                write!(f, "fitting needs at least {needed} rows, got {got}")
+            }
+            MlError::SingularSystem => write!(f, "least-squares system is singular"),
+            MlError::InvalidHyperparameter { name, value } => {
+                write!(f, "hyper-parameter `{name}` has invalid value {value}")
+            }
+            MlError::BadFoldCount { k, rows } => {
+                write!(f, "cannot split {rows} rows into {k} folds")
+            }
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<MlError>();
+    }
+
+    #[test]
+    fn messages_mention_numbers() {
+        let e = MlError::BadFoldCount { k: 10, rows: 3 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,60 @@
+//! # usta-ml — WEKA-equivalent regression learners
+//!
+//! The USTA paper (Egilmez et al., DATE 2015) builds its skin/screen
+//! temperature predictor with four WEKA learners, compared under 10-fold
+//! cross-validation (§3.A, Figure 3): **linear regression**, a
+//! **multilayer perceptron**, **M5P** model trees, and **REPTree**
+//! (variance-reduction trees with reduced-error pruning). REPTree wins
+//! and ships in their runtime; M5P is a close second and becomes the
+//! best when sub-1 °C errors are ignored.
+//!
+//! This crate reimplements all four from scratch (no external ML
+//! dependencies), plus the paper's evaluation protocol:
+//!
+//! * [`Dataset`] — a dense numeric regression dataset;
+//! * [`Learner`] — the four algorithms behind one uniform `fit` API;
+//! * [`crossval::k_fold`] — the 10-fold protocol producing pooled
+//!   (expected, predicted) pairs exactly as the paper describes;
+//! * [`metrics`] — the paper's Equation (1) error rate, its ±1 °C
+//!   dead-band variant, and the usual MAE/RMSE/correlation.
+//!
+//! ```
+//! use usta_ml::{Dataset, Learner};
+//! use usta_ml::reptree::RepTreeParams;
+//!
+//! # fn main() -> Result<(), usta_ml::MlError> {
+//! let mut data = Dataset::new(vec!["x".into()])?;
+//! for i in 0..100 {
+//!     let x = i as f64 / 10.0;
+//!     data.push(vec![x], if x < 5.0 { 1.0 } else { 3.0 })?;
+//! }
+//! let tree = Learner::RepTree(RepTreeParams::default()).fit(&data, 42)?;
+//! assert!((tree.predict(&[2.0]) - 1.0).abs() < 0.2);
+//! assert!((tree.predict(&[8.0]) - 3.0).abs() < 0.2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod crossval;
+pub mod dataset;
+pub mod error;
+pub mod linalg;
+pub mod linreg;
+pub mod m5p;
+pub mod metrics;
+pub mod mlp;
+pub mod regressor;
+pub mod reptree;
+
+pub use crossval::{k_fold, CvOutcome};
+pub use dataset::Dataset;
+pub use error::MlError;
+pub use linreg::{LinearModel, LinearRegressionParams};
+pub use m5p::{M5p, M5pParams};
+pub use mlp::{Mlp, MlpParams};
+pub use regressor::{Learner, Regressor};
+pub use reptree::{RepTree, RepTreeParams};

@@ -1,0 +1,148 @@
+//! Minimal dense linear algebra: just enough for least squares.
+
+/// Solves `A·x = b` for a row-major square matrix by Gaussian
+/// elimination with partial pivoting. Returns `None` when (numerically)
+/// singular. `a` and `b` are consumed as scratch space.
+pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Option<Vec<f64>> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    for col in 0..n {
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(pivot * n + k, col * n + k);
+            }
+            b.swap(pivot, col);
+        }
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row * n + k] * x[k];
+        }
+        x[row] = sum / a[row * n + row];
+    }
+    Some(x)
+}
+
+/// Ridge-regularized least squares: finds `w` minimizing
+/// `‖X·w − y‖² + λ‖w‖²` where `X` has an implicit trailing 1-column for
+/// the intercept (the intercept is *not* regularized). Returns
+/// `(weights, intercept)`, or `None` if singular even with the ridge.
+pub fn ridge_least_squares(
+    xs: &[&[f64]],
+    ys: &[f64],
+    lambda: f64,
+) -> Option<(Vec<f64>, f64)> {
+    let n = xs.len();
+    if n == 0 {
+        return None;
+    }
+    let d = xs[0].len();
+    let m = d + 1; // + intercept
+    // Normal equations: (XᵀX + λI)·w = Xᵀy with augmented X.
+    let mut a = vec![0.0; m * m];
+    let mut b = vec![0.0; m];
+    for (x, &y) in xs.iter().zip(ys) {
+        for i in 0..d {
+            for j in 0..d {
+                a[i * m + j] += x[i] * x[j];
+            }
+            a[i * m + d] += x[i];
+            a[d * m + i] += x[i];
+            b[i] += x[i] * y;
+        }
+        a[d * m + d] += 1.0;
+        b[d] += y;
+    }
+    for i in 0..d {
+        a[i * m + i] += lambda;
+    }
+    let w = solve(a, b, m)?;
+    let intercept = w[d];
+    Some((w[..d].to_vec(), intercept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        // 2x + y = 5; x − y = 1 → x = 2, y = 1.
+        let a = vec![2.0, 1.0, 1.0, -1.0];
+        let b = vec![5.0, 1.0];
+        let x = solve(a, b, 2).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        let b = vec![1.0, 2.0];
+        assert!(solve(a, b, 2).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_line() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let ys: Vec<f64> = (0..20).map(|i| 3.0 * i as f64 + 7.0).collect();
+        let (w, b) = ridge_least_squares(&refs, &ys, 1e-9).unwrap();
+        assert!((w[0] - 3.0).abs() < 1e-6);
+        assert!((b - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_squares_handles_two_features() {
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let ys: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 0.5 * r[1] + 1.0).collect();
+        let (w, b) = ridge_least_squares(&refs, &ys, 1e-9).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert!((w[1] + 0.5).abs() < 1e-6);
+        assert!((b - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_rescues_collinear_features() {
+        // Two identical features: plain LS is singular, ridge is not.
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 4.0 * i as f64).collect();
+        let (w, _b) = ridge_least_squares(&refs, &ys, 1e-6).unwrap();
+        // The pair together should act like slope 4.
+        assert!((w[0] + w[1] - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(ridge_least_squares(&[], &[], 1e-6).is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! Ordinary least-squares linear regression (WEKA's `LinearRegression`).
+//!
+//! The paper's weakest learner on this problem: skin temperature is a
+//! *piecewise* function of the instantaneous system state (different
+//! workload regimes put the heat in different places), and a single
+//! global hyperplane cannot capture that. A tiny ridge keeps the normal
+//! equations well-posed when features are collinear (CPU frequency and
+//! utilization often are).
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::linalg;
+use crate::regressor::Regressor;
+
+/// Hyper-parameters for linear regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearRegressionParams {
+    /// Ridge coefficient λ (WEKA default 1e-8).
+    pub ridge: f64,
+}
+
+impl Default for LinearRegressionParams {
+    fn default() -> LinearRegressionParams {
+        LinearRegressionParams { ridge: 1e-8 }
+    }
+}
+
+/// A fitted linear model `ŷ = w·x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearModel {
+    /// Fits by ridge-regularized least squares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotEnoughRows`] with fewer than 2 rows and
+    /// [`MlError::SingularSystem`] if the normal equations cannot be
+    /// solved even with the ridge.
+    pub fn fit(params: &LinearRegressionParams, data: &Dataset) -> Result<LinearModel, MlError> {
+        if !params.ridge.is_finite() || params.ridge < 0.0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "ridge",
+                value: params.ridge,
+            });
+        }
+        if data.len() < 2 {
+            return Err(MlError::NotEnoughRows {
+                needed: 2,
+                got: data.len(),
+            });
+        }
+        let rows: Vec<&[f64]> = (0..data.len()).map(|i| data.row(i)).collect();
+        let (weights, intercept) =
+            linalg::ridge_least_squares(&rows, data.targets(), params.ridge.max(1e-10))
+                .ok_or(MlError::SingularSystem)?;
+        Ok(LinearModel { weights, intercept })
+    }
+
+    /// The fitted weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+impl Regressor for LinearModel {
+    fn predict(&self, features: &[f64]) -> f64 {
+        self.weights
+            .iter()
+            .zip(features.iter().chain(std::iter::repeat(&0.0)))
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + self.intercept
+    }
+
+    fn name(&self) -> &'static str {
+        "linear regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        for i in 0..60 {
+            let a = (i % 10) as f64;
+            let b = (i / 10) as f64;
+            d.push(vec![a, b], 2.0 * a - 3.0 * b + 5.0).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        let m = LinearModel::fit(&LinearRegressionParams::default(), &linear_data()).unwrap();
+        assert!((m.weights()[0] - 2.0).abs() < 1e-5);
+        assert!((m.weights()[1] + 3.0).abs() < 1e-5);
+        assert!((m.intercept() - 5.0).abs() < 1e-4);
+        assert!((m.predict(&[4.0, 2.0]) - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn underfits_step_function() {
+        // The reason trees beat it in Figure 3.
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..100 {
+            let x = i as f64 / 10.0;
+            d.push(vec![x], if x < 5.0 { 30.0 } else { 40.0 }).unwrap();
+        }
+        let m = LinearModel::fit(&LinearRegressionParams::default(), &d).unwrap();
+        // Worst-case residual of a line on a step is ≥ 2.5 at the jump.
+        let residual = (m.predict(&[4.9]) - 30.0).abs();
+        assert!(residual > 1.0, "line fit the step too well: {residual}");
+    }
+
+    #[test]
+    fn short_feature_vectors_are_zero_padded() {
+        let m = LinearModel::fit(&LinearRegressionParams::default(), &linear_data()).unwrap();
+        let padded = m.predict(&[4.0]);
+        let full = m.predict(&[4.0, 0.0]);
+        assert_eq!(padded, full);
+    }
+
+    #[test]
+    fn rejects_tiny_datasets_and_bad_ridge() {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        d.push(vec![1.0], 1.0).unwrap();
+        assert!(matches!(
+            LinearModel::fit(&LinearRegressionParams::default(), &d),
+            Err(MlError::NotEnoughRows { .. })
+        ));
+        let bad = LinearRegressionParams { ridge: -1.0 };
+        assert!(matches!(
+            LinearModel::fit(&bad, &linear_data()),
+            Err(MlError::InvalidHyperparameter { .. })
+        ));
+    }
+}

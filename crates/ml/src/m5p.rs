@@ -1,0 +1,484 @@
+//! M5P model trees (WEKA's `M5P`, after Quinlan's M5 and Wang & Witten's
+//! M5').
+//!
+//! A regression tree whose leaves hold *linear models* rather than
+//! constants: splits maximize standard-deviation reduction, every node
+//! fits a ridge-stabilized linear model, pruning compares a node's
+//! complexity-penalized model error against its subtree, and predictions
+//! are smoothed along the path back to the root. In the paper M5P ties
+//! REPTree on raw error and becomes the best model once sub-1 °C errors
+//! are ignored (§4.A) — the leaf models interpolate smoothly where
+//! constant leaves staircase.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::linalg;
+use crate::regressor::Regressor;
+
+/// Hyper-parameters for M5P.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct M5pParams {
+    /// Minimum rows per leaf (WEKA default 4).
+    pub min_instances: usize,
+    /// Whether to smooth predictions along the path to the root.
+    pub smoothing: bool,
+    /// Smoothing constant k (Quinlan uses 15).
+    pub smoothing_k: f64,
+    /// Whether to prune.
+    pub prune: bool,
+    /// Ridge used for the leaf linear models.
+    pub ridge: f64,
+    /// Stop splitting when a node's standard deviation falls below this
+    /// fraction of the root standard deviation (M5 uses 5 %).
+    pub sd_fraction_stop: f64,
+}
+
+impl Default for M5pParams {
+    fn default() -> M5pParams {
+        M5pParams {
+            min_instances: 4,
+            smoothing: true,
+            smoothing_k: 15.0,
+            prune: true,
+            ridge: 1e-6,
+            sd_fraction_stop: 0.05,
+        }
+    }
+}
+
+/// A linear model local to one tree node.
+#[derive(Debug, Clone)]
+struct NodeModel {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl NodeModel {
+    fn constant(value: f64, d: usize) -> NodeModel {
+        NodeModel {
+            weights: vec![0.0; d],
+            intercept: value,
+        }
+    }
+
+    fn fit(data: &Dataset, idx: &[usize], ridge: f64) -> NodeModel {
+        let d = data.n_features();
+        if idx.len() < d + 2 {
+            return NodeModel::constant(mean(data, idx), d);
+        }
+        let rows: Vec<&[f64]> = idx.iter().map(|&i| data.row(i)).collect();
+        let ys: Vec<f64> = idx.iter().map(|&i| data.target(i)).collect();
+        match linalg::ridge_least_squares(&rows, &ys, ridge) {
+            Some((weights, intercept)) => NodeModel { weights, intercept },
+            None => NodeModel::constant(mean(data, idx), d),
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.weights
+            .iter()
+            .zip(x.iter().chain(std::iter::repeat(&0.0)))
+            .map(|(w, v)| w * v)
+            .sum::<f64>()
+            + self.intercept
+    }
+
+    /// Effective parameter count (non-zero weights + intercept), used in
+    /// M5's complexity penalty.
+    fn params(&self) -> usize {
+        1 + self.weights.iter().filter(|w| **w != 0.0).count()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct M5Node {
+    model: NodeModel,
+    n: usize,
+    split: Option<SplitInfo>,
+}
+
+#[derive(Debug, Clone)]
+struct SplitInfo {
+    feature: usize,
+    threshold: f64,
+    left: Box<M5Node>,
+    right: Box<M5Node>,
+}
+
+/// A fitted M5P model tree.
+#[derive(Debug, Clone)]
+pub struct M5p {
+    root: M5Node,
+    smoothing: bool,
+    smoothing_k: f64,
+}
+
+impl M5p {
+    /// Grows, fits node models, prunes, and enables smoothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotEnoughRows`] with fewer than 8 rows and
+    /// [`MlError::InvalidHyperparameter`] for bad settings.
+    pub fn fit(params: &M5pParams, data: &Dataset) -> Result<M5p, MlError> {
+        if params.min_instances == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "min_instances",
+                value: 0.0,
+            });
+        }
+        if !(params.smoothing_k.is_finite() && params.smoothing_k >= 0.0) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "smoothing_k",
+                value: params.smoothing_k,
+            });
+        }
+        if data.len() < 8 {
+            return Err(MlError::NotEnoughRows {
+                needed: 8,
+                got: data.len(),
+            });
+        }
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let root_sd = data.target_variance().sqrt();
+        let mut root = grow(data, idx.clone(), params, root_sd);
+        if params.prune {
+            prune(&mut root, data, &idx);
+        }
+        Ok(M5p {
+            root,
+            smoothing: params.smoothing,
+            smoothing_k: params.smoothing_k,
+        })
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        fn count(n: &M5Node) -> usize {
+            match &n.split {
+                None => 1,
+                Some(s) => count(&s.left) + count(&s.right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+impl Regressor for M5p {
+    fn predict(&self, features: &[f64]) -> f64 {
+        if self.smoothing {
+            predict_smoothed(&self.root, features, self.smoothing_k).0
+        } else {
+            let mut node = &self.root;
+            while let Some(s) = &node.split {
+                let v = features.get(s.feature).copied().unwrap_or(0.0);
+                node = if v <= s.threshold { &s.left } else { &s.right };
+            }
+            node.model.predict(features)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "M5P"
+    }
+}
+
+/// Quinlan smoothing: the child's prediction is blended with each
+/// ancestor's model on the way back up. Returns `(prediction, child_n)`.
+fn predict_smoothed(node: &M5Node, x: &[f64], k: f64) -> (f64, usize) {
+    match &node.split {
+        None => (node.model.predict(x), node.n),
+        Some(s) => {
+            let v = x.get(s.feature).copied().unwrap_or(0.0);
+            let child = if v <= s.threshold { &s.left } else { &s.right };
+            let (p_child, n_child) = predict_smoothed(child, x, k);
+            let p = (n_child as f64 * p_child + k * node.model.predict(x)) / (n_child as f64 + k);
+            (p, node.n)
+        }
+    }
+}
+
+fn mean(data: &Dataset, idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    idx.iter().map(|&i| data.target(i)).sum::<f64>() / idx.len() as f64
+}
+
+fn sd(data: &Dataset, idx: &[usize]) -> f64 {
+    if idx.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data, idx);
+    (idx.iter()
+        .map(|&i| {
+            let d = data.target(i) - m;
+            d * d
+        })
+        .sum::<f64>()
+        / idx.len() as f64)
+        .sqrt()
+}
+
+/// Best standard-deviation-reduction split.
+fn best_split(data: &Dataset, idx: &[usize], min_instances: usize) -> Option<(usize, f64, f64)> {
+    let n = idx.len();
+    if n < 2 * min_instances {
+        return None;
+    }
+    let parent_sd = sd(data, idx);
+    let mut best: Option<(usize, f64, f64)> = None;
+    let mut sorted = idx.to_vec();
+    for f in 0..data.n_features() {
+        sorted.sort_by(|&a, &b| {
+            data.row(a)[f]
+                .partial_cmp(&data.row(b)[f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut sum_l = 0.0;
+        let mut sq_l = 0.0;
+        let total_sum: f64 = sorted.iter().map(|&i| data.target(i)).sum();
+        let total_sq: f64 = sorted
+            .iter()
+            .map(|&i| data.target(i) * data.target(i))
+            .sum();
+        for kk in 0..n - 1 {
+            let y = data.target(sorted[kk]);
+            sum_l += y;
+            sq_l += y * y;
+            let n_l = kk + 1;
+            let n_r = n - n_l;
+            if n_l < min_instances || n_r < min_instances {
+                continue;
+            }
+            let v_here = data.row(sorted[kk])[f];
+            let v_next = data.row(sorted[kk + 1])[f];
+            if v_here == v_next {
+                continue;
+            }
+            let var_l = (sq_l - sum_l * sum_l / n_l as f64).max(0.0) / n_l as f64;
+            let sum_r = total_sum - sum_l;
+            let var_r = ((total_sq - sq_l) - sum_r * sum_r / n_r as f64).max(0.0) / n_r as f64;
+            let sdr = parent_sd
+                - (n_l as f64 / n as f64) * var_l.sqrt()
+                - (n_r as f64 / n as f64) * var_r.sqrt();
+            if best.is_none_or(|(_, _, g)| sdr > g) {
+                best = Some((f, 0.5 * (v_here + v_next), sdr));
+            }
+        }
+    }
+    best
+}
+
+fn grow(data: &Dataset, idx: Vec<usize>, params: &M5pParams, root_sd: f64) -> M5Node {
+    let model = NodeModel::fit(data, &idx, params.ridge);
+    let n = idx.len();
+    let node_sd = sd(data, &idx);
+    if n < 2 * params.min_instances || node_sd < params.sd_fraction_stop * root_sd {
+        return M5Node {
+            model,
+            n,
+            split: None,
+        };
+    }
+    let Some((feature, threshold, sdr)) = best_split(data, &idx, params.min_instances) else {
+        return M5Node {
+            model,
+            n,
+            split: None,
+        };
+    };
+    if sdr <= 1e-12 {
+        return M5Node {
+            model,
+            n,
+            split: None,
+        };
+    }
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+        .into_iter()
+        .partition(|&i| data.row(i)[feature] <= threshold);
+    let left = grow(data, left_idx, params, root_sd);
+    let right = grow(data, right_idx, params, root_sd);
+    M5Node {
+        model,
+        n,
+        split: Some(SplitInfo {
+            feature,
+            threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        }),
+    }
+}
+
+/// M5 pruning: compare the node model's complexity-penalized absolute
+/// error on the node's own rows against the (row-weighted) penalized
+/// error of its subtree; collapse when the model does at least as well.
+/// Returns the kept option's penalized error.
+fn prune(node: &mut M5Node, data: &Dataset, rows: &[usize]) -> f64 {
+    let model_err = penalized_mae(node, data, rows);
+
+    let Some(split) = &mut node.split else {
+        return model_err;
+    };
+    let (feature, threshold) = (split.feature, split.threshold);
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+        .iter()
+        .copied()
+        .partition(|&i| data.row(i)[feature] <= threshold);
+    let err_left = prune(&mut split.left, data, &left_rows);
+    let err_right = prune(&mut split.right, data, &right_rows);
+    let n_l = left_rows.len() as f64;
+    let n_r = right_rows.len() as f64;
+    let subtree_err = if n_l + n_r > 0.0 {
+        (n_l * err_left.min(1e18) + n_r * err_right.min(1e18)) / (n_l + n_r)
+    } else {
+        f64::INFINITY
+    };
+    if model_err <= subtree_err {
+        node.split = None;
+        model_err
+    } else {
+        subtree_err
+    }
+}
+
+fn penalized_mae(node: &M5Node, data: &Dataset, rows: &[usize]) -> f64 {
+    if rows.is_empty() {
+        return f64::INFINITY;
+    }
+    let mae: f64 = rows
+        .iter()
+        .map(|&i| (data.target(i) - node.model.predict(data.row(i))).abs())
+        .sum::<f64>()
+        / rows.len() as f64;
+    let n = rows.len() as f64;
+    let v = node.model.params() as f64;
+    if n <= v {
+        return f64::INFINITY;
+    }
+    mae * (n + v) / (n - v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn piecewise_linear() -> Dataset {
+        // Two linear regimes — the signature M5P case.
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..300 {
+            let x = i as f64 / 30.0;
+            let y = if x < 5.0 { 2.0 * x + 1.0 } else { 16.0 - x };
+            d.push(vec![x], y).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn fits_piecewise_linear_data_closely() {
+        let m = M5p::fit(&M5pParams::default(), &piecewise_linear()).unwrap();
+        for (x, want) in [(1.0, 3.0), (4.0, 9.0), (6.0, 10.0), (9.0, 7.0)] {
+            let p = m.predict(&[x]);
+            assert!((p - want).abs() < 0.6, "f({x}) = {p}, want ≈ {want}");
+        }
+    }
+
+    #[test]
+    fn beats_constant_leaves_on_slopes() {
+        // On smooth slopes the leaf linear models should beat a pure
+        // regression tree's staircase. Smoothing is disabled for the
+        // comparison: the root-model blend deliberately trades boundary
+        // sharpness for noise robustness, which this clean data lacks.
+        let d = piecewise_linear();
+        let m5 = M5p::fit(
+            &M5pParams {
+                smoothing: false,
+                ..Default::default()
+            },
+            &d,
+        )
+        .unwrap();
+        let rep =
+            crate::reptree::RepTree::fit(&crate::reptree::RepTreeParams::default(), &d, 1).unwrap();
+        let m5_preds: Vec<f64> = d.iter().map(|(x, _)| m5.predict(x)).collect();
+        let rep_preds: Vec<f64> = d.iter().map(|(x, _)| rep.predict(x)).collect();
+        let m5_rmse = metrics::rmse(d.targets(), &m5_preds);
+        let rep_rmse = metrics::rmse(d.targets(), &rep_preds);
+        assert!(
+            m5_rmse <= rep_rmse + 1e-9,
+            "M5P {m5_rmse} should beat REPTree {rep_rmse} on slopes"
+        );
+    }
+
+    #[test]
+    fn exactly_linear_data_collapses_to_single_model() {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..100 {
+            d.push(vec![i as f64], 3.0 * i as f64 + 2.0).unwrap();
+        }
+        let m = M5p::fit(&M5pParams::default(), &d).unwrap();
+        assert_eq!(m.leaves(), 1, "pure line needs one linear model");
+        assert!((m.predict(&[200.0]) - 602.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn smoothing_toggle_changes_predictions_near_boundaries() {
+        let d = piecewise_linear();
+        let smooth = M5p::fit(&M5pParams::default(), &d).unwrap();
+        let raw = M5p::fit(
+            &M5pParams {
+                smoothing: false,
+                ..Default::default()
+            },
+            &d,
+        )
+        .unwrap();
+        // Identical structure, different prediction path.
+        let a = smooth.predict(&[5.01]);
+        let b = raw.predict(&[5.01]);
+        assert!(a.is_finite() && b.is_finite());
+        // The raw tree is sharp at the regime boundary; the smoothed one
+        // blends in ancestor models and may sit a couple of kelvin off.
+        assert!((b - 10.99).abs() < 1.0, "raw {b}");
+        assert!((a - 10.99).abs() < 3.0, "smoothed {a}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut tiny = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..5 {
+            tiny.push(vec![i as f64], i as f64).unwrap();
+        }
+        assert!(matches!(
+            M5p::fit(&M5pParams::default(), &tiny),
+            Err(MlError::NotEnoughRows { .. })
+        ));
+        let bad = M5pParams {
+            min_instances: 0,
+            ..Default::default()
+        };
+        assert!(M5p::fit(&bad, &piecewise_linear()).is_err());
+        let bad = M5pParams {
+            smoothing_k: f64::NAN,
+            ..Default::default()
+        };
+        assert!(M5p::fit(&bad, &piecewise_linear()).is_err());
+    }
+
+    #[test]
+    fn two_feature_interaction() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
+        for i in 0..400 {
+            let a = (i % 20) as f64;
+            let b = (i / 20) as f64;
+            let y = if a < 10.0 { b * 2.0 } else { 50.0 - b };
+            d.push(vec![a, b], y).unwrap();
+        }
+        let m = M5p::fit(&M5pParams::default(), &d).unwrap();
+        assert!((m.predict(&[3.0, 5.0]) - 10.0).abs() < 2.0);
+        assert!((m.predict(&[15.0, 5.0]) - 45.0).abs() < 2.0);
+    }
+}

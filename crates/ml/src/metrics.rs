@@ -1,0 +1,188 @@
+//! Evaluation metrics, including the paper's Equation (1).
+
+/// The paper's error rate (Equation 1): mean over all predictions of
+/// `|expected − predicted| / expected × 100`.
+///
+/// Pairs whose expected value is (near) zero are skipped — the relative
+/// error is undefined there. With temperatures in °C this never happens
+/// in practice.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn error_rate(expected: &[f64], predicted: &[f64]) -> f64 {
+    error_rate_with_deadband(expected, predicted, 0.0)
+}
+
+/// Equation (1) with a dead band: absolute errors below
+/// `deadband` count as zero, reproducing the paper's "ignore temperature
+/// differences less than 1 °C (as humans are less sensitive in that
+/// range)" variant.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn error_rate_with_deadband(expected: &[f64], predicted: &[f64], deadband: f64) -> f64 {
+    assert_eq!(expected.len(), predicted.len(), "length mismatch");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (&e, &p) in expected.iter().zip(predicted) {
+        if e.abs() < 1e-9 {
+            continue;
+        }
+        let abs_err = (e - p).abs();
+        let effective = if abs_err < deadband { 0.0 } else { abs_err };
+        total += effective / e.abs() * 100.0;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Mean absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mae(expected: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(expected.len(), predicted.len(), "length mismatch");
+    if expected.is_empty() {
+        return 0.0;
+    }
+    expected
+        .iter()
+        .zip(predicted)
+        .map(|(e, p)| (e - p).abs())
+        .sum::<f64>()
+        / expected.len() as f64
+}
+
+/// Root-mean-square error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn rmse(expected: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(expected.len(), predicted.len(), "length mismatch");
+    if expected.is_empty() {
+        return 0.0;
+    }
+    (expected
+        .iter()
+        .zip(predicted)
+        .map(|(e, p)| (e - p) * (e - p))
+        .sum::<f64>()
+        / expected.len() as f64)
+        .sqrt()
+}
+
+/// Pearson correlation coefficient (0 when either side is constant).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn correlation(expected: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(expected.len(), predicted.len(), "length mismatch");
+    let n = expected.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let me = expected.iter().sum::<f64>() / n as f64;
+    let mp = predicted.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut ve = 0.0;
+    let mut vp = 0.0;
+    for (&e, &p) in expected.iter().zip(predicted) {
+        cov += (e - me) * (p - mp);
+        ve += (e - me) * (e - me);
+        vp += (p - mp) * (p - mp);
+    }
+    if ve <= 0.0 || vp <= 0.0 {
+        return 0.0;
+    }
+    cov / (ve.sqrt() * vp.sqrt())
+}
+
+/// Largest absolute error.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn max_abs_error(expected: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(expected.len(), predicted.len(), "length mismatch");
+    expected
+        .iter()
+        .zip(predicted)
+        .map(|(e, p)| (e - p).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rate_matches_hand_calculation() {
+        // |40−39.6|/40 = 1 %, |30−30.6|/30 = 2 % → mean 1.5 %.
+        let e = vec![40.0, 30.0];
+        let p = vec![39.6, 30.6];
+        assert!((error_rate(&e, &p) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadband_zeroes_small_errors() {
+        let e = vec![40.0, 30.0];
+        let p = vec![39.6, 28.0]; // errors 0.4 (ignored) and 2.0
+        let r = error_rate_with_deadband(&e, &p, 1.0);
+        assert!((r - (2.0 / 30.0 * 100.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_predictions_are_zero() {
+        let e = vec![1.0, 2.0, 3.0];
+        assert_eq!(error_rate(&e, &e), 0.0);
+        assert_eq!(mae(&e, &e), 0.0);
+        assert_eq!(rmse(&e, &e), 0.0);
+        assert_eq!(max_abs_error(&e, &e), 0.0);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let e = vec![0.0; 10];
+        let mut p = vec![0.0; 10];
+        p[0] = 10.0;
+        assert!(rmse(&e, &p) > mae(&e, &p));
+    }
+
+    #[test]
+    fn correlation_of_linear_map_is_one() {
+        let e: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let p: Vec<f64> = e.iter().map(|v| 2.0 * v + 3.0).collect();
+        assert!((correlation(&e, &p) - 1.0).abs() < 1e-12);
+        let anti: Vec<f64> = e.iter().map(|v| -v).collect();
+        assert!((correlation(&e, &anti) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_is_zero() {
+        let e = vec![1.0, 1.0, 1.0];
+        let p = vec![1.0, 2.0, 3.0];
+        assert_eq!(correlation(&e, &p), 0.0);
+    }
+
+    #[test]
+    fn near_zero_expected_values_are_skipped() {
+        let e = vec![0.0, 40.0];
+        let p = vec![5.0, 40.0];
+        assert_eq!(error_rate(&e, &p), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = error_rate(&[1.0], &[1.0, 2.0]);
+    }
+}

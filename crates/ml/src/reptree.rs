@@ -1,0 +1,499 @@
+//! REPTree: a fast regression tree with reduced-error pruning — the
+//! learner the paper ships in its runtime predictor.
+//!
+//! WEKA's `REPTree` grows a variance-reduction tree on part of the
+//! training data, prunes it bottom-up against a held-out pruning set
+//! (replace a subtree by a leaf whenever the leaf does no worse on the
+//! pruning set), then *backfits* leaf values on all of the data. The
+//! paper picked it over M5P because it "builds faster and does not cause
+//! halting" at equal accuracy (§4.A).
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::regressor::Regressor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Hyper-parameters for REPTree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepTreeParams {
+    /// Minimum rows per leaf (WEKA default 2).
+    pub min_instances: usize,
+    /// Maximum tree depth (WEKA default unlimited; bounded here).
+    pub max_depth: usize,
+    /// Whether to run reduced-error pruning (WEKA `-P` disables).
+    pub prune: bool,
+    /// Fraction of rows held out for pruning (WEKA numFolds=3 → 1/3).
+    pub prune_fraction: f64,
+    /// Stop splitting when a node's variance falls below this fraction
+    /// of the root variance (WEKA minVarianceProp 1e-3).
+    pub min_variance_prop: f64,
+}
+
+impl Default for RepTreeParams {
+    fn default() -> RepTreeParams {
+        RepTreeParams {
+            min_instances: 2,
+            max_depth: 30,
+            prune: true,
+            prune_fraction: 1.0 / 3.0,
+            min_variance_prop: 1e-3,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        mean: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            Node::Leaf { value } => *value,
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+                ..
+            } => {
+                let v = x.get(*feature).copied().unwrap_or(0.0);
+                if v <= *threshold {
+                    left.predict(x)
+                } else {
+                    right.predict(x)
+                }
+            }
+        }
+    }
+
+    fn count_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => left.count_leaves() + right.count_leaves(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+/// A fitted REPTree.
+#[derive(Debug, Clone)]
+pub struct RepTree {
+    root: Node,
+}
+
+impl RepTree {
+    /// Grows, prunes, and backfits the tree. `seed` fixes the grow/prune
+    /// partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotEnoughRows`] with fewer than 6 rows and
+    /// [`MlError::InvalidHyperparameter`] for bad settings.
+    pub fn fit(params: &RepTreeParams, data: &Dataset, seed: u64) -> Result<RepTree, MlError> {
+        if params.min_instances == 0 {
+            return Err(MlError::InvalidHyperparameter {
+                name: "min_instances",
+                value: 0.0,
+            });
+        }
+        if !(0.0..0.9).contains(&params.prune_fraction) {
+            return Err(MlError::InvalidHyperparameter {
+                name: "prune_fraction",
+                value: params.prune_fraction,
+            });
+        }
+        if data.len() < 6 {
+            return Err(MlError::NotEnoughRows {
+                needed: 6,
+                got: data.len(),
+            });
+        }
+
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let n_prune = if params.prune {
+            ((data.len() as f64 * params.prune_fraction) as usize).min(data.len() - 2)
+        } else {
+            0
+        };
+        let (prune_idx, grow_idx) = indices.split_at(n_prune);
+
+        let root_sse = sse(data, grow_idx);
+        let min_sse_gain = (root_sse / grow_idx.len() as f64) * params.min_variance_prop;
+        let mut root = grow(data, grow_idx.to_vec(), params, 0, min_sse_gain);
+        if params.prune && !prune_idx.is_empty() {
+            prune(&mut root, data, prune_idx);
+        }
+        // Backfit: recompute leaf values over all of the data.
+        backfit(&mut root, data, &(0..data.len()).collect::<Vec<_>>());
+        Ok(RepTree { root })
+    }
+
+    /// Number of leaves in the fitted tree.
+    pub fn leaves(&self) -> usize {
+        self.root.count_leaves()
+    }
+
+    /// Depth of the fitted tree (a single leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+}
+
+impl Regressor for RepTree {
+    fn predict(&self, features: &[f64]) -> f64 {
+        self.root.predict(features)
+    }
+
+    fn name(&self) -> &'static str {
+        "REPTree"
+    }
+}
+
+fn mean(data: &Dataset, idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    idx.iter().map(|&i| data.target(i)).sum::<f64>() / idx.len() as f64
+}
+
+fn sse(data: &Dataset, idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let m = mean(data, idx);
+    idx.iter()
+        .map(|&i| {
+            let d = data.target(i) - m;
+            d * d
+        })
+        .sum()
+}
+
+struct BestSplit {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+/// Finds the variance-reduction-optimal split over all features.
+fn best_split(data: &Dataset, idx: &[usize], min_instances: usize) -> Option<BestSplit> {
+    let n = idx.len();
+    if n < 2 * min_instances {
+        return None;
+    }
+    let total_sse = sse(data, idx);
+    let mut best: Option<BestSplit> = None;
+
+    let mut sorted = idx.to_vec();
+    for f in 0..data.n_features() {
+        sorted.sort_by(|&a, &b| {
+            data.row(a)[f]
+                .partial_cmp(&data.row(b)[f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Prefix sums of y and y² in feature order.
+        let mut sum_left = 0.0;
+        let mut sq_left = 0.0;
+        let total_sum: f64 = sorted.iter().map(|&i| data.target(i)).sum();
+        let total_sq: f64 = sorted
+            .iter()
+            .map(|&i| data.target(i) * data.target(i))
+            .sum();
+        for k in 0..n - 1 {
+            let y = data.target(sorted[k]);
+            sum_left += y;
+            sq_left += y * y;
+            let n_left = k + 1;
+            let n_right = n - n_left;
+            if n_left < min_instances || n_right < min_instances {
+                continue;
+            }
+            let v_here = data.row(sorted[k])[f];
+            let v_next = data.row(sorted[k + 1])[f];
+            if v_here == v_next {
+                continue; // can't split between identical values
+            }
+            let sse_left = sq_left - sum_left * sum_left / n_left as f64;
+            let sum_right = total_sum - sum_left;
+            let sse_right = (total_sq - sq_left) - sum_right * sum_right / n_right as f64;
+            let gain = total_sse - sse_left - sse_right;
+            if best.as_ref().is_none_or(|b| gain > b.gain) {
+                best = Some(BestSplit {
+                    feature: f,
+                    threshold: 0.5 * (v_here + v_next),
+                    gain,
+                });
+            }
+        }
+    }
+    best
+}
+
+fn grow(
+    data: &Dataset,
+    idx: Vec<usize>,
+    params: &RepTreeParams,
+    depth: usize,
+    min_sse_gain: f64,
+) -> Node {
+    let node_mean = mean(data, &idx);
+    if depth >= params.max_depth || idx.len() < 2 * params.min_instances {
+        return Node::Leaf { value: node_mean };
+    }
+    let Some(split) = best_split(data, &idx, params.min_instances) else {
+        return Node::Leaf { value: node_mean };
+    };
+    if split.gain <= min_sse_gain.max(1e-12) {
+        return Node::Leaf { value: node_mean };
+    }
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+        .into_iter()
+        .partition(|&i| data.row(i)[split.feature] <= split.threshold);
+    Node::Split {
+        feature: split.feature,
+        threshold: split.threshold,
+        mean: node_mean,
+        left: Box::new(grow(data, left_idx, params, depth + 1, min_sse_gain)),
+        right: Box::new(grow(data, right_idx, params, depth + 1, min_sse_gain)),
+    }
+}
+
+/// Reduced-error pruning: returns the subtree's SSE on the pruning rows,
+/// collapsing any split whose leaf-replacement does at least as well.
+fn prune(node: &mut Node, data: &Dataset, prune_idx: &[usize]) -> f64 {
+    let (feature, threshold, node_mean) = match node {
+        Node::Leaf { value } => {
+            return prune_idx
+                .iter()
+                .map(|&i| {
+                    let d = data.target(i) - *value;
+                    d * d
+                })
+                .sum();
+        }
+        Node::Split {
+            feature,
+            threshold,
+            mean,
+            ..
+        } => (*feature, *threshold, *mean),
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = prune_idx
+        .iter()
+        .copied()
+        .partition(|&i| data.row(i)[feature] <= threshold);
+    let subtree_sse = match node {
+        Node::Split { left, right, .. } => {
+            prune(left, data, &left_idx) + prune(right, data, &right_idx)
+        }
+        Node::Leaf { .. } => unreachable!("leaf handled above"),
+    };
+    let leaf_sse: f64 = prune_idx
+        .iter()
+        .map(|&i| {
+            let d = data.target(i) - node_mean;
+            d * d
+        })
+        .sum();
+    if leaf_sse <= subtree_sse {
+        *node = Node::Leaf { value: node_mean };
+        leaf_sse
+    } else {
+        subtree_sse
+    }
+}
+
+/// Recomputes leaf values as the mean of *all* rows routed to them
+/// (WEKA's backfitting step). Leaves that receive no rows keep their
+/// grow-time value.
+fn backfit(node: &mut Node, data: &Dataset, idx: &[usize]) {
+    match node {
+        Node::Leaf { value } => {
+            if !idx.is_empty() {
+                *value = mean(data, idx);
+            }
+        }
+        Node::Split {
+            feature,
+            threshold,
+            mean: node_mean,
+            left,
+            right,
+        } => {
+            if !idx.is_empty() {
+                *node_mean = mean(data, idx);
+            }
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                .iter()
+                .copied()
+                .partition(|&i| data.row(i)[*feature] <= *threshold);
+            backfit(left, data, &left_idx);
+            backfit(right, data, &right_idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn step_data() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..200 {
+            let x = i as f64 / 20.0;
+            let y = if x < 3.0 {
+                30.0
+            } else if x < 7.0 {
+                36.0
+            } else {
+                42.0
+            };
+            d.push(vec![x], y).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn nails_piecewise_constant_data() {
+        // Thresholds come from grow-sample midpoints, so one boundary row
+        // may land in the adjacent leaf — tolerate a ≤0.3 K mean shift.
+        let t = RepTree::fit(&RepTreeParams::default(), &step_data(), 1).unwrap();
+        assert!((t.predict(&[1.0]) - 30.0).abs() < 0.3);
+        assert!((t.predict(&[5.0]) - 36.0).abs() < 0.3);
+        assert!((t.predict(&[9.0]) - 42.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn tree_structure_is_compact_on_clean_steps() {
+        let t = RepTree::fit(&RepTreeParams::default(), &step_data(), 1).unwrap();
+        assert!(t.leaves() <= 6, "expected ~3 leaves, got {}", t.leaves());
+        assert!(t.depth() <= 4);
+    }
+
+    #[test]
+    fn pruning_shrinks_noisy_trees() {
+        // Noisy constant target: an unpruned tree chases noise, a pruned
+        // one should collapse toward a single leaf.
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        let mut state = 1u64;
+        for i in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            d.push(vec![i as f64], 35.0 + noise).unwrap();
+        }
+        let pruned = RepTree::fit(&RepTreeParams::default(), &d, 3).unwrap();
+        let unpruned = RepTree::fit(
+            &RepTreeParams {
+                prune: false,
+                ..Default::default()
+            },
+            &d,
+            3,
+        )
+        .unwrap();
+        assert!(
+            pruned.leaves() < unpruned.leaves(),
+            "pruned {} vs unpruned {}",
+            pruned.leaves(),
+            unpruned.leaves()
+        );
+    }
+
+    #[test]
+    fn predictions_stay_within_target_range() {
+        let d = step_data();
+        let t = RepTree::fit(&RepTreeParams::default(), &d, 1).unwrap();
+        for x in [-100.0, 0.0, 5.0, 8.5, 100.0] {
+            let p = t.predict(&[x]);
+            assert!((30.0..=42.0).contains(&p), "prediction {p} escapes target range");
+        }
+    }
+
+    #[test]
+    fn handles_two_features_and_picks_the_informative_one() {
+        let mut d = Dataset::new(vec!["noise".into(), "signal".into()]).unwrap();
+        for i in 0..200 {
+            let noise = ((i * 7919) % 100) as f64;
+            let signal = (i % 10) as f64;
+            d.push(vec![noise, signal], if signal < 5.0 { 1.0 } else { 9.0 })
+                .unwrap();
+        }
+        let t = RepTree::fit(&RepTreeParams::default(), &d, 2).unwrap();
+        assert!((t.predict(&[50.0, 2.0]) - 1.0).abs() < 0.5);
+        assert!((t.predict(&[50.0, 8.0]) - 9.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = step_data();
+        let a = RepTree::fit(&RepTreeParams::default(), &d, 7).unwrap();
+        let b = RepTree::fit(&RepTreeParams::default(), &d, 7).unwrap();
+        for x in 0..100 {
+            assert_eq!(a.predict(&[x as f64 / 10.0]), b.predict(&[x as f64 / 10.0]));
+        }
+    }
+
+    #[test]
+    fn fits_sloped_data_reasonably() {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..300 {
+            let x = i as f64 / 30.0;
+            d.push(vec![x], 3.0 * x + 10.0).unwrap();
+        }
+        let t = RepTree::fit(&RepTreeParams::default(), &d, 1).unwrap();
+        let preds: Vec<f64> = (0..300).map(|i| t.predict(&[i as f64 / 30.0])).collect();
+        let rmse = metrics::rmse(d.targets(), &preds);
+        assert!(rmse < 1.0, "rmse {rmse} on a gentle slope");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut d = Dataset::new(vec!["x".into()]).unwrap();
+        for i in 0..3 {
+            d.push(vec![i as f64], i as f64).unwrap();
+        }
+        assert!(matches!(
+            RepTree::fit(&RepTreeParams::default(), &d, 0),
+            Err(MlError::NotEnoughRows { .. })
+        ));
+        let bad = RepTreeParams {
+            min_instances: 0,
+            ..Default::default()
+        };
+        assert!(RepTree::fit(&bad, &step_data(), 0).is_err());
+        let bad = RepTreeParams {
+            prune_fraction: 0.95,
+            ..Default::default()
+        };
+        assert!(RepTree::fit(&bad, &step_data(), 0).is_err());
+    }
+
+    #[test]
+    fn missing_features_predict_via_zero_padding() {
+        let d = step_data();
+        let t = RepTree::fit(&RepTreeParams::default(), &d, 1).unwrap();
+        // x = 0 routes left everywhere.
+        assert_eq!(t.predict(&[]), t.predict(&[0.0]));
+    }
+}

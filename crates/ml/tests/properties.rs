@@ -1,0 +1,134 @@
+//! Property-based tests for the learners' invariants.
+
+use proptest::prelude::*;
+use usta_ml::linreg::LinearRegressionParams;
+use usta_ml::m5p::M5pParams;
+use usta_ml::metrics;
+use usta_ml::reptree::RepTreeParams;
+use usta_ml::{k_fold, Dataset, Learner};
+
+fn dataset_from(xs: &[f64], slope: f64, intercept: f64, noise: &[f64]) -> Dataset {
+    let mut d = Dataset::new(vec!["x".into()]).expect("schema");
+    for (x, n) in xs.iter().zip(noise) {
+        d.push(vec![*x], slope * x + intercept + n).expect("finite");
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Regression-tree predictions never escape the target range
+    /// (leaves are means of training targets).
+    #[test]
+    fn reptree_predictions_bounded_by_targets(
+        xs in proptest::collection::vec(-100.0f64..100.0, 20..120),
+        slope in -5.0f64..5.0,
+        intercept in -50.0f64..50.0,
+        query in -200.0f64..200.0,
+    ) {
+        let noise = vec![0.0; xs.len()];
+        let d = dataset_from(&xs, slope, intercept, &noise);
+        let model = Learner::RepTree(RepTreeParams::default())
+            .fit(&d, 1)
+            .expect("enough rows");
+        let lo = d.targets().iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = d.targets().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = model.predict(&[query]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "prediction {p} outside [{lo}, {hi}]");
+    }
+
+    /// Linear regression recovers an exact linear relationship for any
+    /// slope/intercept, given distinct x values.
+    #[test]
+    fn linreg_recovers_lines(
+        slope in -10.0f64..10.0,
+        intercept in -100.0f64..100.0,
+    ) {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.37).collect();
+        let noise = vec![0.0; xs.len()];
+        let d = dataset_from(&xs, slope, intercept, &noise);
+        let model = Learner::Linear(LinearRegressionParams::default())
+            .fit(&d, 0)
+            .expect("fits");
+        for q in [-3.0, 0.0, 7.7, 25.0] {
+            let want = slope * q + intercept;
+            prop_assert!((model.predict(&[q]) - want).abs() < 1e-4 * (1.0 + want.abs()));
+        }
+    }
+
+    /// All four learners are deterministic in (data, seed).
+    #[test]
+    fn learners_are_deterministic(seed in 0u64..1000) {
+        let xs: Vec<f64> = (0..60).map(|i| (i % 17) as f64).collect();
+        let noise: Vec<f64> = (0..60).map(|i| ((i * 7) % 5) as f64 * 0.1).collect();
+        let d = dataset_from(&xs, 2.0, 1.0, &noise);
+        for learner in Learner::paper_set() {
+            let a = learner.fit(&d, seed).expect("fits");
+            let b = learner.fit(&d, seed).expect("fits");
+            for q in [0.0, 5.0, 16.0] {
+                prop_assert_eq!(a.predict(&[q]), b.predict(&[q]), "{} not deterministic", learner.name());
+            }
+        }
+    }
+
+    /// Metric sanity: RMSE ≥ MAE; dead-band error ≤ raw error; all are
+    /// zero for perfect predictions.
+    #[test]
+    fn metric_inequalities(
+        expected in proptest::collection::vec(1.0f64..100.0, 2..50),
+        offsets in proptest::collection::vec(-5.0f64..5.0, 2..50),
+    ) {
+        let n = expected.len().min(offsets.len());
+        let e = &expected[..n];
+        let p: Vec<f64> = e.iter().zip(&offsets[..n]).map(|(a, o)| a + o).collect();
+        prop_assert!(metrics::rmse(e, &p) + 1e-12 >= metrics::mae(e, &p));
+        prop_assert!(
+            metrics::error_rate_with_deadband(e, &p, 1.0)
+                <= metrics::error_rate(e, &p) + 1e-12
+        );
+        prop_assert_eq!(metrics::error_rate(e, e), 0.0);
+        prop_assert!(metrics::max_abs_error(e, &p) + 1e-12 >= metrics::mae(e, &p));
+    }
+
+    /// k-fold CV predicts every row exactly once, for any k.
+    #[test]
+    fn cv_covers_every_row(rows in 20usize..80, k in 2usize..10) {
+        let xs: Vec<f64> = (0..rows).map(|i| i as f64).collect();
+        let noise = vec![0.0; rows];
+        let d = dataset_from(&xs, 1.0, 0.0, &noise);
+        let out = k_fold(&Learner::Linear(LinearRegressionParams::default()), &d, k, 3)
+            .expect("valid folds");
+        prop_assert_eq!(out.expected.len(), rows);
+        prop_assert_eq!(out.predicted.len(), rows);
+        // Pooled expected values are a permutation of the targets.
+        let mut want = d.targets().to_vec();
+        let mut got = out.expected.clone();
+        want.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        got.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        prop_assert_eq!(want, got);
+    }
+
+    /// M5P with smoothing off degenerates to its leaf models: on exactly
+    /// linear data it predicts the line even far outside the training
+    /// range (unlike a constant-leaf tree).
+    #[test]
+    fn m5p_extrapolates_lines(slope in -3.0f64..3.0) {
+        let xs: Vec<f64> = (0..80).map(|i| i as f64).collect();
+        let noise = vec![0.0; xs.len()];
+        let d = dataset_from(&xs, slope, 5.0, &noise);
+        let model = Learner::M5p(M5pParams {
+            smoothing: false,
+            ..Default::default()
+        })
+        .fit(&d, 0)
+        .expect("fits");
+        let q = 150.0;
+        let want = slope * q + 5.0;
+        prop_assert!(
+            (model.predict(&[q]) - want).abs() < 1.0 + 0.02 * want.abs(),
+            "M5P extrapolated {} for {want}",
+            model.predict(&[q])
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Calibration harness: prints the reproduced Table 1 next to the
+//! paper's numbers so thermal/workload parameters can be tuned.
+
+use usta_sim::experiments::{table1::table1, PAPER_TABLE1};
+
+fn main() {
+    let t = table1(42);
+    println!("{}", t.to_display_string());
+    println!("headline claim holds: {}", t.headline_claim_holds());
+    // Shape diagnostics: ordering correlation of peak skin temps.
+    let ours: Vec<f64> = t.rows.iter().map(|r| r.baseline.max_skin.value()).collect();
+    let paper: Vec<f64> = PAPER_TABLE1.iter().map(|p| p.1).collect();
+    let corr = usta_ml::metrics::correlation(&paper, &ours);
+    println!("baseline peak-skin correlation vs paper: {corr:.3}");
+}

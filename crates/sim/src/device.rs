@@ -1,0 +1,378 @@
+//! The simulated Nexus 4: SoC + thermal network + sensors as one object.
+
+use usta_core::FeatureVector;
+use usta_soc::{
+    nexus4, Battery, ChargeState, Cpu, CpuParams, CpuPowerModel, Display, GpuPowerModel,
+    SensorParams, ThermalSensor,
+};
+use usta_thermal::{Celsius, HeatInput, PhoneNode, PhoneThermalModel, PhoneThermalParams};
+use usta_workloads::DeviceDemand;
+
+/// Configuration of the simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Thermal network parameters (calibrated defaults).
+    pub thermal: PhoneThermalParams,
+    /// Battery state of charge at power-on, 0–1.
+    pub battery_soc: f64,
+    /// Seed for all sensor noise streams.
+    pub sensor_seed: u64,
+    /// Whether a hand holds the phone.
+    pub hand_held: bool,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> DeviceConfig {
+        DeviceConfig {
+            thermal: PhoneThermalParams::default(),
+            battery_soc: 0.8,
+            sensor_seed: 0x5eed,
+            hand_held: false,
+        }
+    }
+}
+
+/// Everything the software (and the thermistor rig) can observe at one
+/// instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Simulated time, seconds.
+    pub t: f64,
+    /// On-device CPU thermal zone reading.
+    pub cpu_temp: Celsius,
+    /// On-device battery temperature reading.
+    pub battery_temp: Celsius,
+    /// External thermistor reading, back cover mid (skin).
+    pub skin_thermistor: Celsius,
+    /// External thermistor reading, screen.
+    pub screen_thermistor: Celsius,
+    /// Ground-truth skin temperature (what the user's palm feels).
+    pub skin_true: Celsius,
+    /// Ground-truth screen temperature.
+    pub screen_true: Celsius,
+    /// Mean CPU utilization over the last step.
+    pub avg_utilization: f64,
+    /// Busiest-core utilization over the last step.
+    pub max_utilization: f64,
+    /// Current CPU frequency, kHz.
+    pub freq_khz: f64,
+    /// Current OPP index.
+    pub level: usize,
+}
+
+impl Observation {
+    /// The predictor's feature vector for this observation.
+    pub fn features(&self) -> FeatureVector {
+        FeatureVector {
+            cpu_temp: self.cpu_temp,
+            battery_temp: self.battery_temp,
+            utilization: self.avg_utilization,
+            freq_khz: self.freq_khz,
+        }
+    }
+}
+
+/// The simulated phone.
+#[derive(Debug)]
+pub struct Device {
+    phone: PhoneThermalModel,
+    cpu: Cpu,
+    cpu_power: CpuPowerModel,
+    gpu_power: GpuPowerModel,
+    display: Display,
+    battery: Battery,
+    cpu_sensor: ThermalSensor,
+    battery_sensor: ThermalSensor,
+    skin_thermistor: ThermalSensor,
+    screen_thermistor: ThermalSensor,
+    clock_s: f64,
+    total_demand_khz_s: f64,
+    unserved_khz_s: f64,
+}
+
+impl Device {
+    /// Builds the device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from the SoC or thermal models.
+    pub fn new(config: DeviceConfig) -> Result<Device, Box<dyn std::error::Error>> {
+        let mut phone = PhoneThermalModel::new(config.thermal)?;
+        phone.set_hand_contact(config.hand_held);
+        let seed = config.sensor_seed;
+        Ok(Device {
+            phone,
+            cpu: Cpu::new(CpuParams::default(), nexus4::opp_table())?,
+            cpu_power: nexus4::cpu_power_model(),
+            gpu_power: nexus4::gpu_power_model(),
+            display: nexus4::display()?,
+            battery: nexus4::battery(config.battery_soc)?,
+            cpu_sensor: ThermalSensor::new(SensorParams::kernel_zone(), seed ^ 0x01),
+            battery_sensor: ThermalSensor::new(SensorParams::kernel_zone(), seed ^ 0x02),
+            skin_thermistor: ThermalSensor::new(SensorParams::thermistor(), seed ^ 0x03),
+            screen_thermistor: ThermalSensor::new(SensorParams::thermistor(), seed ^ 0x04),
+            clock_s: 0.0,
+            total_demand_khz_s: 0.0,
+            unserved_khz_s: 0.0,
+        })
+    }
+
+    /// Convenience: a device with default config and the given seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors (cannot happen for the defaults).
+    pub fn with_seed(seed: u64) -> Result<Device, Box<dyn std::error::Error>> {
+        Device::new(DeviceConfig {
+            sensor_seed: seed,
+            ..Default::default()
+        })
+    }
+
+    /// Advances the device by `dt` seconds with the given demand, at the
+    /// given OPP index.
+    pub fn apply(&mut self, demand: &DeviceDemand, level: usize, dt: f64) {
+        self.cpu.set_level(level);
+        self.cpu
+            .apply_demand(&usta_soc::CoreDemand::per_core(demand.cpu_threads_khz.clone()));
+
+        self.display.set_on(demand.display_on);
+        self.display.set_brightness(demand.brightness);
+        let charge_state = if demand.charging {
+            // Once full, stay in Full (the battery handles the switch).
+            if self.battery.charge_state() == ChargeState::Full {
+                ChargeState::Full
+            } else {
+                ChargeState::Charging
+            }
+        } else {
+            ChargeState::Discharging
+        };
+        self.battery.set_charge_state(charge_state);
+
+        let die = self.phone.cpu_temperature();
+        let freq = self.cpu.frequency();
+        let cpu_w = self
+            .cpu_power
+            .cluster_power(freq, self.cpu.utilizations(), die);
+        let gpu_w = self.gpu_power.power(demand.gpu_load);
+        let display_total_w = self.display.power();
+        // The backlight LEDs and display driver sit on the board; only
+        // part of the panel's power heats the mid-screen thermistor spot.
+        // (This is why the paper's screen runs several kelvin cooler than
+        // the skin even with the display at full brightness.)
+        const DISPLAY_TO_SCREEN: f64 = 0.62;
+        let display_w = display_total_w * DISPLAY_TO_SCREEN;
+        let board_w = demand.board_w + display_total_w * (1.0 - DISPLAY_TO_SCREEN);
+        let load_w = cpu_w + gpu_w + display_total_w + demand.board_w;
+        let battery_w = self.battery.step(load_w, dt);
+
+        self.phone.set_heat(HeatInput {
+            cpu_w,
+            gpu_w,
+            display_w,
+            battery_w,
+            board_w,
+        });
+        self.phone.step(dt);
+
+        self.total_demand_khz_s += demand.total_cpu_khz() * dt;
+        self.unserved_khz_s += self.cpu.unserved_khz() * dt;
+        self.clock_s += dt;
+    }
+
+    /// Takes a full observation (sensor reads advance the noise streams).
+    pub fn observe(&mut self) -> Observation {
+        Observation {
+            t: self.clock_s,
+            cpu_temp: self.cpu_sensor.read(self.phone.cpu_temperature()),
+            battery_temp: self.battery_sensor.read(self.phone.battery_temperature()),
+            skin_thermistor: self.skin_thermistor.read(self.phone.skin_temperature()),
+            screen_thermistor: self.screen_thermistor.read(self.phone.screen_temperature()),
+            skin_true: self.phone.skin_temperature(),
+            screen_true: self.phone.screen_temperature(),
+            avg_utilization: self.cpu.average_utilization(),
+            max_utilization: self.cpu.max_utilization(),
+            freq_khz: self.cpu.frequency().khz as f64,
+            level: self.cpu.level(),
+        }
+    }
+
+    /// Simulated seconds since power-on.
+    pub fn clock(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Fraction of demanded CPU cycles that went unserved so far.
+    pub fn unserved_fraction(&self) -> f64 {
+        if self.total_demand_khz_s <= 0.0 {
+            0.0
+        } else {
+            self.unserved_khz_s / self.total_demand_khz_s
+        }
+    }
+
+    /// Resets QoS accounting (between sessions on a shared device).
+    pub fn reset_qos_accounting(&mut self) {
+        self.total_demand_khz_s = 0.0;
+        self.unserved_khz_s = 0.0;
+    }
+
+    /// The thermal model (read access for experiments).
+    pub fn phone(&self) -> &PhoneThermalModel {
+        &self.phone
+    }
+
+    /// Grabs/releases the phone with a hand.
+    pub fn set_hand_held(&mut self, held: bool) {
+        self.phone.set_hand_contact(held);
+    }
+
+    /// Resets all thermal state to `t` (a cold restart of an experiment).
+    pub fn reset_thermals_to(&mut self, t: Celsius) {
+        self.phone.reset_to(t);
+        self.cpu_sensor.reset();
+        self.battery_sensor.reset();
+        self.skin_thermistor.reset();
+        self.screen_thermistor.reset();
+    }
+
+    /// The OPP table of the device's CPU.
+    pub fn opp_table(&self) -> &usta_soc::OppTable {
+        self.cpu.opp_table()
+    }
+
+    /// Battery state of charge, 0–1.
+    pub fn battery_soc(&self) -> f64 {
+        self.battery.state_of_charge()
+    }
+
+    /// True temperature at an arbitrary thermal node (diagnostics).
+    pub fn node_temperature(&self, node: PhoneNode) -> Celsius {
+        self.phone.temperature(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_demand() -> DeviceDemand {
+        DeviceDemand {
+            cpu_threads_khz: vec![1_500_000.0; 4],
+            gpu_load: 0.8,
+            display_on: true,
+            brightness: 1.0,
+            board_w: 0.3,
+            charging: false,
+        }
+    }
+
+    #[test]
+    fn device_heats_under_load() {
+        let mut d = Device::with_seed(1).unwrap();
+        let start = d.observe().skin_true;
+        for _ in 0..600 {
+            d.apply(&busy_demand(), 11, 1.0);
+        }
+        let end = d.observe().skin_true;
+        assert!(end - start > 5.0, "10 busy minutes heated only {} K", end - start);
+    }
+
+    #[test]
+    fn low_opp_heats_much_less() {
+        let mut hot = Device::with_seed(1).unwrap();
+        let mut cool = Device::with_seed(1).unwrap();
+        for _ in 0..600 {
+            hot.apply(&busy_demand(), 11, 1.0);
+            cool.apply(&busy_demand(), 0, 1.0);
+        }
+        let dh = hot.observe().skin_true;
+        let dc = cool.observe().skin_true;
+        assert!(
+            dh - dc > 3.0,
+            "min-frequency cap should cut skin heating: {dh} vs {dc}"
+        );
+    }
+
+    #[test]
+    fn utilization_saturates_at_min_level() {
+        let mut d = Device::with_seed(1).unwrap();
+        d.apply(&busy_demand(), 0, 0.1);
+        let o = d.observe();
+        assert_eq!(o.max_utilization, 1.0);
+        assert_eq!(o.level, 0);
+        assert!(d.unserved_fraction() > 0.5);
+    }
+
+    #[test]
+    fn charging_heats_an_idle_phone() {
+        let mut charging = Device::with_seed(2).unwrap();
+        let mut idle = Device::with_seed(2).unwrap();
+        let charge_demand = DeviceDemand {
+            charging: true,
+            ..DeviceDemand::idle()
+        };
+        for _ in 0..1800 {
+            charging.apply(&charge_demand, 0, 1.0);
+            idle.apply(&DeviceDemand::idle(), 0, 1.0);
+        }
+        let tc = charging.observe().skin_true;
+        let ti = idle.observe().skin_true;
+        assert!(tc > ti + 0.5, "charging {tc} vs idle {ti}");
+        assert!(charging.battery_soc() > 0.8);
+    }
+
+    #[test]
+    fn observation_features_match_sensor_values() {
+        let mut d = Device::with_seed(3).unwrap();
+        d.apply(&busy_demand(), 5, 0.1);
+        let o = d.observe();
+        let f = o.features();
+        assert_eq!(f.cpu_temp, o.cpu_temp);
+        assert_eq!(f.battery_temp, o.battery_temp);
+        assert_eq!(f.utilization, o.avg_utilization);
+        assert_eq!(f.freq_khz, o.freq_khz);
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let mut a = Device::with_seed(9).unwrap();
+        let mut b = Device::with_seed(9).unwrap();
+        for _ in 0..100 {
+            a.apply(&busy_demand(), 7, 0.1);
+            b.apply(&busy_demand(), 7, 0.1);
+        }
+        assert_eq!(a.observe(), b.observe());
+    }
+
+    #[test]
+    fn thermistors_track_truth_closely() {
+        let mut d = Device::with_seed(4).unwrap();
+        for _ in 0..300 {
+            d.apply(&busy_demand(), 11, 1.0);
+        }
+        let o = d.observe();
+        assert!((o.skin_thermistor - o.skin_true).abs() < 1.0);
+        assert!((o.screen_thermistor - o.screen_true).abs() < 1.0);
+    }
+
+    #[test]
+    fn reset_thermals_restarts_cold() {
+        let mut d = Device::with_seed(5).unwrap();
+        for _ in 0..100 {
+            d.apply(&busy_demand(), 11, 1.0);
+        }
+        d.reset_thermals_to(Celsius(28.0));
+        assert_eq!(d.observe().skin_true, Celsius(28.0));
+    }
+
+    #[test]
+    fn qos_accounting_resets() {
+        let mut d = Device::with_seed(6).unwrap();
+        d.apply(&busy_demand(), 0, 1.0);
+        assert!(d.unserved_fraction() > 0.0);
+        d.reset_qos_accounting();
+        assert_eq!(d.unserved_fraction(), 0.0);
+    }
+}

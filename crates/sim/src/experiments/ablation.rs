@@ -1,0 +1,204 @@
+//! Ablations of USTA's design choices (DESIGN.md §6).
+//!
+//! * **Prediction cadence** — the paper predicts every 3 s and suggests
+//!   lengthening the period to cut overhead (§4.A). How much control
+//!   quality does that cost?
+//! * **Banding policy** — the paper's 1-level/2-level/min staircase vs a
+//!   single hard cap and vs an aggressive min-only policy.
+//! * **Feature set** — what if the predictor only saw the CPU sensor?
+//!   Battery temperature turns out to carry most of the skin signal.
+
+use crate::experiments::common::{collect_global_training_log, train_predictor};
+use crate::runner::{run_workload, Governor, RunConfig, RunResult};
+use crate::Device;
+use usta_core::comfort::ComfortStats;
+use usta_core::predictor::PredictionTarget;
+use usta_core::{TemperaturePredictor, UstaGovernor, UstaPolicy};
+use usta_governors::OnDemand;
+use usta_ml::reptree::RepTreeParams;
+use usta_ml::{k_fold, Dataset, Learner};
+use usta_thermal::Celsius;
+use usta_workloads::Benchmark;
+
+/// One cadence setting's outcome on the 30-minute Skype call at 37 °C.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CadenceRow {
+    /// Seconds between predictions.
+    pub period_s: f64,
+    /// Number of predictions over the call (the overhead driver).
+    pub predictions: usize,
+    /// Percent of the call spent above the limit.
+    pub percent_over: f64,
+    /// Peak skin temperature.
+    pub peak_skin: Celsius,
+}
+
+/// Sweeps the prediction cadence.
+pub fn cadence_sweep(seed: u64, periods_s: &[f64]) -> Vec<CadenceRow> {
+    let log = collect_global_training_log(seed);
+    periods_s
+        .iter()
+        .map(|&period| {
+            let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
+            let result = run_skype_usta(seed, predictor, UstaPolicy::new(Celsius(37.0)), period);
+            let stats =
+                ComfortStats::from_trace(&result.skin_trace, result.log_period_s, Celsius(37.0));
+            CadenceRow {
+                period_s: period,
+                predictions: result.predictions.len(),
+                percent_over: stats.percent_over(),
+                peak_skin: result.max_skin,
+            }
+        })
+        .collect()
+}
+
+/// One banding policy's outcome on the Skype call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyRow {
+    /// Policy description.
+    pub name: String,
+    /// Percent of the call above the limit.
+    pub percent_over: f64,
+    /// Peak skin temperature.
+    pub peak_skin: Celsius,
+    /// Average CPU frequency, GHz (the performance cost).
+    pub avg_freq_ghz: f64,
+}
+
+/// Compares the paper's staircase with two alternatives.
+pub fn policy_sweep(seed: u64) -> Vec<PolicyRow> {
+    let log = collect_global_training_log(seed);
+    let limit = Celsius(37.0);
+    let variants: Vec<(String, UstaPolicy)> = vec![
+        ("paper staircase (2/1/0.5)".to_owned(), UstaPolicy::new(limit)),
+        (
+            // One band: below 2 °C margin jump straight to minimum.
+            "min-only (aggressive)".to_owned(),
+            UstaPolicy::with_margins(limit, 2.0, 2.0, 2.0),
+        ),
+        (
+            // Early, gentle single-level cap: never below two-below-max.
+            "gentle cap (no min band)".to_owned(),
+            UstaPolicy::with_margins(limit, 4.0, 2.0, 0.0),
+        ),
+    ];
+    variants
+        .into_iter()
+        .map(|(name, policy)| {
+            let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
+            let result = run_skype_usta(seed, predictor, policy, 3.0);
+            let stats = ComfortStats::from_trace(&result.skin_trace, result.log_period_s, limit);
+            PolicyRow {
+                name,
+                percent_over: stats.percent_over(),
+                peak_skin: result.max_skin,
+                avg_freq_ghz: result.avg_freq_ghz,
+            }
+        })
+        .collect()
+}
+
+/// One feature subset's cross-validated accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureRow {
+    /// Which features the model saw.
+    pub features: String,
+    /// Equation (1) error rate, %.
+    pub error_rate: f64,
+    /// Mean absolute error, K.
+    pub mae: f64,
+}
+
+/// Trains REPTree skin predictors on progressively richer feature sets.
+pub fn feature_ablation(seed: u64) -> Vec<FeatureRow> {
+    let log = collect_global_training_log(seed);
+    let full = log.to_dataset(PredictionTarget::Skin).expect("finite log");
+    // Column subsets of the canonical layout
+    // [cpu_temp, battery_temp, utilization, freq_mhz].
+    let subsets: Vec<(&str, Vec<usize>)> = vec![
+        ("cpu_temp only", vec![0]),
+        ("cpu + battery temp", vec![0, 1]),
+        ("temps + utilization", vec![0, 1, 2]),
+        ("all four (paper)", vec![0, 1, 2, 3]),
+    ];
+    subsets
+        .into_iter()
+        .map(|(name, cols)| {
+            let mut data = Dataset::new(
+                cols.iter()
+                    .map(|&c| full.feature_names()[c].clone())
+                    .collect(),
+            )
+            .expect("non-empty schema");
+            for i in 0..full.len() {
+                let row: Vec<f64> = cols.iter().map(|&c| full.row(i)[c]).collect();
+                data.push(row, full.target(i)).expect("finite");
+            }
+            let outcome = k_fold(
+                &Learner::RepTree(RepTreeParams::default()),
+                &data,
+                10,
+                seed,
+            )
+            .expect("large dataset");
+            FeatureRow {
+                features: name.to_owned(),
+                error_rate: outcome.error_rate(),
+                mae: outcome.mae(),
+            }
+        })
+        .collect()
+}
+
+fn run_skype_usta(
+    seed: u64,
+    predictor: TemperaturePredictor,
+    policy: UstaPolicy,
+    period_s: f64,
+) -> RunResult {
+    let mut device = Device::with_seed(seed).expect("default device builds");
+    let mut workload = Benchmark::Skype.workload(seed.wrapping_add(7700));
+    let mut usta = UstaGovernor::new(Box::new(OnDemand::default()), predictor, policy);
+    usta.set_prediction_period(period_s);
+    let mut governor = Governor::Usta(Box::new(usta));
+    run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slower_cadence_means_fewer_predictions() {
+        let rows = cadence_sweep(3, &[3.0, 30.0]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].predictions > 5 * rows[1].predictions);
+        // Control quality should not *improve* with a 10× slower loop.
+        assert!(rows[1].peak_skin >= rows[0].peak_skin - 0.5);
+    }
+
+    #[test]
+    fn aggressive_policy_trades_frequency_for_temperature() {
+        let rows = policy_sweep(3);
+        let paper = &rows[0];
+        let aggressive = &rows[1];
+        let gentle = &rows[2];
+        assert!(aggressive.peak_skin <= paper.peak_skin + 0.2);
+        assert!(aggressive.avg_freq_ghz <= paper.avg_freq_ghz + 0.05);
+        assert!(gentle.avg_freq_ghz >= paper.avg_freq_ghz - 0.05);
+        assert!(gentle.peak_skin >= paper.peak_skin - 0.2);
+    }
+
+    #[test]
+    fn richer_features_do_not_hurt() {
+        let rows = feature_ablation(3);
+        assert_eq!(rows.len(), 4);
+        let cpu_only = rows[0].error_rate;
+        let all = rows[3].error_rate;
+        assert!(
+            all <= cpu_only + 0.05,
+            "full feature set {all}% should not lose to cpu-only {cpu_only}%"
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared experiment plumbing: data collection, predictor training, and
+//! the paper's published numbers for comparison printing.
+
+use crate::device::Device;
+use crate::runner::{run_workload, Governor, RunConfig, RunResult};
+use usta_core::predictor::PredictionTarget;
+use usta_core::training::TrainingLog;
+use usta_core::{TemperaturePredictor, UstaGovernor, UstaPolicy};
+use usta_governors::OnDemand;
+use usta_ml::reptree::RepTreeParams;
+use usta_ml::Learner;
+use usta_thermal::Celsius;
+use usta_workloads::Benchmark;
+
+/// The paper's Table 1, for side-by-side printing: per benchmark
+/// (column order of [`Benchmark::ALL`]), the baseline row triple
+/// `(max screen °C, max skin °C, avg freq GHz)` and the USTA triple.
+pub const PAPER_TABLE1: [(f64, f64, f64, f64, f64, f64); 13] = [
+    // (base screen, base skin, base GHz, usta screen, usta skin, usta GHz)
+    (33.4, 37.9, 1.04, 31.7, 35.1, 1.22), // AnTuTu Full
+    (32.5, 36.3, 1.01, 31.4, 35.1, 0.91), // AnTuTu CPU
+    (28.5, 31.9, 1.22, 29.2, 32.7, 1.05), // AnTuTu CPU-GPU-RAM
+    (30.5, 34.0, 1.11, 31.5, 34.0, 0.99), // AnTuTu UserExp
+    (35.1, 39.3, 1.09, 34.9, 38.8, 0.69), // AnTuTu CPU 1.5h
+    (34.3, 42.8, 1.16, 34.9, 41.1, 0.89), // AnTuTu Tester
+    (26.3, 29.3, 0.85, 28.5, 34.8, 1.16), // GFXBench
+    (28.6, 31.0, 0.97, 29.7, 32.1, 0.96), // Vellamo
+    (40.5, 42.8, 1.09, 35.4, 38.7, 0.72), // Skype
+    (28.0, 30.4, 0.80, 30.0, 32.9, 0.64), // YouTube
+    (32.8, 37.1, 0.86, 32.5, 36.6, 0.81), // Record
+    (29.0, 31.7, 0.45, 29.9, 32.3, 0.39), // Charging
+    (33.3, 36.6, 1.14, 31.7, 35.1, 0.63), // Game
+];
+
+/// Runs one benchmark on a fresh device under the stock ondemand
+/// governor and returns the result (used by data collection, Table 1,
+/// and the figures).
+pub fn run_baseline(benchmark: Benchmark, seed: u64) -> RunResult {
+    let mut device = Device::with_seed(seed).expect("default device builds");
+    let mut workload = benchmark.workload(seed);
+    let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
+    run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+}
+
+/// Runs one benchmark on a fresh device under USTA at the given limit.
+pub fn run_usta(
+    benchmark: Benchmark,
+    limit: Celsius,
+    predictor: TemperaturePredictor,
+    seed: u64,
+) -> RunResult {
+    let mut device = Device::with_seed(seed).expect("default device builds");
+    let mut workload = benchmark.workload(seed);
+    let usta = UstaGovernor::new(
+        Box::new(OnDemand::default()),
+        predictor,
+        UstaPolicy::new(limit),
+    );
+    let mut governor = Governor::Usta(Box::new(usta));
+    run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+}
+
+/// The paper's data-collection campaign (§3.A): run all thirteen
+/// benchmarks under the baseline governor, logging system state and the
+/// external thermistors every 3 seconds, pooled into one global log.
+pub fn collect_global_training_log(seed: u64) -> TrainingLog {
+    let mut global = TrainingLog::new();
+    for b in Benchmark::ALL {
+        let result = run_baseline(b, seed ^ (b.column() as u64) << 8);
+        global.extend_from(&result.training_log);
+    }
+    global
+}
+
+/// Trains the deployment predictor the way the paper does: REPTree on
+/// the global log (§4.A — "we have chosen REPTree to implement").
+pub fn train_predictor(log: &TrainingLog, target: PredictionTarget, seed: u64) -> TemperaturePredictor {
+    TemperaturePredictor::train(
+        &Learner::RepTree(RepTreeParams::default()),
+        log,
+        target,
+        seed,
+    )
+    .expect("global log is non-empty and finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_run_produces_sane_output() {
+        let r = run_baseline(Benchmark::Vellamo, 3);
+        assert_eq!(r.workload, "Vellamo");
+        assert!(r.max_skin > Celsius(28.0));
+        assert!(r.avg_freq_ghz > 0.3 && r.avg_freq_ghz < 1.6);
+        assert!(!r.training_log.is_empty());
+    }
+
+    #[test]
+    fn paper_table_has_internal_anchors() {
+        // Skype column: 4.1 °C skin reduction and −34 % frequency.
+        let (_, base_skin, base_ghz, _, usta_skin, usta_ghz) = PAPER_TABLE1[8];
+        assert!((base_skin - usta_skin - 4.1).abs() < 1e-9);
+        assert!(((base_ghz - usta_ghz) / base_ghz - 0.34).abs() < 0.01);
+    }
+}

@@ -1,0 +1,277 @@
+//! Figure 1: the user study — per-participant comfort limits.
+//!
+//! Ten participants hold the phone (palm on the back cover) while the
+//! AnTuTu Tester stress app runs, and report the instant heat discomfort
+//! becomes unacceptable. The paper reports each participant's skin and
+//! screen temperature at that instant; the most tolerant participant
+//! ended the test after about seven minutes.
+//!
+//! Sessions are sequential on one physical device (so later participants
+//! start warm, as in any same-day study), and the hand stays on the back
+//! cover throughout.
+
+use crate::device::{Device, DeviceConfig};
+use usta_core::comfort::discomfort_instant;
+use usta_core::user::{UserPopulation, UserProfile};
+use usta_governors::{CpuGovernor, GovernorInput, OnDemand};
+use usta_thermal::Celsius;
+use usta_workloads::{Benchmark, Workload};
+
+/// One participant's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1Entry {
+    /// Participant label (`'a'..='j'`).
+    pub label: char,
+    /// The participant's true skin-temperature limit (model input).
+    pub skin_limit: Celsius,
+    /// Skin temperature at the instant they quit (the Figure 1 bar).
+    pub skin_at_quit: Celsius,
+    /// Screen temperature at the same instant.
+    pub screen_at_quit: Celsius,
+    /// Seconds into their session when they quit (`None` = lasted the
+    /// whole session without quitting).
+    pub quit_time_s: Option<f64>,
+}
+
+/// The reproduced figure.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// One entry per participant, in label order.
+    pub entries: Vec<Fig1Entry>,
+}
+
+impl Fig1Result {
+    /// Minimum skin temperature at quit across participants who quit.
+    pub fn min_quit_skin(&self) -> Celsius {
+        self.quit_temps()
+            .fold(Celsius(f64::INFINITY), Celsius::min)
+    }
+
+    /// Maximum skin temperature at quit across participants who quit.
+    pub fn max_quit_skin(&self) -> Celsius {
+        self.quit_temps()
+            .fold(Celsius(f64::NEG_INFINITY), Celsius::max)
+    }
+
+    fn quit_temps(&self) -> impl Iterator<Item = Celsius> + '_ {
+        self.entries
+            .iter()
+            .filter(|e| e.quit_time_s.is_some())
+            .map(|e| e.skin_at_quit)
+    }
+
+    /// Longest session among participants who quit, seconds — the
+    /// paper's "most tolerant subject ended test in seven minutes".
+    pub fn longest_session_s(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter_map(|e| e.quit_time_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the figure as a table.
+    pub fn to_display_string(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "user | limit °C | skin@quit | screen@quit | quit at");
+        let _ = writeln!(s, "{}", "-".repeat(60));
+        for e in &self.entries {
+            let _ = writeln!(
+                s,
+                "  {}  |   {:>5.1}  |   {:>5.1}   |    {:>5.1}    | {}",
+                e.label,
+                e.skin_limit.value(),
+                e.skin_at_quit.value(),
+                e.screen_at_quit.value(),
+                match e.quit_time_s {
+                    Some(t) => format!("{:.0} s", t),
+                    None => "never".to_owned(),
+                },
+            );
+        }
+        s
+    }
+}
+
+/// Maximum session length before the experimenter stops a participant.
+const SESSION_CAP_S: f64 = 900.0;
+/// Sustained-exceedance window before a participant calls it quits.
+const QUIT_HOLD_S: f64 = 5.0;
+/// Warm-up before the first participant (the rig was being set up).
+const WARMUP_S: f64 = 240.0;
+/// Idle rest between participants (app reset, next participant briefed).
+const REST_S: f64 = 420.0;
+
+/// Runs the user study.
+pub fn fig1(seed: u64) -> Fig1Result {
+    let mut device = Device::new(DeviceConfig {
+        sensor_seed: seed,
+        hand_held: true,
+        ..Default::default()
+    })
+    .expect("default device builds");
+
+    // Warm the device up: the study phone had been running the logger
+    // and earlier sessions.
+    run_session(&mut device, seed, WARMUP_S, None);
+
+    let population = UserPopulation::paper();
+    let entries = population
+        .iter()
+        .map(|user| {
+            let entry = run_participant(&mut device, user, seed);
+            rest(&mut device, REST_S);
+            entry
+        })
+        .collect();
+    Fig1Result { entries }
+}
+
+fn run_participant(device: &mut Device, user: &UserProfile, seed: u64) -> Fig1Entry {
+    let trace = run_session(
+        device,
+        seed ^ (user.label as u64),
+        SESSION_CAP_S,
+        Some(user.skin_limit),
+    );
+    let quit = discomfort_instant(&trace.skin, 1.0, user.skin_limit, QUIT_HOLD_S);
+    let at = |series: &[(f64, Celsius)], t: Option<f64>| match t {
+        Some(t) => {
+            series
+                .iter()
+                .min_by(|a, b| {
+                    (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).expect("finite")
+                })
+                .expect("trace non-empty")
+                .1
+        }
+        None => series.last().expect("trace non-empty").1,
+    };
+    Fig1Entry {
+        label: user.label,
+        skin_limit: user.skin_limit,
+        skin_at_quit: at(&trace.skin, quit),
+        screen_at_quit: at(&trace.screen, quit),
+        quit_time_s: quit,
+    }
+}
+
+/// Device sits idle on the table between participants.
+fn rest(device: &mut Device, seconds: f64) {
+    let mut t = 0.0;
+    let idle = usta_workloads::DeviceDemand::idle();
+    device.set_hand_held(false);
+    while t < seconds {
+        device.apply(&idle, 0, 0.5);
+        t += 0.5;
+    }
+    device.set_hand_held(true);
+}
+
+struct SessionTrace {
+    skin: Vec<(f64, Celsius)>,
+    screen: Vec<(f64, Celsius)>,
+}
+
+/// Runs AnTuTu Tester on the (shared, warm) device for up to `cap_s`
+/// seconds; stops early once the limit has been exceeded for the quit
+/// hold (no point simulating after the participant left).
+fn run_session(
+    device: &mut Device,
+    seed: u64,
+    cap_s: f64,
+    stop_limit: Option<Celsius>,
+) -> SessionTrace {
+    let mut workload = Benchmark::AntutuTester.workload(seed);
+    let mut governor = OnDemand::default();
+    let opp = device.opp_table().clone();
+    let dt = 0.1;
+    let mut level = 0usize;
+    let mut t = 0.0;
+    let mut skin = Vec::new();
+    let mut screen = Vec::new();
+    let mut over_run = 0.0;
+    let mut next_sample = 0.0;
+    while t < cap_s {
+        // The tester app restarts if it finishes early.
+        let demand = workload.demand_at(t % workload.duration(), dt);
+        device.apply(&demand, level, dt);
+        let obs = device.observe();
+        let input = GovernorInput {
+            avg_utilization: obs.avg_utilization,
+            max_utilization: obs.max_utilization,
+            current_level: level,
+            max_allowed_level: opp.max_index(),
+            opp: &opp,
+        };
+        level = governor.decide(&input);
+        if t + 1e-9 >= next_sample {
+            skin.push((t, obs.skin_true));
+            screen.push((t, obs.screen_true));
+            next_sample += 1.0;
+        }
+        if let Some(limit) = stop_limit {
+            if obs.skin_true > limit {
+                over_run += dt;
+                if over_run >= QUIT_HOLD_S + 1.0 {
+                    break;
+                }
+            } else {
+                over_run = 0.0;
+            }
+        }
+        t += dt;
+    }
+    SessionTrace { skin, screen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_reproduces_figure_1_anchors() {
+        let r = fig1(7);
+        assert_eq!(r.entries.len(), 10);
+        // Everyone with a limit below ~41 °C quits (the tester is hot).
+        for e in &r.entries {
+            if e.skin_limit < Celsius(41.0) {
+                assert!(
+                    e.quit_time_s.is_some(),
+                    "user {} (limit {}) should have quit",
+                    e.label,
+                    e.skin_limit
+                );
+                // They quit at (just past) their limit.
+                assert!(
+                    (e.skin_at_quit - e.skin_limit).abs() < 1.0,
+                    "user {} quit at {} with limit {}",
+                    e.label,
+                    e.skin_at_quit,
+                    e.skin_limit
+                );
+            }
+        }
+        // Spread matches the paper's range.
+        assert!(r.min_quit_skin() < Celsius(35.5));
+        assert!(r.max_quit_skin() > Celsius(38.0));
+    }
+
+    #[test]
+    fn sessions_are_minutes_scale() {
+        let r = fig1(7);
+        let longest = r.longest_session_s();
+        assert!(
+            (60.0..=900.0).contains(&longest),
+            "longest session {longest} s should be minutes-scale"
+        );
+    }
+
+    #[test]
+    fn screen_runs_cooler_than_skin_at_quit() {
+        let r = fig1(7);
+        for e in &r.entries {
+            assert!(e.screen_at_quit < e.skin_at_quit + 0.5, "user {}", e.label);
+        }
+    }
+}

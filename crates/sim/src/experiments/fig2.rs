@@ -1,0 +1,143 @@
+//! Figure 2: percentage of a half-hour Skype call spent above the
+//! comfort threshold, for eleven threshold settings — each of the ten
+//! participants plus the "default user" (the 37 °C average) — with USTA
+//! configured to that threshold.
+//!
+//! The paper reports 15.6 % for the default user: USTA cannot hold the
+//! line perfectly (prediction cadence, thermal lag, and the floor set by
+//! display/camera/radio heat that DVFS cannot remove), so some residual
+//! exceedance remains; it shrinks as the threshold rises.
+
+use crate::experiments::common::{collect_global_training_log, run_usta, train_predictor};
+use usta_core::comfort::ComfortStats;
+use usta_core::predictor::PredictionTarget;
+use usta_core::user::{UserPopulation, UserProfile};
+use usta_thermal::Celsius;
+use usta_workloads::Benchmark;
+
+/// One threshold setting's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2Entry {
+    /// `'a'..='j'` or `'*'` for the default user.
+    pub label: char,
+    /// The configured comfort limit.
+    pub limit: Celsius,
+    /// Percent of the 30-minute call spent above the limit under USTA.
+    pub percent_over: f64,
+    /// Peak skin temperature during the call.
+    pub peak_skin: Celsius,
+}
+
+/// The reproduced figure.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// Ten users plus the default user (label `'*'`), in that order.
+    pub entries: Vec<Fig2Entry>,
+}
+
+impl Fig2Result {
+    /// The default user's exceedance (the paper's 15.6 % anchor).
+    pub fn default_user_percent(&self) -> f64 {
+        self.entries
+            .iter()
+            .find(|e| e.label == '*')
+            .expect("default user present")
+            .percent_over
+    }
+
+    /// Renders the figure as a table.
+    pub fn to_display_string(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "user | limit °C | % time over | peak skin °C");
+        let _ = writeln!(s, "{}", "-".repeat(50));
+        for e in &self.entries {
+            let _ = writeln!(
+                s,
+                "  {}  |   {:>5.1}  |    {:>5.1}    |   {:>5.1}",
+                e.label,
+                e.limit.value(),
+                e.percent_over,
+                e.peak_skin.value(),
+            );
+        }
+        s
+    }
+}
+
+/// Runs the eleven USTA-controlled Skype calls.
+pub fn fig2(seed: u64) -> Fig2Result {
+    let log = collect_global_training_log(seed);
+    let population = UserPopulation::paper();
+    let mut settings: Vec<(char, Celsius)> = population
+        .iter()
+        .map(|u: &UserProfile| (u.label, u.skin_limit))
+        .collect();
+    settings.push(('*', population.mean_skin_limit()));
+
+    let entries = settings
+        .into_iter()
+        .map(|(label, limit)| {
+            let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
+            let result = run_usta(Benchmark::Skype, limit, predictor, seed ^ (label as u64) << 3);
+            let stats = ComfortStats::from_trace(&result.skin_trace, result.log_period_s, limit);
+            Fig2Entry {
+                label,
+                limit,
+                percent_over: stats.percent_over(),
+                peak_skin: result.max_skin,
+            }
+        })
+        .collect();
+    Fig2Result { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exceedance_shrinks_as_the_threshold_rises() {
+        let r = fig2(5);
+        let lowest = r
+            .entries
+            .iter()
+            .min_by(|a, b| a.limit.partial_cmp(&b.limit).expect("finite"))
+            .expect("entries");
+        let highest = r
+            .entries
+            .iter()
+            .max_by(|a, b| a.limit.partial_cmp(&b.limit).expect("finite"))
+            .expect("entries");
+        assert!(
+            lowest.percent_over > highest.percent_over,
+            "limit {} → {}%, limit {} → {}%",
+            lowest.limit,
+            lowest.percent_over,
+            highest.limit,
+            highest.percent_over
+        );
+        // The most tolerant user's threshold is effectively never crossed.
+        assert!(highest.percent_over < 5.0);
+    }
+
+    #[test]
+    fn default_user_has_residual_exceedance() {
+        let r = fig2(5);
+        let pct = r.default_user_percent();
+        // The paper's anchor is 15.6 % — we require the same regime:
+        // clearly non-zero (USTA is not perfect) but a minority of the
+        // call (USTA is useful).
+        assert!(
+            (1.0..60.0).contains(&pct),
+            "default-user exceedance {pct}% out of the plausible band"
+        );
+    }
+
+    #[test]
+    fn eleven_settings_reported() {
+        let r = fig2(5);
+        assert_eq!(r.entries.len(), 11);
+        assert_eq!(r.entries.last().expect("entries").label, '*');
+    }
+}

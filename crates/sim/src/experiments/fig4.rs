@@ -1,0 +1,187 @@
+//! Figure 4: skin/screen temperature traces over the half-hour Skype
+//! video call, baseline DVFS vs USTA at the default 37 °C limit.
+//!
+//! Paper anchors: the baseline's peak skin temperature is 4.1 °C above
+//! USTA's; USTA "succeeds in maintaining a more steady temperature, near
+//! that limit", though "on occasion USTA cannot remain below the comfort
+//! limit".
+
+use crate::experiments::common::{
+    collect_global_training_log, run_baseline, run_usta, train_predictor,
+};
+use crate::runner::RunResult;
+use usta_core::predictor::PredictionTarget;
+use usta_thermal::Celsius;
+use usta_workloads::Benchmark;
+
+/// The default-user limit (§4.B).
+pub const FIG4_LIMIT: Celsius = Celsius(37.0);
+
+/// The two traces plus their summary numbers.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// The baseline (ondemand) Skype run.
+    pub baseline: RunResult,
+    /// The USTA Skype run at 37 °C.
+    pub usta: RunResult,
+}
+
+impl Fig4Result {
+    /// Peak-skin gap: baseline − USTA, kelvins (the paper's 4.1 °C).
+    pub fn peak_skin_gap(&self) -> f64 {
+        self.baseline.max_skin - self.usta.max_skin
+    }
+
+    /// Relative average-frequency reduction under USTA (the paper's 34 %).
+    pub fn frequency_reduction(&self) -> f64 {
+        (self.baseline.avg_freq_ghz - self.usta.avg_freq_ghz) / self.baseline.avg_freq_ghz
+    }
+
+    /// Standard deviation of the skin trace's late half — USTA's is
+    /// smaller ("more steady temperature, near that limit").
+    pub fn late_half_std(result: &RunResult) -> f64 {
+        let n = result.skin_trace.len();
+        let late = &result.skin_trace[n / 2..];
+        let mean = late.iter().map(|(_, t)| t.value()).sum::<f64>() / late.len() as f64;
+        (late
+            .iter()
+            .map(|(_, t)| (t.value() - mean).powi(2))
+            .sum::<f64>()
+            / late.len() as f64)
+            .sqrt()
+    }
+
+    /// Renders both traces as a sampled text series.
+    pub fn to_display_string(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "t (min) | baseline skin | usta skin | usta prediction (37 °C limit)"
+        );
+        let _ = writeln!(s, "{}", "-".repeat(70));
+        let every = 60; // one row per 3 minutes at 3 s logging
+        for (i, ((tb, skin_b), (_, skin_u))) in self
+            .baseline
+            .skin_trace
+            .iter()
+            .zip(&self.usta.skin_trace)
+            .enumerate()
+        {
+            if i % every != 0 {
+                continue;
+            }
+            let pred = self
+                .usta
+                .predictions
+                .iter()
+                .min_by(|a, b| {
+                    (a.0 - tb).abs().partial_cmp(&(b.0 - tb).abs()).expect("finite")
+                })
+                .map(|(_, p)| format!("{:.1}", p.value()))
+                .unwrap_or_else(|| "-".to_owned());
+            let _ = writeln!(
+                s,
+                "{:>7.1} | {:>13.1} | {:>9.1} | {}",
+                tb / 60.0,
+                skin_b.value(),
+                skin_u.value(),
+                pred,
+            );
+        }
+        let _ = writeln!(
+            s,
+            "\npeak skin: baseline {:.1} °C vs usta {:.1} °C (gap {:.1} K, paper: 4.1 K)",
+            self.baseline.max_skin.value(),
+            self.usta.max_skin.value(),
+            self.peak_skin_gap(),
+        );
+        let _ = writeln!(
+            s,
+            "avg freq: baseline {:.2} GHz vs usta {:.2} GHz (−{:.0} %, paper: −34 %)",
+            self.baseline.avg_freq_ghz,
+            self.usta.avg_freq_ghz,
+            self.frequency_reduction() * 100.0,
+        );
+        s
+    }
+}
+
+/// Runs the two half-hour Skype calls.
+pub fn fig4(seed: u64) -> Fig4Result {
+    let log = collect_global_training_log(seed);
+    let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
+    Fig4Result {
+        baseline: run_baseline(Benchmark::Skype, seed.wrapping_add(401)),
+        usta: run_usta(Benchmark::Skype, FIG4_LIMIT, predictor, seed.wrapping_add(402)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> &'static Fig4Result {
+        use std::sync::OnceLock;
+        static RESULT: OnceLock<Fig4Result> = OnceLock::new();
+        RESULT.get_or_init(|| fig4(13))
+    }
+
+    #[test]
+    fn usta_cuts_the_peak_by_kelvins() {
+        let r = result();
+        let gap = r.peak_skin_gap();
+        assert!(
+            (1.0..8.0).contains(&gap),
+            "peak gap {gap} K should be kelvins-scale (paper: 4.1 K)"
+        );
+    }
+
+    #[test]
+    fn usta_trades_frequency_for_temperature() {
+        let r = result();
+        let cut = r.frequency_reduction();
+        assert!(
+            (0.15..0.75).contains(&cut),
+            "frequency cut {} should be tens of percent (paper: 34 %)",
+            cut
+        );
+    }
+
+    #[test]
+    fn usta_holds_steadier_near_the_limit() {
+        let r = result();
+        let std_base = Fig4Result::late_half_std(&r.baseline);
+        let std_usta = Fig4Result::late_half_std(&r.usta);
+        assert!(
+            std_usta < std_base + 0.2,
+            "USTA late-half σ {std_usta} vs baseline {std_base}"
+        );
+        // And its late-half mean sits near the limit.
+        let n = r.usta.skin_trace.len();
+        let late_mean = r.usta.skin_trace[n / 2..]
+            .iter()
+            .map(|(_, t)| t.value())
+            .sum::<f64>()
+            / (n - n / 2) as f64;
+        assert!(
+            (FIG4_LIMIT.value() - 2.0..FIG4_LIMIT.value() + 3.0).contains(&late_mean),
+            "USTA late mean {late_mean} should hover near the 37 °C limit"
+        );
+    }
+
+    #[test]
+    fn usta_occasionally_exceeds_the_limit() {
+        // The paper is explicit that USTA is not a hard guarantee.
+        let r = result();
+        assert!(r.usta.max_skin > FIG4_LIMIT);
+    }
+
+    #[test]
+    fn predictions_were_made_every_three_seconds() {
+        let r = result();
+        // 1800 s / 3 s = 600 predictions (±1 for the initial one).
+        let n = r.usta.predictions.len() as f64;
+        assert!((595.0..=605.0).contains(&n), "made {n} predictions");
+    }
+}

@@ -1,0 +1,32 @@
+//! One module per paper artifact: every table and figure of the
+//! evaluation section, plus the §3.A touch study.
+//!
+//! | paper artifact | entry point |
+//! |---|---|
+//! | Figure 1 — user comfort limits | [`fig1::fig1`] |
+//! | Figure 2 — % time over threshold (Skype, USTA) | [`fig2::fig2`] |
+//! | Figure 3 — predictor error rates (10-fold CV) | [`fig3::fig3`] |
+//! | Figure 4 — Skype traces, baseline vs USTA | [`fig4::fig4`] |
+//! | Figure 5 — satisfaction ratings | [`fig5::fig5`] |
+//! | Table 1 — 13 benchmarks × 2 governors | [`table1::table1`] |
+//! | §3.A — touch sensitivity | [`touch::touch`] |
+
+pub mod ablation;
+pub mod common;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod table1;
+pub mod touch;
+
+pub use ablation::{cadence_sweep, feature_ablation, policy_sweep};
+pub use common::{collect_global_training_log, train_predictor, PAPER_TABLE1};
+pub use fig1::Fig1Result;
+pub use fig2::Fig2Result;
+pub use fig3::Fig3Result;
+pub use fig4::Fig4Result;
+pub use fig5::Fig5Result;
+pub use table1::{Table1, Table1Row};
+pub use touch::TouchResult;

@@ -1,0 +1,160 @@
+//! The §3.A touch study: does holding the phone change its exterior
+//! temperature?
+//!
+//! The paper measures four conditions — device off & untouched, off &
+//! held, running AnTuTu Tester & untouched, running & held — and finds
+//! that "human touch does not alter exterior temperature values of the
+//! device significantly, especially when the phone is actively used".
+
+use crate::device::{Device, DeviceConfig};
+use usta_governors::{CpuGovernor, GovernorInput, OnDemand};
+use usta_thermal::Celsius;
+use usta_workloads::{Benchmark, DeviceDemand, Workload};
+
+/// One condition's outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TouchEntry {
+    /// Whether the tester app was running.
+    pub active: bool,
+    /// Whether a palm held the back cover.
+    pub held: bool,
+    /// Skin temperature after the observation window.
+    pub skin: Celsius,
+    /// Screen temperature after the observation window.
+    pub screen: Celsius,
+}
+
+/// The four-condition study.
+#[derive(Debug, Clone)]
+pub struct TouchResult {
+    /// off+free, off+held, on+free, on+held.
+    pub entries: [TouchEntry; 4],
+}
+
+impl TouchResult {
+    /// Touch-induced skin shift while idle, kelvins.
+    pub fn idle_touch_shift(&self) -> f64 {
+        self.entries[1].skin - self.entries[0].skin
+    }
+
+    /// Touch-induced skin shift while active, kelvins — the paper's
+    /// headline: small.
+    pub fn active_touch_shift(&self) -> f64 {
+        self.entries[3].skin - self.entries[2].skin
+    }
+
+    /// Renders the study as a table.
+    pub fn to_display_string(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "condition          | skin °C | screen °C");
+        let _ = writeln!(s, "{}", "-".repeat(45));
+        for e in &self.entries {
+            let _ = writeln!(
+                s,
+                "{:<8} {:<9} | {:>6.2}  | {:>6.2}",
+                if e.active { "running" } else { "off" },
+                if e.held { "held" } else { "untouched" },
+                e.skin.value(),
+                e.screen.value(),
+            );
+        }
+        let _ = writeln!(
+            s,
+            "\ntouch shift: idle {:+.2} K, active {:+.2} K (paper: insignificant when active)",
+            self.idle_touch_shift(),
+            self.active_touch_shift(),
+        );
+        s
+    }
+}
+
+/// Observation window per condition, seconds.
+const WINDOW_S: f64 = 600.0;
+
+/// Runs the four conditions.
+pub fn touch(seed: u64) -> TouchResult {
+    let run = |active: bool, held: bool| -> TouchEntry {
+        let mut device = Device::new(DeviceConfig {
+            sensor_seed: seed,
+            hand_held: held,
+            ..Default::default()
+        })
+        .expect("default device builds");
+        // An off device starts at ambient, a running one at idle-warm.
+        if !active {
+            device.reset_thermals_to(Celsius(24.0));
+        }
+        let mut workload = Benchmark::AntutuTester.workload(seed);
+        let mut governor = OnDemand::default();
+        let opp = device.opp_table().clone();
+        let dt = 0.1;
+        let mut level = 0usize;
+        let mut t = 0.0;
+        while t < WINDOW_S {
+            let demand = if active {
+                workload.demand_at(t % workload.duration(), dt)
+            } else {
+                DeviceDemand::idle()
+            };
+            device.apply(&demand, level, dt);
+            let obs = device.observe();
+            let input = GovernorInput {
+                avg_utilization: obs.avg_utilization,
+                max_utilization: obs.max_utilization,
+                current_level: level,
+                max_allowed_level: opp.max_index(),
+                opp: &opp,
+            };
+            level = governor.decide(&input);
+            t += dt;
+        }
+        TouchEntry {
+            active,
+            held,
+            skin: device.phone().skin_temperature(),
+            screen: device.phone().screen_temperature(),
+        }
+    };
+    TouchResult {
+        entries: [
+            run(false, false),
+            run(false, true),
+            run(true, false),
+            run(true, true),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> &'static TouchResult {
+        use std::sync::OnceLock;
+        static RESULT: OnceLock<TouchResult> = OnceLock::new();
+        RESULT.get_or_init(|| touch(3))
+    }
+
+    #[test]
+    fn touch_barely_matters_when_active() {
+        let shift = result().active_touch_shift().abs();
+        assert!(
+            shift < 1.0,
+            "active touch shift {shift} K should be insignificant"
+        );
+    }
+
+    #[test]
+    fn palm_warms_an_off_device() {
+        // An off phone sits at ambient (24 °C); a 33.5 °C palm warms it.
+        let r = result();
+        assert!(r.idle_touch_shift() > 0.2);
+    }
+
+    #[test]
+    fn running_device_is_much_hotter_than_off() {
+        let r = result();
+        assert!(r.entries[2].skin - r.entries[0].skin > 8.0);
+    }
+}

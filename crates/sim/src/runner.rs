@@ -1,0 +1,259 @@
+//! The experiment loop: workload × device × governor → traces.
+
+use crate::device::Device;
+use usta_core::training::{LoggedSample, TrainingLog};
+use usta_core::UstaGovernor;
+use usta_governors::{CpuGovernor, GovernorInput};
+use usta_thermal::Celsius;
+use usta_workloads::Workload;
+
+/// The DVFS stack driving the run.
+#[derive(Debug)]
+pub enum Governor {
+    /// A plain cpufreq governor (the paper's baseline is ondemand).
+    Baseline(Box<dyn CpuGovernor>),
+    /// USTA wrapped around its baseline.
+    Usta(Box<UstaGovernor>),
+}
+
+impl Governor {
+    /// Sysfs-style name of the stack.
+    pub fn name(&self) -> String {
+        match self {
+            Governor::Baseline(g) => g.name().to_owned(),
+            Governor::Usta(_) => "usta".to_owned(),
+        }
+    }
+}
+
+/// Knobs of the run loop.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Governor sampling period, seconds (Android ondemand ~100 ms).
+    pub governor_period_s: f64,
+    /// Logging cadence, seconds (the paper's logger samples every 3 s).
+    pub log_period_s: f64,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            governor_period_s: 0.1,
+            log_period_s: 3.0,
+        }
+    }
+}
+
+/// Everything a run produces.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Governor stack name.
+    pub governor: String,
+    /// True skin temperature at every log instant.
+    pub skin_trace: Vec<(f64, Celsius)>,
+    /// True screen temperature at every log instant.
+    pub screen_trace: Vec<(f64, Celsius)>,
+    /// CPU frequency (kHz) at every log instant.
+    pub freq_trace: Vec<(f64, f64)>,
+    /// USTA's skin predictions, when USTA ran.
+    pub predictions: Vec<(f64, Celsius)>,
+    /// Logging cadence used, seconds.
+    pub log_period_s: f64,
+    /// Time-weighted average frequency, GHz.
+    pub avg_freq_ghz: f64,
+    /// Peak true skin temperature.
+    pub max_skin: Celsius,
+    /// Peak true screen temperature.
+    pub max_screen: Celsius,
+    /// Fraction of demanded CPU cycles that went unserved.
+    pub unserved_fraction: f64,
+    /// The sensor-level training log (features + thermistor truths).
+    pub training_log: TrainingLog,
+}
+
+impl RunResult {
+    /// The skin trace as required by `usta_core::comfort`.
+    pub fn skin_samples(&self) -> &[(f64, Celsius)] {
+        &self.skin_trace
+    }
+}
+
+/// Runs `workload` to completion on `device` under `governor`.
+///
+/// The loop advances in governor-period steps (default 100 ms): demand is
+/// sampled, the device steps, the governor observes the resulting
+/// utilization and picks the next OPP. When the stack is USTA, sensor
+/// features are fed to [`UstaGovernor::tick`] every step; the governor
+/// rate-limits itself to its 3-second prediction cadence internally.
+pub fn run_workload(
+    device: &mut Device,
+    workload: &mut dyn Workload,
+    governor: &mut Governor,
+    config: &RunConfig,
+) -> RunResult {
+    let dt = config.governor_period_s;
+    let duration = workload.duration();
+    let opp = device.opp_table().clone();
+    let governor_name = governor.name();
+
+    device.reset_qos_accounting();
+
+    let mut level = 0usize;
+    let mut t = 0.0;
+    // Integer step counts avoid f64 accumulation drift at both the log
+    // cadence and the run boundary.
+    let steps_per_log = (config.log_period_s / dt).round().max(1.0) as u64;
+    let total_steps = (duration / dt).round() as u64;
+
+    let mut skin_trace = Vec::new();
+    let mut screen_trace = Vec::new();
+    let mut freq_trace = Vec::new();
+    let mut predictions = Vec::new();
+    let mut training_log = TrainingLog::new();
+    let mut freq_time_khz = 0.0;
+    let mut max_skin = Celsius(f64::NEG_INFINITY);
+    let mut max_screen = Celsius(f64::NEG_INFINITY);
+
+    for step_no in 0..total_steps {
+        let demand = workload.demand_at(t, dt);
+        device.apply(&demand, level, dt);
+        let obs = device.observe();
+
+        // USTA's 3-second prediction loop rides on the sensor stream.
+        if let Governor::Usta(usta) = governor {
+            if usta.tick(&obs.features(), dt).is_some() {
+                if let Some(p) = usta.last_prediction() {
+                    predictions.push((obs.t, p));
+                }
+            }
+        }
+
+        // Governor reacts to the utilization it just observed.
+        let input = GovernorInput {
+            avg_utilization: obs.avg_utilization,
+            max_utilization: obs.max_utilization,
+            current_level: level,
+            max_allowed_level: opp.max_index(),
+            opp: &opp,
+        };
+        level = match governor {
+            Governor::Baseline(g) => g.decide(&input),
+            Governor::Usta(g) => g.decide(&input),
+        };
+
+        freq_time_khz += obs.freq_khz * dt;
+        max_skin = max_skin.max(obs.skin_true);
+        max_screen = max_screen.max(obs.screen_true);
+
+        if step_no.is_multiple_of(steps_per_log) {
+            skin_trace.push((t, obs.skin_true));
+            screen_trace.push((t, obs.screen_true));
+            freq_trace.push((t, obs.freq_khz));
+            training_log.push(LoggedSample {
+                t,
+                features: obs.features(),
+                skin: obs.skin_thermistor,
+                screen: obs.screen_thermistor,
+            });
+        }
+        t += dt;
+    }
+
+    RunResult {
+        workload: workload.name().to_owned(),
+        governor: governor_name,
+        skin_trace,
+        screen_trace,
+        freq_trace,
+        predictions,
+        log_period_s: config.log_period_s,
+        avg_freq_ghz: freq_time_khz / duration / 1e6,
+        max_skin,
+        max_screen,
+        unserved_fraction: device.unserved_fraction(),
+        training_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+    use usta_governors::{OnDemand, Performance, Powersave};
+    use usta_workloads::ConstantLoad;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn ondemand_serves_heavy_load_at_high_frequency() {
+        let mut d = device();
+        let mut w = ConstantLoad::new("stress", 60.0, 1_500_000.0, 4);
+        let mut g = Governor::Baseline(Box::new(OnDemand::default()));
+        let r = run_workload(&mut d, &mut w, &mut g, &RunConfig::default());
+        assert!(
+            r.avg_freq_ghz > 1.3,
+            "saturated ondemand should sit near max, got {} GHz",
+            r.avg_freq_ghz
+        );
+        assert_eq!(r.governor, "ondemand");
+        assert!(r.unserved_fraction < 0.05);
+    }
+
+    #[test]
+    fn ondemand_idles_a_light_load_down() {
+        let mut d = device();
+        let mut w = ConstantLoad::new("light", 60.0, 100_000.0, 1);
+        let mut g = Governor::Baseline(Box::new(OnDemand::default()));
+        let r = run_workload(&mut d, &mut w, &mut g, &RunConfig::default());
+        assert!(
+            r.avg_freq_ghz < 0.6,
+            "light load should stay low, got {} GHz",
+            r.avg_freq_ghz
+        );
+    }
+
+    #[test]
+    fn powersave_runs_cooler_than_performance() {
+        let mut d1 = device();
+        let mut d2 = device();
+        let mut w1 = ConstantLoad::new("stress", 300.0, 1_500_000.0, 4);
+        let mut w2 = ConstantLoad::new("stress", 300.0, 1_500_000.0, 4);
+        let mut perf = Governor::Baseline(Box::new(Performance));
+        let mut save = Governor::Baseline(Box::new(Powersave));
+        let hot = run_workload(&mut d1, &mut w1, &mut perf, &RunConfig::default());
+        let cool = run_workload(&mut d2, &mut w2, &mut save, &RunConfig::default());
+        assert!(hot.max_skin > cool.max_skin);
+        assert!(cool.unserved_fraction > hot.unserved_fraction);
+    }
+
+    #[test]
+    fn traces_are_logged_at_the_requested_cadence() {
+        let mut d = device();
+        let mut w = ConstantLoad::new("x", 30.0, 500_000.0, 2);
+        let mut g = Governor::Baseline(Box::new(OnDemand::default()));
+        let r = run_workload(&mut d, &mut w, &mut g, &RunConfig::default());
+        // 30 s at 3 s cadence → 10 log points (t = 0, 3, …, 27).
+        assert_eq!(r.skin_trace.len(), 10);
+        assert_eq!(r.training_log.len(), 10);
+        assert_eq!(r.log_period_s, 3.0);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let run_once = || {
+            let mut d = Device::with_seed(11).unwrap();
+            let mut w = ConstantLoad::new("x", 60.0, 900_000.0, 4);
+            let mut g = Governor::Baseline(Box::new(OnDemand::default()));
+            run_workload(&mut d, &mut w, &mut g, &RunConfig::default())
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.avg_freq_ghz, b.avg_freq_ghz);
+        assert_eq!(a.max_skin, b.max_skin);
+        assert_eq!(a.skin_trace, b.skin_trace);
+    }
+}

@@ -1,0 +1,109 @@
+//! CSV export of run traces, for plotting Figure 4-style series with
+//! external tools.
+
+use crate::runner::RunResult;
+use std::io::{self, Write};
+
+/// Writes a run's traces as CSV: one row per log instant with columns
+/// `t_s, skin_c, screen_c, freq_khz, prediction_c` (the prediction
+/// column is empty for baseline runs and between USTA's 3 s updates).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(result: &RunResult, mut w: W) -> io::Result<()> {
+    writeln!(w, "t_s,skin_c,screen_c,freq_khz,prediction_c")?;
+    let mut predictions = result.predictions.iter().peekable();
+    for (((t, skin), (_, screen)), (_, freq)) in result
+        .skin_trace
+        .iter()
+        .zip(&result.screen_trace)
+        .zip(&result.freq_trace)
+    {
+        // Attach the most recent prediction at or before this instant.
+        let mut latest = None;
+        while let Some(&&(pt, pv)) = predictions.peek() {
+            if pt <= *t + 1e-9 {
+                latest = Some(pv);
+                predictions.next();
+            } else {
+                break;
+            }
+        }
+        match latest {
+            Some(p) => writeln!(
+                w,
+                "{:.1},{:.4},{:.4},{:.0},{:.4}",
+                t,
+                skin.value(),
+                screen.value(),
+                freq,
+                p.value()
+            )?,
+            None => writeln!(
+                w,
+                "{:.1},{:.4},{:.4},{:.0},",
+                t,
+                skin.value(),
+                screen.value(),
+                freq
+            )?,
+        }
+    }
+    Ok(())
+}
+
+/// Renders the traces to a CSV string (convenience over [`write_csv`]).
+pub fn to_csv_string(result: &RunResult) -> String {
+    let mut buf = Vec::new();
+    write_csv(result, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("CSV output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::runner::{run_workload, Governor, RunConfig};
+    use usta_governors::OnDemand;
+    use usta_workloads::ConstantLoad;
+
+    fn short_run() -> RunResult {
+        let mut device = Device::with_seed(1).expect("builds");
+        let mut workload = ConstantLoad::new("x", 12.0, 700_000.0, 2);
+        let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
+        run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_log_instant() {
+        let result = short_run();
+        let csv = to_csv_string(&result);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_s,skin_c,screen_c,freq_khz,prediction_c");
+        // 12 s at 3 s cadence → 4 rows.
+        assert_eq!(lines.len(), 1 + result.skin_trace.len());
+        assert_eq!(result.skin_trace.len(), 4);
+    }
+
+    #[test]
+    fn baseline_rows_have_empty_prediction_column() {
+        let csv = to_csv_string(&short_run());
+        for line in csv.lines().skip(1) {
+            assert!(line.ends_with(','), "baseline row should end empty: {line}");
+            assert_eq!(line.split(',').count(), 5);
+        }
+    }
+
+    #[test]
+    fn values_parse_back() {
+        let result = short_run();
+        let csv = to_csv_string(&result);
+        let first = csv.lines().nth(1).expect("data row");
+        let fields: Vec<&str> = first.split(',').collect();
+        let skin: f64 = fields[1].parse().expect("numeric skin");
+        assert!((skin - result.skin_trace[0].1.value()).abs() < 1e-3);
+        let freq: f64 = fields[3].parse().expect("numeric freq");
+        assert!(freq >= 384_000.0);
+    }
+}

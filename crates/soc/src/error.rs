@@ -1,0 +1,76 @@
+//! Error type for SoC model construction and use.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SoC-side models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SocError {
+    /// An OPP table was built with no levels.
+    EmptyOppTable,
+    /// OPP levels must be strictly increasing in frequency.
+    UnsortedOppTable {
+        /// Index of the offending level.
+        index: usize,
+    },
+    /// An OPP level had a non-positive frequency or voltage.
+    InvalidOppLevel {
+        /// Index of the offending level.
+        index: usize,
+    },
+    /// A level index beyond the table length was used.
+    LevelOutOfRange {
+        /// The requested level.
+        level: usize,
+        /// Number of levels in the table.
+        len: usize,
+    },
+    /// A model parameter was non-finite or out of its physical range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SocError::EmptyOppTable => write!(f, "OPP table has no levels"),
+            SocError::UnsortedOppTable { index } => {
+                write!(f, "OPP table not strictly increasing at index {index}")
+            }
+            SocError::InvalidOppLevel { index } => {
+                write!(f, "OPP level {index} has non-positive frequency or voltage")
+            }
+            SocError::LevelOutOfRange { level, len } => {
+                write!(f, "level {level} out of range for {len}-level OPP table")
+            }
+            SocError::InvalidParameter { name, value } => {
+                write!(f, "parameter `{name}` has invalid value {value}")
+            }
+        }
+    }
+}
+
+impl Error for SocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = SocError::LevelOutOfRange { level: 13, len: 12 };
+        assert!(e.to_string().contains("13"));
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn implements_error_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SocError>();
+    }
+}

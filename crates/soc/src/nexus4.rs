@@ -1,0 +1,123 @@
+//! The calibrated Nexus-4-like preset used throughout the reproduction.
+//!
+//! The paper's device is a Google Nexus 4: Qualcomm APQ8064 (quad-core
+//! Krait 300 + Adreno 320), a 4.7" IPS panel, and a 2100 mAh pack,
+//! running Android 4.3 with twelve cpufreq operating points between
+//! 384 MHz and 1.512 GHz (§3.B of the paper).
+
+use crate::battery::{Battery, BatteryParams};
+use crate::cpu::{Cpu, CpuParams};
+use crate::display::{Display, DisplayParams};
+use crate::error::SocError;
+use crate::freq::{FrequencyLevel, OppTable};
+use crate::power::{CpuPowerModel, GpuPowerModel};
+
+/// Number of CPU cores on the APQ8064.
+pub const CORES: usize = 4;
+
+/// The twelve APQ8064 operating points (384 MHz … 1.512 GHz), with a
+/// linear voltage ramp from 0.95 V to 1.25 V — the documented krait
+/// PVS-nominal range.
+pub fn opp_table() -> OppTable {
+    const KHZ: [u32; 12] = [
+        384_000, 486_000, 594_000, 702_000, 810_000, 918_000, 1_026_000, 1_134_000, 1_242_000,
+        1_350_000, 1_458_000, 1_512_000,
+    ];
+    let levels = KHZ
+        .iter()
+        .enumerate()
+        .map(|(i, &khz)| FrequencyLevel {
+            khz,
+            volts: 0.95 + 0.30 * i as f64 / 11.0,
+        })
+        .collect();
+    OppTable::new(levels).expect("static table is valid")
+}
+
+/// CPU power model calibrated so four busy cores at the top OPP burn
+/// ≈3.6 W plus leakage — the APQ8064's sustained ballpark.
+pub fn cpu_power_model() -> CpuPowerModel {
+    CpuPowerModel::new(3.8e-10, 0.056, 0.02, 0.12).expect("static parameters are valid")
+}
+
+/// Adreno-320-class GPU: ≈1.6 W flat out, ≈0.05 W idle.
+pub fn gpu_power_model() -> GpuPowerModel {
+    GpuPowerModel::new(1.6, 0.05).expect("static parameters are valid")
+}
+
+/// The quad-core CPU at the Nexus 4 OPP table.
+///
+/// # Errors
+///
+/// Never fails for the static preset; the `Result` mirrors [`Cpu::new`].
+pub fn cpu() -> Result<Cpu, SocError> {
+    Cpu::new(CpuParams { cores: CORES }, opp_table())
+}
+
+/// The 2100 mAh pack at the given state of charge.
+///
+/// # Errors
+///
+/// Returns [`SocError::InvalidParameter`] if `state_of_charge` is outside
+/// 0–1.
+pub fn battery(state_of_charge: f64) -> Result<Battery, SocError> {
+    Battery::new(BatteryParams::default(), state_of_charge)
+}
+
+/// The 4.7" IPS display.
+///
+/// # Errors
+///
+/// Never fails for the static preset; the `Result` mirrors
+/// [`Display::new`].
+pub fn display() -> Result<Display, SocError> {
+    Display::new(DisplayParams::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usta_thermal::Celsius;
+
+    #[test]
+    fn twelve_levels_matching_the_paper() {
+        let t = opp_table();
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.min().khz, 384_000);
+        assert_eq!(t.max().khz, 1_512_000);
+    }
+
+    #[test]
+    fn voltages_ramp_up_with_frequency() {
+        let t = opp_table();
+        let mut prev = 0.0;
+        for l in t.iter() {
+            assert!(l.volts > prev);
+            prev = l.volts;
+        }
+        assert!((t.min().volts - 0.95).abs() < 1e-9);
+        assert!((t.max().volts - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_tilt_cpu_power_is_apq8064_scale() {
+        let m = cpu_power_model();
+        let p = m.cluster_power(opp_table().max(), &[1.0; 4], Celsius(50.0));
+        assert!(p > 3.0 && p < 5.0, "cluster power {p} W out of APQ8064 band");
+    }
+
+    #[test]
+    fn idle_cpu_power_is_small() {
+        let m = cpu_power_model();
+        let p = m.cluster_power(opp_table().min(), &[0.0; 4], Celsius(30.0));
+        assert!(p < 0.5, "idle power {p} W too high");
+    }
+
+    #[test]
+    fn presets_build() {
+        assert!(cpu().is_ok());
+        assert!(battery(0.8).is_ok());
+        assert!(display().is_ok());
+        assert!(gpu_power_model().max_power() > 1.0);
+    }
+}

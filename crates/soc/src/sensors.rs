@@ -1,0 +1,228 @@
+//! Thermal sensor model: what the software *sees* of the true state.
+//!
+//! The paper's predictor consumes two on-device sensors (CPU and battery)
+//! and is trained against two external thermistors (back cover and
+//! screen). All four are imperfect: they quantize, they carry gaussian
+//! noise, and they low-pass the true temperature. Reproducing that
+//! imperfection matters — with noiseless ground truth every learner in
+//! Figure 3 would be trivially perfect and the model comparison would
+//! collapse.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use usta_thermal::Celsius;
+
+/// Static sensor description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorParams {
+    /// Standard deviation of per-reading gaussian noise, K.
+    pub noise_std: f64,
+    /// Quantization step, K (0 disables quantization).
+    pub quantization: f64,
+    /// Constant calibration offset, K.
+    pub offset: f64,
+    /// First-order low-pass coefficient per reading (0 = no filtering,
+    /// approaching 1 = heavy smoothing of successive readings).
+    pub smoothing: f64,
+}
+
+impl Default for SensorParams {
+    fn default() -> SensorParams {
+        SensorParams {
+            noise_std: 0.15,
+            quantization: 0.1,
+            offset: 0.0,
+            smoothing: 0.0,
+        }
+    }
+}
+
+impl SensorParams {
+    /// An on-device kernel thermal zone: coarse (1 °C steps on many
+    /// Android kernels of the era) but quiet.
+    pub fn kernel_zone() -> SensorParams {
+        SensorParams {
+            noise_std: 0.05,
+            quantization: 1.0,
+            offset: 0.0,
+            smoothing: 0.0,
+        }
+    }
+
+    /// An external thermistor as used in the paper's rig: fine-grained
+    /// with mild noise.
+    pub fn thermistor() -> SensorParams {
+        SensorParams {
+            noise_std: 0.1,
+            quantization: 0.1,
+            offset: 0.0,
+            smoothing: 0.2,
+        }
+    }
+}
+
+/// A stateful, seeded thermal sensor.
+///
+/// ```
+/// use usta_soc::{SensorParams, ThermalSensor};
+/// use usta_thermal::Celsius;
+///
+/// let mut sensor = ThermalSensor::new(SensorParams::thermistor(), 42);
+/// let reading = sensor.read(Celsius(36.6));
+/// assert!((reading - Celsius(36.6)).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThermalSensor {
+    params: SensorParams,
+    rng: ChaCha8Rng,
+    filtered: Option<f64>,
+}
+
+impl ThermalSensor {
+    /// Builds a sensor with its own deterministic noise stream.
+    pub fn new(params: SensorParams, seed: u64) -> ThermalSensor {
+        ThermalSensor {
+            params,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            filtered: None,
+        }
+    }
+
+    /// Takes a reading of the given true temperature.
+    pub fn read(&mut self, truth: Celsius) -> Celsius {
+        let noise = if self.params.noise_std > 0.0 {
+            gaussian(&mut self.rng) * self.params.noise_std
+        } else {
+            0.0
+        };
+        let mut value = truth.value() + self.params.offset + noise;
+        if self.params.smoothing > 0.0 {
+            let s = self.params.smoothing.clamp(0.0, 0.99);
+            let prev = self.filtered.unwrap_or(value);
+            value = s * prev + (1.0 - s) * value;
+            self.filtered = Some(value);
+        }
+        if self.params.quantization > 0.0 {
+            value = (value / self.params.quantization).round() * self.params.quantization;
+        }
+        Celsius(value)
+    }
+
+    /// Clears the low-pass filter memory (e.g. between experiments).
+    pub fn reset(&mut self) {
+        self.filtered = None;
+    }
+
+    /// The sensor's parameters.
+    pub fn params(&self) -> &SensorParams {
+        &self.params
+    }
+}
+
+/// Standard normal via Box–Muller (avoids a rand_distr dependency).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reading_tracks_truth() {
+        let mut s = ThermalSensor::new(SensorParams::default(), 1);
+        let mut worst: f64 = 0.0;
+        for i in 0..1000 {
+            let truth = Celsius(30.0 + (i % 10) as f64);
+            let r = s.read(truth);
+            worst = worst.max((r - truth).abs());
+        }
+        assert!(worst < 1.0, "worst error {worst} too large for σ=0.15");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ThermalSensor::new(SensorParams::default(), 7);
+        let mut b = ThermalSensor::new(SensorParams::default(), 7);
+        for _ in 0..100 {
+            assert_eq!(a.read(Celsius(35.0)), b.read(Celsius(35.0)));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ThermalSensor::new(SensorParams::default(), 7);
+        let mut b = ThermalSensor::new(SensorParams::default(), 8);
+        let same = (0..100)
+            .filter(|_| a.read(Celsius(35.0)) == b.read(Celsius(35.0)))
+            .count();
+        assert!(same < 100);
+    }
+
+    #[test]
+    fn kernel_zone_quantizes_to_whole_degrees() {
+        let mut s = ThermalSensor::new(SensorParams::kernel_zone(), 3);
+        for _ in 0..50 {
+            let r = s.read(Celsius(36.4)).value();
+            assert!((r - r.round()).abs() < 1e-9, "reading {r} not integral");
+        }
+    }
+
+    #[test]
+    fn noiseless_sensor_is_exact() {
+        let p = SensorParams {
+            noise_std: 0.0,
+            quantization: 0.0,
+            offset: 0.0,
+            smoothing: 0.0,
+        };
+        let mut s = ThermalSensor::new(p, 0);
+        assert_eq!(s.read(Celsius(33.125)), Celsius(33.125));
+    }
+
+    #[test]
+    fn offset_shifts_readings() {
+        let p = SensorParams {
+            noise_std: 0.0,
+            quantization: 0.0,
+            offset: 1.5,
+            smoothing: 0.0,
+        };
+        let mut s = ThermalSensor::new(p, 0);
+        assert_eq!(s.read(Celsius(30.0)), Celsius(31.5));
+    }
+
+    #[test]
+    fn smoothing_damps_steps() {
+        let p = SensorParams {
+            noise_std: 0.0,
+            quantization: 0.0,
+            offset: 0.0,
+            smoothing: 0.8,
+        };
+        let mut s = ThermalSensor::new(p, 0);
+        s.read(Celsius(30.0));
+        let after_jump = s.read(Celsius(40.0));
+        assert!(after_jump < Celsius(33.0), "filter should damp the step");
+        s.reset();
+        assert_eq!(s.read(Celsius(40.0)), Celsius(40.0));
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Static analysis of thermal networks: steady state, effective thermal
+//! resistance, and dominant time-constant estimation.
+
+use crate::error::ThermalError;
+use crate::network::{NodeId, ThermalNetwork};
+use crate::units::Celsius;
+
+/// Solves the steady-state temperatures of the network for its *current*
+/// power inputs by Gaussian elimination of the conductance matrix.
+///
+/// Boundary nodes keep their fixed temperature; dynamic nodes solve
+/// `Σ_j G_ij (T_j − T_i) + G_amb,i (T_amb − T_i) + P_i = 0`.
+///
+/// # Errors
+///
+/// Returns [`ThermalError::SingularSystem`] when some dynamic node has no
+/// conductance path to the ambient or to any boundary node (its steady
+/// state would be unbounded for non-zero power).
+pub fn steady_state(net: &ThermalNetwork) -> Result<Vec<Celsius>, ThermalError> {
+    let n = net.node_count();
+    let amb = net.ambient().value();
+
+    // Build A·T = b over all nodes; boundary rows are identity.
+    let mut a = vec![0.0; n * n];
+    let mut b = vec![0.0; n];
+    for i in 0..n {
+        if net.is_boundary(i) {
+            a[i * n + i] = 1.0;
+            b[i] = net.temps_slice()[i];
+        } else {
+            let g_amb = net.ambient_conductances()[i];
+            a[i * n + i] += g_amb;
+            b[i] = g_amb * amb + net.powers()[i];
+        }
+    }
+    for &(x, y, g) in net.couplings() {
+        if !net.is_boundary(x) {
+            a[x * n + x] += g;
+            a[x * n + y] -= g;
+        }
+        if !net.is_boundary(y) {
+            a[y * n + y] += g;
+            a[y * n + x] -= g;
+        }
+    }
+
+    let t = solve_dense(&mut a, &mut b, n).ok_or(ThermalError::SingularSystem)?;
+    Ok(t.into_iter().map(Celsius).collect())
+}
+
+/// Effective thermal resistance (K/W) from `node` to the ambient:
+/// the steady-state temperature rise of `node` per watt injected into it,
+/// with all other power inputs at zero.
+///
+/// # Errors
+///
+/// Propagates [`ThermalError::SingularSystem`] from the steady-state
+/// solve.
+pub fn thermal_resistance(net: &ThermalNetwork, node: NodeId) -> Result<f64, ThermalError> {
+    let mut probe = net.clone();
+    probe.clear_power();
+    probe.set_power(node, 1.0);
+    let t = steady_state(&probe)?;
+    Ok(t[node.index()] - probe.ambient())
+}
+
+/// Estimates the dominant (slowest) time constant of the network in
+/// seconds by power iteration on the linearized system, i.e. the inverse
+/// of the smallest eigenvalue magnitude of `C⁻¹·G`.
+///
+/// This is the time scale on which skin temperature approaches steady
+/// state — minutes for a phone, which is why the paper's user study needed
+/// multi-minute holds.
+///
+/// # Errors
+///
+/// Propagates [`ThermalError::SingularSystem`] when the network has no
+/// path to a fixed temperature.
+pub fn dominant_time_constant(net: &ThermalNetwork) -> Result<f64, ThermalError> {
+    // Relaxation estimate: start from a uniform +1 K perturbation on
+    // dynamic nodes with zero power, then fit exp decay of the slowest
+    // mode by long-time ratio sampling.
+    let mut probe = net.clone();
+    probe.clear_power();
+    // Seed perturbation.
+    let amb = probe.ambient();
+    for i in 0..probe.node_count() {
+        if !probe.is_boundary(i) {
+            let id = crate::network::NodeId(i);
+            probe.set_temperature(id, amb + 10.0)?;
+        }
+    }
+    // March until the total excess decays below 1/e of its start; clamp
+    // iterations to avoid infinite loops in near-singular cases.
+    let start: f64 = probe.stored_energy();
+    if start <= 0.0 {
+        return Err(ThermalError::SingularSystem);
+    }
+    let target = start / std::f64::consts::E;
+    let dt = probe.max_stable_step().max(1e-6);
+    let mut t = 0.0;
+    let max_t = 1e7;
+    while probe.stored_energy() > target {
+        probe.step(dt);
+        t += dt;
+        if t > max_t {
+            return Err(ThermalError::SingularSystem);
+        }
+    }
+    Ok(t)
+}
+
+/// Gaussian elimination with partial pivoting on a row-major dense
+/// system. Returns `None` when the matrix is (numerically) singular.
+fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Option<Vec<f64>> {
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        let mut best = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        if best < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(pivot * n + k, col * n + k);
+            }
+            b.swap(pivot, col);
+        }
+        // Eliminate below.
+        let diag = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in (row + 1)..n {
+            sum -= a[row * n + k] * x[k];
+        }
+        x[row] = sum / a[row * n + row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ThermalNetworkBuilder;
+
+    fn chain() -> (ThermalNetwork, NodeId, NodeId) {
+        let mut b = ThermalNetworkBuilder::new(Celsius(20.0));
+        let hot = b.add_node("hot", 1.0, Celsius(20.0)).unwrap();
+        let mid = b.add_node("mid", 5.0, Celsius(20.0)).unwrap();
+        b.couple(hot, mid, 2.0).unwrap();
+        b.link_ambient(mid, 0.5).unwrap();
+        (b.build().unwrap(), hot, mid)
+    }
+
+    #[test]
+    fn steady_state_matches_hand_calculation() {
+        let (mut net, hot, mid) = chain();
+        net.set_power(hot, 1.0);
+        let t = steady_state(&net).unwrap();
+        // Series resistances: mid = amb + 1/0.5 = 22; hot = mid + 1/2 = 22.5.
+        assert!((t[mid.index()].value() - 22.0).abs() < 1e-9);
+        assert!((t[hot.index()].value() - 22.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_agrees_with_long_simulation() {
+        let (mut net, hot, _) = chain();
+        net.set_power(hot, 1.5);
+        let predicted = steady_state(&net).unwrap();
+        net.run(3600.0);
+        for (i, p) in predicted.iter().enumerate() {
+            let simulated = net.temps_slice()[i];
+            assert!(
+                (simulated - p.value()).abs() < 1e-3,
+                "node {i}: simulated {simulated} vs predicted {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_node_is_singular() {
+        let mut b = ThermalNetworkBuilder::new(Celsius(20.0));
+        let _iso = b.add_node("iso", 1.0, Celsius(20.0)).unwrap();
+        let net = b.build().unwrap();
+        assert!(matches!(
+            steady_state(&net),
+            Err(ThermalError::SingularSystem)
+        ));
+    }
+
+    #[test]
+    fn thermal_resistance_is_series_sum() {
+        let (net, hot, mid) = chain();
+        let r_hot = thermal_resistance(&net, hot).unwrap();
+        let r_mid = thermal_resistance(&net, mid).unwrap();
+        assert!((r_hot - 2.5).abs() < 1e-9);
+        assert!((r_mid - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_node_pins_steady_state() {
+        let mut b = ThermalNetworkBuilder::new(Celsius(20.0));
+        let die = b.add_node("die", 1.0, Celsius(20.0)).unwrap();
+        let hand = b.add_boundary_node("hand", Celsius(33.0)).unwrap();
+        b.couple(die, hand, 1.0).unwrap();
+        let net = b.build().unwrap();
+        let t = steady_state(&net).unwrap();
+        assert!((t[die.index()].value() - 33.0).abs() < 1e-9);
+        assert!((t[hand.index()].value() - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_constant_of_single_rc_is_c_over_g() {
+        let mut b = ThermalNetworkBuilder::new(Celsius(20.0));
+        let n = b.add_node("n", 10.0, Celsius(20.0)).unwrap();
+        b.link_ambient(n, 0.5).unwrap();
+        let net = b.build().unwrap();
+        let tau = dominant_time_constant(&net).unwrap();
+        assert!(
+            (tau - 20.0).abs() < 1.0,
+            "tau {tau} should be close to C/G = 20 s"
+        );
+    }
+}

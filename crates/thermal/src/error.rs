@@ -1,0 +1,141 @@
+//! Error type for thermal-network construction and use.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or driving a thermal network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ThermalError {
+    /// A node was declared with a non-positive or non-finite heat capacity.
+    InvalidCapacitance {
+        /// Node name as given to the builder.
+        name: String,
+        /// The offending value in J/K.
+        value: f64,
+    },
+    /// A conductance was declared with a non-positive or non-finite value.
+    InvalidConductance {
+        /// Description of the link ("a—b" or "node—ambient").
+        link: String,
+        /// The offending value in W/K.
+        value: f64,
+    },
+    /// An initial or boundary temperature was non-physical.
+    InvalidTemperature {
+        /// Node name as given to the builder.
+        name: String,
+        /// The offending value in °C.
+        value: f64,
+    },
+    /// Two nodes were declared with the same name.
+    DuplicateNode {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A coupling references the same node on both ends.
+    SelfCoupling {
+        /// The node name.
+        name: String,
+    },
+    /// The same pair of nodes was coupled twice.
+    DuplicateCoupling {
+        /// Description of the link ("a—b").
+        link: String,
+    },
+    /// The network has no nodes.
+    EmptyNetwork,
+    /// A `NodeId` from a different (or larger) network was used.
+    UnknownNode {
+        /// The raw index of the foreign id.
+        index: usize,
+    },
+    /// The steady-state system is singular (no path to any fixed
+    /// temperature, so the steady state is unbounded).
+    SingularSystem,
+    /// A boundary (fixed-temperature) node was used where a dynamic node
+    /// is required, e.g. as a power-injection target.
+    BoundaryNode {
+        /// The node name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::InvalidCapacitance { name, value } => {
+                write!(f, "node `{name}` has invalid heat capacity {value} J/K")
+            }
+            ThermalError::InvalidConductance { link, value } => {
+                write!(f, "link {link} has invalid conductance {value} W/K")
+            }
+            ThermalError::InvalidTemperature { name, value } => {
+                write!(f, "node `{name}` has non-physical temperature {value} °C")
+            }
+            ThermalError::DuplicateNode { name } => {
+                write!(f, "node name `{name}` declared twice")
+            }
+            ThermalError::SelfCoupling { name } => {
+                write!(f, "node `{name}` coupled to itself")
+            }
+            ThermalError::DuplicateCoupling { link } => {
+                write!(f, "link {link} declared twice")
+            }
+            ThermalError::EmptyNetwork => write!(f, "network has no nodes"),
+            ThermalError::UnknownNode { index } => {
+                write!(f, "node id {index} does not belong to this network")
+            }
+            ThermalError::SingularSystem => {
+                write!(f, "steady-state system is singular: some node has no path to a fixed temperature")
+            }
+            ThermalError::BoundaryNode { name } => {
+                write!(f, "node `{name}` is a fixed-temperature boundary node")
+            }
+        }
+    }
+}
+
+impl Error for ThermalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ThermalError::InvalidCapacitance {
+            name: "die".into(),
+            value: -1.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("die"));
+        assert!(msg.contains("-1"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ThermalError>();
+    }
+
+    #[test]
+    fn all_variants_display() {
+        let variants = vec![
+            ThermalError::InvalidCapacitance { name: "x".into(), value: 0.0 },
+            ThermalError::InvalidConductance { link: "a—b".into(), value: -2.0 },
+            ThermalError::InvalidTemperature { name: "x".into(), value: -400.0 },
+            ThermalError::DuplicateNode { name: "x".into() },
+            ThermalError::SelfCoupling { name: "x".into() },
+            ThermalError::DuplicateCoupling { link: "a—b".into() },
+            ThermalError::EmptyNetwork,
+            ThermalError::UnknownNode { index: 9 },
+            ThermalError::SingularSystem,
+            ThermalError::BoundaryNode { name: "hand".into() },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

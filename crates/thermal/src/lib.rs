@@ -1,0 +1,61 @@
+//! # usta-thermal — compact thermal RC-network simulator
+//!
+//! This crate is the thermal substrate for the USTA reproduction
+//! (Egilmez et al., *User-Specific Skin Temperature-Aware DVFS for
+//! Smartphones*, DATE 2015). It models a device as a lumped
+//! resistance–capacitance (RC) network: each physical component (CPU die,
+//! package, board, battery, back cover, screen) is a thermal node with a
+//! heat capacity, nodes exchange heat through thermal conductances, and
+//! selected nodes leak heat to the ambient.
+//!
+//! The network integrates the standard compact-model ODE
+//!
+//! ```text
+//! C_i · dT_i/dt = Σ_j G_ij (T_j − T_i) + G_amb,i (T_amb − T_i) + P_i
+//! ```
+//!
+//! with either sub-stepped forward Euler (default, kept inside the
+//! stability limit automatically) or classic RK4.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use usta_thermal::{Celsius, ThermalNetworkBuilder};
+//!
+//! # fn main() -> Result<(), usta_thermal::ThermalError> {
+//! let mut builder = ThermalNetworkBuilder::new(Celsius(25.0));
+//! let die = builder.add_node("die", 2.0, Celsius(25.0))?;
+//! let case = builder.add_node("case", 30.0, Celsius(25.0))?;
+//! builder.couple(die, case, 1.5)?;
+//! builder.link_ambient(case, 0.3)?;
+//! let mut net = builder.build()?;
+//!
+//! net.set_power(die, 2.0); // 2 W into the die
+//! net.run(60.0);           // simulate one minute
+//! assert!(net.temperature(die) > net.temperature(case));
+//! assert!(net.temperature(case) > Celsius(25.0));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The [`phone`] module provides a calibrated smartphone network
+//! ([`PhoneThermalModel`]) whose back-cover ("skin") and screen nodes play
+//! the role of the paper's external thermistors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod error;
+pub mod integrator;
+pub mod materials;
+pub mod network;
+pub mod phone;
+pub mod units;
+
+pub use error::ThermalError;
+pub use integrator::IntegrationMethod;
+pub use network::{NodeId, ThermalNetwork, ThermalNetworkBuilder};
+pub use phone::{HandContact, HeatInput, PhoneNode, PhoneThermalModel, PhoneThermalParams};
+pub use units::Celsius;

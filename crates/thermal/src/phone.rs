@@ -1,0 +1,545 @@
+//! Calibrated smartphone thermal model.
+//!
+//! [`PhoneThermalModel`] instantiates a seven-node RC network shaped like
+//! the paper's Nexus 4: CPU die, SoC package, main board, battery, back
+//! cover (mid and upper sections — the two thermistor positions of the
+//! paper), and screen. The **back-cover mid** node is the paper's "skin
+//! temperature" (the spot users touch); the **screen** node is the
+//! paper's "screen temperature".
+//!
+//! Default parameters are calibrated (see `usta-sim`'s calibration
+//! experiment) so that the baseline-governor benchmark suite reproduces
+//! the temperature *ranges* of the paper's Table 1: peak skin
+//! temperatures from ~29 °C (light workloads) to ~43 °C (AnTuTu Tester /
+//! Skype video call), multi-minute rise time constants, and screen
+//! temperatures a few kelvin below the skin except for display-heavy
+//! workloads.
+
+use crate::error::ThermalError;
+use crate::network::{NodeId, ThermalNetwork, ThermalNetworkBuilder};
+use crate::units::Celsius;
+
+/// The physical locations modelled by [`PhoneThermalModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhoneNode {
+    /// CPU die (the on-device "CPU temperature" sensor location).
+    Cpu,
+    /// SoC package (CPU + GPU + memory package and heat spreader).
+    Package,
+    /// Main PCB including PMIC, radios, camera ISP.
+    Board,
+    /// Battery pack (the on-device "battery temperature" sensor location).
+    Battery,
+    /// Middle of the back cover — the paper's **skin temperature**.
+    BackMid,
+    /// Upper back cover, over the SoC — the paper's second thermistor.
+    BackUpper,
+    /// Middle of the screen — the paper's **screen temperature**.
+    Screen,
+}
+
+impl PhoneNode {
+    /// All modelled locations, in network order.
+    pub const ALL: [PhoneNode; 7] = [
+        PhoneNode::Cpu,
+        PhoneNode::Package,
+        PhoneNode::Board,
+        PhoneNode::Battery,
+        PhoneNode::BackMid,
+        PhoneNode::BackUpper,
+        PhoneNode::Screen,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            PhoneNode::Cpu => 0,
+            PhoneNode::Package => 1,
+            PhoneNode::Board => 2,
+            PhoneNode::Battery => 3,
+            PhoneNode::BackMid => 4,
+            PhoneNode::BackUpper => 5,
+            PhoneNode::Screen => 6,
+        }
+    }
+
+    /// Stable lower-case name (also the network node name).
+    pub fn name(self) -> &'static str {
+        match self {
+            PhoneNode::Cpu => "cpu",
+            PhoneNode::Package => "package",
+            PhoneNode::Board => "board",
+            PhoneNode::Battery => "battery",
+            PhoneNode::BackMid => "back_mid",
+            PhoneNode::BackUpper => "back_upper",
+            PhoneNode::Screen => "screen",
+        }
+    }
+}
+
+/// Heat injected into the phone for the current step, in watts.
+///
+/// Produced by the SoC power model (`usta-soc`) each simulation step and
+/// routed to the appropriate thermal nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HeatInput {
+    /// CPU cores (dynamic + leakage) → die node.
+    pub cpu_w: f64,
+    /// GPU → package node.
+    pub gpu_w: f64,
+    /// Display panel and backlight → screen node.
+    pub display_w: f64,
+    /// Battery internal losses (discharge I²R or charging inefficiency)
+    /// → battery node.
+    pub battery_w: f64,
+    /// Everything else on the main board: radios, camera ISP, memory,
+    /// PMIC → board node.
+    pub board_w: f64,
+}
+
+impl HeatInput {
+    /// Total heat entering the device, in watts.
+    pub fn total(&self) -> f64 {
+        self.cpu_w + self.gpu_w + self.display_w + self.battery_w + self.board_w
+    }
+}
+
+/// How a hand holds the phone.
+///
+/// A hand is close to a fixed-temperature reservoir (blood perfusion pins
+/// the palm near 33.5 °C) that simultaneously *blocks* part of the back
+/// cover's convective surface. The two effects nearly cancel at typical
+/// operating temperatures — which is exactly the paper's §3.A finding
+/// that touch barely changes exterior temperatures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandContact {
+    /// Palm temperature (°C). Human palms sit near 33–34 °C.
+    pub palm_temperature: Celsius,
+    /// Conductance of the palm–cover contact, W/K.
+    pub contact_conductance: f64,
+    /// Fraction of the back-mid ambient conductance blocked by the palm.
+    pub blocked_fraction: f64,
+}
+
+impl Default for HandContact {
+    fn default() -> HandContact {
+        // Balanced so conduction to the palm cancels the blocked
+        // convection near 40 °C — the operating region of an actively
+        // used phone — reproducing the paper's "touch barely matters"
+        // observation while still letting a palm warm a cold idle cover.
+        HandContact {
+            palm_temperature: Celsius(33.5),
+            contact_conductance: 0.025,
+            blocked_fraction: 0.12,
+        }
+    }
+}
+
+/// Parameters of the seven-node phone network.
+///
+/// All capacitances in J/K, conductances in W/K. The defaults are the
+/// calibrated Nexus-4-like values used throughout the reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhoneThermalParams {
+    /// Heat capacity of each node, indexed like [`PhoneNode::ALL`].
+    pub capacitance: [f64; 7],
+    /// Internal couplings `(a, b, conductance)`.
+    pub couplings: Vec<(PhoneNode, PhoneNode, f64)>,
+    /// Ambient links `(node, conductance)`.
+    pub ambient_links: Vec<(PhoneNode, f64)>,
+    /// Ambient (room) temperature.
+    pub ambient: Celsius,
+    /// Initial temperature of every node.
+    pub initial: Celsius,
+    /// Hand model used when contact is enabled.
+    pub hand: HandContact,
+}
+
+impl Default for PhoneThermalParams {
+    fn default() -> PhoneThermalParams {
+        use PhoneNode::*;
+        PhoneThermalParams {
+            // [cpu, package, board, battery, back_mid, back_upper, screen]
+            capacitance: [1.2, 7.0, 30.0, 55.0, 10.0, 8.0, 26.0],
+            couplings: vec![
+                (Cpu, Package, 3.0),
+                (Package, Board, 1.1),
+                (Package, BackUpper, 0.30),
+                (Board, Battery, 0.60),
+                (Board, BackMid, 0.22),
+                (Board, Screen, 0.12),
+                (Battery, BackMid, 0.55),
+                (Battery, Screen, 0.03),
+                (BackUpper, BackMid, 0.10),
+            ],
+            ambient_links: vec![
+                (BackMid, 0.075),
+                (BackUpper, 0.055),
+                (Screen, 0.130),
+                (Board, 0.020),
+                (Battery, 0.005),
+            ],
+            ambient: Celsius(24.0),
+            initial: Celsius(28.0),
+            hand: HandContact::default(),
+        }
+    }
+}
+
+impl PhoneThermalParams {
+    /// Sum of all ambient conductances, W/K — the phone's total ability
+    /// to shed heat to the room.
+    pub fn total_ambient_conductance(&self) -> f64 {
+        self.ambient_links.iter().map(|&(_, g)| g).sum()
+    }
+
+    /// Total heat capacity, J/K.
+    pub fn total_capacitance(&self) -> f64 {
+        self.capacitance.iter().sum()
+    }
+}
+
+/// A smartphone as a thermal object.
+///
+/// ```
+/// use usta_thermal::{HeatInput, PhoneThermalModel, PhoneThermalParams};
+///
+/// # fn main() -> Result<(), usta_thermal::ThermalError> {
+/// let mut phone = PhoneThermalModel::new(PhoneThermalParams::default())?;
+/// phone.set_heat(HeatInput { cpu_w: 3.0, gpu_w: 1.0, display_w: 1.0, ..Default::default() });
+/// phone.step(300.0); // five hot minutes
+/// assert!(phone.skin_temperature() > phone.ambient());
+/// assert!(phone.cpu_temperature() > phone.skin_temperature());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PhoneThermalModel {
+    net: ThermalNetwork,
+    ids: [NodeId; 7],
+    params: PhoneThermalParams,
+    heat: HeatInput,
+    hand_on: bool,
+}
+
+impl PhoneThermalModel {
+    /// Builds the network from `params`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThermalError`] from network construction (invalid
+    /// capacitances, conductances, or temperatures).
+    pub fn new(params: PhoneThermalParams) -> Result<PhoneThermalModel, ThermalError> {
+        let mut b = ThermalNetworkBuilder::new(params.ambient);
+        let mut ids = Vec::with_capacity(7);
+        for node in PhoneNode::ALL {
+            ids.push(b.add_node(node.name(), params.capacitance[node.index()], params.initial)?);
+        }
+        let ids: [NodeId; 7] = ids.try_into().expect("seven nodes were added");
+        for &(a, c, g) in &params.couplings {
+            b.couple(ids[a.index()], ids[c.index()], g)?;
+        }
+        for &(n, g) in &params.ambient_links {
+            b.link_ambient(ids[n.index()], g)?;
+        }
+        Ok(PhoneThermalModel {
+            net: b.build()?,
+            ids,
+            params,
+            heat: HeatInput::default(),
+            hand_on: false,
+        })
+    }
+
+    /// Sets the heat entering the phone; stays in effect until changed.
+    pub fn set_heat(&mut self, heat: HeatInput) {
+        self.heat = heat;
+    }
+
+    /// Heat input currently applied.
+    pub fn heat(&self) -> HeatInput {
+        self.heat
+    }
+
+    /// Enables or disables palm contact on the back cover.
+    pub fn set_hand_contact(&mut self, held: bool) {
+        self.hand_on = held;
+    }
+
+    /// Whether a hand currently holds the phone.
+    pub fn hand_contact(&self) -> bool {
+        self.hand_on
+    }
+
+    /// Advances the thermal state by `dt` seconds.
+    ///
+    /// The hand, when present, is applied as an equivalent power term on
+    /// the back-mid node, recomputed from the current temperatures: it
+    /// conducts toward palm temperature and blocks part of the node's
+    /// convective path. For the sub-second steps used by the device
+    /// simulator this explicit coupling is indistinguishable from a true
+    /// network edge.
+    pub fn step(&mut self, dt: f64) {
+        let back = self.ids[PhoneNode::BackMid.index()];
+        self.net.set_power(self.ids[PhoneNode::Cpu.index()], self.heat.cpu_w);
+        self.net
+            .set_power(self.ids[PhoneNode::Package.index()], self.heat.gpu_w);
+        self.net
+            .set_power(self.ids[PhoneNode::Board.index()], self.heat.board_w);
+        self.net
+            .set_power(self.ids[PhoneNode::Battery.index()], self.heat.battery_w);
+        self.net
+            .set_power(self.ids[PhoneNode::Screen.index()], self.heat.display_w);
+        let mut back_power = 0.0;
+        if self.hand_on {
+            let hand = self.params.hand;
+            let t_back = self.net.temperature(back);
+            // Conduction toward the palm…
+            back_power += hand.contact_conductance * (hand.palm_temperature - t_back);
+            // …while the palm blocks part of the convective surface.
+            let g_amb_back = self
+                .params
+                .ambient_links
+                .iter()
+                .filter(|&&(n, _)| n == PhoneNode::BackMid)
+                .map(|&(_, g)| g)
+                .sum::<f64>();
+            back_power += hand.blocked_fraction * g_amb_back * (t_back - self.net.ambient());
+        }
+        self.net.set_power(back, back_power);
+        self.net.step(dt);
+    }
+
+    /// Temperature at any modelled location.
+    pub fn temperature(&self, node: PhoneNode) -> Celsius {
+        self.net.temperature(self.ids[node.index()])
+    }
+
+    /// The paper's **skin temperature**: middle of the back cover.
+    pub fn skin_temperature(&self) -> Celsius {
+        self.temperature(PhoneNode::BackMid)
+    }
+
+    /// The paper's **screen temperature**: middle of the screen.
+    pub fn screen_temperature(&self) -> Celsius {
+        self.temperature(PhoneNode::Screen)
+    }
+
+    /// CPU die temperature (what the on-device CPU sensor reports).
+    pub fn cpu_temperature(&self) -> Celsius {
+        self.temperature(PhoneNode::Cpu)
+    }
+
+    /// Battery temperature (what the on-device battery sensor reports).
+    pub fn battery_temperature(&self) -> Celsius {
+        self.temperature(PhoneNode::Battery)
+    }
+
+    /// Ambient (room) temperature.
+    pub fn ambient(&self) -> Celsius {
+        self.net.ambient()
+    }
+
+    /// Simulated seconds elapsed.
+    pub fn elapsed(&self) -> f64 {
+        self.net.elapsed()
+    }
+
+    /// Resets every node to `t` and restarts the clock (fresh experiment).
+    pub fn reset_to(&mut self, t: Celsius) {
+        self.net.reset_to(t);
+    }
+
+    /// Steady-state temperatures for the current heat input (ignores the
+    /// hand). Indexed like [`PhoneNode::ALL`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThermalError::SingularSystem`] (cannot happen with
+    /// the default parameters, which link every region to ambient).
+    pub fn steady_state(&self) -> Result<Vec<Celsius>, ThermalError> {
+        let mut probe = self.net.clone();
+        probe.clear_power();
+        probe.set_power(self.ids[PhoneNode::Cpu.index()], self.heat.cpu_w);
+        probe.set_power(self.ids[PhoneNode::Package.index()], self.heat.gpu_w);
+        probe.set_power(self.ids[PhoneNode::Board.index()], self.heat.board_w);
+        probe.set_power(self.ids[PhoneNode::Battery.index()], self.heat.battery_w);
+        probe.set_power(self.ids[PhoneNode::Screen.index()], self.heat.display_w);
+        crate::analysis::steady_state(&probe)
+    }
+
+    /// Parameters this model was built with.
+    pub fn params(&self) -> &PhoneThermalParams {
+        &self.params
+    }
+
+    /// Access to the underlying network (read-only diagnostics).
+    pub fn network(&self) -> &ThermalNetwork {
+        &self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phone() -> PhoneThermalModel {
+        PhoneThermalModel::new(PhoneThermalParams::default()).unwrap()
+    }
+
+    fn heavy() -> HeatInput {
+        HeatInput {
+            cpu_w: 3.4,
+            gpu_w: 1.3,
+            display_w: 1.0,
+            battery_w: 0.35,
+            board_w: 0.25,
+        }
+    }
+
+    #[test]
+    fn default_params_build() {
+        let p = phone();
+        assert_eq!(p.skin_temperature(), Celsius(28.0));
+        assert!((p.ambient() - Celsius(24.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_load_reaches_hot_skin_in_minutes_not_hours() {
+        let mut p = phone();
+        p.set_heat(heavy());
+        p.step(12.0 * 60.0);
+        let skin = p.skin_temperature();
+        assert!(
+            skin > Celsius(38.0) && skin < Celsius(47.0),
+            "12-minute heavy-load skin temperature {skin} outside plausible band"
+        );
+    }
+
+    #[test]
+    fn die_is_hottest_then_interior_then_surfaces() {
+        let mut p = phone();
+        p.set_heat(heavy());
+        p.step(900.0);
+        let die = p.cpu_temperature();
+        let pkg = p.temperature(PhoneNode::Package);
+        let skin = p.skin_temperature();
+        assert!(die > pkg, "die {die} should exceed package {pkg}");
+        assert!(pkg > skin, "package {pkg} should exceed skin {skin}");
+        assert!(skin > p.ambient());
+    }
+
+    #[test]
+    fn idle_phone_cools_toward_ambient() {
+        let mut p = phone();
+        p.set_heat(HeatInput::default());
+        p.step(3600.0 * 4.0);
+        assert!((p.skin_temperature() - p.ambient()).abs() < 0.05);
+    }
+
+    #[test]
+    fn steady_state_matches_long_run() {
+        let mut p = phone();
+        p.set_heat(heavy());
+        let ss = p.steady_state().unwrap();
+        p.step(3600.0 * 6.0);
+        for (node, expected) in PhoneNode::ALL.iter().zip(&ss) {
+            let got = p.temperature(*node);
+            assert!(
+                (got - *expected).abs() < 0.05,
+                "{}: long-run {got} vs steady-state {expected}",
+                node.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rise_time_constant_is_minutes() {
+        // The defining property of the skin-temperature problem: the skin
+        // responds on a minutes scale, much slower than the die.
+        let mut p = phone();
+        p.set_heat(heavy());
+        let ss = p.steady_state().unwrap()[PhoneNode::BackMid.index()];
+        let start = p.skin_temperature();
+        let target = start.value() + 0.63 * (ss - start);
+        let mut t = 0.0;
+        while p.skin_temperature().value() < target && t < 3600.0 {
+            p.step(5.0);
+            t += 5.0;
+        }
+        assert!(
+            (120.0..1800.0).contains(&t),
+            "skin 63% rise time {t} s should be minutes-scale"
+        );
+    }
+
+    #[test]
+    fn touch_changes_exterior_temperature_only_slightly() {
+        // Reproduces the paper's §3.A observation: holding the phone
+        // while it is actively used barely moves the skin temperature.
+        let mut held = phone();
+        let mut free = phone();
+        held.set_hand_contact(true);
+        for p in [&mut held, &mut free] {
+            p.set_heat(heavy());
+            p.step(600.0);
+        }
+        let delta = (held.skin_temperature() - free.skin_temperature()).abs();
+        assert!(
+            delta < 0.8,
+            "touch shifted skin temperature by {delta} K — should be minor"
+        );
+    }
+
+    #[test]
+    fn hand_warms_a_cold_idle_phone() {
+        // Off and not touched vs off and held: the hand warms the cover
+        // toward palm temperature (the paper's turned-off experiments).
+        let mut held = phone();
+        held.reset_to(Celsius(24.0));
+        held.set_hand_contact(true);
+        held.step(1200.0);
+        assert!(
+            held.skin_temperature() > Celsius(24.3),
+            "palm should warm an idle cover, got {}",
+            held.skin_temperature()
+        );
+    }
+
+    #[test]
+    fn display_power_heats_screen_more_than_skin() {
+        let mut p = phone();
+        p.set_heat(HeatInput {
+            display_w: 1.2,
+            ..Default::default()
+        });
+        p.step(1200.0);
+        assert!(p.screen_temperature() > p.skin_temperature());
+    }
+
+    #[test]
+    fn battery_charging_heats_the_back() {
+        let mut p = phone();
+        p.set_heat(HeatInput {
+            battery_w: 1.0,
+            ..Default::default()
+        });
+        p.step(1800.0);
+        assert!(p.skin_temperature() > p.screen_temperature());
+    }
+
+    #[test]
+    fn total_heat_input_adds_up() {
+        let h = heavy();
+        assert!((h.total() - (3.4 + 1.3 + 1.0 + 0.35 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = phone();
+        p.set_heat(heavy());
+        p.step(600.0);
+        p.reset_to(Celsius(26.0));
+        assert_eq!(p.skin_temperature(), Celsius(26.0));
+        assert_eq!(p.elapsed(), 0.0);
+    }
+}

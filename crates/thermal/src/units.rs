@@ -1,0 +1,205 @@
+//! Temperature units.
+//!
+//! The whole workspace reports temperatures in degrees Celsius. A newtype
+//! keeps Celsius values from being confused with the many other `f64`
+//! quantities flying around (watts, seconds, utilization ratios) while
+//! staying cheap to copy and easy to do arithmetic with.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A temperature in degrees Celsius.
+///
+/// Differences between two `Celsius` values are plain `f64` kelvins
+/// (1 K == 1 °C of difference), which is what control-policy code wants:
+///
+/// ```
+/// use usta_thermal::Celsius;
+///
+/// let limit = Celsius(37.0);
+/// let predicted = Celsius(35.2);
+/// let margin = limit - predicted; // f64 kelvins
+/// assert!((margin - 1.8).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Celsius(pub f64);
+
+impl Celsius {
+    /// Absolute zero, the lowest physically meaningful temperature.
+    pub const ABSOLUTE_ZERO: Celsius = Celsius(-273.15);
+
+    /// Returns the raw value in degrees Celsius.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to kelvin.
+    ///
+    /// ```
+    /// # use usta_thermal::Celsius;
+    /// assert_eq!(Celsius(0.0).to_kelvin(), 273.15);
+    /// ```
+    #[inline]
+    pub fn to_kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+
+    /// Builds a temperature from kelvin.
+    #[inline]
+    pub fn from_kelvin(k: f64) -> Celsius {
+        Celsius(k - 273.15)
+    }
+
+    /// Returns `true` if the value is finite and not below absolute zero.
+    #[inline]
+    pub fn is_physical(self) -> bool {
+        self.0.is_finite() && self.0 >= Self::ABSOLUTE_ZERO.0
+    }
+
+    /// Returns the larger of two temperatures.
+    #[inline]
+    pub fn max(self, other: Celsius) -> Celsius {
+        Celsius(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two temperatures.
+    #[inline]
+    pub fn min(self, other: Celsius) -> Celsius {
+        Celsius(self.0.min(other.0))
+    }
+
+    /// Linear interpolation between `self` and `other`.
+    ///
+    /// `t = 0` yields `self`, `t = 1` yields `other`; `t` outside `[0, 1]`
+    /// extrapolates.
+    #[inline]
+    pub fn lerp(self, other: Celsius, t: f64) -> Celsius {
+        Celsius(self.0 + (other.0 - self.0) * t)
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(precision) = f.precision() {
+            write!(f, "{:.*}°C", precision, self.0)
+        } else {
+            write!(f, "{}°C", self.0)
+        }
+    }
+}
+
+impl From<f64> for Celsius {
+    fn from(v: f64) -> Celsius {
+        Celsius(v)
+    }
+}
+
+impl From<Celsius> for f64 {
+    fn from(c: Celsius) -> f64 {
+        c.0
+    }
+}
+
+/// `Celsius − Celsius` is a temperature *difference* in kelvins.
+impl Sub for Celsius {
+    type Output = f64;
+
+    fn sub(self, rhs: Celsius) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+/// `Celsius + f64` shifts a temperature by a difference in kelvins.
+impl Add<f64> for Celsius {
+    type Output = Celsius;
+
+    fn add(self, rhs: f64) -> Celsius {
+        Celsius(self.0 + rhs)
+    }
+}
+
+/// `Celsius − f64` shifts a temperature down by a difference in kelvins.
+impl Sub<f64> for Celsius {
+    type Output = Celsius;
+
+    fn sub(self, rhs: f64) -> Celsius {
+        Celsius(self.0 - rhs)
+    }
+}
+
+impl AddAssign<f64> for Celsius {
+    fn add_assign(&mut self, rhs: f64) {
+        self.0 += rhs;
+    }
+}
+
+impl SubAssign<f64> for Celsius {
+    fn sub_assign(&mut self, rhs: f64) {
+        self.0 -= rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difference_is_kelvins() {
+        assert_eq!(Celsius(40.0) - Celsius(36.5), 3.5);
+    }
+
+    #[test]
+    fn shift_by_delta() {
+        assert_eq!(Celsius(40.0) + 2.0, Celsius(42.0));
+        assert_eq!(Celsius(40.0) - 2.0, Celsius(38.0));
+        let mut t = Celsius(30.0);
+        t += 1.5;
+        t -= 0.5;
+        assert_eq!(t, Celsius(31.0));
+    }
+
+    #[test]
+    fn kelvin_round_trip() {
+        let t = Celsius(36.6);
+        assert!((Celsius::from_kelvin(t.to_kelvin()) - t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn physicality() {
+        assert!(Celsius(25.0).is_physical());
+        assert!(Celsius::ABSOLUTE_ZERO.is_physical());
+        assert!(!Celsius(-300.0).is_physical());
+        assert!(!Celsius(f64::NAN).is_physical());
+        assert!(!Celsius(f64::INFINITY).is_physical());
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        assert!(Celsius(36.0) < Celsius(37.0));
+        assert_eq!(Celsius(36.0).max(Celsius(37.0)), Celsius(37.0));
+        assert_eq!(Celsius(36.0).min(Celsius(37.0)), Celsius(36.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Celsius(20.0);
+        let b = Celsius(40.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Celsius(30.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Celsius(37.0)), "37°C");
+        assert_eq!(format!("{:.1}", Celsius(36.649)), "36.6°C");
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Celsius = 25.0.into();
+        let v: f64 = t.into();
+        assert_eq!(v, 25.0);
+    }
+}

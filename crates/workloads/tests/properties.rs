@@ -1,0 +1,61 @@
+//! Property-based tests for workload-generator invariants.
+
+use proptest::prelude::*;
+use usta_workloads::{Benchmark, Workload};
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Demands stay physical for any benchmark, seed, and query time:
+    /// non-negative CPU, GPU in [0,1], brightness in [0,1].
+    #[test]
+    fn demands_are_physical(b in any_benchmark(), seed in 0u64..500, t in 0.0f64..6000.0) {
+        let mut w = b.workload(seed);
+        let d = w.demand_at(t, 0.1);
+        prop_assert!(d.cpu_threads_khz.iter().all(|&k| (0.0..4e6).contains(&k)));
+        prop_assert!((0.0..=1.0).contains(&d.gpu_load));
+        prop_assert!((0.0..=1.0).contains(&d.brightness));
+        prop_assert!(d.board_w >= 0.0 && d.board_w < 5.0);
+    }
+
+    /// After the declared duration every workload goes idle.
+    #[test]
+    fn idle_after_duration(b in any_benchmark(), seed in 0u64..500, extra in 0.0f64..1e5) {
+        let mut w = b.workload(seed);
+        let d = w.demand_at(w.duration() + extra, 0.1);
+        prop_assert_eq!(d.total_cpu_khz(), 0.0);
+        prop_assert!(!d.display_on);
+        prop_assert!(!d.charging);
+    }
+
+    /// Two same-seed instances replay identically over a time grid.
+    #[test]
+    fn same_seed_replays(b in any_benchmark(), seed in 0u64..500) {
+        let mut a = b.workload(seed);
+        let mut c = b.workload(seed);
+        for i in 0..100 {
+            let t = i as f64 * 1.7;
+            prop_assert_eq!(a.demand_at(t, 0.1), c.demand_at(t, 0.1));
+        }
+    }
+
+    /// Jitter is bounded: the demand at any instant stays within ±10 %
+    /// of some phase's nominal total (the configured jitter is 8 %).
+    #[test]
+    fn jitter_stays_bounded(b in any_benchmark(), seed in 0u64..500, t in 0.0f64..1700.0) {
+        let mut jittered = b.workload(seed);
+        let t = t.min(b.duration() - 1.0).max(0.0);
+        let got = jittered.demand_at(t, 0.1).total_cpu_khz();
+        // Reconstruct the nominal phase totals from a zero-jitter clone
+        // of the phase structure (phase_at is public on PhasedWorkload).
+        let nominal = jittered.phase_at(t).demand.total_cpu_khz();
+        prop_assert!(
+            got >= nominal * 0.9 - 1e-6 && got <= nominal * 1.1 + 1e-6,
+            "jittered total {got} vs nominal {nominal}"
+        );
+    }
+}

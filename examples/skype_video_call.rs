@@ -1,0 +1,20 @@
+//! The paper's headline scenario (Figure 4 / Table 1 Skype column): a
+//! half-hour video call under baseline DVFS and under USTA at the
+//! default 37 °C limit, side by side.
+//!
+//! ```sh
+//! cargo run --release -p usta-bench --example skype_video_call
+//! ```
+
+use usta_sim::experiments::fig4;
+
+fn main() {
+    println!("Running two 30-minute Skype calls (baseline + USTA)…\n");
+    let r = fig4::fig4(13);
+    println!("{}", r.to_display_string());
+    println!(
+        "\nUSTA held the skin {:.1} K cooler at peak for a {:.0} % average-frequency cost.",
+        r.peak_skin_gap(),
+        r.frequency_reduction() * 100.0
+    );
+}

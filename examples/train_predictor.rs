@@ -1,0 +1,44 @@
+//! Train the paper's skin/screen temperature predictors from scratch:
+//! run the 13-benchmark logging campaign, fit all four WEKA-style
+//! learners, and compare them under 10-fold cross-validation (Figure 3).
+//!
+//! ```sh
+//! cargo run --release -p usta-bench --example train_predictor
+//! ```
+
+use usta_core::predictor::PredictionTarget;
+use usta_core::{FeatureVector, TemperaturePredictor};
+use usta_ml::reptree::RepTreeParams;
+use usta_ml::Learner;
+use usta_sim::experiments::{collect_global_training_log, fig3};
+use usta_thermal::Celsius;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Collecting the 13-benchmark training campaign…");
+    let log = collect_global_training_log(11);
+    println!("logged {} samples at 3 s cadence\n", log.len());
+
+    println!("Cross-validating the four learners (Figure 3)…\n");
+    let r = fig3::fig3(11);
+    println!("{}", r.to_display_string());
+
+    // Deploy the winner exactly like the paper: REPTree.
+    let predictor = TemperaturePredictor::train(
+        &Learner::RepTree(RepTreeParams::default()),
+        &log,
+        PredictionTarget::Skin,
+        11,
+    )?;
+    let hot_moment = FeatureVector {
+        cpu_temp: Celsius(58.0),
+        battery_temp: Celsius(38.5),
+        utilization: 0.9,
+        freq_khz: 1_458_000.0,
+    };
+    println!(
+        "deployed {} predicts skin = {:.1} for a hot moment (cpu 58 °C, battery 38.5 °C)",
+        predictor.algorithm(),
+        predictor.predict(&hot_moment)
+    );
+    Ok(())
+}

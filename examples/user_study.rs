@@ -1,0 +1,18 @@
+//! The paper's two human studies, simulated: the Figure 1 comfort-limit
+//! study and the Figure 5 blind satisfaction study.
+//!
+//! ```sh
+//! cargo run --release -p usta-bench --example user_study
+//! ```
+
+use usta_sim::experiments::{fig1, fig5};
+
+fn main() {
+    println!("=== Study 1: discomfort limits (Figure 1) ===\n");
+    let r1 = fig1::fig1(7);
+    println!("{}", r1.to_display_string());
+
+    println!("\n=== Study 2: blind baseline-vs-USTA ratings (Figure 5) ===\n");
+    let r5 = fig5::fig5(17);
+    println!("{}", r5.to_display_string());
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration: the full pipeline — workload → device →
+//! governor → sensors → predictor → USTA — across all seven crates.
+
+use usta_core::predictor::PredictionTarget;
+use usta_core::{TemperaturePredictor, UstaGovernor, UstaPolicy};
+use usta_governors::OnDemand;
+use usta_ml::reptree::RepTreeParams;
+use usta_ml::Learner;
+use usta_sim::{run_workload, Device, Governor, RunConfig, RunResult};
+use usta_thermal::Celsius;
+use usta_workloads::{Benchmark, ConstantLoad};
+
+/// A short training pass over two contrasting benchmarks is enough for a
+/// usable predictor in integration tests.
+fn quick_predictor(seed: u64) -> TemperaturePredictor {
+    let mut log = usta_core::TrainingLog::new();
+    for b in [Benchmark::AntutuTester, Benchmark::Youtube, Benchmark::Skype] {
+        let mut device = Device::with_seed(seed).expect("default device builds");
+        let mut workload = b.workload(seed);
+        let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
+        let result = run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default());
+        log.extend_from(&result.training_log);
+    }
+    TemperaturePredictor::train(
+        &Learner::RepTree(RepTreeParams::default()),
+        &log,
+        PredictionTarget::Skin,
+        seed,
+    )
+    .expect("log is non-empty")
+}
+
+fn run_usta_stress(seed: u64, limit: Celsius, minutes: f64) -> RunResult {
+    let mut device = Device::with_seed(seed).expect("default device builds");
+    let mut workload = ConstantLoad::new("stress", minutes * 60.0, 1_500_000.0, 4);
+    let usta = UstaGovernor::new(
+        Box::new(OnDemand::default()),
+        quick_predictor(seed),
+        UstaPolicy::new(limit),
+    );
+    let mut governor = Governor::Usta(Box::new(usta));
+    run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+}
+
+#[test]
+fn usta_pipeline_controls_a_sustained_stress() {
+    let capped = run_usta_stress(1, Celsius(34.0), 12.0);
+    let mut device = Device::with_seed(1).expect("default device builds");
+    let mut workload = ConstantLoad::new("stress", 12.0 * 60.0, 1_500_000.0, 4);
+    let mut baseline = Governor::Baseline(Box::new(OnDemand::default()));
+    let free = run_workload(&mut device, &mut workload, &mut baseline, &RunConfig::default());
+
+    assert!(
+        free.max_skin - capped.max_skin > 1.5,
+        "USTA at 34 °C should clearly cut the peak: baseline {} vs usta {}",
+        free.max_skin,
+        capped.max_skin
+    );
+    assert!(
+        capped.avg_freq_ghz < free.avg_freq_ghz,
+        "the cut must come from lower frequency"
+    );
+    assert!(
+        capped.unserved_fraction > free.unserved_fraction,
+        "and it costs unserved demand"
+    );
+}
+
+#[test]
+fn tolerant_limit_means_usta_never_intervenes() {
+    let tolerant = run_usta_stress(2, Celsius(80.0), 6.0);
+    let mut device = Device::with_seed(2).expect("default device builds");
+    let mut workload = ConstantLoad::new("stress", 6.0 * 60.0, 1_500_000.0, 4);
+    let mut baseline = Governor::Baseline(Box::new(OnDemand::default()));
+    let free = run_workload(&mut device, &mut workload, &mut baseline, &RunConfig::default());
+    assert!(
+        (tolerant.avg_freq_ghz - free.avg_freq_ghz).abs() < 0.05,
+        "80 °C limit: USTA {} GHz vs baseline {} GHz should match",
+        tolerant.avg_freq_ghz,
+        free.avg_freq_ghz
+    );
+}
+
+#[test]
+fn full_pipeline_is_deterministic() {
+    let a = run_usta_stress(3, Celsius(36.0), 5.0);
+    let b = run_usta_stress(3, Celsius(36.0), 5.0);
+    assert_eq!(a.max_skin, b.max_skin);
+    assert_eq!(a.avg_freq_ghz, b.avg_freq_ghz);
+    assert_eq!(a.skin_trace, b.skin_trace);
+    assert_eq!(a.predictions, b.predictions);
+}
+
+#[test]
+fn different_seeds_vary_like_separate_sessions() {
+    // Benchmarks carry seeded demand jitter, so two sessions of the same
+    // app differ slightly — the paper's baseline and USTA measurements
+    // were separate physical runs for the same reason.
+    let run = |seed: u64| {
+        let mut device = Device::with_seed(seed).expect("default device builds");
+        let mut workload = Benchmark::Game.workload(seed);
+        let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
+        run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+    };
+    let a = run(4);
+    let b = run(5);
+    // Same physics, different jitter: close but not identical.
+    assert!((a.max_skin - b.max_skin).abs() < 1.5);
+    assert_ne!(a.skin_trace, b.skin_trace);
+    assert_ne!(a.avg_freq_ghz, b.avg_freq_ghz);
+}
+
+#[test]
+fn training_log_flows_from_runs_into_learners() {
+    let mut device = Device::with_seed(6).expect("default device builds");
+    let mut workload = Benchmark::Vellamo.workload(6);
+    let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
+    let result = run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default());
+    // 420 s at 3 s cadence → 140 log rows.
+    assert_eq!(result.training_log.len(), 140);
+    let data = result
+        .training_log
+        .to_dataset(PredictionTarget::Screen)
+        .expect("finite");
+    assert_eq!(data.n_features(), 4);
+    let model = Learner::RepTree(RepTreeParams::default())
+        .fit(&data, 1)
+        .expect("fit succeeds");
+    let sample = result.training_log.samples()[50];
+    let pred = model.predict(&sample.features.to_array());
+    assert!(
+        (pred - sample.screen.value()).abs() < 2.0,
+        "in-sample prediction {pred} vs truth {}",
+        sample.screen
+    );
+}

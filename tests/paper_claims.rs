@@ -1,0 +1,150 @@
+//! The paper's headline claims, asserted end to end against the full
+//! experiment harness. These are the "shape" checks EXPERIMENTS.md
+//! documents: who wins, by roughly what factor, where the crossovers
+//! fall.
+
+use usta_core::predictor::PredictionTarget;
+use usta_sim::experiments::{fig2, fig3, fig4, fig5, table1};
+use usta_thermal::Celsius;
+
+// ---------------------------------------------------------------- Table 1
+
+#[test]
+fn table1_usta_reduces_peaks_wherever_the_paper_says_it_must() {
+    let t = table1::table1(42);
+    assert_eq!(t.rows.len(), 13);
+    assert!(
+        t.headline_claim_holds(),
+        "some row within 2 °C of the 37 °C limit did not see a peak reduction:\n{}",
+        t.to_display_string()
+    );
+    // And USTA never acts where the baseline stays cool.
+    for row in &t.rows {
+        if row.baseline.max_skin < Celsius(34.0) {
+            assert!(
+                (row.usta.avg_freq_ghz - row.baseline.avg_freq_ghz).abs() < 0.15,
+                "{}: USTA should be a no-op on a cool benchmark",
+                row.benchmark.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_hottest_benchmarks_match_the_paper() {
+    // The paper's two 42.8 °C peaks are AnTuTu Tester and Skype.
+    let t = table1::table1(42);
+    let mut rows: Vec<_> = t.rows.iter().collect();
+    rows.sort_by(|a, b| {
+        b.baseline
+            .max_skin
+            .partial_cmp(&a.baseline.max_skin)
+            .expect("finite")
+    });
+    let hottest: Vec<&str> = rows[..3].iter().map(|r| r.benchmark.name()).collect();
+    assert!(
+        hottest.contains(&"AnTuTu Tester") && hottest.contains(&"Skype"),
+        "hottest three should include Tester and Skype, got {hottest:?}"
+    );
+}
+
+#[test]
+fn table1_charging_is_the_lowest_frequency_column() {
+    let t = table1::table1(42);
+    let charging = t
+        .rows
+        .iter()
+        .find(|r| r.benchmark.name() == "Charging")
+        .expect("charging row");
+    for row in &t.rows {
+        assert!(
+            charging.baseline.avg_freq_ghz <= row.baseline.avg_freq_ghz + 1e-9,
+            "Charging should idle at the lowest average frequency"
+        );
+    }
+}
+
+// ----------------------------------------------------------------- Fig 4
+
+#[test]
+fn fig4_skype_anchors() {
+    let r = fig4::fig4(13);
+    // Peak gap in the paper: 4.1 K. Shape requirement: kelvins, not
+    // tenths, and not implausibly large.
+    let gap = r.peak_skin_gap();
+    assert!((1.0..8.0).contains(&gap), "peak gap {gap} K");
+    // Frequency cost in the paper: −34 %. Shape: tens of percent.
+    let cut = r.frequency_reduction();
+    assert!((0.15..0.75).contains(&cut), "frequency cut {cut}");
+    // USTA hovers near, and occasionally above, the 37 °C limit.
+    assert!(r.usta.max_skin > Celsius(37.0));
+    assert!(r.usta.max_skin < Celsius(40.5));
+}
+
+// ----------------------------------------------------------------- Fig 3
+
+#[test]
+fn fig3_model_ranking_matches_the_paper() {
+    let r = fig3::fig3(11);
+    for target in [PredictionTarget::Skin, PredictionTarget::Screen] {
+        let rep = r.entry("REPTree", target).error_rate;
+        let m5p = r.entry("M5P", target).error_rate;
+        let lin = r.entry("linear regression", target).error_rate;
+        let mlp = r.entry("multilayer perceptron", target).error_rate;
+        // Trees beat the global-function learners…
+        assert!(rep < lin && rep < mlp, "{}: REPTree must win", target.name());
+        assert!(m5p < lin, "{}: M5P must beat linear", target.name());
+        // …and reach percent-scale accuracy like the paper's ~1 %.
+        assert!(rep < 3.0, "{}: REPTree at {rep}%", target.name());
+        assert!(m5p < 3.0, "{}: M5P at {m5p}%", target.name());
+    }
+}
+
+#[test]
+fn fig3_deadband_makes_m5p_shine() {
+    // Paper: ignoring sub-1 °C differences, M5P drops to 0.26 % (skin).
+    let r = fig3::fig3(11);
+    let m5p = r.entry("M5P", PredictionTarget::Skin);
+    assert!(
+        m5p.error_rate_deadband < 1.0,
+        "M5P dead-band error {} % should collapse below 1 %",
+        m5p.error_rate_deadband
+    );
+}
+
+// ----------------------------------------------------------------- Fig 2
+
+#[test]
+fn fig2_exceedance_falls_with_tolerance() {
+    let r = fig2::fig2(5);
+    assert_eq!(r.entries.len(), 11);
+    // Spearman-style check: among the ten real users, the three most
+    // tolerant see less exceedance than the three most sensitive.
+    let mut users: Vec<_> = r.entries.iter().filter(|e| e.label != '*').collect();
+    users.sort_by(|a, b| a.limit.partial_cmp(&b.limit).expect("finite"));
+    let sensitive: f64 = users[..3].iter().map(|e| e.percent_over).sum();
+    let tolerant: f64 = users[7..].iter().map(|e| e.percent_over).sum();
+    assert!(
+        sensitive > tolerant,
+        "sensitive users {sensitive}% vs tolerant {tolerant}%"
+    );
+}
+
+// ----------------------------------------------------------------- Fig 5
+
+#[test]
+fn fig5_population_outcome_matches_the_paper() {
+    let r = fig5::fig5(17);
+    let (usta, baseline, none) = r.preference_split();
+    assert!(usta > baseline, "more users must prefer USTA ({usta} vs {baseline})");
+    assert!(none >= 2, "several high-limit users see no difference");
+    assert!(
+        r.mean_usta_rating() >= r.mean_baseline_rating(),
+        "mean ratings: usta {} vs baseline {}",
+        r.mean_usta_rating(),
+        r.mean_baseline_rating()
+    );
+    // Both systems leave users generally satisfied (paper: 4.0 / 4.3).
+    assert!(r.mean_baseline_rating() > 3.0);
+    assert!(r.mean_usta_rating() > 3.3);
+}
