@@ -3,8 +3,8 @@
 //! (Control-quality numbers come from `repro_ablations`.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 use usta_bench::trained;
 use usta_core::predictor::PredictionTarget;
 use usta_core::{UstaGovernor, UstaPolicy};

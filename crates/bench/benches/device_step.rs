@@ -2,8 +2,8 @@
 //! sub-stepped RC thermal integration), and a full observation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 use usta_sim::Device;
 use usta_workloads::DeviceDemand;
 

@@ -2,8 +2,8 @@
 //! limits (full 11-limit sweep comes from `repro_fig2`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 use usta_bench::trained;
 use usta_core::predictor::PredictionTarget;
 use usta_core::{UstaGovernor, UstaPolicy};

@@ -5,8 +5,8 @@
 //! measures fit time of all four learners on the real campaign dataset.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 use usta_bench::cached_training_log;
 use usta_core::predictor::PredictionTarget;
 use usta_ml::Learner;

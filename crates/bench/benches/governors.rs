@@ -2,8 +2,8 @@
 //! (decision path only; prediction runs on its own 3 s cadence).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 use usta_bench::trained;
 use usta_core::predictor::PredictionTarget;
 use usta_core::{UstaGovernor, UstaPolicy};
@@ -26,7 +26,9 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
     let mut ondemand = OnDemand::default();
-    group.bench_function("ondemand", |b| b.iter(|| black_box(ondemand.decide(&input))));
+    group.bench_function("ondemand", |b| {
+        b.iter(|| black_box(ondemand.decide(&input)))
+    });
     let mut conservative = Conservative::default();
     group.bench_function("conservative", |b| {
         b.iter(|| black_box(conservative.decide(&input)))

@@ -6,8 +6,8 @@
 //! cost is negligible against the 3 s cadence for every learner.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 use usta_bench::trained;
 use usta_core::predictor::PredictionTarget;
 use usta_core::FeatureVector;

@@ -2,8 +2,8 @@
 //! baseline governor (full rows come from `repro_table1`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use std::hint::black_box;
+use std::time::Duration;
 use usta_governors::OnDemand;
 use usta_sim::{run_workload, Device, Governor, RunConfig};
 use usta_workloads::{Benchmark, PhasedWorkload, Workload};

@@ -23,7 +23,10 @@ fn main() {
     for row in policy_sweep(3) {
         println!(
             "{:<28} | {:>6.1} | {:>7.1} | {:>7.2}",
-            row.name, row.percent_over, row.peak_skin.value(), row.avg_freq_ghz
+            row.name,
+            row.percent_over,
+            row.peak_skin.value(),
+            row.avg_freq_ghz
         );
     }
 
@@ -31,6 +34,9 @@ fn main() {
     println!("{:<22} | err % | MAE K", "features");
     println!("{}", "-".repeat(42));
     for row in feature_ablation(3) {
-        println!("{:<22} | {:>5.2} | {:>5.3}", row.features, row.error_rate, row.mae);
+        println!(
+            "{:<22} | {:>5.2} | {:>5.3}",
+            row.features, row.error_rate, row.mae
+        );
     }
 }

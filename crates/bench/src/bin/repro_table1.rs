@@ -10,10 +10,17 @@ fn main() {
     println!("{}", t.to_display_string());
     println!(
         "headline claim (USTA reduces the peak wherever baseline comes within 2°C of 37°C): {}",
-        if t.headline_claim_holds() { "HOLDS" } else { "VIOLATED" }
+        if t.headline_claim_holds() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
     let ours: Vec<f64> = t.rows.iter().map(|r| r.baseline.max_skin.value()).collect();
-    let paper: Vec<f64> = usta_sim::experiments::PAPER_TABLE1.iter().map(|p| p.1).collect();
+    let paper: Vec<f64> = usta_sim::experiments::PAPER_TABLE1
+        .iter()
+        .map(|p| p.1)
+        .collect();
     println!(
         "baseline peak-skin correlation vs paper: {:.3}",
         usta_ml::metrics::correlation(&paper, &ours)

@@ -62,7 +62,10 @@ impl UstaGovernor {
     ///
     /// Panics if `period_s` is not positive.
     pub fn set_prediction_period(&mut self, period_s: f64) {
-        assert!(period_s > 0.0 && period_s.is_finite(), "period must be positive");
+        assert!(
+            period_s > 0.0 && period_s.is_finite(),
+            "period must be positive"
+        );
         self.period_s = period_s;
     }
 

@@ -106,6 +106,13 @@ impl UstaPolicy {
     }
 
     /// Maps a predicted skin temperature to the cap.
+    ///
+    /// Boundary semantics follow the paper's half-open bands: a margin of
+    /// exactly 2 °C caps one level, exactly 1 °C caps two levels, and
+    /// exactly 0.5 °C pins the minimum frequency. A non-finite prediction
+    /// (NaN margin) fails every `>` comparison and therefore falls
+    /// through to [`FrequencyCap::MinimumFrequency`] — a bogus predictor
+    /// fails safe (cold), never open (hot).
     pub fn decide(&self, predicted_skin: Celsius) -> FrequencyCap {
         let margin = self.limit - predicted_skin; // kelvins below the limit
         if margin > self.activation_margin {
@@ -140,6 +147,43 @@ mod tests {
         assert_eq!(p.decide(Celsius(36.5)), FrequencyCap::MinimumFrequency);
         assert_eq!(p.decide(Celsius(37.0)), FrequencyCap::MinimumFrequency);
         assert_eq!(p.decide(Celsius(45.0)), FrequencyCap::MinimumFrequency);
+    }
+
+    #[test]
+    fn band_boundaries_are_half_open_exactly_as_quoted() {
+        let p = UstaPolicy::new(Celsius(37.0));
+        // margin exactly 2.0 °C: activation threshold is *inclusive*
+        // ("threshold for activation which is set to 2 °C below the
+        // limit") — the (1, 2] band caps one level.
+        assert_eq!(p.decide(Celsius(35.0)), FrequencyCap::OneLevelBelowMax);
+        // A hair above 2.0 margin stays unrestricted.
+        assert_eq!(
+            p.decide(Celsius(35.0 - f64::EPSILON * 64.0)),
+            FrequencyCap::Unrestricted
+        );
+        // margin exactly 1.0 °C belongs to the (0.5, 1] two-level band.
+        assert_eq!(p.decide(Celsius(36.0)), FrequencyCap::TwoLevelsBelowMax);
+        // margin exactly 0.5 °C: "closer than 0.5 °C … or exceeding" —
+        // the closed end of the minimum-frequency band.
+        assert_eq!(p.decide(Celsius(36.5)), FrequencyCap::MinimumFrequency);
+        // margin exactly 0 (prediction at the limit) pins the minimum.
+        assert_eq!(p.decide(Celsius(37.0)), FrequencyCap::MinimumFrequency);
+    }
+
+    #[test]
+    fn non_finite_predictions_fail_safe_to_minimum_frequency() {
+        let p = UstaPolicy::new(Celsius(37.0));
+        assert_eq!(p.decide(Celsius(f64::NAN)), FrequencyCap::MinimumFrequency);
+        assert_eq!(
+            p.decide(Celsius(f64::INFINITY)),
+            FrequencyCap::MinimumFrequency
+        );
+        // -inf predicted skin gives +inf margin: genuinely cold, stays
+        // unrestricted (and must not panic).
+        assert_eq!(
+            p.decide(Celsius(f64::NEG_INFINITY)),
+            FrequencyCap::Unrestricted
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl PredictionTarget {
 }
 
 /// A fitted temperature predictor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TemperaturePredictor {
     model: Box<dyn Regressor>,
     target: PredictionTarget,
@@ -142,8 +142,7 @@ mod tests {
     fn all_four_learners_train_through_the_same_api() {
         let log = synthetic_log(300);
         for learner in Learner::paper_set() {
-            let p =
-                TemperaturePredictor::train(&learner, &log, PredictionTarget::Skin, 1).unwrap();
+            let p = TemperaturePredictor::train(&learner, &log, PredictionTarget::Skin, 1).unwrap();
             let pred = p.predict(&log.samples()[10].features);
             assert!(
                 (20.0..50.0).contains(&pred.value()),

@@ -65,8 +65,7 @@ impl RatingModel {
         let heat = user.heat_sensitivity
             * (self.heat_time_weight * session.fraction_over_limit
                 + self.heat_degree_weight * session.mean_excess_k);
-        let perf =
-            user.performance_sensitivity * self.perf_weight * session.unserved_fraction;
+        let perf = user.performance_sensitivity * self.perf_weight * session.unserved_fraction;
         5.0 - heat - perf
     }
 

@@ -155,7 +155,10 @@ mod tests {
     fn labels_are_a_through_j_unique() {
         let p = UserPopulation::paper();
         let labels: Vec<char> = p.iter().map(|u| u.label).collect();
-        assert_eq!(labels, vec!['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j']);
+        assert_eq!(
+            labels,
+            vec!['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j']
+        );
     }
 
     #[test]

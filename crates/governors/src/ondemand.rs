@@ -125,7 +125,10 @@ mod tests {
     fn saturation_jumps_to_max() {
         let opp = nexus4::opp_table();
         let mut g = OnDemand::default();
-        assert_eq!(g.decide(&input(&opp, 0.95, 0, opp.max_index())), opp.max_index());
+        assert_eq!(
+            g.decide(&input(&opp, 0.95, 0, opp.max_index())),
+            opp.max_index()
+        );
     }
 
     #[test]
@@ -185,12 +188,24 @@ mod tests {
             ..Default::default()
         });
         // Jump to max…
-        assert_eq!(g.decide(&input(&opp, 1.0, 0, opp.max_index())), opp.max_index());
+        assert_eq!(
+            g.decide(&input(&opp, 1.0, 0, opp.max_index())),
+            opp.max_index()
+        );
         // …then two held periods at max despite low load…
-        assert_eq!(g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())), opp.max_index());
-        assert_eq!(g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())), opp.max_index());
+        assert_eq!(
+            g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())),
+            opp.max_index()
+        );
+        assert_eq!(
+            g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())),
+            opp.max_index()
+        );
         // …then the drop.
-        assert_eq!(g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())), 0);
+        assert_eq!(
+            g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())),
+            0
+        );
     }
 
     #[test]
@@ -202,7 +217,10 @@ mod tests {
         });
         g.decide(&input(&opp, 1.0, 0, opp.max_index()));
         g.reset();
-        assert_eq!(g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())), 0);
+        assert_eq!(
+            g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())),
+            0
+        );
     }
 
     #[test]

@@ -126,7 +126,11 @@ impl Dataset {
             return 0.0;
         }
         let mean = self.target_mean();
-        self.targets.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / self.targets.len() as f64
+        self.targets
+            .iter()
+            .map(|t| (t - mean) * (t - mean))
+            .sum::<f64>()
+            / self.targets.len() as f64
     }
 
     /// A new dataset containing the rows at `indices` (duplicates allowed).
@@ -154,7 +158,10 @@ impl Dataset {
     /// Returns [`MlError::BadFoldCount`] when `k < 2` or `k > len()`.
     pub fn k_fold_indices(&self, k: usize, seed: u64) -> Result<FoldIndices, MlError> {
         if k < 2 || k > self.len() {
-            return Err(MlError::BadFoldCount { k, rows: self.len() });
+            return Err(MlError::BadFoldCount {
+                k,
+                rows: self.len(),
+            });
         }
         let shuffled = self.shuffled_indices(seed);
         let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
@@ -193,7 +200,10 @@ mod tests {
         let mut d = Dataset::new(vec!["a".into(), "b".into()]).unwrap();
         assert!(matches!(
             d.push(vec![1.0], 0.0),
-            Err(MlError::DimensionMismatch { expected: 2, got: 1 })
+            Err(MlError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             d.push(vec![1.0, f64::NAN], 0.0),

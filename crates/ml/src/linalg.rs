@@ -52,18 +52,14 @@ pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Option<Vec<f64>> {
 /// `‖X·w − y‖² + λ‖w‖²` where `X` has an implicit trailing 1-column for
 /// the intercept (the intercept is *not* regularized). Returns
 /// `(weights, intercept)`, or `None` if singular even with the ridge.
-pub fn ridge_least_squares(
-    xs: &[&[f64]],
-    ys: &[f64],
-    lambda: f64,
-) -> Option<(Vec<f64>, f64)> {
+pub fn ridge_least_squares(xs: &[&[f64]], ys: &[f64], lambda: f64) -> Option<(Vec<f64>, f64)> {
     let n = xs.len();
     if n == 0 {
         return None;
     }
     let d = xs[0].len();
     let m = d + 1; // + intercept
-    // Normal equations: (XᵀX + λI)·w = Xᵀy with augmented X.
+                   // Normal equations: (XᵀX + λI)·w = Xᵀy with augmented X.
     let mut a = vec![0.0; m * m];
     let mut b = vec![0.0; m];
     for (x, &y) in xs.iter().zip(ys) {

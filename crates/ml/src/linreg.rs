@@ -84,6 +84,10 @@ impl Regressor for LinearModel {
     fn name(&self) -> &'static str {
         "linear regression"
     }
+
+    fn boxed_clone(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -181,6 +181,10 @@ impl Regressor for M5p {
     fn name(&self) -> &'static str {
         "M5P"
     }
+
+    fn boxed_clone(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
 }
 
 /// Quinlan smoothing: the child's prediction is blended with each

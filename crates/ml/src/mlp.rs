@@ -119,7 +119,9 @@ impl Mlp {
             .map(|_| (0..=d).map(|_| rng.gen_range(-scale..scale)).collect())
             .collect();
         let out_scale = (1.0 / (h as f64 + 1.0)).sqrt();
-        let mut w_out: Vec<f64> = (0..=h).map(|_| rng.gen_range(-out_scale..out_scale)).collect();
+        let mut w_out: Vec<f64> = (0..=h)
+            .map(|_| rng.gen_range(-out_scale..out_scale))
+            .collect();
         let mut v_hidden: Vec<Vec<f64>> = vec![vec![0.0; d + 1]; h];
         let mut v_out = vec![0.0; h + 1];
 
@@ -206,6 +208,10 @@ impl Regressor for Mlp {
 
     fn name(&self) -> &'static str {
         "multilayer perceptron"
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
     }
 }
 

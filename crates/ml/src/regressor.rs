@@ -18,6 +18,17 @@ pub trait Regressor: std::fmt::Debug {
 
     /// Algorithm name as used in the paper's Figure 3.
     fn name(&self) -> &'static str;
+
+    /// Clones the fitted model behind the trait object (all fitted
+    /// models are plain data, so a deployed predictor can be duplicated
+    /// per governor instance without retraining).
+    fn boxed_clone(&self) -> Box<dyn Regressor>;
+}
+
+impl Clone for Box<dyn Regressor> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
 }
 
 /// One of the paper's four algorithms plus its hyper-parameters.

@@ -167,6 +167,10 @@ impl Regressor for RepTree {
     fn name(&self) -> &'static str {
         "REPTree"
     }
+
+    fn boxed_clone(&self) -> Box<dyn Regressor> {
+        Box::new(self.clone())
+    }
 }
 
 fn mean(data: &Dataset, idx: &[usize]) -> f64 {
@@ -398,7 +402,9 @@ mod tests {
         let mut d = Dataset::new(vec!["x".into()]).unwrap();
         let mut state = 1u64;
         for i in 0..300 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let noise = ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
             d.push(vec![i as f64], 35.0 + noise).unwrap();
         }
@@ -426,7 +432,10 @@ mod tests {
         let t = RepTree::fit(&RepTreeParams::default(), &d, 1).unwrap();
         for x in [-100.0, 0.0, 5.0, 8.5, 100.0] {
             let p = t.predict(&[x]);
-            assert!((30.0..=42.0).contains(&p), "prediction {p} escapes target range");
+            assert!(
+                (30.0..=42.0).contains(&p),
+                "prediction {p} escapes target range"
+            );
         }
     }
 

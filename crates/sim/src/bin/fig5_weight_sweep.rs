@@ -2,15 +2,15 @@
 //! simulated session experiences so the population-level Figure 5
 //! outcome (preference structure, ~4.0 vs ~4.3 means) emerges.
 
+use usta_core::comfort::ComfortStats;
+use usta_core::predictor::PredictionTarget;
 use usta_core::rating::{Preference, RatingModel, SessionExperience};
 use usta_core::user::{UserPopulation, UserProfile};
 use usta_sim::experiments::common::{
     collect_global_training_log, run_baseline, run_usta, train_predictor,
 };
-use usta_core::comfort::ComfortStats;
-use usta_core::predictor::PredictionTarget;
-use usta_workloads::Benchmark;
 use usta_thermal::Celsius;
+use usta_workloads::Benchmark;
 
 fn experience(result: &usta_sim::RunResult, limit: Celsius) -> SessionExperience {
     let stats = ComfortStats::from_trace(&result.skin_trace, result.log_period_s, limit);
@@ -57,8 +57,13 @@ fn main() {
     for (u, b, s) in &sessions {
         println!(
             "{}: base(frac {:.2} exc {:.2} uns {:.2})  usta(frac {:.2} exc {:.2} uns {:.2})",
-            u.label, b.fraction_over_limit, b.mean_excess_k, b.unserved_fraction,
-            s.fraction_over_limit, s.mean_excess_k, s.unserved_fraction
+            u.label,
+            b.fraction_over_limit,
+            b.mean_excess_k,
+            b.unserved_fraction,
+            s.fraction_over_limit,
+            s.mean_excess_k,
+            s.unserved_fraction
         );
     }
 

@@ -133,8 +133,9 @@ impl Device {
     /// given OPP index.
     pub fn apply(&mut self, demand: &DeviceDemand, level: usize, dt: f64) {
         self.cpu.set_level(level);
-        self.cpu
-            .apply_demand(&usta_soc::CoreDemand::per_core(demand.cpu_threads_khz.clone()));
+        self.cpu.apply_demand(&usta_soc::CoreDemand::per_core(
+            demand.cpu_threads_khz.clone(),
+        ));
 
         self.display.set_on(demand.display_on);
         self.display.set_brightness(demand.brightness);
@@ -276,7 +277,11 @@ mod tests {
             d.apply(&busy_demand(), 11, 1.0);
         }
         let end = d.observe().skin_true;
-        assert!(end - start > 5.0, "10 busy minutes heated only {} K", end - start);
+        assert!(
+            end - start > 5.0,
+            "10 busy minutes heated only {} K",
+            end - start
+        );
     }
 
     #[test]

@@ -36,11 +36,16 @@ pub struct CadenceRow {
 /// Sweeps the prediction cadence.
 pub fn cadence_sweep(seed: u64, periods_s: &[f64]) -> Vec<CadenceRow> {
     let log = collect_global_training_log(seed);
+    let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
     periods_s
         .iter()
         .map(|&period| {
-            let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
-            let result = run_skype_usta(seed, predictor, UstaPolicy::new(Celsius(37.0)), period);
+            let result = run_skype_usta(
+                seed,
+                predictor.clone(),
+                UstaPolicy::new(Celsius(37.0)),
+                period,
+            );
             let stats =
                 ComfortStats::from_trace(&result.skin_trace, result.log_period_s, Celsius(37.0));
             CadenceRow {
@@ -71,7 +76,10 @@ pub fn policy_sweep(seed: u64) -> Vec<PolicyRow> {
     let log = collect_global_training_log(seed);
     let limit = Celsius(37.0);
     let variants: Vec<(String, UstaPolicy)> = vec![
-        ("paper staircase (2/1/0.5)".to_owned(), UstaPolicy::new(limit)),
+        (
+            "paper staircase (2/1/0.5)".to_owned(),
+            UstaPolicy::new(limit),
+        ),
         (
             // One band: below 2 °C margin jump straight to minimum.
             "min-only (aggressive)".to_owned(),
@@ -83,11 +91,11 @@ pub fn policy_sweep(seed: u64) -> Vec<PolicyRow> {
             UstaPolicy::with_margins(limit, 4.0, 2.0, 0.0),
         ),
     ];
+    let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
     variants
         .into_iter()
         .map(|(name, policy)| {
-            let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
-            let result = run_skype_usta(seed, predictor, policy, 3.0);
+            let result = run_skype_usta(seed, predictor.clone(), policy, 3.0);
             let stats = ComfortStats::from_trace(&result.skin_trace, result.log_period_s, limit);
             PolicyRow {
                 name,
@@ -135,13 +143,8 @@ pub fn feature_ablation(seed: u64) -> Vec<FeatureRow> {
                 let row: Vec<f64> = cols.iter().map(|&c| full.row(i)[c]).collect();
                 data.push(row, full.target(i)).expect("finite");
             }
-            let outcome = k_fold(
-                &Learner::RepTree(RepTreeParams::default()),
-                &data,
-                10,
-                seed,
-            )
-            .expect("large dataset");
+            let outcome = k_fold(&Learner::RepTree(RepTreeParams::default()), &data, 10, seed)
+                .expect("large dataset");
             FeatureRow {
                 features: name.to_owned(),
                 error_rate: outcome.error_rate(),
@@ -162,7 +165,12 @@ fn run_skype_usta(
     let mut usta = UstaGovernor::new(Box::new(OnDemand::default()), predictor, policy);
     usta.set_prediction_period(period_s);
     let mut governor = Governor::Usta(Box::new(usta));
-    run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+    run_workload(
+        &mut device,
+        &mut workload,
+        &mut governor,
+        &RunConfig::default(),
+    )
 }
 
 #[cfg(test)]

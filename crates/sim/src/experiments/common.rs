@@ -39,7 +39,12 @@ pub fn run_baseline(benchmark: Benchmark, seed: u64) -> RunResult {
     let mut device = Device::with_seed(seed).expect("default device builds");
     let mut workload = benchmark.workload(seed);
     let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
-    run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+    run_workload(
+        &mut device,
+        &mut workload,
+        &mut governor,
+        &RunConfig::default(),
+    )
 }
 
 /// Runs one benchmark on a fresh device under USTA at the given limit.
@@ -57,7 +62,12 @@ pub fn run_usta(
         UstaPolicy::new(limit),
     );
     let mut governor = Governor::Usta(Box::new(usta));
-    run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+    run_workload(
+        &mut device,
+        &mut workload,
+        &mut governor,
+        &RunConfig::default(),
+    )
 }
 
 /// The paper's data-collection campaign (§3.A): run all thirteen
@@ -74,7 +84,11 @@ pub fn collect_global_training_log(seed: u64) -> TrainingLog {
 
 /// Trains the deployment predictor the way the paper does: REPTree on
 /// the global log (§4.A — "we have chosen REPTree to implement").
-pub fn train_predictor(log: &TrainingLog, target: PredictionTarget, seed: u64) -> TemperaturePredictor {
+pub fn train_predictor(
+    log: &TrainingLog,
+    target: PredictionTarget,
+    seed: u64,
+) -> TemperaturePredictor {
     TemperaturePredictor::train(
         &Learner::RepTree(RepTreeParams::default()),
         log,

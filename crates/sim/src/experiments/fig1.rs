@@ -43,8 +43,7 @@ pub struct Fig1Result {
 impl Fig1Result {
     /// Minimum skin temperature at quit across participants who quit.
     pub fn min_quit_skin(&self) -> Celsius {
-        self.quit_temps()
-            .fold(Celsius(f64::INFINITY), Celsius::min)
+        self.quit_temps().fold(Celsius(f64::INFINITY), Celsius::min)
     }
 
     /// Maximum skin temperature at quit across participants who quit.
@@ -140,7 +139,10 @@ fn run_participant(device: &mut Device, user: &UserProfile, seed: u64) -> Fig1En
             series
                 .iter()
                 .min_by(|a, b| {
-                    (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).expect("finite")
+                    (a.0 - t)
+                        .abs()
+                        .partial_cmp(&(b.0 - t).abs())
+                        .expect("finite")
                 })
                 .expect("trace non-empty")
                 .1

@@ -75,11 +75,16 @@ pub fn fig2(seed: u64) -> Fig2Result {
         .collect();
     settings.push(('*', population.mean_skin_limit()));
 
+    let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
     let entries = settings
         .into_iter()
         .map(|(label, limit)| {
-            let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
-            let result = run_usta(Benchmark::Skype, limit, predictor, seed ^ (label as u64) << 3);
+            let result = run_usta(
+                Benchmark::Skype,
+                limit,
+                predictor.clone(),
+                seed ^ (label as u64) << 3,
+            );
             let stats = ComfortStats::from_trace(&result.skin_trace, result.log_period_s, limit);
             Fig2Entry {
                 label,

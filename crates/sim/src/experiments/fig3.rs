@@ -130,7 +130,9 @@ mod tests {
         let r = result();
         let rep = r.entry("REPTree", PredictionTarget::Skin).error_rate;
         let m5p = r.entry("M5P", PredictionTarget::Skin).error_rate;
-        let lin = r.entry("linear regression", PredictionTarget::Skin).error_rate;
+        let lin = r
+            .entry("linear regression", PredictionTarget::Skin)
+            .error_rate;
         let mlp = r
             .entry("multilayer perceptron", PredictionTarget::Skin)
             .error_rate;

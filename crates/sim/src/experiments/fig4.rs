@@ -76,7 +76,10 @@ impl Fig4Result {
                 .predictions
                 .iter()
                 .min_by(|a, b| {
-                    (a.0 - tb).abs().partial_cmp(&(b.0 - tb).abs()).expect("finite")
+                    (a.0 - tb)
+                        .abs()
+                        .partial_cmp(&(b.0 - tb).abs())
+                        .expect("finite")
                 })
                 .map(|(_, p)| format!("{:.1}", p.value()))
                 .unwrap_or_else(|| "-".to_owned());
@@ -113,7 +116,12 @@ pub fn fig4(seed: u64) -> Fig4Result {
     let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
     Fig4Result {
         baseline: run_baseline(Benchmark::Skype, seed.wrapping_add(401)),
-        usta: run_usta(Benchmark::Skype, FIG4_LIMIT, predictor, seed.wrapping_add(402)),
+        usta: run_usta(
+            Benchmark::Skype,
+            FIG4_LIMIT,
+            predictor,
+            seed.wrapping_add(402),
+        ),
     }
 }
 

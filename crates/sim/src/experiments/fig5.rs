@@ -40,13 +40,19 @@ pub struct Fig5Result {
 impl Fig5Result {
     /// Mean baseline rating (the paper's 4.0).
     pub fn mean_baseline_rating(&self) -> f64 {
-        self.entries.iter().map(|e| e.baseline_rating as f64).sum::<f64>()
+        self.entries
+            .iter()
+            .map(|e| e.baseline_rating as f64)
+            .sum::<f64>()
             / self.entries.len() as f64
     }
 
     /// Mean USTA rating (the paper's 4.3).
     pub fn mean_usta_rating(&self) -> f64 {
-        self.entries.iter().map(|e| e.usta_rating as f64).sum::<f64>()
+        self.entries
+            .iter()
+            .map(|e| e.usta_rating as f64)
+            .sum::<f64>()
             / self.entries.len() as f64
     }
 
@@ -118,16 +124,16 @@ fn experience(result: &RunResult, limit: Celsius) -> SessionExperience {
 /// Runs the full blind study.
 pub fn fig5(seed: u64) -> Fig5Result {
     let log = collect_global_training_log(seed);
+    let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
     let population = UserPopulation::paper();
     let entries = population
         .iter()
         .map(|user: &UserProfile| {
             let base_run = run_baseline(Benchmark::Skype, seed ^ (user.label as u64) << 2);
-            let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
             let usta_run = run_usta(
                 Benchmark::Skype,
                 user.skin_limit,
-                predictor,
+                predictor.clone(),
                 seed ^ (user.label as u64) << 4,
             );
             let base_exp = experience(&base_run, user.skin_limit);

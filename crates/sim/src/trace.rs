@@ -72,7 +72,12 @@ mod tests {
         let mut device = Device::with_seed(1).expect("builds");
         let mut workload = ConstantLoad::new("x", 12.0, 700_000.0, 2);
         let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
-        run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+        run_workload(
+            &mut device,
+            &mut workload,
+            &mut governor,
+            &RunConfig::default(),
+        )
     }
 
     #[test]

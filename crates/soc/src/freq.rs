@@ -173,28 +173,52 @@ mod tests {
 
     fn table() -> OppTable {
         OppTable::new(vec![
-            FrequencyLevel { khz: 300_000, volts: 0.9 },
-            FrequencyLevel { khz: 600_000, volts: 1.0 },
-            FrequencyLevel { khz: 900_000, volts: 1.1 },
+            FrequencyLevel {
+                khz: 300_000,
+                volts: 0.9,
+            },
+            FrequencyLevel {
+                khz: 600_000,
+                volts: 1.0,
+            },
+            FrequencyLevel {
+                khz: 900_000,
+                volts: 1.1,
+            },
         ])
         .unwrap()
     }
 
     #[test]
     fn rejects_empty() {
-        assert!(matches!(OppTable::new(vec![]), Err(SocError::EmptyOppTable)));
+        assert!(matches!(
+            OppTable::new(vec![]),
+            Err(SocError::EmptyOppTable)
+        ));
     }
 
     #[test]
     fn rejects_unsorted_and_duplicate() {
         let r = OppTable::new(vec![
-            FrequencyLevel { khz: 600_000, volts: 1.0 },
-            FrequencyLevel { khz: 300_000, volts: 0.9 },
+            FrequencyLevel {
+                khz: 600_000,
+                volts: 1.0,
+            },
+            FrequencyLevel {
+                khz: 300_000,
+                volts: 0.9,
+            },
         ]);
         assert!(matches!(r, Err(SocError::UnsortedOppTable { index: 1 })));
         let r = OppTable::new(vec![
-            FrequencyLevel { khz: 600_000, volts: 1.0 },
-            FrequencyLevel { khz: 600_000, volts: 1.0 },
+            FrequencyLevel {
+                khz: 600_000,
+                volts: 1.0,
+            },
+            FrequencyLevel {
+                khz: 600_000,
+                volts: 1.0,
+            },
         ]);
         assert!(matches!(r, Err(SocError::UnsortedOppTable { index: 1 })));
     }
@@ -203,7 +227,10 @@ mod tests {
     fn rejects_bad_levels() {
         let r = OppTable::new(vec![FrequencyLevel { khz: 0, volts: 1.0 }]);
         assert!(matches!(r, Err(SocError::InvalidOppLevel { index: 0 })));
-        let r = OppTable::new(vec![FrequencyLevel { khz: 100, volts: -1.0 }]);
+        let r = OppTable::new(vec![FrequencyLevel {
+            khz: 100,
+            volts: -1.0,
+        }]);
         assert!(matches!(r, Err(SocError::InvalidOppLevel { index: 0 })));
     }
 
@@ -227,7 +254,10 @@ mod tests {
 
     #[test]
     fn unit_conversions() {
-        let l = FrequencyLevel { khz: 1_512_000, volts: 1.25 };
+        let l = FrequencyLevel {
+            khz: 1_512_000,
+            volts: 1.25,
+        };
         assert!((l.mhz() - 1512.0).abs() < 1e-9);
         assert!((l.ghz() - 1.512).abs() < 1e-9);
         assert!((l.hz() - 1.512e9).abs() < 1e-3);

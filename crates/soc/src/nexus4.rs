@@ -103,7 +103,10 @@ mod tests {
     fn full_tilt_cpu_power_is_apq8064_scale() {
         let m = cpu_power_model();
         let p = m.cluster_power(opp_table().max(), &[1.0; 4], Celsius(50.0));
-        assert!(p > 3.0 && p < 5.0, "cluster power {p} W out of APQ8064 band");
+        assert!(
+            p > 3.0 && p < 5.0,
+            "cluster power {p} W out of APQ8064 band"
+        );
     }
 
     #[test]

@@ -95,12 +95,7 @@ impl CpuPowerModel {
     /// Total power of a cluster of cores with the given per-core
     /// utilizations, all at the same `level` (one voltage/frequency
     /// domain, as on the APQ8064), in watts.
-    pub fn cluster_power(
-        &self,
-        level: FrequencyLevel,
-        utilizations: &[f64],
-        die: Celsius,
-    ) -> f64 {
+    pub fn cluster_power(&self, level: FrequencyLevel, utilizations: &[f64], die: Celsius) -> f64 {
         let dynamic: f64 = utilizations
             .iter()
             .map(|&u| self.dynamic_power(level, u))

@@ -87,7 +87,10 @@ impl fmt::Display for ThermalError {
                 write!(f, "node id {index} does not belong to this network")
             }
             ThermalError::SingularSystem => {
-                write!(f, "steady-state system is singular: some node has no path to a fixed temperature")
+                write!(
+                    f,
+                    "steady-state system is singular: some node has no path to a fixed temperature"
+                )
             }
             ThermalError::BoundaryNode { name } => {
                 write!(f, "node `{name}` is a fixed-temperature boundary node")
@@ -123,16 +126,29 @@ mod tests {
     #[test]
     fn all_variants_display() {
         let variants = vec![
-            ThermalError::InvalidCapacitance { name: "x".into(), value: 0.0 },
-            ThermalError::InvalidConductance { link: "a—b".into(), value: -2.0 },
-            ThermalError::InvalidTemperature { name: "x".into(), value: -400.0 },
+            ThermalError::InvalidCapacitance {
+                name: "x".into(),
+                value: 0.0,
+            },
+            ThermalError::InvalidConductance {
+                link: "a—b".into(),
+                value: -2.0,
+            },
+            ThermalError::InvalidTemperature {
+                name: "x".into(),
+                value: -400.0,
+            },
             ThermalError::DuplicateNode { name: "x".into() },
             ThermalError::SelfCoupling { name: "x".into() },
-            ThermalError::DuplicateCoupling { link: "a—b".into() },
+            ThermalError::DuplicateCoupling {
+                link: "a—b".into()
+            },
             ThermalError::EmptyNetwork,
             ThermalError::UnknownNode { index: 9 },
             ThermalError::SingularSystem,
-            ThermalError::BoundaryNode { name: "hand".into() },
+            ThermalError::BoundaryNode {
+                name: "hand".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -175,11 +175,7 @@ impl ThermalNetworkBuilder {
             });
         }
         let (lo, hi) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
-        if self
-            .couplings
-            .iter()
-            .any(|&(x, y, _)| (x, y) == (lo, hi))
-        {
+        if self.couplings.iter().any(|&(x, y, _)| (x, y) == (lo, hi)) {
             return Err(ThermalError::DuplicateCoupling {
                 link: format!("{}—{}", self.nodes[lo].name, self.nodes[hi].name),
             });

@@ -232,7 +232,11 @@ impl PhoneThermalModel {
         let mut b = ThermalNetworkBuilder::new(params.ambient);
         let mut ids = Vec::with_capacity(7);
         for node in PhoneNode::ALL {
-            ids.push(b.add_node(node.name(), params.capacitance[node.index()], params.initial)?);
+            ids.push(b.add_node(
+                node.name(),
+                params.capacitance[node.index()],
+                params.initial,
+            )?);
         }
         let ids: [NodeId; 7] = ids.try_into().expect("seven nodes were added");
         for &(a, c, g) in &params.couplings {
@@ -280,7 +284,8 @@ impl PhoneThermalModel {
     /// network edge.
     pub fn step(&mut self, dt: f64) {
         let back = self.ids[PhoneNode::BackMid.index()];
-        self.net.set_power(self.ids[PhoneNode::Cpu.index()], self.heat.cpu_w);
+        self.net
+            .set_power(self.ids[PhoneNode::Cpu.index()], self.heat.cpu_w);
         self.net
             .set_power(self.ids[PhoneNode::Package.index()], self.heat.gpu_w);
         self.net

@@ -156,7 +156,15 @@ impl Benchmark {
                 // Continuous camera capture + encode + decode + network,
                 // display at full brightness — the paper's hottest
                 // long-running case.
-                Phase::new(28.0, on_screen(&[800_000.0, 620_000.0, 450_000.0, 330_000.0], 0.30, 1.0, 1.00)),
+                Phase::new(
+                    28.0,
+                    on_screen(
+                        &[800_000.0, 620_000.0, 450_000.0, 330_000.0],
+                        0.30,
+                        1.0,
+                        1.00,
+                    ),
+                ),
                 Phase::new(2.0, on_screen(&[1_400_000.0, 800_000.0], 0.35, 1.0, 1.00)),
             ],
             Benchmark::Youtube => vec![
@@ -166,7 +174,10 @@ impl Benchmark {
             ],
             Benchmark::Record => vec![
                 // Camera ISP + encoder DSP dominate; CPU does muxing.
-                Phase::new(30.0, on_screen(&[550_000.0, 400_000.0, 250_000.0], 0.25, 0.85, 1.90)),
+                Phase::new(
+                    30.0,
+                    on_screen(&[550_000.0, 400_000.0, 250_000.0], 0.25, 0.85, 1.90),
+                ),
                 Phase::new(3.0, on_screen(&[900_000.0], 0.25, 0.85, 1.90)),
             ],
             Benchmark::Charging => vec![
@@ -177,7 +188,15 @@ impl Benchmark {
             Benchmark::Game => vec![
                 // The render thread saturates the big core (ondemand pegs
                 // max); physics/audio threads ride along.
-                Phase::new(14.0, on_screen(&[1_250_000.0, 500_000.0, 250_000.0, 150_000.0], 0.65, 1.0, 0.5)),
+                Phase::new(
+                    14.0,
+                    on_screen(
+                        &[1_250_000.0, 500_000.0, 250_000.0, 150_000.0],
+                        0.65,
+                        1.0,
+                        0.5,
+                    ),
+                ),
                 Phase::new(6.0, on_screen(&[700_000.0, 400_000.0], 0.50, 1.0, 0.5)),
                 Phase::new(6.0, on_screen(&[250_000.0], 0.20, 1.0, 0.5)),
             ],
@@ -255,10 +274,7 @@ mod tests {
             assert_eq!(w.duration(), b.duration());
             assert_eq!(w.name(), b.name());
             let d = w.demand_at(1.0, 0.1);
-            assert!(
-                d.total_cpu_khz() > 0.0,
-                "{b} should demand some CPU at t=1"
-            );
+            assert!(d.total_cpu_khz() > 0.0, "{b} should demand some CPU at t=1");
         }
     }
 

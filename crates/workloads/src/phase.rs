@@ -75,7 +75,9 @@ impl PhasedWorkload {
     ) -> PhasedWorkload {
         assert!(!phases.is_empty(), "workload needs at least one phase");
         assert!(
-            phases.iter().all(|p| p.seconds > 0.0 && p.seconds.is_finite()),
+            phases
+                .iter()
+                .all(|p| p.seconds > 0.0 && p.seconds.is_finite()),
             "phase lengths must be positive"
         );
         assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
@@ -203,7 +205,10 @@ mod tests {
             let db = b.demand_at(t, 1.0);
             assert_eq!(da, db, "same seed must give same demand");
             let v = da.cpu_threads_khz[0];
-            assert!((800_000.0..=1_200_000.0).contains(&v), "jitter out of band: {v}");
+            assert!(
+                (800_000.0..=1_200_000.0).contains(&v),
+                "jitter out of band: {v}"
+            );
         }
     }
 
@@ -222,7 +227,10 @@ mod tests {
             .map(|v| (v * 1000.0) as i64)
             .collect::<std::collections::HashSet<_>>()
             .len();
-        assert!(distinct > 10, "expected varied jitter, got {distinct} distinct values");
+        assert!(
+            distinct > 10,
+            "expected varied jitter, got {distinct} distinct values"
+        );
     }
 
     #[test]

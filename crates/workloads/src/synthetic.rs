@@ -78,7 +78,10 @@ impl PeriodicBurst {
         busy_khz: f64,
         cores: usize,
     ) -> PeriodicBurst {
-        assert!(busy_s > 0.0 && idle_s > 0.0, "phase lengths must be positive");
+        assert!(
+            busy_s > 0.0 && idle_s > 0.0,
+            "phase lengths must be positive"
+        );
         PeriodicBurst {
             name: name.to_owned(),
             duration,
@@ -109,7 +112,11 @@ impl Workload for PeriodicBurst {
             return DeviceDemand::idle();
         }
         let phase = t.rem_euclid(self.busy_s + self.idle_s);
-        let khz = if phase < self.busy_s { self.busy_khz } else { 0.0 };
+        let khz = if phase < self.busy_s {
+            self.busy_khz
+        } else {
+            0.0
+        };
         DeviceDemand {
             cpu_threads_khz: vec![khz; self.cores],
             gpu_load: 0.0,

@@ -1,0 +1,89 @@
+//! Determinism regression: the whole pipeline — workload jitter, sensor
+//! noise, predictor training, USTA control — is a pure function of its
+//! seeds. Two runs with the same seed must produce bit-identical traces.
+//! This guards the `rand_chacha` seeding path end to end: any code that
+//! reseeds from ambient entropy (or iterates a HashMap into an RNG-fed
+//! loop) breaks reproducibility of every repro_* binary.
+
+use usta_core::predictor::PredictionTarget;
+use usta_core::{TemperaturePredictor, UstaGovernor, UstaPolicy};
+use usta_governors::OnDemand;
+use usta_ml::reptree::RepTreeParams;
+use usta_ml::Learner;
+use usta_sim::runner::{run_workload, Governor, RunConfig, RunResult};
+use usta_sim::Device;
+use usta_thermal::Celsius;
+use usta_workloads::Benchmark;
+
+fn baseline_run(benchmark: Benchmark, seed: u64) -> RunResult {
+    let mut device = Device::with_seed(seed).expect("device builds");
+    let mut workload = benchmark.workload(seed);
+    let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
+    run_workload(
+        &mut device,
+        &mut workload,
+        &mut governor,
+        &RunConfig::default(),
+    )
+}
+
+fn usta_run(benchmark: Benchmark, seed: u64) -> RunResult {
+    let training = baseline_run(benchmark, seed ^ 0xA5A5);
+    let predictor = TemperaturePredictor::train(
+        &Learner::RepTree(RepTreeParams::default()),
+        &training.training_log,
+        PredictionTarget::Skin,
+        seed,
+    )
+    .expect("training log is non-empty");
+    let mut device = Device::with_seed(seed).expect("device builds");
+    let mut workload = benchmark.workload(seed);
+    let usta = UstaGovernor::new(
+        Box::new(OnDemand::default()),
+        predictor,
+        UstaPolicy::new(Celsius(37.0)),
+    );
+    let mut governor = Governor::Usta(Box::new(usta));
+    run_workload(
+        &mut device,
+        &mut workload,
+        &mut governor,
+        &RunConfig::default(),
+    )
+}
+
+fn assert_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.skin_trace, b.skin_trace, "skin traces diverged");
+    assert_eq!(a.screen_trace, b.screen_trace, "screen traces diverged");
+    assert_eq!(a.freq_trace, b.freq_trace, "frequency traces diverged");
+    assert_eq!(a.predictions, b.predictions, "prediction traces diverged");
+    assert_eq!(a.avg_freq_ghz, b.avg_freq_ghz);
+    assert_eq!(a.max_skin, b.max_skin);
+    assert_eq!(a.max_screen, b.max_screen);
+}
+
+#[test]
+fn baseline_benchmark_runs_are_bit_identical() {
+    let a = baseline_run(Benchmark::Skype, 1234);
+    let b = baseline_run(Benchmark::Skype, 1234);
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn usta_benchmark_runs_are_bit_identical() {
+    let a = usta_run(Benchmark::AntutuFull, 99);
+    let b = usta_run(Benchmark::AntutuFull, 99);
+    assert_identical(&a, &b);
+    assert!(!a.predictions.is_empty(), "USTA must have predicted");
+}
+
+#[test]
+fn different_seeds_actually_change_the_run() {
+    // Guards against the opposite failure: a seed that is ignored.
+    let a = baseline_run(Benchmark::Skype, 1);
+    let b = baseline_run(Benchmark::Skype, 2);
+    assert_ne!(
+        a.skin_trace, b.skin_trace,
+        "changing the seed must change the trace (is the seed plumbed through?)"
+    );
+}

@@ -14,11 +14,20 @@ use usta_workloads::{Benchmark, ConstantLoad};
 /// usable predictor in integration tests.
 fn quick_predictor(seed: u64) -> TemperaturePredictor {
     let mut log = usta_core::TrainingLog::new();
-    for b in [Benchmark::AntutuTester, Benchmark::Youtube, Benchmark::Skype] {
+    for b in [
+        Benchmark::AntutuTester,
+        Benchmark::Youtube,
+        Benchmark::Skype,
+    ] {
         let mut device = Device::with_seed(seed).expect("default device builds");
         let mut workload = b.workload(seed);
         let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
-        let result = run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default());
+        let result = run_workload(
+            &mut device,
+            &mut workload,
+            &mut governor,
+            &RunConfig::default(),
+        );
         log.extend_from(&result.training_log);
     }
     TemperaturePredictor::train(
@@ -39,7 +48,12 @@ fn run_usta_stress(seed: u64, limit: Celsius, minutes: f64) -> RunResult {
         UstaPolicy::new(limit),
     );
     let mut governor = Governor::Usta(Box::new(usta));
-    run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+    run_workload(
+        &mut device,
+        &mut workload,
+        &mut governor,
+        &RunConfig::default(),
+    )
 }
 
 #[test]
@@ -48,7 +62,12 @@ fn usta_pipeline_controls_a_sustained_stress() {
     let mut device = Device::with_seed(1).expect("default device builds");
     let mut workload = ConstantLoad::new("stress", 12.0 * 60.0, 1_500_000.0, 4);
     let mut baseline = Governor::Baseline(Box::new(OnDemand::default()));
-    let free = run_workload(&mut device, &mut workload, &mut baseline, &RunConfig::default());
+    let free = run_workload(
+        &mut device,
+        &mut workload,
+        &mut baseline,
+        &RunConfig::default(),
+    );
 
     assert!(
         free.max_skin - capped.max_skin > 1.5,
@@ -72,7 +91,12 @@ fn tolerant_limit_means_usta_never_intervenes() {
     let mut device = Device::with_seed(2).expect("default device builds");
     let mut workload = ConstantLoad::new("stress", 6.0 * 60.0, 1_500_000.0, 4);
     let mut baseline = Governor::Baseline(Box::new(OnDemand::default()));
-    let free = run_workload(&mut device, &mut workload, &mut baseline, &RunConfig::default());
+    let free = run_workload(
+        &mut device,
+        &mut workload,
+        &mut baseline,
+        &RunConfig::default(),
+    );
     assert!(
         (tolerant.avg_freq_ghz - free.avg_freq_ghz).abs() < 0.05,
         "80 °C limit: USTA {} GHz vs baseline {} GHz should match",
@@ -100,7 +124,12 @@ fn different_seeds_vary_like_separate_sessions() {
         let mut device = Device::with_seed(seed).expect("default device builds");
         let mut workload = Benchmark::Game.workload(seed);
         let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
-        run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default())
+        run_workload(
+            &mut device,
+            &mut workload,
+            &mut governor,
+            &RunConfig::default(),
+        )
     };
     let a = run(4);
     let b = run(5);
@@ -115,7 +144,12 @@ fn training_log_flows_from_runs_into_learners() {
     let mut device = Device::with_seed(6).expect("default device builds");
     let mut workload = Benchmark::Vellamo.workload(6);
     let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
-    let result = run_workload(&mut device, &mut workload, &mut governor, &RunConfig::default());
+    let result = run_workload(
+        &mut device,
+        &mut workload,
+        &mut governor,
+        &RunConfig::default(),
+    );
     // 420 s at 3 s cadence → 140 log rows.
     assert_eq!(result.training_log.len(), 140);
     let data = result

@@ -92,7 +92,11 @@ fn fig3_model_ranking_matches_the_paper() {
         let lin = r.entry("linear regression", target).error_rate;
         let mlp = r.entry("multilayer perceptron", target).error_rate;
         // Trees beat the global-function learners…
-        assert!(rep < lin && rep < mlp, "{}: REPTree must win", target.name());
+        assert!(
+            rep < lin && rep < mlp,
+            "{}: REPTree must win",
+            target.name()
+        );
         assert!(m5p < lin, "{}: M5P must beat linear", target.name());
         // …and reach percent-scale accuracy like the paper's ~1 %.
         assert!(rep < 3.0, "{}: REPTree at {rep}%", target.name());
@@ -136,7 +140,10 @@ fn fig2_exceedance_falls_with_tolerance() {
 fn fig5_population_outcome_matches_the_paper() {
     let r = fig5::fig5(17);
     let (usta, baseline, none) = r.preference_split();
-    assert!(usta > baseline, "more users must prefer USTA ({usta} vs {baseline})");
+    assert!(
+        usta > baseline,
+        "more users must prefer USTA ({usta} vs {baseline})"
+    );
     assert!(none >= 2, "several high-limit users see no difference");
     assert!(
         r.mean_usta_rating() >= r.mean_baseline_rating(),

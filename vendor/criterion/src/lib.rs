@@ -1,0 +1,206 @@
+//! Offline shim for the subset of the `criterion` API this workspace
+//! uses. Benchmarks compile and run without network access: each
+//! `bench_function` performs a brief warm-up, then measures batches of
+//! iterations for roughly the configured measurement time and prints
+//! mean ns/iter with min/max over batches. No HTML reports, plots, or
+//! statistical machinery.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            group: name.to_string(),
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.as_ref();
+        let mut group = self.benchmark_group(name);
+        group.bench_function("run", f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing timing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    group: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target total measurement time.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the warm-up time before measurement.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Sets the number of measured batches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.as_ref();
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate {
+                iters: 0,
+                elapsed: Duration::ZERO,
+            },
+        };
+        // Calibration/warm-up: discover iterations-per-batch that lands
+        // each batch near measurement_time / sample_size.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            f(&mut bencher);
+        }
+        let (iters, elapsed) = match bencher.mode {
+            Mode::Calibrate { iters, elapsed } => (iters.max(1), elapsed),
+            Mode::Measure { .. } => unreachable!("bencher still calibrating"),
+        };
+        let per_iter = elapsed.as_secs_f64() / iters as f64;
+        let batch_budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch_iters = if per_iter > 0.0 {
+            ((batch_budget / per_iter) as u64).clamp(1, u64::MAX)
+        } else {
+            1
+        };
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.mode = Mode::Measure {
+                iters: batch_iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            if let Mode::Measure { iters, elapsed } = &bencher.mode {
+                samples_ns.push(elapsed.as_nanos() as f64 / *iters as f64);
+            }
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "  {}/{name}: {mean:.1} ns/iter (min {min:.1}, max {max:.1}, \
+             {batch_iters} iters x {} samples)",
+            self.group, self.sample_size
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing further to do).
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Debug)]
+enum Mode {
+    /// Warm-up: run single iterations, accumulating a time-per-iter estimate.
+    Calibrate { iters: u64, elapsed: Duration },
+    /// Measurement: run a fixed batch and record its wall time.
+    Measure { iters: u64, elapsed: Duration },
+}
+
+/// Timing harness passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times the routine. During warm-up this runs it once per call;
+    /// during measurement it runs the calibrated batch size.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match &mut self.mode {
+            Mode::Calibrate { iters, elapsed } => {
+                let start = Instant::now();
+                black_box(routine());
+                *elapsed += start.elapsed();
+                *iters += 1;
+            }
+            Mode::Measure { iters, elapsed } => {
+                let n = *iters;
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                *elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.measurement_time(Duration::from_millis(20));
+        group.warm_up_time(Duration::from_millis(5));
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function("counter", |b| b.iter(|| count += 1));
+        group.finish();
+        assert!(count > 0, "routine should have run at least once");
+    }
+}

@@ -1,0 +1,405 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Implements the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
+//! range strategies, `collection::vec`, `sample::select`, and
+//! `bool::ANY` as a **generate-only** property runner: each test runs
+//! `ProptestConfig::cases` deterministic random cases (seeded per case
+//! index) and reports the first failure with its inputs. There is no
+//! shrinking — the failing case's values are printed instead.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG handed to strategies during generation.
+pub type TestRng = ChaCha8Rng;
+
+/// A source of random values of type `Value`.
+///
+/// Unlike real proptest there is no shrinking tree; a strategy is just a
+/// deterministic function of the RNG.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, f32, usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// Strategy producing a constant value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy type for uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::fmt;
+    use std::ops::Range;
+
+    /// Inclusive-start, exclusive-end length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`select`).
+
+    use super::{Strategy, TestRng};
+    use rand::seq::SliceRandom;
+    use std::fmt;
+
+    /// Strategy choosing uniformly from a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone + fmt::Debug>(Vec<T>);
+
+    /// Uniformly selects one of the given values.
+    pub fn select<T: Clone + fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select() requires at least one value");
+        Select(values)
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.choose(rng).expect("non-empty").clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop behind the `proptest!` macro.
+
+    use super::TestRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Runner configuration. Only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property case: the assertion message that rejected it.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Builds a failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Runs `body` for each configured case with a per-case deterministic
+    /// RNG; panics (failing the enclosing `#[test]`) on the first error.
+    pub fn run<F>(config: &Config, name: &str, mut body: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            // Distinct, reproducible stream per (property, case).
+            let seed = fxhash(name) ^ (0x5DEE_CE66_u64 << 16) ^ u64::from(case);
+            let mut rng = TestRng::seed_from_u64(seed);
+            if let Err(e) = body(&mut rng) {
+                panic!(
+                    "proptest property '{name}' failed at case {case}/{}: {e}",
+                    config.cases
+                );
+            }
+        }
+    }
+
+    fn fxhash(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Re-export under the name test code uses in `#![proptest_config(...)]`.
+pub use test_runner::Config as ProptestConfig;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude::*`.
+
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a normal unit test running the configured number of
+/// random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::test_runner::run(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)*
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                __result
+            });
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Like `assert!` but fails only the current random case, reporting the
+/// condition (and optional formatted message) with the case inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Like `assert_ne!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.25f64..0.75, n in 3usize..9) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_sizes_respect_spec(
+            v in crate::collection::vec(0.0f64..1.0, 2..6),
+            w in crate::collection::vec(0u32..10, 4),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn select_draws_members(x in crate::sample::select(vec![1, 2, 3])) {
+            prop_assert!([1, 2, 3].contains(&x));
+        }
+
+        #[test]
+        fn bool_any_generates_both_values(b in crate::collection::vec(crate::bool::ANY, 64)) {
+            prop_assert!(b.iter().any(|&x| x) && b.iter().any(|&x| !x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        let config = ProptestConfig::with_cases(8);
+        crate::test_runner::run(&config, "always_fails", |_rng| {
+            Err(crate::test_runner::TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut first: Vec<f64> = Vec::new();
+        let config = ProptestConfig::with_cases(16);
+        crate::test_runner::run(&config, "capture", |rng| {
+            first.push(crate::Strategy::generate(&(0.0f64..1.0), rng));
+            Ok(())
+        });
+        let mut second: Vec<f64> = Vec::new();
+        crate::test_runner::run(&config, "capture", |rng| {
+            second.push(crate::Strategy::generate(&(0.0f64..1.0), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline shim for `rand_chacha`: a genuine ChaCha8 keystream generator
+//! implementing the workspace `rand` shim's [`RngCore`]/[`SeedableRng`]
+//! traits. Deterministic across platforms; used for reproducible
+//! simulation noise, shuffling, and weight initialisation.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+/// A ChaCha stream cipher core with 8 rounds, used as a PRNG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    /// Current 64-byte block, as sixteen u32 words.
+    block: [u32; 16],
+    /// Next unread word index in `block` (16 = exhausted).
+    index: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let input = state;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, inp) in state.iter_mut().zip(input) {
+            *word = word.wrapping_add(inp);
+        }
+        self.block = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(1234);
+        let mut b = ChaCha8Rng::seed_from_u64(1234);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should differ almost everywhere");
+    }
+
+    #[test]
+    fn uniform_f64_covers_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}
