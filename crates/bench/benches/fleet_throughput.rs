@@ -1,0 +1,58 @@
+//! Fleet sweep throughput: simulated user-seconds per wall-second at
+//! 1, 2, and 4 worker threads.
+//!
+//! The figure of merit for the population-scale engine is how much
+//! simulated fleet time one wall-clock second buys — scaling it with
+//! threads is the whole point of the chunked runner, and determinism
+//! means the *work* is identical at every thread count, so the ratio
+//! between the 1-/2-/4-thread timings is pure parallel efficiency.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use usta_fleet::{run_sweep, SweepConfig};
+use usta_workloads::Benchmark;
+
+fn bench_config(threads: usize) -> SweepConfig {
+    SweepConfig {
+        users: 8,
+        threads,
+        seed: 42,
+        max_sim_seconds: 30.0,
+        predictor_pool: 2,
+        training_benchmarks: vec![Benchmark::GfxBench],
+        training_cap_seconds: 60.0,
+        chunk_size: 4,
+        smoke: true,
+        ..SweepConfig::default()
+    }
+}
+
+fn fleet_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for threads in [1usize, 2, 4] {
+        let config = bench_config(threads);
+        let sim_seconds = {
+            // One warm-up sweep also reports the figure of merit the
+            // ISSUE asks for: simulated user-seconds per wall-second.
+            let started = std::time::Instant::now();
+            let report = run_sweep(&config).expect("bench sweep runs");
+            let wall = started.elapsed().as_secs_f64();
+            println!(
+                "fleet_throughput/{threads}t: {:.0} simulated user-seconds per wall-second",
+                report.aggregate.sim_seconds / wall
+            );
+            report.aggregate.sim_seconds
+        };
+        assert!(sim_seconds > 0.0);
+        group.bench_function(format!("threads/{threads}"), |b| {
+            b.iter(|| run_sweep(&config).expect("bench sweep runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fleet_throughput);
+criterion_main!(benches);

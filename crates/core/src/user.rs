@@ -15,6 +15,8 @@
 //! users b/f/h/j preferred USTA; the per-user sensitivity weights encode
 //! that reported behaviour for the Figure 5 reproduction.
 
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use usta_thermal::Celsius;
 
 /// One study participant.
@@ -59,6 +61,10 @@ pub struct UserPopulation {
 impl UserPopulation {
     /// The paper's population: limits anchored at the reported 34.0 °C
     /// minimum, 42.8 °C maximum, and 37.0 °C mean.
+    ///
+    /// Participants are returned **ordered by label** (`'a'` first,
+    /// `'j'` last) — table and figure code relies on that ordering to
+    /// match the paper's column layout.
     pub fn paper() -> UserPopulation {
         let mk = |label: char, skin: f64, heat: f64, perf: f64| UserProfile {
             label,
@@ -83,6 +89,67 @@ impl UserPopulation {
                 mk('j', 34.0, 1.50, 0.6),
             ],
         }
+        .checked()
+    }
+
+    /// A synthetic population of `n` users drawn from distributions fit
+    /// to the paper's study: skin limits from a normal fit to the
+    /// reported band (mean 37.0 °C, spread matched to the study), then
+    /// clamped to the **observed** [34.0, 42.8] °C min/max band, with
+    /// heat/performance sensitivities correlated with the limit the way
+    /// the study participants' were (heat-sensitive users have low
+    /// limits and tolerate sluggishness; tolerant users weigh
+    /// performance) plus per-user jitter.
+    ///
+    /// Sampling is fully determined by `seed`: the same `(seed, n)`
+    /// always yields the same population, and the first `k` users of
+    /// `sampled(seed, n)` equal `sampled(seed, k)` — population-scale
+    /// sweeps can grow without resampling. Labels cycle `'a'..='z'` and
+    /// are **not** unique for `n > 26`; [`Self::by_label`] returns the
+    /// first match.
+    pub fn sampled(seed: u64, n: usize) -> UserPopulation {
+        // The paper's 10 limits have sample standard deviation ≈ 2.7 K;
+        // a clamped normal around the 37.0 °C mean reproduces both the
+        // band and the center mass.
+        const MEAN: f64 = 37.0;
+        const SD: f64 = 2.7;
+        const LO: f64 = 34.0;
+        const HI: f64 = 42.8;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5757_A0F1_EE70);
+        let mut users = Vec::with_capacity(n);
+        for i in 0..n {
+            let skin = (MEAN + SD * standard_normal(&mut rng)).clamp(LO, HI);
+            // Where the limit sits inside the band, 0 (most sensitive)
+            // to 1 (most tolerant).
+            let t = (skin - LO) / (HI - LO);
+            let heat = (1.55 - 1.15 * t + 0.10 * standard_normal(&mut rng)).clamp(0.2, 2.0);
+            let perf = (0.60 + 1.10 * t + 0.10 * standard_normal(&mut rng)).clamp(0.2, 2.0);
+            users.push(UserProfile {
+                label: (b'a' + (i % 26) as u8) as char,
+                skin_limit: Celsius(skin),
+                screen_limit: Celsius(skin - 1.2),
+                heat_sensitivity: heat,
+                performance_sensitivity: perf,
+            });
+        }
+        UserPopulation { users }.checked()
+    }
+
+    /// Debug-asserts the population invariants every constructor must
+    /// uphold: `is_empty()` agrees with `len()`, every limit is finite,
+    /// and every screen limit sits below its skin limit.
+    fn checked(self) -> UserPopulation {
+        // Intentionally compares the two accessors against each other.
+        #[allow(clippy::len_zero)]
+        {
+            debug_assert_eq!(self.users.is_empty(), self.users.len() == 0);
+        }
+        debug_assert!(self.users.iter().all(|u| {
+            u.skin_limit.value().is_finite()
+                && u.screen_limit.value().is_finite()
+                && u.screen_limit < u.skin_limit
+        }));
+        self
     }
 
     /// The participants in label order.
@@ -100,9 +167,13 @@ impl UserPopulation {
         self.users.is_empty()
     }
 
-    /// Looks a participant up by label.
+    /// Looks a participant up by label (ASCII case-insensitive, so
+    /// `'G'` finds the paper's user `g`). Returns the first match when
+    /// labels repeat (sampled populations beyond 26 users).
     pub fn by_label(&self, label: char) -> Option<&UserProfile> {
-        self.users.iter().find(|u| u.label == label)
+        self.users
+            .iter()
+            .find(|u| u.label.eq_ignore_ascii_case(&label))
     }
 
     /// Mean skin limit — the paper's default-user limit.
@@ -131,6 +202,16 @@ impl UserPopulation {
     pub fn iter(&self) -> impl Iterator<Item = &UserProfile> {
         self.users.iter()
     }
+}
+
+/// One standard-normal draw via Box–Muller (the pair's second member is
+/// discarded so every draw consumes exactly two uniforms — this keeps
+/// `sampled(seed, n)` prefix-stable in `n`).
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Map away from 0 so ln() stays finite.
+    let u1: f64 = (1.0 - rng.gen::<f64>()).max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 #[cfg(test)]
@@ -205,5 +286,63 @@ mod tests {
         let d = UserProfile::default_user();
         assert_eq!(d.skin_limit, Celsius(37.0));
         assert_eq!(d.label, '*');
+    }
+
+    #[test]
+    fn lookup_by_label_is_case_insensitive() {
+        let p = UserPopulation::paper();
+        assert_eq!(p.by_label('G').unwrap().skin_limit, Celsius(42.8));
+        assert_eq!(p.by_label('g'), p.by_label('G'));
+    }
+
+    #[test]
+    fn sampled_is_deterministic_and_prefix_stable() {
+        let a = UserPopulation::sampled(7, 50);
+        let b = UserPopulation::sampled(7, 50);
+        assert_eq!(a, b);
+        let prefix = UserPopulation::sampled(7, 20);
+        assert_eq!(&a.users()[..20], prefix.users());
+        // A different seed moves at least one user.
+        assert_ne!(a, UserPopulation::sampled(8, 50));
+    }
+
+    #[test]
+    fn sampled_limits_stay_inside_the_observed_band() {
+        let p = UserPopulation::sampled(123, 2000);
+        assert_eq!(p.len(), 2000);
+        assert!(!p.is_empty());
+        for u in p.iter() {
+            assert!(u.skin_limit >= Celsius(34.0) && u.skin_limit <= Celsius(42.8));
+            assert!(u.screen_limit < u.skin_limit);
+            assert!(u.heat_sensitivity > 0.0 && u.performance_sensitivity > 0.0);
+        }
+        // The clamped-normal mean stays near the paper's 37 °C anchor.
+        assert!((p.mean_skin_limit().value() - 37.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn sampled_sensitivities_follow_the_study_correlation() {
+        // Heat-sensitive (low-limit) users should, on average, weigh
+        // heat more and performance less than tolerant users.
+        let p = UserPopulation::sampled(42, 500);
+        let (mut heat_lo, mut heat_hi, mut n_lo, mut n_hi) = (0.0, 0.0, 0, 0);
+        for u in p.iter() {
+            if u.skin_limit < Celsius(36.0) {
+                heat_lo += u.heat_sensitivity;
+                n_lo += 1;
+            } else if u.skin_limit > Celsius(38.0) {
+                heat_hi += u.heat_sensitivity;
+                n_hi += 1;
+            }
+        }
+        assert!(n_lo > 10 && n_hi > 10, "both tails populated");
+        assert!(heat_lo / n_lo as f64 > heat_hi / n_hi as f64);
+    }
+
+    #[test]
+    fn sampled_zero_users_is_empty() {
+        let p = UserPopulation::sampled(1, 0);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
     }
 }

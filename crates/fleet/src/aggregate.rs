@@ -1,0 +1,393 @@
+//! Streaming, mergeable aggregation for fleet sweeps.
+//!
+//! A million-triple sweep cannot keep a million [`usta_sim::RunResult`]s
+//! alive; each worker folds every finished triple into an
+//! O(bins)-memory [`FleetAggregate`] and the sweep merges the per-chunk
+//! partials afterwards. Two kinds of state compose each metric:
+//!
+//! * [`OnlineStats`] — count, sum, min, max. Merging adds sums, so the
+//!   result is bit-identical **as long as partials are merged in a
+//!   fixed order** (the sweep merges chunk 0, 1, 2, … regardless of
+//!   which thread produced each chunk).
+//! * [`Histogram`] — fixed-bin counts over a known range. Integer
+//!   counts make merging exactly order-independent, and quantiles read
+//!   off the cumulative counts at bin resolution.
+
+/// Running count / sum / min / max of one scalar metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds in one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Folds another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+
+    /// Smallest observation (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl Default for OnlineStats {
+    fn default() -> OnlineStats {
+        OnlineStats::new()
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)` with saturating end bins.
+///
+/// Out-of-range observations land in the first/last bin, so quantiles
+/// degrade gracefully rather than silently dropping mass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or the range is empty or non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            count: 0,
+        }
+    }
+
+    /// Folds in one observation.
+    pub fn record(&mut self, x: f64) {
+        let n = self.bins.len();
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        // NaN compares false everywhere → lands in bin 0 (clamp keeps
+        // the sketch total consistent with the online count).
+        let idx = if frac.is_nan() || frac <= 0.0 {
+            0
+        } else {
+            ((frac * n as f64) as usize).min(n - 1)
+        };
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Folds another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different shapes.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.lo, other.lo, "histogram ranges differ");
+        assert_eq!(self.hi, other.hi, "histogram ranges differ");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin counts differ");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) at bin resolution: the **upper
+    /// edge** of the first bin whose cumulative count reaches `q` of
+    /// the total. Returns NaN when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                let width = (self.hi - self.lo) / self.bins.len() as f64;
+                return self.lo + width * (i + 1) as f64;
+            }
+        }
+        self.hi
+    }
+
+    /// The bin counts (for tests and exports).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+}
+
+/// One metric tracked both exactly (mean/min/max) and as a sketch
+/// (quantiles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricAggregate {
+    /// Exact streaming moments.
+    pub stats: OnlineStats,
+    /// Quantile sketch.
+    pub sketch: Histogram,
+}
+
+impl MetricAggregate {
+    /// A metric over `[lo, hi)` with `bins` sketch bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> MetricAggregate {
+        MetricAggregate {
+            stats: OnlineStats::new(),
+            sketch: Histogram::new(lo, hi, bins),
+        }
+    }
+
+    /// Folds in one observation.
+    pub fn record(&mut self, x: f64) {
+        self.stats.record(x);
+        self.sketch.record(x);
+    }
+
+    /// Folds another metric aggregate into this one.
+    pub fn merge(&mut self, other: &MetricAggregate) {
+        self.stats.merge(&other.stats);
+        self.sketch.merge(&other.sketch);
+    }
+
+    /// One formatted report row: mean, min, p50, p90, p99, max.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+            self.stats.mean(),
+            self.stats.min(),
+            self.sketch.quantile(0.50),
+            self.sketch.quantile(0.90),
+            self.sketch.quantile(0.99),
+            self.stats.max(),
+        )
+    }
+}
+
+/// The full per-sweep aggregate: one [`MetricAggregate`] per reported
+/// fleet metric, plus totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAggregate {
+    /// Triples folded in so far.
+    pub triples: u64,
+    /// Total simulated seconds folded in so far.
+    pub sim_seconds: f64,
+    /// Peak true skin temperature per triple, °C.
+    pub peak_skin: MetricAggregate,
+    /// Fraction of each session spent above the user's own skin limit.
+    pub time_over_limit: MetricAggregate,
+    /// QoS per triple: delivered / demanded CPU cycles, 0–1.
+    pub qos: MetricAggregate,
+}
+
+impl FleetAggregate {
+    /// An empty aggregate with the fleet's standard sketch ranges:
+    /// skin 0–60 °C at 0.05 °C bins (winter scenarios peak well below
+    /// room temperature); fractions over [0, 1] in 500 bins.
+    pub fn new() -> FleetAggregate {
+        FleetAggregate {
+            triples: 0,
+            sim_seconds: 0.0,
+            peak_skin: MetricAggregate::new(0.0, 60.0, 1200),
+            time_over_limit: MetricAggregate::new(0.0, 1.0, 500),
+            qos: MetricAggregate::new(0.0, 1.0, 500),
+        }
+    }
+
+    /// Folds one finished triple into the aggregate.
+    pub fn record(&mut self, outcome: &TripleOutcome) {
+        self.triples += 1;
+        self.sim_seconds += outcome.sim_seconds;
+        self.peak_skin.record(outcome.peak_skin_c);
+        self.time_over_limit.record(outcome.time_over_fraction);
+        self.qos.record(outcome.qos);
+    }
+
+    /// Folds another aggregate into this one. Call in a fixed partial
+    /// order (chunk index) for bit-identical sums.
+    pub fn merge(&mut self, other: &FleetAggregate) {
+        self.triples += other.triples;
+        self.sim_seconds += other.sim_seconds;
+        self.peak_skin.merge(&other.peak_skin);
+        self.time_over_limit.merge(&other.time_over_limit);
+        self.qos.merge(&other.qos);
+    }
+
+    /// The aggregate as a fixed-width report table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "triples {:>10}   simulated {:>14.1} s\n",
+            self.triples, self.sim_seconds
+        ));
+        out.push_str(&format!(
+            "{:<18} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            "metric", "mean", "min", "p50", "p90", "p99", "max"
+        ));
+        out.push_str(&format!(
+            "{:<18} {}\n",
+            "peak skin [C]",
+            self.peak_skin.row()
+        ));
+        out.push_str(&format!(
+            "{:<18} {}\n",
+            "time over limit",
+            self.time_over_limit.row()
+        ));
+        out.push_str(&format!("{:<18} {}\n", "qos", self.qos.row()));
+        out
+    }
+}
+
+impl Default for FleetAggregate {
+    fn default() -> FleetAggregate {
+        FleetAggregate::new()
+    }
+}
+
+/// The scalar summary of one simulated (user, device, scenario) triple —
+/// all the sweep keeps of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripleOutcome {
+    /// Simulated session length, seconds.
+    pub sim_seconds: f64,
+    /// Peak true skin temperature, °C.
+    pub peak_skin_c: f64,
+    /// Fraction of the session above the user's skin limit, 0–1.
+    pub time_over_fraction: f64,
+    /// Delivered / demanded CPU cycles, 0–1.
+    pub qos: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_track_moments() {
+        let mut s = OnlineStats::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.mean(), 2.5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn chunk_ordered_merge_is_independent_of_completion_order() {
+        // The sweep's invariant: partials folded per chunk and merged in
+        // chunk-index order give the same bits no matter which worker
+        // finished which chunk first. Simulate four chunks produced in
+        // two different completion orders.
+        let outcome = |i: usize| {
+            let x = (i as f64) * 0.37;
+            TripleOutcome {
+                sim_seconds: 1.0,
+                peak_skin_c: 20.0 + x % 30.0,
+                time_over_fraction: (x / 40.0).min(1.0),
+                qos: 1.0 - (x / 80.0).min(1.0),
+            }
+        };
+        let chunk = |c: usize| {
+            let mut partial = FleetAggregate::new();
+            for i in c * 25..(c + 1) * 25 {
+                partial.record(&outcome(i));
+            }
+            partial
+        };
+        let mut completion_a: Vec<(usize, FleetAggregate)> =
+            vec![(2, chunk(2)), (0, chunk(0)), (3, chunk(3)), (1, chunk(1))];
+        let mut completion_b: Vec<(usize, FleetAggregate)> =
+            vec![(1, chunk(1)), (3, chunk(3)), (0, chunk(0)), (2, chunk(2))];
+        completion_a.sort_unstable_by_key(|(c, _)| *c);
+        completion_b.sort_unstable_by_key(|(c, _)| *c);
+        let fold = |partials: &[(usize, FleetAggregate)]| {
+            let mut total = FleetAggregate::new();
+            for (_, p) in partials {
+                total.merge(p);
+            }
+            total
+        };
+        let a = fold(&completion_a);
+        assert_eq!(a, fold(&completion_b));
+        assert_eq!(a.triples, 100);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = Histogram::new(0.0, 100.0, 1000);
+        for i in 0..1000 {
+            h.record(i as f64 / 10.0);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.quantile(0.5) - 50.0).abs() < 0.5);
+        assert!((h.quantile(0.99) - 99.0).abs() < 0.5);
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn histogram_saturates_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.record(-5.0);
+        h.record(42.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[9], 1);
+    }
+
+    #[test]
+    fn empty_aggregate_renders() {
+        let a = FleetAggregate::new();
+        let t = a.table();
+        assert!(t.contains("triples"));
+        assert!(t.contains("peak skin"));
+    }
+}

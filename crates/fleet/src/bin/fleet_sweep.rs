@@ -1,0 +1,117 @@
+//! Population-scale USTA sweep CLI.
+//!
+//! The aggregate report goes to **stdout** and never mentions the
+//! thread count, so `--threads 1` and `--threads 4` runs of the same
+//! sweep emit bit-identical bytes (CI diffs them). Progress and timing
+//! go to stderr.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use usta_fleet::{run_sweep, SweepConfig};
+
+const USAGE: &str = "\
+fleet_sweep — population-scale USTA simulation sweep
+
+USAGE:
+    fleet_sweep [OPTIONS]
+
+OPTIONS:
+    --users N          sampled users                      [default: 100]
+    --scenarios N      scenarios sampled from the grid    [default: 4]
+    --threads N        worker threads (never changes results) [default: 1]
+    --seed N           run seed                           [default: 42]
+    --governor NAME    baseline governor                  [default: ondemand]
+    --no-usta          sweep the bare baseline (no USTA wrap)
+    --sim-seconds F    per-triple simulated-time cap      [default: 180]
+    --smoke            CI preset: ~100 short triples, small training run
+    --help             print this help
+";
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: cannot parse {value:?}"))
+}
+
+fn parse_args() -> Result<SweepConfig, String> {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    // First pass collects flags; --smoke swaps the base preset, and any
+    // explicit flag overrides it regardless of order.
+    let mut smoke = false;
+    let mut overrides: Vec<(String, String)> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--no-usta" => overrides.push(("no-usta".into(), String::new())),
+            "--help" | "-h" => return Err(String::new()),
+            "--users" | "--scenarios" | "--threads" | "--seed" | "--governor" | "--sim-seconds" => {
+                let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                overrides.push((arg, value));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let mut config = if smoke {
+        SweepConfig::smoke()
+    } else {
+        SweepConfig::default()
+    };
+    for (flag, value) in overrides {
+        match flag.as_str() {
+            "--users" => config.users = parse_value(&flag, &value)?,
+            "--scenarios" => {
+                config.scenarios = parse_value(&flag, &value)?;
+                config.smoke = false;
+            }
+            "--threads" => config.threads = parse_value(&flag, &value)?,
+            "--seed" => config.seed = parse_value(&flag, &value)?,
+            "--governor" => config.governor = value,
+            "--sim-seconds" => config.max_sim_seconds = parse_value(&flag, &value)?,
+            "no-usta" => config.usta = false,
+            _ => unreachable!("collected flags are known"),
+        }
+    }
+    if config.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(message) => {
+            if message.is_empty() {
+                eprint!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!(
+        "sweeping {} triples on {} thread(s)…",
+        config.total_triples(),
+        config.threads
+    );
+    let started = Instant::now();
+    match run_sweep(&config) {
+        Ok(report) => {
+            let elapsed = started.elapsed().as_secs_f64();
+            print!("{}", report.summary());
+            eprintln!(
+                "done in {elapsed:.2} s ({:.0} simulated user-seconds per wall-second)",
+                report.aggregate.sim_seconds / elapsed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,503 @@
+//! The parallel batched sweep runner.
+//!
+//! A sweep crosses a sampled user population with a scenario catalog
+//! into `users × scenarios` (user, device, scenario) triples, runs each
+//! triple through [`usta_sim::run_workload`], and folds the outcomes
+//! into a streaming [`FleetAggregate`].
+//!
+//! **Determinism contract:** the report is a pure function of the
+//! [`SweepConfig`] minus its `threads` field. Three mechanisms deliver
+//! that:
+//!
+//! 1. every triple derives its own ChaCha8 stream from
+//!    `(run seed, triple index)` — never from thread identity or
+//!    shared-generator draw order;
+//! 2. the work queue hands out fixed-size *chunks* of consecutive
+//!    triple indices, and each chunk folds sequentially into its own
+//!    partial aggregate;
+//! 3. partials are merged on the coordinating thread in chunk-index
+//!    order, so floating-point sums see one canonical association.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use usta_core::comfort::ComfortStats;
+use usta_core::predictor::PredictionTarget;
+use usta_core::training::TrainingLog;
+use usta_core::{TemperaturePredictor, UserPopulation, UstaGovernor, UstaPolicy};
+use usta_governors::by_name;
+use usta_ml::reptree::RepTreeParams;
+use usta_ml::Learner;
+use usta_sim::{run_workload, Device, Governor, RunConfig};
+use usta_workloads::{Benchmark, Workload};
+
+use crate::aggregate::{FleetAggregate, TripleOutcome};
+use crate::scenario::ScenarioCatalog;
+
+/// Everything that defines a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Number of sampled users.
+    pub users: usize,
+    /// Number of scenarios sampled from the full grid (ignored when
+    /// `smoke` picks the fixed smoke catalog).
+    pub scenarios: usize,
+    /// Worker threads. **Never affects results**, only wall-clock.
+    pub threads: usize,
+    /// The run seed every per-triple stream derives from.
+    pub seed: u64,
+    /// Baseline governor name (see [`usta_governors::by_name`]).
+    pub governor: String,
+    /// Wrap the baseline with USTA (`false` sweeps the raw baseline).
+    pub usta: bool,
+    /// Per-triple simulated-time cap, seconds.
+    pub max_sim_seconds: f64,
+    /// Distinct predictor-training histories in the pool.
+    pub predictor_pool: usize,
+    /// Benchmarks the training campaign draws histories from.
+    pub training_benchmarks: Vec<Benchmark>,
+    /// Per-benchmark simulated-time cap during training, seconds.
+    pub training_cap_seconds: f64,
+    /// Consecutive triples per work-queue chunk.
+    pub chunk_size: usize,
+    /// Use the fixed short smoke catalog instead of grid sampling.
+    pub smoke: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            users: 100,
+            scenarios: 4,
+            threads: 1,
+            seed: 42,
+            governor: "ondemand".to_owned(),
+            usta: true,
+            max_sim_seconds: 180.0,
+            predictor_pool: 3,
+            training_benchmarks: vec![
+                Benchmark::AntutuCpu,
+                Benchmark::GfxBench,
+                Benchmark::Vellamo,
+                Benchmark::Youtube,
+                Benchmark::Charging,
+            ],
+            training_cap_seconds: 240.0,
+            chunk_size: 16,
+            smoke: false,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The CI smoke preset: ~100 short triples, small training
+    /// campaign — finishes in a couple of seconds in release mode.
+    pub fn smoke() -> SweepConfig {
+        SweepConfig {
+            users: 25,
+            scenarios: 4,
+            max_sim_seconds: 60.0,
+            predictor_pool: 2,
+            training_benchmarks: vec![Benchmark::GfxBench, Benchmark::Vellamo],
+            training_cap_seconds: 90.0,
+            smoke: true,
+            ..SweepConfig::default()
+        }
+    }
+
+    /// Total triples the sweep will run.
+    pub fn total_triples(&self) -> usize {
+        let scenarios = if self.smoke {
+            ScenarioCatalog::smoke().len()
+        } else {
+            self.scenarios
+        };
+        self.users * scenarios
+    }
+}
+
+/// Sweep failures reportable to a CLI user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The configured baseline governor name is unknown.
+    UnknownGovernor(String),
+    /// The sweep would contain zero triples.
+    EmptySweep,
+    /// The predictor pool or its training campaign is empty.
+    NoTrainingData,
+    /// A simulated-time cap is zero, negative, or NaN — the sweep would
+    /// take zero steps and report −∞ peaks.
+    NonPositiveSimCap,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::UnknownGovernor(name) => {
+                write!(
+                    f,
+                    "unknown governor {name:?} (known: {})",
+                    usta_governors::NAMES.join(", ")
+                )
+            }
+            FleetError::EmptySweep => write!(f, "sweep has zero (user, scenario) triples"),
+            FleetError::NoTrainingData => {
+                write!(f, "predictor pool needs at least one history and benchmark")
+            }
+            FleetError::NonPositiveSimCap => {
+                write!(f, "simulated-time caps must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// A finished sweep: the merged aggregate plus the inputs that produced
+/// it. Deliberately excludes `threads` — two reports from the same
+/// config at different thread counts compare equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Sampled user count.
+    pub users: usize,
+    /// Scenario count actually swept.
+    pub scenarios: usize,
+    /// The run seed.
+    pub seed: u64,
+    /// Governor stack name (`"usta(ondemand)"` or the bare baseline).
+    pub governor: String,
+    /// The merged streaming aggregate.
+    pub aggregate: FleetAggregate,
+}
+
+impl FleetReport {
+    /// The report as printable text (stable across thread counts).
+    pub fn summary(&self) -> String {
+        format!(
+            "fleet sweep: {} users x {} scenarios, seed {}, governor {}\n{}",
+            self.users,
+            self.scenarios,
+            self.seed,
+            self.governor,
+            self.aggregate.table()
+        )
+    }
+}
+
+/// Mixes a triple index into the run seed (splitmix-style odd constant,
+/// the same construction `usta_workloads` uses for benchmark jitter).
+fn triple_stream(run_seed: u64, index: u64) -> ChaCha8Rng {
+    let mixed = run_seed ^ (index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ChaCha8Rng::seed_from_u64(mixed)
+}
+
+/// Trains the predictor pool: one baseline data-collection campaign over
+/// the configured benchmarks (duration-capped), then one REPTree per
+/// pool slot fitted on a sampled subset of the per-benchmark logs —
+/// modelling users whose phones logged different app histories.
+fn train_predictor_pool(config: &SweepConfig) -> Result<Vec<TemperaturePredictor>, FleetError> {
+    if config.predictor_pool == 0 || config.training_benchmarks.is_empty() {
+        return Err(FleetError::NoTrainingData);
+    }
+    let mut per_benchmark: Vec<TrainingLog> = Vec::new();
+    for (i, &benchmark) in config.training_benchmarks.iter().enumerate() {
+        let mut device =
+            Device::with_seed(config.seed ^ ((i as u64 + 1) << 48)).expect("default device builds");
+        let mut workload = crate::scenario::Scenario {
+            benchmark,
+            ambient: crate::scenario::AmbientBand::Office,
+            case: crate::scenario::CaseKind::Naked,
+            charging: false,
+            hand_held: false,
+        }
+        .workload(config.seed ^ i as u64, config.training_cap_seconds);
+        let mut governor = Governor::Baseline(by_name("ondemand").expect("ondemand is registered"));
+        let result = run_workload(
+            &mut device,
+            &mut workload,
+            &mut governor,
+            &RunConfig::default(),
+        );
+        per_benchmark.push(result.training_log);
+    }
+
+    let mut pool = Vec::with_capacity(config.predictor_pool);
+    for k in 0..config.predictor_pool {
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x7001 ^ ((k as u64) << 32));
+        // History length: at least one benchmark, at most all of them.
+        let history_len = rng.gen_range(1..per_benchmark.len() + 1);
+        let mut indices: Vec<usize> = (0..per_benchmark.len()).collect();
+        use rand::seq::SliceRandom;
+        indices.shuffle(&mut rng);
+        let mut log = TrainingLog::new();
+        for &idx in indices.iter().take(history_len) {
+            log.extend_from(&per_benchmark[idx]);
+        }
+        let predictor = TemperaturePredictor::train(
+            &Learner::RepTree(RepTreeParams::default()),
+            &log,
+            PredictionTarget::Skin,
+            config.seed ^ k as u64,
+        )
+        .map_err(|_| FleetError::NoTrainingData)?;
+        pool.push(predictor);
+    }
+    Ok(pool)
+}
+
+/// Runs one (user, device, scenario) triple to completion.
+fn run_triple(
+    config: &SweepConfig,
+    population: &UserPopulation,
+    catalog: &ScenarioCatalog,
+    predictors: &[TemperaturePredictor],
+    index: usize,
+) -> TripleOutcome {
+    let user = &population.users()[index / catalog.len()];
+    let scenario = &catalog.scenarios()[index % catalog.len()];
+    let mut rng = triple_stream(config.seed, index as u64);
+    let sensor_seed: u64 = rng.gen();
+    let jitter_seed: u64 = rng.gen();
+    let predictor_pick = if config.usta {
+        rng.gen_range(0..predictors.len())
+    } else {
+        0
+    };
+
+    let mut device =
+        Device::new(scenario.device_config(sensor_seed)).expect("scenario devices build");
+    let mut workload = scenario.workload(jitter_seed, config.max_sim_seconds);
+    let sim_seconds = workload.duration();
+    let baseline = by_name(&config.governor).expect("governor validated up front");
+    let mut governor = if config.usta {
+        Governor::Usta(Box::new(UstaGovernor::new(
+            baseline,
+            predictors[predictor_pick].clone(),
+            UstaPolicy::new(user.skin_limit),
+        )))
+    } else {
+        Governor::Baseline(baseline)
+    };
+
+    let result = run_workload(
+        &mut device,
+        &mut workload,
+        &mut governor,
+        &RunConfig::default(),
+    );
+    let comfort =
+        ComfortStats::from_trace(&result.skin_trace, result.log_period_s, user.skin_limit);
+    TripleOutcome {
+        sim_seconds,
+        peak_skin_c: result.max_skin.value(),
+        time_over_fraction: comfort.fraction_over,
+        qos: 1.0 - result.unserved_fraction,
+    }
+}
+
+/// Runs the sweep and returns the merged report.
+///
+/// # Errors
+///
+/// Returns [`FleetError`] when the governor name is unknown, the sweep
+/// is empty, or the predictor pool cannot be trained.
+pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
+    if by_name(&config.governor).is_none() {
+        return Err(FleetError::UnknownGovernor(config.governor.clone()));
+    }
+    let caps_valid = config.max_sim_seconds > 0.0 && config.training_cap_seconds > 0.0;
+    if !caps_valid {
+        // NaN fails the comparisons, so it lands here too.
+        return Err(FleetError::NonPositiveSimCap);
+    }
+    let catalog = if config.smoke {
+        ScenarioCatalog::smoke()
+    } else {
+        ScenarioCatalog::sampled(config.seed ^ 0x5CE4_A210, config.scenarios)
+    };
+    let population = UserPopulation::sampled(config.seed, config.users);
+    let total = population.len() * catalog.len();
+    if total == 0 {
+        return Err(FleetError::EmptySweep);
+    }
+    let predictors = if config.usta {
+        train_predictor_pool(config)?
+    } else {
+        Vec::new()
+    };
+    if config.usta && predictors.is_empty() {
+        return Err(FleetError::NoTrainingData);
+    }
+
+    let chunk_size = config.chunk_size.max(1);
+    let n_chunks = total.div_ceil(chunk_size);
+    let workers = config.threads.clamp(1, n_chunks);
+    let next_chunk = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, FleetAggregate)>();
+
+    let aggregate = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next_chunk = &next_chunk;
+            let population = &population;
+            let catalog = &catalog;
+            let predictors = &predictors[..];
+            scope.spawn(move || loop {
+                let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if chunk >= n_chunks {
+                    break;
+                }
+                let lo = chunk * chunk_size;
+                let hi = (lo + chunk_size).min(total);
+                let mut partial = FleetAggregate::new();
+                for index in lo..hi {
+                    partial.record(&run_triple(config, population, catalog, predictors, index));
+                }
+                // The coordinator drains inside this scope; send only
+                // fails if it panicked, which propagates anyway.
+                let _ = tx.send((chunk, partial));
+            });
+        }
+        drop(tx);
+
+        // Merge while workers run: fold each chunk the moment every
+        // lower-indexed chunk has been folded, parking out-of-order
+        // stragglers. The canonical chunk-index merge order is what
+        // makes the f64 sums bit-identical at every thread count, and
+        // the straggler buffer is bounded by the workers' in-flight
+        // spread — memory stays O(workers × bins), never O(chunks).
+        let mut aggregate = FleetAggregate::new();
+        let mut stragglers = std::collections::BTreeMap::new();
+        let mut next_to_merge = 0usize;
+        for (chunk, partial) in rx {
+            stragglers.insert(chunk, partial);
+            while let Some(partial) = stragglers.remove(&next_to_merge) {
+                aggregate.merge(&partial);
+                next_to_merge += 1;
+            }
+        }
+        debug_assert_eq!(next_to_merge, n_chunks, "every chunk merged");
+        aggregate
+    });
+
+    let governor = if config.usta {
+        format!("usta({})", config.governor)
+    } else {
+        config.governor.clone()
+    };
+    Ok(FleetReport {
+        users: population.len(),
+        scenarios: catalog.len(),
+        seed: config.seed,
+        governor,
+        aggregate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> SweepConfig {
+        SweepConfig {
+            users: 4,
+            max_sim_seconds: 30.0,
+            predictor_pool: 2,
+            training_benchmarks: vec![Benchmark::GfxBench],
+            training_cap_seconds: 60.0,
+            chunk_size: 3,
+            smoke: true,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn unknown_governor_is_rejected() {
+        let config = SweepConfig {
+            governor: "schedutil".to_owned(),
+            ..tiny_config()
+        };
+        assert_eq!(
+            run_sweep(&config),
+            Err(FleetError::UnknownGovernor("schedutil".to_owned()))
+        );
+    }
+
+    #[test]
+    fn non_positive_or_nan_sim_caps_are_rejected() {
+        for bad in [0.0, -10.0, f64::NAN] {
+            let config = SweepConfig {
+                max_sim_seconds: bad,
+                ..tiny_config()
+            };
+            assert_eq!(run_sweep(&config), Err(FleetError::NonPositiveSimCap));
+        }
+        let config = SweepConfig {
+            training_cap_seconds: 0.0,
+            ..tiny_config()
+        };
+        assert_eq!(run_sweep(&config), Err(FleetError::NonPositiveSimCap));
+    }
+
+    #[test]
+    fn empty_sweep_is_rejected() {
+        let config = SweepConfig {
+            users: 0,
+            ..tiny_config()
+        };
+        assert_eq!(run_sweep(&config), Err(FleetError::EmptySweep));
+    }
+
+    #[test]
+    fn sweep_covers_every_triple_once() {
+        let config = tiny_config();
+        let report = run_sweep(&config).unwrap();
+        assert_eq!(report.aggregate.triples as usize, config.total_triples());
+        assert_eq!(report.users, 4);
+        assert_eq!(report.scenarios, ScenarioCatalog::smoke().len());
+        assert!(report.aggregate.sim_seconds > 0.0);
+        // QoS is a fraction.
+        assert!(report.aggregate.qos.stats.max() <= 1.0 + 1e-12);
+        assert!(report.aggregate.qos.stats.min() >= 0.0);
+    }
+
+    #[test]
+    fn baseline_only_sweep_skips_training() {
+        let config = SweepConfig {
+            usta: false,
+            predictor_pool: 0,
+            training_benchmarks: Vec::new(),
+            ..tiny_config()
+        };
+        let report = run_sweep(&config).unwrap();
+        assert_eq!(report.governor, "ondemand");
+        assert_eq!(report.aggregate.triples as usize, config.total_triples());
+    }
+
+    #[test]
+    fn usta_caps_hot_scenarios_relative_to_baseline() {
+        let usta = run_sweep(&tiny_config()).unwrap();
+        let base = run_sweep(&SweepConfig {
+            usta: false,
+            ..tiny_config()
+        })
+        .unwrap();
+        // USTA trades QoS for heat: it should never be hotter on
+        // average, and should deliver no more cycles than the baseline.
+        assert!(usta.aggregate.peak_skin.stats.mean() <= base.aggregate.peak_skin.stats.mean());
+        assert!(usta.aggregate.qos.stats.mean() <= base.aggregate.qos.stats.mean() + 1e-12);
+    }
+
+    #[test]
+    fn report_is_identical_across_thread_counts() {
+        let mut config = tiny_config();
+        config.threads = 1;
+        let one = run_sweep(&config).unwrap();
+        config.threads = 4;
+        let four = run_sweep(&config).unwrap();
+        assert_eq!(one, four);
+        assert_eq!(one.summary(), four.summary());
+    }
+}

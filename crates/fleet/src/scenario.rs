@@ -1,0 +1,421 @@
+//! The scenario catalog: every environment a phone meets in the field.
+//!
+//! The paper evaluates USTA in one room (24 °C), one bare Nexus 4, on
+//! thirteen workloads. Bhat et al. (arXiv:1904.09814, arXiv:2003.11081)
+//! show that skin-temperature dynamics shift strongly with ambient
+//! temperature, enclosure, and charging state — so a population-scale
+//! sweep must cross those axes too. A [`Scenario`] fixes one point of
+//! that grid: a workload, an ambient band, a phone case, and charging /
+//! grip state. [`ScenarioCatalog`] enumerates the full cartesian grid or
+//! a deterministic sample of it.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use usta_sim::DeviceConfig;
+use usta_thermal::materials::Material;
+use usta_thermal::{Celsius, PhoneNode};
+use usta_workloads::{Benchmark, DeviceDemand, PhasedWorkload, Workload};
+
+/// Ambient (room) temperature bands for the sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmbientBand {
+    /// Cold outdoors / unheated room, 5 °C.
+    Winter,
+    /// The paper's lab condition, 24 °C.
+    Office,
+    /// Warm outdoors, 32 °C.
+    Summer,
+    /// Parked-car / direct-sun extreme, 40 °C.
+    HotCar,
+}
+
+impl AmbientBand {
+    /// All bands, coldest first.
+    pub const ALL: [AmbientBand; 4] = [
+        AmbientBand::Winter,
+        AmbientBand::Office,
+        AmbientBand::Summer,
+        AmbientBand::HotCar,
+    ];
+
+    /// The band's ambient temperature.
+    pub fn temperature(self) -> Celsius {
+        match self {
+            AmbientBand::Winter => Celsius(5.0),
+            AmbientBand::Office => Celsius(24.0),
+            AmbientBand::Summer => Celsius(32.0),
+            AmbientBand::HotCar => Celsius(40.0),
+        }
+    }
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AmbientBand::Winter => "winter",
+            AmbientBand::Office => "office",
+            AmbientBand::Summer => "summer",
+            AmbientBand::HotCar => "hot-car",
+        }
+    }
+}
+
+/// Phone enclosure. A case adds thermal mass to the back-cover nodes and
+/// throttles (or, for metal, slightly helps) their convective path to
+/// ambient — the dominant reason identical phones feel different in
+/// different cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaseKind {
+    /// Bare phone — the paper's configuration.
+    Naked,
+    /// Thin snap-on polycarbonate shell.
+    SlimShell,
+    /// Thick two-layer rugged polycarbonate case.
+    Rugged,
+    /// Open aluminium bumper + thin back plate: conducts well, spreads
+    /// heat, costs little convective area.
+    AluminiumBumper,
+}
+
+impl CaseKind {
+    /// All cases, barest first.
+    pub const ALL: [CaseKind; 4] = [
+        CaseKind::Naked,
+        CaseKind::SlimShell,
+        CaseKind::Rugged,
+        CaseKind::AluminiumBumper,
+    ];
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseKind::Naked => "naked",
+            CaseKind::SlimShell => "slim-shell",
+            CaseKind::Rugged => "rugged",
+            CaseKind::AluminiumBumper => "alu-bumper",
+        }
+    }
+
+    /// The case body material, when there is a case.
+    pub fn material(self) -> Option<Material> {
+        match self {
+            CaseKind::Naked => None,
+            CaseKind::SlimShell | CaseKind::Rugged => Some(Material::Polycarbonate),
+            CaseKind::AluminiumBumper => Some(Material::Aluminium),
+        }
+    }
+
+    /// Case mass sitting over the back cover, grams.
+    fn back_mass_grams(self) -> f64 {
+        match self {
+            CaseKind::Naked => 0.0,
+            CaseKind::SlimShell => 18.0,
+            CaseKind::Rugged => 48.0,
+            CaseKind::AluminiumBumper => 22.0,
+        }
+    }
+
+    /// Multiplier on the back-cover nodes' ambient conductance.
+    fn ambient_scale(self) -> f64 {
+        match self {
+            CaseKind::Naked => 1.0,
+            // Plastic shells insulate the back; a rugged case severely.
+            CaseKind::SlimShell => 0.72,
+            CaseKind::Rugged => 0.45,
+            // Aluminium spreads heat over more radiating area.
+            CaseKind::AluminiumBumper => 1.10,
+        }
+    }
+}
+
+/// One point of the sweep grid: workload × environment × device state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// The workload being run.
+    pub benchmark: Benchmark,
+    /// Room temperature band.
+    pub ambient: AmbientBand,
+    /// Phone enclosure.
+    pub case: CaseKind,
+    /// Whether the charger is attached for the whole session.
+    pub charging: bool,
+    /// Whether a hand holds the phone throughout.
+    pub hand_held: bool,
+}
+
+impl Scenario {
+    /// Stable human-readable name, e.g. `"Skype/summer/rugged/charging"`.
+    pub fn name(&self) -> String {
+        let mut s = format!(
+            "{}/{}/{}",
+            self.benchmark.name(),
+            self.ambient.name(),
+            self.case.name()
+        );
+        if self.charging {
+            s.push_str("/charging");
+        }
+        if self.hand_held {
+            s.push_str("/held");
+        }
+        s
+    }
+
+    /// The device configuration this scenario runs on: the calibrated
+    /// Nexus-4 thermal network re-parameterised for the scenario's
+    /// ambient band and case, soaked to room temperature at power-on.
+    pub fn device_config(&self, sensor_seed: u64) -> DeviceConfig {
+        let mut config = DeviceConfig {
+            sensor_seed,
+            hand_held: self.hand_held,
+            ..DeviceConfig::default()
+        };
+        let thermal = &mut config.thermal;
+        thermal.ambient = self.ambient.temperature();
+        // A phone picked up in the field starts barely above the room.
+        thermal.initial = self.ambient.temperature() + 2.0;
+        if let Some(material) = self.case.material() {
+            // Case mass splits over the two modelled back-cover nodes
+            // in proportion to their bare capacitance.
+            let added = material.capacitance_of_grams(self.case.back_mass_grams());
+            let mid = PhoneNode::BackMid.index();
+            let upper = PhoneNode::BackUpper.index();
+            let total = thermal.capacitance[mid] + thermal.capacitance[upper];
+            thermal.capacitance[mid] += added * thermal.capacitance[mid] / total;
+            thermal.capacitance[upper] += added * thermal.capacitance[upper] / total;
+        }
+        let scale = self.case.ambient_scale();
+        for (node, g) in thermal.ambient_links.iter_mut() {
+            if matches!(node, PhoneNode::BackMid | PhoneNode::BackUpper) {
+                *g *= scale;
+            }
+        }
+        config
+    }
+
+    /// Instantiates the scenario's workload with the given jitter seed,
+    /// capped at `max_seconds` of simulated time (fleet sweeps truncate
+    /// long benchmarks so every triple costs a bounded number of steps).
+    pub fn workload(&self, seed: u64, max_seconds: f64) -> ScenarioWorkload {
+        ScenarioWorkload {
+            inner: self.benchmark.workload(seed),
+            charging: self.charging,
+            duration: self.benchmark.duration().min(max_seconds),
+        }
+    }
+}
+
+/// A benchmark workload adapted to its scenario: duration-capped and,
+/// when the scenario charges, with the charger demand forced on.
+#[derive(Debug, Clone)]
+pub struct ScenarioWorkload {
+    inner: PhasedWorkload,
+    charging: bool,
+    duration: f64,
+}
+
+impl Workload for ScenarioWorkload {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn duration(&self) -> f64 {
+        self.duration
+    }
+
+    fn demand_at(&mut self, t: f64, dt: f64) -> DeviceDemand {
+        let mut demand = if t < self.duration {
+            self.inner.demand_at(t, dt)
+        } else {
+            DeviceDemand::idle()
+        };
+        demand.charging |= self.charging;
+        demand
+    }
+}
+
+/// A deterministic list of scenarios to sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCatalog {
+    scenarios: Vec<Scenario>,
+}
+
+impl ScenarioCatalog {
+    /// The full cartesian grid: 13 benchmarks × 4 ambients × 4 cases ×
+    /// charging × hand — 832 scenarios, benchmark-major order.
+    pub fn full() -> ScenarioCatalog {
+        let mut scenarios = Vec::new();
+        for benchmark in Benchmark::ALL {
+            for ambient in AmbientBand::ALL {
+                for case in CaseKind::ALL {
+                    for charging in [false, true] {
+                        for hand_held in [false, true] {
+                            scenarios.push(Scenario {
+                                benchmark,
+                                ambient,
+                                case,
+                                charging,
+                                hand_held,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        ScenarioCatalog { scenarios }
+    }
+
+    /// A deterministic `n`-scenario sample of the full grid: a seeded
+    /// shuffle of the grid, cycled when `n` exceeds the grid size.
+    pub fn sampled(seed: u64, n: usize) -> ScenarioCatalog {
+        let mut grid = ScenarioCatalog::full().scenarios;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5CE0_4A71);
+        grid.shuffle(&mut rng);
+        let scenarios = (0..n).map(|i| grid[i % grid.len()]).collect();
+        ScenarioCatalog { scenarios }
+    }
+
+    /// A fixed four-scenario catalog of short benchmarks for smoke runs
+    /// and CI: one cold, one paper-condition, one hot-and-cased, one
+    /// charging-while-held.
+    pub fn smoke() -> ScenarioCatalog {
+        let mk = |benchmark, ambient, case, charging, hand_held| Scenario {
+            benchmark,
+            ambient,
+            case,
+            charging,
+            hand_held,
+        };
+        ScenarioCatalog {
+            scenarios: vec![
+                mk(
+                    Benchmark::GfxBench,
+                    AmbientBand::Winter,
+                    CaseKind::Naked,
+                    false,
+                    false,
+                ),
+                mk(
+                    Benchmark::AntutuCpuGpuRam,
+                    AmbientBand::Office,
+                    CaseKind::Naked,
+                    false,
+                    true,
+                ),
+                mk(
+                    Benchmark::Vellamo,
+                    AmbientBand::HotCar,
+                    CaseKind::Rugged,
+                    false,
+                    false,
+                ),
+                mk(
+                    Benchmark::GfxBench,
+                    AmbientBand::Summer,
+                    CaseKind::SlimShell,
+                    true,
+                    true,
+                ),
+            ],
+        }
+    }
+
+    /// The scenarios, in sweep order.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// `true` when the catalog holds no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_has_the_cartesian_size() {
+        let c = ScenarioCatalog::full();
+        assert_eq!(c.len(), 13 * 4 * 4 * 2 * 2);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_cycles() {
+        let a = ScenarioCatalog::sampled(9, 20);
+        let b = ScenarioCatalog::sampled(9, 20);
+        assert_eq!(a, b);
+        assert_ne!(a, ScenarioCatalog::sampled(10, 20));
+        let big = ScenarioCatalog::sampled(9, 900);
+        assert_eq!(big.len(), 900);
+        assert_eq!(big.scenarios()[0], big.scenarios()[832]);
+    }
+
+    #[test]
+    fn case_changes_back_cover_parameters_only_plausibly() {
+        let naked = Scenario {
+            benchmark: Benchmark::GfxBench,
+            ambient: AmbientBand::Office,
+            case: CaseKind::Naked,
+            charging: false,
+            hand_held: false,
+        };
+        let rugged = Scenario {
+            case: CaseKind::Rugged,
+            ..naked
+        };
+        let a = naked.device_config(1).thermal;
+        let b = rugged.device_config(1).thermal;
+        assert!(b.total_capacitance() > a.total_capacitance());
+        assert!(b.total_ambient_conductance() < a.total_ambient_conductance());
+    }
+
+    #[test]
+    fn ambient_band_sets_room_and_initial_temperature() {
+        let s = Scenario {
+            benchmark: Benchmark::Vellamo,
+            ambient: AmbientBand::HotCar,
+            case: CaseKind::Naked,
+            charging: false,
+            hand_held: false,
+        };
+        let t = s.device_config(0).thermal;
+        assert_eq!(t.ambient, Celsius(40.0));
+        assert_eq!(t.initial, Celsius(42.0));
+    }
+
+    #[test]
+    fn scenario_workload_caps_duration_and_forces_charging() {
+        let s = Scenario {
+            benchmark: Benchmark::Skype, // 1800 s uncapped
+            ambient: AmbientBand::Office,
+            case: CaseKind::Naked,
+            charging: true,
+            hand_held: false,
+        };
+        let mut w = s.workload(7, 120.0);
+        assert_eq!(w.duration(), 120.0);
+        assert!(w.demand_at(10.0, 0.1).charging);
+        // Past the cap the workload idles (runner overshoot contract).
+        let late = w.demand_at(130.0, 0.1);
+        assert!(!late.display_on);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let s = Scenario {
+            benchmark: Benchmark::Skype,
+            ambient: AmbientBand::Summer,
+            case: CaseKind::Rugged,
+            charging: true,
+            hand_held: true,
+        };
+        assert_eq!(s.name(), "Skype/summer/rugged/charging/held");
+    }
+}

@@ -1,0 +1,94 @@
+//! Name-based governor construction for CLIs and config files.
+//!
+//! The sweep and repro binaries select their baseline governor from a
+//! flag (`--governor ondemand`); this factory maps the sysfs-style name
+//! back to a boxed governor with default parameters, the same way
+//! `scaling_governor` writes select a registered governor on Linux.
+
+use crate::conservative::Conservative;
+use crate::governor::CpuGovernor;
+use crate::interactive::Interactive;
+use crate::ondemand::OnDemand;
+use crate::simple::{Performance, Powersave, Userspace};
+
+/// Sysfs-style names of every governor [`by_name`] can construct, in
+/// stable (alphabetical) order — useful for `--help` text.
+pub const NAMES: [&str; 6] = [
+    "conservative",
+    "interactive",
+    "ondemand",
+    "performance",
+    "powersave",
+    "userspace",
+];
+
+/// Constructs a default-parameter governor from its sysfs-style name.
+///
+/// Matching is ASCII case-insensitive. `"userspace"` pins the lowest
+/// operating point (a caller wanting another level should construct
+/// [`Userspace`] directly). Unknown names return `None`.
+///
+/// ```
+/// use usta_governors::by_name;
+///
+/// assert_eq!(by_name("ondemand").unwrap().name(), "ondemand");
+/// assert_eq!(by_name("Performance").unwrap().name(), "performance");
+/// assert!(by_name("schedutil").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Box<dyn CpuGovernor>> {
+    let lower = name.to_ascii_lowercase();
+    let gov: Box<dyn CpuGovernor> = match lower.as_str() {
+        "conservative" => Box::new(Conservative::default()),
+        "interactive" => Box::new(Interactive::default()),
+        "ondemand" => Box::new(OnDemand::default()),
+        "performance" => Box::new(Performance),
+        "powersave" => Box::new(Powersave),
+        "userspace" => Box::new(Userspace::new(0)),
+        _ => return None,
+    };
+    Some(gov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usta_soc::nexus4;
+
+    #[test]
+    fn every_listed_name_constructs_and_round_trips() {
+        for name in NAMES {
+            let gov = by_name(name).unwrap_or_else(|| panic!("{name} should construct"));
+            assert_eq!(gov.name(), name);
+        }
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        assert_eq!(by_name("OnDemand").unwrap().name(), "ondemand");
+        assert_eq!(by_name("POWERSAVE").unwrap().name(), "powersave");
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(by_name("schedutil").is_none());
+        assert!(by_name("").is_none());
+        assert!(by_name("ondemand ").is_none());
+    }
+
+    #[test]
+    fn constructed_governors_decide() {
+        let opp = nexus4::opp_table();
+        for name in NAMES {
+            let mut gov = by_name(name).unwrap();
+            let input = crate::GovernorInput {
+                avg_utilization: 1.0,
+                max_utilization: 1.0,
+                current_level: 0,
+                max_allowed_level: opp.max_index(),
+                opp: &opp,
+            };
+            let level = gov.decide(&input);
+            assert!(level <= opp.max_index(), "{name} returned {level}");
+        }
+    }
+}

@@ -29,12 +29,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod conservative;
+pub mod factory;
 pub mod governor;
 pub mod interactive;
 pub mod ondemand;
 pub mod simple;
 
 pub use conservative::Conservative;
+pub use factory::{by_name, NAMES};
 pub use governor::{CpuGovernor, GovernorInput};
 pub use interactive::Interactive;
 pub use ondemand::OnDemand;

@@ -8,7 +8,11 @@ use crate::mlp::MlpParams;
 use crate::reptree::RepTreeParams;
 
 /// A fitted regression model.
-pub trait Regressor: std::fmt::Debug {
+///
+/// `Send + Sync` is part of the contract: fitted models are immutable
+/// plain data, and the fleet layer shares one trained predictor pool
+/// across its worker threads.
+pub trait Regressor: std::fmt::Debug + Send + Sync {
     /// Predicts the target for a feature vector.
     ///
     /// Vectors shorter than the training schema are padded with zeros;

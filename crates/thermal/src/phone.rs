@@ -50,7 +50,10 @@ impl PhoneNode {
         PhoneNode::Screen,
     ];
 
-    fn index(self) -> usize {
+    /// Index of this node in [`PhoneNode::ALL`] — also the node's slot
+    /// in [`PhoneThermalParams::capacitance`], so callers building
+    /// modified phones (cases, accessories) can address it directly.
+    pub fn index(self) -> usize {
         match self {
             PhoneNode::Cpu => 0,
             PhoneNode::Package => 1,

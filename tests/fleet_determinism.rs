@@ -1,0 +1,99 @@
+//! Fleet-layer determinism: a sweep's report is a pure function of its
+//! config minus the thread count, and the population sampler is a pure
+//! function of its seed with every limit inside the study's observed
+//! band. These are the guarantees the `fleet_sweep` CLI (and the CI
+//! smoke diff) rely on.
+
+use proptest::prelude::*;
+use usta_core::UserPopulation;
+use usta_fleet::{run_sweep, FleetError, SweepConfig};
+use usta_thermal::Celsius;
+use usta_workloads::Benchmark;
+
+fn small_sweep(threads: usize, seed: u64) -> SweepConfig {
+    SweepConfig {
+        users: 6,
+        threads,
+        seed,
+        max_sim_seconds: 30.0,
+        predictor_pool: 2,
+        training_benchmarks: vec![Benchmark::GfxBench],
+        training_cap_seconds: 60.0,
+        chunk_size: 4,
+        smoke: true,
+        ..SweepConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_any_thread_count_same_report() {
+    let reports: Vec<_> = [1, 2, 4, 7]
+        .into_iter()
+        .map(|threads| run_sweep(&small_sweep(threads, 42)).expect("sweep runs"))
+        .collect();
+    for other in &reports[1..] {
+        // PartialEq covers every aggregate bin and every f64 sum bit.
+        assert_eq!(&reports[0], other);
+        assert_eq!(reports[0].summary(), other.summary());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_sweep(&small_sweep(2, 1)).expect("sweep runs");
+    let b = run_sweep(&small_sweep(2, 2)).expect("sweep runs");
+    assert_ne!(a, b, "seed must steer the whole sweep");
+}
+
+#[test]
+fn chunk_size_does_not_change_the_partition_of_work() {
+    // Chunking is part of the determinism contract (it fixes the f64
+    // merge association), so identical chunk sizes at different thread
+    // counts — the CLI's only parallelism knob — must agree. Document
+    // that a *different* chunk size still covers every triple.
+    let mut coarse = small_sweep(3, 9);
+    coarse.chunk_size = 64;
+    let report = run_sweep(&coarse).expect("sweep runs");
+    assert_eq!(report.aggregate.triples as usize, coarse.total_triples());
+}
+
+#[test]
+fn zero_triple_sweeps_are_rejected_not_hung() {
+    let mut config = small_sweep(1, 3);
+    config.users = 0;
+    assert_eq!(run_sweep(&config), Err(FleetError::EmptySweep));
+}
+
+proptest! {
+    #[test]
+    fn sampled_population_is_deterministic(seed in 0u64..1_000_000, n in 1usize..300) {
+        let a = UserPopulation::sampled(seed, n);
+        let b = UserPopulation::sampled(seed, n);
+        prop_assert_eq!(a.users(), b.users());
+        prop_assert_eq!(a.len(), n);
+    }
+
+    #[test]
+    fn sampled_limits_fall_inside_the_papers_observed_band(
+        seed in 0u64..1_000_000,
+        n in 1usize..300,
+    ) {
+        let p = UserPopulation::sampled(seed, n);
+        prop_assert!(!p.is_empty());
+        for u in p.iter() {
+            prop_assert!(
+                u.skin_limit >= Celsius(34.0) && u.skin_limit <= Celsius(42.8),
+                "limit {} outside the study's [34.0, 42.8] band",
+                u.skin_limit
+            );
+            prop_assert!(u.screen_limit < u.skin_limit);
+        }
+    }
+
+    #[test]
+    fn sampled_prefixes_are_stable(seed in 0u64..100_000, n in 2usize..100) {
+        let long = UserPopulation::sampled(seed, n);
+        let short = UserPopulation::sampled(seed, n / 2);
+        prop_assert_eq!(&long.users()[..n / 2], short.users());
+    }
+}

@@ -90,7 +90,7 @@ pub mod collection {
     use std::fmt;
     use std::ops::Range;
 
-    /// Inclusive-start, exclusive-end length specification for [`vec`].
+    /// Inclusive-start, exclusive-end length specification for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         start: usize,
