@@ -1,5 +1,8 @@
 //! Governor decision cost: the baseline zoo vs the USTA stack
-//! (decision path only; prediction runs on its own 3 s cadence).
+//! (decision path only; prediction runs on its own 3 s cadence),
+//! tracked per catalog device — OPP-table depth is the only input that
+//! can plausibly move a decide() cost, so each device's table gets its
+//! own benchmark id.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -10,44 +13,46 @@ use usta_core::{UstaGovernor, UstaPolicy};
 use usta_governors::{Conservative, CpuGovernor, GovernorInput, OnDemand, Performance};
 use usta_ml::reptree::RepTreeParams;
 use usta_ml::Learner;
-use usta_soc::nexus4;
 use usta_thermal::Celsius;
 
 fn bench(c: &mut Criterion) {
-    let opp = nexus4::opp_table();
-    let input = GovernorInput {
-        avg_utilization: 0.63,
-        max_utilization: 0.78,
-        current_level: 7,
-        max_allowed_level: opp.max_index(),
-        opp: &opp,
-    };
     let mut group = c.benchmark_group("governor_decide");
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
-    let mut ondemand = OnDemand::default();
-    group.bench_function("ondemand", |b| {
-        b.iter(|| black_box(ondemand.decide(&input)))
-    });
-    let mut conservative = Conservative::default();
-    group.bench_function("conservative", |b| {
-        b.iter(|| black_box(conservative.decide(&input)))
-    });
-    let mut performance = Performance;
-    group.bench_function("performance", |b| {
-        b.iter(|| black_box(performance.decide(&input)))
-    });
-    let mut usta = UstaGovernor::new(
-        Box::new(OnDemand::default()),
-        trained(
-            &Learner::RepTree(RepTreeParams::default()),
-            PredictionTarget::Skin,
-        ),
-        UstaPolicy::new(Celsius(37.0)),
-    );
-    group.bench_function("usta_wrapped_ondemand", |b| {
-        b.iter(|| black_box(usta.decide(&input)))
-    });
+    for id in usta_device::NAMES {
+        let spec = usta_device::by_id(id).expect("catalog id");
+        let opp = usta_soc::spec::opp_table(spec).expect("catalog spec is valid");
+        let input = GovernorInput {
+            avg_utilization: 0.63,
+            max_utilization: 0.78,
+            current_level: opp.max_index() / 2,
+            max_allowed_level: opp.max_index(),
+            opp: &opp,
+        };
+        let mut ondemand = OnDemand::default();
+        group.bench_function(format!("ondemand/{id}"), |b| {
+            b.iter(|| black_box(ondemand.decide(&input)))
+        });
+        let mut conservative = Conservative::default();
+        group.bench_function(format!("conservative/{id}"), |b| {
+            b.iter(|| black_box(conservative.decide(&input)))
+        });
+        let mut performance = Performance;
+        group.bench_function(format!("performance/{id}"), |b| {
+            b.iter(|| black_box(performance.decide(&input)))
+        });
+        let mut usta = UstaGovernor::new(
+            Box::new(OnDemand::default()),
+            trained(
+                &Learner::RepTree(RepTreeParams::default()),
+                PredictionTarget::Skin,
+            ),
+            UstaPolicy::new(Celsius(37.0)),
+        );
+        group.bench_function(format!("usta_wrapped_ondemand/{id}"), |b| {
+            b.iter(|| black_box(usta.decide(&input)))
+        });
+    }
     group.finish();
 }
 

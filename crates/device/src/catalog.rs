@@ -1,0 +1,320 @@
+//! The built-in device catalog.
+//!
+//! Four devices spanning the commercial spectrum the fleet sweeps care
+//! about. Numbers are plausible-class values, not measurements of any
+//! particular product — except `nexus4`, which is bit-for-bit the
+//! seed's calibrated constants (the paper's device).
+
+use crate::spec::{BatterySpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuPowerSpec, OppPoint};
+use usta_thermal::materials::Material;
+use usta_thermal::{Celsius, HandContact, PhoneNode, PhoneThermalParams};
+
+/// Builds a seven-node [`PhoneThermalParams`] from explicit arrays —
+/// catalog shorthand for devices that are not the calibrated default.
+/// Capacitances in J/K (indexed like [`PhoneNode::ALL`]), conductances
+/// in W/K.
+fn thermal(
+    capacitance: [f64; 7],
+    couplings: Vec<(PhoneNode, PhoneNode, f64)>,
+    ambient_links: Vec<(PhoneNode, f64)>,
+) -> PhoneThermalParams {
+    PhoneThermalParams {
+        capacitance,
+        couplings,
+        ambient_links,
+        ambient: Celsius(24.0),
+        initial: Celsius(28.0),
+        hand: HandContact::default(),
+    }
+}
+
+/// The paper's device: Google Nexus 4 (Qualcomm APQ8064, quad-core
+/// Krait 300, 4.7" IPS, 2100 mAh). Reproduces the seed's Table-1
+/// constants bit-for-bit: the twelve-level OPP table with its linear
+/// 0.95–1.25 V ramp, the calibrated power coefficients, and
+/// [`PhoneThermalParams::default`] as the thermal network.
+pub fn nexus4() -> DeviceSpec {
+    const KHZ: [u32; 12] = [
+        384_000, 486_000, 594_000, 702_000, 810_000, 918_000, 1_026_000, 1_134_000, 1_242_000,
+        1_350_000, 1_458_000, 1_512_000,
+    ];
+    DeviceSpec {
+        id: "nexus4",
+        description: "Google Nexus 4 (APQ8064, quad Krait 300) — the paper's device",
+        cores: 4,
+        // The same expression the seed used, so the voltages are
+        // bit-identical: a linear ramp over the documented Krait
+        // PVS-nominal range.
+        opp: KHZ
+            .iter()
+            .enumerate()
+            .map(|(i, &khz)| OppPoint {
+                khz,
+                volts: 0.95 + 0.30 * i as f64 / 11.0,
+            })
+            .collect(),
+        cpu_power: CpuPowerSpec {
+            ceff_farads: 3.8e-10,
+            leak_coeff_a: 0.056,
+            leak_temp_per_k: 0.02,
+            idle_uncore_w: 0.12,
+        },
+        gpu_power: GpuPowerSpec {
+            max_w: 1.6,
+            idle_w: 0.05,
+        },
+        display: DisplaySpec {
+            base_w: 0.35,
+            full_brightness_w: 0.85,
+        },
+        battery: BatterySpec {
+            capacity_mah: 2100.0,
+            nominal_v: 3.8,
+            internal_ohm: 0.12,
+            max_charge_a: 1.2,
+            charge_loss_fraction: 0.28,
+        },
+        back_cover: Material::Polycarbonate,
+        thermal: PhoneThermalParams::default(),
+    }
+}
+
+/// A big.LITTLE octa-core flagship: glass back, metal frame, a deep
+/// sixteen-level OPP table up to 2.016 GHz. The two clusters are folded
+/// into one shared-table frequency domain (the simulator models a
+/// single cpufreq policy), so the peak cluster power — ≈6.7 W dynamic
+/// with all eight cores busy — is burst-only and thermally
+/// unsustainable, exactly the regime a skin-temperature governor is
+/// for.
+pub fn flagship_octa() -> DeviceSpec {
+    const KHZ: [u32; 16] = [
+        300_000, 403_200, 499_200, 595_200, 691_200, 787_200, 883_200, 979_200, 1_075_200,
+        1_171_200, 1_267_200, 1_363_200, 1_459_200, 1_555_200, 1_747_200, 2_016_000,
+    ];
+    use PhoneNode::*;
+    DeviceSpec {
+        id: "flagship-octa",
+        description: "big.LITTLE octa-core flagship, 5.5\" OLED, glass back",
+        cores: 8,
+        opp: KHZ
+            .iter()
+            .enumerate()
+            .map(|(i, &khz)| OppPoint {
+                khz,
+                volts: 0.80 + 0.40 * i as f64 / 15.0,
+            })
+            .collect(),
+        cpu_power: CpuPowerSpec {
+            ceff_farads: 2.9e-10,
+            leak_coeff_a: 0.065,
+            leak_temp_per_k: 0.025,
+            idle_uncore_w: 0.18,
+        },
+        gpu_power: GpuPowerSpec {
+            max_w: 3.2,
+            idle_w: 0.08,
+        },
+        display: DisplaySpec {
+            base_w: 0.40,
+            full_brightness_w: 1.15,
+        },
+        battery: BatterySpec {
+            capacity_mah: 3000.0,
+            nominal_v: 3.85,
+            internal_ohm: 0.09,
+            max_charge_a: 2.0,
+            charge_loss_fraction: 0.22,
+        },
+        back_cover: Material::CoverGlass,
+        // Slightly heavier than the Nexus 4 and much better spread: the
+        // metal frame couples the package to both covers strongly.
+        thermal: thermal(
+            [1.6, 9.0, 38.0, 70.0, 13.0, 10.0, 32.0],
+            vec![
+                (Cpu, Package, 3.5),
+                (Package, Board, 1.4),
+                (Package, BackUpper, 0.42),
+                (Board, Battery, 0.80),
+                (Board, BackMid, 0.30),
+                (Board, Screen, 0.16),
+                (Battery, BackMid, 0.70),
+                (Battery, Screen, 0.04),
+                (BackUpper, BackMid, 0.16),
+            ],
+            vec![
+                (BackMid, 0.085),
+                (BackUpper, 0.065),
+                (Screen, 0.150),
+                (Board, 0.022),
+                (Battery, 0.006),
+            ],
+        ),
+    }
+}
+
+/// A 10-inch tablet: hexa-core mid-range SoC driving a large panel,
+/// an aluminium shell, and several times a phone's thermal mass — it
+/// heats slowly, sheds heat over a much larger surface, and its skin
+/// problem is dominated by the display, not the CPU.
+pub fn tablet_10in() -> DeviceSpec {
+    const KHZ: [u32; 10] = [
+        396_000, 550_000, 696_000, 852_000, 996_000, 1_152_000, 1_310_000, 1_466_000, 1_620_000,
+        1_800_000,
+    ];
+    use PhoneNode::*;
+    DeviceSpec {
+        id: "tablet-10in",
+        description: "10\" tablet, hexa-core mid-range SoC, aluminium shell",
+        cores: 6,
+        opp: KHZ
+            .iter()
+            .enumerate()
+            .map(|(i, &khz)| OppPoint {
+                khz,
+                volts: 0.85 + 0.30 * i as f64 / 9.0,
+            })
+            .collect(),
+        cpu_power: CpuPowerSpec {
+            ceff_farads: 3.2e-10,
+            leak_coeff_a: 0.050,
+            leak_temp_per_k: 0.02,
+            idle_uncore_w: 0.20,
+        },
+        gpu_power: GpuPowerSpec {
+            max_w: 3.5,
+            idle_w: 0.10,
+        },
+        display: DisplaySpec {
+            base_w: 1.20,
+            full_brightness_w: 2.60,
+        },
+        battery: BatterySpec {
+            capacity_mah: 7000.0,
+            nominal_v: 3.8,
+            internal_ohm: 0.06,
+            max_charge_a: 2.4,
+            charge_loss_fraction: 0.20,
+        },
+        back_cover: Material::Aluminium,
+        // Tablet-class thermal mass: the battery and screen dwarf a
+        // phone's, and every exterior node sees ~3× the convective
+        // area.
+        thermal: thermal(
+            [1.5, 10.0, 80.0, 160.0, 55.0, 40.0, 120.0],
+            vec![
+                (Cpu, Package, 3.2),
+                (Package, Board, 1.6),
+                (Package, BackUpper, 0.50),
+                (Board, Battery, 1.00),
+                (Board, BackMid, 0.40),
+                (Board, Screen, 0.25),
+                (Battery, BackMid, 0.80),
+                (Battery, Screen, 0.06),
+                (BackUpper, BackMid, 0.25),
+            ],
+            vec![
+                (BackMid, 0.220),
+                (BackUpper, 0.160),
+                (Screen, 0.400),
+                (Board, 0.050),
+                (Battery, 0.015),
+            ],
+        ),
+    }
+}
+
+/// A low-end quad-core handset: a shallow six-level OPP table topping
+/// out at 1.1 GHz, a small pack with high internal resistance, and a
+/// cheap polycarbonate build that sheds heat slightly worse than the
+/// Nexus 4.
+pub fn budget_quad() -> DeviceSpec {
+    const KHZ: [u32; 6] = [400_000, 533_000, 667_000, 800_000, 933_000, 1_100_000];
+    use PhoneNode::*;
+    DeviceSpec {
+        id: "budget-quad",
+        description: "low-end quad-core handset, shallow OPP table, 4.5\" panel",
+        cores: 4,
+        opp: KHZ
+            .iter()
+            .enumerate()
+            .map(|(i, &khz)| OppPoint {
+                khz,
+                volts: 0.90 + 0.20 * i as f64 / 5.0,
+            })
+            .collect(),
+        cpu_power: CpuPowerSpec {
+            ceff_farads: 2.4e-10,
+            leak_coeff_a: 0.040,
+            leak_temp_per_k: 0.018,
+            idle_uncore_w: 0.08,
+        },
+        gpu_power: GpuPowerSpec {
+            max_w: 0.9,
+            idle_w: 0.04,
+        },
+        display: DisplaySpec {
+            base_w: 0.30,
+            full_brightness_w: 0.70,
+        },
+        battery: BatterySpec {
+            capacity_mah: 1800.0,
+            nominal_v: 3.7,
+            internal_ohm: 0.18,
+            max_charge_a: 1.0,
+            charge_loss_fraction: 0.30,
+        },
+        back_cover: Material::Polycarbonate,
+        thermal: thermal(
+            [1.0, 6.0, 26.0, 48.0, 9.0, 7.0, 22.0],
+            vec![
+                (Cpu, Package, 2.6),
+                (Package, Board, 1.0),
+                (Package, BackUpper, 0.26),
+                (Board, Battery, 0.55),
+                (Board, BackMid, 0.20),
+                (Board, Screen, 0.10),
+                (Battery, BackMid, 0.50),
+                (Battery, Screen, 0.03),
+                (BackUpper, BackMid, 0.09),
+            ],
+            vec![
+                (BackMid, 0.070),
+                (BackUpper, 0.050),
+                (Screen, 0.120),
+                (Board, 0.018),
+                (Battery, 0.004),
+            ],
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_device_validates() {
+        for spec in [nexus4(), flagship_octa(), tablet_10in(), budget_quad()] {
+            assert_eq!(spec.validate(), Ok(()), "{} must validate", spec.id);
+        }
+    }
+
+    #[test]
+    fn nexus4_thermal_is_the_calibrated_default() {
+        assert_eq!(nexus4().thermal, PhoneThermalParams::default());
+    }
+
+    #[test]
+    fn catalog_spans_the_intended_classes() {
+        let flagship = flagship_octa();
+        let tablet = tablet_10in();
+        let budget = budget_quad();
+        let phone = nexus4();
+        assert_eq!(flagship.cores, 8);
+        assert!(flagship.opp.len() > phone.opp.len());
+        assert!(flagship.max_khz() > phone.max_khz());
+        assert!(tablet.thermal_mass_j_per_k() > 3.0 * phone.thermal_mass_j_per_k());
+        assert!(budget.opp.len() < phone.opp.len());
+        assert!(budget.max_khz() < phone.max_khz());
+    }
+}

@@ -1,0 +1,58 @@
+//! Validation errors for device specs and registries.
+
+/// Why a [`crate::DeviceSpec`] (or a [`crate::Registry`]) was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The id is empty or contains characters outside `[a-z0-9-]`
+    /// (ids double as CLI tokens and file-name fragments).
+    InvalidId(String),
+    /// The spec has no OPP levels.
+    EmptyOppTable,
+    /// OPP frequencies are not strictly increasing at this index.
+    NonMonotoneOppFrequency {
+        /// Index of the offending level.
+        index: usize,
+    },
+    /// Full-utilization dynamic power is not strictly increasing in
+    /// frequency at this index — a table like that would make "lower
+    /// the cap one level" meaningless for the banding policy.
+    NonMonotoneOppPower {
+        /// Index of the offending level.
+        index: usize,
+    },
+    /// A scalar parameter is non-finite or out of its physical range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Two registry specs share an id (after ASCII lowercasing).
+    DuplicateId(String),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::InvalidId(id) => {
+                write!(f, "device id {id:?} must be non-empty [a-z0-9-]")
+            }
+            DeviceError::EmptyOppTable => write!(f, "device spec has no OPP levels"),
+            DeviceError::NonMonotoneOppFrequency { index } => {
+                write!(f, "OPP frequency not strictly increasing at level {index}")
+            }
+            DeviceError::NonMonotoneOppPower { index } => {
+                write!(
+                    f,
+                    "OPP dynamic power not strictly increasing at level {index}"
+                )
+            }
+            DeviceError::InvalidParameter { name, value } => {
+                write!(f, "device parameter {name} = {value} out of range")
+            }
+            DeviceError::DuplicateId(id) => write!(f, "duplicate device id {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}

@@ -1,0 +1,58 @@
+//! # usta-device — the data-driven device catalog
+//!
+//! The paper evaluates USTA on exactly one handset (a Google Nexus 4),
+//! but nothing in the idea is device-specific: any platform with a
+//! cpufreq OPP table, a power model, and an exterior the user touches
+//! can run a user-specific skin-temperature governor — and commercial
+//! platforms differ widely in power and thermal behaviour (Bhat et al.,
+//! *Power and Thermal Analysis of Commercial Mobile Platforms*). This
+//! crate turns the reproduction's hardwired Nexus-4 constants into
+//! data: a [`DeviceSpec`] bundles everything the simulator needs to
+//! instantiate a device —
+//!
+//! * the CPU OPP table (frequency/voltage pairs) and per-frequency
+//!   power coefficients,
+//! * core topology (how many cores share the frequency domain),
+//! * display and battery power models,
+//! * the back-cover material and the seven-node thermal RC network
+//!   parameters (`usta_thermal::PhoneThermalParams`),
+//!
+//! and a [`Registry`] validates specs at construction (monotone OPP
+//! power, positive capacitances and conductances) and resolves ids for
+//! CLIs. The built-in catalog ([`NAMES`]) ships four devices:
+//!
+//! | id | class |
+//! |---|---|
+//! | `nexus4` | the paper's quad-core handset, bit-for-bit the seed's calibrated constants |
+//! | `flagship-octa` | a big.LITTLE octa-core flagship with a deep OPP table |
+//! | `tablet-10in` | a tablet with several times the phone's thermal mass |
+//! | `budget-quad` | a low-end quad-core with a shallow OPP table |
+//!
+//! ```
+//! use usta_device::{by_id, Registry, NAMES};
+//!
+//! let nexus4 = by_id("nexus4").expect("built-in");
+//! assert_eq!(nexus4.cores, 4);
+//! assert_eq!(nexus4.opp.len(), 12);
+//! assert!(Registry::builtin().by_id("FLAGSHIP-OCTA").is_some()); // case-insensitive
+//! assert_eq!(NAMES.len(), Registry::builtin().len());
+//! ```
+//!
+//! Dependency direction: this crate sits between `usta-thermal` (whose
+//! `PhoneThermalParams` it embeds) and `usta-soc` (which builds its
+//! `OppTable`/`CpuPowerModel`/`Battery`/`Display` instances *from* a
+//! spec — see `usta_soc::spec`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod error;
+pub mod registry;
+pub mod spec;
+
+pub use catalog::{budget_quad, flagship_octa, nexus4, tablet_10in};
+pub use error::DeviceError;
+pub use registry::{by_id, try_by_id, Registry, UnknownDeviceError, NAMES};
+pub use spec::{BatterySpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuPowerSpec, OppPoint};

@@ -1,0 +1,196 @@
+//! Id-based spec lookup for CLIs, sweeps, and benches.
+
+use std::sync::OnceLock;
+
+use crate::catalog::{budget_quad, flagship_octa, nexus4, tablet_10in};
+use crate::error::DeviceError;
+use crate::spec::DeviceSpec;
+
+/// Ids of every built-in device, in catalog order (the paper's device
+/// first) — useful for `--help` text and CI loops.
+pub const NAMES: [&str; 4] = ["nexus4", "flagship-octa", "tablet-10in", "budget-quad"];
+
+/// A validated set of device specs addressable by id.
+///
+/// Construction validates every spec and rejects duplicate ids, so a
+/// spec obtained from a registry never needs re-checking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Registry {
+    specs: Vec<DeviceSpec>,
+}
+
+impl Registry {
+    /// Builds a registry from specs, validating each.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing spec's [`DeviceError`], or
+    /// [`DeviceError::DuplicateId`] when two specs share an id.
+    pub fn new(specs: Vec<DeviceSpec>) -> Result<Registry, DeviceError> {
+        for (i, spec) in specs.iter().enumerate() {
+            spec.validate()?;
+            if specs[..i]
+                .iter()
+                .any(|s| s.id.eq_ignore_ascii_case(spec.id))
+            {
+                return Err(DeviceError::DuplicateId(spec.id.to_owned()));
+            }
+        }
+        Ok(Registry { specs })
+    }
+
+    /// The built-in catalog ([`NAMES`] order), validated once per
+    /// process.
+    pub fn builtin() -> &'static Registry {
+        static BUILTIN: OnceLock<Registry> = OnceLock::new();
+        BUILTIN.get_or_init(|| {
+            Registry::new(vec![
+                nexus4(),
+                flagship_octa(),
+                tablet_10in(),
+                budget_quad(),
+            ])
+            .expect("built-in catalog validates")
+        })
+    }
+
+    /// Looks a spec up by id, ASCII case-insensitively.
+    pub fn by_id(&self, id: &str) -> Option<&DeviceSpec> {
+        self.specs.iter().find(|s| s.id.eq_ignore_ascii_case(id))
+    }
+
+    /// The specs, in registry order.
+    pub fn specs(&self) -> &[DeviceSpec] {
+        &self.specs
+    }
+
+    /// The ids, in registry order.
+    pub fn ids(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.specs.iter().map(|s| s.id)
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when the registry holds no specs.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+/// Looks a built-in spec up by id, ASCII case-insensitively.
+///
+/// ```
+/// use usta_device::by_id;
+///
+/// assert_eq!(by_id("nexus4").unwrap().cores, 4);
+/// assert_eq!(by_id("Tablet-10in").unwrap().cores, 6);
+/// assert!(by_id("pixel-9").is_none());
+/// ```
+pub fn by_id(id: &str) -> Option<&'static DeviceSpec> {
+    Registry::builtin().by_id(id)
+}
+
+/// The error [`try_by_id`] returns for unknown device ids. Its
+/// `Display` lists [`NAMES`], so CLIs can surface it verbatim — the
+/// single source of the "unknown device" wording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownDeviceError {
+    name: String,
+}
+
+impl UnknownDeviceError {
+    /// An error for the given unresolved name.
+    pub fn new(name: impl Into<String>) -> UnknownDeviceError {
+        UnknownDeviceError { name: name.into() }
+    }
+
+    /// The name that failed to resolve.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Display for UnknownDeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown device {:?} (known: {})",
+            self.name,
+            NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownDeviceError {}
+
+/// [`by_id`] with a CLI-ready error: ASCII case-insensitive, and the
+/// failure message lists every built-in id.
+///
+/// # Errors
+///
+/// Returns [`UnknownDeviceError`] when `id` matches no built-in spec.
+pub fn try_by_id(id: &str) -> Result<&'static DeviceSpec, UnknownDeviceError> {
+    by_id(id).ok_or_else(|| UnknownDeviceError::new(id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_by_id() {
+        for name in NAMES {
+            let spec = by_id(name).unwrap_or_else(|| panic!("{name} should resolve"));
+            assert_eq!(spec.id, name);
+            // Case-insensitive lookup resolves to the same spec.
+            assert_eq!(by_id(&name.to_ascii_uppercase()), Some(spec));
+        }
+        assert_eq!(Registry::builtin().len(), NAMES.len());
+        assert_eq!(Registry::builtin().ids().collect::<Vec<_>>(), NAMES);
+    }
+
+    #[test]
+    fn unknown_ids_are_none() {
+        assert!(by_id("").is_none());
+        assert!(by_id("nexus4 ").is_none());
+        assert!(by_id("iphone").is_none());
+    }
+
+    #[test]
+    fn try_by_id_error_lists_every_builtin_id() {
+        let err = try_by_id("iphone").unwrap_err();
+        assert_eq!(err.name(), "iphone");
+        let message = err.to_string();
+        assert!(message.contains("\"iphone\""), "{message:?}");
+        for name in NAMES {
+            assert!(message.contains(name), "{message:?} should list {name}");
+        }
+        assert_eq!(try_by_id("NEXUS4").unwrap().id, "nexus4");
+    }
+
+    #[test]
+    fn duplicate_ids_rejected_case_insensitively() {
+        let err = Registry::new(vec![crate::nexus4(), crate::nexus4()]);
+        assert_eq!(err, Err(DeviceError::DuplicateId("nexus4".to_owned())));
+    }
+
+    #[test]
+    fn invalid_spec_rejected_at_registry_construction() {
+        let mut bad = crate::nexus4();
+        bad.opp.clear();
+        assert_eq!(Registry::new(vec![bad]), Err(DeviceError::EmptyOppTable));
+    }
+
+    #[test]
+    fn custom_registry_is_independent_of_builtin() {
+        let r = Registry::new(vec![crate::budget_quad()]).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+        assert!(r.by_id("nexus4").is_none());
+        assert!(r.by_id("BUDGET-QUAD").is_some());
+        assert_eq!(r.specs()[0].id, "budget-quad");
+    }
+}

@@ -1,0 +1,396 @@
+//! The device spec: everything needed to instantiate one device model.
+//!
+//! A [`DeviceSpec`] is plain data — no behaviour beyond validation and
+//! a few derived summaries. `usta-soc` turns the SoC-side fields into
+//! live models (`usta_soc::spec`), and `usta-sim` builds whole devices
+//! from a spec; the thermal side is carried directly as
+//! [`usta_thermal::PhoneThermalParams`].
+
+use crate::error::DeviceError;
+use usta_thermal::materials::Material;
+use usta_thermal::PhoneThermalParams;
+
+/// One CPU operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OppPoint {
+    /// Core clock, kHz (cpufreq convention; 1 512 000 kHz = 1512 MHz).
+    pub khz: u32,
+    /// Supply voltage at this point, volts.
+    pub volts: f64,
+}
+
+impl OppPoint {
+    /// Frequency in MHz.
+    pub fn mhz(&self) -> f64 {
+        self.khz as f64 / 1e3
+    }
+}
+
+/// CPU power coefficients (per core, one shared voltage/frequency
+/// domain).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuPowerSpec {
+    /// Effective switched capacitance per core, farads.
+    pub ceff_farads: f64,
+    /// Leakage current coefficient at 25 °C, amperes.
+    pub leak_coeff_a: f64,
+    /// Fractional leakage growth per kelvin above 25 °C.
+    pub leak_temp_per_k: f64,
+    /// Constant uncore/interconnect power while the cluster is online,
+    /// watts.
+    pub idle_uncore_w: f64,
+}
+
+/// GPU power model: load-proportional with an idle floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuPowerSpec {
+    /// Full-load power, watts.
+    pub max_w: f64,
+    /// Idle power, watts.
+    pub idle_w: f64,
+}
+
+/// Display panel power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisplaySpec {
+    /// Panel + driver power at zero backlight, watts.
+    pub base_w: f64,
+    /// Additional power at full brightness, watts.
+    pub full_brightness_w: f64,
+}
+
+/// Battery pack description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatterySpec {
+    /// Pack capacity, mAh.
+    pub capacity_mah: f64,
+    /// Nominal pack voltage, volts.
+    pub nominal_v: f64,
+    /// Internal resistance, ohms.
+    pub internal_ohm: f64,
+    /// Maximum charge current, amperes.
+    pub max_charge_a: f64,
+    /// Fraction of charging power lost as heat in the pack/PMIC, 0–1.
+    pub charge_loss_fraction: f64,
+}
+
+/// A complete device description.
+///
+/// Field units are stated per field; the thermal network uses J/K for
+/// node capacitances and W/K for conductances (see
+/// [`PhoneThermalParams`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Stable registry/CLI id, lower-case `[a-z0-9-]` (e.g. `"nexus4"`).
+    pub id: &'static str,
+    /// Human-readable description for reports and `--help` text.
+    pub description: &'static str,
+    /// Number of CPU cores sharing the one modelled frequency domain.
+    /// big.LITTLE parts are folded into a single shared-table domain
+    /// (the simulator models one cpufreq policy).
+    pub cores: usize,
+    /// The OPP table, lowest frequency first. Frequencies in kHz,
+    /// voltages in volts; both must rise monotonically (frequency
+    /// strictly).
+    pub opp: Vec<OppPoint>,
+    /// CPU power coefficients (watts-producing; see [`CpuPowerSpec`]).
+    pub cpu_power: CpuPowerSpec,
+    /// GPU power model, watts.
+    pub gpu_power: GpuPowerSpec,
+    /// Display power model, watts.
+    pub display: DisplaySpec,
+    /// Battery pack (mAh, V, Ω, A).
+    pub battery: BatterySpec,
+    /// Back-cover material — what the user's palm actually touches.
+    /// Informational: the material's thermal contribution is already
+    /// folded into `thermal` (the back-cover node capacitances and
+    /// ambient conductances); changing this field alone does not
+    /// change simulation results.
+    pub back_cover: Material,
+    /// Seven-node thermal RC network: node heat capacities in J/K,
+    /// coupling and ambient conductances in W/K.
+    pub thermal: PhoneThermalParams,
+}
+
+impl DeviceSpec {
+    /// Full-utilization dynamic power of one core at OPP `index`, watts
+    /// (`C_eff · V² · f`). This is the quantity required to rise
+    /// strictly with the level index.
+    pub fn opp_dynamic_power_w(&self, index: usize) -> f64 {
+        let p = self.opp[index];
+        self.cpu_power.ceff_farads * p.volts * p.volts * (p.khz as f64 * 1e3)
+    }
+
+    /// Lowest OPP frequency, kHz.
+    pub fn min_khz(&self) -> u32 {
+        self.opp.first().map_or(0, |p| p.khz)
+    }
+
+    /// Highest OPP frequency, kHz.
+    pub fn max_khz(&self) -> u32 {
+        self.opp.last().map_or(0, |p| p.khz)
+    }
+
+    /// Total heat capacity of the thermal network, J/K — the "thermal
+    /// mass" column of the catalog table.
+    pub fn thermal_mass_j_per_k(&self) -> f64 {
+        self.thermal.total_capacitance()
+    }
+
+    /// Validates the spec.
+    ///
+    /// Checks, in order: the id alphabet, core count, OPP monotonicity
+    /// (frequency strictly increasing, voltage non-decreasing, dynamic
+    /// power strictly increasing), power-model coefficient ranges, and
+    /// positivity of every thermal capacitance and conductance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DeviceError`] found.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        if self.id.is_empty()
+            || !self
+                .id
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+        {
+            return Err(DeviceError::InvalidId(self.id.to_owned()));
+        }
+        if self.cores == 0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "cores",
+                value: 0.0,
+            });
+        }
+        self.validate_opp()?;
+        self.validate_power_models()?;
+        self.validate_thermal()
+    }
+
+    fn validate_opp(&self) -> Result<(), DeviceError> {
+        if self.opp.is_empty() {
+            return Err(DeviceError::EmptyOppTable);
+        }
+        for (i, p) in self.opp.iter().enumerate() {
+            if p.khz == 0 {
+                return Err(DeviceError::InvalidParameter {
+                    name: "opp.khz",
+                    value: 0.0,
+                });
+            }
+            if !p.volts.is_finite() || p.volts <= 0.0 {
+                return Err(DeviceError::InvalidParameter {
+                    name: "opp.volts",
+                    value: p.volts,
+                });
+            }
+            if i > 0 {
+                if self.opp[i - 1].khz >= p.khz {
+                    return Err(DeviceError::NonMonotoneOppFrequency { index: i });
+                }
+                if self.opp[i - 1].volts > p.volts {
+                    return Err(DeviceError::NonMonotoneOppPower { index: i });
+                }
+                if self.opp_dynamic_power_w(i - 1) >= self.opp_dynamic_power_w(i) {
+                    return Err(DeviceError::NonMonotoneOppPower { index: i });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_power_models(&self) -> Result<(), DeviceError> {
+        let nonneg = |name: &'static str, v: f64| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(DeviceError::InvalidParameter { name, value: v })
+            }
+        };
+        let pos = |name: &'static str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(DeviceError::InvalidParameter { name, value: v })
+            }
+        };
+        pos("cpu_power.ceff_farads", self.cpu_power.ceff_farads)?;
+        nonneg("cpu_power.leak_coeff_a", self.cpu_power.leak_coeff_a)?;
+        nonneg("cpu_power.leak_temp_per_k", self.cpu_power.leak_temp_per_k)?;
+        nonneg("cpu_power.idle_uncore_w", self.cpu_power.idle_uncore_w)?;
+        pos("gpu_power.max_w", self.gpu_power.max_w)?;
+        nonneg("gpu_power.idle_w", self.gpu_power.idle_w)?;
+        if self.gpu_power.idle_w > self.gpu_power.max_w {
+            return Err(DeviceError::InvalidParameter {
+                name: "gpu_power.idle_w",
+                value: self.gpu_power.idle_w,
+            });
+        }
+        nonneg("display.base_w", self.display.base_w)?;
+        nonneg("display.full_brightness_w", self.display.full_brightness_w)?;
+        pos("battery.capacity_mah", self.battery.capacity_mah)?;
+        pos("battery.nominal_v", self.battery.nominal_v)?;
+        nonneg("battery.internal_ohm", self.battery.internal_ohm)?;
+        pos("battery.max_charge_a", self.battery.max_charge_a)?;
+        if !(0.0..=1.0).contains(&self.battery.charge_loss_fraction) {
+            return Err(DeviceError::InvalidParameter {
+                name: "battery.charge_loss_fraction",
+                value: self.battery.charge_loss_fraction,
+            });
+        }
+        Ok(())
+    }
+
+    fn validate_thermal(&self) -> Result<(), DeviceError> {
+        for &c in &self.thermal.capacitance {
+            if !c.is_finite() || c <= 0.0 {
+                return Err(DeviceError::InvalidParameter {
+                    name: "thermal.capacitance",
+                    value: c,
+                });
+            }
+        }
+        for &(_, _, g) in &self.thermal.couplings {
+            if !g.is_finite() || g <= 0.0 {
+                return Err(DeviceError::InvalidParameter {
+                    name: "thermal.coupling",
+                    value: g,
+                });
+            }
+        }
+        if self.thermal.ambient_links.is_empty() {
+            // Without any path to ambient, the steady state is singular
+            // and the device would heat without bound.
+            return Err(DeviceError::InvalidParameter {
+                name: "thermal.ambient_links",
+                value: 0.0,
+            });
+        }
+        for &(_, g) in &self.thermal.ambient_links {
+            if !g.is_finite() || g <= 0.0 {
+                return Err(DeviceError::InvalidParameter {
+                    name: "thermal.ambient_link",
+                    value: g,
+                });
+            }
+        }
+        for (name, v) in [
+            ("thermal.ambient", self.thermal.ambient.value()),
+            ("thermal.initial", self.thermal.initial.value()),
+        ] {
+            if !v.is_finite() {
+                return Err(DeviceError::InvalidParameter { name, value: v });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::nexus4;
+
+    #[test]
+    fn nexus4_spec_validates() {
+        assert_eq!(nexus4().validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_ids_are_rejected() {
+        for bad in ["", "Nexus4", "nexus 4", "nexus_4", "nexus/4"] {
+            let mut s = nexus4();
+            s.id = Box::leak(bad.to_owned().into_boxed_str());
+            assert!(
+                matches!(s.validate(), Err(DeviceError::InvalidId(_))),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_cores_rejected() {
+        let mut s = nexus4();
+        s.cores = 0;
+        assert!(matches!(
+            s.validate(),
+            Err(DeviceError::InvalidParameter { name: "cores", .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_unsorted_opp_rejected() {
+        let mut s = nexus4();
+        s.opp.clear();
+        assert_eq!(s.validate(), Err(DeviceError::EmptyOppTable));
+
+        let mut s = nexus4();
+        s.opp.swap(0, 1);
+        assert!(matches!(
+            s.validate(),
+            Err(DeviceError::NonMonotoneOppFrequency { .. })
+        ));
+    }
+
+    #[test]
+    fn non_monotone_power_rejected() {
+        // Raise a middle level's voltage above its successor's: power at
+        // the next level no longer rises.
+        let mut s = nexus4();
+        s.opp[5].volts = s.opp[11].volts + 0.2;
+        assert!(matches!(
+            s.validate(),
+            Err(DeviceError::NonMonotoneOppPower { .. })
+        ));
+    }
+
+    #[test]
+    fn non_positive_capacitance_rejected() {
+        let mut s = nexus4();
+        s.thermal.capacitance[3] = 0.0;
+        assert!(matches!(
+            s.validate(),
+            Err(DeviceError::InvalidParameter {
+                name: "thermal.capacitance",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn non_positive_conductance_rejected() {
+        let mut s = nexus4();
+        s.thermal.couplings[0].2 = -0.1;
+        assert!(matches!(
+            s.validate(),
+            Err(DeviceError::InvalidParameter {
+                name: "thermal.coupling",
+                ..
+            })
+        ));
+
+        let mut s = nexus4();
+        s.thermal.ambient_links.clear();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn gpu_idle_above_max_rejected() {
+        let mut s = nexus4();
+        s.gpu_power.idle_w = s.gpu_power.max_w + 1.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn derived_summaries() {
+        let s = nexus4();
+        assert_eq!(s.min_khz(), 384_000);
+        assert_eq!(s.max_khz(), 1_512_000);
+        assert!((s.opp[0].mhz() - 384.0).abs() < 1e-9);
+        assert!(s.thermal_mass_j_per_k() > 100.0);
+        // Dynamic power rises strictly across the whole table.
+        for i in 1..s.opp.len() {
+            assert!(s.opp_dynamic_power_w(i) > s.opp_dynamic_power_w(i - 1));
+        }
+    }
+}

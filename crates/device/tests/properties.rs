@@ -1,0 +1,59 @@
+//! Property tests for the device registry: every registered spec is
+//! valid, OPP power is strictly increasing in frequency, and id lookup
+//! round-trips `NAMES` under arbitrary ASCII case-mangling.
+
+use proptest::prelude::*;
+use usta_device::{by_id, Registry, NAMES};
+
+proptest! {
+    #[test]
+    fn every_registered_spec_passes_validation(index in 0usize..NAMES.len()) {
+        let spec = &Registry::builtin().specs()[index];
+        prop_assert_eq!(spec.validate(), Ok(()));
+    }
+
+    #[test]
+    fn opp_power_strictly_increases_with_frequency(index in 0usize..NAMES.len()) {
+        let spec = &Registry::builtin().specs()[index];
+        for i in 1..spec.opp.len() {
+            prop_assert!(spec.opp[i].khz > spec.opp[i - 1].khz);
+            prop_assert!(
+                spec.opp_dynamic_power_w(i) > spec.opp_dynamic_power_w(i - 1),
+                "{}: power must rise {} -> {}", spec.id, i - 1, i
+            );
+        }
+    }
+
+    #[test]
+    fn by_id_round_trips_names_case_insensitively(
+        index in 0usize..NAMES.len(),
+        flips in proptest::collection::vec(proptest::bool::ANY, 16),
+    ) {
+        let name = NAMES[index];
+        let mangled: String = name
+            .chars()
+            .zip(flips.iter().cycle())
+            .map(|(c, &up)| if up { c.to_ascii_uppercase() } else { c })
+            .collect();
+        let spec = by_id(&mangled);
+        prop_assert!(spec.is_some(), "{mangled:?} should resolve");
+        prop_assert_eq!(spec.unwrap().id, name);
+    }
+
+    #[test]
+    fn unknown_ids_never_resolve(
+        letters in proptest::collection::vec(0u8..26, 1..8),
+    ) {
+        // No built-in id survives an extra alphabetic suffix.
+        let suffix: String = letters.iter().map(|&b| (b'a' + b) as char).collect();
+        for name in NAMES {
+            let unknown = format!("{name}{suffix}");
+            prop_assert!(by_id(&unknown).is_none());
+        }
+    }
+}
+
+#[test]
+fn registry_order_matches_names() {
+    assert_eq!(Registry::builtin().ids().collect::<Vec<_>>(), NAMES);
+}

@@ -10,7 +10,11 @@ use std::time::Instant;
 
 use usta_fleet::{run_sweep, SweepConfig};
 
-const USAGE: &str = "\
+/// The help text, with the device list taken from the live registry so
+/// catalog growth never goes stale here.
+fn usage() -> String {
+    format!(
+        "\
 fleet_sweep — population-scale USTA simulation sweep
 
 USAGE:
@@ -22,11 +26,17 @@ OPTIONS:
     --threads N        worker threads (never changes results) [default: 1]
     --seed N           run seed                           [default: 42]
     --governor NAME    baseline governor                  [default: ondemand]
+    --device LIST      comma-separated device ids, or \"all\" [default: nexus4]
+                       (known: {})
+    --trace-dir DIR    write a per-triple CSV summary (triples.csv) to DIR
     --no-usta          sweep the bare baseline (no USTA wrap)
     --sim-seconds F    per-triple simulated-time cap      [default: 180]
-    --smoke            CI preset: ~100 short triples, small training run
+    --smoke            CI preset: ~100 short triples per device, small training
     --help             print this help
-";
+",
+        usta_device::NAMES.join(", ")
+    )
+}
 
 fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
     value
@@ -46,7 +56,8 @@ fn parse_args() -> Result<SweepConfig, String> {
             "--smoke" => smoke = true,
             "--no-usta" => overrides.push(("no-usta".into(), String::new())),
             "--help" | "-h" => return Err(String::new()),
-            "--users" | "--scenarios" | "--threads" | "--seed" | "--governor" | "--sim-seconds" => {
+            "--users" | "--scenarios" | "--threads" | "--seed" | "--governor" | "--sim-seconds"
+            | "--device" | "--trace-dir" => {
                 let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 overrides.push((arg, value));
             }
@@ -69,6 +80,14 @@ fn parse_args() -> Result<SweepConfig, String> {
             "--threads" => config.threads = parse_value(&flag, &value)?,
             "--seed" => config.seed = parse_value(&flag, &value)?,
             "--governor" => config.governor = value,
+            "--device" => {
+                config.devices = if value.eq_ignore_ascii_case("all") {
+                    usta_device::NAMES.iter().map(|&n| n.to_owned()).collect()
+                } else {
+                    value.split(',').map(|s| s.trim().to_owned()).collect()
+                };
+            }
+            "--trace-dir" => config.trace_dir = Some(value.into()),
             "--sim-seconds" => config.max_sim_seconds = parse_value(&flag, &value)?,
             "no-usta" => config.usta = false,
             _ => unreachable!("collected flags are known"),
@@ -85,10 +104,10 @@ fn main() -> ExitCode {
         Ok(config) => config,
         Err(message) => {
             if message.is_empty() {
-                eprint!("{USAGE}");
+                eprint!("{}", usage());
                 return ExitCode::SUCCESS;
             }
-            eprintln!("error: {message}\n\n{USAGE}");
+            eprintln!("error: {message}\n\n{}", usage());
             return ExitCode::from(2);
         }
     };

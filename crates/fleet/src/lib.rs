@@ -11,9 +11,11 @@
 //!   per-user comfort limits and sensitivities from distributions fit
 //!   to the study; the sweep additionally varies each user's
 //!   predictor-training history via a trained predictor pool.
-//! * **Scenarios** ([`scenario`]) — a deterministic grid over the
-//!   paper's 13 workloads × ambient bands × phone cases (via
-//!   [`usta_thermal::materials`]) × charging × grip.
+//! * **Scenarios** ([`scenario`]) — a deterministic grid over catalog
+//!   devices ([`usta_device::Registry`]) × the paper's 13 workloads ×
+//!   ambient bands × phone cases (via [`usta_thermal::materials`]) ×
+//!   charging × grip. The device axis defaults to the paper's Nexus 4
+//!   alone, which reproduces the pre-axis grid byte for byte.
 //! * **Sweep** ([`runner`]) — a chunked work queue over
 //!   `users × scenarios` triples on `std::thread` scoped workers, with
 //!   per-triple ChaCha8 seed derivation and chunk-ordered merging of
@@ -47,4 +49,6 @@ pub mod scenario;
 
 pub use aggregate::{FleetAggregate, Histogram, MetricAggregate, OnlineStats, TripleOutcome};
 pub use runner::{run_sweep, FleetError, FleetReport, SweepConfig};
-pub use scenario::{AmbientBand, CaseKind, Scenario, ScenarioCatalog, ScenarioWorkload};
+pub use scenario::{
+    AmbientBand, CaseKind, Scenario, ScenarioCatalog, ScenarioWorkload, DEFAULT_DEVICE,
+};

@@ -1,9 +1,10 @@
 //! The parallel batched sweep runner.
 //!
 //! A sweep crosses a sampled user population with a scenario catalog
-//! into `users × scenarios` (user, device, scenario) triples, runs each
-//! triple through [`usta_sim::run_workload`], and folds the outcomes
-//! into a streaming [`FleetAggregate`].
+//! (which carries the device axis) into `users × scenarios`
+//! (user, device, scenario) triples, runs each triple through
+//! [`usta_sim::run_workload`], and folds the outcomes into a streaming
+//! [`FleetAggregate`].
 //!
 //! **Determinism contract:** the report is a pure function of the
 //! [`SweepConfig`] minus its `threads` field. Three mechanisms deliver
@@ -17,7 +18,13 @@
 //!    partial aggregate;
 //! 3. partials are merged on the coordinating thread in chunk-index
 //!    order, so floating-point sums see one canonical association.
+//!
+//! The optional `trace_dir` sink inherits the same contract: per-triple
+//! summary rows are written in chunk-index order, so the CSV is
+//! byte-identical at every thread count.
 
+use std::io::Write;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -34,7 +41,7 @@ use usta_sim::{run_workload, Device, Governor, RunConfig};
 use usta_workloads::{Benchmark, Workload};
 
 use crate::aggregate::{FleetAggregate, TripleOutcome};
-use crate::scenario::ScenarioCatalog;
+use crate::scenario::{ScenarioCatalog, DEFAULT_DEVICE};
 
 /// Everything that defines a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,7 +49,8 @@ pub struct SweepConfig {
     /// Number of sampled users.
     pub users: usize,
     /// Number of scenarios sampled from the full grid (ignored when
-    /// `smoke` picks the fixed smoke catalog).
+    /// `smoke` picks the fixed smoke catalog). The grid being sampled
+    /// spans every configured device.
     pub scenarios: usize,
     /// Worker threads. **Never affects results**, only wall-clock.
     pub threads: usize,
@@ -54,7 +62,8 @@ pub struct SweepConfig {
     pub usta: bool,
     /// Per-triple simulated-time cap, seconds.
     pub max_sim_seconds: f64,
-    /// Distinct predictor-training histories in the pool.
+    /// Distinct predictor-training histories in the pool (trained once
+    /// per device — a predictor only knows the device it logged).
     pub predictor_pool: usize,
     /// Benchmarks the training campaign draws histories from.
     pub training_benchmarks: Vec<Benchmark>,
@@ -64,6 +73,15 @@ pub struct SweepConfig {
     pub chunk_size: usize,
     /// Use the fixed short smoke catalog instead of grid sampling.
     pub smoke: bool,
+    /// Device ids to sweep (see [`usta_device::NAMES`]); duplicates
+    /// collapse, order is preserved. The default is the paper's
+    /// `"nexus4"` alone, which reproduces the pre-device-axis grid
+    /// byte for byte.
+    pub devices: Vec<String>,
+    /// When set, write a per-triple CSV summary (`triples.csv`) into
+    /// this directory so sampled triples can be audited without
+    /// rerunning the sweep.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for SweepConfig {
@@ -87,6 +105,8 @@ impl Default for SweepConfig {
             training_cap_seconds: 240.0,
             chunk_size: 16,
             smoke: false,
+            devices: vec![DEFAULT_DEVICE.to_owned()],
+            trace_dir: None,
         }
     }
 }
@@ -107,14 +127,41 @@ impl SweepConfig {
         }
     }
 
-    /// Total triples the sweep will run.
+    /// Total triples the sweep will run. Returns 0 when the device
+    /// list is empty or holds an id the registry cannot resolve —
+    /// [`run_sweep`] reports the error itself.
     pub fn total_triples(&self) -> usize {
+        let devices = match self.resolved_devices() {
+            Ok(devices) if !devices.is_empty() => devices.len(),
+            _ => return 0,
+        };
         let scenarios = if self.smoke {
-            ScenarioCatalog::smoke().len()
+            ScenarioCatalog::smoke().len() * devices
         } else {
             self.scenarios
         };
         self.users * scenarios
+    }
+
+    /// Canonical registry ids of the configured devices — duplicates
+    /// collapsed (case-insensitively, via id resolution), order
+    /// preserved. The single resolution path shared by [`run_sweep`]
+    /// and [`SweepConfig::total_triples`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::UnknownDevice`] for the first id the
+    /// registry cannot resolve.
+    pub fn resolved_devices(&self) -> Result<Vec<&'static str>, FleetError> {
+        let mut devices: Vec<&'static str> = Vec::new();
+        for name in &self.devices {
+            let spec =
+                usta_device::by_id(name).ok_or_else(|| FleetError::UnknownDevice(name.clone()))?;
+            if !devices.contains(&spec.id) {
+                devices.push(spec.id);
+            }
+        }
+        Ok(devices)
     }
 }
 
@@ -123,6 +170,8 @@ impl SweepConfig {
 pub enum FleetError {
     /// The configured baseline governor name is unknown.
     UnknownGovernor(String),
+    /// A configured device id is not in the registry.
+    UnknownDevice(String),
     /// The sweep would contain zero triples.
     EmptySweep,
     /// The predictor pool or its training campaign is empty.
@@ -130,17 +179,26 @@ pub enum FleetError {
     /// A simulated-time cap is zero, negative, or NaN — the sweep would
     /// take zero steps and report −∞ peaks.
     NonPositiveSimCap,
+    /// The per-triple trace sink could not be created or written.
+    TraceSink(String),
 }
 
 impl std::fmt::Display for FleetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FleetError::UnknownGovernor(name) => {
+                // One source for the wording: the governor factory's own
+                // error, which lists the registered names.
                 write!(
                     f,
-                    "unknown governor {name:?} (known: {})",
-                    usta_governors::NAMES.join(", ")
+                    "{}",
+                    usta_governors::UnknownGovernorError::new(name.clone())
                 )
+            }
+            FleetError::UnknownDevice(name) => {
+                // One source for the wording: the device registry's own
+                // error, which lists the catalog.
+                write!(f, "{}", usta_device::UnknownDeviceError::new(name.clone()))
             }
             FleetError::EmptySweep => write!(f, "sweep has zero (user, scenario) triples"),
             FleetError::NoTrainingData => {
@@ -149,6 +207,7 @@ impl std::fmt::Display for FleetError {
             FleetError::NonPositiveSimCap => {
                 write!(f, "simulated-time caps must be positive and finite")
             }
+            FleetError::TraceSink(message) => write!(f, "trace sink: {message}"),
         }
     }
 }
@@ -162,27 +221,34 @@ impl std::error::Error for FleetError {}
 pub struct FleetReport {
     /// Sampled user count.
     pub users: usize,
-    /// Scenario count actually swept.
+    /// Scenario count actually swept (spans the device axis).
     pub scenarios: usize,
     /// The run seed.
     pub seed: u64,
     /// Governor stack name (`"usta(ondemand)"` or the bare baseline).
     pub governor: String,
+    /// Canonical ids of the devices swept, in configuration order.
+    pub devices: Vec<&'static str>,
     /// The merged streaming aggregate.
     pub aggregate: FleetAggregate,
 }
 
 impl FleetReport {
     /// The report as printable text (stable across thread counts).
+    ///
+    /// Single-device nexus4 sweeps — the pre-device-axis shape — print
+    /// exactly the historical format; anything else adds a `devices:`
+    /// line.
     pub fn summary(&self) -> String {
-        format!(
-            "fleet sweep: {} users x {} scenarios, seed {}, governor {}\n{}",
-            self.users,
-            self.scenarios,
-            self.seed,
-            self.governor,
-            self.aggregate.table()
-        )
+        let mut s = format!(
+            "fleet sweep: {} users x {} scenarios, seed {}, governor {}\n",
+            self.users, self.scenarios, self.seed, self.governor,
+        );
+        if self.devices.as_slice() != [DEFAULT_DEVICE] {
+            s.push_str(&format!("devices: {}\n", self.devices.join(", ")));
+        }
+        s.push_str(&self.aggregate.table());
+        s
     }
 }
 
@@ -193,19 +259,26 @@ fn triple_stream(run_seed: u64, index: u64) -> ChaCha8Rng {
     ChaCha8Rng::seed_from_u64(mixed)
 }
 
-/// Trains the predictor pool: one baseline data-collection campaign over
-/// the configured benchmarks (duration-capped), then one REPTree per
-/// pool slot fitted on a sampled subset of the per-benchmark logs —
-/// modelling users whose phones logged different app histories.
-fn train_predictor_pool(config: &SweepConfig) -> Result<Vec<TemperaturePredictor>, FleetError> {
+/// Trains one device's predictor pool: one baseline data-collection
+/// campaign on that device over the configured benchmarks
+/// (duration-capped), then one REPTree per pool slot fitted on a
+/// sampled subset of the per-benchmark logs — modelling users whose
+/// phones logged different app histories. Campaign seeds are shared
+/// across devices; the device itself is what differs.
+fn train_predictor_pool(
+    config: &SweepConfig,
+    device: &'static str,
+) -> Result<Vec<TemperaturePredictor>, FleetError> {
     if config.predictor_pool == 0 || config.training_benchmarks.is_empty() {
         return Err(FleetError::NoTrainingData);
     }
+    let spec = usta_device::by_id(device).expect("device validated up front");
     let mut per_benchmark: Vec<TrainingLog> = Vec::new();
     for (i, &benchmark) in config.training_benchmarks.iter().enumerate() {
         let mut device =
-            Device::with_seed(config.seed ^ ((i as u64 + 1) << 48)).expect("default device builds");
+            usta_sim::experiments::common::device_on(spec, config.seed ^ ((i as u64 + 1) << 48));
         let mut workload = crate::scenario::Scenario {
+            device: spec.id,
             benchmark,
             ambient: crate::scenario::AmbientBand::Office,
             case: crate::scenario::CaseKind::Naked,
@@ -247,12 +320,14 @@ fn train_predictor_pool(config: &SweepConfig) -> Result<Vec<TemperaturePredictor
     Ok(pool)
 }
 
-/// Runs one (user, device, scenario) triple to completion.
+/// Runs one (user, device, scenario) triple to completion. `pools`
+/// holds one trained predictor pool per swept device (empty for
+/// baseline-only sweeps).
 fn run_triple(
     config: &SweepConfig,
     population: &UserPopulation,
     catalog: &ScenarioCatalog,
-    predictors: &[TemperaturePredictor],
+    pools: &[(&'static str, Vec<TemperaturePredictor>)],
     index: usize,
 ) -> TripleOutcome {
     let user = &population.users()[index / catalog.len()];
@@ -260,6 +335,15 @@ fn run_triple(
     let mut rng = triple_stream(config.seed, index as u64);
     let sensor_seed: u64 = rng.gen();
     let jitter_seed: u64 = rng.gen();
+    let predictors: &[TemperaturePredictor] = if config.usta {
+        &pools
+            .iter()
+            .find(|(device, _)| *device == scenario.device)
+            .expect("one pool per swept device")
+            .1
+    } else {
+        &[]
+    };
     let predictor_pick = if config.usta {
         rng.gen_range(0..predictors.len())
     } else {
@@ -297,67 +381,161 @@ fn run_triple(
     }
 }
 
+/// Header of the per-triple trace CSV.
+const TRACE_HEADER: &str = "triple,user,scenario,device,peak_skin_c,time_over_fraction,qos\n";
+
+/// One trace row. Floats use Rust's shortest round-trip `Display`, so
+/// the file is byte-stable and loses no precision.
+fn trace_row(index: usize, catalog: &ScenarioCatalog, outcome: &TripleOutcome) -> String {
+    let scenario = &catalog.scenarios()[index % catalog.len()];
+    format!(
+        "{},{},{},{},{},{},{}\n",
+        index,
+        index / catalog.len(),
+        scenario.name(),
+        scenario.device,
+        outcome.peak_skin_c,
+        outcome.time_over_fraction,
+        outcome.qos,
+    )
+}
+
 /// Runs the sweep and returns the merged report.
 ///
 /// # Errors
 ///
-/// Returns [`FleetError`] when the governor name is unknown, the sweep
-/// is empty, or the predictor pool cannot be trained.
+/// Returns [`FleetError`] when the governor name or a device id is
+/// unknown, the sweep is empty, the predictor pool cannot be trained,
+/// or the trace sink cannot be written.
 pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
-    if by_name(&config.governor).is_none() {
-        return Err(FleetError::UnknownGovernor(config.governor.clone()));
-    }
+    usta_governors::try_by_name(&config.governor)
+        .map_err(|e| FleetError::UnknownGovernor(e.name().to_owned()))?;
     let caps_valid = config.max_sim_seconds > 0.0 && config.training_cap_seconds > 0.0;
     if !caps_valid {
         // NaN fails the comparisons, so it lands here too.
         return Err(FleetError::NonPositiveSimCap);
     }
+    let devices = config.resolved_devices()?;
+    if devices.is_empty() {
+        return Err(FleetError::EmptySweep);
+    }
     let catalog = if config.smoke {
-        ScenarioCatalog::smoke()
+        ScenarioCatalog::smoke_on(&devices)
     } else {
-        ScenarioCatalog::sampled(config.seed ^ 0x5CE4_A210, config.scenarios)
+        ScenarioCatalog::sampled_on(config.seed ^ 0x5CE4_A210, config.scenarios, &devices)
     };
     let population = UserPopulation::sampled(config.seed, config.users);
     let total = population.len() * catalog.len();
     if total == 0 {
         return Err(FleetError::EmptySweep);
     }
-    let predictors = if config.usta {
-        train_predictor_pool(config)?
+    // Per-device training campaigns are independent, so spare threads
+    // (capped at `config.threads`, like the sweep itself) run them
+    // concurrently off a shared index queue; results land in per-device
+    // slots, so the pools (and everything downstream) are identical to
+    // a sequential run.
+    let pools: Vec<(&'static str, Vec<TemperaturePredictor>)> = if config.usta {
+        let trainers = config.threads.clamp(1, devices.len());
+        let trained: Vec<Result<Vec<TemperaturePredictor>, FleetError>> = if trainers > 1 {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<std::sync::Mutex<Option<Result<_, FleetError>>>> = devices
+                .iter()
+                .map(|_| std::sync::Mutex::new(None))
+                .collect();
+            std::thread::scope(|scope| {
+                for _ in 0..trainers {
+                    let next = &next;
+                    let slots = &slots;
+                    let devices = &devices;
+                    scope.spawn(move || loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= devices.len() {
+                            break;
+                        }
+                        let pool = train_predictor_pool(config, devices[i]);
+                        *slots[i].lock().expect("no poisoned training slot") = Some(pool);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("no poisoned training slot")
+                        .expect("every device index was claimed")
+                })
+                .collect()
+        } else {
+            devices
+                .iter()
+                .map(|&device| train_predictor_pool(config, device))
+                .collect()
+        };
+        devices
+            .iter()
+            .zip(trained)
+            .map(|(&device, pool)| Ok((device, pool?)))
+            .collect::<Result<_, FleetError>>()?
     } else {
         Vec::new()
     };
-    if config.usta && predictors.is_empty() {
+    if config.usta && pools.iter().any(|(_, pool)| pool.is_empty()) {
         return Err(FleetError::NoTrainingData);
     }
+
+    let mut trace = match &config.trace_dir {
+        Some(dir) => {
+            let open = || -> std::io::Result<std::io::BufWriter<std::fs::File>> {
+                std::fs::create_dir_all(dir)?;
+                let mut writer =
+                    std::io::BufWriter::new(std::fs::File::create(dir.join("triples.csv"))?);
+                writer.write_all(TRACE_HEADER.as_bytes())?;
+                Ok(writer)
+            };
+            Some(open().map_err(|e| FleetError::TraceSink(e.to_string()))?)
+        }
+        None => None,
+    };
+    let mut trace_error: Option<String> = None;
 
     let chunk_size = config.chunk_size.max(1);
     let n_chunks = total.div_ceil(chunk_size);
     let workers = config.threads.clamp(1, n_chunks);
     let next_chunk = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, FleetAggregate)>();
+    // Set when the trace sink fails: the sweep's result is already lost
+    // at that point, so workers drain fast instead of simulating the
+    // rest of a (possibly huge) grid just to discard it.
+    let abort = std::sync::atomic::AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<(usize, FleetAggregate, Vec<String>)>();
+    let tracing = trace.is_some();
 
     let aggregate = std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next_chunk = &next_chunk;
+            let abort = &abort;
             let population = &population;
             let catalog = &catalog;
-            let predictors = &predictors[..];
+            let pools = &pools[..];
             scope.spawn(move || loop {
                 let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
-                if chunk >= n_chunks {
+                if chunk >= n_chunks || abort.load(Ordering::Relaxed) {
                     break;
                 }
                 let lo = chunk * chunk_size;
                 let hi = (lo + chunk_size).min(total);
                 let mut partial = FleetAggregate::new();
+                let mut rows = Vec::new();
                 for index in lo..hi {
-                    partial.record(&run_triple(config, population, catalog, predictors, index));
+                    let outcome = run_triple(config, population, catalog, pools, index);
+                    if tracing {
+                        rows.push(trace_row(index, catalog, &outcome));
+                    }
+                    partial.record(&outcome);
                 }
                 // The coordinator drains inside this scope; send only
                 // fails if it panicked, which propagates anyway.
-                let _ = tx.send((chunk, partial));
+                let _ = tx.send((chunk, partial, rows));
             });
         }
         drop(tx);
@@ -365,22 +543,47 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
         // Merge while workers run: fold each chunk the moment every
         // lower-indexed chunk has been folded, parking out-of-order
         // stragglers. The canonical chunk-index merge order is what
-        // makes the f64 sums bit-identical at every thread count, and
-        // the straggler buffer is bounded by the workers' in-flight
-        // spread — memory stays O(workers × bins), never O(chunks).
+        // makes the f64 sums bit-identical at every thread count — and
+        // the trace rows hit the file in the same order, so the CSV is
+        // too. The straggler buffer is bounded by the workers'
+        // in-flight spread — memory stays O(workers × chunk), never
+        // O(chunks).
         let mut aggregate = FleetAggregate::new();
         let mut stragglers = std::collections::BTreeMap::new();
         let mut next_to_merge = 0usize;
-        for (chunk, partial) in rx {
-            stragglers.insert(chunk, partial);
-            while let Some(partial) = stragglers.remove(&next_to_merge) {
+        for (chunk, partial, rows) in rx {
+            stragglers.insert(chunk, (partial, rows));
+            while let Some((partial, rows)) = stragglers.remove(&next_to_merge) {
                 aggregate.merge(&partial);
+                if let Some(writer) = trace.as_mut() {
+                    if trace_error.is_none() {
+                        for row in &rows {
+                            if let Err(e) = writer.write_all(row.as_bytes()) {
+                                trace_error = Some(e.to_string());
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                }
                 next_to_merge += 1;
             }
         }
-        debug_assert_eq!(next_to_merge, n_chunks, "every chunk merged");
+        debug_assert!(
+            trace_error.is_some() || next_to_merge == n_chunks,
+            "every chunk merged unless the sweep aborted"
+        );
         aggregate
     });
+
+    if let Some(writer) = trace.as_mut() {
+        if let Err(e) = writer.flush() {
+            trace_error.get_or_insert_with(|| e.to_string());
+        }
+    }
+    if let Some(message) = trace_error {
+        return Err(FleetError::TraceSink(message));
+    }
 
     let governor = if config.usta {
         format!("usta({})", config.governor)
@@ -392,6 +595,7 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
         scenarios: catalog.len(),
         seed: config.seed,
         governor,
+        devices,
         aggregate,
     })
 }
@@ -426,6 +630,47 @@ mod tests {
     }
 
     #[test]
+    fn unknown_device_is_rejected_with_the_catalog_listed() {
+        let config = SweepConfig {
+            devices: vec!["nexus4".to_owned(), "pixel-9".to_owned()],
+            ..tiny_config()
+        };
+        let err = run_sweep(&config).unwrap_err();
+        assert_eq!(err, FleetError::UnknownDevice("pixel-9".to_owned()));
+        let message = err.to_string();
+        for name in usta_device::NAMES {
+            assert!(message.contains(name), "{message:?} should list {name}");
+        }
+    }
+
+    #[test]
+    fn no_devices_is_an_empty_sweep() {
+        let config = SweepConfig {
+            devices: Vec::new(),
+            ..tiny_config()
+        };
+        assert_eq!(run_sweep(&config), Err(FleetError::EmptySweep));
+    }
+
+    #[test]
+    fn total_triples_is_zero_for_unresolvable_or_empty_device_lists() {
+        for smoke in [false, true] {
+            let unknown = SweepConfig {
+                devices: vec!["pixel-9".to_owned()],
+                smoke,
+                ..tiny_config()
+            };
+            assert_eq!(unknown.total_triples(), 0, "smoke={smoke}");
+            let none = SweepConfig {
+                devices: Vec::new(),
+                smoke,
+                ..tiny_config()
+            };
+            assert_eq!(none.total_triples(), 0, "smoke={smoke}");
+        }
+    }
+
+    #[test]
     fn non_positive_or_nan_sim_caps_are_rejected() {
         for bad in [0.0, -10.0, f64::NAN] {
             let config = SweepConfig {
@@ -457,10 +702,34 @@ mod tests {
         assert_eq!(report.aggregate.triples as usize, config.total_triples());
         assert_eq!(report.users, 4);
         assert_eq!(report.scenarios, ScenarioCatalog::smoke().len());
+        assert_eq!(report.devices, vec![DEFAULT_DEVICE]);
         assert!(report.aggregate.sim_seconds > 0.0);
         // QoS is a fraction.
         assert!(report.aggregate.qos.stats.max() <= 1.0 + 1e-12);
         assert!(report.aggregate.qos.stats.min() >= 0.0);
+    }
+
+    #[test]
+    fn device_axis_multiplies_the_smoke_grid_and_names_the_devices() {
+        let config = SweepConfig {
+            devices: vec![
+                "nexus4".to_owned(),
+                "BUDGET-QUAD".to_owned(), // resolves case-insensitively
+                "nexus4".to_owned(),      // duplicate collapses
+            ],
+            ..tiny_config()
+        };
+        let report = run_sweep(&config).unwrap();
+        assert_eq!(report.devices, vec!["nexus4", "budget-quad"]);
+        assert_eq!(report.scenarios, 2 * ScenarioCatalog::smoke().len());
+        assert_eq!(report.aggregate.triples as usize, config.total_triples());
+        assert!(report.summary().contains("devices: nexus4, budget-quad"));
+    }
+
+    #[test]
+    fn default_device_summary_has_no_devices_line() {
+        let report = run_sweep(&tiny_config()).unwrap();
+        assert!(!report.summary().contains("devices:"));
     }
 
     #[test]
@@ -499,5 +768,56 @@ mod tests {
         let four = run_sweep(&config).unwrap();
         assert_eq!(one, four);
         assert_eq!(one.summary(), four.summary());
+    }
+
+    #[test]
+    fn report_is_identical_across_thread_counts_with_device_axis() {
+        let mut config = SweepConfig {
+            devices: vec!["nexus4".to_owned(), "tablet-10in".to_owned()],
+            ..tiny_config()
+        };
+        config.threads = 1;
+        let one = run_sweep(&config).unwrap();
+        config.threads = 4;
+        let four = run_sweep(&config).unwrap();
+        assert_eq!(one, four);
+        assert_eq!(one.summary(), four.summary());
+    }
+
+    #[test]
+    fn trace_sink_writes_every_triple_in_order_at_any_thread_count() {
+        let dir = std::env::temp_dir().join(format!("usta_trace_{}", std::process::id()));
+        let read_rows = |threads: usize, sub: &str| {
+            let mut config = tiny_config();
+            config.threads = threads;
+            config.trace_dir = Some(dir.join(sub));
+            run_sweep(&config).unwrap();
+            std::fs::read_to_string(dir.join(sub).join("triples.csv")).unwrap()
+        };
+        let one = read_rows(1, "t1");
+        let four = read_rows(4, "t4");
+        assert_eq!(one, four, "trace CSV must be thread-count invariant");
+        let lines: Vec<&str> = one.lines().collect();
+        let config = tiny_config();
+        assert_eq!(lines.len(), 1 + config.total_triples());
+        assert_eq!(lines[0], TRACE_HEADER.trim_end());
+        for (i, line) in lines[1..].iter().enumerate() {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 7, "row {i}: {line:?}");
+            assert_eq!(fields[0], i.to_string(), "rows in triple order");
+            assert_eq!(fields[3], DEFAULT_DEVICE);
+            let peak: f64 = fields[4].parse().unwrap();
+            assert!(peak.is_finite());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_trace_dir_is_a_clean_error() {
+        let config = SweepConfig {
+            trace_dir: Some(PathBuf::from("/proc/definitely/not/writable")),
+            ..tiny_config()
+        };
+        assert!(matches!(run_sweep(&config), Err(FleetError::TraceSink(_))));
     }
 }

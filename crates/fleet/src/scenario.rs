@@ -3,19 +3,25 @@
 //! The paper evaluates USTA in one room (24 °C), one bare Nexus 4, on
 //! thirteen workloads. Bhat et al. (arXiv:1904.09814, arXiv:2003.11081)
 //! show that skin-temperature dynamics shift strongly with ambient
-//! temperature, enclosure, and charging state — so a population-scale
-//! sweep must cross those axes too. A [`Scenario`] fixes one point of
-//! that grid: a workload, an ambient band, a phone case, and charging /
-//! grip state. [`ScenarioCatalog`] enumerates the full cartesian grid or
-//! a deterministic sample of it.
+//! temperature, enclosure, and charging state — and across *devices*
+//! (commercial platforms differ widely in power/thermal behaviour) —
+//! so a population-scale sweep must cross those axes too. A
+//! [`Scenario`] fixes one point of that grid: a catalog device, a
+//! workload, an ambient band, a phone case, and charging / grip state.
+//! [`ScenarioCatalog`] enumerates the full cartesian grid (device
+//! outermost) or a deterministic sample of it.
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use usta_device::DeviceSpec;
 use usta_sim::DeviceConfig;
 use usta_thermal::materials::Material;
 use usta_thermal::{Celsius, PhoneNode};
 use usta_workloads::{Benchmark, DeviceDemand, PhasedWorkload, Workload};
+
+/// The device every single-device catalog runs on: the paper's.
+pub const DEFAULT_DEVICE: &str = "nexus4";
 
 /// Ambient (room) temperature bands for the sweep grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -128,9 +134,13 @@ impl CaseKind {
     }
 }
 
-/// One point of the sweep grid: workload × environment × device state.
+/// One point of the sweep grid: device × workload × environment ×
+/// device state.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Scenario {
+    /// Canonical registry id of the device the scenario runs on
+    /// (see [`usta_device::NAMES`]).
+    pub device: &'static str,
     /// The workload being run.
     pub benchmark: Benchmark,
     /// Room temperature band.
@@ -145,6 +155,8 @@ pub struct Scenario {
 
 impl Scenario {
     /// Stable human-readable name, e.g. `"Skype/summer/rugged/charging"`.
+    /// Deliberately device-free — reports and trace sinks carry the
+    /// device id as its own column.
     pub fn name(&self) -> String {
         let mut s = format!(
             "{}/{}/{}",
@@ -161,14 +173,25 @@ impl Scenario {
         s
     }
 
-    /// The device configuration this scenario runs on: the calibrated
-    /// Nexus-4 thermal network re-parameterised for the scenario's
-    /// ambient band and case, soaked to room temperature at power-on.
+    /// The registry spec of this scenario's device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is not a registry id; catalogs only hold
+    /// canonical ids, so this can only trip on a hand-built scenario.
+    pub fn spec(&self) -> &'static DeviceSpec {
+        usta_device::by_id(self.device).expect("scenario device is a registry id")
+    }
+
+    /// The device configuration this scenario runs on: the scenario's
+    /// catalog device with its thermal network re-parameterised for
+    /// the ambient band and case, soaked to room temperature at
+    /// power-on.
     pub fn device_config(&self, sensor_seed: u64) -> DeviceConfig {
         let mut config = DeviceConfig {
             sensor_seed,
             hand_held: self.hand_held,
-            ..DeviceConfig::default()
+            ..DeviceConfig::for_device(self.spec().clone())
         };
         let thermal = &mut config.thermal;
         thermal.ambient = self.ambient.temperature();
@@ -241,22 +264,34 @@ pub struct ScenarioCatalog {
 }
 
 impl ScenarioCatalog {
-    /// The full cartesian grid: 13 benchmarks × 4 ambients × 4 cases ×
-    /// charging × hand — 832 scenarios, benchmark-major order.
+    /// The full cartesian grid on the paper's device: 13 benchmarks ×
+    /// 4 ambients × 4 cases × charging × hand — 832 scenarios,
+    /// benchmark-major order.
     pub fn full() -> ScenarioCatalog {
+        ScenarioCatalog::full_on(&[DEFAULT_DEVICE])
+    }
+
+    /// The full cartesian grid across the given devices (canonical
+    /// registry ids), device-major then benchmark-major: 832 scenarios
+    /// per device. With a single device the order is exactly the
+    /// single-device grid's.
+    pub fn full_on(devices: &[&'static str]) -> ScenarioCatalog {
         let mut scenarios = Vec::new();
-        for benchmark in Benchmark::ALL {
-            for ambient in AmbientBand::ALL {
-                for case in CaseKind::ALL {
-                    for charging in [false, true] {
-                        for hand_held in [false, true] {
-                            scenarios.push(Scenario {
-                                benchmark,
-                                ambient,
-                                case,
-                                charging,
-                                hand_held,
-                            });
+        for &device in devices {
+            for benchmark in Benchmark::ALL {
+                for ambient in AmbientBand::ALL {
+                    for case in CaseKind::ALL {
+                        for charging in [false, true] {
+                            for hand_held in [false, true] {
+                                scenarios.push(Scenario {
+                                    device,
+                                    benchmark,
+                                    ambient,
+                                    case,
+                                    charging,
+                                    hand_held,
+                                });
+                            }
                         }
                     }
                 }
@@ -265,10 +300,21 @@ impl ScenarioCatalog {
         ScenarioCatalog { scenarios }
     }
 
-    /// A deterministic `n`-scenario sample of the full grid: a seeded
-    /// shuffle of the grid, cycled when `n` exceeds the grid size.
+    /// A deterministic `n`-scenario sample of the paper's-device grid.
     pub fn sampled(seed: u64, n: usize) -> ScenarioCatalog {
-        let mut grid = ScenarioCatalog::full().scenarios;
+        ScenarioCatalog::sampled_on(seed, n, &[DEFAULT_DEVICE])
+    }
+
+    /// A deterministic `n`-scenario sample of the multi-device grid: a
+    /// seeded shuffle of [`ScenarioCatalog::full_on`], cycled when `n`
+    /// exceeds the grid size. The sample is a pure function of
+    /// `(seed, n, devices)`. An empty device list yields an empty
+    /// catalog.
+    pub fn sampled_on(seed: u64, n: usize, devices: &[&'static str]) -> ScenarioCatalog {
+        let mut grid = ScenarioCatalog::full_on(devices).scenarios;
+        if grid.is_empty() {
+            return ScenarioCatalog { scenarios: grid };
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5CE0_4A71);
         grid.shuffle(&mut rng);
         let scenarios = (0..n).map(|i| grid[i % grid.len()]).collect();
@@ -276,18 +322,26 @@ impl ScenarioCatalog {
     }
 
     /// A fixed four-scenario catalog of short benchmarks for smoke runs
-    /// and CI: one cold, one paper-condition, one hot-and-cased, one
-    /// charging-while-held.
+    /// and CI, on the paper's device.
     pub fn smoke() -> ScenarioCatalog {
-        let mk = |benchmark, ambient, case, charging, hand_held| Scenario {
-            benchmark,
-            ambient,
-            case,
-            charging,
-            hand_held,
-        };
-        ScenarioCatalog {
-            scenarios: vec![
+        ScenarioCatalog::smoke_on(&[DEFAULT_DEVICE])
+    }
+
+    /// The fixed smoke catalog replicated per device (device-major):
+    /// one cold, one paper-condition, one hot-and-cased, one
+    /// charging-while-held — four short scenarios per device.
+    pub fn smoke_on(devices: &[&'static str]) -> ScenarioCatalog {
+        let mut scenarios = Vec::new();
+        for &device in devices {
+            let mk = |benchmark, ambient, case, charging, hand_held| Scenario {
+                device,
+                benchmark,
+                ambient,
+                case,
+                charging,
+                hand_held,
+            };
+            scenarios.extend([
                 mk(
                     Benchmark::GfxBench,
                     AmbientBand::Winter,
@@ -316,8 +370,9 @@ impl ScenarioCatalog {
                     true,
                     true,
                 ),
-            ],
+            ]);
         }
+        ScenarioCatalog { scenarios }
     }
 
     /// The scenarios, in sweep order.
@@ -344,6 +399,25 @@ mod tests {
     fn full_grid_has_the_cartesian_size() {
         let c = ScenarioCatalog::full();
         assert_eq!(c.len(), 13 * 4 * 4 * 2 * 2);
+        assert!(c.scenarios().iter().all(|s| s.device == DEFAULT_DEVICE));
+    }
+
+    #[test]
+    fn multi_device_grid_is_device_major() {
+        let c = ScenarioCatalog::full_on(&["nexus4", "tablet-10in"]);
+        assert_eq!(c.len(), 2 * 832);
+        assert!(c.scenarios()[..832].iter().all(|s| s.device == "nexus4"));
+        assert!(c.scenarios()[832..]
+            .iter()
+            .all(|s| s.device == "tablet-10in"));
+        // Per-device blocks are the single-device grid exactly.
+        let single = ScenarioCatalog::full();
+        for (a, b) in single.scenarios().iter().zip(c.scenarios()) {
+            assert_eq!(
+                (a.benchmark, a.ambient, a.case),
+                (b.benchmark, b.ambient, b.case)
+            );
+        }
     }
 
     #[test]
@@ -358,8 +432,58 @@ mod tests {
     }
 
     #[test]
+    fn sampling_an_empty_device_list_yields_an_empty_catalog() {
+        let c = ScenarioCatalog::sampled_on(42, 8, &[]);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn single_device_sampling_matches_the_legacy_sampler() {
+        // The device axis must not disturb the default sample: the same
+        // seed over a ["nexus4"] grid is the pre-axis catalog verbatim.
+        assert_eq!(
+            ScenarioCatalog::sampled(42, 64),
+            ScenarioCatalog::sampled_on(42, 64, &[DEFAULT_DEVICE])
+        );
+    }
+
+    #[test]
+    fn smoke_replicates_per_device() {
+        let multi = ScenarioCatalog::smoke_on(&["nexus4", "budget-quad"]);
+        assert_eq!(multi.len(), 2 * ScenarioCatalog::smoke().len());
+        assert_eq!(multi.scenarios()[4].device, "budget-quad");
+        assert_eq!(
+            multi.scenarios()[0].benchmark,
+            multi.scenarios()[4].benchmark
+        );
+    }
+
+    #[test]
+    fn scenario_device_drives_the_device_config() {
+        let tablet = Scenario {
+            device: "tablet-10in",
+            benchmark: Benchmark::GfxBench,
+            ambient: AmbientBand::Office,
+            case: CaseKind::Naked,
+            charging: false,
+            hand_held: false,
+        };
+        let phone = Scenario {
+            device: DEFAULT_DEVICE,
+            ..tablet
+        };
+        let t = tablet.device_config(1);
+        let p = phone.device_config(1);
+        assert_eq!(t.spec.id, "tablet-10in");
+        assert_eq!(t.spec.cores, 6);
+        assert!(t.thermal.total_capacitance() > 3.0 * p.thermal.total_capacitance());
+    }
+
+    #[test]
     fn case_changes_back_cover_parameters_only_plausibly() {
         let naked = Scenario {
+            device: DEFAULT_DEVICE,
             benchmark: Benchmark::GfxBench,
             ambient: AmbientBand::Office,
             case: CaseKind::Naked,
@@ -379,6 +503,7 @@ mod tests {
     #[test]
     fn ambient_band_sets_room_and_initial_temperature() {
         let s = Scenario {
+            device: DEFAULT_DEVICE,
             benchmark: Benchmark::Vellamo,
             ambient: AmbientBand::HotCar,
             case: CaseKind::Naked,
@@ -393,6 +518,7 @@ mod tests {
     #[test]
     fn scenario_workload_caps_duration_and_forces_charging() {
         let s = Scenario {
+            device: DEFAULT_DEVICE,
             benchmark: Benchmark::Skype, // 1800 s uncapped
             ambient: AmbientBand::Office,
             case: CaseKind::Naked,
@@ -410,6 +536,7 @@ mod tests {
     #[test]
     fn names_are_stable() {
         let s = Scenario {
+            device: DEFAULT_DEVICE,
             benchmark: Benchmark::Skype,
             ambient: AmbientBand::Summer,
             case: CaseKind::Rugged,

@@ -49,6 +49,56 @@ pub fn by_name(name: &str) -> Option<Box<dyn CpuGovernor>> {
     Some(gov)
 }
 
+/// The error [`try_by_name`] returns for unknown governor names. Its
+/// `Display` lists [`NAMES`], so CLIs can surface it verbatim.
+///
+/// ```
+/// use usta_governors::try_by_name;
+///
+/// let err = try_by_name("schedutil").unwrap_err();
+/// assert!(err.to_string().contains("ondemand"));
+/// assert!(err.to_string().contains("schedutil"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownGovernorError {
+    name: String,
+}
+
+impl UnknownGovernorError {
+    /// An error for the given unresolved name.
+    pub fn new(name: impl Into<String>) -> UnknownGovernorError {
+        UnknownGovernorError { name: name.into() }
+    }
+
+    /// The name that failed to resolve.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Display for UnknownGovernorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown governor {:?} (known: {})",
+            self.name,
+            NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownGovernorError {}
+
+/// [`by_name`] with a CLI-ready error: ASCII case-insensitive, and the
+/// failure message lists every known name.
+///
+/// # Errors
+///
+/// Returns [`UnknownGovernorError`] when `name` matches no governor.
+pub fn try_by_name(name: &str) -> Result<Box<dyn CpuGovernor>, UnknownGovernorError> {
+    by_name(name).ok_or_else(|| UnknownGovernorError::new(name))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +123,19 @@ mod tests {
         assert!(by_name("schedutil").is_none());
         assert!(by_name("").is_none());
         assert!(by_name("ondemand ").is_none());
+    }
+
+    #[test]
+    fn try_by_name_error_lists_every_known_governor() {
+        let err = try_by_name("schedutil").unwrap_err();
+        assert_eq!(err.name(), "schedutil");
+        let message = err.to_string();
+        assert!(message.contains("\"schedutil\""), "{message:?}");
+        for name in NAMES {
+            assert!(message.contains(name), "{message:?} should list {name}");
+        }
+        // And the Ok path matches by_name, case-insensitively.
+        assert_eq!(try_by_name("ONDEMAND").unwrap().name(), "ondemand");
     }
 
     #[test]

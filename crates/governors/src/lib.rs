@@ -36,7 +36,7 @@ pub mod ondemand;
 pub mod simple;
 
 pub use conservative::Conservative;
-pub use factory::{by_name, NAMES};
+pub use factory::{by_name, try_by_name, UnknownGovernorError, NAMES};
 pub use governor::{CpuGovernor, GovernorInput};
 pub use interactive::Interactive;
 pub use ondemand::OnDemand;

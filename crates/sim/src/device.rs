@@ -1,9 +1,13 @@
-//! The simulated Nexus 4: SoC + thermal network + sensors as one object.
+//! The simulated device: SoC + thermal network + sensors as one object.
+//!
+//! Which device is simulated is data, not code: a
+//! [`usta_device::DeviceSpec`] (default: the paper's Nexus 4) supplies
+//! the OPP table, core count, power models, and thermal network.
 
 use usta_core::FeatureVector;
+use usta_device::DeviceSpec;
 use usta_soc::{
-    nexus4, Battery, ChargeState, Cpu, CpuParams, CpuPowerModel, Display, GpuPowerModel,
-    SensorParams, ThermalSensor,
+    Battery, ChargeState, Cpu, CpuPowerModel, Display, GpuPowerModel, SensorParams, ThermalSensor,
 };
 use usta_thermal::{Celsius, HeatInput, PhoneNode, PhoneThermalModel, PhoneThermalParams};
 use usta_workloads::DeviceDemand;
@@ -11,7 +15,11 @@ use usta_workloads::DeviceDemand;
 /// Configuration of the simulated device.
 #[derive(Debug, Clone)]
 pub struct DeviceConfig {
-    /// Thermal network parameters (calibrated defaults).
+    /// Which device to instantiate (OPP table, cores, power models).
+    pub spec: DeviceSpec,
+    /// Thermal network parameters. Starts as a copy of `spec.thermal`;
+    /// scenario layers (cases, ambient bands) re-parameterise this copy
+    /// without touching the spec.
     pub thermal: PhoneThermalParams,
     /// Battery state of charge at power-on, 0–1.
     pub battery_soc: f64,
@@ -23,12 +31,27 @@ pub struct DeviceConfig {
 
 impl Default for DeviceConfig {
     fn default() -> DeviceConfig {
+        DeviceConfig::for_device(usta_device::nexus4())
+    }
+}
+
+impl DeviceConfig {
+    /// A default-state configuration of the given device: its own
+    /// thermal network, 80 % charge, unheld, fixed sensor seed.
+    pub fn for_device(spec: DeviceSpec) -> DeviceConfig {
         DeviceConfig {
-            thermal: PhoneThermalParams::default(),
+            thermal: spec.thermal.clone(),
+            spec,
             battery_soc: 0.8,
             sensor_seed: 0x5eed,
             hand_held: false,
         }
+    }
+
+    /// A default-state configuration of a registry device, by id
+    /// (ASCII case-insensitive). `None` for unknown ids.
+    pub fn for_device_id(id: &str) -> Option<DeviceConfig> {
+        usta_device::by_id(id).map(|spec| DeviceConfig::for_device(spec.clone()))
     }
 }
 
@@ -97,16 +120,17 @@ impl Device {
     ///
     /// Propagates construction errors from the SoC or thermal models.
     pub fn new(config: DeviceConfig) -> Result<Device, Box<dyn std::error::Error>> {
+        config.spec.validate()?;
         let mut phone = PhoneThermalModel::new(config.thermal)?;
         phone.set_hand_contact(config.hand_held);
         let seed = config.sensor_seed;
         Ok(Device {
             phone,
-            cpu: Cpu::new(CpuParams::default(), nexus4::opp_table())?,
-            cpu_power: nexus4::cpu_power_model(),
-            gpu_power: nexus4::gpu_power_model(),
-            display: nexus4::display()?,
-            battery: nexus4::battery(config.battery_soc)?,
+            cpu: usta_soc::spec::cpu(&config.spec)?,
+            cpu_power: usta_soc::spec::cpu_power_model(&config.spec)?,
+            gpu_power: usta_soc::spec::gpu_power_model(&config.spec)?,
+            display: usta_soc::spec::display(&config.spec)?,
+            battery: usta_soc::spec::battery(&config.spec, config.battery_soc)?,
             cpu_sensor: ThermalSensor::new(SensorParams::kernel_zone(), seed ^ 0x01),
             battery_sensor: ThermalSensor::new(SensorParams::kernel_zone(), seed ^ 0x02),
             skin_thermistor: ThermalSensor::new(SensorParams::thermistor(), seed ^ 0x03),
@@ -370,6 +394,69 @@ mod tests {
         }
         d.reset_thermals_to(Celsius(28.0));
         assert_eq!(d.observe().skin_true, Celsius(28.0));
+    }
+
+    #[test]
+    fn catalog_devices_build_and_expose_their_own_opp_tables() {
+        for id in usta_device::NAMES {
+            let config = DeviceConfig::for_device_id(id).expect("catalog id");
+            let spec_max = config.spec.max_khz();
+            let d = Device::new(config).expect("catalog device builds");
+            assert_eq!(d.opp_table().max().khz, spec_max, "{id}");
+            assert_eq!(d.phone().params().capacitance.len(), 7, "{id}");
+        }
+        assert!(DeviceConfig::for_device_id("no-such-device").is_none());
+    }
+
+    #[test]
+    fn octa_core_serves_demand_a_quad_core_drops() {
+        // Eight threads of heavy demand: the flagship's eight cores at a
+        // 2 GHz top level serve them all; the budget quad at 1.1 GHz
+        // must fold two threads onto each core and drop the surplus.
+        let demand = DeviceDemand {
+            cpu_threads_khz: vec![1_000_000.0; 8],
+            ..busy_demand()
+        };
+        let mut flagship = Device::new(DeviceConfig {
+            sensor_seed: 1,
+            ..DeviceConfig::for_device_id("flagship-octa").unwrap()
+        })
+        .unwrap();
+        let mut budget = Device::new(DeviceConfig {
+            sensor_seed: 1,
+            ..DeviceConfig::for_device_id("budget-quad").unwrap()
+        })
+        .unwrap();
+        let top_f = flagship.opp_table().max_index();
+        let top_b = budget.opp_table().max_index();
+        flagship.apply(&demand, top_f, 1.0);
+        budget.apply(&demand, top_b, 1.0);
+        assert_eq!(flagship.unserved_fraction(), 0.0);
+        assert!(budget.unserved_fraction() > 0.4);
+    }
+
+    #[test]
+    fn tablet_heats_slower_than_the_phone() {
+        // Same heavy demand, same duration: the tablet's thermal mass
+        // and surface keep its skin well below the phone's.
+        let mut phone = Device::with_seed(2).unwrap();
+        let mut tablet = Device::new(DeviceConfig {
+            sensor_seed: 2,
+            ..DeviceConfig::for_device_id("tablet-10in").unwrap()
+        })
+        .unwrap();
+        for _ in 0..600 {
+            let level_p = phone.opp_table().max_index();
+            let level_t = tablet.opp_table().max_index();
+            phone.apply(&busy_demand(), level_p, 1.0);
+            tablet.apply(&busy_demand(), level_t, 1.0);
+        }
+        let p = phone.observe().skin_true;
+        let t = tablet.observe().skin_true;
+        assert!(
+            t < p - 2.0,
+            "tablet skin {t} should trail phone skin {p} by kelvins"
+        );
     }
 
     #[test]

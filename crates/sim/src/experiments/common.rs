@@ -1,11 +1,12 @@
 //! Shared experiment plumbing: data collection, predictor training, and
 //! the paper's published numbers for comparison printing.
 
-use crate::device::Device;
+use crate::device::{Device, DeviceConfig};
 use crate::runner::{run_workload, Governor, RunConfig, RunResult};
 use usta_core::predictor::PredictionTarget;
 use usta_core::training::TrainingLog;
 use usta_core::{TemperaturePredictor, UstaGovernor, UstaPolicy};
+use usta_device::DeviceSpec;
 use usta_governors::OnDemand;
 use usta_ml::reptree::RepTreeParams;
 use usta_ml::Learner;
@@ -32,11 +33,31 @@ pub const PAPER_TABLE1: [(f64, f64, f64, f64, f64, f64); 13] = [
     (33.3, 36.6, 1.14, 31.7, 35.1, 0.63), // Game
 ];
 
+/// A fresh default-state device of the given spec with the given
+/// sensor seed. For the nexus4 spec this is exactly
+/// [`Device::with_seed`], bit for bit.
+pub fn device_on(spec: &DeviceSpec, seed: u64) -> Device {
+    Device::new(DeviceConfig {
+        sensor_seed: seed,
+        ..DeviceConfig::for_device(spec.clone())
+    })
+    .expect("registry device builds")
+}
+
 /// Runs one benchmark on a fresh device under the stock ondemand
 /// governor and returns the result (used by data collection, Table 1,
 /// and the figures).
 pub fn run_baseline(benchmark: Benchmark, seed: u64) -> RunResult {
-    let mut device = Device::with_seed(seed).expect("default device builds");
+    run_baseline_on(
+        usta_device::by_id("nexus4").expect("built-in"),
+        benchmark,
+        seed,
+    )
+}
+
+/// [`run_baseline`] on an arbitrary catalog device.
+pub fn run_baseline_on(spec: &DeviceSpec, benchmark: Benchmark, seed: u64) -> RunResult {
+    let mut device = device_on(spec, seed);
     let mut workload = benchmark.workload(seed);
     let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
     run_workload(
@@ -54,7 +75,24 @@ pub fn run_usta(
     predictor: TemperaturePredictor,
     seed: u64,
 ) -> RunResult {
-    let mut device = Device::with_seed(seed).expect("default device builds");
+    run_usta_on(
+        usta_device::by_id("nexus4").expect("built-in"),
+        benchmark,
+        limit,
+        predictor,
+        seed,
+    )
+}
+
+/// [`run_usta`] on an arbitrary catalog device.
+pub fn run_usta_on(
+    spec: &DeviceSpec,
+    benchmark: Benchmark,
+    limit: Celsius,
+    predictor: TemperaturePredictor,
+    seed: u64,
+) -> RunResult {
+    let mut device = device_on(spec, seed);
     let mut workload = benchmark.workload(seed);
     let usta = UstaGovernor::new(
         Box::new(OnDemand::default()),
@@ -74,9 +112,15 @@ pub fn run_usta(
 /// benchmarks under the baseline governor, logging system state and the
 /// external thermistors every 3 seconds, pooled into one global log.
 pub fn collect_global_training_log(seed: u64) -> TrainingLog {
+    collect_global_training_log_on(usta_device::by_id("nexus4").expect("built-in"), seed)
+}
+
+/// [`collect_global_training_log`] on an arbitrary catalog device —
+/// the predictor must be trained on the device it will govern.
+pub fn collect_global_training_log_on(spec: &DeviceSpec, seed: u64) -> TrainingLog {
     let mut global = TrainingLog::new();
     for b in Benchmark::ALL {
-        let result = run_baseline(b, seed ^ (b.column() as u64) << 8);
+        let result = run_baseline_on(spec, b, seed ^ (b.column() as u64) << 8);
         global.extend_from(&result.training_log);
     }
     global

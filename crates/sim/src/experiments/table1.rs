@@ -7,7 +7,7 @@
 //! default DVFS, USTA is able to reduce the peak temperature."
 
 use crate::experiments::common::{
-    collect_global_training_log, run_baseline, run_usta, train_predictor, PAPER_TABLE1,
+    collect_global_training_log_on, run_baseline_on, run_usta_on, train_predictor, PAPER_TABLE1,
 };
 use usta_core::predictor::PredictionTarget;
 use usta_thermal::Celsius;
@@ -110,14 +110,22 @@ impl Table1 {
 /// rarely binds (e.g. Record), flipping the strict peak-reduction
 /// comparison. Pairing isolates exactly the governor's contribution.
 pub fn table1(seed: u64) -> Table1 {
-    let log = collect_global_training_log(seed);
+    table1_on(usta_device::by_id("nexus4").expect("built-in"), seed)
+}
+
+/// [`table1`] on an arbitrary catalog device: the training campaign,
+/// the predictor, and both governor sessions all run on `spec`, so the
+/// numbers answer "what would the paper's table look like on this
+/// hardware".
+pub fn table1_on(spec: &usta_device::DeviceSpec, seed: u64) -> Table1 {
+    let log = collect_global_training_log_on(spec, seed);
     let predictor = train_predictor(&log, PredictionTarget::Skin, seed);
     let rows = Benchmark::ALL
         .iter()
         .map(|&b| {
             let run_seed = seed.wrapping_add(17 * (b.column() as u64 + 1));
-            let base = run_baseline(b, run_seed);
-            let usta = run_usta(b, TABLE1_LIMIT, predictor.clone(), run_seed);
+            let base = run_baseline_on(spec, b, run_seed);
+            let usta = run_usta_on(spec, b, TABLE1_LIMIT, predictor.clone(), run_seed);
             Table1Row {
                 benchmark: b,
                 baseline: GovernorStats {

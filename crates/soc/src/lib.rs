@@ -18,7 +18,10 @@
 //! * [`sensors`] — noisy, quantized thermal sensors standing in for both
 //!   the on-device CPU/battery sensors and the paper's external
 //!   thermistors;
-//! * [`nexus4`] — the calibrated preset tying it all together.
+//! * [`spec`] — constructors building each of the above from a
+//!   data-driven [`usta_device::DeviceSpec`] (any catalog device);
+//! * [`nexus4`] — the calibrated preset tying it all together, now a
+//!   thin wrapper over the registry's `nexus4` spec.
 //!
 //! ```
 //! use usta_soc::nexus4;
@@ -41,6 +44,7 @@ pub mod freq;
 pub mod nexus4;
 pub mod power;
 pub mod sensors;
+pub mod spec;
 
 pub use battery::{Battery, BatteryParams, ChargeState};
 pub use cpu::{CoreDemand, Cpu, CpuParams};

@@ -1,0 +1,155 @@
+//! Building live SoC models from a [`usta_device::DeviceSpec`].
+//!
+//! `usta-device` holds plain data; this module turns each section of a
+//! spec into the corresponding model type of this crate. Every
+//! constructor revalidates through the model's own `new` (the spec was
+//! already checked at registry construction, so failures here mean a
+//! hand-built spec slipped past [`DeviceSpec::validate`]).
+//!
+//! ```
+//! use usta_device::by_id;
+//!
+//! # fn main() -> Result<(), usta_soc::SocError> {
+//! let spec = by_id("flagship-octa").expect("built-in");
+//! let cpu = usta_soc::spec::cpu(spec)?;
+//! assert_eq!(cpu.cores(), 8);
+//! assert_eq!(cpu.opp_table().max().khz, 2_016_000);
+//! # Ok(())
+//! # }
+//! ```
+
+use usta_device::DeviceSpec;
+
+use crate::battery::{Battery, BatteryParams};
+use crate::cpu::{Cpu, CpuParams};
+use crate::display::{Display, DisplayParams};
+use crate::error::SocError;
+use crate::freq::{FrequencyLevel, OppTable};
+use crate::power::{CpuPowerModel, GpuPowerModel};
+
+/// The spec's OPP table as a cpufreq [`OppTable`].
+///
+/// # Errors
+///
+/// Returns [`SocError`] if the spec's levels are empty, unsorted, or
+/// non-positive (impossible for registry-validated specs).
+pub fn opp_table(spec: &DeviceSpec) -> Result<OppTable, SocError> {
+    OppTable::new(
+        spec.opp
+            .iter()
+            .map(|p| FrequencyLevel {
+                khz: p.khz,
+                volts: p.volts,
+            })
+            .collect(),
+    )
+}
+
+/// The spec's CPU power coefficients as a [`CpuPowerModel`].
+///
+/// # Errors
+///
+/// Returns [`SocError::InvalidParameter`] for out-of-range coefficients.
+pub fn cpu_power_model(spec: &DeviceSpec) -> Result<CpuPowerModel, SocError> {
+    CpuPowerModel::new(
+        spec.cpu_power.ceff_farads,
+        spec.cpu_power.leak_coeff_a,
+        spec.cpu_power.leak_temp_per_k,
+        spec.cpu_power.idle_uncore_w,
+    )
+}
+
+/// The spec's GPU power model.
+///
+/// # Errors
+///
+/// Returns [`SocError::InvalidParameter`] for out-of-range powers.
+pub fn gpu_power_model(spec: &DeviceSpec) -> Result<GpuPowerModel, SocError> {
+    GpuPowerModel::new(spec.gpu_power.max_w, spec.gpu_power.idle_w)
+}
+
+/// The spec's CPU: `spec.cores` cores on the spec's OPP table, idle at
+/// the lowest operating point.
+///
+/// # Errors
+///
+/// Propagates OPP-table conversion errors and rejects zero cores.
+pub fn cpu(spec: &DeviceSpec) -> Result<Cpu, SocError> {
+    Cpu::new(CpuParams { cores: spec.cores }, opp_table(spec)?)
+}
+
+/// The spec's display panel.
+///
+/// # Errors
+///
+/// Returns [`SocError::InvalidParameter`] for negative powers.
+pub fn display(spec: &DeviceSpec) -> Result<Display, SocError> {
+    Display::new(DisplayParams {
+        base_w: spec.display.base_w,
+        full_brightness_w: spec.display.full_brightness_w,
+    })
+}
+
+/// The spec's battery pack at the given state of charge (0–1).
+///
+/// # Errors
+///
+/// Returns [`SocError::InvalidParameter`] for out-of-range pack
+/// parameters or state of charge.
+pub fn battery(spec: &DeviceSpec, state_of_charge: f64) -> Result<Battery, SocError> {
+    Battery::new(
+        BatteryParams {
+            capacity_mah: spec.battery.capacity_mah,
+            nominal_v: spec.battery.nominal_v,
+            internal_ohm: spec.battery.internal_ohm,
+            max_charge_a: spec.battery.max_charge_a,
+            charge_loss_fraction: spec.battery.charge_loss_fraction,
+        },
+        state_of_charge,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usta_device::{by_id, Registry};
+
+    #[test]
+    fn every_builtin_spec_builds_every_model() {
+        for spec in Registry::builtin().specs() {
+            let table = opp_table(spec).unwrap_or_else(|e| panic!("{}: {e}", spec.id));
+            assert_eq!(table.len(), spec.opp.len(), "{}", spec.id);
+            let cpu = cpu(spec).unwrap();
+            assert_eq!(cpu.cores(), spec.cores, "{}", spec.id);
+            assert!(cpu_power_model(spec).is_ok(), "{}", spec.id);
+            assert!(gpu_power_model(spec).is_ok(), "{}", spec.id);
+            assert!(display(spec).is_ok(), "{}", spec.id);
+            assert!(battery(spec, 0.5).is_ok(), "{}", spec.id);
+        }
+    }
+
+    #[test]
+    fn nexus4_spec_reproduces_the_preset_models() {
+        let spec = by_id("nexus4").expect("built-in");
+        assert_eq!(opp_table(spec).unwrap(), crate::nexus4::opp_table());
+        assert_eq!(
+            cpu_power_model(spec).unwrap(),
+            crate::nexus4::cpu_power_model()
+        );
+        assert_eq!(
+            battery(spec, 0.8).unwrap(),
+            crate::nexus4::battery(0.8).unwrap()
+        );
+        assert_eq!(display(spec).unwrap(), crate::nexus4::display().unwrap());
+    }
+
+    #[test]
+    fn hand_built_invalid_spec_is_caught_at_model_construction() {
+        let mut bad = usta_device::nexus4();
+        bad.opp.clear();
+        assert!(opp_table(&bad).is_err());
+        bad = usta_device::nexus4();
+        bad.cores = 0;
+        assert!(cpu(&bad).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! The device axis' cross-crate guarantees.
+//!
+//! 1. **Seed regression:** the registry's `nexus4` spec reproduces the
+//!    seed's hardwired device bit for bit — same OPP table, same power
+//!    models, same thermal network, and therefore the *same simulated
+//!    trajectory* step for step.
+//! 2. **Grid compatibility:** the single-device catalog is the
+//!    pre-axis catalog verbatim, so default sweeps are byte-stable
+//!    across the refactor.
+//! 3. **Axis determinism:** multi-device sweeps stay bit-identical at
+//!    any thread count (the CI smoke diff's in-process twin).
+
+use usta_fleet::{run_sweep, ScenarioCatalog, SweepConfig, DEFAULT_DEVICE};
+use usta_sim::{Device, DeviceConfig};
+use usta_workloads::{Benchmark, Workload};
+
+/// The seed's `Device::with_seed` and an explicitly spec-built nexus4
+/// must produce identical observations through a mixed workload.
+#[test]
+fn nexus4_spec_device_tracks_the_seed_device_exactly() {
+    let mut seed_device = Device::with_seed(0xD0E).expect("default device builds");
+    let mut spec_device = Device::new(DeviceConfig {
+        sensor_seed: 0xD0E,
+        ..DeviceConfig::for_device_id("nexus4").expect("built-in id")
+    })
+    .expect("spec device builds");
+
+    let mut workload = Benchmark::GfxBench.workload(7);
+    let mut t = 0.0;
+    while t < 120.0 {
+        let demand = workload.demand_at(t, 0.1);
+        // Drive both through the same frequency ladder.
+        let level = ((t / 10.0) as usize) % 12;
+        seed_device.apply(&demand, level, 0.1);
+        spec_device.apply(&demand, level, 0.1);
+        t += 0.1;
+    }
+    let a = seed_device.observe();
+    let b = spec_device.observe();
+    assert_eq!(a, b, "trajectories must be bit-identical");
+    assert_eq!(
+        seed_device.unserved_fraction(),
+        spec_device.unserved_fraction()
+    );
+}
+
+#[test]
+fn default_catalog_is_the_single_device_grid() {
+    assert_eq!(
+        ScenarioCatalog::sampled(42, 100),
+        ScenarioCatalog::sampled_on(42, 100, &[DEFAULT_DEVICE])
+    );
+    assert_eq!(
+        ScenarioCatalog::full().len() * 4,
+        ScenarioCatalog::full_on(&["nexus4", "flagship-octa", "tablet-10in", "budget-quad"]).len()
+    );
+}
+
+#[test]
+fn multi_device_sweep_is_thread_count_invariant() {
+    let config = |threads| SweepConfig {
+        users: 5,
+        threads,
+        max_sim_seconds: 30.0,
+        predictor_pool: 2,
+        training_benchmarks: vec![Benchmark::GfxBench],
+        training_cap_seconds: 60.0,
+        chunk_size: 4,
+        smoke: true,
+        devices: vec!["nexus4".to_owned(), "flagship-octa".to_owned()],
+        ..SweepConfig::default()
+    };
+    let one = run_sweep(&config(1)).expect("sweep runs");
+    let four = run_sweep(&config(4)).expect("sweep runs");
+    assert_eq!(one, four);
+    assert_eq!(one.summary(), four.summary());
+    assert_eq!(one.devices, vec!["nexus4", "flagship-octa"]);
+    assert_eq!(one.aggregate.triples, 5 * 8);
+}
+
+/// Different devices must actually produce different fleet outcomes —
+/// otherwise the axis is decorative.
+#[test]
+fn devices_change_the_outcome_distribution() {
+    let config = |device: &str| SweepConfig {
+        users: 5,
+        max_sim_seconds: 30.0,
+        predictor_pool: 2,
+        training_benchmarks: vec![Benchmark::GfxBench],
+        training_cap_seconds: 60.0,
+        smoke: true,
+        devices: vec![device.to_owned()],
+        ..SweepConfig::default()
+    };
+    let phone = run_sweep(&config("nexus4")).expect("sweep runs");
+    let tablet = run_sweep(&config("tablet-10in")).expect("sweep runs");
+    assert_ne!(
+        phone.aggregate.peak_skin.stats.mean(),
+        tablet.aggregate.peak_skin.stats.mean(),
+        "device axis must move the peak-skin distribution"
+    );
+}
