@@ -21,7 +21,7 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     group.warm_up_time(Duration::from_millis(500));
     group.bench_function("step_100ms", |b| {
-        b.iter(|| device.apply(black_box(&demand), 8, 0.1))
+        b.iter(|| device.apply_level(black_box(&demand), 8, 0.1))
     });
     group.bench_function("observe", |b| b.iter(|| black_box(device.observe())));
     group.finish();

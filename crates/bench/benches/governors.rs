@@ -1,8 +1,9 @@
 //! Governor decision cost: the baseline zoo vs the USTA stack
 //! (decision path only; prediction runs on its own 3 s cadence),
-//! tracked per catalog device — OPP-table depth is the only input that
-//! can plausibly move a decide() cost, so each device's table gets its
-//! own benchmark id.
+//! tracked per catalog device — domain count and OPP-table depth are
+//! the only inputs that can plausibly move a decide() cost, so each
+//! device's topology gets its own benchmark id (`flagship-octa`
+//! exercises the genuine two-domain path).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -10,7 +11,9 @@ use std::time::Duration;
 use usta_bench::trained;
 use usta_core::predictor::PredictionTarget;
 use usta_core::{UstaGovernor, UstaPolicy};
-use usta_governors::{Conservative, CpuGovernor, GovernorInput, OnDemand, Performance};
+use usta_governors::{
+    Conservative, CpuGovernor, DomainSample, FreqDomain, GovernorInput, OnDemand, Performance,
+};
 use usta_ml::reptree::RepTreeParams;
 use usta_ml::Learner;
 use usta_thermal::Celsius;
@@ -21,13 +24,31 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     for id in usta_device::NAMES {
         let spec = usta_device::by_id(id).expect("catalog id");
-        let opp = usta_soc::spec::opp_table(spec).expect("catalog spec is valid");
+        let domains: Vec<FreqDomain> = spec
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(d, cluster)| FreqDomain {
+                id: d,
+                name: cluster.name,
+                cores: cluster.cores,
+                opp: usta_soc::spec::opp_table(spec, d).expect("catalog spec is valid"),
+                full_load_w: cluster.full_load_w(),
+            })
+            .collect();
+        let samples: Vec<DomainSample> = domains
+            .iter()
+            .map(|domain| DomainSample {
+                avg_utilization: 0.63,
+                max_utilization: 0.78,
+                current_level: domain.max_index() / 2,
+            })
+            .collect();
+        let caps: Vec<usize> = domains.iter().map(FreqDomain::max_index).collect();
         let input = GovernorInput {
-            avg_utilization: 0.63,
-            max_utilization: 0.78,
-            current_level: opp.max_index() / 2,
-            max_allowed_level: opp.max_index(),
-            opp: &opp,
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
         };
         let mut ondemand = OnDemand::default();
         group.bench_function(format!("ondemand/{id}"), |b| {

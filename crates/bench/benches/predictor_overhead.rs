@@ -15,12 +15,7 @@ use usta_ml::Learner;
 use usta_thermal::Celsius;
 
 fn features() -> FeatureVector {
-    FeatureVector {
-        cpu_temp: Celsius(52.0),
-        battery_temp: Celsius(36.0),
-        utilization: 0.7,
-        freq_khz: 1_134_000.0,
-    }
+    FeatureVector::single(Celsius(52.0), Celsius(36.0), 0.7, 1_134_000.0)
 }
 
 fn bench(c: &mut Criterion) {

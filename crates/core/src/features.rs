@@ -5,10 +5,19 @@
 //! temperature, CPU utilization, and the current CPU frequency. No
 //! external sensing is available at run time — that is the whole point
 //! of the predictor.
+//!
+//! With the multi-domain control plane the frequency input is
+//! per-domain: a big.LITTLE device reports one frequency per cpufreq
+//! policy, so its predictor sees `3 + domains` features. The paper's
+//! single-policy Nexus 4 keeps exactly the original four features with
+//! the original names — its trained models and predictions are
+//! bit-identical to the single-frequency era.
 
+use usta_soc::PerDomain;
 use usta_thermal::Celsius;
 
-/// Names of the features, in [`FeatureVector::to_array`] order.
+/// Names of the single-domain features, in [`FeatureVector::to_vec`]
+/// order — extra domains append `freq_mhz_d1`, `freq_mhz_d2`, …
 pub const FEATURE_NAMES: [&str; 4] = ["cpu_temp", "battery_temp", "utilization", "freq_mhz"];
 
 /// One observation of the system-level signals the predictor uses.
@@ -18,30 +27,68 @@ pub struct FeatureVector {
     pub cpu_temp: Celsius,
     /// Battery temperature reading.
     pub battery_temp: Celsius,
-    /// Mean CPU utilization over the logging window, 0–1.
+    /// Mean CPU utilization across every core of every domain over the
+    /// logging window, 0–1.
     pub utilization: f64,
-    /// CPU frequency, kHz.
-    pub freq_khz: f64,
+    /// Per-frequency-domain CPU frequency, kHz (one entry per cpufreq
+    /// policy, in the device's big-first domain order).
+    pub domain_freqs_khz: PerDomain<f64>,
 }
 
 impl FeatureVector {
-    /// Flattens into the learner's input layout.
-    ///
-    /// Frequency is expressed in MHz so all four features share a
-    /// similar numeric range (tree learners don't care, but the MLP and
-    /// ridge regression appreciate it).
-    pub fn to_array(&self) -> [f64; 4] {
-        [
-            self.cpu_temp.value(),
-            self.battery_temp.value(),
-            self.utilization,
-            self.freq_khz / 1000.0,
-        ]
+    /// A single-domain feature vector — the paper's original four
+    /// signals.
+    pub fn single(
+        cpu_temp: Celsius,
+        battery_temp: Celsius,
+        utilization: f64,
+        freq_khz: f64,
+    ) -> FeatureVector {
+        FeatureVector {
+            cpu_temp,
+            battery_temp,
+            utilization,
+            domain_freqs_khz: PerDomain::splat(1, freq_khz),
+        }
     }
 
-    /// Schema for [`usta_ml::Dataset`] construction.
-    pub fn feature_names() -> Vec<String> {
-        FEATURE_NAMES.iter().map(|s| (*s).to_owned()).collect()
+    /// Number of frequency domains this observation carries.
+    pub fn domains(&self) -> usize {
+        self.domain_freqs_khz.len()
+    }
+
+    /// Domain 0's frequency, kHz — on single-domain devices, *the* CPU
+    /// frequency (the paper's fourth feature).
+    pub fn freq_khz(&self) -> f64 {
+        self.domain_freqs_khz[0]
+    }
+
+    /// Flattens into the learner's input layout: temperatures,
+    /// utilization, then one frequency per domain.
+    ///
+    /// Frequencies are expressed in MHz so all features share a
+    /// similar numeric range (tree learners don't care, but the MLP and
+    /// ridge regression appreciate it).
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(3 + self.domain_freqs_khz.len());
+        v.push(self.cpu_temp.value());
+        v.push(self.battery_temp.value());
+        v.push(self.utilization);
+        for &khz in &self.domain_freqs_khz {
+            v.push(khz / 1000.0);
+        }
+        v
+    }
+
+    /// Schema for [`usta_ml::Dataset`] construction: the historical
+    /// four names for one domain, `freq_mhz_d<i>` appended per extra
+    /// domain.
+    pub fn feature_names(domains: usize) -> Vec<String> {
+        let mut names: Vec<String> = FEATURE_NAMES.iter().map(|s| (*s).to_owned()).collect();
+        for d in 1..domains {
+            names.push(format!("freq_mhz_d{d}"));
+        }
+        names
     }
 }
 
@@ -50,29 +97,51 @@ mod tests {
     use super::*;
 
     fn sample() -> FeatureVector {
-        FeatureVector {
-            cpu_temp: Celsius(52.0),
-            battery_temp: Celsius(36.5),
-            utilization: 0.75,
-            freq_khz: 1_134_000.0,
-        }
+        FeatureVector::single(Celsius(52.0), Celsius(36.5), 0.75, 1_134_000.0)
     }
 
     #[test]
     fn array_layout_matches_names() {
-        let a = sample().to_array();
+        let a = sample().to_vec();
         assert_eq!(a.len(), FEATURE_NAMES.len());
         assert_eq!(a[0], 52.0);
         assert_eq!(a[1], 36.5);
         assert_eq!(a[2], 0.75);
         assert_eq!(a[3], 1134.0);
+        assert_eq!(sample().freq_khz(), 1_134_000.0);
+        assert_eq!(sample().domains(), 1);
     }
 
     #[test]
     fn names_are_stable() {
         assert_eq!(
-            FeatureVector::feature_names(),
+            FeatureVector::feature_names(1),
             vec!["cpu_temp", "battery_temp", "utilization", "freq_mhz"]
+        );
+    }
+
+    #[test]
+    fn multi_domain_features_append_per_domain_frequencies() {
+        let f = FeatureVector {
+            cpu_temp: Celsius(52.0),
+            battery_temp: Celsius(36.5),
+            utilization: 0.5,
+            domain_freqs_khz: PerDomain::from_slice(&[2_016_000.0, 1_363_200.0]),
+        };
+        assert_eq!(f.domains(), 2);
+        let v = f.to_vec();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[3], 2016.0);
+        assert_eq!(v[4], 1363.2);
+        assert_eq!(
+            FeatureVector::feature_names(2),
+            vec![
+                "cpu_temp",
+                "battery_temp",
+                "utilization",
+                "freq_mhz",
+                "freq_mhz_d1"
+            ]
         );
     }
 }

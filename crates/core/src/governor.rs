@@ -9,14 +9,18 @@
 //!
 //! The device loop drives this in two strands:
 //! * every governor sampling period (100 ms): [`UstaGovernor::decide`] —
-//!   delegates to the baseline, clamped by the current cap;
+//!   delegates to the baseline, clamped by the current cap, translated
+//!   to a per-domain cap vector on multi-domain devices (the skin
+//!   budget splits across clusters by predicted power share — see
+//!   [`FrequencyCap::max_allowed_levels`]);
 //! * continuously: [`UstaGovernor::tick`] with fresh sensor features —
 //!   internally rate-limited to the 3-second prediction cadence.
 
 use crate::features::FeatureVector;
 use crate::policy::{FrequencyCap, UstaPolicy};
 use crate::predictor::TemperaturePredictor;
-use usta_governors::{CpuGovernor, GovernorInput};
+use usta_governors::{CpuGovernor, DvfsDecision, GovernorInput};
+use usta_soc::PerDomain;
 use usta_thermal::Celsius;
 
 /// Default prediction cadence, seconds (§3.B).
@@ -120,13 +124,21 @@ impl CpuGovernor for UstaGovernor {
         "usta"
     }
 
-    fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
-        let usta_cap = self.cap.max_allowed_level(input.opp);
+    fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
+        // USTA's cap vector (skin budget split by power share) meets
+        // any external per-domain cap; the baseline sees the tighter of
+        // the two and its output is clamped to USTA's caps besides.
+        let usta_caps = self.cap.max_allowed_levels(input.domains);
+        let effective: PerDomain<usize> = PerDomain::from_fn(input.domains.len(), |d| {
+            input.max_allowed_levels[d].min(usta_caps[d])
+        });
         let clamped = GovernorInput {
-            max_allowed_level: input.max_allowed_level.min(usta_cap),
+            max_allowed_levels: effective.as_slice(),
             ..*input
         };
-        self.baseline.decide(&clamped).min(usta_cap)
+        self.baseline
+            .decide(&clamped)
+            .clamped_to(usta_caps.as_slice())
     }
 
     fn reset(&mut self) {
@@ -147,7 +159,7 @@ mod tests {
     use super::*;
     use crate::predictor::PredictionTarget;
     use crate::training::{LoggedSample, TrainingLog};
-    use usta_governors::OnDemand;
+    use usta_governors::{DomainSample, FreqDomain, OnDemand};
     use usta_ml::reptree::RepTreeParams;
     use usta_ml::Learner;
     use usta_soc::nexus4;
@@ -160,12 +172,7 @@ mod tests {
                 let t = 25.0 + (i % 200) as f64 / 10.0; // 25..45 °C
                 LoggedSample {
                     t: i as f64,
-                    features: FeatureVector {
-                        cpu_temp: Celsius(t + 8.0),
-                        battery_temp: Celsius(t),
-                        utilization: 0.5,
-                        freq_khz: 1_000_000.0,
-                    },
+                    features: FeatureVector::single(Celsius(t + 8.0), Celsius(t), 0.5, 1_000_000.0),
                     skin: Celsius(t),
                     screen: Celsius(t - 2.0),
                 }
@@ -181,12 +188,59 @@ mod tests {
     }
 
     fn features(batt: f64) -> FeatureVector {
-        FeatureVector {
-            cpu_temp: Celsius(batt + 8.0),
-            battery_temp: Celsius(batt),
-            utilization: 0.5,
-            freq_khz: 1_000_000.0,
-        }
+        FeatureVector::single(Celsius(batt + 8.0), Celsius(batt), 0.5, 1_000_000.0)
+    }
+
+    fn single_domain() -> Vec<FreqDomain> {
+        vec![FreqDomain {
+            id: 0,
+            name: "cpu",
+            cores: 4,
+            opp: nexus4::opp_table(),
+            full_load_w: 3.6,
+        }]
+    }
+
+    /// A big.LITTLE pair: the nexus4 table as the big cluster, its
+    /// lower half as the LITTLE one, with a 4:1 power split.
+    fn two_domains() -> Vec<FreqDomain> {
+        let big = nexus4::opp_table();
+        let little =
+            usta_soc::OppTable::new(big.iter().take(6).copied().collect()).expect("valid prefix");
+        vec![
+            FreqDomain {
+                id: 0,
+                name: "big",
+                cores: 4,
+                opp: big,
+                full_load_w: 3.6,
+            },
+            FreqDomain {
+                id: 1,
+                name: "little",
+                cores: 4,
+                opp: little,
+                full_load_w: 0.9,
+            },
+        ]
+    }
+
+    /// Saturated-load decision with one domain at `cur`, capped at
+    /// `cap`.
+    fn decide_single(g: &mut UstaGovernor, cur: usize, cap: usize) -> usize {
+        let domains = single_domain();
+        let samples = [DomainSample {
+            avg_utilization: 1.0,
+            max_utilization: 1.0,
+            current_level: cur,
+        }];
+        let caps = [cap];
+        g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+        })
+        .level(0)
     }
 
     fn usta() -> UstaGovernor {
@@ -221,50 +275,77 @@ mod tests {
 
     #[test]
     fn hot_prediction_caps_the_baseline() {
-        let opp = nexus4::opp_table();
+        let top = nexus4::opp_table().max_index();
         let mut g = usta();
         g.tick(&features(36.8), 0.1); // within 0.5 °C of 37 → minimum
         assert_eq!(g.cap(), FrequencyCap::MinimumFrequency);
-        let input = GovernorInput {
-            avg_utilization: 1.0,
-            max_utilization: 1.0,
-            current_level: 5,
-            max_allowed_level: opp.max_index(),
-            opp: &opp,
-        };
-        assert_eq!(g.decide(&input), 0, "saturated CPU must stay at min level");
+        assert_eq!(
+            decide_single(&mut g, 5, top),
+            0,
+            "saturated CPU must stay at min level"
+        );
     }
 
     #[test]
     fn cool_prediction_leaves_baseline_alone() {
-        let opp = nexus4::opp_table();
+        let top = nexus4::opp_table().max_index();
         let mut g = usta();
         g.tick(&features(28.0), 0.1);
         assert_eq!(g.cap(), FrequencyCap::Unrestricted);
-        let input = GovernorInput {
-            avg_utilization: 1.0,
-            max_utilization: 1.0,
-            current_level: 0,
-            max_allowed_level: opp.max_index(),
-            opp: &opp,
-        };
-        assert_eq!(g.decide(&input), opp.max_index());
+        assert_eq!(decide_single(&mut g, 0, top), top);
     }
 
     #[test]
     fn one_and_two_level_bands_cap_accordingly() {
-        let opp = nexus4::opp_table();
+        let top = nexus4::opp_table().max_index();
         let mut g = usta();
         g.tick(&features(35.5), 0.1); // margin 1.5 → one level below max
         assert_eq!(g.cap(), FrequencyCap::OneLevelBelowMax);
-        let input = GovernorInput {
+        assert_eq!(decide_single(&mut g, 5, top), top - 1);
+    }
+
+    #[test]
+    fn hot_prediction_pins_every_domain() {
+        let domains = two_domains();
+        let mut g = usta();
+        g.tick(&features(36.8), 0.1);
+        let samples = [DomainSample {
             avg_utilization: 1.0,
             max_utilization: 1.0,
             current_level: 5,
-            max_allowed_level: opp.max_index(),
-            opp: &opp,
-        };
-        assert_eq!(g.decide(&input), opp.max_index() - 1);
+        }; 2];
+        let caps = [domains[0].max_index(), domains[1].max_index()];
+        let decision = g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+        });
+        assert_eq!(decision.levels(), &[0, 0]);
+    }
+
+    #[test]
+    fn one_level_band_cuts_the_big_cluster_first() {
+        let domains = two_domains();
+        let mut g = usta();
+        g.tick(&features(35.5), 0.1); // one-level band
+        assert_eq!(g.cap(), FrequencyCap::OneLevelBelowMax);
+        let samples = [DomainSample {
+            avg_utilization: 1.0,
+            max_utilization: 1.0,
+            current_level: 5,
+        }; 2];
+        let caps = [domains[0].max_index(), domains[1].max_index()];
+        let decision = g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+        });
+        // 2 total steps, 4:1 power split → both land on the big
+        // cluster; the LITTLE one keeps its top level.
+        assert_eq!(
+            decision.levels(),
+            &[domains[0].max_index() - 2, domains[1].max_index()]
+        );
     }
 
     #[test]
@@ -279,17 +360,10 @@ mod tests {
 
     #[test]
     fn respects_external_cap_too() {
-        let opp = nexus4::opp_table();
         let mut g = usta();
         g.tick(&features(28.0), 0.1); // USTA unrestricted
-        let input = GovernorInput {
-            avg_utilization: 1.0,
-            max_utilization: 1.0,
-            current_level: 5,
-            max_allowed_level: 4, // some other thermal layer
-            opp: &opp,
-        };
-        assert_eq!(g.decide(&input), 4);
+                                      // Some other thermal layer caps the domain at level 4.
+        assert_eq!(decide_single(&mut g, 5, 4), 4);
     }
 
     #[test]

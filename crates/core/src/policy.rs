@@ -11,7 +11,8 @@
 //! > 0.5 °C to the limit or it is exceeding the limit, then, the maximum
 //! > CPU frequency is set to the minimum frequency level."
 
-use usta_soc::OppTable;
+use usta_governors::FreqDomain;
+use usta_soc::{OppTable, PerDomain, MAX_FREQ_DOMAINS};
 use usta_thermal::Celsius;
 
 /// The cap USTA imposes on the governor's frequency choice.
@@ -40,10 +41,84 @@ impl FrequencyCap {
         }
     }
 
+    /// The per-domain cap vector for a multi-domain device: the skin
+    /// budget splits across domains by predicted full-load power share.
+    ///
+    /// The banding bands shed a *total* of `levels × domains` OPP steps
+    /// (so a single-domain device reproduces the paper's "one/two
+    /// levels below max" exactly), apportioned to domains by their
+    /// [`FreqDomain::full_load_w`] share, largest fractional remainder
+    /// first (ties to the lower domain id). The big cluster — the one
+    /// actually heating the skin — therefore takes most or all of the
+    /// cut before a LITTLE cluster loses a step.
+    /// [`FrequencyCap::MinimumFrequency`] pins every domain to its
+    /// bottom level, [`FrequencyCap::Unrestricted`] frees every domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` is empty.
+    pub fn max_allowed_levels(self, domains: &[FreqDomain]) -> PerDomain<usize> {
+        assert!(!domains.is_empty(), "a device has at least one domain");
+        match self {
+            FrequencyCap::Unrestricted => {
+                PerDomain::from_fn(domains.len(), |d| domains[d].max_index())
+            }
+            FrequencyCap::OneLevelBelowMax => shed_by_power_share(domains, 1),
+            FrequencyCap::TwoLevelsBelowMax => shed_by_power_share(domains, 2),
+            FrequencyCap::MinimumFrequency => PerDomain::splat(domains.len(), 0),
+        }
+    }
+
     /// `true` when USTA is actively restricting the governor.
     pub fn is_active(self) -> bool {
         self != FrequencyCap::Unrestricted
     }
+}
+
+/// Sheds `per_domain_steps × domains` OPP steps in total, apportioned
+/// by full-load power share with a largest-remainder rounding pass
+/// (deterministic: ties break toward the lower domain id). Degenerate
+/// weights (zero or non-finite total) fall back to a uniform
+/// `per_domain_steps` cut on every domain.
+fn shed_by_power_share(domains: &[FreqDomain], per_domain_steps: usize) -> PerDomain<usize> {
+    let n = domains.len();
+    if n == 1 {
+        let opp = &domains[0].opp;
+        return PerDomain::splat(1, opp.lower(opp.max_index(), per_domain_steps));
+    }
+    let total_steps = per_domain_steps * n;
+    let total_w: f64 = domains.iter().map(|d| d.full_load_w).sum();
+    let uniform = !total_w.is_finite()
+        || total_w <= 0.0
+        || domains
+            .iter()
+            .any(|d| !d.full_load_w.is_finite() || d.full_load_w < 0.0);
+    let mut shed = [0usize; MAX_FREQ_DOMAINS];
+    if uniform {
+        shed[..n].fill(per_domain_steps);
+    } else {
+        let mut fractions = [(0.0f64, 0usize); MAX_FREQ_DOMAINS];
+        let mut assigned = 0usize;
+        for (d, domain) in domains.iter().enumerate() {
+            let quota = total_steps as f64 * (domain.full_load_w / total_w);
+            let base = quota.floor() as usize;
+            shed[d] = base;
+            assigned += base;
+            fractions[d] = (quota - base as f64, d);
+        }
+        fractions[..n].sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("fractions are finite")
+                .then(a.1.cmp(&b.1))
+        });
+        for &(_, d) in fractions[..n]
+            .iter()
+            .take(total_steps.saturating_sub(assigned))
+        {
+            shed[d] += 1;
+        }
+    }
+    PerDomain::from_fn(n, |d| domains[d].opp.lower(domains[d].max_index(), shed[d]))
 }
 
 /// The per-user USTA policy: a comfort limit plus the paper's bands.
@@ -193,6 +268,107 @@ mod tests {
         assert_eq!(FrequencyCap::OneLevelBelowMax.max_allowed_level(&opp), 10);
         assert_eq!(FrequencyCap::TwoLevelsBelowMax.max_allowed_level(&opp), 9);
         assert_eq!(FrequencyCap::MinimumFrequency.max_allowed_level(&opp), 0);
+    }
+
+    fn test_domains(big_w: f64, little_w: f64) -> Vec<FreqDomain> {
+        let big = nexus4::opp_table();
+        let little =
+            usta_soc::OppTable::new(big.iter().take(6).copied().collect()).expect("valid prefix");
+        vec![
+            FreqDomain {
+                id: 0,
+                name: "big",
+                cores: 4,
+                opp: big,
+                full_load_w: big_w,
+            },
+            FreqDomain {
+                id: 1,
+                name: "little",
+                cores: 4,
+                opp: little,
+                full_load_w: little_w,
+            },
+        ]
+    }
+
+    #[test]
+    fn single_domain_cap_vector_matches_the_scalar_path() {
+        let opp = nexus4::opp_table();
+        let domains = vec![FreqDomain {
+            id: 0,
+            name: "cpu",
+            cores: 4,
+            opp: opp.clone(),
+            full_load_w: 3.6,
+        }];
+        for cap in [
+            FrequencyCap::Unrestricted,
+            FrequencyCap::OneLevelBelowMax,
+            FrequencyCap::TwoLevelsBelowMax,
+            FrequencyCap::MinimumFrequency,
+        ] {
+            assert_eq!(
+                cap.max_allowed_levels(&domains).as_slice(),
+                &[cap.max_allowed_level(&opp)],
+                "{cap:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn power_share_split_cuts_the_big_cluster_first() {
+        // 4:1 split — both one-level steps land on the big cluster.
+        let domains = test_domains(3.6, 0.9);
+        let caps = FrequencyCap::OneLevelBelowMax.max_allowed_levels(&domains);
+        assert_eq!(caps.as_slice(), &[9, 5]);
+        // Two-level band: 4 steps total, big floor(3.2)=3 + little
+        // floor(0.8)=0, leftover to the larger remainder (little, .8).
+        let caps = FrequencyCap::TwoLevelsBelowMax.max_allowed_levels(&domains);
+        assert_eq!(caps.as_slice(), &[8, 4]);
+    }
+
+    #[test]
+    fn equal_power_split_is_uniform() {
+        let domains = test_domains(2.0, 2.0);
+        let caps = FrequencyCap::OneLevelBelowMax.max_allowed_levels(&domains);
+        assert_eq!(caps.as_slice(), &[10, 4]);
+    }
+
+    #[test]
+    fn degenerate_weights_fall_back_to_uniform() {
+        for (a, b) in [(0.0, 0.0), (f64::NAN, 1.0), (-1.0, 3.0)] {
+            let domains = test_domains(a, b);
+            let caps = FrequencyCap::TwoLevelsBelowMax.max_allowed_levels(&domains);
+            assert_eq!(caps.as_slice(), &[9, 3], "weights ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn extreme_bands_cover_every_domain() {
+        let domains = test_domains(3.6, 0.9);
+        assert_eq!(
+            FrequencyCap::Unrestricted
+                .max_allowed_levels(&domains)
+                .as_slice(),
+            &[11, 5]
+        );
+        assert_eq!(
+            FrequencyCap::MinimumFrequency
+                .max_allowed_levels(&domains)
+                .as_slice(),
+            &[0, 0]
+        );
+    }
+
+    #[test]
+    fn lopsided_split_saturates_at_the_bottom() {
+        // A 100:1 split sheds every step from the big cluster; a deep
+        // enough cut saturates at level 0 rather than underflowing.
+        let domains = test_domains(100.0, 1.0);
+        let caps = FrequencyCap::TwoLevelsBelowMax.max_allowed_levels(&domains);
+        assert_eq!(caps[1], domains[1].max_index(), "LITTLE keeps its top");
+        assert!(caps[0] <= domains[0].max_index() - 3);
     }
 
     #[test]

@@ -63,7 +63,7 @@ impl TemperaturePredictor {
 
     /// Predicts the surface temperature for the given observation.
     pub fn predict(&self, features: &FeatureVector) -> Celsius {
-        Celsius(self.model.predict(&features.to_array()))
+        Celsius(self.model.predict(&features.to_vec()))
     }
 
     /// The surface this predictor estimates.
@@ -91,12 +91,12 @@ mod tests {
                 let warm = (i % 40) as f64 / 4.0; // 0..10 K of heating
                 LoggedSample {
                     t: i as f64 * 3.0,
-                    features: FeatureVector {
-                        cpu_temp: Celsius(40.0 + 2.0 * warm),
-                        battery_temp: Celsius(30.0 + warm),
-                        utilization: 0.3 + 0.05 * (i % 10) as f64,
-                        freq_khz: 384_000.0 + 100_000.0 * (i % 12) as f64,
-                    },
+                    features: FeatureVector::single(
+                        Celsius(40.0 + 2.0 * warm),
+                        Celsius(30.0 + warm),
+                        0.3 + 0.05 * (i % 10) as f64,
+                        384_000.0 + 100_000.0 * (i % 12) as f64,
+                    ),
                     skin: Celsius(29.0 + warm),
                     screen: Celsius(27.0 + warm),
                 }

@@ -65,19 +65,24 @@ impl TrainingLog {
         &self.samples
     }
 
-    /// Builds the learner-ready dataset for the chosen target.
+    /// Builds the learner-ready dataset for the chosen target. The
+    /// feature schema follows the first sample's domain count
+    /// (`3 + domains` columns).
     ///
     /// # Errors
     ///
-    /// Propagates [`MlError`] if any sample contains non-finite values.
+    /// Propagates [`MlError`] if any sample contains non-finite values
+    /// or the log mixes devices with different domain counts
+    /// ([`MlError::DimensionMismatch`]).
     pub fn to_dataset(&self, target: PredictionTarget) -> Result<Dataset, MlError> {
-        let mut data = Dataset::new(FeatureVector::feature_names())?;
+        let domains = self.samples.first().map_or(1, |s| s.features.domains());
+        let mut data = Dataset::new(FeatureVector::feature_names(domains))?;
         for s in &self.samples {
             let y = match target {
                 PredictionTarget::Skin => s.skin.value(),
                 PredictionTarget::Screen => s.screen.value(),
             };
-            data.push(s.features.to_array().to_vec(), y)?;
+            data.push(s.features.to_vec(), y)?;
         }
         Ok(data)
     }
@@ -104,12 +109,12 @@ mod tests {
     fn sample(t: f64, skin: f64, screen: f64) -> LoggedSample {
         LoggedSample {
             t,
-            features: FeatureVector {
-                cpu_temp: Celsius(45.0 + t),
-                battery_temp: Celsius(33.0 + t / 2.0),
-                utilization: 0.5,
-                freq_khz: 1_026_000.0,
-            },
+            features: FeatureVector::single(
+                Celsius(45.0 + t),
+                Celsius(33.0 + t / 2.0),
+                0.5,
+                1_026_000.0,
+            ),
             skin: Celsius(skin),
             screen: Celsius(screen),
         }

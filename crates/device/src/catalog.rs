@@ -5,7 +5,9 @@
 //! particular product — except `nexus4`, which is bit-for-bit the
 //! seed's calibrated constants (the paper's device).
 
-use crate::spec::{BatterySpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuPowerSpec, OppPoint};
+use crate::spec::{
+    BatterySpec, ClusterSpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuPowerSpec, OppPoint,
+};
 use usta_thermal::materials::Material;
 use usta_thermal::{Celsius, HandContact, PhoneNode, PhoneThermalParams};
 
@@ -28,11 +30,25 @@ fn thermal(
     }
 }
 
+/// A linear voltage ramp over the given frequency ladder — the catalog
+/// shorthand for a cluster's OPP table.
+fn ramp(khz: &[u32], volts_lo: f64, volts_span: f64) -> Vec<OppPoint> {
+    let last = (khz.len() - 1) as f64;
+    khz.iter()
+        .enumerate()
+        .map(|(i, &khz)| OppPoint {
+            khz,
+            volts: volts_lo + volts_span * i as f64 / last,
+        })
+        .collect()
+}
+
 /// The paper's device: Google Nexus 4 (Qualcomm APQ8064, quad-core
-/// Krait 300, 4.7" IPS, 2100 mAh). Reproduces the seed's Table-1
-/// constants bit-for-bit: the twelve-level OPP table with its linear
-/// 0.95–1.25 V ramp, the calibrated power coefficients, and
-/// [`PhoneThermalParams::default`] as the thermal network.
+/// Krait 300, 4.7" IPS, 2100 mAh). One frequency domain, reproducing
+/// the seed's Table-1 constants bit-for-bit: the twelve-level OPP table
+/// with its linear 0.95–1.25 V ramp, the calibrated power
+/// coefficients, and [`PhoneThermalParams::default`] as the thermal
+/// network.
 pub fn nexus4() -> DeviceSpec {
     const KHZ: [u32; 12] = [
         384_000, 486_000, 594_000, 702_000, 810_000, 918_000, 1_026_000, 1_134_000, 1_242_000,
@@ -41,24 +57,20 @@ pub fn nexus4() -> DeviceSpec {
     DeviceSpec {
         id: "nexus4",
         description: "Google Nexus 4 (APQ8064, quad Krait 300) — the paper's device",
-        cores: 4,
-        // The same expression the seed used, so the voltages are
-        // bit-identical: a linear ramp over the documented Krait
-        // PVS-nominal range.
-        opp: KHZ
-            .iter()
-            .enumerate()
-            .map(|(i, &khz)| OppPoint {
-                khz,
-                volts: 0.95 + 0.30 * i as f64 / 11.0,
-            })
-            .collect(),
-        cpu_power: CpuPowerSpec {
-            ceff_farads: 3.8e-10,
-            leak_coeff_a: 0.056,
-            leak_temp_per_k: 0.02,
-            idle_uncore_w: 0.12,
-        },
+        clusters: vec![ClusterSpec {
+            name: "cpu",
+            cores: 4,
+            // The same expression the seed used, so the voltages are
+            // bit-identical: a linear ramp over the documented Krait
+            // PVS-nominal range.
+            opp: ramp(&KHZ, 0.95, 0.30),
+            cpu_power: CpuPowerSpec {
+                ceff_farads: 3.8e-10,
+                leak_coeff_a: 0.056,
+                leak_temp_per_k: 0.02,
+                idle_uncore_w: 0.12,
+            },
+        }],
         gpu_power: GpuPowerSpec {
             max_w: 1.6,
             idle_w: 0.05,
@@ -79,37 +91,51 @@ pub fn nexus4() -> DeviceSpec {
     }
 }
 
-/// A big.LITTLE octa-core flagship: glass back, metal frame, a deep
-/// sixteen-level OPP table up to 2.016 GHz. The two clusters are folded
-/// into one shared-table frequency domain (the simulator models a
-/// single cpufreq policy), so the peak cluster power — ≈6.7 W dynamic
-/// with all eight cores busy — is burst-only and thermally
-/// unsustainable, exactly the regime a skin-temperature governor is
-/// for.
+/// A big.LITTLE octa-core flagship: glass back, metal frame, and —
+/// since the control plane went multi-domain — two genuine frequency
+/// domains. The big cluster runs an eleven-level table up to 2.016 GHz
+/// on high-performance (power-hungry) cores; the LITTLE cluster runs
+/// an eight-level table up to 1.363 GHz on efficiency cores at roughly
+/// a fifth of the big cluster's switched capacitance. Peak combined
+/// dynamic power ≈4 W is burst-only and thermally unsustainable —
+/// exactly the regime a skin-temperature governor is for, now with the
+/// extra lever of capping each cluster separately.
 pub fn flagship_octa() -> DeviceSpec {
-    const KHZ: [u32; 16] = [
-        300_000, 403_200, 499_200, 595_200, 691_200, 787_200, 883_200, 979_200, 1_075_200,
-        1_171_200, 1_267_200, 1_363_200, 1_459_200, 1_555_200, 1_747_200, 2_016_000,
+    const BIG_KHZ: [u32; 11] = [
+        787_200, 883_200, 979_200, 1_075_200, 1_171_200, 1_267_200, 1_363_200, 1_459_200,
+        1_555_200, 1_747_200, 2_016_000,
+    ];
+    const LITTLE_KHZ: [u32; 8] = [
+        300_000, 441_600, 595_200, 729_600, 883_200, 1_036_800, 1_190_400, 1_363_200,
     ];
     use PhoneNode::*;
     DeviceSpec {
         id: "flagship-octa",
-        description: "big.LITTLE octa-core flagship, 5.5\" OLED, glass back",
-        cores: 8,
-        opp: KHZ
-            .iter()
-            .enumerate()
-            .map(|(i, &khz)| OppPoint {
-                khz,
-                volts: 0.80 + 0.40 * i as f64 / 15.0,
-            })
-            .collect(),
-        cpu_power: CpuPowerSpec {
-            ceff_farads: 2.9e-10,
-            leak_coeff_a: 0.065,
-            leak_temp_per_k: 0.025,
-            idle_uncore_w: 0.18,
-        },
+        description: "big.LITTLE octa-core flagship, 5.5\" OLED, glass back, two freq domains",
+        clusters: vec![
+            ClusterSpec {
+                name: "big",
+                cores: 4,
+                opp: ramp(&BIG_KHZ, 0.85, 0.35),
+                cpu_power: CpuPowerSpec {
+                    ceff_farads: 2.9e-10,
+                    leak_coeff_a: 0.065,
+                    leak_temp_per_k: 0.025,
+                    idle_uncore_w: 0.12,
+                },
+            },
+            ClusterSpec {
+                name: "little",
+                cores: 4,
+                opp: ramp(&LITTLE_KHZ, 0.75, 0.25),
+                cpu_power: CpuPowerSpec {
+                    ceff_farads: 1.1e-10,
+                    leak_coeff_a: 0.030,
+                    leak_temp_per_k: 0.020,
+                    idle_uncore_w: 0.06,
+                },
+            },
+        ],
         gpu_power: GpuPowerSpec {
             max_w: 3.2,
             idle_w: 0.08,
@@ -152,10 +178,11 @@ pub fn flagship_octa() -> DeviceSpec {
     }
 }
 
-/// A 10-inch tablet: hexa-core mid-range SoC driving a large panel,
-/// an aluminium shell, and several times a phone's thermal mass — it
-/// heats slowly, sheds heat over a much larger surface, and its skin
-/// problem is dominated by the display, not the CPU.
+/// A 10-inch tablet: hexa-core mid-range SoC (one shared frequency
+/// domain) driving a large panel, an aluminium shell, and several
+/// times a phone's thermal mass — it heats slowly, sheds heat over a
+/// much larger surface, and its skin problem is dominated by the
+/// display, not the CPU.
 pub fn tablet_10in() -> DeviceSpec {
     const KHZ: [u32; 10] = [
         396_000, 550_000, 696_000, 852_000, 996_000, 1_152_000, 1_310_000, 1_466_000, 1_620_000,
@@ -165,21 +192,17 @@ pub fn tablet_10in() -> DeviceSpec {
     DeviceSpec {
         id: "tablet-10in",
         description: "10\" tablet, hexa-core mid-range SoC, aluminium shell",
-        cores: 6,
-        opp: KHZ
-            .iter()
-            .enumerate()
-            .map(|(i, &khz)| OppPoint {
-                khz,
-                volts: 0.85 + 0.30 * i as f64 / 9.0,
-            })
-            .collect(),
-        cpu_power: CpuPowerSpec {
-            ceff_farads: 3.2e-10,
-            leak_coeff_a: 0.050,
-            leak_temp_per_k: 0.02,
-            idle_uncore_w: 0.20,
-        },
+        clusters: vec![ClusterSpec {
+            name: "cpu",
+            cores: 6,
+            opp: ramp(&KHZ, 0.85, 0.30),
+            cpu_power: CpuPowerSpec {
+                ceff_farads: 3.2e-10,
+                leak_coeff_a: 0.050,
+                leak_temp_per_k: 0.02,
+                idle_uncore_w: 0.20,
+            },
+        }],
         gpu_power: GpuPowerSpec {
             max_w: 3.5,
             idle_w: 0.10,
@@ -233,21 +256,17 @@ pub fn budget_quad() -> DeviceSpec {
     DeviceSpec {
         id: "budget-quad",
         description: "low-end quad-core handset, shallow OPP table, 4.5\" panel",
-        cores: 4,
-        opp: KHZ
-            .iter()
-            .enumerate()
-            .map(|(i, &khz)| OppPoint {
-                khz,
-                volts: 0.90 + 0.20 * i as f64 / 5.0,
-            })
-            .collect(),
-        cpu_power: CpuPowerSpec {
-            ceff_farads: 2.4e-10,
-            leak_coeff_a: 0.040,
-            leak_temp_per_k: 0.018,
-            idle_uncore_w: 0.08,
-        },
+        clusters: vec![ClusterSpec {
+            name: "cpu",
+            cores: 4,
+            opp: ramp(&KHZ, 0.90, 0.20),
+            cpu_power: CpuPowerSpec {
+                ceff_farads: 2.4e-10,
+                leak_coeff_a: 0.040,
+                leak_temp_per_k: 0.018,
+                idle_uncore_w: 0.08,
+            },
+        }],
         gpu_power: GpuPowerSpec {
             max_w: 0.9,
             idle_w: 0.04,
@@ -310,11 +329,29 @@ mod tests {
         let tablet = tablet_10in();
         let budget = budget_quad();
         let phone = nexus4();
-        assert_eq!(flagship.cores, 8);
-        assert!(flagship.opp.len() > phone.opp.len());
+        assert_eq!(flagship.cores(), 8);
+        assert_eq!(flagship.domains(), 2);
         assert!(flagship.max_khz() > phone.max_khz());
         assert!(tablet.thermal_mass_j_per_k() > 3.0 * phone.thermal_mass_j_per_k());
-        assert!(budget.opp.len() < phone.opp.len());
+        assert!(budget.clusters[0].opp.len() < phone.clusters[0].opp.len());
         assert!(budget.max_khz() < phone.max_khz());
+        // Every other catalog device is single-domain.
+        for single in [&phone, &tablet, &budget] {
+            assert_eq!(single.domains(), 1, "{}", single.id);
+            assert_eq!(single.clusters[0].name, "cpu");
+        }
+    }
+
+    #[test]
+    fn flagship_clusters_are_big_first_and_asymmetric() {
+        let s = flagship_octa();
+        assert_eq!(s.clusters[0].name, "big");
+        assert_eq!(s.clusters[1].name, "little");
+        assert!(s.clusters[0].max_khz() > s.clusters[1].max_khz());
+        // Efficiency cores: far less switched capacitance per core.
+        assert!(
+            s.clusters[1].cpu_power.ceff_farads < s.clusters[0].cpu_power.ceff_farads / 2.0,
+            "LITTLE cores must be markedly more efficient"
+        );
     }
 }

@@ -6,7 +6,26 @@ pub enum DeviceError {
     /// The id is empty or contains characters outside `[a-z0-9-]`
     /// (ids double as CLI tokens and file-name fragments).
     InvalidId(String),
-    /// The spec has no OPP levels.
+    /// The spec declares no frequency domains.
+    NoClusters,
+    /// The spec declares more clusters than
+    /// [`crate::spec::MAX_FREQ_DOMAINS`].
+    TooManyClusters {
+        /// How many clusters the spec declared.
+        count: usize,
+    },
+    /// A cluster name is empty or contains characters outside
+    /// `[a-z0-9-]` (names become trace-CSV columns and report rows).
+    InvalidClusterName(String),
+    /// Two clusters of one device share a name.
+    DuplicateClusterName(String),
+    /// Clusters are not in big-first order (non-increasing top
+    /// frequency) at this index — the spill scheduler depends on it.
+    ClustersNotBigFirst {
+        /// Index of the cluster that out-clocks its predecessor.
+        index: usize,
+    },
+    /// A cluster has no OPP levels.
     EmptyOppTable,
     /// OPP frequencies are not strictly increasing at this index.
     NonMonotoneOppFrequency {
@@ -37,7 +56,23 @@ impl std::fmt::Display for DeviceError {
             DeviceError::InvalidId(id) => {
                 write!(f, "device id {id:?} must be non-empty [a-z0-9-]")
             }
-            DeviceError::EmptyOppTable => write!(f, "device spec has no OPP levels"),
+            DeviceError::NoClusters => write!(f, "device spec declares no frequency domains"),
+            DeviceError::TooManyClusters { count } => {
+                write!(f, "device spec declares {count} clusters (max 4)")
+            }
+            DeviceError::InvalidClusterName(name) => {
+                write!(f, "cluster name {name:?} must be non-empty [a-z0-9-]")
+            }
+            DeviceError::DuplicateClusterName(name) => {
+                write!(f, "duplicate cluster name {name:?}")
+            }
+            DeviceError::ClustersNotBigFirst { index } => {
+                write!(
+                    f,
+                    "cluster {index} out-clocks its predecessor (clusters must be big-first)"
+                )
+            }
+            DeviceError::EmptyOppTable => write!(f, "cluster has no OPP levels"),
             DeviceError::NonMonotoneOppFrequency { index } => {
                 write!(f, "OPP frequency not strictly increasing at level {index}")
             }

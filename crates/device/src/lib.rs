@@ -10,9 +10,9 @@
 //! data: a [`DeviceSpec`] bundles everything the simulator needs to
 //! instantiate a device —
 //!
-//! * the CPU OPP table (frequency/voltage pairs) and per-frequency
-//!   power coefficients,
-//! * core topology (how many cores share the frequency domain),
+//! * one [`ClusterSpec`] per frequency domain — its core count, OPP
+//!   table (frequency/voltage pairs), and per-frequency power
+//!   coefficients; big.LITTLE parts declare two clusters, big first,
 //! * display and battery power models,
 //! * the back-cover material and the seven-node thermal RC network
 //!   parameters (`usta_thermal::PhoneThermalParams`),
@@ -21,19 +21,22 @@
 //! power, positive capacitances and conductances) and resolves ids for
 //! CLIs. The built-in catalog ([`NAMES`]) ships four devices:
 //!
-//! | id | class |
-//! |---|---|
-//! | `nexus4` | the paper's quad-core handset, bit-for-bit the seed's calibrated constants |
-//! | `flagship-octa` | a big.LITTLE octa-core flagship with a deep OPP table |
-//! | `tablet-10in` | a tablet with several times the phone's thermal mass |
-//! | `budget-quad` | a low-end quad-core with a shallow OPP table |
+//! | id | domains | class |
+//! |---|---|---|
+//! | `nexus4` | 1 (`cpu`, 4 cores) | the paper's quad-core handset, bit-for-bit the seed's calibrated constants |
+//! | `flagship-octa` | 2 (`big`+`little`, 4+4 cores) | a big.LITTLE octa-core flagship with per-cluster frequency domains |
+//! | `tablet-10in` | 1 (`cpu`, 6 cores) | a tablet with several times the phone's thermal mass |
+//! | `budget-quad` | 1 (`cpu`, 4 cores) | a low-end quad-core with a shallow OPP table |
 //!
 //! ```
 //! use usta_device::{by_id, Registry, NAMES};
 //!
 //! let nexus4 = by_id("nexus4").expect("built-in");
-//! assert_eq!(nexus4.cores, 4);
-//! assert_eq!(nexus4.opp.len(), 12);
+//! assert_eq!(nexus4.domains(), 1);
+//! assert_eq!(nexus4.cores(), 4);
+//! assert_eq!(nexus4.clusters[0].opp.len(), 12);
+//! let flagship = by_id("flagship-octa").expect("built-in");
+//! assert_eq!(flagship.topology(), "4+4");
 //! assert!(Registry::builtin().by_id("FLAGSHIP-OCTA").is_some()); // case-insensitive
 //! assert_eq!(NAMES.len(), Registry::builtin().len());
 //! ```
@@ -55,4 +58,7 @@ pub mod spec;
 pub use catalog::{budget_quad, flagship_octa, nexus4, tablet_10in};
 pub use error::DeviceError;
 pub use registry::{by_id, try_by_id, Registry, UnknownDeviceError, NAMES};
-pub use spec::{BatterySpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuPowerSpec, OppPoint};
+pub use spec::{
+    BatterySpec, ClusterSpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuPowerSpec, OppPoint,
+    MAX_FREQ_DOMAINS,
+};

@@ -85,8 +85,9 @@ impl Registry {
 /// ```
 /// use usta_device::by_id;
 ///
-/// assert_eq!(by_id("nexus4").unwrap().cores, 4);
-/// assert_eq!(by_id("Tablet-10in").unwrap().cores, 6);
+/// assert_eq!(by_id("nexus4").unwrap().cores(), 4);
+/// assert_eq!(by_id("Tablet-10in").unwrap().cores(), 6);
+/// assert_eq!(by_id("flagship-octa").unwrap().domains(), 2);
 /// assert!(by_id("pixel-9").is_none());
 /// ```
 pub fn by_id(id: &str) -> Option<&'static DeviceSpec> {
@@ -180,7 +181,7 @@ mod tests {
     #[test]
     fn invalid_spec_rejected_at_registry_construction() {
         let mut bad = crate::nexus4();
-        bad.opp.clear();
+        bad.clusters[0].opp.clear();
         assert_eq!(Registry::new(vec![bad]), Err(DeviceError::EmptyOppTable));
     }
 

@@ -1,14 +1,24 @@
 //! The device spec: everything needed to instantiate one device model.
 //!
 //! A [`DeviceSpec`] is plain data — no behaviour beyond validation and
-//! a few derived summaries. `usta-soc` turns the SoC-side fields into
-//! live models (`usta_soc::spec`), and `usta-sim` builds whole devices
-//! from a spec; the thermal side is carried directly as
+//! a few derived summaries. The CPU side is a list of [`ClusterSpec`]s,
+//! one per frequency domain (cpufreq policy): single-policy parts like
+//! the paper's Nexus 4 declare one cluster, big.LITTLE parts declare
+//! two, in **big-first order** (the spill scheduler places threads on
+//! the fastest cluster first). `usta-soc` turns each cluster into live
+//! models (`usta_soc::spec`), and `usta-sim` builds whole multi-domain
+//! devices from a spec; the thermal side is carried directly as
 //! [`usta_thermal::PhoneThermalParams`].
 
 use crate::error::DeviceError;
 use usta_thermal::materials::Material;
 use usta_thermal::PhoneThermalParams;
+
+/// The most frequency domains (clusters) a device may declare. Three
+/// covers every shipping phone topology (LITTLE + big + prime); four
+/// leaves headroom. `usta_soc::MAX_FREQ_DOMAINS` re-exports this so the
+/// whole control plane shares one bound.
+pub const MAX_FREQ_DOMAINS: usize = 4;
 
 /// One CPU operating point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,8 +36,8 @@ impl OppPoint {
     }
 }
 
-/// CPU power coefficients (per core, one shared voltage/frequency
-/// domain).
+/// CPU power coefficients of one cluster (per core, one shared
+/// voltage/frequency domain).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuPowerSpec {
     /// Effective switched capacitance per core, farads.
@@ -39,6 +49,54 @@ pub struct CpuPowerSpec {
     /// Constant uncore/interconnect power while the cluster is online,
     /// watts.
     pub idle_uncore_w: f64,
+}
+
+/// One frequency domain: a set of cores sharing a clock, its OPP table,
+/// and its power coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Cluster name, lower-case `[a-z0-9-]` (`"big"`, `"little"`, or
+    /// `"cpu"` on single-domain parts) — used for trace columns and
+    /// fleet report rows.
+    pub name: &'static str,
+    /// Number of cores sharing this cluster's clock.
+    pub cores: usize,
+    /// The cluster's OPP table, lowest frequency first. Frequencies in
+    /// kHz, voltages in volts; frequency must rise strictly, voltage
+    /// monotonically.
+    pub opp: Vec<OppPoint>,
+    /// The cluster's power coefficients (watts-producing).
+    pub cpu_power: CpuPowerSpec,
+}
+
+impl ClusterSpec {
+    /// Full-utilization dynamic power of one core at OPP `index`, watts
+    /// (`C_eff · V² · f`). This is the quantity required to rise
+    /// strictly with the level index.
+    pub fn opp_dynamic_power_w(&self, index: usize) -> f64 {
+        let p = self.opp[index];
+        self.cpu_power.ceff_farads * p.volts * p.volts * (p.khz as f64 * 1e3)
+    }
+
+    /// Full-load dynamic power of the whole cluster at its top OPP,
+    /// watts — the weight USTA uses to split a thermal budget across
+    /// domains.
+    pub fn full_load_w(&self) -> f64 {
+        if self.opp.is_empty() {
+            return 0.0;
+        }
+        self.opp_dynamic_power_w(self.opp.len() - 1) * self.cores as f64
+    }
+
+    /// Lowest OPP frequency, kHz.
+    pub fn min_khz(&self) -> u32 {
+        self.opp.first().map_or(0, |p| p.khz)
+    }
+
+    /// Highest OPP frequency, kHz.
+    pub fn max_khz(&self) -> u32 {
+        self.opp.last().map_or(0, |p| p.khz)
+    }
 }
 
 /// GPU power model: load-proportional with an idle floor.
@@ -85,16 +143,10 @@ pub struct DeviceSpec {
     pub id: &'static str,
     /// Human-readable description for reports and `--help` text.
     pub description: &'static str,
-    /// Number of CPU cores sharing the one modelled frequency domain.
-    /// big.LITTLE parts are folded into a single shared-table domain
-    /// (the simulator models one cpufreq policy).
-    pub cores: usize,
-    /// The OPP table, lowest frequency first. Frequencies in kHz,
-    /// voltages in volts; both must rise monotonically (frequency
-    /// strictly).
-    pub opp: Vec<OppPoint>,
-    /// CPU power coefficients (watts-producing; see [`CpuPowerSpec`]).
-    pub cpu_power: CpuPowerSpec,
+    /// The frequency domains, **big-first** (non-increasing top
+    /// frequency): the spill scheduler fills earlier clusters' cores
+    /// before later ones. At most [`MAX_FREQ_DOMAINS`] entries.
+    pub clusters: Vec<ClusterSpec>,
     /// GPU power model, watts.
     pub gpu_power: GpuPowerSpec,
     /// Display power model, watts.
@@ -113,22 +165,42 @@ pub struct DeviceSpec {
 }
 
 impl DeviceSpec {
-    /// Full-utilization dynamic power of one core at OPP `index`, watts
-    /// (`C_eff · V² · f`). This is the quantity required to rise
-    /// strictly with the level index.
-    pub fn opp_dynamic_power_w(&self, index: usize) -> f64 {
-        let p = self.opp[index];
-        self.cpu_power.ceff_farads * p.volts * p.volts * (p.khz as f64 * 1e3)
+    /// Number of frequency domains.
+    pub fn domains(&self) -> usize {
+        self.clusters.len()
     }
 
-    /// Lowest OPP frequency, kHz.
+    /// Total core count across every cluster.
+    pub fn cores(&self) -> usize {
+        self.clusters.iter().map(|c| c.cores).sum()
+    }
+
+    /// Lowest OPP frequency of any cluster, kHz.
     pub fn min_khz(&self) -> u32 {
-        self.opp.first().map_or(0, |p| p.khz)
+        self.clusters
+            .iter()
+            .map(ClusterSpec::min_khz)
+            .min()
+            .unwrap_or(0)
     }
 
-    /// Highest OPP frequency, kHz.
+    /// Highest OPP frequency of any cluster, kHz.
     pub fn max_khz(&self) -> u32 {
-        self.opp.last().map_or(0, |p| p.khz)
+        self.clusters
+            .iter()
+            .map(ClusterSpec::max_khz)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The domain topology as a compact string (`"4"`, `"4+4"`) — the
+    /// catalog table's topology column.
+    pub fn topology(&self) -> String {
+        self.clusters
+            .iter()
+            .map(|c| c.cores.to_string())
+            .collect::<Vec<_>>()
+            .join("+")
     }
 
     /// Total heat capacity of the thermal network, J/K — the "thermal
@@ -139,8 +211,10 @@ impl DeviceSpec {
 
     /// Validates the spec.
     ///
-    /// Checks, in order: the id alphabet, core count, OPP monotonicity
-    /// (frequency strictly increasing, voltage non-decreasing, dynamic
+    /// Checks, in order: the id alphabet, the cluster list (1 to
+    /// [`MAX_FREQ_DOMAINS`] clusters, valid unique names, big-first
+    /// ordering, per-cluster core counts and OPP monotonicity —
+    /// frequency strictly increasing, voltage non-decreasing, dynamic
     /// power strictly increasing), power-model coefficient ranges, and
     /// positivity of every thermal capacitance and conductance.
     ///
@@ -148,76 +222,46 @@ impl DeviceSpec {
     ///
     /// Returns the first [`DeviceError`] found.
     pub fn validate(&self) -> Result<(), DeviceError> {
-        if self.id.is_empty()
-            || !self
-                .id
-                .bytes()
-                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
-        {
+        if self.id.is_empty() || !valid_token(self.id) {
             return Err(DeviceError::InvalidId(self.id.to_owned()));
         }
-        if self.cores == 0 {
-            return Err(DeviceError::InvalidParameter {
-                name: "cores",
-                value: 0.0,
-            });
-        }
-        self.validate_opp()?;
+        self.validate_clusters()?;
         self.validate_power_models()?;
         self.validate_thermal()
     }
 
-    fn validate_opp(&self) -> Result<(), DeviceError> {
-        if self.opp.is_empty() {
-            return Err(DeviceError::EmptyOppTable);
+    fn validate_clusters(&self) -> Result<(), DeviceError> {
+        if self.clusters.is_empty() {
+            return Err(DeviceError::NoClusters);
         }
-        for (i, p) in self.opp.iter().enumerate() {
-            if p.khz == 0 {
+        if self.clusters.len() > MAX_FREQ_DOMAINS {
+            return Err(DeviceError::TooManyClusters {
+                count: self.clusters.len(),
+            });
+        }
+        for (i, cluster) in self.clusters.iter().enumerate() {
+            if cluster.name.is_empty() || !valid_token(cluster.name) {
+                return Err(DeviceError::InvalidClusterName(cluster.name.to_owned()));
+            }
+            if self.clusters[..i].iter().any(|c| c.name == cluster.name) {
+                return Err(DeviceError::DuplicateClusterName(cluster.name.to_owned()));
+            }
+            if i > 0 && self.clusters[i - 1].max_khz() < cluster.max_khz() {
+                return Err(DeviceError::ClustersNotBigFirst { index: i });
+            }
+            if cluster.cores == 0 {
                 return Err(DeviceError::InvalidParameter {
-                    name: "opp.khz",
+                    name: "cluster.cores",
                     value: 0.0,
                 });
             }
-            if !p.volts.is_finite() || p.volts <= 0.0 {
-                return Err(DeviceError::InvalidParameter {
-                    name: "opp.volts",
-                    value: p.volts,
-                });
-            }
-            if i > 0 {
-                if self.opp[i - 1].khz >= p.khz {
-                    return Err(DeviceError::NonMonotoneOppFrequency { index: i });
-                }
-                if self.opp[i - 1].volts > p.volts {
-                    return Err(DeviceError::NonMonotoneOppPower { index: i });
-                }
-                if self.opp_dynamic_power_w(i - 1) >= self.opp_dynamic_power_w(i) {
-                    return Err(DeviceError::NonMonotoneOppPower { index: i });
-                }
-            }
+            validate_cluster_opp(cluster)?;
+            validate_cluster_power(cluster)?;
         }
         Ok(())
     }
 
     fn validate_power_models(&self) -> Result<(), DeviceError> {
-        let nonneg = |name: &'static str, v: f64| {
-            if v.is_finite() && v >= 0.0 {
-                Ok(())
-            } else {
-                Err(DeviceError::InvalidParameter { name, value: v })
-            }
-        };
-        let pos = |name: &'static str, v: f64| {
-            if v.is_finite() && v > 0.0 {
-                Ok(())
-            } else {
-                Err(DeviceError::InvalidParameter { name, value: v })
-            }
-        };
-        pos("cpu_power.ceff_farads", self.cpu_power.ceff_farads)?;
-        nonneg("cpu_power.leak_coeff_a", self.cpu_power.leak_coeff_a)?;
-        nonneg("cpu_power.leak_temp_per_k", self.cpu_power.leak_temp_per_k)?;
-        nonneg("cpu_power.idle_uncore_w", self.cpu_power.idle_uncore_w)?;
         pos("gpu_power.max_w", self.gpu_power.max_w)?;
         nonneg("gpu_power.idle_w", self.gpu_power.idle_w)?;
         if self.gpu_power.idle_w > self.gpu_power.max_w {
@@ -286,10 +330,75 @@ impl DeviceSpec {
     }
 }
 
+fn valid_token(token: &str) -> bool {
+    !token.is_empty()
+        && token
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+}
+
+fn nonneg(name: &'static str, v: f64) -> Result<(), DeviceError> {
+    if v.is_finite() && v >= 0.0 {
+        Ok(())
+    } else {
+        Err(DeviceError::InvalidParameter { name, value: v })
+    }
+}
+
+fn pos(name: &'static str, v: f64) -> Result<(), DeviceError> {
+    if v.is_finite() && v > 0.0 {
+        Ok(())
+    } else {
+        Err(DeviceError::InvalidParameter { name, value: v })
+    }
+}
+
+fn validate_cluster_opp(cluster: &ClusterSpec) -> Result<(), DeviceError> {
+    if cluster.opp.is_empty() {
+        return Err(DeviceError::EmptyOppTable);
+    }
+    for (i, p) in cluster.opp.iter().enumerate() {
+        if p.khz == 0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "opp.khz",
+                value: 0.0,
+            });
+        }
+        if !p.volts.is_finite() || p.volts <= 0.0 {
+            return Err(DeviceError::InvalidParameter {
+                name: "opp.volts",
+                value: p.volts,
+            });
+        }
+        if i > 0 {
+            if cluster.opp[i - 1].khz >= p.khz {
+                return Err(DeviceError::NonMonotoneOppFrequency { index: i });
+            }
+            if cluster.opp[i - 1].volts > p.volts {
+                return Err(DeviceError::NonMonotoneOppPower { index: i });
+            }
+            if cluster.opp_dynamic_power_w(i - 1) >= cluster.opp_dynamic_power_w(i) {
+                return Err(DeviceError::NonMonotoneOppPower { index: i });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn validate_cluster_power(cluster: &ClusterSpec) -> Result<(), DeviceError> {
+    pos("cpu_power.ceff_farads", cluster.cpu_power.ceff_farads)?;
+    nonneg("cpu_power.leak_coeff_a", cluster.cpu_power.leak_coeff_a)?;
+    nonneg(
+        "cpu_power.leak_temp_per_k",
+        cluster.cpu_power.leak_temp_per_k,
+    )?;
+    nonneg("cpu_power.idle_uncore_w", cluster.cpu_power.idle_uncore_w)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::catalog::nexus4;
+    use crate::catalog::{flagship_octa, nexus4};
 
     #[test]
     fn nexus4_spec_validates() {
@@ -311,21 +420,68 @@ mod tests {
     #[test]
     fn zero_cores_rejected() {
         let mut s = nexus4();
-        s.cores = 0;
+        s.clusters[0].cores = 0;
         assert!(matches!(
             s.validate(),
-            Err(DeviceError::InvalidParameter { name: "cores", .. })
+            Err(DeviceError::InvalidParameter {
+                name: "cluster.cores",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cluster_list_shape_is_validated() {
+        let mut s = nexus4();
+        s.clusters.clear();
+        assert_eq!(s.validate(), Err(DeviceError::NoClusters));
+
+        let mut s = nexus4();
+        let cluster = s.clusters[0].clone();
+        for name in ["a", "b", "c", "d"] {
+            let mut extra = cluster.clone();
+            extra.name = name;
+            s.clusters.push(extra);
+        }
+        assert_eq!(s.validate(), Err(DeviceError::TooManyClusters { count: 5 }));
+    }
+
+    #[test]
+    fn cluster_names_are_validated_and_unique() {
+        let mut s = nexus4();
+        s.clusters[0].name = "Big";
+        assert!(matches!(
+            s.validate(),
+            Err(DeviceError::InvalidClusterName(_))
+        ));
+
+        let mut s = flagship_octa();
+        s.clusters[1].name = s.clusters[0].name;
+        // Equalise the top frequency so only the duplicate name trips.
+        assert!(matches!(
+            s.validate(),
+            Err(DeviceError::DuplicateClusterName(_))
+        ));
+    }
+
+    #[test]
+    fn little_before_big_is_rejected() {
+        let mut s = flagship_octa();
+        s.clusters.reverse();
+        assert!(matches!(
+            s.validate(),
+            Err(DeviceError::ClustersNotBigFirst { index: 1 })
         ));
     }
 
     #[test]
     fn empty_and_unsorted_opp_rejected() {
         let mut s = nexus4();
-        s.opp.clear();
+        s.clusters[0].opp.clear();
         assert_eq!(s.validate(), Err(DeviceError::EmptyOppTable));
 
         let mut s = nexus4();
-        s.opp.swap(0, 1);
+        s.clusters[0].opp.swap(0, 1);
         assert!(matches!(
             s.validate(),
             Err(DeviceError::NonMonotoneOppFrequency { .. })
@@ -337,7 +493,7 @@ mod tests {
         // Raise a middle level's voltage above its successor's: power at
         // the next level no longer rises.
         let mut s = nexus4();
-        s.opp[5].volts = s.opp[11].volts + 0.2;
+        s.clusters[0].opp[5].volts = s.clusters[0].opp[11].volts + 0.2;
         assert!(matches!(
             s.validate(),
             Err(DeviceError::NonMonotoneOppPower { .. })
@@ -384,13 +540,32 @@ mod tests {
     #[test]
     fn derived_summaries() {
         let s = nexus4();
+        assert_eq!(s.domains(), 1);
+        assert_eq!(s.cores(), 4);
+        assert_eq!(s.topology(), "4");
         assert_eq!(s.min_khz(), 384_000);
         assert_eq!(s.max_khz(), 1_512_000);
-        assert!((s.opp[0].mhz() - 384.0).abs() < 1e-9);
+        assert!((s.clusters[0].opp[0].mhz() - 384.0).abs() < 1e-9);
         assert!(s.thermal_mass_j_per_k() > 100.0);
         // Dynamic power rises strictly across the whole table.
-        for i in 1..s.opp.len() {
-            assert!(s.opp_dynamic_power_w(i) > s.opp_dynamic_power_w(i - 1));
+        let c = &s.clusters[0];
+        for i in 1..c.opp.len() {
+            assert!(c.opp_dynamic_power_w(i) > c.opp_dynamic_power_w(i - 1));
         }
+        assert!(c.full_load_w() > 2.0 && c.full_load_w() < 6.0);
+    }
+
+    #[test]
+    fn flagship_summaries_span_both_clusters() {
+        let s = flagship_octa();
+        assert_eq!(s.domains(), 2);
+        assert_eq!(s.cores(), 8);
+        assert_eq!(s.topology(), "4+4");
+        assert_eq!(s.max_khz(), s.clusters[0].max_khz());
+        assert_eq!(s.min_khz(), s.clusters[1].min_khz());
+        assert!(
+            s.clusters[0].full_load_w() > 2.0 * s.clusters[1].full_load_w(),
+            "the big cluster dominates the power budget"
+        );
     }
 }

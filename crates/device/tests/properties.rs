@@ -15,12 +15,26 @@ proptest! {
     #[test]
     fn opp_power_strictly_increases_with_frequency(index in 0usize..NAMES.len()) {
         let spec = &Registry::builtin().specs()[index];
-        for i in 1..spec.opp.len() {
-            prop_assert!(spec.opp[i].khz > spec.opp[i - 1].khz);
-            prop_assert!(
-                spec.opp_dynamic_power_w(i) > spec.opp_dynamic_power_w(i - 1),
-                "{}: power must rise {} -> {}", spec.id, i - 1, i
-            );
+        for cluster in &spec.clusters {
+            for i in 1..cluster.opp.len() {
+                prop_assert!(cluster.opp[i].khz > cluster.opp[i - 1].khz);
+                prop_assert!(
+                    cluster.opp_dynamic_power_w(i) > cluster.opp_dynamic_power_w(i - 1),
+                    "{}/{}: power must rise {} -> {}", spec.id, cluster.name, i - 1, i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_are_big_first_with_positive_power_weights(index in 0usize..NAMES.len()) {
+        let spec = &Registry::builtin().specs()[index];
+        prop_assert!(!spec.clusters.is_empty());
+        for pair in spec.clusters.windows(2) {
+            prop_assert!(pair[0].max_khz() >= pair[1].max_khz(), "{}", spec.id);
+        }
+        for cluster in &spec.clusters {
+            prop_assert!(cluster.full_load_w() > 0.0, "{}/{}", spec.id, cluster.name);
         }
     }
 

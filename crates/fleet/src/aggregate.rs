@@ -211,7 +211,8 @@ impl MetricAggregate {
 }
 
 /// The full per-sweep aggregate: one [`MetricAggregate`] per reported
-/// fleet metric, plus totals.
+/// fleet metric, plus totals and per-frequency-domain statistics for
+/// multi-domain devices.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetAggregate {
     /// Triples folded in so far.
@@ -224,12 +225,27 @@ pub struct FleetAggregate {
     pub time_over_limit: MetricAggregate,
     /// QoS per triple: delivered / demanded CPU cycles, 0–1.
     pub qos: MetricAggregate,
+    /// Per-domain time-weighted average frequency (GHz), keyed
+    /// `"<device>/<domain>"` — recorded only for multi-domain devices
+    /// (a single-domain device's frequency story is its aggregate
+    /// metrics; the per-domain rows are what the multi-domain control
+    /// plane adds). `BTreeMap` keeps report order deterministic.
+    pub domain_freq_ghz: std::collections::BTreeMap<String, MetricAggregate>,
 }
 
 impl FleetAggregate {
+    /// The sketch shape of one `domain_freq_ghz` entry: 0–4 GHz at
+    /// 5 MHz bins. One constructor for `record` and `merge` — worker
+    /// partials and the coordinator must agree on the shape or
+    /// [`Histogram::merge`] panics.
+    fn domain_freq_metric() -> MetricAggregate {
+        MetricAggregate::new(0.0, 4.0, 800)
+    }
+
     /// An empty aggregate with the fleet's standard sketch ranges:
     /// skin 0–60 °C at 0.05 °C bins (winter scenarios peak well below
-    /// room temperature); fractions over [0, 1] in 500 bins.
+    /// room temperature); fractions over [0, 1] in 500 bins; domain
+    /// frequencies 0–4 GHz at 5 MHz bins.
     pub fn new() -> FleetAggregate {
         FleetAggregate {
             triples: 0,
@@ -237,6 +253,7 @@ impl FleetAggregate {
             peak_skin: MetricAggregate::new(0.0, 60.0, 1200),
             time_over_limit: MetricAggregate::new(0.0, 1.0, 500),
             qos: MetricAggregate::new(0.0, 1.0, 500),
+            domain_freq_ghz: std::collections::BTreeMap::new(),
         }
     }
 
@@ -247,6 +264,15 @@ impl FleetAggregate {
         self.peak_skin.record(outcome.peak_skin_c);
         self.time_over_limit.record(outcome.time_over_fraction);
         self.qos.record(outcome.qos);
+        if outcome.domain_names.len() > 1 {
+            for d in 0..outcome.domain_names.len() {
+                let key = format!("{}/{}", outcome.device, outcome.domain_names[d]);
+                self.domain_freq_ghz
+                    .entry(key)
+                    .or_insert_with(Self::domain_freq_metric)
+                    .record(outcome.domain_freq_ghz[d]);
+            }
+        }
     }
 
     /// Folds another aggregate into this one. Call in a fixed partial
@@ -257,9 +283,18 @@ impl FleetAggregate {
         self.peak_skin.merge(&other.peak_skin);
         self.time_over_limit.merge(&other.time_over_limit);
         self.qos.merge(&other.qos);
+        for (key, metric) in &other.domain_freq_ghz {
+            self.domain_freq_ghz
+                .entry(key.clone())
+                .or_insert_with(Self::domain_freq_metric)
+                .merge(metric);
+        }
     }
 
-    /// The aggregate as a fixed-width report table.
+    /// The aggregate as a fixed-width report table. Sweeps that touch
+    /// no multi-domain device print exactly the historical three-metric
+    /// table; multi-domain devices append one `freq [GHz]` row per
+    /// (device, domain), in key order.
     pub fn table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -281,6 +316,13 @@ impl FleetAggregate {
             self.time_over_limit.row()
         ));
         out.push_str(&format!("{:<18} {}\n", "qos", self.qos.row()));
+        for (key, metric) in &self.domain_freq_ghz {
+            out.push_str(&format!(
+                "{:<18} {}\n",
+                format!("freq [GHz] {key}"),
+                metric.row()
+            ));
+        }
         out
     }
 }
@@ -303,6 +345,13 @@ pub struct TripleOutcome {
     pub time_over_fraction: f64,
     /// Delivered / demanded CPU cycles, 0–1.
     pub qos: f64,
+    /// Canonical id of the device the triple ran on.
+    pub device: &'static str,
+    /// The device's frequency-domain names, big-first.
+    pub domain_names: usta_soc::PerDomain<&'static str>,
+    /// Time-weighted average frequency per domain, GHz, indexed like
+    /// `domain_names`.
+    pub domain_freq_ghz: usta_soc::PerDomain<f64>,
 }
 
 #[cfg(test)]
@@ -334,6 +383,12 @@ mod tests {
                 peak_skin_c: 20.0 + x % 30.0,
                 time_over_fraction: (x / 40.0).min(1.0),
                 qos: 1.0 - (x / 80.0).min(1.0),
+                device: "flagship-octa",
+                domain_names: usta_soc::PerDomain::from_slice(&["big", "little"]),
+                domain_freq_ghz: usta_soc::PerDomain::from_slice(&[
+                    1.0 + (x % 1.0),
+                    0.3 + (x % 0.7),
+                ]),
             }
         };
         let chunk = |c: usize| {
@@ -389,5 +444,70 @@ mod tests {
         let t = a.table();
         assert!(t.contains("triples"));
         assert!(t.contains("peak skin"));
+        assert!(!t.contains("freq [GHz]"), "no domain rows when empty");
+    }
+
+    fn single_domain_outcome() -> TripleOutcome {
+        TripleOutcome {
+            sim_seconds: 60.0,
+            peak_skin_c: 36.0,
+            time_over_fraction: 0.1,
+            qos: 0.95,
+            device: "nexus4",
+            domain_names: usta_soc::PerDomain::from_slice(&["cpu"]),
+            domain_freq_ghz: usta_soc::PerDomain::from_slice(&[1.1]),
+        }
+    }
+
+    fn multi_domain_outcome(big_ghz: f64, little_ghz: f64) -> TripleOutcome {
+        TripleOutcome {
+            sim_seconds: 60.0,
+            peak_skin_c: 38.0,
+            time_over_fraction: 0.2,
+            qos: 0.9,
+            device: "flagship-octa",
+            domain_names: usta_soc::PerDomain::from_slice(&["big", "little"]),
+            domain_freq_ghz: usta_soc::PerDomain::from_slice(&[big_ghz, little_ghz]),
+        }
+    }
+
+    #[test]
+    fn single_domain_devices_leave_the_historical_table_untouched() {
+        let mut a = FleetAggregate::new();
+        a.record(&single_domain_outcome());
+        assert!(a.domain_freq_ghz.is_empty());
+        assert!(!a.table().contains("freq [GHz]"));
+    }
+
+    #[test]
+    fn multi_domain_devices_stream_one_frequency_row_per_domain() {
+        let mut a = FleetAggregate::new();
+        a.record(&single_domain_outcome());
+        a.record(&multi_domain_outcome(1.8, 0.6));
+        a.record(&multi_domain_outcome(1.6, 0.8));
+        assert_eq!(a.domain_freq_ghz.len(), 2);
+        let big = &a.domain_freq_ghz["flagship-octa/big"];
+        let little = &a.domain_freq_ghz["flagship-octa/little"];
+        assert_eq!(big.stats.count(), 2);
+        assert!((big.stats.mean() - 1.7).abs() < 1e-12);
+        assert!((little.stats.mean() - 0.7).abs() < 1e-12);
+        let t = a.table();
+        assert!(t.contains("freq [GHz] flagship-octa/big"));
+        assert!(t.contains("freq [GHz] flagship-octa/little"));
+    }
+
+    #[test]
+    fn domain_rows_merge_across_partials_with_disjoint_keys() {
+        let mut a = FleetAggregate::new();
+        a.record(&multi_domain_outcome(1.8, 0.6));
+        let mut b = FleetAggregate::new();
+        b.record(&single_domain_outcome());
+        // Merging a partial without the keys, then one with them,
+        // matches a sequential fold.
+        let mut merged = FleetAggregate::new();
+        merged.merge(&b);
+        merged.merge(&a);
+        assert_eq!(merged.domain_freq_ghz.len(), 2);
+        assert_eq!(merged.domain_freq_ghz["flagship-octa/big"].stats.count(), 1);
     }
 }

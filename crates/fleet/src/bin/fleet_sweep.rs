@@ -29,6 +29,8 @@ OPTIONS:
     --device LIST      comma-separated device ids, or \"all\" [default: nexus4]
                        (known: {})
     --trace-dir DIR    write a per-triple CSV summary (triples.csv) to DIR
+    --trace-steps N    also write the first N triples' full step traces
+                       (steps-<index>.csv, per-domain freq columns) to DIR
     --no-usta          sweep the bare baseline (no USTA wrap)
     --sim-seconds F    per-triple simulated-time cap      [default: 180]
     --smoke            CI preset: ~100 short triples per device, small training
@@ -57,7 +59,7 @@ fn parse_args() -> Result<SweepConfig, String> {
             "--no-usta" => overrides.push(("no-usta".into(), String::new())),
             "--help" | "-h" => return Err(String::new()),
             "--users" | "--scenarios" | "--threads" | "--seed" | "--governor" | "--sim-seconds"
-            | "--device" | "--trace-dir" => {
+            | "--device" | "--trace-dir" | "--trace-steps" => {
                 let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 overrides.push((arg, value));
             }
@@ -88,6 +90,7 @@ fn parse_args() -> Result<SweepConfig, String> {
                 };
             }
             "--trace-dir" => config.trace_dir = Some(value.into()),
+            "--trace-steps" => config.trace_steps = parse_value(&flag, &value)?,
             "--sim-seconds" => config.max_sim_seconds = parse_value(&flag, &value)?,
             "no-usta" => config.usta = false,
             _ => unreachable!("collected flags are known"),

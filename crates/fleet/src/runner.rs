@@ -82,6 +82,13 @@ pub struct SweepConfig {
     /// this directory so sampled triples can be audited without
     /// rerunning the sweep.
     pub trace_dir: Option<PathBuf>,
+    /// Opt-in full per-step sink: write the first `trace_steps`
+    /// triples' step traces (`steps-<index>.csv`, the
+    /// `usta_sim::trace` format with per-domain frequency columns)
+    /// into `trace_dir`. Files are written in chunk-merge order and
+    /// are byte-identical at any `--threads`. Requires `trace_dir`;
+    /// 0 disables.
+    pub trace_steps: usize,
 }
 
 impl Default for SweepConfig {
@@ -107,6 +114,7 @@ impl Default for SweepConfig {
             smoke: false,
             devices: vec![DEFAULT_DEVICE.to_owned()],
             trace_dir: None,
+            trace_steps: 0,
         }
     }
 }
@@ -322,14 +330,16 @@ fn train_predictor_pool(
 
 /// Runs one (user, device, scenario) triple to completion. `pools`
 /// holds one trained predictor pool per swept device (empty for
-/// baseline-only sweeps).
+/// baseline-only sweeps). When `capture_steps` is set the full
+/// per-step trace CSV rides along for the `--trace-steps` sink.
 fn run_triple(
     config: &SweepConfig,
     population: &UserPopulation,
     catalog: &ScenarioCatalog,
     pools: &[(&'static str, Vec<TemperaturePredictor>)],
     index: usize,
-) -> TripleOutcome {
+    capture_steps: bool,
+) -> (TripleOutcome, Option<Result<String, String>>) {
     let user = &population.users()[index / catalog.len()];
     let scenario = &catalog.scenarios()[index % catalog.len()];
     let mut rng = triple_stream(config.seed, index as u64);
@@ -373,12 +383,18 @@ fn run_triple(
     );
     let comfort =
         ComfortStats::from_trace(&result.skin_trace, result.log_period_s, user.skin_limit);
-    TripleOutcome {
+    let steps_csv =
+        capture_steps.then(|| usta_sim::to_csv_string(&result).map_err(|e| e.to_string()));
+    let outcome = TripleOutcome {
         sim_seconds,
         peak_skin_c: result.max_skin.value(),
         time_over_fraction: comfort.fraction_over,
         qos: 1.0 - result.unserved_fraction,
-    }
+        device: scenario.device,
+        domain_names: usta_soc::PerDomain::from_slice(&result.domain_names),
+        domain_freq_ghz: usta_soc::PerDomain::from_slice(&result.avg_domain_freq_ghz),
+    };
+    (outcome, steps_csv)
 }
 
 /// Header of the per-triple trace CSV.
@@ -414,6 +430,11 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
     if !caps_valid {
         // NaN fails the comparisons, so it lands here too.
         return Err(FleetError::NonPositiveSimCap);
+    }
+    if config.trace_steps > 0 && config.trace_dir.is_none() {
+        return Err(FleetError::TraceSink(
+            "trace_steps requires a trace_dir to write into".to_owned(),
+        ));
     }
     let devices = config.resolved_devices()?;
     if devices.is_empty() {
@@ -506,8 +527,10 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
     // at that point, so workers drain fast instead of simulating the
     // rest of a (possibly huge) grid just to discard it.
     let abort = std::sync::atomic::AtomicBool::new(false);
-    let (tx, rx) = mpsc::channel::<(usize, FleetAggregate, Vec<String>)>();
+    type StepCsv = (usize, Result<String, String>);
+    let (tx, rx) = mpsc::channel::<(usize, FleetAggregate, Vec<String>, Vec<StepCsv>)>();
     let tracing = trace.is_some();
+    let trace_steps = if tracing { config.trace_steps } else { 0 };
 
     let aggregate = std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -526,16 +549,22 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
                 let hi = (lo + chunk_size).min(total);
                 let mut partial = FleetAggregate::new();
                 let mut rows = Vec::new();
+                let mut step_csvs: Vec<StepCsv> = Vec::new();
                 for index in lo..hi {
-                    let outcome = run_triple(config, population, catalog, pools, index);
+                    let capture_steps = index < trace_steps;
+                    let (outcome, steps) =
+                        run_triple(config, population, catalog, pools, index, capture_steps);
                     if tracing {
                         rows.push(trace_row(index, catalog, &outcome));
+                    }
+                    if let Some(csv) = steps {
+                        step_csvs.push((index, csv));
                     }
                     partial.record(&outcome);
                 }
                 // The coordinator drains inside this scope; send only
                 // fails if it panicked, which propagates anyway.
-                let _ = tx.send((chunk, partial, rows));
+                let _ = tx.send((chunk, partial, rows, step_csvs));
             });
         }
         drop(tx);
@@ -551,9 +580,9 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
         let mut aggregate = FleetAggregate::new();
         let mut stragglers = std::collections::BTreeMap::new();
         let mut next_to_merge = 0usize;
-        for (chunk, partial, rows) in rx {
-            stragglers.insert(chunk, (partial, rows));
-            while let Some((partial, rows)) = stragglers.remove(&next_to_merge) {
+        for (chunk, partial, rows, step_csvs) in rx {
+            stragglers.insert(chunk, (partial, rows, step_csvs));
+            while let Some((partial, rows, step_csvs)) = stragglers.remove(&next_to_merge) {
                 aggregate.merge(&partial);
                 if let Some(writer) = trace.as_mut() {
                     if trace_error.is_none() {
@@ -563,6 +592,24 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
                                 abort.store(true, Ordering::Relaxed);
                                 break;
                             }
+                        }
+                    }
+                }
+                if trace_error.is_none() {
+                    // Step-trace files land in the same chunk-merge
+                    // order as the summary rows; each file's bytes only
+                    // depend on its triple, so the sink is
+                    // thread-count invariant.
+                    for (index, csv) in &step_csvs {
+                        let written = csv.as_ref().map_err(Clone::clone).and_then(|csv| {
+                            let dir = config.trace_dir.as_ref().expect("trace_steps needs dir");
+                            std::fs::write(dir.join(format!("steps-{index:06}.csv")), csv)
+                                .map_err(|e| e.to_string())
+                        });
+                        if let Err(e) = written {
+                            trace_error = Some(e);
+                            abort.store(true, Ordering::Relaxed);
+                            break;
                         }
                     }
                 }
@@ -819,5 +866,85 @@ mod tests {
             ..tiny_config()
         };
         assert!(matches!(run_sweep(&config), Err(FleetError::TraceSink(_))));
+    }
+
+    #[test]
+    fn trace_steps_without_a_trace_dir_is_rejected() {
+        let config = SweepConfig {
+            trace_steps: 3,
+            ..tiny_config()
+        };
+        match run_sweep(&config) {
+            Err(FleetError::TraceSink(message)) => {
+                assert!(message.contains("trace_dir"), "{message:?}")
+            }
+            other => panic!("expected TraceSink, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_steps_sink_writes_the_first_n_step_traces_thread_invariantly() {
+        let dir = std::env::temp_dir().join(format!("usta_steps_{}", std::process::id()));
+        let run = |threads: usize, sub: &str| -> Vec<(String, String)> {
+            let mut config = tiny_config();
+            config.threads = threads;
+            config.trace_dir = Some(dir.join(sub));
+            config.trace_steps = 5;
+            run_sweep(&config).unwrap();
+            let mut files: Vec<(String, String)> = std::fs::read_dir(dir.join(sub))
+                .unwrap()
+                .map(|e| e.unwrap())
+                .filter(|e| e.file_name().to_string_lossy().starts_with("steps-"))
+                .map(|e| {
+                    (
+                        e.file_name().to_string_lossy().into_owned(),
+                        std::fs::read_to_string(e.path()).unwrap(),
+                    )
+                })
+                .collect();
+            files.sort();
+            files
+        };
+        let one = run(1, "t1");
+        let four = run(4, "t4");
+        assert_eq!(one.len(), 5, "exactly the first five triples");
+        assert_eq!(one, four, "step traces must be thread-count invariant");
+        assert_eq!(one[0].0, "steps-000000.csv");
+        let header = one[0].1.lines().next().unwrap().to_owned();
+        assert!(
+            header.starts_with("t_s,skin_c,screen_c,freq_khz"),
+            "{header:?}"
+        );
+        assert!(one[0].1.lines().count() > 1, "rows beyond the header");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flagship_sweep_reports_distinct_big_and_little_statistics() {
+        let config = SweepConfig {
+            devices: vec!["flagship-octa".to_owned()],
+            ..tiny_config()
+        };
+        let report = run_sweep(&config).unwrap();
+        let keys: Vec<&String> = report.aggregate.domain_freq_ghz.keys().collect();
+        assert_eq!(keys, vec!["flagship-octa/big", "flagship-octa/little"]);
+        let big = &report.aggregate.domain_freq_ghz["flagship-octa/big"];
+        let little = &report.aggregate.domain_freq_ghz["flagship-octa/little"];
+        assert_eq!(big.stats.count(), report.aggregate.triples);
+        assert_ne!(
+            big.stats.mean(),
+            little.stats.mean(),
+            "the clusters must report distinct frequency statistics"
+        );
+        let summary = report.summary();
+        assert!(summary.contains("freq [GHz] flagship-octa/big"));
+        assert!(summary.contains("freq [GHz] flagship-octa/little"));
+    }
+
+    #[test]
+    fn single_domain_sweeps_report_no_domain_rows() {
+        let report = run_sweep(&tiny_config()).unwrap();
+        assert!(report.aggregate.domain_freq_ghz.is_empty());
+        assert!(!report.summary().contains("freq [GHz]"));
     }
 }

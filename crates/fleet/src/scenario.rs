@@ -476,7 +476,7 @@ mod tests {
         let t = tablet.device_config(1);
         let p = phone.device_config(1);
         assert_eq!(t.spec.id, "tablet-10in");
-        assert_eq!(t.spec.cores, 6);
+        assert_eq!(t.spec.cores(), 6);
         assert!(t.thermal.total_capacitance() > 3.0 * p.thermal.total_capacitance());
     }
 

@@ -1,7 +1,8 @@
 //! The **conservative** governor: like ondemand but moves one step at a
-//! time in both directions — gentler power ramps, slower response.
+//! time in both directions — gentler power ramps, slower response. Each
+//! frequency domain steps independently off its own busiest-core load.
 
-use crate::governor::{CpuGovernor, GovernorInput};
+use crate::governor::{CpuGovernor, DvfsDecision, GovernorInput};
 
 /// Tunables of the conservative governor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,17 +43,19 @@ impl CpuGovernor for Conservative {
         "conservative"
     }
 
-    fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
-        let cap = input.opp.clamp_index(input.max_allowed_level);
-        let cur = input.opp.clamp_index(input.current_level).min(cap);
-        let load = input.max_utilization.clamp(0.0, 1.0);
-        if load > self.params.up_threshold {
-            (cur + 1).min(cap)
-        } else if load < self.params.down_threshold {
-            cur.saturating_sub(1)
-        } else {
-            cur
-        }
+    fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
+        DvfsDecision::from_fn(input.domain_count(), |d| {
+            let cap = input.cap(d);
+            let cur = input.current(d);
+            let load = input.samples[d].max_utilization.clamp(0.0, 1.0);
+            if load > self.params.up_threshold {
+                (cur + 1).min(cap)
+            } else if load < self.params.down_threshold {
+                cur.saturating_sub(1)
+            } else {
+                cur
+            }
+        })
     }
 
     fn sampling_period(&self) -> f64 {
@@ -63,57 +66,87 @@ impl CpuGovernor for Conservative {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use usta_soc::nexus4;
-    use usta_soc::OppTable;
+    use crate::governor::test_support::{nexus4_domain, two_domains};
+    use crate::governor::{DomainSample, FreqDomain};
 
-    fn input<'a>(opp: &'a OppTable, load: f64, cur: usize, cap: usize) -> GovernorInput<'a> {
-        GovernorInput {
+    fn decide_one(g: &mut Conservative, load: f64, cur: usize, cap: usize) -> usize {
+        let domains = [nexus4_domain()];
+        let samples = [DomainSample {
             avg_utilization: load,
             max_utilization: load,
             current_level: cur,
-            max_allowed_level: cap,
-            opp,
-        }
+        }];
+        let caps = [cap];
+        g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+        })
+        .level(0)
+    }
+
+    fn top() -> usize {
+        nexus4_domain().max_index()
     }
 
     #[test]
     fn steps_up_one_level_at_a_time() {
-        let opp = nexus4::opp_table();
         let mut g = Conservative::default();
-        assert_eq!(g.decide(&input(&opp, 0.95, 3, opp.max_index())), 4);
+        assert_eq!(decide_one(&mut g, 0.95, 3, top()), 4);
     }
 
     #[test]
     fn steps_down_one_level_at_a_time() {
-        let opp = nexus4::opp_table();
         let mut g = Conservative::default();
-        assert_eq!(g.decide(&input(&opp, 0.05, 3, opp.max_index())), 2);
-        assert_eq!(g.decide(&input(&opp, 0.05, 0, opp.max_index())), 0);
+        assert_eq!(decide_one(&mut g, 0.05, 3, top()), 2);
+        assert_eq!(decide_one(&mut g, 0.05, 0, top()), 0);
     }
 
     #[test]
     fn holds_in_the_dead_band() {
-        let opp = nexus4::opp_table();
         let mut g = Conservative::default();
-        assert_eq!(g.decide(&input(&opp, 0.5, 3, opp.max_index())), 3);
+        assert_eq!(decide_one(&mut g, 0.5, 3, top()), 3);
     }
 
     #[test]
     fn respects_cap() {
-        let opp = nexus4::opp_table();
         let mut g = Conservative::default();
-        assert_eq!(g.decide(&input(&opp, 1.0, 4, 4)), 4);
-        assert_eq!(g.decide(&input(&opp, 1.0, 9, 4)), 4);
+        assert_eq!(decide_one(&mut g, 1.0, 4, 4), 4);
+        assert_eq!(decide_one(&mut g, 1.0, 9, 4), 4);
     }
 
     #[test]
     fn reaches_max_under_sustained_load() {
-        let opp = nexus4::opp_table();
         let mut g = Conservative::default();
         let mut level = 0;
         for _ in 0..20 {
-            level = g.decide(&input(&opp, 1.0, level, opp.max_index()));
+            level = decide_one(&mut g, 1.0, level, top());
         }
-        assert_eq!(level, opp.max_index());
+        assert_eq!(level, top());
+    }
+
+    #[test]
+    fn domains_step_independently() {
+        let domains: Vec<FreqDomain> = two_domains();
+        let caps = [domains[0].max_index(), domains[1].max_index()];
+        let samples = [
+            DomainSample {
+                avg_utilization: 0.95,
+                max_utilization: 0.95,
+                current_level: 3,
+            },
+            DomainSample {
+                avg_utilization: 0.05,
+                max_utilization: 0.05,
+                current_level: 3,
+            },
+        ];
+        let mut g = Conservative::default();
+        let decision = g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+        });
+        assert_eq!(decision.levels(), &[4, 2], "big up one, LITTLE down one");
     }
 }

@@ -139,19 +139,31 @@ mod tests {
     }
 
     #[test]
-    fn constructed_governors_decide() {
-        let opp = nexus4::opp_table();
+    fn constructed_governors_decide_on_every_domain() {
+        let domains = vec![crate::FreqDomain {
+            id: 0,
+            name: "cpu",
+            cores: 4,
+            opp: nexus4::opp_table(),
+            full_load_w: 3.6,
+        }];
+        let samples = [crate::DomainSample {
+            avg_utilization: 1.0,
+            max_utilization: 1.0,
+            current_level: 0,
+        }];
+        let caps = [domains[0].max_index()];
         for name in NAMES {
             let mut gov = by_name(name).unwrap();
             let input = crate::GovernorInput {
-                avg_utilization: 1.0,
-                max_utilization: 1.0,
-                current_level: 0,
-                max_allowed_level: opp.max_index(),
-                opp: &opp,
+                domains: &domains,
+                samples: &samples,
+                max_allowed_levels: &caps,
             };
-            let level = gov.decide(&input);
-            assert!(level <= opp.max_index(), "{name} returned {level}");
+            let decision = gov.decide(&input);
+            assert_eq!(decision.domain_count(), 1, "{name}");
+            let level = decision.level(0);
+            assert!(level <= domains[0].max_index(), "{name} returned {level}");
         }
     }
 }

@@ -7,9 +7,14 @@
 //! down, and scales toward `target_load` otherwise. Compared to
 //! `ondemand` it reacts faster to bursts but overshoots less — a useful
 //! extra baseline for the USTA experiments (USTA's cap applies to it
-//! unchanged).
+//! unchanged). Each frequency domain runs its own copy of the policy:
+//! the dwell timer is per-domain, like the per-policy timers of the
+//! AOSP driver, and `hispeed_khz` resolves within each domain's own
+//! table (a LITTLE cluster bursts to its nearest level, not the big
+//! cluster's).
 
-use crate::governor::{CpuGovernor, GovernorInput};
+use crate::governor::{CpuGovernor, DvfsDecision, GovernorInput};
+use usta_soc::MAX_FREQ_DOMAINS;
 
 /// Tunables of the interactive governor (AOSP sysfs names).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +52,7 @@ impl Default for InteractiveParams {
 #[derive(Debug, Clone)]
 pub struct Interactive {
     params: InteractiveParams,
-    time_at_level_s: f64,
+    time_at_level_s: [f64; MAX_FREQ_DOMAINS],
 }
 
 impl Interactive {
@@ -55,13 +60,53 @@ impl Interactive {
     pub fn new(params: InteractiveParams) -> Interactive {
         Interactive {
             params,
-            time_at_level_s: 0.0,
+            time_at_level_s: [0.0; MAX_FREQ_DOMAINS],
         }
     }
 
     /// The governor's tunables.
     pub fn params(&self) -> &InteractiveParams {
         &self.params
+    }
+
+    /// One domain's decision.
+    fn decide_domain(&mut self, input: &GovernorInput<'_>, d: usize) -> usize {
+        let opp = &input.domains[d].opp;
+        let cap = input.cap(d);
+        let cur = input.current(d);
+        let load = input.samples[d].max_utilization.clamp(0.0, 1.0);
+        let hispeed = opp.level_for_khz(self.params.hispeed_khz).min(cap);
+
+        let wanted = if load > self.params.go_hispeed_load {
+            // Burst: at least hispeed, higher if already above it.
+            if cur >= hispeed {
+                // Above hispeed and still loaded: evaluate proportionally.
+                let cur_khz = opp.level(cur).khz as f64;
+                let target_khz = cur_khz * load / self.params.target_load;
+                opp.level_for_khz(target_khz.ceil() as u32).min(cap)
+            } else {
+                hispeed
+            }
+        } else {
+            let cur_khz = opp.level(cur).khz as f64;
+            let target_khz = cur_khz * load / self.params.target_load;
+            opp.level_for_khz(target_khz.ceil() as u32).min(cap)
+        };
+
+        if wanted < cur {
+            // Ramping down requires dwelling at the current level first.
+            self.time_at_level_s[d] += self.params.sampling_period_s;
+            if self.time_at_level_s[d] < self.params.min_sample_time_s {
+                return cur;
+            }
+            self.time_at_level_s[d] = 0.0;
+            wanted
+        } else {
+            if wanted > cur {
+                self.time_at_level_s[d] = 0.0;
+            }
+            wanted
+        }
     }
 }
 
@@ -76,46 +121,12 @@ impl CpuGovernor for Interactive {
         "interactive"
     }
 
-    fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
-        let cap = input.opp.clamp_index(input.max_allowed_level);
-        let cur = input.opp.clamp_index(input.current_level).min(cap);
-        let load = input.max_utilization.clamp(0.0, 1.0);
-        let hispeed = input.opp.level_for_khz(self.params.hispeed_khz).min(cap);
-
-        let wanted = if load > self.params.go_hispeed_load {
-            // Burst: at least hispeed, higher if already above it.
-            if cur >= hispeed {
-                // Above hispeed and still loaded: evaluate proportionally.
-                let cur_khz = input.opp.level(cur).khz as f64;
-                let target_khz = cur_khz * load / self.params.target_load;
-                input.opp.level_for_khz(target_khz.ceil() as u32).min(cap)
-            } else {
-                hispeed
-            }
-        } else {
-            let cur_khz = input.opp.level(cur).khz as f64;
-            let target_khz = cur_khz * load / self.params.target_load;
-            input.opp.level_for_khz(target_khz.ceil() as u32).min(cap)
-        };
-
-        if wanted < cur {
-            // Ramping down requires dwelling at the current level first.
-            self.time_at_level_s += self.params.sampling_period_s;
-            if self.time_at_level_s < self.params.min_sample_time_s {
-                return cur;
-            }
-            self.time_at_level_s = 0.0;
-            wanted
-        } else {
-            if wanted > cur {
-                self.time_at_level_s = 0.0;
-            }
-            wanted
-        }
+    fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
+        DvfsDecision::from_fn(input.domain_count(), |d| self.decide_domain(input, d))
     }
 
     fn reset(&mut self) {
-        self.time_at_level_s = 0.0;
+        self.time_at_level_s = [0.0; MAX_FREQ_DOMAINS];
     }
 
     fn sampling_period(&self) -> f64 {
@@ -126,80 +137,157 @@ impl CpuGovernor for Interactive {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use usta_soc::nexus4;
-    use usta_soc::OppTable;
+    use crate::governor::test_support::{nexus4_domain, two_domains};
+    use crate::governor::DomainSample;
 
-    fn input<'a>(opp: &'a OppTable, load: f64, cur: usize, cap: usize) -> GovernorInput<'a> {
-        GovernorInput {
+    fn decide_one(g: &mut Interactive, load: f64, cur: usize, cap: usize) -> usize {
+        let domains = [nexus4_domain()];
+        let samples = [DomainSample {
             avg_utilization: load,
             max_utilization: load,
             current_level: cur,
-            max_allowed_level: cap,
-            opp,
-        }
+        }];
+        let caps = [cap];
+        g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+        })
+        .level(0)
+    }
+
+    fn top() -> usize {
+        nexus4_domain().max_index()
     }
 
     #[test]
     fn burst_jumps_to_hispeed_not_max() {
-        let opp = nexus4::opp_table();
+        let d = nexus4_domain();
         let mut g = Interactive::default();
-        let lvl = g.decide(&input(&opp, 0.95, 0, opp.max_index()));
-        assert_eq!(opp.level(lvl).khz, 1_134_000);
-        assert!(lvl < opp.max_index());
+        let lvl = decide_one(&mut g, 0.95, 0, top());
+        assert_eq!(d.opp.level(lvl).khz, 1_134_000);
+        assert!(lvl < top());
     }
 
     #[test]
     fn sustained_burst_climbs_past_hispeed() {
-        let opp = nexus4::opp_table();
         let mut g = Interactive::default();
         let mut level = 0;
         for _ in 0..20 {
-            level = g.decide(&input(&opp, 1.0, level, opp.max_index()));
+            level = decide_one(&mut g, 1.0, level, top());
         }
-        assert_eq!(level, opp.max_index(), "full load eventually reaches max");
+        assert_eq!(level, top(), "full load eventually reaches max");
     }
 
     #[test]
     fn ramp_down_waits_min_sample_time() {
-        let opp = nexus4::opp_table();
         let mut g = Interactive::default();
         // Sit at a high level, then drop the load: the first sample must
         // hold (200 ms dwell > 100 ms elapsed), the next may drop.
-        let hold = g.decide(&input(&opp, 0.05, 8, opp.max_index()));
+        let hold = decide_one(&mut g, 0.05, 8, top());
         assert_eq!(hold, 8, "must dwell before ramping down");
-        let drop = g.decide(&input(&opp, 0.05, 8, opp.max_index()));
+        let drop = decide_one(&mut g, 0.05, 8, top());
         assert!(drop < 8, "after the dwell the governor drops");
     }
 
     #[test]
     fn respects_thermal_cap() {
-        let opp = nexus4::opp_table();
         let mut g = Interactive::default();
         for _ in 0..10 {
-            let lvl = g.decide(&input(&opp, 1.0, 11, 3));
+            let lvl = decide_one(&mut g, 1.0, 11, 3);
             assert!(lvl <= 3);
         }
     }
 
     #[test]
     fn moderate_load_scales_proportionally() {
-        let opp = nexus4::opp_table();
+        let d = nexus4_domain();
         let mut g = Interactive::default();
         // 50 % at 1134 MHz: wanted = 1134·0.5/0.9 = 630 → 702 MHz, after
         // the ramp-down dwell.
-        let first = g.decide(&input(&opp, 0.50, 7, opp.max_index()));
+        let first = decide_one(&mut g, 0.50, 7, top());
         assert_eq!(first, 7);
-        let second = g.decide(&input(&opp, 0.50, 7, opp.max_index()));
-        assert_eq!(opp.level(second).khz, 702_000);
+        let second = decide_one(&mut g, 0.50, 7, top());
+        assert_eq!(d.opp.level(second).khz, 702_000);
     }
 
     #[test]
     fn reset_clears_dwell_accounting() {
-        let opp = nexus4::opp_table();
         let mut g = Interactive::default();
-        g.decide(&input(&opp, 0.05, 8, opp.max_index()));
+        decide_one(&mut g, 0.05, 8, top());
         g.reset();
         // Dwell restarts: the next low-load sample holds again.
-        assert_eq!(g.decide(&input(&opp, 0.05, 8, opp.max_index())), 8);
+        assert_eq!(decide_one(&mut g, 0.05, 8, top()), 8);
+    }
+
+    #[test]
+    fn hispeed_resolves_within_each_domain() {
+        // The LITTLE table tops out below hispeed_khz: a burst there
+        // saturates at the LITTLE top level instead of borrowing the
+        // big cluster's index.
+        let domains = two_domains();
+        let caps = [domains[0].max_index(), domains[1].max_index()];
+        let burst = DomainSample {
+            avg_utilization: 0.95,
+            max_utilization: 0.95,
+            current_level: 0,
+        };
+        let samples = [burst, burst];
+        let mut g = Interactive::default();
+        let decision = g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+        });
+        assert_eq!(
+            domains[0].opp.level(decision.level(0)).khz,
+            1_134_000,
+            "big bursts to hispeed"
+        );
+        assert_eq!(
+            decision.level(1),
+            domains[1].max_index(),
+            "LITTLE saturates at its own top"
+        );
+    }
+
+    #[test]
+    fn dwell_timers_are_per_domain() {
+        let domains = two_domains();
+        let caps = [domains[0].max_index(), domains[1].max_index()];
+        let mut g = Interactive::default();
+        // Domain 0 starts its dwell one sample earlier than domain 1.
+        let s = |l0: f64, l1: f64| {
+            [
+                DomainSample {
+                    avg_utilization: l0,
+                    max_utilization: l0,
+                    current_level: 5,
+                },
+                DomainSample {
+                    avg_utilization: l1,
+                    max_utilization: l1,
+                    current_level: 5,
+                },
+            ]
+        };
+        // Domain 1's load keeps it at its level (no dwell started);
+        // domain 0 wants down and starts dwelling.
+        let first = s(0.05, 0.95);
+        g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &first,
+            max_allowed_levels: &caps,
+        });
+        // Now both want down: domain 0's dwell (2 samples) has elapsed,
+        // domain 1's has not.
+        let second = s(0.05, 0.05);
+        let decision = g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &second,
+            max_allowed_levels: &caps,
+        });
+        assert!(decision.level(0) < 5, "domain 0 completed its dwell");
+        assert_eq!(decision.level(1), 5, "domain 1 is still dwelling");
     }
 }

@@ -4,24 +4,36 @@
 //! paper builds on. The paper's baseline is the stock Android
 //! **ondemand** governor (§3.B): it samples CPU utilization every
 //! sampling period, jumps to the maximum frequency when utilization
-//! crosses ~80 %, and scales down proportionally when load falls. USTA
-//! itself is *not* a governor replacement — it clamps the **maximum
-//! allowed level** the baseline governor may pick, which is exactly the
-//! [`GovernorInput::max_allowed_level`] field here.
+//! crosses ~80 %, and scales down proportionally when load falls.
+//!
+//! The control plane is **domain-indexed**: a device exposes one
+//! [`FreqDomain`] per cpufreq policy (big.LITTLE parts have two), each
+//! with its own OPP table and [`DomainSample`], and
+//! [`CpuGovernor::decide`] returns a [`DvfsDecision`] holding one level
+//! per domain. The paper's single-policy Nexus 4 is the one-domain
+//! special case. USTA itself is *not* a governor replacement — it
+//! lowers the per-domain **maximum allowed levels** the baseline
+//! governor may pick, which is exactly the
+//! [`GovernorInput::max_allowed_levels`] vector here.
 //!
 //! ```
-//! use usta_governors::{CpuGovernor, GovernorInput, OnDemand};
+//! use usta_governors::{CpuGovernor, DomainSample, FreqDomain, GovernorInput, OnDemand};
 //! use usta_soc::nexus4;
 //!
-//! let opp = nexus4::opp_table();
+//! let domains = vec![FreqDomain {
+//!     id: 0, name: "cpu", cores: 4, opp: nexus4::opp_table(), full_load_w: 3.6,
+//! }];
+//! let top = domains[0].max_index();
 //! let mut gov = OnDemand::default();
-//! // A saturated CPU pushes ondemand straight to the top level…
-//! let busy = GovernorInput { avg_utilization: 1.0, max_utilization: 1.0,
-//!     current_level: 0, max_allowed_level: opp.max_index(), opp: &opp };
-//! assert_eq!(gov.decide(&busy), opp.max_index());
-//! // …unless a thermal cap says otherwise.
-//! let capped = GovernorInput { max_allowed_level: 3, ..busy };
-//! assert_eq!(gov.decide(&capped), 3);
+//! // A saturated domain pushes ondemand straight to its top level…
+//! let busy = [DomainSample { avg_utilization: 1.0, max_utilization: 1.0, current_level: 0 }];
+//! let free = [top];
+//! let input = GovernorInput { domains: &domains, samples: &busy, max_allowed_levels: &free };
+//! assert_eq!(gov.decide(&input).level(0), top);
+//! // …unless the thermal layer caps that domain.
+//! let capped = [3usize];
+//! let input = GovernorInput { max_allowed_levels: &capped, ..input };
+//! assert_eq!(gov.decide(&input).level(0), 3);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -37,7 +49,7 @@ pub mod simple;
 
 pub use conservative::Conservative;
 pub use factory::{by_name, try_by_name, UnknownGovernorError, NAMES};
-pub use governor::{CpuGovernor, GovernorInput};
+pub use governor::{CpuGovernor, DomainSample, DvfsDecision, FreqDomain, GovernorInput};
 pub use interactive::Interactive;
 pub use ondemand::OnDemand;
 pub use simple::{Performance, Powersave, Userspace};

@@ -2,16 +2,20 @@
 //!
 //! Semantics per the kernel implementation and the paper's description
 //! (§3.B): every sampling period the governor looks at the busiest
-//! core's utilization. Above `up_threshold` (80 %) it jumps straight to
-//! the highest (allowed) frequency. Below it, it scales the frequency
+//! core's utilization *of each cpufreq policy independently*. Above
+//! `up_threshold` (80 %) it jumps that domain straight to its highest
+//! (allowed) frequency. Below it, it scales the domain's frequency
 //! down proportionally so the load would sit just under
 //! `up_threshold − down_differential`, picking the lowest operating
 //! point that still covers that target ("the reduction can be steep if
 //! the utilization is very low or in steps if it is below ~80 % but
 //! above a minimum"). `sampling_down_factor` makes it hold the top
-//! frequency for several periods before reevaluating downward.
+//! frequency for several periods before reevaluating downward; the
+//! hold counter is per-domain, exactly like the kernel's per-policy
+//! `rate_mult`.
 
-use crate::governor::{CpuGovernor, GovernorInput};
+use crate::governor::{CpuGovernor, DvfsDecision, GovernorInput};
+use usta_soc::MAX_FREQ_DOMAINS;
 
 /// Tunables of the ondemand governor (kernel sysfs names).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,7 +48,7 @@ impl Default for OnDemandParams {
 #[derive(Debug, Clone)]
 pub struct OnDemand {
     params: OnDemandParams,
-    hold_remaining: u32,
+    hold_remaining: [u32; MAX_FREQ_DOMAINS],
 }
 
 impl OnDemand {
@@ -52,13 +56,38 @@ impl OnDemand {
     pub fn new(params: OnDemandParams) -> OnDemand {
         OnDemand {
             params,
-            hold_remaining: 0,
+            hold_remaining: [0; MAX_FREQ_DOMAINS],
         }
     }
 
     /// The governor's tunables.
     pub fn params(&self) -> &OnDemandParams {
         &self.params
+    }
+
+    /// One domain's decision.
+    fn decide_domain(&mut self, input: &GovernorInput<'_>, d: usize) -> usize {
+        let opp = &input.domains[d].opp;
+        let cap = input.cap(d);
+        let cur = input.current(d);
+        let load = input.samples[d].max_utilization.clamp(0.0, 1.0);
+
+        if load > self.params.up_threshold {
+            self.hold_remaining[d] = self.params.sampling_down_factor.saturating_sub(1);
+            return cap;
+        }
+
+        // Below the up threshold: optionally hold the current frequency
+        // for a few periods after a max jump, then scale down so the
+        // load would sit just under (up_threshold − down_differential).
+        if self.hold_remaining[d] > 0 {
+            self.hold_remaining[d] -= 1;
+            return cur;
+        }
+        let target_fraction = self.params.up_threshold - self.params.down_differential;
+        let cur_khz = opp.level(cur).khz as f64;
+        let wanted_khz = cur_khz * load / target_fraction.max(1e-6);
+        opp.level_for_khz(wanted_khz.ceil() as u32).min(cap)
     }
 }
 
@@ -73,31 +102,12 @@ impl CpuGovernor for OnDemand {
         "ondemand"
     }
 
-    fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
-        let cap = input.opp.clamp_index(input.max_allowed_level);
-        let cur = input.opp.clamp_index(input.current_level).min(cap);
-        let load = input.max_utilization.clamp(0.0, 1.0);
-
-        if load > self.params.up_threshold {
-            self.hold_remaining = self.params.sampling_down_factor.saturating_sub(1);
-            return cap;
-        }
-
-        // Below the up threshold: optionally hold the current frequency
-        // for a few periods after a max jump, then scale down so the
-        // load would sit just under (up_threshold − down_differential).
-        if self.hold_remaining > 0 {
-            self.hold_remaining -= 1;
-            return cur;
-        }
-        let target_fraction = self.params.up_threshold - self.params.down_differential;
-        let cur_khz = input.opp.level(cur).khz as f64;
-        let wanted_khz = cur_khz * load / target_fraction.max(1e-6);
-        input.opp.level_for_khz(wanted_khz.ceil() as u32).min(cap)
+    fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
+        DvfsDecision::from_fn(input.domain_count(), |d| self.decide_domain(input, d))
     }
 
     fn reset(&mut self) {
-        self.hold_remaining = 0;
+        self.hold_remaining = [0; MAX_FREQ_DOMAINS];
     }
 
     fn sampling_period(&self) -> f64 {
@@ -108,70 +118,88 @@ impl CpuGovernor for OnDemand {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use usta_soc::nexus4;
-    use usta_soc::OppTable;
+    use crate::governor::test_support::{nexus4_domain, two_domains};
+    use crate::governor::{DomainSample, FreqDomain};
 
-    fn input<'a>(opp: &'a OppTable, load: f64, cur: usize, cap: usize) -> GovernorInput<'a> {
+    fn domain() -> Vec<FreqDomain> {
+        vec![nexus4_domain()]
+    }
+
+    fn input<'a>(
+        domains: &'a [FreqDomain],
+        samples: &'a [DomainSample],
+        caps: &'a [usize],
+    ) -> GovernorInput<'a> {
         GovernorInput {
+            domains,
+            samples,
+            max_allowed_levels: caps,
+        }
+    }
+
+    fn sample(load: f64, cur: usize) -> DomainSample {
+        DomainSample {
             avg_utilization: load,
             max_utilization: load,
             current_level: cur,
-            max_allowed_level: cap,
-            opp,
         }
+    }
+
+    fn decide_one(g: &mut OnDemand, load: f64, cur: usize, cap: usize) -> usize {
+        let domains = domain();
+        let samples = [sample(load, cur)];
+        let caps = [cap];
+        g.decide(&input(&domains, &samples, &caps)).level(0)
     }
 
     #[test]
     fn saturation_jumps_to_max() {
-        let opp = nexus4::opp_table();
+        let top = nexus4_domain().max_index();
         let mut g = OnDemand::default();
-        assert_eq!(
-            g.decide(&input(&opp, 0.95, 0, opp.max_index())),
-            opp.max_index()
-        );
+        assert_eq!(decide_one(&mut g, 0.95, 0, top), top);
     }
 
     #[test]
     fn saturation_respects_thermal_cap() {
-        let opp = nexus4::opp_table();
         let mut g = OnDemand::default();
-        assert_eq!(g.decide(&input(&opp, 1.0, 0, 4)), 4);
-        assert_eq!(g.decide(&input(&opp, 1.0, 11, 0)), 0);
+        assert_eq!(decide_one(&mut g, 1.0, 0, 4), 4);
+        assert_eq!(decide_one(&mut g, 1.0, 11, 0), 0);
     }
 
     #[test]
     fn low_load_scales_steeply_down() {
-        let opp = nexus4::opp_table();
+        let top = nexus4_domain().max_index();
         let mut g = OnDemand::default();
         // At the top level with 10 % load the wanted frequency is
         // 1512 MHz · 0.1/0.7 ≈ 216 MHz → bottom level.
-        let lvl = g.decide(&input(&opp, 0.10, opp.max_index(), opp.max_index()));
-        assert_eq!(lvl, 0);
+        assert_eq!(decide_one(&mut g, 0.10, top, top), 0);
     }
 
     #[test]
     fn moderate_load_steps_down_gradually() {
-        let opp = nexus4::opp_table();
+        let d = nexus4_domain();
+        let top = d.max_index();
         let mut g = OnDemand::default();
         // 60 % at the top: wanted = 1512·0.6/0.7 ≈ 1296 MHz → level 1350.
-        let lvl = g.decide(&input(&opp, 0.60, opp.max_index(), opp.max_index()));
-        assert_eq!(opp.level(lvl).khz, 1_350_000);
-        assert!(lvl < opp.max_index());
+        let lvl = decide_one(&mut g, 0.60, top, top);
+        assert_eq!(d.opp.level(lvl).khz, 1_350_000);
+        assert!(lvl < top);
     }
 
     #[test]
     fn settles_where_load_just_fits() {
-        let opp = nexus4::opp_table();
+        let d = nexus4_domain();
+        let top = d.max_index();
         let mut g = OnDemand::default();
         // Fixed compute demand of 600 MHz on the busiest core; iterate
         // the loop: utilization = demand / current frequency.
         let demand_khz = 600_000.0;
-        let mut level = opp.max_index();
+        let mut level = top;
         for _ in 0..50 {
-            let load = (demand_khz / opp.level(level).khz as f64).min(1.0);
-            level = g.decide(&input(&opp, load, level, opp.max_index()));
+            let load = (demand_khz / d.opp.level(level).khz as f64).min(1.0);
+            level = decide_one(&mut g, load, level, top);
         }
-        let freq = opp.level(level).khz as f64;
+        let freq = d.opp.level(level).khz as f64;
         let util = demand_khz / freq;
         assert!(
             util <= 0.80 && util > 0.55,
@@ -182,61 +210,65 @@ mod tests {
 
     #[test]
     fn sampling_down_factor_holds_before_downscaling() {
-        let opp = nexus4::opp_table();
+        let top = nexus4_domain().max_index();
         let mut g = OnDemand::new(OnDemandParams {
             sampling_down_factor: 3,
             ..Default::default()
         });
         // Jump to max…
-        assert_eq!(
-            g.decide(&input(&opp, 1.0, 0, opp.max_index())),
-            opp.max_index()
-        );
+        assert_eq!(decide_one(&mut g, 1.0, 0, top), top);
         // …then two held periods at max despite low load…
-        assert_eq!(
-            g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())),
-            opp.max_index()
-        );
-        assert_eq!(
-            g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())),
-            opp.max_index()
-        );
+        assert_eq!(decide_one(&mut g, 0.05, top, top), top);
+        assert_eq!(decide_one(&mut g, 0.05, top, top), top);
         // …then the drop.
-        assert_eq!(
-            g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())),
-            0
-        );
+        assert_eq!(decide_one(&mut g, 0.05, top, top), 0);
     }
 
     #[test]
-    fn reset_clears_hold() {
-        let opp = nexus4::opp_table();
+    fn hold_state_is_per_domain() {
+        let domains = two_domains();
+        let caps = [domains[0].max_index(), domains[1].max_index()];
         let mut g = OnDemand::new(OnDemandParams {
             sampling_down_factor: 3,
             ..Default::default()
         });
-        g.decide(&input(&opp, 1.0, 0, opp.max_index()));
+        // Saturate only the big domain; the LITTLE one idles.
+        let samples = [sample(1.0, 0), sample(0.0, 3)];
+        let d1 = g.decide(&input(&domains, &samples, &caps));
+        assert_eq!(d1.levels(), &[caps[0], 0]);
+        // Load gone everywhere: big holds (its counter), LITTLE stays
+        // at the bottom — its counter never armed.
+        let samples = [sample(0.05, caps[0]), sample(0.05, 0)];
+        let d2 = g.decide(&input(&domains, &samples, &caps));
+        assert_eq!(d2.levels(), &[caps[0], 0]);
+    }
+
+    #[test]
+    fn reset_clears_hold() {
+        let top = nexus4_domain().max_index();
+        let mut g = OnDemand::new(OnDemandParams {
+            sampling_down_factor: 3,
+            ..Default::default()
+        });
+        decide_one(&mut g, 1.0, 0, top);
         g.reset();
-        assert_eq!(
-            g.decide(&input(&opp, 0.05, opp.max_index(), opp.max_index())),
-            0
-        );
+        assert_eq!(decide_one(&mut g, 0.05, top, top), 0);
     }
 
     #[test]
     fn zero_load_goes_to_bottom() {
-        let opp = nexus4::opp_table();
+        let top = nexus4_domain().max_index();
         let mut g = OnDemand::default();
-        assert_eq!(g.decide(&input(&opp, 0.0, 6, opp.max_index())), 0);
+        assert_eq!(decide_one(&mut g, 0.0, 6, top), 0);
     }
 
     #[test]
     fn never_exceeds_cap_under_any_load() {
-        let opp = nexus4::opp_table();
+        let d = nexus4_domain();
         let mut g = OnDemand::default();
         for load_pct in 0..=100 {
-            for cap in 0..opp.len() {
-                let lvl = g.decide(&input(&opp, load_pct as f64 / 100.0, 5, cap));
+            for cap in 0..d.opp.len() {
+                let lvl = decide_one(&mut g, load_pct as f64 / 100.0, 5, cap);
                 assert!(lvl <= cap, "load {load_pct}% cap {cap} gave level {lvl}");
             }
         }

@@ -1,8 +1,8 @@
 //! The stateless governors: performance, powersave, userspace.
 
-use crate::governor::{CpuGovernor, GovernorInput};
+use crate::governor::{CpuGovernor, DvfsDecision, GovernorInput};
 
-/// Always the highest allowed frequency.
+/// Always the highest allowed frequency, on every domain.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Performance;
 
@@ -11,12 +11,12 @@ impl CpuGovernor for Performance {
         "performance"
     }
 
-    fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
-        input.opp.clamp_index(input.max_allowed_level)
+    fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
+        DvfsDecision::from_fn(input.domain_count(), |d| input.cap(d))
     }
 }
 
-/// Always the lowest frequency.
+/// Always the lowest frequency, on every domain.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Powersave;
 
@@ -25,19 +25,20 @@ impl CpuGovernor for Powersave {
         "powersave"
     }
 
-    fn decide(&mut self, _input: &GovernorInput<'_>) -> usize {
-        0
+    fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
+        DvfsDecision::from_fn(input.domain_count(), |_| 0)
     }
 }
 
-/// A fixed, user-chosen level (clamped to the allowed maximum).
+/// A fixed, user-chosen level applied to every domain (clamped into
+/// each domain's table and under each domain's allowed maximum).
 #[derive(Debug, Clone, Copy)]
 pub struct Userspace {
     level: usize,
 }
 
 impl Userspace {
-    /// Pins the CPU at `level`.
+    /// Pins every domain at `level`.
     pub fn new(level: usize) -> Userspace {
         Userspace { level }
     }
@@ -58,53 +59,92 @@ impl CpuGovernor for Userspace {
         "userspace"
     }
 
-    fn decide(&mut self, input: &GovernorInput<'_>) -> usize {
-        input
-            .opp
-            .clamp_index(self.level)
-            .min(input.opp.clamp_index(input.max_allowed_level))
+    fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
+        DvfsDecision::from_fn(input.domain_count(), |d| {
+            input.domains[d]
+                .opp
+                .clamp_index(self.level)
+                .min(input.cap(d))
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use usta_soc::nexus4;
-    use usta_soc::OppTable;
+    use crate::governor::test_support::{nexus4_domain, two_domains};
+    use crate::governor::DomainSample;
 
-    fn input<'a>(opp: &'a OppTable, cap: usize) -> GovernorInput<'a> {
-        GovernorInput {
+    fn decide_one(g: &mut dyn CpuGovernor, cap: usize) -> usize {
+        let domains = [nexus4_domain()];
+        let samples = [DomainSample {
             avg_utilization: 0.5,
             max_utilization: 0.5,
             current_level: 3,
-            max_allowed_level: cap,
-            opp,
-        }
+        }];
+        let caps = [cap];
+        g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+        })
+        .level(0)
+    }
+
+    fn top() -> usize {
+        nexus4_domain().max_index()
     }
 
     #[test]
     fn performance_is_max_allowed() {
-        let opp = nexus4::opp_table();
         let mut g = Performance;
-        assert_eq!(g.decide(&input(&opp, opp.max_index())), opp.max_index());
-        assert_eq!(g.decide(&input(&opp, 2)), 2);
+        assert_eq!(decide_one(&mut g, top()), top());
+        assert_eq!(decide_one(&mut g, 2), 2);
+    }
+
+    #[test]
+    fn performance_caps_each_domain_separately() {
+        let domains = two_domains();
+        let samples = [DomainSample::default(); 2];
+        let caps = [7, 2];
+        let mut g = Performance;
+        let decision = g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+        });
+        assert_eq!(decision.levels(), &[7, 2]);
     }
 
     #[test]
     fn powersave_is_bottom() {
-        let opp = nexus4::opp_table();
         let mut g = Powersave;
-        assert_eq!(g.decide(&input(&opp, opp.max_index())), 0);
+        assert_eq!(decide_one(&mut g, top()), 0);
     }
 
     #[test]
     fn userspace_pins_and_respects_cap() {
-        let opp = nexus4::opp_table();
         let mut g = Userspace::new(7);
-        assert_eq!(g.decide(&input(&opp, opp.max_index())), 7);
-        assert_eq!(g.decide(&input(&opp, 3)), 3);
+        assert_eq!(decide_one(&mut g, top()), 7);
+        assert_eq!(decide_one(&mut g, 3), 3);
         g.set_level(100);
         assert_eq!(g.level(), 100);
-        assert_eq!(g.decide(&input(&opp, opp.max_index())), opp.max_index());
+        assert_eq!(decide_one(&mut g, top()), top());
+    }
+
+    #[test]
+    fn userspace_clamps_into_each_domain_table() {
+        // Level 8 exists on the big table but not the 6-level LITTLE
+        // one: the pin clamps per domain.
+        let domains = two_domains();
+        let samples = [DomainSample::default(); 2];
+        let caps = [domains[0].max_index(), domains[1].max_index()];
+        let mut g = Userspace::new(8);
+        let decision = g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+        });
+        assert_eq!(decision.levels(), &[8, domains[1].max_index()]);
     }
 }

@@ -2,12 +2,20 @@
 //!
 //! Which device is simulated is data, not code: a
 //! [`usta_device::DeviceSpec`] (default: the paper's Nexus 4) supplies
-//! the OPP table, core count, power models, and thermal network.
+//! the cluster topology (one [`usta_soc::Cpu`] per frequency domain),
+//! power models, and thermal network. Workload threads are scheduled
+//! **big-first with spill**: each sampling window assigns thread `i` to
+//! virtual core `i mod total_cores` with the cores of earlier (faster)
+//! clusters first, so light loads run entirely on the big cluster and
+//! heavy loads wrap around — re-assignment every window is the
+//! migration-at-governor-period model.
 
 use usta_core::FeatureVector;
 use usta_device::DeviceSpec;
+use usta_governors::FreqDomain;
 use usta_soc::{
-    Battery, ChargeState, Cpu, CpuPowerModel, Display, GpuPowerModel, SensorParams, ThermalSensor,
+    Battery, ChargeState, Cpu, CpuPowerModel, Display, GpuPowerModel, PerDomain, SensorParams,
+    ThermalSensor,
 };
 use usta_thermal::{Celsius, HeatInput, PhoneNode, PhoneThermalModel, PhoneThermalParams};
 use usta_workloads::DeviceDemand;
@@ -15,7 +23,7 @@ use usta_workloads::DeviceDemand;
 /// Configuration of the simulated device.
 #[derive(Debug, Clone)]
 pub struct DeviceConfig {
-    /// Which device to instantiate (OPP table, cores, power models).
+    /// Which device to instantiate (clusters, power models).
     pub spec: DeviceSpec,
     /// Thermal network parameters. Starts as a copy of `spec.thermal`;
     /// scenario layers (cases, ambient bands) re-parameterise this copy
@@ -55,6 +63,19 @@ impl DeviceConfig {
     }
 }
 
+/// One frequency domain's observable state at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DomainState {
+    /// The domain's current frequency, kHz.
+    pub freq_khz: f64,
+    /// The domain's current OPP index.
+    pub level: usize,
+    /// Mean utilization across the domain's cores, 0–1.
+    pub avg_utilization: f64,
+    /// Busiest-core utilization within the domain, 0–1.
+    pub max_utilization: f64,
+}
+
 /// Everything the software (and the thermistor rig) can observe at one
 /// instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,24 +94,28 @@ pub struct Observation {
     pub skin_true: Celsius,
     /// Ground-truth screen temperature.
     pub screen_true: Celsius,
-    /// Mean CPU utilization over the last step.
+    /// Mean CPU utilization over the last step, across every core of
+    /// every domain.
     pub avg_utilization: f64,
-    /// Busiest-core utilization over the last step.
+    /// Busiest-core utilization over the last step, across all domains.
     pub max_utilization: f64,
-    /// Current CPU frequency, kHz.
+    /// Aggregate CPU frequency, kHz: the domain frequency on
+    /// single-domain devices, the capacity-weighted (per-core) mean on
+    /// multi-domain ones.
     pub freq_khz: f64,
-    /// Current OPP index.
-    pub level: usize,
+    /// Per-frequency-domain state, in the device's big-first order.
+    pub domains: PerDomain<DomainState>,
 }
 
 impl Observation {
-    /// The predictor's feature vector for this observation.
+    /// The predictor's feature vector for this observation (one
+    /// frequency input per domain).
     pub fn features(&self) -> FeatureVector {
         FeatureVector {
             cpu_temp: self.cpu_temp,
             battery_temp: self.battery_temp,
             utilization: self.avg_utilization,
-            freq_khz: self.freq_khz,
+            domain_freqs_khz: PerDomain::from_fn(self.domains.len(), |d| self.domains[d].freq_khz),
         }
     }
 }
@@ -98,9 +123,10 @@ impl Observation {
 /// The simulated phone.
 #[derive(Debug)]
 pub struct Device {
+    spec: DeviceSpec,
     phone: PhoneThermalModel,
-    cpu: Cpu,
-    cpu_power: CpuPowerModel,
+    clusters: Vec<Cpu>,
+    cluster_power: Vec<CpuPowerModel>,
     gpu_power: GpuPowerModel,
     display: Display,
     battery: Battery,
@@ -125,12 +151,13 @@ impl Device {
         phone.set_hand_contact(config.hand_held);
         let seed = config.sensor_seed;
         Ok(Device {
-            phone,
-            cpu: usta_soc::spec::cpu(&config.spec)?,
-            cpu_power: usta_soc::spec::cpu_power_model(&config.spec)?,
+            clusters: usta_soc::spec::cpus(&config.spec)?,
+            cluster_power: usta_soc::spec::cpu_power_models(&config.spec)?,
             gpu_power: usta_soc::spec::gpu_power_model(&config.spec)?,
             display: usta_soc::spec::display(&config.spec)?,
             battery: usta_soc::spec::battery(&config.spec, config.battery_soc)?,
+            spec: config.spec,
+            phone,
             cpu_sensor: ThermalSensor::new(SensorParams::kernel_zone(), seed ^ 0x01),
             battery_sensor: ThermalSensor::new(SensorParams::kernel_zone(), seed ^ 0x02),
             skin_thermistor: ThermalSensor::new(SensorParams::thermistor(), seed ^ 0x03),
@@ -153,13 +180,40 @@ impl Device {
         })
     }
 
-    /// Advances the device by `dt` seconds with the given demand, at the
-    /// given OPP index.
-    pub fn apply(&mut self, demand: &DeviceDemand, level: usize, dt: f64) {
-        self.cpu.set_level(level);
-        self.cpu.apply_demand(&usta_soc::CoreDemand::per_core(
-            demand.cpu_threads_khz.clone(),
-        ));
+    /// Advances the device by `dt` seconds with the given demand, with
+    /// each frequency domain at its own OPP index (`levels[d]`, clamped
+    /// into domain `d`'s table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len()` differs from [`Device::domains`].
+    pub fn apply(&mut self, demand: &DeviceDemand, levels: &[usize], dt: f64) {
+        assert_eq!(
+            levels.len(),
+            self.clusters.len(),
+            "one level per frequency domain"
+        );
+        for (cluster, &level) in self.clusters.iter_mut().zip(levels) {
+            cluster.set_level(level);
+        }
+
+        // Big-first spill scheduling: thread i lands on virtual core
+        // (i mod total), virtual cores enumerate the big cluster first.
+        // Reassigning from scratch each window is migration at the
+        // governor period.
+        let total_cores: usize = self.clusters.iter().map(Cpu::cores).sum();
+        let mut per_core = vec![0.0f64; total_cores];
+        for (i, &threads_khz) in demand.cpu_threads_khz.iter().enumerate() {
+            per_core[i % total_cores] += threads_khz.max(0.0);
+        }
+        let mut offset = 0;
+        for cluster in &mut self.clusters {
+            let cores = cluster.cores();
+            cluster.apply_demand(&usta_soc::CoreDemand::per_core(
+                per_core[offset..offset + cores].to_vec(),
+            ));
+            offset += cores;
+        }
 
         self.display.set_on(demand.display_on);
         self.display.set_brightness(demand.brightness);
@@ -176,10 +230,10 @@ impl Device {
         self.battery.set_charge_state(charge_state);
 
         let die = self.phone.cpu_temperature();
-        let freq = self.cpu.frequency();
-        let cpu_w = self
-            .cpu_power
-            .cluster_power(freq, self.cpu.utilizations(), die);
+        let mut cpu_w = 0.0;
+        for (cluster, power) in self.clusters.iter().zip(&self.cluster_power) {
+            cpu_w += power.cluster_power(cluster.frequency(), cluster.utilizations(), die);
+        }
         let gpu_w = self.gpu_power.power(demand.gpu_load);
         let display_total_w = self.display.power();
         // The backlight LEDs and display driver sit on the board; only
@@ -202,12 +256,48 @@ impl Device {
         self.phone.step(dt);
 
         self.total_demand_khz_s += demand.total_cpu_khz() * dt;
-        self.unserved_khz_s += self.cpu.unserved_khz() * dt;
+        let mut unserved = 0.0;
+        for cluster in &self.clusters {
+            unserved += cluster.unserved_khz();
+        }
+        self.unserved_khz_s += unserved * dt;
         self.clock_s += dt;
+    }
+
+    /// [`Device::apply`] with every domain at the same (clamped) level —
+    /// the single-domain call shape, still exact on one-domain devices.
+    pub fn apply_level(&mut self, demand: &DeviceDemand, level: usize, dt: f64) {
+        let levels: PerDomain<usize> = PerDomain::splat(self.clusters.len(), level);
+        self.apply(demand, levels.as_slice(), dt);
     }
 
     /// Takes a full observation (sensor reads advance the noise streams).
     pub fn observe(&mut self) -> Observation {
+        let domains = PerDomain::from_fn(self.clusters.len(), |d| {
+            let cluster = &self.clusters[d];
+            DomainState {
+                freq_khz: cluster.frequency().khz as f64,
+                level: cluster.level(),
+                avg_utilization: cluster.average_utilization(),
+                max_utilization: cluster.max_utilization(),
+            }
+        });
+        let total_cores: usize = self.clusters.iter().map(Cpu::cores).sum();
+        let mut util_sum = 0.0;
+        let mut max_utilization = 0.0f64;
+        for cluster in &self.clusters {
+            util_sum += cluster.utilizations().iter().sum::<f64>();
+            max_utilization = max_utilization.max(cluster.max_utilization());
+        }
+        let freq_khz = if self.clusters.len() == 1 {
+            domains[0].freq_khz
+        } else {
+            let mut weighted = 0.0;
+            for (d, cluster) in self.clusters.iter().enumerate() {
+                weighted += domains[d].freq_khz * cluster.cores() as f64;
+            }
+            weighted / total_cores as f64
+        };
         Observation {
             t: self.clock_s,
             cpu_temp: self.cpu_sensor.read(self.phone.cpu_temperature()),
@@ -216,10 +306,10 @@ impl Device {
             screen_thermistor: self.screen_thermistor.read(self.phone.screen_temperature()),
             skin_true: self.phone.skin_temperature(),
             screen_true: self.phone.screen_temperature(),
-            avg_utilization: self.cpu.average_utilization(),
-            max_utilization: self.cpu.max_utilization(),
-            freq_khz: self.cpu.frequency().khz as f64,
-            level: self.cpu.level(),
+            avg_utilization: util_sum / total_cores as f64,
+            max_utilization,
+            freq_khz,
+            domains,
         }
     }
 
@@ -248,6 +338,11 @@ impl Device {
         &self.phone
     }
 
+    /// The device spec this instance was built from.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
     /// Grabs/releases the phone with a hand.
     pub fn set_hand_held(&mut self, held: bool) {
         self.phone.set_hand_contact(held);
@@ -262,9 +357,32 @@ impl Device {
         self.screen_thermistor.reset();
     }
 
-    /// The OPP table of the device's CPU.
+    /// Number of frequency domains.
+    pub fn domains(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The control-plane descriptors of every frequency domain, in the
+    /// device's big-first order (owned copies — hand them to
+    /// [`usta_governors::GovernorInput`]).
+    pub fn freq_domains(&self) -> Vec<FreqDomain> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .map(|(d, cluster)| FreqDomain {
+                id: d,
+                name: self.spec.clusters[d].name,
+                cores: cluster.cores(),
+                opp: cluster.opp_table().clone(),
+                full_load_w: self.spec.clusters[d].full_load_w(),
+            })
+            .collect()
+    }
+
+    /// The OPP table of frequency domain 0 — on single-domain devices,
+    /// *the* OPP table.
     pub fn opp_table(&self) -> &usta_soc::OppTable {
-        self.cpu.opp_table()
+        self.clusters[0].opp_table()
     }
 
     /// Battery state of charge, 0–1.
@@ -298,7 +416,7 @@ mod tests {
         let mut d = Device::with_seed(1).unwrap();
         let start = d.observe().skin_true;
         for _ in 0..600 {
-            d.apply(&busy_demand(), 11, 1.0);
+            d.apply_level(&busy_demand(), 11, 1.0);
         }
         let end = d.observe().skin_true;
         assert!(
@@ -313,8 +431,8 @@ mod tests {
         let mut hot = Device::with_seed(1).unwrap();
         let mut cool = Device::with_seed(1).unwrap();
         for _ in 0..600 {
-            hot.apply(&busy_demand(), 11, 1.0);
-            cool.apply(&busy_demand(), 0, 1.0);
+            hot.apply_level(&busy_demand(), 11, 1.0);
+            cool.apply_level(&busy_demand(), 0, 1.0);
         }
         let dh = hot.observe().skin_true;
         let dc = cool.observe().skin_true;
@@ -327,10 +445,10 @@ mod tests {
     #[test]
     fn utilization_saturates_at_min_level() {
         let mut d = Device::with_seed(1).unwrap();
-        d.apply(&busy_demand(), 0, 0.1);
+        d.apply_level(&busy_demand(), 0, 0.1);
         let o = d.observe();
         assert_eq!(o.max_utilization, 1.0);
-        assert_eq!(o.level, 0);
+        assert_eq!(o.domains[0].level, 0);
         assert!(d.unserved_fraction() > 0.5);
     }
 
@@ -343,8 +461,8 @@ mod tests {
             ..DeviceDemand::idle()
         };
         for _ in 0..1800 {
-            charging.apply(&charge_demand, 0, 1.0);
-            idle.apply(&DeviceDemand::idle(), 0, 1.0);
+            charging.apply_level(&charge_demand, 0, 1.0);
+            idle.apply_level(&DeviceDemand::idle(), 0, 1.0);
         }
         let tc = charging.observe().skin_true;
         let ti = idle.observe().skin_true;
@@ -355,13 +473,14 @@ mod tests {
     #[test]
     fn observation_features_match_sensor_values() {
         let mut d = Device::with_seed(3).unwrap();
-        d.apply(&busy_demand(), 5, 0.1);
+        d.apply_level(&busy_demand(), 5, 0.1);
         let o = d.observe();
         let f = o.features();
         assert_eq!(f.cpu_temp, o.cpu_temp);
         assert_eq!(f.battery_temp, o.battery_temp);
         assert_eq!(f.utilization, o.avg_utilization);
-        assert_eq!(f.freq_khz, o.freq_khz);
+        assert_eq!(f.freq_khz(), o.freq_khz);
+        assert_eq!(f.domains(), 1);
     }
 
     #[test]
@@ -369,8 +488,8 @@ mod tests {
         let mut a = Device::with_seed(9).unwrap();
         let mut b = Device::with_seed(9).unwrap();
         for _ in 0..100 {
-            a.apply(&busy_demand(), 7, 0.1);
-            b.apply(&busy_demand(), 7, 0.1);
+            a.apply_level(&busy_demand(), 7, 0.1);
+            b.apply_level(&busy_demand(), 7, 0.1);
         }
         assert_eq!(a.observe(), b.observe());
     }
@@ -379,7 +498,7 @@ mod tests {
     fn thermistors_track_truth_closely() {
         let mut d = Device::with_seed(4).unwrap();
         for _ in 0..300 {
-            d.apply(&busy_demand(), 11, 1.0);
+            d.apply_level(&busy_demand(), 11, 1.0);
         }
         let o = d.observe();
         assert!((o.skin_thermistor - o.skin_true).abs() < 1.0);
@@ -390,29 +509,94 @@ mod tests {
     fn reset_thermals_restarts_cold() {
         let mut d = Device::with_seed(5).unwrap();
         for _ in 0..100 {
-            d.apply(&busy_demand(), 11, 1.0);
+            d.apply_level(&busy_demand(), 11, 1.0);
         }
         d.reset_thermals_to(Celsius(28.0));
         assert_eq!(d.observe().skin_true, Celsius(28.0));
     }
 
     #[test]
-    fn catalog_devices_build_and_expose_their_own_opp_tables() {
+    fn catalog_devices_build_and_expose_their_own_domains() {
         for id in usta_device::NAMES {
             let config = DeviceConfig::for_device_id(id).expect("catalog id");
+            let spec_domains = config.spec.domains();
             let spec_max = config.spec.max_khz();
             let d = Device::new(config).expect("catalog device builds");
+            assert_eq!(d.domains(), spec_domains, "{id}");
+            let freq_domains = d.freq_domains();
+            assert_eq!(freq_domains.len(), spec_domains, "{id}");
+            // Big-first: domain 0 carries the device's top frequency.
+            assert_eq!(freq_domains[0].opp.max().khz, spec_max, "{id}");
             assert_eq!(d.opp_table().max().khz, spec_max, "{id}");
             assert_eq!(d.phone().params().capacitance.len(), 7, "{id}");
+            assert!(freq_domains.iter().all(|fd| fd.full_load_w > 0.0), "{id}");
         }
         assert!(DeviceConfig::for_device_id("no-such-device").is_none());
     }
 
     #[test]
+    fn flagship_schedules_big_first_with_spill() {
+        let mut d = Device::new(DeviceConfig {
+            sensor_seed: 1,
+            ..DeviceConfig::for_device_id("flagship-octa").unwrap()
+        })
+        .unwrap();
+        let tops: Vec<usize> = d
+            .freq_domains()
+            .iter()
+            .map(|fd| fd.opp.max_index())
+            .collect();
+        // Two busy threads: both fit on the big cluster, LITTLE idles.
+        let light = DeviceDemand {
+            cpu_threads_khz: vec![500_000.0; 2],
+            ..busy_demand()
+        };
+        d.apply(&light, &[tops[0], tops[1]], 0.1);
+        let o = d.observe();
+        assert!(o.domains[0].avg_utilization > 0.0, "big runs the threads");
+        assert_eq!(o.domains[1].avg_utilization, 0.0, "LITTLE idles");
+        // Six threads spill: four on big, two on LITTLE.
+        let six = DeviceDemand {
+            cpu_threads_khz: vec![500_000.0; 6],
+            ..busy_demand()
+        };
+        d.apply(&six, &[tops[0], tops[1]], 0.1);
+        let o = d.observe();
+        assert!(o.domains[0].avg_utilization > 0.0);
+        assert!(o.domains[1].avg_utilization > 0.0, "spill reaches LITTLE");
+        assert!(
+            o.domains[0].avg_utilization > o.domains[1].avg_utilization,
+            "big carries more of the load"
+        );
+    }
+
+    #[test]
+    fn flagship_domains_run_at_independent_levels() {
+        let mut d = Device::new(DeviceConfig {
+            sensor_seed: 1,
+            ..DeviceConfig::for_device_id("flagship-octa").unwrap()
+        })
+        .unwrap();
+        let eight = DeviceDemand {
+            cpu_threads_khz: vec![400_000.0; 8],
+            ..busy_demand()
+        };
+        d.apply(&eight, &[10, 2], 0.1);
+        let o = d.observe();
+        assert_eq!(o.domains[0].level, 10);
+        assert_eq!(o.domains[1].level, 2);
+        assert!(o.domains[0].freq_khz > o.domains[1].freq_khz);
+        // Aggregate frequency sits between the two domain clocks.
+        assert!(o.freq_khz < o.domains[0].freq_khz);
+        assert!(o.freq_khz > o.domains[1].freq_khz);
+    }
+
+    #[test]
     fn octa_core_serves_demand_a_quad_core_drops() {
-        // Eight threads of heavy demand: the flagship's eight cores at a
-        // 2 GHz top level serve them all; the budget quad at 1.1 GHz
-        // must fold two threads onto each core and drop the surplus.
+        // Eight threads of heavy demand: the flagship's eight cores
+        // across two domains serve them all at top levels; the budget
+        // quad at 1.1 GHz must fold two threads onto each core and drop
+        // the surplus.
         let demand = DeviceDemand {
             cpu_threads_khz: vec![1_000_000.0; 8],
             ..busy_demand()
@@ -427,10 +611,13 @@ mod tests {
             ..DeviceConfig::for_device_id("budget-quad").unwrap()
         })
         .unwrap();
-        let top_f = flagship.opp_table().max_index();
-        let top_b = budget.opp_table().max_index();
-        flagship.apply(&demand, top_f, 1.0);
-        budget.apply(&demand, top_b, 1.0);
+        let tops: Vec<usize> = flagship
+            .freq_domains()
+            .iter()
+            .map(|fd| fd.opp.max_index())
+            .collect();
+        flagship.apply(&demand, &tops, 1.0);
+        budget.apply_level(&demand, budget.opp_table().max_index(), 1.0);
         assert_eq!(flagship.unserved_fraction(), 0.0);
         assert!(budget.unserved_fraction() > 0.4);
     }
@@ -448,8 +635,8 @@ mod tests {
         for _ in 0..600 {
             let level_p = phone.opp_table().max_index();
             let level_t = tablet.opp_table().max_index();
-            phone.apply(&busy_demand(), level_p, 1.0);
-            tablet.apply(&busy_demand(), level_t, 1.0);
+            phone.apply_level(&busy_demand(), level_p, 1.0);
+            tablet.apply_level(&busy_demand(), level_t, 1.0);
         }
         let p = phone.observe().skin_true;
         let t = tablet.observe().skin_true;
@@ -462,7 +649,7 @@ mod tests {
     #[test]
     fn qos_accounting_resets() {
         let mut d = Device::with_seed(6).unwrap();
-        d.apply(&busy_demand(), 0, 1.0);
+        d.apply_level(&busy_demand(), 0, 1.0);
         assert!(d.unserved_fraction() > 0.0);
         d.reset_qos_accounting();
         assert_eq!(d.unserved_fraction(), 0.0);

@@ -11,9 +11,11 @@
 //! cover throughout.
 
 use crate::device::{Device, DeviceConfig};
+use crate::runner::DvfsLoop;
 use usta_core::comfort::discomfort_instant;
 use usta_core::user::{UserPopulation, UserProfile};
-use usta_governors::{CpuGovernor, GovernorInput, OnDemand};
+use usta_governors::OnDemand;
+use usta_soc::PerDomain;
 use usta_thermal::Celsius;
 use usta_workloads::{Benchmark, Workload};
 
@@ -164,7 +166,7 @@ fn rest(device: &mut Device, seconds: f64) {
     let idle = usta_workloads::DeviceDemand::idle();
     device.set_hand_held(false);
     while t < seconds {
-        device.apply(&idle, 0, 0.5);
+        device.apply_level(&idle, 0, 0.5);
         t += 0.5;
     }
     device.set_hand_held(true);
@@ -186,9 +188,9 @@ fn run_session(
 ) -> SessionTrace {
     let mut workload = Benchmark::AntutuTester.workload(seed);
     let mut governor = OnDemand::default();
-    let opp = device.opp_table().clone();
+    let dvfs = DvfsLoop::for_device(device);
     let dt = 0.1;
-    let mut level = 0usize;
+    let mut levels: PerDomain<usize> = PerDomain::splat(device.domains(), 0);
     let mut t = 0.0;
     let mut skin = Vec::new();
     let mut screen = Vec::new();
@@ -197,16 +199,9 @@ fn run_session(
     while t < cap_s {
         // The tester app restarts if it finishes early.
         let demand = workload.demand_at(t % workload.duration(), dt);
-        device.apply(&demand, level, dt);
+        device.apply(&demand, levels.as_slice(), dt);
         let obs = device.observe();
-        let input = GovernorInput {
-            avg_utilization: obs.avg_utilization,
-            max_utilization: obs.max_utilization,
-            current_level: level,
-            max_allowed_level: opp.max_index(),
-            opp: &opp,
-        };
-        level = governor.decide(&input);
+        levels = dvfs.decide(&mut governor, &obs, &levels);
         if t + 1e-9 >= next_sample {
             skin.push((t, obs.skin_true));
             screen.push((t, obs.screen_true));

@@ -7,7 +7,9 @@
 //! device significantly, especially when the phone is actively used".
 
 use crate::device::{Device, DeviceConfig};
-use usta_governors::{CpuGovernor, GovernorInput, OnDemand};
+use crate::runner::DvfsLoop;
+use usta_governors::OnDemand;
+use usta_soc::PerDomain;
 use usta_thermal::Celsius;
 use usta_workloads::{Benchmark, DeviceDemand, Workload};
 
@@ -87,9 +89,9 @@ pub fn touch(seed: u64) -> TouchResult {
         }
         let mut workload = Benchmark::AntutuTester.workload(seed);
         let mut governor = OnDemand::default();
-        let opp = device.opp_table().clone();
+        let dvfs = DvfsLoop::for_device(&device);
         let dt = 0.1;
-        let mut level = 0usize;
+        let mut levels: PerDomain<usize> = PerDomain::splat(device.domains(), 0);
         let mut t = 0.0;
         while t < WINDOW_S {
             let demand = if active {
@@ -97,16 +99,9 @@ pub fn touch(seed: u64) -> TouchResult {
             } else {
                 DeviceDemand::idle()
             };
-            device.apply(&demand, level, dt);
+            device.apply(&demand, levels.as_slice(), dt);
             let obs = device.observe();
-            let input = GovernorInput {
-                avg_utilization: obs.avg_utilization,
-                max_utilization: obs.max_utilization,
-                current_level: level,
-                max_allowed_level: opp.max_index(),
-                opp: &opp,
-            };
-            level = governor.decide(&input);
+            levels = dvfs.decide(&mut governor, &obs, &levels);
             t += dt;
         }
         TouchEntry {

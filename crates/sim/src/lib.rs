@@ -4,7 +4,10 @@
 //! workloads (`usta-workloads`) drive a SoC model (`usta-soc`) whose heat
 //! flows through a calibrated RC network (`usta-thermal`), while a
 //! cpufreq governor (`usta-governors`) — optionally wrapped by USTA
-//! (`usta-core`) — picks operating points from sampled utilization.
+//! (`usta-core`) — picks one operating point per frequency domain from
+//! each domain's sampled utilization (big.LITTLE devices run two
+//! domains with big-first spill scheduling; the paper's Nexus 4 runs
+//! one).
 //!
 //! The [`experiments`] module reproduces, one function per artifact,
 //! every table and figure of the paper's evaluation:
@@ -27,7 +30,8 @@
 //! let mut device = Device::new(DeviceConfig::default())?;
 //! let mut skype = Benchmark::Skype.workload(42);
 //! let demand = skype.demand_at(0.0, 0.1);
-//! device.apply(&demand, 11, 0.1); // one 100 ms step at the top OPP
+//! device.apply_level(&demand, 11, 0.1); // one 100 ms step at the top OPP
+//! assert_eq!(device.domains(), 1); // the Nexus 4 has one frequency domain
 //! assert!(device.clock() > 0.0);
 //! # Ok(())
 //! # }

@@ -4,21 +4,120 @@
 use crate::runner::RunResult;
 use std::io::{self, Write};
 
+/// Why a trace export failed.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Two parallel traces have different lengths — the rows would
+    /// silently truncate to the shortest, so the export refuses.
+    LengthMismatch {
+        /// The trace whose length diverges (`"screen"`, `"freq"`,
+        /// `"domains"`, or a domain column name).
+        trace: String,
+        /// The reference length: the skin trace's, or the domain-name
+        /// list's for the `"domains"` count check.
+        expected: usize,
+        /// The diverging trace's length.
+        found: usize,
+    },
+    /// The underlying writer failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::LengthMismatch {
+                trace,
+                expected,
+                found,
+            } => write!(
+                f,
+                "trace {trace:?} has {found} rows, skin trace has {expected}"
+            ),
+            TraceError::Io(e) => write!(f, "trace I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::LengthMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> TraceError {
+        TraceError::Io(e)
+    }
+}
+
+fn check_lengths(result: &RunResult) -> Result<(), TraceError> {
+    let expected = result.skin_trace.len();
+    let mismatch = |trace: &str, found: usize| TraceError::LengthMismatch {
+        trace: trace.to_owned(),
+        expected,
+        found,
+    };
+    if result.screen_trace.len() != expected {
+        return Err(mismatch("screen", result.screen_trace.len()));
+    }
+    if result.freq_trace.len() != expected {
+        return Err(mismatch("freq", result.freq_trace.len()));
+    }
+    if result.domain_freq_traces.len() != result.domain_names.len() {
+        // Here the reference count is the domain list, not the skin
+        // trace: one frequency trace per named domain.
+        return Err(TraceError::LengthMismatch {
+            trace: "domains".to_owned(),
+            expected: result.domain_names.len(),
+            found: result.domain_freq_traces.len(),
+        });
+    }
+    for (name, trace) in result.domain_names.iter().zip(&result.domain_freq_traces) {
+        if trace.len() != expected {
+            return Err(mismatch(&format!("freq_khz_{name}"), trace.len()));
+        }
+    }
+    Ok(())
+}
+
 /// Writes a run's traces as CSV: one row per log instant with columns
 /// `t_s, skin_c, screen_c, freq_khz, prediction_c` (the prediction
 /// column is empty for baseline runs and between USTA's 3 s updates).
+/// Multi-domain runs insert one `freq_khz_<domain>` column per
+/// frequency domain between `freq_khz` (the capacity-weighted
+/// aggregate) and `prediction_c`; single-domain runs keep the
+/// historical five-column layout, where `freq_khz` *is* the domain
+/// frequency.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the writer.
-pub fn write_csv<W: Write>(result: &RunResult, mut w: W) -> io::Result<()> {
-    writeln!(w, "t_s,skin_c,screen_c,freq_khz,prediction_c")?;
+/// Returns [`TraceError::LengthMismatch`] when the parallel traces
+/// diverge in length (instead of silently truncating rows), and
+/// [`TraceError::Io`] for writer failures.
+pub fn write_csv<W: Write>(result: &RunResult, mut w: W) -> Result<(), TraceError> {
+    check_lengths(result)?;
+    let multi_domain = result.domains() > 1;
+    let mut header = String::from("t_s,skin_c,screen_c,freq_khz");
+    if multi_domain {
+        for name in &result.domain_names {
+            header.push_str(",freq_khz_");
+            header.push_str(name);
+        }
+    }
+    header.push_str(",prediction_c");
+    writeln!(w, "{header}")?;
+
     let mut predictions = result.predictions.iter().peekable();
-    for (((t, skin), (_, screen)), (_, freq)) in result
+    for (i, (((t, skin), (_, screen)), (_, freq))) in result
         .skin_trace
         .iter()
         .zip(&result.screen_trace)
         .zip(&result.freq_trace)
+        .enumerate()
     {
         // Attach the most recent prediction at or before this instant.
         let mut latest = None;
@@ -30,40 +129,43 @@ pub fn write_csv<W: Write>(result: &RunResult, mut w: W) -> io::Result<()> {
                 break;
             }
         }
+        write!(
+            w,
+            "{:.1},{:.4},{:.4},{:.0}",
+            t,
+            skin.value(),
+            screen.value(),
+            freq
+        )?;
+        if multi_domain {
+            for trace in &result.domain_freq_traces {
+                write!(w, ",{:.0}", trace[i].1)?;
+            }
+        }
         match latest {
-            Some(p) => writeln!(
-                w,
-                "{:.1},{:.4},{:.4},{:.0},{:.4}",
-                t,
-                skin.value(),
-                screen.value(),
-                freq,
-                p.value()
-            )?,
-            None => writeln!(
-                w,
-                "{:.1},{:.4},{:.4},{:.0},",
-                t,
-                skin.value(),
-                screen.value(),
-                freq
-            )?,
+            Some(p) => writeln!(w, ",{:.4}", p.value())?,
+            None => writeln!(w, ",")?,
         }
     }
     Ok(())
 }
 
 /// Renders the traces to a CSV string (convenience over [`write_csv`]).
-pub fn to_csv_string(result: &RunResult) -> String {
+///
+/// # Errors
+///
+/// Returns [`TraceError::LengthMismatch`] when the parallel traces
+/// diverge in length.
+pub fn to_csv_string(result: &RunResult) -> Result<String, TraceError> {
     let mut buf = Vec::new();
-    write_csv(result, &mut buf).expect("writing to a Vec cannot fail");
-    String::from_utf8(buf).expect("CSV output is ASCII")
+    write_csv(result, &mut buf)?;
+    Ok(String::from_utf8(buf).expect("CSV output is ASCII"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::device::Device;
+    use crate::device::{Device, DeviceConfig};
     use crate::runner::{run_workload, Governor, RunConfig};
     use usta_governors::OnDemand;
     use usta_workloads::ConstantLoad;
@@ -80,10 +182,26 @@ mod tests {
         )
     }
 
+    fn flagship_run() -> RunResult {
+        let mut device = Device::new(DeviceConfig {
+            sensor_seed: 1,
+            ..DeviceConfig::for_device_id("flagship-octa").expect("built-in")
+        })
+        .expect("builds");
+        let mut workload = ConstantLoad::new("x", 12.0, 700_000.0, 8);
+        let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
+        run_workload(
+            &mut device,
+            &mut workload,
+            &mut governor,
+            &RunConfig::default(),
+        )
+    }
+
     #[test]
     fn csv_has_header_and_one_row_per_log_instant() {
         let result = short_run();
-        let csv = to_csv_string(&result);
+        let csv = to_csv_string(&result).expect("consistent traces");
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "t_s,skin_c,screen_c,freq_khz,prediction_c");
         // 12 s at 3 s cadence → 4 rows.
@@ -93,7 +211,7 @@ mod tests {
 
     #[test]
     fn baseline_rows_have_empty_prediction_column() {
-        let csv = to_csv_string(&short_run());
+        let csv = to_csv_string(&short_run()).expect("consistent traces");
         for line in csv.lines().skip(1) {
             assert!(line.ends_with(','), "baseline row should end empty: {line}");
             assert_eq!(line.split(',').count(), 5);
@@ -103,12 +221,60 @@ mod tests {
     #[test]
     fn values_parse_back() {
         let result = short_run();
-        let csv = to_csv_string(&result);
+        let csv = to_csv_string(&result).expect("consistent traces");
         let first = csv.lines().nth(1).expect("data row");
         let fields: Vec<&str> = first.split(',').collect();
         let skin: f64 = fields[1].parse().expect("numeric skin");
         assert!((skin - result.skin_trace[0].1.value()).abs() < 1e-3);
         let freq: f64 = fields[3].parse().expect("numeric freq");
         assert!(freq >= 384_000.0);
+    }
+
+    #[test]
+    fn multi_domain_runs_get_one_frequency_column_per_domain() {
+        let result = flagship_run();
+        let csv = to_csv_string(&result).expect("consistent traces");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "t_s,skin_c,screen_c,freq_khz,freq_khz_big,freq_khz_little,prediction_c"
+        );
+        for line in &lines[1..] {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 7, "{line:?}");
+            let aggregate: f64 = fields[3].parse().unwrap();
+            let big: f64 = fields[4].parse().unwrap();
+            let little: f64 = fields[5].parse().unwrap();
+            assert!(
+                little <= aggregate && aggregate <= big,
+                "aggregate must sit between the domain clocks: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn diverged_traces_are_a_structured_error_not_a_truncation() {
+        let mut result = short_run();
+        result.freq_trace.pop();
+        match to_csv_string(&result) {
+            Err(TraceError::LengthMismatch {
+                trace,
+                expected,
+                found,
+            }) => {
+                assert_eq!(trace, "freq");
+                assert_eq!(expected, 4);
+                assert_eq!(found, 3);
+            }
+            other => panic!("expected LengthMismatch, got {other:?}"),
+        }
+
+        let mut result = short_run();
+        result.domain_freq_traces[0].pop();
+        let err = to_csv_string(&result).unwrap_err();
+        assert!(
+            err.to_string().contains("freq_khz_cpu"),
+            "domain mismatch names its column: {err}"
+        );
     }
 }

@@ -18,8 +18,12 @@
 //! * [`sensors`] — noisy, quantized thermal sensors standing in for both
 //!   the on-device CPU/battery sensors and the paper's external
 //!   thermistors;
+//! * [`domain`] — fixed-capacity [`PerDomain`] vectors carrying
+//!   per-frequency-domain state (samples, caps, decisions) through the
+//!   hot loop without heap allocation;
 //! * [`spec`] — constructors building each of the above from a
-//!   data-driven [`usta_device::DeviceSpec`] (any catalog device);
+//!   data-driven [`usta_device::DeviceSpec`] (any catalog device, one
+//!   model per cluster);
 //! * [`nexus4`] — the calibrated preset tying it all together, now a
 //!   thin wrapper over the registry's `nexus4` spec.
 //!
@@ -39,6 +43,7 @@
 pub mod battery;
 pub mod cpu;
 pub mod display;
+pub mod domain;
 pub mod error;
 pub mod freq;
 pub mod nexus4;
@@ -49,6 +54,7 @@ pub mod spec;
 pub use battery::{Battery, BatteryParams, ChargeState};
 pub use cpu::{CoreDemand, Cpu, CpuParams};
 pub use display::{Display, DisplayParams};
+pub use domain::{PerDomain, MAX_FREQ_DOMAINS};
 pub use error::SocError;
 pub use freq::{FrequencyLevel, OppTable};
 pub use power::{CpuPowerModel, GpuPowerModel};

@@ -30,13 +30,13 @@ fn spec() -> &'static DeviceSpec {
 /// linear voltage ramp from 0.95 V to 1.25 V — the documented krait
 /// PVS-nominal range.
 pub fn opp_table() -> OppTable {
-    crate::spec::opp_table(spec()).expect("registry spec is valid")
+    crate::spec::opp_table(spec(), 0).expect("registry spec is valid")
 }
 
 /// CPU power model calibrated so four busy cores at the top OPP burn
 /// ≈3.6 W plus leakage — the APQ8064's sustained ballpark.
 pub fn cpu_power_model() -> CpuPowerModel {
-    crate::spec::cpu_power_model(spec()).expect("registry spec is valid")
+    crate::spec::cpu_power_model(spec(), 0).expect("registry spec is valid")
 }
 
 /// Adreno-320-class GPU: ≈1.6 W flat out, ≈0.05 W idle.
@@ -50,7 +50,7 @@ pub fn gpu_power_model() -> GpuPowerModel {
 ///
 /// Never fails for the registry spec; the `Result` mirrors [`Cpu::new`].
 pub fn cpu() -> Result<Cpu, SocError> {
-    crate::spec::cpu(spec())
+    crate::spec::cpu(spec(), 0)
 }
 
 /// The 2100 mAh pack at the given state of charge.

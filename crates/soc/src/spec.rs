@@ -1,24 +1,29 @@
 //! Building live SoC models from a [`usta_device::DeviceSpec`].
 //!
 //! `usta-device` holds plain data; this module turns each section of a
-//! spec into the corresponding model type of this crate. Every
-//! constructor revalidates through the model's own `new` (the spec was
-//! already checked at registry construction, so failures here mean a
-//! hand-built spec slipped past [`DeviceSpec::validate`]).
+//! spec into the corresponding model type of this crate. The CPU side
+//! is per-cluster: each [`usta_device::ClusterSpec`] (one frequency
+//! domain) yields its own [`OppTable`], [`Cpu`], and [`CpuPowerModel`].
+//! Every constructor revalidates through the model's own `new` (the
+//! spec was already checked at registry construction, so failures here
+//! mean a hand-built spec slipped past
+//! [`DeviceSpec::validate`](usta_device::DeviceSpec::validate)).
 //!
 //! ```
 //! use usta_device::by_id;
 //!
 //! # fn main() -> Result<(), usta_soc::SocError> {
 //! let spec = by_id("flagship-octa").expect("built-in");
-//! let cpu = usta_soc::spec::cpu(spec)?;
-//! assert_eq!(cpu.cores(), 8);
-//! assert_eq!(cpu.opp_table().max().khz, 2_016_000);
+//! let big = usta_soc::spec::cpu(spec, 0)?;
+//! let little = usta_soc::spec::cpu(spec, 1)?;
+//! assert_eq!(big.cores() + little.cores(), 8);
+//! assert_eq!(big.opp_table().max().khz, 2_016_000);
+//! assert_eq!(little.opp_table().max().khz, 1_363_200);
 //! # Ok(())
 //! # }
 //! ```
 
-use usta_device::DeviceSpec;
+use usta_device::{ClusterSpec, DeviceSpec};
 
 use crate::battery::{Battery, BatteryParams};
 use crate::cpu::{Cpu, CpuParams};
@@ -27,15 +32,28 @@ use crate::error::SocError;
 use crate::freq::{FrequencyLevel, OppTable};
 use crate::power::{CpuPowerModel, GpuPowerModel};
 
-/// The spec's OPP table as a cpufreq [`OppTable`].
+/// The given cluster of the spec, or [`SocError::InvalidParameter`]
+/// when the index is out of range.
+fn spec_cluster(spec: &DeviceSpec, cluster: usize) -> Result<&ClusterSpec, SocError> {
+    spec.clusters
+        .get(cluster)
+        .ok_or(SocError::InvalidParameter {
+            name: "cluster",
+            value: cluster as f64,
+        })
+}
+
+/// One cluster's OPP table as a cpufreq [`OppTable`].
 ///
 /// # Errors
 ///
-/// Returns [`SocError`] if the spec's levels are empty, unsorted, or
-/// non-positive (impossible for registry-validated specs).
-pub fn opp_table(spec: &DeviceSpec) -> Result<OppTable, SocError> {
+/// Returns [`SocError`] if the cluster index is out of range or its
+/// levels are empty, unsorted, or non-positive (impossible for
+/// registry-validated specs).
+pub fn opp_table(spec: &DeviceSpec, cluster: usize) -> Result<OppTable, SocError> {
     OppTable::new(
-        spec.opp
+        spec_cluster(spec, cluster)?
+            .opp
             .iter()
             .map(|p| FrequencyLevel {
                 khz: p.khz,
@@ -45,18 +63,51 @@ pub fn opp_table(spec: &DeviceSpec) -> Result<OppTable, SocError> {
     )
 }
 
-/// The spec's CPU power coefficients as a [`CpuPowerModel`].
+/// One cluster's power coefficients as a [`CpuPowerModel`].
 ///
 /// # Errors
 ///
-/// Returns [`SocError::InvalidParameter`] for out-of-range coefficients.
-pub fn cpu_power_model(spec: &DeviceSpec) -> Result<CpuPowerModel, SocError> {
+/// Returns [`SocError::InvalidParameter`] for a bad cluster index or
+/// out-of-range coefficients.
+pub fn cpu_power_model(spec: &DeviceSpec, cluster: usize) -> Result<CpuPowerModel, SocError> {
+    let c = spec_cluster(spec, cluster)?;
     CpuPowerModel::new(
-        spec.cpu_power.ceff_farads,
-        spec.cpu_power.leak_coeff_a,
-        spec.cpu_power.leak_temp_per_k,
-        spec.cpu_power.idle_uncore_w,
+        c.cpu_power.ceff_farads,
+        c.cpu_power.leak_coeff_a,
+        c.cpu_power.leak_temp_per_k,
+        c.cpu_power.idle_uncore_w,
     )
+}
+
+/// One cluster's CPU: its cores on its OPP table, idle at the lowest
+/// operating point.
+///
+/// # Errors
+///
+/// Propagates OPP-table conversion errors and rejects zero cores.
+pub fn cpu(spec: &DeviceSpec, cluster: usize) -> Result<Cpu, SocError> {
+    let cores = spec_cluster(spec, cluster)?.cores;
+    Cpu::new(CpuParams { cores }, opp_table(spec, cluster)?)
+}
+
+/// Every cluster's CPU, in the spec's big-first domain order.
+///
+/// # Errors
+///
+/// Propagates the first failing cluster's error.
+pub fn cpus(spec: &DeviceSpec) -> Result<Vec<Cpu>, SocError> {
+    (0..spec.domains()).map(|d| cpu(spec, d)).collect()
+}
+
+/// Every cluster's power model, in the spec's domain order.
+///
+/// # Errors
+///
+/// Propagates the first failing cluster's error.
+pub fn cpu_power_models(spec: &DeviceSpec) -> Result<Vec<CpuPowerModel>, SocError> {
+    (0..spec.domains())
+        .map(|d| cpu_power_model(spec, d))
+        .collect()
 }
 
 /// The spec's GPU power model.
@@ -66,16 +117,6 @@ pub fn cpu_power_model(spec: &DeviceSpec) -> Result<CpuPowerModel, SocError> {
 /// Returns [`SocError::InvalidParameter`] for out-of-range powers.
 pub fn gpu_power_model(spec: &DeviceSpec) -> Result<GpuPowerModel, SocError> {
     GpuPowerModel::new(spec.gpu_power.max_w, spec.gpu_power.idle_w)
-}
-
-/// The spec's CPU: `spec.cores` cores on the spec's OPP table, idle at
-/// the lowest operating point.
-///
-/// # Errors
-///
-/// Propagates OPP-table conversion errors and rejects zero cores.
-pub fn cpu(spec: &DeviceSpec) -> Result<Cpu, SocError> {
-    Cpu::new(CpuParams { cores: spec.cores }, opp_table(spec)?)
 }
 
 /// The spec's display panel.
@@ -115,13 +156,22 @@ mod tests {
     use usta_device::{by_id, Registry};
 
     #[test]
-    fn every_builtin_spec_builds_every_model() {
+    fn every_builtin_spec_builds_every_model_per_cluster() {
         for spec in Registry::builtin().specs() {
-            let table = opp_table(spec).unwrap_or_else(|e| panic!("{}: {e}", spec.id));
-            assert_eq!(table.len(), spec.opp.len(), "{}", spec.id);
-            let cpu = cpu(spec).unwrap();
-            assert_eq!(cpu.cores(), spec.cores, "{}", spec.id);
-            assert!(cpu_power_model(spec).is_ok(), "{}", spec.id);
+            for (d, cluster) in spec.clusters.iter().enumerate() {
+                let table = opp_table(spec, d).unwrap_or_else(|e| panic!("{}/{}: {e}", spec.id, d));
+                assert_eq!(table.len(), cluster.opp.len(), "{}/{}", spec.id, d);
+                let cpu = cpu(spec, d).unwrap();
+                assert_eq!(cpu.cores(), cluster.cores, "{}/{}", spec.id, d);
+                assert!(cpu_power_model(spec, d).is_ok(), "{}/{}", spec.id, d);
+            }
+            assert_eq!(cpus(spec).unwrap().len(), spec.domains(), "{}", spec.id);
+            assert_eq!(
+                cpu_power_models(spec).unwrap().len(),
+                spec.domains(),
+                "{}",
+                spec.id
+            );
             assert!(gpu_power_model(spec).is_ok(), "{}", spec.id);
             assert!(display(spec).is_ok(), "{}", spec.id);
             assert!(battery(spec, 0.5).is_ok(), "{}", spec.id);
@@ -131,9 +181,9 @@ mod tests {
     #[test]
     fn nexus4_spec_reproduces_the_preset_models() {
         let spec = by_id("nexus4").expect("built-in");
-        assert_eq!(opp_table(spec).unwrap(), crate::nexus4::opp_table());
+        assert_eq!(opp_table(spec, 0).unwrap(), crate::nexus4::opp_table());
         assert_eq!(
-            cpu_power_model(spec).unwrap(),
+            cpu_power_model(spec, 0).unwrap(),
             crate::nexus4::cpu_power_model()
         );
         assert_eq!(
@@ -144,12 +194,20 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_cluster_index_is_an_error() {
+        let spec = by_id("nexus4").expect("built-in");
+        assert!(opp_table(spec, 1).is_err());
+        assert!(cpu(spec, 7).is_err());
+        assert!(cpu_power_model(spec, 2).is_err());
+    }
+
+    #[test]
     fn hand_built_invalid_spec_is_caught_at_model_construction() {
         let mut bad = usta_device::nexus4();
-        bad.opp.clear();
-        assert!(opp_table(&bad).is_err());
+        bad.clusters[0].opp.clear();
+        assert!(opp_table(&bad, 0).is_err());
         bad = usta_device::nexus4();
-        bad.cores = 0;
-        assert!(cpu(&bad).is_err());
+        bad.clusters[0].cores = 0;
+        assert!(cpu(&bad, 0).is_err());
     }
 }

@@ -6,34 +6,29 @@
 //! cargo run --release -p usta-bench --example quickstart
 //! ```
 
-use usta_governors::{CpuGovernor, GovernorInput, OnDemand};
+use usta_governors::OnDemand;
+use usta_sim::runner::DvfsLoop;
 use usta_sim::Device;
+use usta_soc::PerDomain;
 use usta_workloads::{Benchmark, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut device = Device::with_seed(42)?;
     let mut skype = Benchmark::Skype.workload(42);
     let mut governor = OnDemand::default();
-    let opp = device.opp_table().clone();
+    let dvfs = DvfsLoop::for_device(&device);
 
     println!("t (s) | freq MHz | util | CPU °C | battery °C | skin °C | screen °C");
     println!("{}", "-".repeat(72));
 
     let dt = 0.1;
-    let mut level = 0usize;
+    let mut levels: PerDomain<usize> = PerDomain::splat(device.domains(), 0);
     let mut t = 0.0;
     while t < 300.0 {
         let demand = skype.demand_at(t, dt);
-        device.apply(&demand, level, dt);
+        device.apply(&demand, levels.as_slice(), dt);
         let obs = device.observe();
-        let input = GovernorInput {
-            avg_utilization: obs.avg_utilization,
-            max_utilization: obs.max_utilization,
-            current_level: level,
-            max_allowed_level: opp.max_index(),
-            opp: &opp,
-        };
-        level = governor.decide(&input);
+        levels = dvfs.decide(&mut governor, &obs, &levels);
 
         if ((t * 10.0).round() as u64).is_multiple_of(300) {
             println!(

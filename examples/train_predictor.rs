@@ -29,12 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PredictionTarget::Skin,
         11,
     )?;
-    let hot_moment = FeatureVector {
-        cpu_temp: Celsius(58.0),
-        battery_temp: Celsius(38.5),
-        utilization: 0.9,
-        freq_khz: 1_458_000.0,
-    };
+    let hot_moment = FeatureVector::single(Celsius(58.0), Celsius(38.5), 0.9, 1_458_000.0);
     println!(
         "deployed {} predicts skin = {:.1} for a hot moment (cpu 58 °C, battery 38.5 °C)",
         predictor.algorithm(),

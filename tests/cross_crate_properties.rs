@@ -3,7 +3,10 @@
 
 use proptest::prelude::*;
 use usta_core::policy::UstaPolicy;
-use usta_governors::{Conservative, CpuGovernor, GovernorInput, OnDemand, Performance, Powersave};
+use usta_governors::{
+    Conservative, CpuGovernor, DomainSample, FreqDomain, GovernorInput, OnDemand, Performance,
+    Powersave,
+};
 use usta_soc::nexus4;
 use usta_thermal::Celsius;
 
@@ -17,13 +20,23 @@ proptest! {
         cur in 0usize..12,
         cap in 0usize..12,
     ) {
-        let opp = nexus4::opp_table();
-        let input = GovernorInput {
+        let domains = vec![FreqDomain {
+            id: 0,
+            name: "cpu",
+            cores: 4,
+            opp: nexus4::opp_table(),
+            full_load_w: 3.6,
+        }];
+        let samples = [DomainSample {
             avg_utilization: load,
             max_utilization: load,
             current_level: cur,
-            max_allowed_level: cap,
-            opp: &opp,
+        }];
+        let caps = [cap];
+        let input = GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
         };
         let mut governors: Vec<Box<dyn CpuGovernor>> = vec![
             Box::new(OnDemand::default()),
@@ -32,9 +45,9 @@ proptest! {
             Box::new(Powersave),
         ];
         for g in &mut governors {
-            let level = g.decide(&input);
+            let level = g.decide(&input).level(0);
             prop_assert!(level <= cap, "{} returned {level} above cap {cap}", g.name());
-            prop_assert!(level < opp.len());
+            prop_assert!(level < domains[0].opp.len());
         }
     }
 
@@ -62,19 +75,30 @@ proptest! {
     /// saturates the table.
     #[test]
     fn ondemand_settles_under_threshold(demand_khz in 50_000.0f64..1_600_000.0) {
-        let opp = nexus4::opp_table();
+        let domains = vec![FreqDomain {
+            id: 0,
+            name: "cpu",
+            cores: 4,
+            opp: nexus4::opp_table(),
+            full_load_w: 3.6,
+        }];
+        let opp = &domains[0].opp;
+        let caps = [opp.max_index()];
         let mut g = OnDemand::default();
         let mut level = 0usize;
         for _ in 0..100 {
             let load = (demand_khz / opp.level(level).khz as f64).min(1.0);
-            let input = GovernorInput {
+            let samples = [DomainSample {
                 avg_utilization: load,
                 max_utilization: load,
                 current_level: level,
-                max_allowed_level: opp.max_index(),
-                opp: &opp,
+            }];
+            let input = GovernorInput {
+                domains: &domains,
+                samples: &samples,
+                max_allowed_levels: &caps,
             };
-            level = g.decide(&input);
+            level = g.decide(&input).level(0);
         }
         let settled_load = demand_khz / opp.level(level).khz as f64;
         prop_assert!(
@@ -121,7 +145,7 @@ proptest! {
             charging: false,
         };
         for _ in 0..120 {
-            device.apply(&demand, level, 1.0);
+            device.apply_level(&demand, level, 1.0);
         }
         let obs = device.observe();
         for t in [obs.skin_true, obs.screen_true, obs.cpu_temp, obs.battery_temp] {

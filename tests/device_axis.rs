@@ -31,8 +31,8 @@ fn nexus4_spec_device_tracks_the_seed_device_exactly() {
         let demand = workload.demand_at(t, 0.1);
         // Drive both through the same frequency ladder.
         let level = ((t / 10.0) as usize) % 12;
-        seed_device.apply(&demand, level, 0.1);
-        spec_device.apply(&demand, level, 0.1);
+        seed_device.apply_level(&demand, level, 0.1);
+        spec_device.apply_level(&demand, level, 0.1);
         t += 0.1;
     }
     let a = seed_device.observe();

@@ -161,7 +161,7 @@ fn training_log_flows_from_runs_into_learners() {
         .fit(&data, 1)
         .expect("fit succeeds");
     let sample = result.training_log.samples()[50];
-    let pred = model.predict(&sample.features.to_array());
+    let pred = model.predict(&sample.features.to_vec());
     assert!(
         (pred - sample.screen.value()).abs() < 2.0,
         "in-sample prediction {pred} vs truth {}",
