@@ -8,22 +8,30 @@
 //!
 //! With the multi-domain control plane the frequency input is
 //! per-domain: a big.LITTLE device reports one frequency per cpufreq
-//! policy, so its predictor sees `3 + domains` features. The paper's
-//! single-policy Nexus 4 keeps exactly the original four features with
-//! the original names — its trained models and predictions are
-//! bit-identical to the single-frequency era.
+//! policy, so its predictor sees `3 + domains` features — and, since
+//! the thermal topology went per-cluster, optionally the **hottest
+//! die** temperature (the maximum over the per-cluster die nodes,
+//! which on a big.LITTLE part can diverge from the primary `cpu_temp`
+//! zone). The paper's single-policy Nexus 4 keeps exactly the
+//! original four features with the original names — its trained
+//! models and predictions are bit-identical to the single-frequency
+//! era.
 
 use usta_soc::PerDomain;
 use usta_thermal::Celsius;
 
 /// Names of the single-domain features, in [`FeatureVector::to_vec`]
-/// order — extra domains append `freq_mhz_d1`, `freq_mhz_d2`, …
+/// order — extra domains append `freq_mhz_d1`, `freq_mhz_d2`, …, and
+/// a hottest-die reading appends `hottest_die_temp`.
 pub const FEATURE_NAMES: [&str; 4] = ["cpu_temp", "battery_temp", "utilization", "freq_mhz"];
+
+/// Name of the optional hottest-die feature column.
+pub const HOTTEST_DIE_FEATURE: &str = "hottest_die_temp";
 
 /// One observation of the system-level signals the predictor uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FeatureVector {
-    /// CPU thermal-zone reading.
+    /// CPU thermal-zone reading (the primary — big-cluster — die zone).
     pub cpu_temp: Celsius,
     /// Battery temperature reading.
     pub battery_temp: Celsius,
@@ -33,11 +41,15 @@ pub struct FeatureVector {
     /// Per-frequency-domain CPU frequency, kHz (one entry per cpufreq
     /// policy, in the device's big-first domain order).
     pub domain_freqs_khz: PerDomain<f64>,
+    /// Hottest per-cluster die temperature, when the device has more
+    /// than one die node. `None` on single-die devices — the paper's
+    /// Nexus 4 keeps its exact 4-feature shape.
+    pub hottest_die: Option<Celsius>,
 }
 
 impl FeatureVector {
     /// A single-domain feature vector — the paper's original four
-    /// signals.
+    /// signals, no hottest-die column.
     pub fn single(
         cpu_temp: Celsius,
         battery_temp: Celsius,
@@ -49,6 +61,7 @@ impl FeatureVector {
             battery_temp,
             utilization,
             domain_freqs_khz: PerDomain::splat(1, freq_khz),
+            hottest_die: None,
         }
     }
 
@@ -64,18 +77,22 @@ impl FeatureVector {
     }
 
     /// Flattens into the learner's input layout: temperatures,
-    /// utilization, then one frequency per domain.
+    /// utilization, one frequency per domain, then the hottest-die
+    /// temperature when carried.
     ///
     /// Frequencies are expressed in MHz so all features share a
     /// similar numeric range (tree learners don't care, but the MLP and
     /// ridge regression appreciate it).
     pub fn to_vec(&self) -> Vec<f64> {
-        let mut v = Vec::with_capacity(3 + self.domain_freqs_khz.len());
+        let mut v = Vec::with_capacity(4 + self.domain_freqs_khz.len());
         v.push(self.cpu_temp.value());
         v.push(self.battery_temp.value());
         v.push(self.utilization);
         for &khz in &self.domain_freqs_khz {
             v.push(khz / 1000.0);
+        }
+        if let Some(hottest) = self.hottest_die {
+            v.push(hottest.value());
         }
         v
     }
@@ -84,9 +101,19 @@ impl FeatureVector {
     /// four names for one domain, `freq_mhz_d<i>` appended per extra
     /// domain.
     pub fn feature_names(domains: usize) -> Vec<String> {
+        FeatureVector::feature_names_with(domains, false)
+    }
+
+    /// [`FeatureVector::feature_names`] with the optional hottest-die
+    /// column appended — matching [`FeatureVector::to_vec`]'s layout
+    /// for observations that carry it.
+    pub fn feature_names_with(domains: usize, hottest_die: bool) -> Vec<String> {
         let mut names: Vec<String> = FEATURE_NAMES.iter().map(|s| (*s).to_owned()).collect();
         for d in 1..domains {
             names.push(format!("freq_mhz_d{d}"));
+        }
+        if hottest_die {
+            names.push(HOTTEST_DIE_FEATURE.to_owned());
         }
         names
     }
@@ -127,6 +154,7 @@ mod tests {
             battery_temp: Celsius(36.5),
             utilization: 0.5,
             domain_freqs_khz: PerDomain::from_slice(&[2_016_000.0, 1_363_200.0]),
+            hottest_die: None,
         };
         assert_eq!(f.domains(), 2);
         let v = f.to_vec();
@@ -142,6 +170,35 @@ mod tests {
                 "freq_mhz",
                 "freq_mhz_d1"
             ]
+        );
+    }
+
+    #[test]
+    fn hottest_die_appends_one_feature_when_carried() {
+        let f = FeatureVector {
+            hottest_die: Some(Celsius(61.5)),
+            ..sample()
+        };
+        let v = f.to_vec();
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[4], 61.5);
+        assert_eq!(
+            FeatureVector::feature_names_with(1, true),
+            vec![
+                "cpu_temp",
+                "battery_temp",
+                "utilization",
+                "freq_mhz",
+                "hottest_die_temp"
+            ]
+        );
+        // The paper's shape is untouched: `::single` carries no
+        // hottest-die column and the historical names stay 4-wide.
+        assert_eq!(sample().hottest_die, None);
+        assert_eq!(sample().to_vec().len(), 4);
+        assert_eq!(
+            FeatureVector::feature_names_with(1, false),
+            FeatureVector::feature_names(1)
         );
     }
 }

@@ -37,6 +37,7 @@ pub struct UstaGovernor {
     cap: FrequencyCap,
     last_prediction: Option<Celsius>,
     predictions_made: u64,
+    die_temps: Option<PerDomain<f64>>,
 }
 
 impl UstaGovernor {
@@ -56,7 +57,17 @@ impl UstaGovernor {
             cap: FrequencyCap::Unrestricted,
             last_prediction: None,
             predictions_made: 0,
+            die_temps: None,
         }
+    }
+
+    /// Feeds the latest per-cluster die temperatures (°C, big-first) —
+    /// the cap splitter uses them to break power-share ties toward the
+    /// hotter cluster. Optional: without them (or with a stale domain
+    /// count) ties break toward the lower domain id, and single-domain
+    /// devices are unaffected either way.
+    pub fn observe_die_temperatures(&mut self, temps: &[Celsius]) {
+        self.die_temps = Some(temps.iter().map(|t| t.value()).collect());
     }
 
     /// Overrides the 3-second prediction cadence (for the cadence
@@ -125,10 +136,16 @@ impl CpuGovernor for UstaGovernor {
     }
 
     fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
-        // USTA's cap vector (skin budget split by power share) meets
-        // any external per-domain cap; the baseline sees the tighter of
+        // USTA's cap vector (skin budget split by power share, ties to
+        // the hotter die when temperatures were observed) meets any
+        // external per-domain cap; the baseline sees the tighter of
         // the two and its output is clamped to USTA's caps besides.
-        let usta_caps = self.cap.max_allowed_levels(input.domains);
+        let usta_caps = match &self.die_temps {
+            Some(temps) => self
+                .cap
+                .max_allowed_levels_with_die_temps(input.domains, temps.as_slice()),
+            None => self.cap.max_allowed_levels(input.domains),
+        };
         let effective: PerDomain<usize> = PerDomain::from_fn(input.domains.len(), |d| {
             input.max_allowed_levels[d].min(usta_caps[d])
         });
@@ -147,6 +164,7 @@ impl CpuGovernor for UstaGovernor {
         self.cap = FrequencyCap::Unrestricted;
         self.last_prediction = None;
         self.predictions_made = 0;
+        self.die_temps = None;
     }
 
     fn sampling_period(&self) -> f64 {

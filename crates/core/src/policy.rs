@@ -58,13 +58,37 @@ impl FrequencyCap {
     ///
     /// Panics if `domains` is empty.
     pub fn max_allowed_levels(self, domains: &[FreqDomain]) -> PerDomain<usize> {
+        self.max_allowed_levels_split(domains, None)
+    }
+
+    /// [`FrequencyCap::max_allowed_levels`] consulting per-cluster die
+    /// temperatures (°C, one per domain, big-first) for remainder
+    /// tie-breaking: when two domains earn equal fractional shares of
+    /// the level cut, the one whose die is actually hotter loses the
+    /// step. With no temps — or a temp slice of the wrong length —
+    /// ties fall back to the lower domain id, reproducing
+    /// [`FrequencyCap::max_allowed_levels`] exactly.
+    pub fn max_allowed_levels_with_die_temps(
+        self,
+        domains: &[FreqDomain],
+        die_temp_c: &[f64],
+    ) -> PerDomain<usize> {
+        let temps = (die_temp_c.len() == domains.len()).then_some(die_temp_c);
+        self.max_allowed_levels_split(domains, temps)
+    }
+
+    fn max_allowed_levels_split(
+        self,
+        domains: &[FreqDomain],
+        die_temp_c: Option<&[f64]>,
+    ) -> PerDomain<usize> {
         assert!(!domains.is_empty(), "a device has at least one domain");
         match self {
             FrequencyCap::Unrestricted => {
                 PerDomain::from_fn(domains.len(), |d| domains[d].max_index())
             }
-            FrequencyCap::OneLevelBelowMax => shed_by_power_share(domains, 1),
-            FrequencyCap::TwoLevelsBelowMax => shed_by_power_share(domains, 2),
+            FrequencyCap::OneLevelBelowMax => shed_by_power_share(domains, 1, die_temp_c),
+            FrequencyCap::TwoLevelsBelowMax => shed_by_power_share(domains, 2, die_temp_c),
             FrequencyCap::MinimumFrequency => PerDomain::splat(domains.len(), 0),
         }
     }
@@ -77,10 +101,15 @@ impl FrequencyCap {
 
 /// Sheds `per_domain_steps × domains` OPP steps in total, apportioned
 /// by full-load power share with a largest-remainder rounding pass
-/// (deterministic: ties break toward the lower domain id). Degenerate
-/// weights (zero or non-finite total) fall back to a uniform
-/// `per_domain_steps` cut on every domain.
-fn shed_by_power_share(domains: &[FreqDomain], per_domain_steps: usize) -> PerDomain<usize> {
+/// (deterministic: ties break toward the hotter die when per-cluster
+/// die temperatures are supplied, then toward the lower domain id).
+/// Degenerate weights (zero or non-finite total) fall back to a
+/// uniform `per_domain_steps` cut on every domain.
+fn shed_by_power_share(
+    domains: &[FreqDomain],
+    per_domain_steps: usize,
+    die_temp_c: Option<&[f64]>,
+) -> PerDomain<usize> {
     let n = domains.len();
     if n == 1 {
         let opp = &domains[0].opp;
@@ -109,6 +138,15 @@ fn shed_by_power_share(domains: &[FreqDomain], per_domain_steps: usize) -> PerDo
         fractions[..n].sort_by(|a, b| {
             b.0.partial_cmp(&a.0)
                 .expect("fractions are finite")
+                .then_with(|| match die_temp_c {
+                    // Equal shares: the domain whose die actually runs
+                    // hotter takes the cut (non-finite temps compare
+                    // equal and fall through to the id order).
+                    Some(temps) => temps[b.1]
+                        .partial_cmp(&temps[a.1])
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                    None => std::cmp::Ordering::Equal,
+                })
                 .then(a.1.cmp(&b.1))
         });
         for &(_, d) in fractions[..n]
@@ -369,6 +407,51 @@ mod tests {
         let caps = FrequencyCap::TwoLevelsBelowMax.max_allowed_levels(&domains);
         assert_eq!(caps[1], domains[1].max_index(), "LITTLE keeps its top");
         assert!(caps[0] <= domains[0].max_index() - 3);
+    }
+
+    fn three_domains(weights: [f64; 3]) -> Vec<FreqDomain> {
+        let big = nexus4::opp_table();
+        let little =
+            usta_soc::OppTable::new(big.iter().take(6).copied().collect()).expect("valid prefix");
+        let names = ["prime", "big", "little"];
+        (0..3)
+            .map(|d| FreqDomain {
+                id: d,
+                name: names[d],
+                cores: 1 + d,
+                opp: if d == 0 { big.clone() } else { little.clone() },
+                full_load_w: weights[d],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn die_temps_break_remainder_ties_toward_the_hotter_cluster() {
+        // Weights 1:1:6 under the one-level band shed 3 steps: domain 2
+        // takes 2 (quota 2.25) and the last step is a dead fractional
+        // tie between domains 0 and 1 (0.375 each).
+        let domains = three_domains([1.0, 1.0, 6.0]);
+        // Without temps the tie goes to the lower id…
+        let cold = FrequencyCap::OneLevelBelowMax.max_allowed_levels(&domains);
+        assert_eq!(cold.as_slice(), &[10, 5, 3]);
+        // …with temps, to the hotter die.
+        let caps = FrequencyCap::OneLevelBelowMax
+            .max_allowed_levels_with_die_temps(&domains, &[40.0, 70.0, 55.0]);
+        assert_eq!(caps.as_slice(), &[11, 4, 3]);
+        // A wrong-length temp slice falls back to the id tie-break.
+        let caps = FrequencyCap::OneLevelBelowMax
+            .max_allowed_levels_with_die_temps(&domains, &[40.0, 70.0]);
+        assert_eq!(caps.as_slice(), cold.as_slice());
+        // Non-tied splits are unaffected by temps.
+        let two = test_domains(3.6, 0.9);
+        assert_eq!(
+            FrequencyCap::TwoLevelsBelowMax
+                .max_allowed_levels_with_die_temps(&two, &[90.0, 20.0])
+                .as_slice(),
+            FrequencyCap::TwoLevelsBelowMax
+                .max_allowed_levels(&two)
+                .as_slice()
+        );
     }
 
     #[test]

@@ -66,8 +66,9 @@ impl TrainingLog {
     }
 
     /// Builds the learner-ready dataset for the chosen target. The
-    /// feature schema follows the first sample's domain count
-    /// (`3 + domains` columns).
+    /// feature schema follows the first sample's shape: `3 + domains`
+    /// columns, plus a `hottest_die_temp` column when the sample
+    /// carries one.
     ///
     /// # Errors
     ///
@@ -76,7 +77,11 @@ impl TrainingLog {
     /// ([`MlError::DimensionMismatch`]).
     pub fn to_dataset(&self, target: PredictionTarget) -> Result<Dataset, MlError> {
         let domains = self.samples.first().map_or(1, |s| s.features.domains());
-        let mut data = Dataset::new(FeatureVector::feature_names(domains))?;
+        let hottest = self
+            .samples
+            .first()
+            .is_some_and(|s| s.features.hottest_die.is_some());
+        let mut data = Dataset::new(FeatureVector::feature_names_with(domains, hottest))?;
         for s in &self.samples {
             let y = match target {
                 PredictionTarget::Skin => s.skin.value(),

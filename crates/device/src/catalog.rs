@@ -1,6 +1,6 @@
 //! The built-in device catalog.
 //!
-//! Four devices spanning the commercial spectrum the fleet sweeps care
+//! Five devices spanning the commercial spectrum the fleet sweeps care
 //! about. Numbers are plausible-class values, not measurements of any
 //! particular product — except `nexus4`, which is bit-for-bit the
 //! seed's calibrated constants (the paper's device).
@@ -8,22 +8,104 @@
 use crate::spec::{
     BatterySpec, ClusterSpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuPowerSpec, OppPoint,
 };
+use crate::thermal::{ThermalNodeSpec, ThermalSpec};
 use usta_thermal::materials::Material;
-use usta_thermal::{Celsius, HandContact, PhoneNode, PhoneThermalParams};
+use usta_thermal::{Celsius, HandContact};
 
-/// Builds a seven-node [`PhoneThermalParams`] from explicit arrays —
-/// catalog shorthand for devices that are not the calibrated default.
-/// Capacitances in J/K (indexed like [`PhoneNode::ALL`]), conductances
-/// in W/K.
-fn thermal(
-    capacitance: [f64; 7],
-    couplings: Vec<(PhoneNode, PhoneNode, f64)>,
-    ambient_links: Vec<(PhoneNode, f64)>,
-) -> PhoneThermalParams {
-    PhoneThermalParams {
-        capacitance,
-        couplings,
+/// The die node name a cluster gets: the single-domain `cpu` node keeps
+/// its historical name, multi-domain clusters get `die_<cluster>`.
+/// Non-catalog cluster names are interned (leaked once per distinct
+/// name), so repeated spec construction stays allocation-bounded.
+fn die_node_name(cluster: &'static str) -> &'static str {
+    match cluster {
+        "cpu" => "cpu",
+        "big" => "die_big",
+        "little" => "die_little",
+        "prime" => "die_prime",
+        other => {
+            use std::collections::BTreeMap;
+            use std::sync::{Mutex, OnceLock};
+            static INTERNED: OnceLock<Mutex<BTreeMap<&'static str, &'static str>>> =
+                OnceLock::new();
+            INTERNED
+                .get_or_init(|| Mutex::new(BTreeMap::new()))
+                .lock()
+                .expect("die-name interner lock")
+                .entry(other)
+                .or_insert_with(|| Box::leak(format!("die_{other}").into_boxed_str()))
+        }
+    }
+}
+
+/// Builds the phone-shaped [`ThermalSpec`] every catalog device uses:
+/// **one die node per cluster** (big-first, `Ceff × cores`-proportional
+/// splits of the total die capacitance and die–package conductance),
+/// then package, board, battery, the two back-cover thermistor nodes,
+/// and the screen. `die` is `(total die capacitance J/K, total
+/// die–package conductance W/K)`; `capacitance` lists the six non-die
+/// nodes `[package, board, battery, back_mid, back_upper, screen]`.
+fn phone_thermal(
+    clusters: &[ClusterSpec],
+    die: (f64, f64),
+    capacitance: [f64; 6],
+    couplings: Vec<(&'static str, &'static str, f64)>,
+    ambient_links: Vec<(&'static str, f64)>,
+) -> ThermalSpec {
+    let (die_c, die_g) = die;
+    let mut nodes = Vec::with_capacity(clusters.len() + 6);
+    let mut die_couplings = Vec::with_capacity(clusters.len());
+    let mut die_nodes = Vec::with_capacity(clusters.len());
+    if clusters.len() == 1 {
+        let name = die_node_name(clusters[0].name);
+        nodes.push(ThermalNodeSpec {
+            name,
+            capacitance: die_c,
+        });
+        die_couplings.push((name, "package", die_g));
+        die_nodes.push(name);
+    } else {
+        // Die area (and with it heat capacity and package coupling)
+        // scales with each cluster's total switched capacitance.
+        let total_w: f64 = clusters
+            .iter()
+            .map(|c| c.cpu_power.ceff_farads * c.cores as f64)
+            .sum();
+        for cluster in clusters {
+            let share = cluster.cpu_power.ceff_farads * cluster.cores as f64 / total_w;
+            let name = die_node_name(cluster.name);
+            nodes.push(ThermalNodeSpec {
+                name,
+                capacitance: die_c * share,
+            });
+            die_couplings.push((name, "package", die_g * share));
+            die_nodes.push(name);
+        }
+    }
+    for (name, c) in [
+        ("package", capacitance[0]),
+        ("board", capacitance[1]),
+        ("battery", capacitance[2]),
+        ("back_mid", capacitance[3]),
+        ("back_upper", capacitance[4]),
+        ("screen", capacitance[5]),
+    ] {
+        nodes.push(ThermalNodeSpec {
+            name,
+            capacitance: c,
+        });
+    }
+    die_couplings.extend(couplings);
+    ThermalSpec {
+        nodes,
+        couplings: die_couplings,
         ambient_links,
+        die_nodes,
+        package_node: "package",
+        board_node: "board",
+        battery_node: "battery",
+        screen_node: "screen",
+        skin_node: "back_mid",
+        back_nodes: vec!["back_mid", "back_upper"],
         ambient: Celsius(24.0),
         initial: Celsius(28.0),
         hand: HandContact::default(),
@@ -47,30 +129,54 @@ fn ramp(khz: &[u32], volts_lo: f64, volts_span: f64) -> Vec<OppPoint> {
 /// Krait 300, 4.7" IPS, 2100 mAh). One frequency domain, reproducing
 /// the seed's Table-1 constants bit-for-bit: the twelve-level OPP table
 /// with its linear 0.95–1.25 V ramp, the calibrated power
-/// coefficients, and [`PhoneThermalParams::default`] as the thermal
-/// network.
+/// coefficients, and a thermal spec whose topology equals
+/// `PhoneThermalParams::default().topology()` exactly.
 pub fn nexus4() -> DeviceSpec {
     const KHZ: [u32; 12] = [
         384_000, 486_000, 594_000, 702_000, 810_000, 918_000, 1_026_000, 1_134_000, 1_242_000,
         1_350_000, 1_458_000, 1_512_000,
     ];
+    let clusters = vec![ClusterSpec {
+        name: "cpu",
+        cores: 4,
+        // The same expression the seed used, so the voltages are
+        // bit-identical: a linear ramp over the documented Krait
+        // PVS-nominal range.
+        opp: ramp(&KHZ, 0.95, 0.30),
+        cpu_power: CpuPowerSpec {
+            ceff_farads: 3.8e-10,
+            leak_coeff_a: 0.056,
+            leak_temp_per_k: 0.02,
+            idle_uncore_w: 0.12,
+        },
+    }];
+    // The calibrated seed network, node for node and edge for edge.
+    let thermal = phone_thermal(
+        &clusters,
+        (1.2, 3.0),
+        [7.0, 30.0, 55.0, 10.0, 8.0, 26.0],
+        vec![
+            ("package", "board", 1.1),
+            ("package", "back_upper", 0.30),
+            ("board", "battery", 0.60),
+            ("board", "back_mid", 0.22),
+            ("board", "screen", 0.12),
+            ("battery", "back_mid", 0.55),
+            ("battery", "screen", 0.03),
+            ("back_upper", "back_mid", 0.10),
+        ],
+        vec![
+            ("back_mid", 0.075),
+            ("back_upper", 0.055),
+            ("screen", 0.130),
+            ("board", 0.020),
+            ("battery", 0.005),
+        ],
+    );
     DeviceSpec {
         id: "nexus4",
         description: "Google Nexus 4 (APQ8064, quad Krait 300) — the paper's device",
-        clusters: vec![ClusterSpec {
-            name: "cpu",
-            cores: 4,
-            // The same expression the seed used, so the voltages are
-            // bit-identical: a linear ramp over the documented Krait
-            // PVS-nominal range.
-            opp: ramp(&KHZ, 0.95, 0.30),
-            cpu_power: CpuPowerSpec {
-                ceff_farads: 3.8e-10,
-                leak_coeff_a: 0.056,
-                leak_temp_per_k: 0.02,
-                idle_uncore_w: 0.12,
-            },
-        }],
+        clusters,
         gpu_power: GpuPowerSpec {
             max_w: 1.6,
             idle_w: 0.05,
@@ -87,7 +193,7 @@ pub fn nexus4() -> DeviceSpec {
             charge_loss_fraction: 0.28,
         },
         back_cover: Material::Polycarbonate,
-        thermal: PhoneThermalParams::default(),
+        thermal,
     }
 }
 
@@ -96,10 +202,10 @@ pub fn nexus4() -> DeviceSpec {
 /// domains. The big cluster runs an eleven-level table up to 2.016 GHz
 /// on high-performance (power-hungry) cores; the LITTLE cluster runs
 /// an eight-level table up to 1.363 GHz on efficiency cores at roughly
-/// a fifth of the big cluster's switched capacitance. Peak combined
-/// dynamic power ≈4 W is burst-only and thermally unsustainable —
-/// exactly the regime a skin-temperature governor is for, now with the
-/// extra lever of capping each cluster separately.
+/// a fifth of the big cluster's switched capacitance. Since the
+/// thermal topology went data-driven each cluster heats its **own die
+/// node** (`die_big`/`die_little`, Ceff-proportional split), so USTA
+/// can see which cluster is actually warming the skin.
 pub fn flagship_octa() -> DeviceSpec {
     const BIG_KHZ: [u32; 11] = [
         787_200, 883_200, 979_200, 1_075_200, 1_171_200, 1_267_200, 1_363_200, 1_459_200,
@@ -108,34 +214,58 @@ pub fn flagship_octa() -> DeviceSpec {
     const LITTLE_KHZ: [u32; 8] = [
         300_000, 441_600, 595_200, 729_600, 883_200, 1_036_800, 1_190_400, 1_363_200,
     ];
-    use PhoneNode::*;
+    let clusters = vec![
+        ClusterSpec {
+            name: "big",
+            cores: 4,
+            opp: ramp(&BIG_KHZ, 0.85, 0.35),
+            cpu_power: CpuPowerSpec {
+                ceff_farads: 2.9e-10,
+                leak_coeff_a: 0.065,
+                leak_temp_per_k: 0.025,
+                idle_uncore_w: 0.12,
+            },
+        },
+        ClusterSpec {
+            name: "little",
+            cores: 4,
+            opp: ramp(&LITTLE_KHZ, 0.75, 0.25),
+            cpu_power: CpuPowerSpec {
+                ceff_farads: 1.1e-10,
+                leak_coeff_a: 0.030,
+                leak_temp_per_k: 0.020,
+                idle_uncore_w: 0.06,
+            },
+        },
+    ];
+    // Slightly heavier than the Nexus 4 and much better spread: the
+    // metal frame couples the package to both covers strongly.
+    let thermal = phone_thermal(
+        &clusters,
+        (1.6, 3.5),
+        [9.0, 38.0, 70.0, 13.0, 10.0, 32.0],
+        vec![
+            ("package", "board", 1.4),
+            ("package", "back_upper", 0.42),
+            ("board", "battery", 0.80),
+            ("board", "back_mid", 0.30),
+            ("board", "screen", 0.16),
+            ("battery", "back_mid", 0.70),
+            ("battery", "screen", 0.04),
+            ("back_upper", "back_mid", 0.16),
+        ],
+        vec![
+            ("back_mid", 0.085),
+            ("back_upper", 0.065),
+            ("screen", 0.150),
+            ("board", 0.022),
+            ("battery", 0.006),
+        ],
+    );
     DeviceSpec {
         id: "flagship-octa",
         description: "big.LITTLE octa-core flagship, 5.5\" OLED, glass back, two freq domains",
-        clusters: vec![
-            ClusterSpec {
-                name: "big",
-                cores: 4,
-                opp: ramp(&BIG_KHZ, 0.85, 0.35),
-                cpu_power: CpuPowerSpec {
-                    ceff_farads: 2.9e-10,
-                    leak_coeff_a: 0.065,
-                    leak_temp_per_k: 0.025,
-                    idle_uncore_w: 0.12,
-                },
-            },
-            ClusterSpec {
-                name: "little",
-                cores: 4,
-                opp: ramp(&LITTLE_KHZ, 0.75, 0.25),
-                cpu_power: CpuPowerSpec {
-                    ceff_farads: 1.1e-10,
-                    leak_coeff_a: 0.030,
-                    leak_temp_per_k: 0.020,
-                    idle_uncore_w: 0.06,
-                },
-            },
-        ],
+        clusters,
         gpu_power: GpuPowerSpec {
             max_w: 3.2,
             idle_w: 0.08,
@@ -152,29 +282,109 @@ pub fn flagship_octa() -> DeviceSpec {
             charge_loss_fraction: 0.22,
         },
         back_cover: Material::CoverGlass,
-        // Slightly heavier than the Nexus 4 and much better spread: the
-        // metal frame couples the package to both covers strongly.
-        thermal: thermal(
-            [1.6, 9.0, 38.0, 70.0, 13.0, 10.0, 32.0],
-            vec![
-                (Cpu, Package, 3.5),
-                (Package, Board, 1.4),
-                (Package, BackUpper, 0.42),
-                (Board, Battery, 0.80),
-                (Board, BackMid, 0.30),
-                (Board, Screen, 0.16),
-                (Battery, BackMid, 0.70),
-                (Battery, Screen, 0.04),
-                (BackUpper, BackMid, 0.16),
-            ],
-            vec![
-                (BackMid, 0.085),
-                (BackUpper, 0.065),
-                (Screen, 0.150),
-                (Board, 0.022),
-                (Battery, 0.006),
-            ],
-        ),
+        thermal,
+    }
+}
+
+/// A three-domain flagship: one prime core clocked to 2.84 GHz, three
+/// big cores, and four LITTLE efficiency cores — the topology of a
+/// Snapdragon-855-class part, and the catalog's exercise of the
+/// control plane's (and now the thermal topology's) three-domain
+/// support. Each cluster heats its own die node
+/// (`die_prime`/`die_big`/`die_little`), so the hotspot under a
+/// single-threaded burst is visibly the prime core's.
+pub fn prime_flagship() -> DeviceSpec {
+    const PRIME_KHZ: [u32; 12] = [
+        940_800, 1_056_000, 1_171_200, 1_286_400, 1_401_600, 1_516_800, 1_632_000, 1_747_200,
+        1_862_400, 2_131_200, 2_419_200, 2_841_600,
+    ];
+    const BIG_KHZ: [u32; 10] = [
+        710_400, 825_600, 940_800, 1_056_000, 1_171_200, 1_286_400, 1_401_600, 1_555_200,
+        1_708_800, 2_016_000,
+    ];
+    const LITTLE_KHZ: [u32; 8] = [
+        300_000, 441_600, 576_000, 710_400, 825_600, 940_800, 1_171_200, 1_785_600,
+    ];
+    let clusters = vec![
+        ClusterSpec {
+            name: "prime",
+            cores: 1,
+            opp: ramp(&PRIME_KHZ, 0.80, 0.40),
+            cpu_power: CpuPowerSpec {
+                ceff_farads: 3.6e-10,
+                leak_coeff_a: 0.080,
+                leak_temp_per_k: 0.028,
+                idle_uncore_w: 0.05,
+            },
+        },
+        ClusterSpec {
+            name: "big",
+            cores: 3,
+            opp: ramp(&BIG_KHZ, 0.78, 0.32),
+            cpu_power: CpuPowerSpec {
+                ceff_farads: 2.7e-10,
+                leak_coeff_a: 0.060,
+                leak_temp_per_k: 0.024,
+                idle_uncore_w: 0.10,
+            },
+        },
+        ClusterSpec {
+            name: "little",
+            cores: 4,
+            opp: ramp(&LITTLE_KHZ, 0.70, 0.24),
+            cpu_power: CpuPowerSpec {
+                ceff_farads: 1.0e-10,
+                leak_coeff_a: 0.028,
+                leak_temp_per_k: 0.020,
+                idle_uncore_w: 0.06,
+            },
+        },
+    ];
+    // A vapour-chamber-class spreader: strong package couplings, a
+    // touch more thermal mass than the octa flagship.
+    let thermal = phone_thermal(
+        &clusters,
+        (1.9, 3.8),
+        [10.0, 40.0, 85.0, 14.0, 11.0, 34.0],
+        vec![
+            ("package", "board", 1.5),
+            ("package", "back_upper", 0.46),
+            ("board", "battery", 0.85),
+            ("board", "back_mid", 0.32),
+            ("board", "screen", 0.17),
+            ("battery", "back_mid", 0.72),
+            ("battery", "screen", 0.04),
+            ("back_upper", "back_mid", 0.18),
+        ],
+        vec![
+            ("back_mid", 0.090),
+            ("back_upper", 0.068),
+            ("screen", 0.160),
+            ("board", 0.024),
+            ("battery", 0.006),
+        ],
+    );
+    DeviceSpec {
+        id: "prime-flagship",
+        description: "three-domain flagship (1 prime + 3 big + 4 LITTLE), 6.1\" OLED, glass back",
+        clusters,
+        gpu_power: GpuPowerSpec {
+            max_w: 4.0,
+            idle_w: 0.10,
+        },
+        display: DisplaySpec {
+            base_w: 0.45,
+            full_brightness_w: 1.30,
+        },
+        battery: BatterySpec {
+            capacity_mah: 4000.0,
+            nominal_v: 3.85,
+            internal_ohm: 0.08,
+            max_charge_a: 3.0,
+            charge_loss_fraction: 0.20,
+        },
+        back_cover: Material::CoverGlass,
+        thermal,
     }
 }
 
@@ -188,21 +398,46 @@ pub fn tablet_10in() -> DeviceSpec {
         396_000, 550_000, 696_000, 852_000, 996_000, 1_152_000, 1_310_000, 1_466_000, 1_620_000,
         1_800_000,
     ];
-    use PhoneNode::*;
+    let clusters = vec![ClusterSpec {
+        name: "cpu",
+        cores: 6,
+        opp: ramp(&KHZ, 0.85, 0.30),
+        cpu_power: CpuPowerSpec {
+            ceff_farads: 3.2e-10,
+            leak_coeff_a: 0.050,
+            leak_temp_per_k: 0.02,
+            idle_uncore_w: 0.20,
+        },
+    }];
+    // Tablet-class thermal mass: the battery and screen dwarf a
+    // phone's, and every exterior node sees ~3× the convective
+    // area.
+    let thermal = phone_thermal(
+        &clusters,
+        (1.5, 3.2),
+        [10.0, 80.0, 160.0, 55.0, 40.0, 120.0],
+        vec![
+            ("package", "board", 1.6),
+            ("package", "back_upper", 0.50),
+            ("board", "battery", 1.00),
+            ("board", "back_mid", 0.40),
+            ("board", "screen", 0.25),
+            ("battery", "back_mid", 0.80),
+            ("battery", "screen", 0.06),
+            ("back_upper", "back_mid", 0.25),
+        ],
+        vec![
+            ("back_mid", 0.220),
+            ("back_upper", 0.160),
+            ("screen", 0.400),
+            ("board", 0.050),
+            ("battery", 0.015),
+        ],
+    );
     DeviceSpec {
         id: "tablet-10in",
         description: "10\" tablet, hexa-core mid-range SoC, aluminium shell",
-        clusters: vec![ClusterSpec {
-            name: "cpu",
-            cores: 6,
-            opp: ramp(&KHZ, 0.85, 0.30),
-            cpu_power: CpuPowerSpec {
-                ceff_farads: 3.2e-10,
-                leak_coeff_a: 0.050,
-                leak_temp_per_k: 0.02,
-                idle_uncore_w: 0.20,
-            },
-        }],
+        clusters,
         gpu_power: GpuPowerSpec {
             max_w: 3.5,
             idle_w: 0.10,
@@ -219,30 +454,7 @@ pub fn tablet_10in() -> DeviceSpec {
             charge_loss_fraction: 0.20,
         },
         back_cover: Material::Aluminium,
-        // Tablet-class thermal mass: the battery and screen dwarf a
-        // phone's, and every exterior node sees ~3× the convective
-        // area.
-        thermal: thermal(
-            [1.5, 10.0, 80.0, 160.0, 55.0, 40.0, 120.0],
-            vec![
-                (Cpu, Package, 3.2),
-                (Package, Board, 1.6),
-                (Package, BackUpper, 0.50),
-                (Board, Battery, 1.00),
-                (Board, BackMid, 0.40),
-                (Board, Screen, 0.25),
-                (Battery, BackMid, 0.80),
-                (Battery, Screen, 0.06),
-                (BackUpper, BackMid, 0.25),
-            ],
-            vec![
-                (BackMid, 0.220),
-                (BackUpper, 0.160),
-                (Screen, 0.400),
-                (Board, 0.050),
-                (Battery, 0.015),
-            ],
-        ),
+        thermal,
     }
 }
 
@@ -252,21 +464,43 @@ pub fn tablet_10in() -> DeviceSpec {
 /// Nexus 4.
 pub fn budget_quad() -> DeviceSpec {
     const KHZ: [u32; 6] = [400_000, 533_000, 667_000, 800_000, 933_000, 1_100_000];
-    use PhoneNode::*;
+    let clusters = vec![ClusterSpec {
+        name: "cpu",
+        cores: 4,
+        opp: ramp(&KHZ, 0.90, 0.20),
+        cpu_power: CpuPowerSpec {
+            ceff_farads: 2.4e-10,
+            leak_coeff_a: 0.040,
+            leak_temp_per_k: 0.018,
+            idle_uncore_w: 0.08,
+        },
+    }];
+    let thermal = phone_thermal(
+        &clusters,
+        (1.0, 2.6),
+        [6.0, 26.0, 48.0, 9.0, 7.0, 22.0],
+        vec![
+            ("package", "board", 1.0),
+            ("package", "back_upper", 0.26),
+            ("board", "battery", 0.55),
+            ("board", "back_mid", 0.20),
+            ("board", "screen", 0.10),
+            ("battery", "back_mid", 0.50),
+            ("battery", "screen", 0.03),
+            ("back_upper", "back_mid", 0.09),
+        ],
+        vec![
+            ("back_mid", 0.070),
+            ("back_upper", 0.050),
+            ("screen", 0.120),
+            ("board", 0.018),
+            ("battery", 0.004),
+        ],
+    );
     DeviceSpec {
         id: "budget-quad",
         description: "low-end quad-core handset, shallow OPP table, 4.5\" panel",
-        clusters: vec![ClusterSpec {
-            name: "cpu",
-            cores: 4,
-            opp: ramp(&KHZ, 0.90, 0.20),
-            cpu_power: CpuPowerSpec {
-                ceff_farads: 2.4e-10,
-                leak_coeff_a: 0.040,
-                leak_temp_per_k: 0.018,
-                idle_uncore_w: 0.08,
-            },
-        }],
+        clusters,
         gpu_power: GpuPowerSpec {
             max_w: 0.9,
             idle_w: 0.04,
@@ -283,44 +517,34 @@ pub fn budget_quad() -> DeviceSpec {
             charge_loss_fraction: 0.30,
         },
         back_cover: Material::Polycarbonate,
-        thermal: thermal(
-            [1.0, 6.0, 26.0, 48.0, 9.0, 7.0, 22.0],
-            vec![
-                (Cpu, Package, 2.6),
-                (Package, Board, 1.0),
-                (Package, BackUpper, 0.26),
-                (Board, Battery, 0.55),
-                (Board, BackMid, 0.20),
-                (Board, Screen, 0.10),
-                (Battery, BackMid, 0.50),
-                (Battery, Screen, 0.03),
-                (BackUpper, BackMid, 0.09),
-            ],
-            vec![
-                (BackMid, 0.070),
-                (BackUpper, 0.050),
-                (Screen, 0.120),
-                (Board, 0.018),
-                (Battery, 0.004),
-            ],
-        ),
+        thermal,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use usta_thermal::PhoneThermalParams;
 
     #[test]
     fn every_catalog_device_validates() {
-        for spec in [nexus4(), flagship_octa(), tablet_10in(), budget_quad()] {
+        for spec in [
+            nexus4(),
+            flagship_octa(),
+            prime_flagship(),
+            tablet_10in(),
+            budget_quad(),
+        ] {
             assert_eq!(spec.validate(), Ok(()), "{} must validate", spec.id);
         }
     }
 
     #[test]
     fn nexus4_thermal_is_the_calibrated_default() {
-        assert_eq!(nexus4().thermal, PhoneThermalParams::default());
+        assert_eq!(
+            nexus4().thermal.topology(),
+            PhoneThermalParams::default().topology()
+        );
     }
 
     #[test]
@@ -335,10 +559,13 @@ mod tests {
         assert!(tablet.thermal_mass_j_per_k() > 3.0 * phone.thermal_mass_j_per_k());
         assert!(budget.clusters[0].opp.len() < phone.clusters[0].opp.len());
         assert!(budget.max_khz() < phone.max_khz());
-        // Every other catalog device is single-domain.
+        // Every single-domain catalog device keeps the historical
+        // single `cpu` die node.
         for single in [&phone, &tablet, &budget] {
             assert_eq!(single.domains(), 1, "{}", single.id);
             assert_eq!(single.clusters[0].name, "cpu");
+            assert_eq!(single.thermal.die_nodes, vec!["cpu"], "{}", single.id);
+            assert_eq!(single.thermal.nodes.len(), 7, "{}", single.id);
         }
     }
 
@@ -353,5 +580,56 @@ mod tests {
             s.clusters[1].cpu_power.ceff_farads < s.clusters[0].cpu_power.ceff_farads / 2.0,
             "LITTLE cores must be markedly more efficient"
         );
+    }
+
+    #[test]
+    fn multi_cluster_devices_get_one_die_node_per_cluster() {
+        let s = flagship_octa();
+        assert_eq!(s.thermal.die_nodes, vec!["die_big", "die_little"]);
+        assert_eq!(s.thermal.nodes.len(), 8);
+        let p = prime_flagship();
+        assert_eq!(
+            p.thermal.die_nodes,
+            vec!["die_prime", "die_big", "die_little"]
+        );
+        assert_eq!(p.thermal.nodes.len(), 9);
+    }
+
+    #[test]
+    fn die_splits_are_ceff_proportional() {
+        let s = flagship_octa();
+        let big = s.thermal.nodes[s.thermal.node_index("die_big").unwrap()].capacitance;
+        let little = s.thermal.nodes[s.thermal.node_index("die_little").unwrap()].capacitance;
+        // Total die mass is preserved…
+        assert!((big + little - 1.6).abs() < 1e-12);
+        // …and split 2.9:1.1 by per-core Ceff at equal core counts.
+        assert!((big / little - 2.9 / 1.1).abs() < 1e-9);
+        // Same split on the die–package conductances.
+        let g = |name: &str| {
+            s.thermal
+                .couplings
+                .iter()
+                .find(|&&(a, b, _)| a == name && b == "package")
+                .map(|&(_, _, g)| g)
+                .unwrap()
+        };
+        assert!((g("die_big") + g("die_little") - 3.5).abs() < 1e-12);
+        assert!((g("die_big") / g("die_little") - 2.9 / 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prime_flagship_is_three_domain_and_big_first() {
+        let s = prime_flagship();
+        assert_eq!(s.domains(), 3);
+        assert_eq!(s.cores(), 8);
+        assert_eq!(s.topology(), "1+3+4");
+        assert_eq!(s.clusters[0].name, "prime");
+        assert!(s.clusters[0].max_khz() > s.clusters[1].max_khz());
+        assert!(s.clusters[1].max_khz() > s.clusters[2].max_khz());
+        // The prime core is a single hot core: its die node is smaller
+        // than big's (1 core vs 3) but hotter per core.
+        let die = |name: &str| s.thermal.nodes[s.thermal.node_index(name).unwrap()].capacitance;
+        assert!(die("die_prime") < die("die_big"));
+        assert!(die("die_little") < die("die_big"));
     }
 }

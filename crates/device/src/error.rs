@@ -46,6 +46,28 @@ pub enum DeviceError {
         /// The offending value.
         value: f64,
     },
+    /// A thermal node name is empty or contains characters outside
+    /// `[a-z0-9_-]` (names become trace columns and report rows).
+    InvalidThermalNodeName(String),
+    /// Two thermal nodes share a name, or one node was designated as
+    /// the die of two different clusters.
+    DuplicateThermalNode(String),
+    /// A thermal edge or role designation references a node the spec
+    /// never declared.
+    UnknownThermalNode(String),
+    /// The spec does not declare exactly one die node per cluster, so
+    /// cluster power could not be attributed to the die.
+    DieNodeMismatch {
+        /// How many die nodes the thermal spec designates.
+        die_nodes: usize,
+        /// How many clusters the device declares.
+        clusters: usize,
+    },
+    /// A thermal node has no path to ambient through the coupling
+    /// graph — its steady state would be unbounded.
+    DisconnectedThermalNode(String),
+    /// A thermal coupling is malformed (self-loop or duplicate pair).
+    InvalidThermalCoupling(String),
     /// Two registry specs share an id (after ASCII lowercasing).
     DuplicateId(String),
 }
@@ -84,6 +106,30 @@ impl std::fmt::Display for DeviceError {
             }
             DeviceError::InvalidParameter { name, value } => {
                 write!(f, "device parameter {name} = {value} out of range")
+            }
+            DeviceError::InvalidThermalNodeName(name) => {
+                write!(f, "thermal node name {name:?} must be non-empty [a-z0-9_-]")
+            }
+            DeviceError::DuplicateThermalNode(name) => {
+                write!(f, "thermal node {name:?} declared or designated twice")
+            }
+            DeviceError::UnknownThermalNode(name) => {
+                write!(f, "thermal spec references undeclared node {name:?}")
+            }
+            DeviceError::DieNodeMismatch {
+                die_nodes,
+                clusters,
+            } => {
+                write!(
+                    f,
+                    "thermal spec designates {die_nodes} die node(s) for {clusters} cluster(s)"
+                )
+            }
+            DeviceError::DisconnectedThermalNode(name) => {
+                write!(f, "thermal node {name:?} has no path to ambient")
+            }
+            DeviceError::InvalidThermalCoupling(what) => {
+                write!(f, "invalid thermal coupling {what}")
             }
             DeviceError::DuplicateId(id) => write!(f, "duplicate device id {id:?}"),
         }

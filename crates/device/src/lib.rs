@@ -14,19 +14,23 @@
 //!   table (frequency/voltage pairs), and per-frequency power
 //!   coefficients; big.LITTLE parts declare two clusters, big first,
 //! * display and battery power models,
-//! * the back-cover material and the seven-node thermal RC network
-//!   parameters (`usta_thermal::PhoneThermalParams`),
+//! * the back-cover material and a declarative [`ThermalSpec`] —
+//!   named RC nodes with **one die node per cluster**, conductance
+//!   edges, and skin/screen/back designations — lowered to a
+//!   `usta_thermal::ThermalTopology` at device construction,
 //!
 //! and a [`Registry`] validates specs at construction (monotone OPP
-//! power, positive capacitances and conductances) and resolves ids for
-//! CLIs. The built-in catalog ([`NAMES`]) ships four devices:
+//! power, positive capacitances and conductances, per-cluster die
+//! nodes, connected thermal graph) and resolves ids for CLIs. The
+//! built-in catalog ([`NAMES`]) ships five devices:
 //!
-//! | id | domains | class |
-//! |---|---|---|
-//! | `nexus4` | 1 (`cpu`, 4 cores) | the paper's quad-core handset, bit-for-bit the seed's calibrated constants |
-//! | `flagship-octa` | 2 (`big`+`little`, 4+4 cores) | a big.LITTLE octa-core flagship with per-cluster frequency domains |
-//! | `tablet-10in` | 1 (`cpu`, 6 cores) | a tablet with several times the phone's thermal mass |
-//! | `budget-quad` | 1 (`cpu`, 4 cores) | a low-end quad-core with a shallow OPP table |
+//! | id | domains | die nodes | class |
+//! |---|---|---|---|
+//! | `nexus4` | 1 (`cpu`, 4 cores) | `cpu` | the paper's quad-core handset, bit-for-bit the seed's calibrated constants |
+//! | `flagship-octa` | 2 (`big`+`little`, 4+4 cores) | `die_big`, `die_little` | a big.LITTLE octa-core flagship with per-cluster frequency domains |
+//! | `prime-flagship` | 3 (`prime`+`big`+`little`, 1+3+4 cores) | `die_prime`, `die_big`, `die_little` | a three-domain flagship with a 2.84 GHz prime core |
+//! | `tablet-10in` | 1 (`cpu`, 6 cores) | `cpu` | a tablet with several times the phone's thermal mass |
+//! | `budget-quad` | 1 (`cpu`, 4 cores) | `cpu` | a low-end quad-core with a shallow OPP table |
 //!
 //! ```
 //! use usta_device::{by_id, Registry, NAMES};
@@ -42,9 +46,9 @@
 //! ```
 //!
 //! Dependency direction: this crate sits between `usta-thermal` (whose
-//! `PhoneThermalParams` it embeds) and `usta-soc` (which builds its
-//! `OppTable`/`CpuPowerModel`/`Battery`/`Display` instances *from* a
-//! spec — see `usta_soc::spec`).
+//! topology types its `ThermalSpec` lowers into) and `usta-soc` (which
+//! builds its `OppTable`/`CpuPowerModel`/`Battery`/`Display` instances
+//! *from* a spec — see `usta_soc::spec`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,11 +58,13 @@ pub mod catalog;
 pub mod error;
 pub mod registry;
 pub mod spec;
+pub mod thermal;
 
-pub use catalog::{budget_quad, flagship_octa, nexus4, tablet_10in};
+pub use catalog::{budget_quad, flagship_octa, nexus4, prime_flagship, tablet_10in};
 pub use error::DeviceError;
 pub use registry::{by_id, try_by_id, Registry, UnknownDeviceError, NAMES};
 pub use spec::{
     BatterySpec, ClusterSpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuPowerSpec, OppPoint,
     MAX_FREQ_DOMAINS,
 };
+pub use thermal::{ThermalNodeSpec, ThermalSpec};

@@ -2,13 +2,19 @@
 
 use std::sync::OnceLock;
 
-use crate::catalog::{budget_quad, flagship_octa, nexus4, tablet_10in};
+use crate::catalog::{budget_quad, flagship_octa, nexus4, prime_flagship, tablet_10in};
 use crate::error::DeviceError;
 use crate::spec::DeviceSpec;
 
 /// Ids of every built-in device, in catalog order (the paper's device
 /// first) — useful for `--help` text and CI loops.
-pub const NAMES: [&str; 4] = ["nexus4", "flagship-octa", "tablet-10in", "budget-quad"];
+pub const NAMES: [&str; 5] = [
+    "nexus4",
+    "flagship-octa",
+    "prime-flagship",
+    "tablet-10in",
+    "budget-quad",
+];
 
 /// A validated set of device specs addressable by id.
 ///
@@ -47,6 +53,7 @@ impl Registry {
             Registry::new(vec![
                 nexus4(),
                 flagship_octa(),
+                prime_flagship(),
                 tablet_10in(),
                 budget_quad(),
             ])

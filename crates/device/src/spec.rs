@@ -7,12 +7,13 @@
 //! two, in **big-first order** (the spill scheduler places threads on
 //! the fastest cluster first). `usta-soc` turns each cluster into live
 //! models (`usta_soc::spec`), and `usta-sim` builds whole multi-domain
-//! devices from a spec; the thermal side is carried directly as
-//! [`usta_thermal::PhoneThermalParams`].
+//! devices from a spec; the thermal side is a declarative
+//! [`ThermalSpec`] with **one die node per cluster**, lowered into a
+//! `usta_thermal::ThermalTopology` at device construction.
 
 use crate::error::DeviceError;
+use crate::thermal::ThermalSpec;
 use usta_thermal::materials::Material;
-use usta_thermal::PhoneThermalParams;
 
 /// The most frequency domains (clusters) a device may declare. Three
 /// covers every shipping phone topology (LITTLE + big + prime); four
@@ -135,8 +136,7 @@ pub struct BatterySpec {
 /// A complete device description.
 ///
 /// Field units are stated per field; the thermal network uses J/K for
-/// node capacitances and W/K for conductances (see
-/// [`PhoneThermalParams`]).
+/// node capacitances and W/K for conductances (see [`ThermalSpec`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Stable registry/CLI id, lower-case `[a-z0-9-]` (e.g. `"nexus4"`).
@@ -159,9 +159,10 @@ pub struct DeviceSpec {
     /// ambient conductances); changing this field alone does not
     /// change simulation results.
     pub back_cover: Material,
-    /// Seven-node thermal RC network: node heat capacities in J/K,
-    /// coupling and ambient conductances in W/K.
-    pub thermal: PhoneThermalParams,
+    /// The declarative thermal RC network: named nodes (heat
+    /// capacities in J/K), coupling and ambient conductances in W/K,
+    /// and role designations — one die node per cluster, big-first.
+    pub thermal: ThermalSpec,
 }
 
 impl DeviceSpec {
@@ -216,7 +217,9 @@ impl DeviceSpec {
     /// ordering, per-cluster core counts and OPP monotonicity —
     /// frequency strictly increasing, voltage non-decreasing, dynamic
     /// power strictly increasing), power-model coefficient ranges, and
-    /// positivity of every thermal capacitance and conductance.
+    /// the thermal spec (see [`ThermalSpec::validate`]: node names,
+    /// positive capacitances and conductances, one die node per
+    /// cluster, resolvable designations, connected graph).
     ///
     /// # Errors
     ///
@@ -227,7 +230,7 @@ impl DeviceSpec {
         }
         self.validate_clusters()?;
         self.validate_power_models()?;
-        self.validate_thermal()
+        self.thermal.validate(self.clusters.len())
     }
 
     fn validate_clusters(&self) -> Result<(), DeviceError> {
@@ -281,50 +284,6 @@ impl DeviceSpec {
                 name: "battery.charge_loss_fraction",
                 value: self.battery.charge_loss_fraction,
             });
-        }
-        Ok(())
-    }
-
-    fn validate_thermal(&self) -> Result<(), DeviceError> {
-        for &c in &self.thermal.capacitance {
-            if !c.is_finite() || c <= 0.0 {
-                return Err(DeviceError::InvalidParameter {
-                    name: "thermal.capacitance",
-                    value: c,
-                });
-            }
-        }
-        for &(_, _, g) in &self.thermal.couplings {
-            if !g.is_finite() || g <= 0.0 {
-                return Err(DeviceError::InvalidParameter {
-                    name: "thermal.coupling",
-                    value: g,
-                });
-            }
-        }
-        if self.thermal.ambient_links.is_empty() {
-            // Without any path to ambient, the steady state is singular
-            // and the device would heat without bound.
-            return Err(DeviceError::InvalidParameter {
-                name: "thermal.ambient_links",
-                value: 0.0,
-            });
-        }
-        for &(_, g) in &self.thermal.ambient_links {
-            if !g.is_finite() || g <= 0.0 {
-                return Err(DeviceError::InvalidParameter {
-                    name: "thermal.ambient_link",
-                    value: g,
-                });
-            }
-        }
-        for (name, v) in [
-            ("thermal.ambient", self.thermal.ambient.value()),
-            ("thermal.initial", self.thermal.initial.value()),
-        ] {
-            if !v.is_finite() {
-                return Err(DeviceError::InvalidParameter { name, value: v });
-            }
         }
         Ok(())
     }
@@ -503,7 +462,7 @@ mod tests {
     #[test]
     fn non_positive_capacitance_rejected() {
         let mut s = nexus4();
-        s.thermal.capacitance[3] = 0.0;
+        s.thermal.nodes[3].capacitance = 0.0;
         assert!(matches!(
             s.validate(),
             Err(DeviceError::InvalidParameter {

@@ -231,6 +231,12 @@ pub struct FleetAggregate {
     /// metrics; the per-domain rows are what the multi-domain control
     /// plane adds). `BTreeMap` keeps report order deterministic.
     pub domain_freq_ghz: std::collections::BTreeMap<String, MetricAggregate>,
+    /// Per-die-node peak temperature (°C), keyed `"<device>/<node>"` —
+    /// recorded only for multi-cluster devices (the per-cluster
+    /// thermal attribution the data-driven topology adds; single-die
+    /// devices' thermal story is `peak skin`). `BTreeMap` keeps report
+    /// order deterministic.
+    pub die_temp_c: std::collections::BTreeMap<String, MetricAggregate>,
 }
 
 impl FleetAggregate {
@@ -240,6 +246,12 @@ impl FleetAggregate {
     /// [`Histogram::merge`] panics.
     fn domain_freq_metric() -> MetricAggregate {
         MetricAggregate::new(0.0, 4.0, 800)
+    }
+
+    /// The sketch shape of one `die_temp_c` entry: 0–150 °C at 0.1 °C
+    /// bins (die hotspots run far above the skin sketch's 60 °C).
+    fn die_temp_metric() -> MetricAggregate {
+        MetricAggregate::new(0.0, 150.0, 1500)
     }
 
     /// An empty aggregate with the fleet's standard sketch ranges:
@@ -254,6 +266,7 @@ impl FleetAggregate {
             time_over_limit: MetricAggregate::new(0.0, 1.0, 500),
             qos: MetricAggregate::new(0.0, 1.0, 500),
             domain_freq_ghz: std::collections::BTreeMap::new(),
+            die_temp_c: std::collections::BTreeMap::new(),
         }
     }
 
@@ -272,6 +285,13 @@ impl FleetAggregate {
                     .or_insert_with(Self::domain_freq_metric)
                     .record(outcome.domain_freq_ghz[d]);
             }
+            for d in 0..outcome.die_node_names.len() {
+                let key = format!("{}/{}", outcome.device, outcome.die_node_names[d]);
+                self.die_temp_c
+                    .entry(key)
+                    .or_insert_with(Self::die_temp_metric)
+                    .record(outcome.peak_die_c[d]);
+            }
         }
     }
 
@@ -289,12 +309,19 @@ impl FleetAggregate {
                 .or_insert_with(Self::domain_freq_metric)
                 .merge(metric);
         }
+        for (key, metric) in &other.die_temp_c {
+            self.die_temp_c
+                .entry(key.clone())
+                .or_insert_with(Self::die_temp_metric)
+                .merge(metric);
+        }
     }
 
     /// The aggregate as a fixed-width report table. Sweeps that touch
     /// no multi-domain device print exactly the historical three-metric
     /// table; multi-domain devices append one `freq [GHz]` row per
-    /// (device, domain), in key order.
+    /// (device, domain) and one `temp [C]` row per (device, die node),
+    /// in key order.
     pub fn table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -320,6 +347,13 @@ impl FleetAggregate {
             out.push_str(&format!(
                 "{:<18} {}\n",
                 format!("freq [GHz] {key}"),
+                metric.row()
+            ));
+        }
+        for (key, metric) in &self.die_temp_c {
+            out.push_str(&format!(
+                "{:<18} {}\n",
+                format!("temp [C] {key}"),
                 metric.row()
             ));
         }
@@ -352,6 +386,12 @@ pub struct TripleOutcome {
     /// Time-weighted average frequency per domain, GHz, indexed like
     /// `domain_names`.
     pub domain_freq_ghz: usta_soc::PerDomain<f64>,
+    /// The device's die-node names, big-first (from the spec's thermal
+    /// topology).
+    pub die_node_names: usta_soc::PerDomain<&'static str>,
+    /// Peak true die temperature per die node over the session, °C,
+    /// indexed like `die_node_names`.
+    pub peak_die_c: usta_soc::PerDomain<f64>,
 }
 
 #[cfg(test)]
@@ -389,6 +429,8 @@ mod tests {
                     1.0 + (x % 1.0),
                     0.3 + (x % 0.7),
                 ]),
+                die_node_names: usta_soc::PerDomain::from_slice(&["die_big", "die_little"]),
+                peak_die_c: usta_soc::PerDomain::from_slice(&[45.0 + x % 20.0, 35.0 + x % 15.0]),
             }
         };
         let chunk = |c: usize| {
@@ -456,6 +498,8 @@ mod tests {
             device: "nexus4",
             domain_names: usta_soc::PerDomain::from_slice(&["cpu"]),
             domain_freq_ghz: usta_soc::PerDomain::from_slice(&[1.1]),
+            die_node_names: usta_soc::PerDomain::from_slice(&["cpu"]),
+            peak_die_c: usta_soc::PerDomain::from_slice(&[52.0]),
         }
     }
 
@@ -468,6 +512,8 @@ mod tests {
             device: "flagship-octa",
             domain_names: usta_soc::PerDomain::from_slice(&["big", "little"]),
             domain_freq_ghz: usta_soc::PerDomain::from_slice(&[big_ghz, little_ghz]),
+            die_node_names: usta_soc::PerDomain::from_slice(&["die_big", "die_little"]),
+            peak_die_c: usta_soc::PerDomain::from_slice(&[30.0 * big_ghz, 30.0 * little_ghz]),
         }
     }
 
@@ -476,7 +522,9 @@ mod tests {
         let mut a = FleetAggregate::new();
         a.record(&single_domain_outcome());
         assert!(a.domain_freq_ghz.is_empty());
+        assert!(a.die_temp_c.is_empty());
         assert!(!a.table().contains("freq [GHz]"));
+        assert!(!a.table().contains("temp [C]"));
     }
 
     #[test]
@@ -494,6 +542,25 @@ mod tests {
         let t = a.table();
         assert!(t.contains("freq [GHz] flagship-octa/big"));
         assert!(t.contains("freq [GHz] flagship-octa/little"));
+    }
+
+    #[test]
+    fn multi_cluster_devices_stream_one_temp_row_per_die_node() {
+        let mut a = FleetAggregate::new();
+        a.record(&single_domain_outcome());
+        a.record(&multi_domain_outcome(1.8, 0.6));
+        a.record(&multi_domain_outcome(1.6, 0.8));
+        assert_eq!(a.die_temp_c.len(), 2);
+        let big = &a.die_temp_c["flagship-octa/die_big"];
+        let little = &a.die_temp_c["flagship-octa/die_little"];
+        assert_eq!(big.stats.count(), 2);
+        assert!((big.stats.mean() - 51.0).abs() < 1e-12);
+        assert!((little.stats.mean() - 21.0).abs() < 1e-12);
+        let t = a.table();
+        assert!(t.contains("temp [C] flagship-octa/die_big"));
+        assert!(t.contains("temp [C] flagship-octa/die_little"));
+        // Temperature rows land after the frequency rows.
+        assert!(t.find("freq [GHz]").unwrap() < t.find("temp [C]").unwrap());
     }
 
     #[test]

@@ -393,6 +393,10 @@ fn run_triple(
         device: scenario.device,
         domain_names: usta_soc::PerDomain::from_slice(&result.domain_names),
         domain_freq_ghz: usta_soc::PerDomain::from_slice(&result.avg_domain_freq_ghz),
+        // The spec's die-node names are 'static; the run's Strings are
+        // the same names (the working topology copies the spec's).
+        die_node_names: usta_soc::PerDomain::from_slice(&scenario.spec().thermal.die_nodes),
+        peak_die_c: result.max_die.iter().map(|t| t.value()).collect(),
     };
     (outcome, steps_csv)
 }
@@ -942,9 +946,37 @@ mod tests {
     }
 
     #[test]
+    fn flagship_sweep_reports_per_die_temperatures_big_hotter() {
+        let config = SweepConfig {
+            devices: vec!["flagship-octa".to_owned()],
+            ..tiny_config()
+        };
+        let report = run_sweep(&config).unwrap();
+        let keys: Vec<&String> = report.aggregate.die_temp_c.keys().collect();
+        assert_eq!(
+            keys,
+            vec!["flagship-octa/die_big", "flagship-octa/die_little"]
+        );
+        let big = &report.aggregate.die_temp_c["flagship-octa/die_big"];
+        let little = &report.aggregate.die_temp_c["flagship-octa/die_little"];
+        assert_eq!(big.stats.count(), report.aggregate.triples);
+        assert!(
+            big.stats.mean() > little.stats.mean(),
+            "the big die must run hotter on average: {} vs {}",
+            big.stats.mean(),
+            little.stats.mean()
+        );
+        let summary = report.summary();
+        assert!(summary.contains("temp [C] flagship-octa/die_big"));
+        assert!(summary.contains("temp [C] flagship-octa/die_little"));
+    }
+
+    #[test]
     fn single_domain_sweeps_report_no_domain_rows() {
         let report = run_sweep(&tiny_config()).unwrap();
         assert!(report.aggregate.domain_freq_ghz.is_empty());
+        assert!(report.aggregate.die_temp_c.is_empty());
         assert!(!report.summary().contains("freq [GHz]"));
+        assert!(!report.summary().contains("temp [C]"));
     }
 }

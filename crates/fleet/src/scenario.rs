@@ -17,7 +17,7 @@ use rand_chacha::ChaCha8Rng;
 use usta_device::DeviceSpec;
 use usta_sim::DeviceConfig;
 use usta_thermal::materials::Material;
-use usta_thermal::{Celsius, PhoneNode};
+use usta_thermal::Celsius;
 use usta_workloads::{Benchmark, DeviceDemand, PhasedWorkload, Workload};
 
 /// The device every single-device catalog runs on: the paper's.
@@ -184,9 +184,10 @@ impl Scenario {
     }
 
     /// The device configuration this scenario runs on: the scenario's
-    /// catalog device with its thermal network re-parameterised for
+    /// catalog device with its thermal topology re-parameterised for
     /// the ambient band and case, soaked to room temperature at
-    /// power-on.
+    /// power-on. Case handling goes through the topology's exterior
+    /// back-node designation, so it works for any node layout.
     pub fn device_config(&self, sensor_seed: u64) -> DeviceConfig {
         let mut config = DeviceConfig {
             sensor_seed,
@@ -197,19 +198,19 @@ impl Scenario {
         thermal.ambient = self.ambient.temperature();
         // A phone picked up in the field starts barely above the room.
         thermal.initial = self.ambient.temperature() + 2.0;
+        let backs = thermal.roles.back.clone();
         if let Some(material) = self.case.material() {
-            // Case mass splits over the two modelled back-cover nodes
-            // in proportion to their bare capacitance.
+            // Case mass splits over the designated back-cover nodes in
+            // proportion to their bare capacitance.
             let added = material.capacitance_of_grams(self.case.back_mass_grams());
-            let mid = PhoneNode::BackMid.index();
-            let upper = PhoneNode::BackUpper.index();
-            let total = thermal.capacitance[mid] + thermal.capacitance[upper];
-            thermal.capacitance[mid] += added * thermal.capacitance[mid] / total;
-            thermal.capacitance[upper] += added * thermal.capacitance[upper] / total;
+            let total: f64 = backs.iter().map(|&i| thermal.nodes[i].capacitance).sum();
+            for &i in &backs {
+                thermal.nodes[i].capacitance += added * thermal.nodes[i].capacitance / total;
+            }
         }
         let scale = self.case.ambient_scale();
         for (node, g) in thermal.ambient_links.iter_mut() {
-            if matches!(node, PhoneNode::BackMid | PhoneNode::BackUpper) {
+            if backs.contains(node) {
                 *g *= scale;
             }
         }

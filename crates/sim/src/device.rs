@@ -3,12 +3,15 @@
 //! Which device is simulated is data, not code: a
 //! [`usta_device::DeviceSpec`] (default: the paper's Nexus 4) supplies
 //! the cluster topology (one [`usta_soc::Cpu`] per frequency domain),
-//! power models, and thermal network. Workload threads are scheduled
-//! **big-first with spill**: each sampling window assigns thread `i` to
-//! virtual core `i mod total_cores` with the cores of earlier (faster)
-//! clusters first, so light loads run entirely on the big cluster and
-//! heavy loads wrap around — re-assignment every window is the
-//! migration-at-governor-period model.
+//! power models, and the thermal topology — **one die node per
+//! cluster**, so each cluster's CPU power heats its own RC node and a
+//! big.LITTLE part's clusters are thermally distinguishable. Workload
+//! threads are scheduled **big-first with spill**: each sampling window
+//! assigns thread `i` to virtual core `i mod total_cores` with the
+//! cores of earlier (faster) clusters first, so light loads run
+//! entirely on the big cluster and heavy loads wrap around —
+//! re-assignment every window is the migration-at-governor-period
+//! model.
 
 use usta_core::FeatureVector;
 use usta_device::DeviceSpec;
@@ -17,7 +20,7 @@ use usta_soc::{
     Battery, ChargeState, Cpu, CpuPowerModel, Display, GpuPowerModel, PerDomain, SensorParams,
     ThermalSensor,
 };
-use usta_thermal::{Celsius, HeatInput, PhoneNode, PhoneThermalModel, PhoneThermalParams};
+use usta_thermal::{Celsius, DeviceThermalModel, HeatLoad, ThermalTopology};
 use usta_workloads::DeviceDemand;
 
 /// Configuration of the simulated device.
@@ -25,10 +28,10 @@ use usta_workloads::DeviceDemand;
 pub struct DeviceConfig {
     /// Which device to instantiate (clusters, power models).
     pub spec: DeviceSpec,
-    /// Thermal network parameters. Starts as a copy of `spec.thermal`;
+    /// The thermal topology to run. Starts as `spec.thermal.topology()`;
     /// scenario layers (cases, ambient bands) re-parameterise this copy
     /// without touching the spec.
-    pub thermal: PhoneThermalParams,
+    pub thermal: ThermalTopology,
     /// Battery state of charge at power-on, 0–1.
     pub battery_soc: f64,
     /// Seed for all sensor noise streams.
@@ -45,10 +48,10 @@ impl Default for DeviceConfig {
 
 impl DeviceConfig {
     /// A default-state configuration of the given device: its own
-    /// thermal network, 80 % charge, unheld, fixed sensor seed.
+    /// thermal topology, 80 % charge, unheld, fixed sensor seed.
     pub fn for_device(spec: DeviceSpec) -> DeviceConfig {
         DeviceConfig {
-            thermal: spec.thermal.clone(),
+            thermal: spec.thermal.topology(),
             spec,
             battery_soc: 0.8,
             sensor_seed: 0x5eed,
@@ -74,6 +77,9 @@ pub struct DomainState {
     pub avg_utilization: f64,
     /// Busiest-core utilization within the domain, 0–1.
     pub max_utilization: f64,
+    /// True temperature of the domain's own die node (the per-cluster
+    /// thermal attribution the data-driven topology adds).
+    pub die_temp: Celsius,
 }
 
 /// Everything the software (and the thermistor rig) can observe at one
@@ -108,15 +114,33 @@ pub struct Observation {
 }
 
 impl Observation {
-    /// The predictor's feature vector for this observation (one
-    /// frequency input per domain).
+    /// The predictor's feature vector for this observation: one
+    /// frequency input per domain and, on multi-die devices, the
+    /// hottest die temperature (single-die devices keep the paper's
+    /// exact 4-feature shape).
     pub fn features(&self) -> FeatureVector {
         FeatureVector {
             cpu_temp: self.cpu_temp,
             battery_temp: self.battery_temp,
             utilization: self.avg_utilization,
             domain_freqs_khz: PerDomain::from_fn(self.domains.len(), |d| self.domains[d].freq_khz),
+            hottest_die: (self.domains.len() > 1).then(|| self.hottest_die()),
         }
+    }
+
+    /// The hottest per-cluster die temperature of this observation.
+    pub fn hottest_die(&self) -> Celsius {
+        let mut best = self.domains[0].die_temp;
+        for state in self.domains.iter().skip(1) {
+            best = best.max(state.die_temp);
+        }
+        best
+    }
+
+    /// Per-domain die temperatures, big-first (for
+    /// [`usta_core::UstaGovernor::observe_die_temperatures`]).
+    pub fn die_temps(&self) -> PerDomain<Celsius> {
+        PerDomain::from_fn(self.domains.len(), |d| self.domains[d].die_temp)
     }
 }
 
@@ -124,7 +148,7 @@ impl Observation {
 #[derive(Debug)]
 pub struct Device {
     spec: DeviceSpec,
-    phone: PhoneThermalModel,
+    thermal: DeviceThermalModel,
     clusters: Vec<Cpu>,
     cluster_power: Vec<CpuPowerModel>,
     gpu_power: GpuPowerModel,
@@ -144,11 +168,19 @@ impl Device {
     ///
     /// # Errors
     ///
-    /// Propagates construction errors from the SoC or thermal models.
+    /// Propagates construction errors from the SoC or thermal models,
+    /// and rejects a working-copy topology whose die-node count
+    /// diverged from the spec's cluster count.
     pub fn new(config: DeviceConfig) -> Result<Device, Box<dyn std::error::Error>> {
         config.spec.validate()?;
-        let mut phone = PhoneThermalModel::new(config.thermal)?;
-        phone.set_hand_contact(config.hand_held);
+        if config.thermal.dies() != config.spec.domains() {
+            return Err(Box::new(usta_device::DeviceError::DieNodeMismatch {
+                die_nodes: config.thermal.dies(),
+                clusters: config.spec.domains(),
+            }));
+        }
+        let mut thermal = DeviceThermalModel::new(config.thermal)?;
+        thermal.set_hand_contact(config.hand_held);
         let seed = config.sensor_seed;
         Ok(Device {
             clusters: usta_soc::spec::cpus(&config.spec)?,
@@ -157,7 +189,7 @@ impl Device {
             display: usta_soc::spec::display(&config.spec)?,
             battery: usta_soc::spec::battery(&config.spec, config.battery_soc)?,
             spec: config.spec,
-            phone,
+            thermal,
             cpu_sensor: ThermalSensor::new(SensorParams::kernel_zone(), seed ^ 0x01),
             battery_sensor: ThermalSensor::new(SensorParams::kernel_zone(), seed ^ 0x02),
             skin_thermistor: ThermalSensor::new(SensorParams::thermistor(), seed ^ 0x03),
@@ -229,10 +261,16 @@ impl Device {
         };
         self.battery.set_charge_state(charge_state);
 
-        let die = self.phone.cpu_temperature();
+        // Each cluster's power is computed against — and routed back
+        // into — its *own* die node, so leakage feedback and skin
+        // heating are attributed per cluster.
+        let mut die_w = Vec::with_capacity(self.clusters.len());
         let mut cpu_w = 0.0;
-        for (cluster, power) in self.clusters.iter().zip(&self.cluster_power) {
-            cpu_w += power.cluster_power(cluster.frequency(), cluster.utilizations(), die);
+        for (d, (cluster, power)) in self.clusters.iter().zip(&self.cluster_power).enumerate() {
+            let die = self.thermal.die_temperature(d);
+            let w = power.cluster_power(cluster.frequency(), cluster.utilizations(), die);
+            cpu_w += w;
+            die_w.push(w);
         }
         let gpu_w = self.gpu_power.power(demand.gpu_load);
         let display_total_w = self.display.power();
@@ -246,14 +284,14 @@ impl Device {
         let load_w = cpu_w + gpu_w + display_total_w + demand.board_w;
         let battery_w = self.battery.step(load_w, dt);
 
-        self.phone.set_heat(HeatInput {
-            cpu_w,
+        self.thermal.set_heat(HeatLoad {
+            die_w,
             gpu_w,
             display_w,
             battery_w,
             board_w,
         });
-        self.phone.step(dt);
+        self.thermal.step(dt);
 
         self.total_demand_khz_s += demand.total_cpu_khz() * dt;
         let mut unserved = 0.0;
@@ -280,6 +318,7 @@ impl Device {
                 level: cluster.level(),
                 avg_utilization: cluster.average_utilization(),
                 max_utilization: cluster.max_utilization(),
+                die_temp: self.thermal.die_temperature(d),
             }
         });
         let total_cores: usize = self.clusters.iter().map(Cpu::cores).sum();
@@ -300,12 +339,16 @@ impl Device {
         };
         Observation {
             t: self.clock_s,
-            cpu_temp: self.cpu_sensor.read(self.phone.cpu_temperature()),
-            battery_temp: self.battery_sensor.read(self.phone.battery_temperature()),
-            skin_thermistor: self.skin_thermistor.read(self.phone.skin_temperature()),
-            screen_thermistor: self.screen_thermistor.read(self.phone.screen_temperature()),
-            skin_true: self.phone.skin_temperature(),
-            screen_true: self.phone.screen_temperature(),
+            // The primary CPU zone sits on the big cluster's die (die
+            // node 0) — on the single-die Nexus 4, *the* die.
+            cpu_temp: self.cpu_sensor.read(self.thermal.die_temperature(0)),
+            battery_temp: self.battery_sensor.read(self.thermal.battery_temperature()),
+            skin_thermistor: self.skin_thermistor.read(self.thermal.skin_temperature()),
+            screen_thermistor: self
+                .screen_thermistor
+                .read(self.thermal.screen_temperature()),
+            skin_true: self.thermal.skin_temperature(),
+            screen_true: self.thermal.screen_temperature(),
             avg_utilization: util_sum / total_cores as f64,
             max_utilization,
             freq_khz,
@@ -334,8 +377,8 @@ impl Device {
     }
 
     /// The thermal model (read access for experiments).
-    pub fn phone(&self) -> &PhoneThermalModel {
-        &self.phone
+    pub fn thermal_model(&self) -> &DeviceThermalModel {
+        &self.thermal
     }
 
     /// The device spec this instance was built from.
@@ -345,12 +388,12 @@ impl Device {
 
     /// Grabs/releases the phone with a hand.
     pub fn set_hand_held(&mut self, held: bool) {
-        self.phone.set_hand_contact(held);
+        self.thermal.set_hand_contact(held);
     }
 
     /// Resets all thermal state to `t` (a cold restart of an experiment).
     pub fn reset_thermals_to(&mut self, t: Celsius) {
-        self.phone.reset_to(t);
+        self.thermal.reset_to(t);
         self.cpu_sensor.reset();
         self.battery_sensor.reset();
         self.skin_thermistor.reset();
@@ -390,9 +433,20 @@ impl Device {
         self.battery.state_of_charge()
     }
 
-    /// True temperature at an arbitrary thermal node (diagnostics).
-    pub fn node_temperature(&self, node: PhoneNode) -> Celsius {
-        self.phone.temperature(node)
+    /// True temperature at an arbitrary thermal node, by name
+    /// (diagnostics). `None` when the topology has no such node.
+    pub fn node_temperature(&self, name: &str) -> Option<Celsius> {
+        self.thermal.node_temperature_by_name(name)
+    }
+
+    /// True die temperature of frequency domain `d`.
+    pub fn die_temperature(&self, d: usize) -> Celsius {
+        self.thermal.die_temperature(d)
+    }
+
+    /// Names of the per-cluster die nodes, big-first.
+    pub fn die_node_names(&self) -> Vec<String> {
+        self.thermal.topology().die_node_names()
     }
 }
 
@@ -528,7 +582,9 @@ mod tests {
             // Big-first: domain 0 carries the device's top frequency.
             assert_eq!(freq_domains[0].opp.max().khz, spec_max, "{id}");
             assert_eq!(d.opp_table().max().khz, spec_max, "{id}");
-            assert_eq!(d.phone().params().capacitance.len(), 7, "{id}");
+            // One die node per frequency domain, and every node named.
+            assert_eq!(d.die_node_names().len(), spec_domains, "{id}");
+            assert!(d.thermal_model().topology().nodes.len() >= 7, "{id}");
             assert!(freq_domains.iter().all(|fd| fd.full_load_w > 0.0), "{id}");
         }
         assert!(DeviceConfig::for_device_id("no-such-device").is_none());

@@ -107,8 +107,8 @@ pub fn touch(seed: u64) -> TouchResult {
         TouchEntry {
             active,
             held,
-            skin: device.phone().skin_temperature(),
-            screen: device.phone().screen_temperature(),
+            skin: device.thermal_model().skin_temperature(),
+            screen: device.thermal_model().screen_temperature(),
         }
     };
     TouchResult {

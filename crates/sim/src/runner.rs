@@ -130,6 +130,15 @@ pub struct RunResult {
     /// Per-domain CPU frequency (kHz) at every log instant, indexed
     /// like `domain_names`.
     pub domain_freq_traces: Vec<Vec<(f64, f64)>>,
+    /// Names of the per-cluster die nodes, in the device's big-first
+    /// domain order (`["cpu"]` on single-domain devices).
+    pub die_node_names: Vec<String>,
+    /// True per-die temperature at every log instant, indexed like
+    /// `die_node_names`.
+    pub die_temp_traces: Vec<Vec<(f64, Celsius)>>,
+    /// Peak true temperature of each die node over the whole run,
+    /// indexed like `die_node_names`.
+    pub max_die: Vec<Celsius>,
     /// USTA's skin predictions, when USTA ran.
     pub predictions: Vec<(f64, Celsius)>,
     /// Logging cadence used, seconds.
@@ -198,20 +207,25 @@ pub fn run_workload(
     let mut screen_trace = Vec::new();
     let mut freq_trace = Vec::new();
     let mut domain_freq_traces: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_domains];
+    let mut die_temp_traces: Vec<Vec<(f64, Celsius)>> = vec![Vec::new(); n_domains];
     let mut predictions = Vec::new();
     let mut training_log = TrainingLog::new();
     let mut freq_time_khz = 0.0;
     let mut domain_freq_time_khz = vec![0.0f64; n_domains];
     let mut max_skin = Celsius(f64::NEG_INFINITY);
     let mut max_screen = Celsius(f64::NEG_INFINITY);
+    let mut max_die = vec![Celsius(f64::NEG_INFINITY); n_domains];
 
     for step_no in 0..total_steps {
         let demand = workload.demand_at(t, dt);
         device.apply(&demand, levels.as_slice(), dt);
         let obs = device.observe();
 
-        // USTA's 3-second prediction loop rides on the sensor stream.
+        // USTA's 3-second prediction loop rides on the sensor stream;
+        // the per-cluster die temperatures ride along so the cap
+        // splitter can break power-share ties toward the hotter die.
         if let Governor::Usta(usta) = governor {
+            usta.observe_die_temperatures(obs.die_temps().as_slice());
             if usta.tick(&obs.features(), dt).is_some() {
                 if let Some(p) = usta.last_prediction() {
                     predictions.push((obs.t, p));
@@ -245,6 +259,9 @@ pub fn run_workload(
         }
         max_skin = max_skin.max(obs.skin_true);
         max_screen = max_screen.max(obs.screen_true);
+        for (peak, state) in max_die.iter_mut().zip(obs.domains.iter()) {
+            *peak = peak.max(state.die_temp);
+        }
 
         if step_no.is_multiple_of(steps_per_log) {
             skin_trace.push((t, obs.skin_true));
@@ -252,6 +269,9 @@ pub fn run_workload(
             freq_trace.push((t, obs.freq_khz));
             for (trace, state) in domain_freq_traces.iter_mut().zip(obs.domains.iter()) {
                 trace.push((t, state.freq_khz));
+            }
+            for (trace, state) in die_temp_traces.iter_mut().zip(obs.domains.iter()) {
+                trace.push((t, state.die_temp));
             }
             training_log.push(LoggedSample {
                 t,
@@ -271,6 +291,9 @@ pub fn run_workload(
         screen_trace,
         freq_trace,
         domain_freq_traces,
+        die_node_names: device.die_node_names(),
+        die_temp_traces,
+        max_die,
         predictions,
         log_period_s: config.log_period_s,
         avg_freq_ghz: freq_time_khz / duration / 1e6,

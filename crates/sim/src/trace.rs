@@ -81,6 +81,19 @@ fn check_lengths(result: &RunResult) -> Result<(), TraceError> {
             return Err(mismatch(&format!("freq_khz_{name}"), trace.len()));
         }
     }
+    if result.die_temp_traces.len() != result.die_node_names.len() {
+        // One temperature trace per named die node.
+        return Err(TraceError::LengthMismatch {
+            trace: "die_nodes".to_owned(),
+            expected: result.die_node_names.len(),
+            found: result.die_temp_traces.len(),
+        });
+    }
+    for (name, trace) in result.die_node_names.iter().zip(&result.die_temp_traces) {
+        if trace.len() != expected {
+            return Err(mismatch(&format!("temp_c_{name}"), trace.len()));
+        }
+    }
     Ok(())
 }
 
@@ -88,10 +101,10 @@ fn check_lengths(result: &RunResult) -> Result<(), TraceError> {
 /// `t_s, skin_c, screen_c, freq_khz, prediction_c` (the prediction
 /// column is empty for baseline runs and between USTA's 3 s updates).
 /// Multi-domain runs insert one `freq_khz_<domain>` column per
-/// frequency domain between `freq_khz` (the capacity-weighted
-/// aggregate) and `prediction_c`; single-domain runs keep the
-/// historical five-column layout, where `freq_khz` *is* the domain
-/// frequency.
+/// frequency domain and one `temp_c_<node>` column per die node
+/// between `freq_khz` (the capacity-weighted aggregate) and
+/// `prediction_c`; single-domain runs keep the historical five-column
+/// layout, where `freq_khz` *is* the domain frequency.
 ///
 /// # Errors
 ///
@@ -105,6 +118,10 @@ pub fn write_csv<W: Write>(result: &RunResult, mut w: W) -> Result<(), TraceErro
     if multi_domain {
         for name in &result.domain_names {
             header.push_str(",freq_khz_");
+            header.push_str(name);
+        }
+        for name in &result.die_node_names {
+            header.push_str(",temp_c_");
             header.push_str(name);
         }
     }
@@ -140,6 +157,9 @@ pub fn write_csv<W: Write>(result: &RunResult, mut w: W) -> Result<(), TraceErro
         if multi_domain {
             for trace in &result.domain_freq_traces {
                 write!(w, ",{:.0}", trace[i].1)?;
+            }
+            for trace in &result.die_temp_traces {
+                write!(w, ",{:.4}", trace[i].1.value())?;
             }
         }
         match latest {
@@ -237,11 +257,12 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(
             lines[0],
-            "t_s,skin_c,screen_c,freq_khz,freq_khz_big,freq_khz_little,prediction_c"
+            "t_s,skin_c,screen_c,freq_khz,freq_khz_big,freq_khz_little,\
+             temp_c_die_big,temp_c_die_little,prediction_c"
         );
         for line in &lines[1..] {
             let fields: Vec<&str> = line.split(',').collect();
-            assert_eq!(fields.len(), 7, "{line:?}");
+            assert_eq!(fields.len(), 9, "{line:?}");
             let aggregate: f64 = fields[3].parse().unwrap();
             let big: f64 = fields[4].parse().unwrap();
             let little: f64 = fields[5].parse().unwrap();
@@ -249,7 +270,19 @@ mod tests {
                 little <= aggregate && aggregate <= big,
                 "aggregate must sit between the domain clocks: {line:?}"
             );
+            let big_die: f64 = fields[6].parse().unwrap();
+            let little_die: f64 = fields[7].parse().unwrap();
+            assert!(big_die.is_finite() && little_die.is_finite(), "{line:?}");
         }
+    }
+
+    #[test]
+    fn single_domain_csv_keeps_the_historical_layout() {
+        // The nexus4 CSV shape is pinned byte-for-byte by the fleet
+        // trace tests; here: no temp or per-domain columns appear.
+        let csv = to_csv_string(&short_run()).expect("consistent traces");
+        assert!(!csv.contains("temp_c_"));
+        assert!(!csv.contains("freq_khz_"));
     }
 
     #[test]
@@ -275,6 +308,23 @@ mod tests {
         assert!(
             err.to_string().contains("freq_khz_cpu"),
             "domain mismatch names its column: {err}"
+        );
+
+        // Die-temp traces reuse the same structured error path.
+        let mut result = flagship_run();
+        result.die_temp_traces[1].pop();
+        let err = to_csv_string(&result).unwrap_err();
+        assert!(
+            err.to_string().contains("temp_c_die_little"),
+            "die mismatch names its column: {err}"
+        );
+
+        let mut result = flagship_run();
+        result.die_temp_traces.pop();
+        let err = to_csv_string(&result).unwrap_err();
+        assert!(
+            err.to_string().contains("die_nodes"),
+            "die-count mismatch is structured: {err}"
         );
     }
 }

@@ -59,6 +59,9 @@ pub enum ThermalError {
         /// The node name.
         name: String,
     },
+    /// A device topology declares no CPU die node — there would be
+    /// nowhere to route cluster power.
+    NoDieNode,
 }
 
 impl fmt::Display for ThermalError {
@@ -94,6 +97,9 @@ impl fmt::Display for ThermalError {
             }
             ThermalError::BoundaryNode { name } => {
                 write!(f, "node `{name}` is a fixed-temperature boundary node")
+            }
+            ThermalError::NoDieNode => {
+                write!(f, "topology declares no CPU die node")
             }
         }
     }
@@ -149,6 +155,7 @@ mod tests {
             ThermalError::BoundaryNode {
                 name: "hand".into(),
             },
+            ThermalError::NoDieNode,
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

@@ -52,10 +52,12 @@ pub mod integrator;
 pub mod materials;
 pub mod network;
 pub mod phone;
+pub mod topology;
 pub mod units;
 
 pub use error::ThermalError;
 pub use integrator::IntegrationMethod;
 pub use network::{NodeId, ThermalNetwork, ThermalNetworkBuilder};
 pub use phone::{HandContact, HeatInput, PhoneNode, PhoneThermalModel, PhoneThermalParams};
+pub use topology::{DeviceThermalModel, HeatLoad, NodeRoles, ThermalNode, ThermalTopology};
 pub use units::Celsius;

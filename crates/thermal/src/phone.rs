@@ -16,7 +16,8 @@
 //! workloads.
 
 use crate::error::ThermalError;
-use crate::network::{NodeId, ThermalNetwork, ThermalNetworkBuilder};
+use crate::network::ThermalNetwork;
+use crate::topology::{DeviceThermalModel, HeatLoad, NodeRoles, ThermalNode, ThermalTopology};
 use crate::units::Celsius;
 
 /// The physical locations modelled by [`PhoneThermalModel`].
@@ -53,16 +54,19 @@ impl PhoneNode {
     /// Index of this node in [`PhoneNode::ALL`] — also the node's slot
     /// in [`PhoneThermalParams::capacitance`], so callers building
     /// modified phones (cases, accessories) can address it directly.
-    pub fn index(self) -> usize {
-        match self {
-            PhoneNode::Cpu => 0,
-            PhoneNode::Package => 1,
-            PhoneNode::Board => 2,
-            PhoneNode::Battery => 3,
-            PhoneNode::BackMid => 4,
-            PhoneNode::BackUpper => 5,
-            PhoneNode::Screen => 6,
+    ///
+    /// Derived from the node's position in [`PhoneNode::ALL`] (the
+    /// single source of truth for node order); a compile-time check
+    /// below keeps the scan total.
+    pub const fn index(self) -> usize {
+        let mut i = 0;
+        while i < PhoneNode::ALL.len() {
+            if PhoneNode::ALL[i] as usize == self as usize {
+                return i;
+            }
+            i += 1;
         }
+        panic!("PhoneNode::ALL must list every variant")
     }
 
     /// Stable lower-case name (also the network node name).
@@ -78,6 +82,17 @@ impl PhoneNode {
         }
     }
 }
+
+// `index` scans `ALL`, so `ALL` is the single source of truth — this
+// compile-time check guarantees the scan terminates for every variant
+// (i.e. `ALL` is a permutation covering the whole enum).
+const _: () = {
+    let mut i = 0;
+    while i < PhoneNode::ALL.len() {
+        assert!(PhoneNode::ALL[i].index() == i, "ALL order disagrees");
+        i += 1;
+    }
+};
 
 /// Heat injected into the phone for the current step, in watts.
 ///
@@ -199,6 +214,46 @@ impl PhoneThermalParams {
     pub fn total_capacitance(&self) -> f64 {
         self.capacitance.iter().sum()
     }
+
+    /// These parameters as a data-driven [`ThermalTopology`]: the seven
+    /// [`PhoneNode`]s in `ALL` order with the single `cpu` die node,
+    /// `back_mid` as the skin, and the two back-cover nodes as the
+    /// exterior. [`DeviceThermalModel`] built from this topology is
+    /// bit-identical to [`PhoneThermalModel`] built from the params.
+    pub fn topology(&self) -> ThermalTopology {
+        use PhoneNode::*;
+        ThermalTopology {
+            nodes: PhoneNode::ALL
+                .iter()
+                .map(|n| ThermalNode {
+                    name: n.name().to_owned(),
+                    capacitance: self.capacitance[n.index()],
+                })
+                .collect(),
+            couplings: self
+                .couplings
+                .iter()
+                .map(|&(a, b, g)| (a.index(), b.index(), g))
+                .collect(),
+            ambient_links: self
+                .ambient_links
+                .iter()
+                .map(|&(n, g)| (n.index(), g))
+                .collect(),
+            ambient: self.ambient,
+            initial: self.initial,
+            hand: self.hand,
+            roles: NodeRoles {
+                dies: vec![Cpu.index()],
+                package: Package.index(),
+                board: Board.index(),
+                battery: Battery.index(),
+                screen: Screen.index(),
+                skin: BackMid.index(),
+                back: vec![BackMid.index(), BackUpper.index()],
+            },
+        }
+    }
 }
 
 /// A smartphone as a thermal object.
@@ -217,49 +272,38 @@ impl PhoneThermalParams {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PhoneThermalModel {
-    net: ThermalNetwork,
-    ids: [NodeId; 7],
+    inner: DeviceThermalModel,
     params: PhoneThermalParams,
     heat: HeatInput,
-    hand_on: bool,
 }
 
 impl PhoneThermalModel {
-    /// Builds the network from `params`.
+    /// Builds the network from `params` — the strict single-CPU special
+    /// case of [`DeviceThermalModel`], via
+    /// [`PhoneThermalParams::topology`].
     ///
     /// # Errors
     ///
     /// Propagates [`ThermalError`] from network construction (invalid
     /// capacitances, conductances, or temperatures).
     pub fn new(params: PhoneThermalParams) -> Result<PhoneThermalModel, ThermalError> {
-        let mut b = ThermalNetworkBuilder::new(params.ambient);
-        let mut ids = Vec::with_capacity(7);
-        for node in PhoneNode::ALL {
-            ids.push(b.add_node(
-                node.name(),
-                params.capacitance[node.index()],
-                params.initial,
-            )?);
-        }
-        let ids: [NodeId; 7] = ids.try_into().expect("seven nodes were added");
-        for &(a, c, g) in &params.couplings {
-            b.couple(ids[a.index()], ids[c.index()], g)?;
-        }
-        for &(n, g) in &params.ambient_links {
-            b.link_ambient(ids[n.index()], g)?;
-        }
         Ok(PhoneThermalModel {
-            net: b.build()?,
-            ids,
+            inner: DeviceThermalModel::new(params.topology())?,
             params,
             heat: HeatInput::default(),
-            hand_on: false,
         })
     }
 
     /// Sets the heat entering the phone; stays in effect until changed.
     pub fn set_heat(&mut self, heat: HeatInput) {
         self.heat = heat;
+        self.inner.set_heat(HeatLoad::single(
+            heat.cpu_w,
+            heat.gpu_w,
+            heat.display_w,
+            heat.battery_w,
+            heat.board_w,
+        ));
     }
 
     /// Heat input currently applied.
@@ -269,12 +313,12 @@ impl PhoneThermalModel {
 
     /// Enables or disables palm contact on the back cover.
     pub fn set_hand_contact(&mut self, held: bool) {
-        self.hand_on = held;
+        self.inner.set_hand_contact(held);
     }
 
     /// Whether a hand currently holds the phone.
     pub fn hand_contact(&self) -> bool {
-        self.hand_on
+        self.inner.hand_contact()
     }
 
     /// Advances the thermal state by `dt` seconds.
@@ -286,75 +330,47 @@ impl PhoneThermalModel {
     /// simulator this explicit coupling is indistinguishable from a true
     /// network edge.
     pub fn step(&mut self, dt: f64) {
-        let back = self.ids[PhoneNode::BackMid.index()];
-        self.net
-            .set_power(self.ids[PhoneNode::Cpu.index()], self.heat.cpu_w);
-        self.net
-            .set_power(self.ids[PhoneNode::Package.index()], self.heat.gpu_w);
-        self.net
-            .set_power(self.ids[PhoneNode::Board.index()], self.heat.board_w);
-        self.net
-            .set_power(self.ids[PhoneNode::Battery.index()], self.heat.battery_w);
-        self.net
-            .set_power(self.ids[PhoneNode::Screen.index()], self.heat.display_w);
-        let mut back_power = 0.0;
-        if self.hand_on {
-            let hand = self.params.hand;
-            let t_back = self.net.temperature(back);
-            // Conduction toward the palm…
-            back_power += hand.contact_conductance * (hand.palm_temperature - t_back);
-            // …while the palm blocks part of the convective surface.
-            let g_amb_back = self
-                .params
-                .ambient_links
-                .iter()
-                .filter(|&&(n, _)| n == PhoneNode::BackMid)
-                .map(|&(_, g)| g)
-                .sum::<f64>();
-            back_power += hand.blocked_fraction * g_amb_back * (t_back - self.net.ambient());
-        }
-        self.net.set_power(back, back_power);
-        self.net.step(dt);
+        self.inner.step(dt);
     }
 
     /// Temperature at any modelled location.
     pub fn temperature(&self, node: PhoneNode) -> Celsius {
-        self.net.temperature(self.ids[node.index()])
+        self.inner.node_temperature(node.index())
     }
 
     /// The paper's **skin temperature**: middle of the back cover.
     pub fn skin_temperature(&self) -> Celsius {
-        self.temperature(PhoneNode::BackMid)
+        self.inner.skin_temperature()
     }
 
     /// The paper's **screen temperature**: middle of the screen.
     pub fn screen_temperature(&self) -> Celsius {
-        self.temperature(PhoneNode::Screen)
+        self.inner.screen_temperature()
     }
 
     /// CPU die temperature (what the on-device CPU sensor reports).
     pub fn cpu_temperature(&self) -> Celsius {
-        self.temperature(PhoneNode::Cpu)
+        self.inner.die_temperature(0)
     }
 
     /// Battery temperature (what the on-device battery sensor reports).
     pub fn battery_temperature(&self) -> Celsius {
-        self.temperature(PhoneNode::Battery)
+        self.inner.battery_temperature()
     }
 
     /// Ambient (room) temperature.
     pub fn ambient(&self) -> Celsius {
-        self.net.ambient()
+        self.inner.ambient()
     }
 
     /// Simulated seconds elapsed.
     pub fn elapsed(&self) -> f64 {
-        self.net.elapsed()
+        self.inner.elapsed()
     }
 
     /// Resets every node to `t` and restarts the clock (fresh experiment).
     pub fn reset_to(&mut self, t: Celsius) {
-        self.net.reset_to(t);
+        self.inner.reset_to(t);
     }
 
     /// Steady-state temperatures for the current heat input (ignores the
@@ -365,14 +381,7 @@ impl PhoneThermalModel {
     /// Propagates [`ThermalError::SingularSystem`] (cannot happen with
     /// the default parameters, which link every region to ambient).
     pub fn steady_state(&self) -> Result<Vec<Celsius>, ThermalError> {
-        let mut probe = self.net.clone();
-        probe.clear_power();
-        probe.set_power(self.ids[PhoneNode::Cpu.index()], self.heat.cpu_w);
-        probe.set_power(self.ids[PhoneNode::Package.index()], self.heat.gpu_w);
-        probe.set_power(self.ids[PhoneNode::Board.index()], self.heat.board_w);
-        probe.set_power(self.ids[PhoneNode::Battery.index()], self.heat.battery_w);
-        probe.set_power(self.ids[PhoneNode::Screen.index()], self.heat.display_w);
-        crate::analysis::steady_state(&probe)
+        self.inner.steady_state()
     }
 
     /// Parameters this model was built with.
@@ -382,7 +391,7 @@ impl PhoneThermalModel {
 
     /// Access to the underlying network (read-only diagnostics).
     pub fn network(&self) -> &ThermalNetwork {
-        &self.net
+        self.inner.network()
     }
 }
 
@@ -401,6 +410,17 @@ mod tests {
             display_w: 1.0,
             battery_w: 0.35,
             board_w: 0.25,
+        }
+    }
+
+    #[test]
+    fn index_is_position_in_all() {
+        // The const-consistency contract: `index` is defined as the
+        // position in `ALL`, so the two must agree for every variant,
+        // in both directions.
+        for (i, node) in PhoneNode::ALL.iter().enumerate() {
+            assert_eq!(node.index(), i, "{}", node.name());
+            assert_eq!(PhoneNode::ALL[node.index()], *node);
         }
     }
 

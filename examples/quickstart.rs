@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nafter 5 minutes the back cover reached {:.2} — it keeps climbing for \
          the rest of a half-hour call (see the skype_video_call example).",
-        device.phone().skin_temperature()
+        device.thermal_model().skin_temperature()
     );
     Ok(())
 }
