@@ -31,6 +31,7 @@ fn bench(c: &mut Criterion) {
             .map(|(d, cluster)| FreqDomain {
                 id: d,
                 name: cluster.name,
+                kind: usta_soc::DomainKind::CpuCluster,
                 cores: cluster.cores,
                 opp: usta_soc::spec::opp_table(spec, d).expect("catalog spec is valid"),
                 full_load_w: cluster.full_load_w(),
@@ -49,6 +50,7 @@ fn bench(c: &mut Criterion) {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         };
         let mut ondemand = OnDemand::default();
         group.bench_function(format!("ondemand/{id}"), |b| {

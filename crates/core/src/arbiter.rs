@@ -1,0 +1,409 @@
+//! The global power-budget arbiter: USTA's band cut as watts,
+//! reallocated across every frequency domain by marginal utility.
+//!
+//! The banding policy ([`crate::policy`]) was conceived for CPU
+//! clusters: each band sheds OPP *levels*. With the GPU and the
+//! display joining the control plane as first-class frequency domains,
+//! a level on a 6-point GPU ladder and a level on a 12-point CPU table
+//! are not comparable — but watts are. The arbiter therefore:
+//!
+//! 1. converts the band's per-domain level caps into a total **watt
+//!    budget** (the predicted full-load power of every domain at its
+//!    band-capped level),
+//! 2. re-spends that budget greedily from the bottom up: every domain
+//!    starts at its floor level, and the next OPP step goes to the
+//!    domain whose step buys the most *utility per watt* — demanded
+//!    capacity, weighted by domain kind (the display dims last, the
+//!    GPU outranks a CPU cluster, and a hot die derates its CPU
+//!    clusters so they give up headroom before the GPU stalls a
+//!    frame),
+//! 3. emits the resulting per-domain caps in exactly the shape the
+//!    governors already consume.
+//!
+//! On a CPU-only device the arbiter is never engaged —
+//! [`crate::UstaGovernor`] keeps the historical power-share splitter,
+//! bit for bit.
+
+use crate::policy::FrequencyCap;
+use usta_governors::FreqDomain;
+use usta_soc::{DomainKind, PerDomain};
+
+/// Kind weight: how much one unit of normalised demanded capacity is
+/// worth, per watt, on each kind of domain. The ordering encodes the
+/// user-facing priority — dimming the panel is the most visible cut,
+/// stalling the GPU the next, slowing a CPU cluster the least.
+fn kind_weight(kind: DomainKind) -> f64 {
+    match kind {
+        DomainKind::CpuCluster => 1.0,
+        DomainKind::Gpu => 2.0,
+        DomainKind::Display => 4.0,
+    }
+}
+
+/// Die temperature (°C) above which CPU-cluster utility starts to
+/// derate, and the span over which it falls to the floor.
+const CPU_DERATE_START_C: f64 = 40.0;
+const CPU_DERATE_SPAN_C: f64 = 60.0;
+/// The hottest die never derates CPU utility below this factor.
+const CPU_DERATE_FLOOR: f64 = 0.25;
+
+/// Demand floor: even an idle domain keeps a sliver of utility so a
+/// surplus budget can still raise it (its steps are merely last in
+/// line).
+const DEMAND_FLOOR: f64 = 0.05;
+
+/// Relative slack when testing whether a step still fits the budget —
+/// absorbs f64 summation noise, not real watts.
+const BUDGET_EPSILON: f64 = 1e-9;
+
+/// What the arbiter decided for one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetAllocation {
+    /// Per-domain level caps, in domain order — feed these to the
+    /// baseline governor exactly like the splitter's caps.
+    pub caps: PerDomain<usize>,
+    /// The band-derived watt budget the allocation had to fit.
+    pub budget_w: f64,
+    /// Predicted watts of the emitted caps (≤ `budget_w` up to float
+    /// noise, except when the floors alone exceed the budget — the
+    /// arbiter never caps below level 0).
+    pub allocated_w: f64,
+}
+
+/// Predicted full-load power of `domain` capped at `level`, watts:
+/// the domain's full-load power scaled by the dynamic-power ratio
+/// `f·V²` of the level against the top of the table. Exact for the
+/// dynamic term of every domain model in the workspace; the shared
+/// static remainder cancels out of the marginal comparison.
+pub fn power_at_level(domain: &FreqDomain, level: usize) -> f64 {
+    let top = domain.opp.max();
+    let at = domain.opp.level(domain.opp.clamp_index(level));
+    let denom = top.khz as f64 * top.volts * top.volts;
+    // `> 0.0` is false for NaN too: a degenerate table prices as free.
+    let well_formed = denom > 0.0 && domain.full_load_w.is_finite() && domain.full_load_w > 0.0;
+    if !well_formed {
+        return 0.0;
+    }
+    domain.full_load_w * (at.khz as f64 * at.volts * at.volts) / denom
+}
+
+/// The utility-per-watt of raising `domain` from `level` to
+/// `level + 1`, given its demand signal and the hottest CPU die.
+fn marginal_utility(
+    domain: &FreqDomain,
+    level: usize,
+    demand: f64,
+    hottest_die_c: Option<f64>,
+) -> f64 {
+    let delta_w = power_at_level(domain, level + 1) - power_at_level(domain, level);
+    // `> 0.0` is false for NaN too — a free (or degenerate) step is
+    // taken unconditionally.
+    let costs_power = delta_w > 0.0;
+    if !costs_power {
+        return f64::INFINITY;
+    }
+    let khz_max = domain.opp.max().khz as f64;
+    let delta_capacity =
+        (domain.opp.level(level + 1).khz as f64 - domain.opp.level(level).khz as f64) / khz_max;
+    let mut weight = kind_weight(domain.kind);
+    if domain.kind == DomainKind::CpuCluster {
+        if let Some(die_c) = hottest_die_c {
+            let derate = 1.0 - ((die_c - CPU_DERATE_START_C) / CPU_DERATE_SPAN_C).clamp(0.0, 1.0);
+            weight *= derate.max(CPU_DERATE_FLOOR);
+        }
+    }
+    let demand = DEMAND_FLOOR + (1.0 - DEMAND_FLOOR) * demand.clamp(0.0, 1.0);
+    weight * demand * delta_capacity / delta_w
+}
+
+/// Runs the arbiter for one instant.
+///
+/// `demand` is the per-domain demand signal, 0–1, parallel to
+/// `domains`: busiest-core utilization for CPU clusters, GPU load for
+/// the GPU domain, requested brightness for the display.
+/// `hottest_die_c` derates CPU-cluster utility when the die runs hot.
+///
+/// The watt budget is the predicted power of the band's own per-domain
+/// caps (the historical splitter run over all domains), so
+/// [`FrequencyCap::Unrestricted`] always affords every domain its top
+/// level and [`FrequencyCap::MinimumFrequency`] affords exactly the
+/// floors — the band's envelope is preserved, only its distribution
+/// changes.
+///
+/// # Panics
+///
+/// Panics if `domains` is empty or `demand` is not parallel to it.
+pub fn arbitrate(
+    cap: FrequencyCap,
+    domains: &[FreqDomain],
+    demand: &[f64],
+    hottest_die_c: Option<f64>,
+) -> BudgetAllocation {
+    assert!(!domains.is_empty(), "a device has at least one domain");
+    assert_eq!(
+        demand.len(),
+        domains.len(),
+        "one demand signal per frequency domain"
+    );
+
+    // 1. The band's watt envelope, from the historical splitter.
+    let band_caps = cap.max_allowed_levels(domains);
+    let budget_w: f64 = domains
+        .iter()
+        .enumerate()
+        .map(|(d, domain)| power_at_level(domain, band_caps[d]))
+        .sum();
+
+    // 2. Greedy re-spend from the floors.
+    let mut levels: PerDomain<usize> = PerDomain::splat(domains.len(), 0);
+    let mut allocated_w: f64 = domains.iter().map(|d| power_at_level(d, 0)).sum();
+    let slack = budget_w.abs() * BUDGET_EPSILON;
+    loop {
+        let mut best: Option<(f64, usize, f64)> = None; // (utility, domain, delta_w)
+        for (d, domain) in domains.iter().enumerate() {
+            if levels[d] >= domain.max_index() {
+                continue;
+            }
+            let delta_w = power_at_level(domain, levels[d] + 1) - power_at_level(domain, levels[d]);
+            if allocated_w + delta_w > budget_w + slack {
+                continue;
+            }
+            let utility = marginal_utility(domain, levels[d], demand[d], hottest_die_c);
+            // Strict > keeps ties on the lower domain id — deterministic.
+            if best.is_none() || utility > best.expect("checked").0 {
+                best = Some((utility, d, delta_w));
+            }
+        }
+        match best {
+            Some((_, d, delta_w)) => {
+                levels[d] += 1;
+                allocated_w += delta_w;
+            }
+            None => break,
+        }
+    }
+
+    BudgetAllocation {
+        caps: levels,
+        budget_w,
+        allocated_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use usta_soc::nexus4;
+
+    fn system_domains() -> Vec<FreqDomain> {
+        let big = nexus4::opp_table();
+        let little =
+            usta_soc::OppTable::new(big.iter().take(6).copied().collect()).expect("valid prefix");
+        let gpu = usta_soc::OppTable::new(
+            [257_000u32, 414_000, 596_000, 710_000]
+                .iter()
+                .map(|&khz| usta_soc::FrequencyLevel {
+                    khz,
+                    volts: 0.7 + khz as f64 / 2_000_000.0,
+                })
+                .collect(),
+        )
+        .expect("valid GPU table");
+        let display = usta_soc::OppTable::new(
+            [100u32, 400, 700, 1000]
+                .iter()
+                .map(|&p| usta_soc::FrequencyLevel { khz: p, volts: 1.0 })
+                .collect(),
+        )
+        .expect("valid ladder");
+        vec![
+            FreqDomain {
+                id: 0,
+                name: "big",
+                kind: DomainKind::CpuCluster,
+                cores: 4,
+                opp: big,
+                full_load_w: 3.6,
+            },
+            FreqDomain {
+                id: 1,
+                name: "little",
+                kind: DomainKind::CpuCluster,
+                cores: 4,
+                opp: little,
+                full_load_w: 0.9,
+            },
+            FreqDomain {
+                id: 2,
+                name: "gpu",
+                kind: DomainKind::Gpu,
+                cores: 1,
+                opp: gpu,
+                full_load_w: 3.2,
+            },
+            FreqDomain {
+                id: 3,
+                name: "display",
+                kind: DomainKind::Display,
+                cores: 1,
+                opp: display,
+                full_load_w: 1.1,
+            },
+        ]
+    }
+
+    #[test]
+    fn unrestricted_budget_affords_every_top_level() {
+        let domains = system_domains();
+        let a = arbitrate(FrequencyCap::Unrestricted, &domains, &[1.0; 4], None);
+        for (d, domain) in domains.iter().enumerate() {
+            assert_eq!(a.caps[d], domain.max_index(), "domain {d}");
+        }
+        assert!(a.allocated_w <= a.budget_w * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn minimum_frequency_budget_affords_only_the_floors() {
+        let domains = system_domains();
+        let a = arbitrate(FrequencyCap::MinimumFrequency, &domains, &[1.0; 4], None);
+        assert_eq!(a.caps.as_slice(), &[0, 0, 0, 0]);
+        assert!((a.allocated_w - a.budget_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocation_never_exceeds_the_budget() {
+        let domains = system_domains();
+        for cap in [
+            FrequencyCap::OneLevelBelowMax,
+            FrequencyCap::TwoLevelsBelowMax,
+        ] {
+            for demand in [[1.0; 4], [0.2, 0.9, 0.5, 1.0], [0.0; 4]] {
+                let a = arbitrate(cap, &domains, &demand, Some(55.0));
+                assert!(
+                    a.allocated_w <= a.budget_w * (1.0 + 1e-6) + 1e-12,
+                    "{cap:?} {demand:?}: {} > {}",
+                    a.allocated_w,
+                    a.budget_w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_dims_last_under_a_tight_budget() {
+        let domains = system_domains();
+        // Everything saturated under the two-level band: the display's
+        // 4× kind weight (and tiny per-step watts) keeps it at full
+        // brightness while the CPUs absorb the cut.
+        let a = arbitrate(
+            FrequencyCap::TwoLevelsBelowMax,
+            &domains,
+            &[1.0, 1.0, 1.0, 1.0],
+            None,
+        );
+        assert_eq!(a.caps[3], domains[3].max_index(), "display keeps its top");
+        assert!(
+            a.caps[0] < domains[0].max_index(),
+            "the big cluster took a cut: {:?}",
+            a.caps.as_slice()
+        );
+    }
+
+    #[test]
+    fn hot_die_shifts_headroom_from_cpu_to_gpu() {
+        let domains = system_domains();
+        let demand = [1.0, 1.0, 1.0, 0.5];
+        let cool = arbitrate(
+            FrequencyCap::OneLevelBelowMax,
+            &domains,
+            &demand,
+            Some(35.0),
+        );
+        let hot = arbitrate(
+            FrequencyCap::OneLevelBelowMax,
+            &domains,
+            &demand,
+            Some(95.0),
+        );
+        // Same budget either way; the hot die derates CPU utility, so
+        // the CPU share cannot grow and the GPU share cannot shrink.
+        assert!((cool.budget_w - hot.budget_w).abs() < 1e-9);
+        let cpu_caps = |a: &BudgetAllocation| a.caps[0] + a.caps[1];
+        assert!(cpu_caps(&hot) <= cpu_caps(&cool));
+        assert!(hot.caps[2] >= cool.caps[2], "GPU keeps or gains headroom");
+    }
+
+    #[test]
+    fn idle_domains_yield_their_watts_to_busy_ones() {
+        let domains = system_domains();
+        let busy_gpu = arbitrate(
+            FrequencyCap::TwoLevelsBelowMax,
+            &domains,
+            &[0.05, 0.05, 1.0, 0.3],
+            None,
+        );
+        let busy_cpu = arbitrate(
+            FrequencyCap::TwoLevelsBelowMax,
+            &domains,
+            &[1.0, 1.0, 0.05, 0.3],
+            None,
+        );
+        assert!(busy_gpu.caps[2] >= busy_cpu.caps[2]);
+        assert!(busy_cpu.caps[0] >= busy_gpu.caps[0]);
+    }
+
+    #[test]
+    fn single_cpu_domain_reproduces_the_band_cap() {
+        // The arbiter is not engaged on CPU-only devices, but when run
+        // anyway it must agree with the scalar band on one domain.
+        let domains = vec![FreqDomain {
+            id: 0,
+            name: "cpu",
+            kind: DomainKind::CpuCluster,
+            cores: 4,
+            opp: nexus4::opp_table(),
+            full_load_w: 3.6,
+        }];
+        for cap in [
+            FrequencyCap::Unrestricted,
+            FrequencyCap::OneLevelBelowMax,
+            FrequencyCap::TwoLevelsBelowMax,
+            FrequencyCap::MinimumFrequency,
+        ] {
+            let a = arbitrate(cap, &domains, &[1.0], None);
+            assert_eq!(a.caps[0], cap.max_allowed_level(&domains[0].opp), "{cap:?}");
+        }
+    }
+
+    #[test]
+    fn arbitration_is_deterministic() {
+        let domains = system_domains();
+        let demand = [0.7, 0.3, 0.8, 0.6];
+        let a = arbitrate(
+            FrequencyCap::OneLevelBelowMax,
+            &domains,
+            &demand,
+            Some(60.0),
+        );
+        let b = arbitrate(
+            FrequencyCap::OneLevelBelowMax,
+            &domains,
+            &demand,
+            Some(60.0),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn power_at_level_is_monotone_and_tops_at_full_load() {
+        for domain in system_domains() {
+            let mut prev = -1.0;
+            for l in 0..=domain.max_index() {
+                let p = power_at_level(&domain, l);
+                assert!(p > prev, "{}: power must rise with level", domain.name);
+                prev = p;
+            }
+            assert!((prev - domain.full_load_w).abs() < 1e-12, "{}", domain.name);
+        }
+    }
+}

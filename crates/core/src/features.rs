@@ -28,6 +28,14 @@ pub const FEATURE_NAMES: [&str; 4] = ["cpu_temp", "battery_temp", "utilization",
 /// Name of the optional hottest-die feature column.
 pub const HOTTEST_DIE_FEATURE: &str = "hottest_die_temp";
 
+/// Name of the optional GPU-frequency feature column (devices whose
+/// spec declares a governed GPU domain).
+pub const GPU_FREQ_FEATURE: &str = "gpu_freq_mhz";
+
+/// Name of the optional display-brightness feature column (devices
+/// whose spec declares a brightness ladder).
+pub const BRIGHTNESS_FEATURE: &str = "brightness";
+
 /// One observation of the system-level signals the predictor uses.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FeatureVector {
@@ -45,6 +53,13 @@ pub struct FeatureVector {
     /// than one die node. `None` on single-die devices — the paper's
     /// Nexus 4 keeps its exact 4-feature shape.
     pub hottest_die: Option<Celsius>,
+    /// The governed GPU domain's frequency, kHz, when the device
+    /// declares one. `None` on legacy static-GPU devices — their
+    /// feature shape is untouched.
+    pub gpu_freq_khz: Option<f64>,
+    /// Effective display brightness, 0–1, when the device declares a
+    /// brightness ladder. `None` otherwise.
+    pub brightness: Option<f64>,
 }
 
 impl FeatureVector {
@@ -62,6 +77,8 @@ impl FeatureVector {
             utilization,
             domain_freqs_khz: PerDomain::splat(1, freq_khz),
             hottest_die: None,
+            gpu_freq_khz: None,
+            brightness: None,
         }
     }
 
@@ -77,14 +94,16 @@ impl FeatureVector {
     }
 
     /// Flattens into the learner's input layout: temperatures,
-    /// utilization, one frequency per domain, then the hottest-die
-    /// temperature when carried.
+    /// utilization, one frequency per domain, then the optional
+    /// columns in declaration order — hottest-die temperature, GPU
+    /// frequency, display brightness — for observations that carry
+    /// them.
     ///
     /// Frequencies are expressed in MHz so all features share a
     /// similar numeric range (tree learners don't care, but the MLP and
     /// ridge regression appreciate it).
     pub fn to_vec(&self) -> Vec<f64> {
-        let mut v = Vec::with_capacity(4 + self.domain_freqs_khz.len());
+        let mut v = Vec::with_capacity(6 + self.domain_freqs_khz.len());
         v.push(self.cpu_temp.value());
         v.push(self.battery_temp.value());
         v.push(self.utilization);
@@ -93,6 +112,12 @@ impl FeatureVector {
         }
         if let Some(hottest) = self.hottest_die {
             v.push(hottest.value());
+        }
+        if let Some(khz) = self.gpu_freq_khz {
+            v.push(khz / 1000.0);
+        }
+        if let Some(brightness) = self.brightness {
+            v.push(brightness);
         }
         v
     }
@@ -108,12 +133,31 @@ impl FeatureVector {
     /// column appended — matching [`FeatureVector::to_vec`]'s layout
     /// for observations that carry it.
     pub fn feature_names_with(domains: usize, hottest_die: bool) -> Vec<String> {
+        FeatureVector::feature_names_full(domains, hottest_die, false, false)
+    }
+
+    /// The full schema: [`FeatureVector::feature_names`] plus every
+    /// optional column the observations carry, in
+    /// [`FeatureVector::to_vec`]'s order — hottest die, GPU frequency,
+    /// display brightness.
+    pub fn feature_names_full(
+        domains: usize,
+        hottest_die: bool,
+        gpu_freq: bool,
+        brightness: bool,
+    ) -> Vec<String> {
         let mut names: Vec<String> = FEATURE_NAMES.iter().map(|s| (*s).to_owned()).collect();
         for d in 1..domains {
             names.push(format!("freq_mhz_d{d}"));
         }
         if hottest_die {
             names.push(HOTTEST_DIE_FEATURE.to_owned());
+        }
+        if gpu_freq {
+            names.push(GPU_FREQ_FEATURE.to_owned());
+        }
+        if brightness {
+            names.push(BRIGHTNESS_FEATURE.to_owned());
         }
         names
     }
@@ -155,6 +199,8 @@ mod tests {
             utilization: 0.5,
             domain_freqs_khz: PerDomain::from_slice(&[2_016_000.0, 1_363_200.0]),
             hottest_die: None,
+            gpu_freq_khz: None,
+            brightness: None,
         };
         assert_eq!(f.domains(), 2);
         let v = f.to_vec();
@@ -200,5 +246,46 @@ mod tests {
             FeatureVector::feature_names_with(1, false),
             FeatureVector::feature_names(1)
         );
+    }
+
+    #[test]
+    fn gpu_and_brightness_append_in_declaration_order() {
+        let f = FeatureVector {
+            hottest_die: Some(Celsius(61.5)),
+            gpu_freq_khz: Some(596_000.0),
+            brightness: Some(0.85),
+            ..sample()
+        };
+        let v = f.to_vec();
+        assert_eq!(v.len(), 7);
+        assert_eq!(v[4], 61.5);
+        assert_eq!(v[5], 596.0);
+        assert_eq!(v[6], 0.85);
+        assert_eq!(
+            FeatureVector::feature_names_full(1, true, true, true),
+            vec![
+                "cpu_temp",
+                "battery_temp",
+                "utilization",
+                "freq_mhz",
+                "hottest_die_temp",
+                "gpu_freq_mhz",
+                "brightness"
+            ]
+        );
+        // GPU-only (no hottest-die) also lines up with to_vec.
+        let f = FeatureVector {
+            gpu_freq_khz: Some(257_000.0),
+            ..sample()
+        };
+        assert_eq!(f.to_vec().len(), 5);
+        assert_eq!(f.to_vec()[4], 257.0);
+        assert_eq!(
+            FeatureVector::feature_names_full(1, false, true, false).len(),
+            5
+        );
+        // `::single` stays the paper's exact 4-feature shape.
+        assert_eq!(sample().gpu_freq_khz, None);
+        assert_eq!(sample().brightness, None);
     }
 }

@@ -16,11 +16,12 @@
 //! * continuously: [`UstaGovernor::tick`] with fresh sensor features —
 //!   internally rate-limited to the 3-second prediction cadence.
 
+use crate::arbiter;
 use crate::features::FeatureVector;
 use crate::policy::{FrequencyCap, UstaPolicy};
 use crate::predictor::TemperaturePredictor;
 use usta_governors::{CpuGovernor, DvfsDecision, GovernorInput};
-use usta_soc::PerDomain;
+use usta_soc::{DomainKind, PerDomain};
 use usta_thermal::Celsius;
 
 /// Default prediction cadence, seconds (§3.B).
@@ -136,15 +137,34 @@ impl CpuGovernor for UstaGovernor {
     }
 
     fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
-        // USTA's cap vector (skin budget split by power share, ties to
-        // the hotter die when temperatures were observed) meets any
-        // external per-domain cap; the baseline sees the tighter of
-        // the two and its output is clamped to USTA's caps besides.
-        let usta_caps = match &self.die_temps {
-            Some(temps) => self
-                .cap
-                .max_allowed_levels_with_die_temps(input.domains, temps.as_slice()),
-            None => self.cap.max_allowed_levels(input.domains),
+        // USTA's cap vector meets any external per-domain cap; the
+        // baseline sees the tighter of the two and its output is
+        // clamped to USTA's caps besides. On devices with system-level
+        // domains (GPU, display) the band is converted to a watt
+        // budget and re-spent across every domain by the arbiter; a
+        // CPU-only device keeps the historical power-share splitter
+        // (skin budget split by full-load share, ties to the hotter
+        // die when temperatures were observed), bit for bit.
+        let system_level = input
+            .domains
+            .iter()
+            .any(|d| d.kind != DomainKind::CpuCluster);
+        let usta_caps = if system_level {
+            let demand: PerDomain<f64> =
+                PerDomain::from_fn(input.domains.len(), |d| input.samples[d].max_utilization);
+            let hottest = input.die_temp_c.or_else(|| {
+                self.die_temps
+                    .as_ref()
+                    .and_then(|t| t.iter().copied().reduce(f64::max))
+            });
+            arbiter::arbitrate(self.cap, input.domains, demand.as_slice(), hottest).caps
+        } else {
+            match &self.die_temps {
+                Some(temps) => self
+                    .cap
+                    .max_allowed_levels_with_die_temps(input.domains, temps.as_slice()),
+                None => self.cap.max_allowed_levels(input.domains),
+            }
         };
         let effective: PerDomain<usize> = PerDomain::from_fn(input.domains.len(), |d| {
             input.max_allowed_levels[d].min(usta_caps[d])
@@ -213,6 +233,7 @@ mod tests {
         vec![FreqDomain {
             id: 0,
             name: "cpu",
+            kind: usta_soc::DomainKind::CpuCluster,
             cores: 4,
             opp: nexus4::opp_table(),
             full_load_w: 3.6,
@@ -229,6 +250,7 @@ mod tests {
             FreqDomain {
                 id: 0,
                 name: "big",
+                kind: usta_soc::DomainKind::CpuCluster,
                 cores: 4,
                 opp: big,
                 full_load_w: 3.6,
@@ -236,6 +258,7 @@ mod tests {
             FreqDomain {
                 id: 1,
                 name: "little",
+                kind: usta_soc::DomainKind::CpuCluster,
                 cores: 4,
                 opp: little,
                 full_load_w: 0.9,
@@ -257,6 +280,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         })
         .level(0)
     }
@@ -337,6 +361,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         });
         assert_eq!(decision.levels(), &[0, 0]);
     }
@@ -357,6 +382,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         });
         // 2 total steps, 4:1 power split → both land on the big
         // cluster; the LITTLE one keeps its top level.

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arbiter;
 pub mod comfort;
 pub mod features;
 pub mod governor;
@@ -49,6 +50,7 @@ pub mod rating;
 pub mod training;
 pub mod user;
 
+pub use arbiter::{arbitrate, BudgetAllocation};
 pub use comfort::ComfortStats;
 pub use features::FeatureVector;
 pub use governor::UstaGovernor;

@@ -316,6 +316,7 @@ mod tests {
             FreqDomain {
                 id: 0,
                 name: "big",
+                kind: usta_soc::DomainKind::CpuCluster,
                 cores: 4,
                 opp: big,
                 full_load_w: big_w,
@@ -323,6 +324,7 @@ mod tests {
             FreqDomain {
                 id: 1,
                 name: "little",
+                kind: usta_soc::DomainKind::CpuCluster,
                 cores: 4,
                 opp: little,
                 full_load_w: little_w,
@@ -336,6 +338,7 @@ mod tests {
         let domains = vec![FreqDomain {
             id: 0,
             name: "cpu",
+            kind: usta_soc::DomainKind::CpuCluster,
             cores: 4,
             opp: opp.clone(),
             full_load_w: 3.6,
@@ -418,6 +421,7 @@ mod tests {
             .map(|d| FreqDomain {
                 id: d,
                 name: names[d],
+                kind: usta_soc::DomainKind::CpuCluster,
                 cores: 1 + d,
                 opp: if d == 0 { big.clone() } else { little.clone() },
                 full_load_w: weights[d],

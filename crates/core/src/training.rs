@@ -67,8 +67,8 @@ impl TrainingLog {
 
     /// Builds the learner-ready dataset for the chosen target. The
     /// feature schema follows the first sample's shape: `3 + domains`
-    /// columns, plus a `hottest_die_temp` column when the sample
-    /// carries one.
+    /// columns, plus the optional `hottest_die_temp`, `gpu_freq_mhz`,
+    /// and `brightness` columns when the sample carries them.
     ///
     /// # Errors
     ///
@@ -76,12 +76,14 @@ impl TrainingLog {
     /// or the log mixes devices with different domain counts
     /// ([`MlError::DimensionMismatch`]).
     pub fn to_dataset(&self, target: PredictionTarget) -> Result<Dataset, MlError> {
-        let domains = self.samples.first().map_or(1, |s| s.features.domains());
-        let hottest = self
-            .samples
-            .first()
-            .is_some_and(|s| s.features.hottest_die.is_some());
-        let mut data = Dataset::new(FeatureVector::feature_names_with(domains, hottest))?;
+        let first = self.samples.first();
+        let domains = first.map_or(1, |s| s.features.domains());
+        let hottest = first.is_some_and(|s| s.features.hottest_die.is_some());
+        let gpu = first.is_some_and(|s| s.features.gpu_freq_khz.is_some());
+        let brightness = first.is_some_and(|s| s.features.brightness.is_some());
+        let mut data = Dataset::new(FeatureVector::feature_names_full(
+            domains, hottest, gpu, brightness,
+        ))?;
         for s in &self.samples {
             let y = match target {
                 PredictionTarget::Skin => s.skin.value(),

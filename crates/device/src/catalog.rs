@@ -6,7 +6,8 @@
 //! seed's calibrated constants (the paper's device).
 
 use crate::spec::{
-    BatterySpec, ClusterSpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuPowerSpec, OppPoint,
+    BatterySpec, ClusterSpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuDomainSpec, GpuPowerSpec,
+    OppPoint,
 };
 use crate::thermal::{ThermalNodeSpec, ThermalSpec};
 use usta_thermal::materials::Material;
@@ -101,6 +102,7 @@ fn phone_thermal(
         ambient_links,
         die_nodes,
         package_node: "package",
+        gpu_node: None,
         board_node: "board",
         battery_node: "battery",
         screen_node: "screen",
@@ -181,10 +183,14 @@ pub fn nexus4() -> DeviceSpec {
             max_w: 1.6,
             idle_w: 0.05,
         },
+        // The paper's device keeps the legacy static GPU and an
+        // ungoverned backlight: its trajectories stay golden-bit.
+        gpu: None,
         display: DisplaySpec {
             base_w: 0.35,
             full_brightness_w: 0.85,
         },
+        brightness_ladder: None,
         battery: BatterySpec {
             capacity_mah: 2100.0,
             nominal_v: 3.8,
@@ -240,7 +246,7 @@ pub fn flagship_octa() -> DeviceSpec {
     ];
     // Slightly heavier than the Nexus 4 and much better spread: the
     // metal frame couples the package to both covers strongly.
-    let thermal = phone_thermal(
+    let mut thermal = phone_thermal(
         &clusters,
         (1.6, 3.5),
         [9.0, 38.0, 70.0, 13.0, 10.0, 32.0],
@@ -262,6 +268,17 @@ pub fn flagship_octa() -> DeviceSpec {
             ("battery", 0.006),
         ],
     );
+    // The governed GPU gets its own die node next to the CPU dies, so
+    // GPU-heavy workloads heat a distinct hotspot.
+    thermal.nodes.push(ThermalNodeSpec {
+        name: "gpu",
+        capacitance: 0.8,
+    });
+    thermal.couplings.push(("gpu", "package", 2.0));
+    thermal.gpu_node = Some("gpu");
+    // An Adreno-class ladder whose top-level power matches the legacy
+    // static model's 3.2 W full-load figure.
+    const GPU_KHZ: [u32; 6] = [257_000, 342_000, 414_000, 510_000, 596_000, 710_000];
     DeviceSpec {
         id: "flagship-octa",
         description: "big.LITTLE octa-core flagship, 5.5\" OLED, glass back, two freq domains",
@@ -270,10 +287,16 @@ pub fn flagship_octa() -> DeviceSpec {
             max_w: 3.2,
             idle_w: 0.08,
         },
+        gpu: Some(GpuDomainSpec {
+            opp: ramp(&GPU_KHZ, 0.70, 0.30),
+            ceff_farads: 4.4e-9,
+            idle_w: 0.08,
+        }),
         display: DisplaySpec {
             base_w: 0.40,
             full_brightness_w: 1.15,
         },
+        brightness_ladder: Some(&[100, 250, 400, 550, 700, 850, 1000]),
         battery: BatterySpec {
             capacity_mah: 3000.0,
             nominal_v: 3.85,
@@ -342,7 +365,7 @@ pub fn prime_flagship() -> DeviceSpec {
     ];
     // A vapour-chamber-class spreader: strong package couplings, a
     // touch more thermal mass than the octa flagship.
-    let thermal = phone_thermal(
+    let mut thermal = phone_thermal(
         &clusters,
         (1.9, 3.8),
         [10.0, 40.0, 85.0, 14.0, 11.0, 34.0],
@@ -364,6 +387,16 @@ pub fn prime_flagship() -> DeviceSpec {
             ("battery", 0.006),
         ],
     );
+    thermal.nodes.push(ThermalNodeSpec {
+        name: "gpu",
+        capacitance: 1.0,
+    });
+    thermal.couplings.push(("gpu", "package", 2.2));
+    thermal.gpu_node = Some("gpu");
+    // A bigger Adreno: top-level power matches the legacy 4.0 W model.
+    const GPU_KHZ: [u32; 7] = [
+        257_000, 392_000, 490_000, 587_000, 675_000, 790_000, 905_000,
+    ];
     DeviceSpec {
         id: "prime-flagship",
         description: "three-domain flagship (1 prime + 3 big + 4 LITTLE), 6.1\" OLED, glass back",
@@ -372,10 +405,16 @@ pub fn prime_flagship() -> DeviceSpec {
             max_w: 4.0,
             idle_w: 0.10,
         },
+        gpu: Some(GpuDomainSpec {
+            opp: ramp(&GPU_KHZ, 0.68, 0.37),
+            ceff_farads: 3.9e-9,
+            idle_w: 0.10,
+        }),
         display: DisplaySpec {
             base_w: 0.45,
             full_brightness_w: 1.30,
         },
+        brightness_ladder: Some(&[80, 200, 350, 500, 650, 800, 900, 1000]),
         battery: BatterySpec {
             capacity_mah: 4000.0,
             nominal_v: 3.85,
@@ -442,10 +481,12 @@ pub fn tablet_10in() -> DeviceSpec {
             max_w: 3.5,
             idle_w: 0.10,
         },
+        gpu: None,
         display: DisplaySpec {
             base_w: 1.20,
             full_brightness_w: 2.60,
         },
+        brightness_ladder: None,
         battery: BatterySpec {
             capacity_mah: 7000.0,
             nominal_v: 3.8,
@@ -505,10 +546,12 @@ pub fn budget_quad() -> DeviceSpec {
             max_w: 0.9,
             idle_w: 0.04,
         },
+        gpu: None,
         display: DisplaySpec {
             base_w: 0.30,
             full_brightness_w: 0.70,
         },
+        brightness_ladder: None,
         battery: BatterySpec {
             capacity_mah: 1800.0,
             nominal_v: 3.7,
@@ -586,13 +629,41 @@ mod tests {
     fn multi_cluster_devices_get_one_die_node_per_cluster() {
         let s = flagship_octa();
         assert_eq!(s.thermal.die_nodes, vec!["die_big", "die_little"]);
-        assert_eq!(s.thermal.nodes.len(), 8);
+        assert_eq!(s.thermal.nodes.len(), 9);
         let p = prime_flagship();
         assert_eq!(
             p.thermal.die_nodes,
             vec!["die_prime", "die_big", "die_little"]
         );
-        assert_eq!(p.thermal.nodes.len(), 9);
+        assert_eq!(p.thermal.nodes.len(), 10);
+    }
+
+    #[test]
+    fn governed_gpus_declare_a_domain_a_ladder_and_their_own_node() {
+        for spec in [flagship_octa(), prime_flagship()] {
+            let gpu = spec.gpu.as_ref().unwrap_or_else(|| panic!("{}", spec.id));
+            // The governed domain's full-load power matches the legacy
+            // static model it replaces to within a few percent, so
+            // budgets stay comparable across the catalog.
+            let legacy = spec.gpu_power.max_w;
+            assert!(
+                (gpu.full_load_w() - legacy).abs() / legacy < 0.05,
+                "{}: governed {} W vs legacy {} W",
+                spec.id,
+                gpu.full_load_w(),
+                legacy
+            );
+            assert_eq!(spec.thermal.gpu_node, Some("gpu"), "{}", spec.id);
+            assert!(spec.thermal.node_index("gpu").is_some(), "{}", spec.id);
+            let ladder = spec.brightness_ladder.expect("ladder");
+            assert_eq!(*ladder.last().unwrap(), 1000, "{}", spec.id);
+        }
+        // Legacy devices declare neither.
+        for spec in [nexus4(), tablet_10in(), budget_quad()] {
+            assert!(spec.gpu.is_none(), "{}", spec.id);
+            assert!(spec.brightness_ladder.is_none(), "{}", spec.id);
+            assert_eq!(spec.thermal.gpu_node, None, "{}", spec.id);
+        }
     }
 
     #[test]

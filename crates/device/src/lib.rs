@@ -64,7 +64,7 @@ pub use catalog::{budget_quad, flagship_octa, nexus4, prime_flagship, tablet_10i
 pub use error::DeviceError;
 pub use registry::{by_id, try_by_id, Registry, UnknownDeviceError, NAMES};
 pub use spec::{
-    BatterySpec, ClusterSpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuPowerSpec, OppPoint,
-    MAX_FREQ_DOMAINS,
+    BatterySpec, ClusterSpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuDomainSpec, GpuPowerSpec,
+    OppPoint, MAX_CPU_CLUSTERS, MAX_FREQ_DOMAINS,
 };
 pub use thermal::{ThermalNodeSpec, ThermalSpec};

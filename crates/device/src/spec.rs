@@ -15,11 +15,16 @@ use crate::error::DeviceError;
 use crate::thermal::ThermalSpec;
 use usta_thermal::materials::Material;
 
-/// The most frequency domains (clusters) a device may declare. Three
-/// covers every shipping phone topology (LITTLE + big + prime); four
-/// leaves headroom. `usta_soc::MAX_FREQ_DOMAINS` re-exports this so the
-/// whole control plane shares one bound.
-pub const MAX_FREQ_DOMAINS: usize = 4;
+/// The most CPU clusters a device may declare. Three covers every
+/// shipping phone topology (LITTLE + big + prime); four leaves
+/// headroom.
+pub const MAX_CPU_CLUSTERS: usize = 4;
+
+/// The most frequency domains a device may expose to the control
+/// plane: up to [`MAX_CPU_CLUSTERS`] CPU clusters plus one GPU domain
+/// plus one display (brightness) domain. `usta_soc::MAX_FREQ_DOMAINS`
+/// re-exports this so the whole control plane shares one bound.
+pub const MAX_FREQ_DOMAINS: usize = MAX_CPU_CLUSTERS + 2;
 
 /// One CPU operating point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,6 +114,48 @@ pub struct GpuPowerSpec {
     pub idle_w: f64,
 }
 
+/// A GPU frequency domain: an OPP table and power coefficients, so the
+/// GPU participates in DVFS like a CPU cluster instead of being a
+/// static load-proportional model.
+///
+/// Devices that declare one (via [`DeviceSpec::gpu`]) expose the GPU
+/// as a first-class frequency domain to the governors and the power
+/// arbiter; devices that don't keep the legacy [`GpuPowerSpec`] path
+/// bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuDomainSpec {
+    /// The GPU's OPP table, lowest frequency first — same invariants
+    /// as a cluster's ([`validate`](DeviceSpec::validate)).
+    pub opp: Vec<OppPoint>,
+    /// Effective switched capacitance of the whole GPU, farads.
+    pub ceff_farads: f64,
+    /// Power while the GPU is online but idle, watts.
+    pub idle_w: f64,
+}
+
+impl GpuDomainSpec {
+    /// Full-utilization dynamic power at OPP `index`, watts
+    /// (`C_eff · V² · f`).
+    pub fn opp_dynamic_power_w(&self, index: usize) -> f64 {
+        let p = self.opp[index];
+        self.ceff_farads * p.volts * p.volts * (p.khz as f64 * 1e3)
+    }
+
+    /// Full-load power at the top OPP, watts — the GPU's weight in the
+    /// arbiter's budget split.
+    pub fn full_load_w(&self) -> f64 {
+        if self.opp.is_empty() {
+            return 0.0;
+        }
+        self.idle_w + self.opp_dynamic_power_w(self.opp.len() - 1)
+    }
+
+    /// Highest OPP frequency, kHz.
+    pub fn max_khz(&self) -> u32 {
+        self.opp.last().map_or(0, |p| p.khz)
+    }
+}
+
 /// Display panel power model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DisplaySpec {
@@ -145,12 +192,22 @@ pub struct DeviceSpec {
     pub description: &'static str,
     /// The frequency domains, **big-first** (non-increasing top
     /// frequency): the spill scheduler fills earlier clusters' cores
-    /// before later ones. At most [`MAX_FREQ_DOMAINS`] entries.
+    /// before later ones. At most [`MAX_CPU_CLUSTERS`] entries.
     pub clusters: Vec<ClusterSpec>,
-    /// GPU power model, watts.
+    /// GPU power model, watts — the legacy static path, used whenever
+    /// [`DeviceSpec::gpu`] is `None`.
     pub gpu_power: GpuPowerSpec,
+    /// The GPU as a real frequency domain (OPP table + power
+    /// coefficients). `None` keeps the legacy [`GpuPowerSpec`] path
+    /// bit-for-bit; `Some` makes the GPU a governed domain.
+    pub gpu: Option<GpuDomainSpec>,
     /// Display power model, watts.
     pub display: DisplaySpec,
+    /// Discrete backlight ladder, in brightness permille (strictly
+    /// increasing, each in 1..=1000). `Some` exposes the display as a
+    /// brightness frequency domain the arbiter may dim; `None` keeps
+    /// the workload's requested brightness untouched.
+    pub brightness_ladder: Option<&'static [u32]>,
     /// Battery pack (mAh, V, Ω, A).
     pub battery: BatterySpec,
     /// Back-cover material — what the user's palm actually touches.
@@ -213,7 +270,7 @@ impl DeviceSpec {
     /// Validates the spec.
     ///
     /// Checks, in order: the id alphabet, the cluster list (1 to
-    /// [`MAX_FREQ_DOMAINS`] clusters, valid unique names, big-first
+    /// [`MAX_CPU_CLUSTERS`] clusters, valid unique names, big-first
     /// ordering, per-cluster core counts and OPP monotonicity —
     /// frequency strictly increasing, voltage non-decreasing, dynamic
     /// power strictly increasing), power-model coefficient ranges, and
@@ -237,7 +294,7 @@ impl DeviceSpec {
         if self.clusters.is_empty() {
             return Err(DeviceError::NoClusters);
         }
-        if self.clusters.len() > MAX_FREQ_DOMAINS {
+        if self.clusters.len() > MAX_CPU_CLUSTERS {
             return Err(DeviceError::TooManyClusters {
                 count: self.clusters.len(),
             });
@@ -285,6 +342,30 @@ impl DeviceSpec {
                 value: self.battery.charge_loss_fraction,
             });
         }
+        if let Some(gpu) = &self.gpu {
+            nonneg("gpu.idle_w", gpu.idle_w)?;
+            pos("gpu.ceff_farads", gpu.ceff_farads)?;
+            validate_opp_curve(&gpu.opp, |i| gpu.opp_dynamic_power_w(i))?;
+        }
+        if let Some(ladder) = self.brightness_ladder {
+            if ladder.is_empty() {
+                return Err(DeviceError::InvalidParameter {
+                    name: "brightness_ladder",
+                    value: 0.0,
+                });
+            }
+            for (i, &permille) in ladder.iter().enumerate() {
+                if permille == 0 || permille > 1000 {
+                    return Err(DeviceError::InvalidParameter {
+                        name: "brightness_ladder",
+                        value: permille as f64,
+                    });
+                }
+                if i > 0 && ladder[i - 1] >= permille {
+                    return Err(DeviceError::NonMonotoneOppFrequency { index: i });
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -313,10 +394,20 @@ fn pos(name: &'static str, v: f64) -> Result<(), DeviceError> {
 }
 
 fn validate_cluster_opp(cluster: &ClusterSpec) -> Result<(), DeviceError> {
-    if cluster.opp.is_empty() {
+    validate_opp_curve(&cluster.opp, |i| cluster.opp_dynamic_power_w(i))
+}
+
+/// Shared OPP-table invariants for any frequency domain (CPU cluster
+/// or GPU): frequency strictly increasing, voltage non-decreasing,
+/// dynamic power strictly increasing.
+fn validate_opp_curve(
+    opp: &[OppPoint],
+    dyn_power_w: impl Fn(usize) -> f64,
+) -> Result<(), DeviceError> {
+    if opp.is_empty() {
         return Err(DeviceError::EmptyOppTable);
     }
-    for (i, p) in cluster.opp.iter().enumerate() {
+    for (i, p) in opp.iter().enumerate() {
         if p.khz == 0 {
             return Err(DeviceError::InvalidParameter {
                 name: "opp.khz",
@@ -330,13 +421,13 @@ fn validate_cluster_opp(cluster: &ClusterSpec) -> Result<(), DeviceError> {
             });
         }
         if i > 0 {
-            if cluster.opp[i - 1].khz >= p.khz {
+            if opp[i - 1].khz >= p.khz {
                 return Err(DeviceError::NonMonotoneOppFrequency { index: i });
             }
-            if cluster.opp[i - 1].volts > p.volts {
+            if opp[i - 1].volts > p.volts {
                 return Err(DeviceError::NonMonotoneOppPower { index: i });
             }
-            if cluster.opp_dynamic_power_w(i - 1) >= cluster.opp_dynamic_power_w(i) {
+            if dyn_power_w(i - 1) >= dyn_power_w(i) {
                 return Err(DeviceError::NonMonotoneOppPower { index: i });
             }
         }

@@ -44,8 +44,12 @@ pub struct ThermalSpec {
     /// One CPU die node per cluster, in the spec's big-first cluster
     /// order — cluster `d`'s power heats `die_nodes[d]`.
     pub die_nodes: Vec<&'static str>,
-    /// SoC package node (GPU heat).
+    /// SoC package node (GPU heat, unless [`ThermalSpec::gpu_node`]
+    /// routes it elsewhere).
     pub package_node: &'static str,
+    /// Dedicated GPU die node, when the device gives the GPU its own
+    /// RC node — GPU heat lands here instead of on the package.
+    pub gpu_node: Option<&'static str>,
     /// Main-board node (radios, ISP, PMIC heat).
     pub board_node: &'static str,
     /// Battery pack node (charge/discharge losses).
@@ -120,6 +124,7 @@ impl ThermalSpec {
             roles: NodeRoles {
                 dies: self.die_nodes.iter().map(|&n| index(n)).collect(),
                 package: index(self.package_node),
+                gpu: self.gpu_node.map(index),
                 board: index(self.board_node),
                 battery: index(self.battery_node),
                 screen: index(self.screen_node),
@@ -246,7 +251,10 @@ impl ThermalSpec {
             self.battery_node,
             self.screen_node,
             self.skin_node,
-        ] {
+        ]
+        .into_iter()
+        .chain(self.gpu_node)
+        {
             if self.node_index(name).is_none() {
                 return Err(DeviceError::UnknownThermalNode(name.to_owned()));
             }

@@ -231,6 +231,12 @@ pub struct FleetAggregate {
     /// metrics; the per-domain rows are what the multi-domain control
     /// plane adds). `BTreeMap` keeps report order deterministic.
     pub domain_freq_ghz: std::collections::BTreeMap<String, MetricAggregate>,
+    /// Session-average effective display brightness (0–1), keyed by
+    /// device id — recorded only for devices with a governed display
+    /// domain (the arbiter can dim the panel, so the fleet reports how
+    /// much light users actually got). `BTreeMap` keeps report order
+    /// deterministic.
+    pub brightness: std::collections::BTreeMap<String, MetricAggregate>,
     /// Per-die-node peak temperature (°C), keyed `"<device>/<node>"` —
     /// recorded only for multi-cluster devices (the per-cluster
     /// thermal attribution the data-driven topology adds; single-die
@@ -254,6 +260,12 @@ impl FleetAggregate {
         MetricAggregate::new(0.0, 150.0, 1500)
     }
 
+    /// The sketch shape of one `brightness` entry: the 0–1 fraction in
+    /// 500 bins, like the other fraction metrics.
+    fn brightness_metric() -> MetricAggregate {
+        MetricAggregate::new(0.0, 1.0, 500)
+    }
+
     /// An empty aggregate with the fleet's standard sketch ranges:
     /// skin 0–60 °C at 0.05 °C bins (winter scenarios peak well below
     /// room temperature); fractions over [0, 1] in 500 bins; domain
@@ -266,6 +278,7 @@ impl FleetAggregate {
             time_over_limit: MetricAggregate::new(0.0, 1.0, 500),
             qos: MetricAggregate::new(0.0, 1.0, 500),
             domain_freq_ghz: std::collections::BTreeMap::new(),
+            brightness: std::collections::BTreeMap::new(),
             die_temp_c: std::collections::BTreeMap::new(),
         }
     }
@@ -279,6 +292,12 @@ impl FleetAggregate {
         self.qos.record(outcome.qos);
         if outcome.domain_names.len() > 1 {
             for d in 0..outcome.domain_names.len() {
+                // The display domain's "frequency" is brightness
+                // permille; it reports through the brightness row
+                // below, not as a bogus GHz figure.
+                if outcome.domain_names[d] == "display" {
+                    continue;
+                }
                 let key = format!("{}/{}", outcome.device, outcome.domain_names[d]);
                 self.domain_freq_ghz
                     .entry(key)
@@ -292,6 +311,12 @@ impl FleetAggregate {
                     .or_insert_with(Self::die_temp_metric)
                     .record(outcome.peak_die_c[d]);
             }
+        }
+        if let Some(b) = outcome.avg_brightness {
+            self.brightness
+                .entry(outcome.device.to_owned())
+                .or_insert_with(Self::brightness_metric)
+                .record(b);
         }
     }
 
@@ -309,6 +334,12 @@ impl FleetAggregate {
                 .or_insert_with(Self::domain_freq_metric)
                 .merge(metric);
         }
+        for (key, metric) in &other.brightness {
+            self.brightness
+                .entry(key.clone())
+                .or_insert_with(Self::brightness_metric)
+                .merge(metric);
+        }
         for (key, metric) in &other.die_temp_c {
             self.die_temp_c
                 .entry(key.clone())
@@ -320,8 +351,9 @@ impl FleetAggregate {
     /// The aggregate as a fixed-width report table. Sweeps that touch
     /// no multi-domain device print exactly the historical three-metric
     /// table; multi-domain devices append one `freq [GHz]` row per
-    /// (device, domain) and one `temp [C]` row per (device, die node),
-    /// in key order.
+    /// (device, CPU or GPU domain), one `brightness` row per
+    /// display-domain device, and one `temp [C]` row per (device, die
+    /// node), in key order.
     pub fn table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -347,6 +379,13 @@ impl FleetAggregate {
             out.push_str(&format!(
                 "{:<18} {}\n",
                 format!("freq [GHz] {key}"),
+                metric.row()
+            ));
+        }
+        for (key, metric) in &self.brightness {
+            out.push_str(&format!(
+                "{:<18} {}\n",
+                format!("brightness {key}"),
                 metric.row()
             ));
         }
@@ -392,6 +431,9 @@ pub struct TripleOutcome {
     /// Peak true die temperature per die node over the session, °C,
     /// indexed like `die_node_names`.
     pub peak_die_c: usta_soc::PerDomain<f64>,
+    /// Session-average effective display brightness, 0–1; `None` on
+    /// devices without a governed display domain.
+    pub avg_brightness: Option<f64>,
 }
 
 #[cfg(test)]
@@ -431,6 +473,7 @@ mod tests {
                 ]),
                 die_node_names: usta_soc::PerDomain::from_slice(&["die_big", "die_little"]),
                 peak_die_c: usta_soc::PerDomain::from_slice(&[45.0 + x % 20.0, 35.0 + x % 15.0]),
+                avg_brightness: Some(0.5 + (x % 0.5)),
             }
         };
         let chunk = |c: usize| {
@@ -500,6 +543,7 @@ mod tests {
             domain_freq_ghz: usta_soc::PerDomain::from_slice(&[1.1]),
             die_node_names: usta_soc::PerDomain::from_slice(&["cpu"]),
             peak_die_c: usta_soc::PerDomain::from_slice(&[52.0]),
+            avg_brightness: None,
         }
     }
 
@@ -514,6 +558,7 @@ mod tests {
             domain_freq_ghz: usta_soc::PerDomain::from_slice(&[big_ghz, little_ghz]),
             die_node_names: usta_soc::PerDomain::from_slice(&["die_big", "die_little"]),
             peak_die_c: usta_soc::PerDomain::from_slice(&[30.0 * big_ghz, 30.0 * little_ghz]),
+            avg_brightness: None,
         }
     }
 

@@ -397,6 +397,13 @@ fn run_triple(
         // the same names (the working topology copies the spec's).
         die_node_names: usta_soc::PerDomain::from_slice(&scenario.spec().thermal.die_nodes),
         peak_die_c: result.max_die.iter().map(|t| t.value()).collect(),
+        // The display domain traces brightness permille as kHz, so its
+        // time-weighted "GHz" average recovers the 0–1 fraction ×1000.
+        avg_brightness: result
+            .domain_names
+            .iter()
+            .position(|name| *name == "display")
+            .map(|d| result.avg_domain_freq_ghz[d] * 1000.0),
     };
     (outcome, steps_csv)
 }
@@ -931,7 +938,14 @@ mod tests {
         };
         let report = run_sweep(&config).unwrap();
         let keys: Vec<&String> = report.aggregate.domain_freq_ghz.keys().collect();
-        assert_eq!(keys, vec!["flagship-octa/big", "flagship-octa/little"]);
+        assert_eq!(
+            keys,
+            vec![
+                "flagship-octa/big",
+                "flagship-octa/gpu",
+                "flagship-octa/little"
+            ]
+        );
         let big = &report.aggregate.domain_freq_ghz["flagship-octa/big"];
         let little = &report.aggregate.domain_freq_ghz["flagship-octa/little"];
         assert_eq!(big.stats.count(), report.aggregate.triples);
@@ -940,9 +954,18 @@ mod tests {
             little.stats.mean(),
             "the clusters must report distinct frequency statistics"
         );
+        // The governed GPU reports a real clock, and the display
+        // reports as a brightness fraction rather than a GHz row.
+        let gpu = &report.aggregate.domain_freq_ghz["flagship-octa/gpu"];
+        assert!(gpu.stats.mean() > 0.0);
+        let brightness = &report.aggregate.brightness["flagship-octa"];
+        assert_eq!(brightness.stats.count(), report.aggregate.triples);
+        assert!(brightness.stats.mean() > 0.0 && brightness.stats.max() <= 1.0);
         let summary = report.summary();
         assert!(summary.contains("freq [GHz] flagship-octa/big"));
         assert!(summary.contains("freq [GHz] flagship-octa/little"));
+        assert!(summary.contains("freq [GHz] flagship-octa/gpu"));
+        assert!(summary.contains("brightness flagship-octa"));
     }
 
     #[test]
@@ -975,8 +998,10 @@ mod tests {
     fn single_domain_sweeps_report_no_domain_rows() {
         let report = run_sweep(&tiny_config()).unwrap();
         assert!(report.aggregate.domain_freq_ghz.is_empty());
+        assert!(report.aggregate.brightness.is_empty());
         assert!(report.aggregate.die_temp_c.is_empty());
         assert!(!report.summary().contains("freq [GHz]"));
+        assert!(!report.summary().contains("brightness"));
         assert!(!report.summary().contains("temp [C]"));
     }
 }

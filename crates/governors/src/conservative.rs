@@ -2,7 +2,8 @@
 //! time in both directions — gentler power ramps, slower response. Each
 //! frequency domain steps independently off its own busiest-core load.
 
-use crate::governor::{CpuGovernor, DvfsDecision, GovernorInput};
+use crate::governor::{demand_following_level, CpuGovernor, DvfsDecision, GovernorInput};
+use usta_soc::DomainKind;
 
 /// Tunables of the conservative governor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +47,11 @@ impl CpuGovernor for Conservative {
     fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
         DvfsDecision::from_fn(input.domain_count(), |d| {
             let cap = input.cap(d);
+            if input.domains[d].kind != DomainKind::CpuCluster {
+                // Stepwise ramping governs CPU clusters only; GPU and
+                // display domains follow demand under the arbiter's caps.
+                return demand_following_level(&input.domains[d], &input.samples[d]).min(cap);
+            }
             let cur = input.current(d);
             let load = input.samples[d].max_utilization.clamp(0.0, 1.0);
             if load > self.params.up_threshold {
@@ -81,6 +87,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         })
         .level(0)
     }
@@ -146,6 +153,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         });
         assert_eq!(decision.levels(), &[4, 2], "big up one, LITTLE down one");
     }

@@ -6,6 +6,7 @@
 //! `scaling_governor` writes select a registered governor on Linux.
 
 use crate::conservative::Conservative;
+use crate::gears::Gears;
 use crate::governor::CpuGovernor;
 use crate::interactive::Interactive;
 use crate::ondemand::OnDemand;
@@ -13,8 +14,9 @@ use crate::simple::{Performance, Powersave, Userspace};
 
 /// Sysfs-style names of every governor [`by_name`] can construct, in
 /// stable (alphabetical) order — useful for `--help` text.
-pub const NAMES: [&str; 6] = [
+pub const NAMES: [&str; 7] = [
     "conservative",
+    "gears",
     "interactive",
     "ondemand",
     "performance",
@@ -39,6 +41,7 @@ pub fn by_name(name: &str) -> Option<Box<dyn CpuGovernor>> {
     let lower = name.to_ascii_lowercase();
     let gov: Box<dyn CpuGovernor> = match lower.as_str() {
         "conservative" => Box::new(Conservative::default()),
+        "gears" => Box::new(Gears::default()),
         "interactive" => Box::new(Interactive::default()),
         "ondemand" => Box::new(OnDemand::default()),
         "performance" => Box::new(Performance),
@@ -143,6 +146,7 @@ mod tests {
         let domains = vec![crate::FreqDomain {
             id: 0,
             name: "cpu",
+            kind: usta_soc::DomainKind::CpuCluster,
             cores: 4,
             opp: nexus4::opp_table(),
             full_load_w: 3.6,
@@ -159,6 +163,7 @@ mod tests {
                 domains: &domains,
                 samples: &samples,
                 max_allowed_levels: &caps,
+                die_temp_c: None,
             };
             let decision = gov.decide(&input);
             assert_eq!(decision.domain_count(), 1, "{name}");

@@ -1,0 +1,287 @@
+//! The **gears** governor: temperature-keyed discrete per-cluster
+//! frequency caps.
+//!
+//! Shipping thermal engines often run a small table of "gears" — named
+//! operating modes, each a tuple of per-cluster maximum frequencies —
+//! and shift down a gear as the die heats instead of modulating levels
+//! continuously. This governor reproduces that baseline: four gears
+//! (Emergency, Throttling, Sustainable, Turbo), each capping the
+//! prime/performance/efficiency clusters at a fixed frequency, keyed
+//! off the hottest die temperature with hysteresis so the gear doesn't
+//! chatter around a threshold. Within a gear each CPU cluster follows
+//! demand; GPU and display domains are passed through demand-following
+//! (the power arbiter, not the gear table, governs them).
+
+use crate::governor::{
+    demand_following_level, CpuGovernor, DvfsDecision, FreqDomain, GovernorInput,
+};
+use usta_soc::DomainKind;
+
+/// Per-cluster cap frequencies of one gear, kHz, big-first:
+/// `(prime, performance, efficiency)`.
+type GearCaps = (u32, u32, u32);
+
+/// The gear table, lowest (most throttled) gear first.
+const GEARS: [GearCaps; 4] = [
+    // Gear 1 — Emergency: hold everything near the floor.
+    (1_100_000, 1_100_000, 900_000),
+    // Gear 2 — Throttling.
+    (1_800_000, 1_600_000, 1_200_000),
+    // Gear 3 — Sustainable.
+    (2_400_000, 2_200_000, 1_600_000),
+    // Gear 4 — Turbo: effectively uncapped for today's parts.
+    (3_014_400, 2_803_200, 2_016_000),
+];
+
+/// Die temperature (°C) at which each gear shifts down one: gear 4
+/// above 55, gear 3 above 65, gear 2 above 75. Gear 1 never shifts
+/// down.
+const DOWNSHIFT_C: [f64; 3] = [75.0, 65.0, 55.0];
+
+/// Hysteresis on upshifts, °C: the die must cool this far below the
+/// higher gear's downshift threshold before the governor shifts back
+/// up.
+const UPSHIFT_HYSTERESIS_C: f64 = 3.0;
+
+/// Die temperature assumed when the caller supplies none — cool, so
+/// the governor runs in Turbo exactly like a demand follower.
+const DEFAULT_DIE_C: f64 = 25.0;
+
+/// The gears governor.
+#[derive(Debug, Clone)]
+pub struct Gears {
+    /// Current gear, 1 (Emergency) to [`GEARS.len()`] (Turbo).
+    gear: usize,
+}
+
+impl Default for Gears {
+    fn default() -> Gears {
+        Gears { gear: GEARS.len() }
+    }
+}
+
+impl Gears {
+    /// The gear currently engaged, 1 (Emergency) to 4 (Turbo).
+    pub fn gear(&self) -> usize {
+        self.gear
+    }
+
+    /// Shifts at most one gear per decision: down when the die is at
+    /// or above the current gear's limit, up when it has cooled
+    /// [`UPSHIFT_HYSTERESIS_C`] below the next gear's limit.
+    fn shift(&mut self, die_temp_c: f64) {
+        if self.gear > 1 && die_temp_c >= DOWNSHIFT_C[self.gear - 2] {
+            self.gear -= 1;
+        } else if self.gear < GEARS.len()
+            && die_temp_c < DOWNSHIFT_C[self.gear - 1] - UPSHIFT_HYSTERESIS_C
+        {
+            self.gear += 1;
+        }
+    }
+
+    /// The current gear's cap frequency for CPU cluster
+    /// `cluster_index` of `cpu_clusters`, kHz. Clusters align
+    /// tail-first onto the `(prime, performance, efficiency)` tuple,
+    /// so a device's LITTLE cluster always reads the efficiency cap
+    /// and a single-cluster part reads the efficiency cap too.
+    fn cap_khz(&self, cluster_index: usize, cpu_clusters: usize) -> u32 {
+        let caps = GEARS[self.gear - 1];
+        match (cluster_index + 3).saturating_sub(cpu_clusters).min(2) {
+            0 => caps.0,
+            1 => caps.1,
+            _ => caps.2,
+        }
+    }
+}
+
+/// The highest level whose frequency does not exceed `cap_khz`
+/// (saturating at the bottom level — a cap below the table floors the
+/// domain).
+fn level_at_or_below(domain: &FreqDomain, cap_khz: u32) -> usize {
+    (0..=domain.max_index())
+        .rev()
+        .find(|&i| domain.opp.level(i).khz <= cap_khz)
+        .unwrap_or(0)
+}
+
+impl CpuGovernor for Gears {
+    fn name(&self) -> &str {
+        "gears"
+    }
+
+    fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
+        self.shift(input.die_temp_c.unwrap_or(DEFAULT_DIE_C));
+        let cpu_clusters = input
+            .domains
+            .iter()
+            .filter(|d| d.kind == DomainKind::CpuCluster)
+            .count();
+        let mut cluster = 0;
+        DvfsDecision::from_fn(input.domain_count(), |d| {
+            let domain = &input.domains[d];
+            let wanted = demand_following_level(domain, &input.samples[d]);
+            let level = if domain.kind == DomainKind::CpuCluster {
+                let gear_cap = level_at_or_below(domain, self.cap_khz(cluster, cpu_clusters));
+                cluster += 1;
+                wanted.min(gear_cap)
+            } else {
+                wanted
+            };
+            level.min(input.cap(d))
+        })
+    }
+
+    fn reset(&mut self) {
+        self.gear = GEARS.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::test_support::{nexus4_domain, two_domains};
+    use crate::governor::DomainSample;
+
+    fn decide(g: &mut Gears, die_c: f64, load: f64, cur: usize, cap: usize) -> usize {
+        let domains = [nexus4_domain()];
+        let samples = [DomainSample {
+            avg_utilization: load,
+            max_utilization: load,
+            current_level: cur,
+        }];
+        let caps = [cap];
+        g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+            die_temp_c: Some(die_c),
+        })
+        .level(0)
+    }
+
+    fn top() -> usize {
+        nexus4_domain().max_index()
+    }
+
+    #[test]
+    fn cool_die_runs_turbo_and_follows_demand() {
+        let mut g = Gears::default();
+        // nexus4 maps onto the efficiency column; Turbo's 2 016 000
+        // cap clears its whole 1 512 000-topped table.
+        assert_eq!(decide(&mut g, 30.0, 1.0, top(), top()), top());
+        assert_eq!(g.gear(), 4);
+        // Low demand follows down regardless of the gear.
+        assert!(decide(&mut g, 30.0, 0.1, top(), top()) < top());
+    }
+
+    #[test]
+    fn hot_die_shifts_down_one_gear_per_decision() {
+        let mut g = Gears::default();
+        decide(&mut g, 80.0, 1.0, top(), top());
+        assert_eq!(g.gear(), 3);
+        decide(&mut g, 80.0, 1.0, top(), top());
+        assert_eq!(g.gear(), 2);
+        let level = decide(&mut g, 80.0, 1.0, top(), top());
+        assert_eq!(g.gear(), 1);
+        // Emergency caps the efficiency column at 900 MHz: the highest
+        // nexus4 level at or below that is 810 MHz (index 4).
+        assert_eq!(level, 4);
+        // Emergency is the floor gear.
+        decide(&mut g, 99.0, 1.0, 4, top());
+        assert_eq!(g.gear(), 1);
+    }
+
+    #[test]
+    fn upshifts_only_past_the_hysteresis_band() {
+        let mut g = Gears::default();
+        decide(&mut g, 60.0, 1.0, top(), top());
+        assert_eq!(g.gear(), 3, "60 °C downshifts Turbo");
+        // Inside the band (55 − 3 ≤ t < 55): hold gear 3.
+        decide(&mut g, 53.0, 1.0, top(), top());
+        assert_eq!(g.gear(), 3);
+        // Cooled below 52: back to Turbo.
+        decide(&mut g, 51.0, 1.0, top(), top());
+        assert_eq!(g.gear(), 4);
+    }
+
+    #[test]
+    fn missing_die_temperature_means_turbo() {
+        let mut g = Gears::default();
+        let domains = [nexus4_domain()];
+        let samples = [DomainSample {
+            avg_utilization: 1.0,
+            max_utilization: 1.0,
+            current_level: top(),
+        }];
+        let caps = [top()];
+        let level = g
+            .decide(&GovernorInput {
+                domains: &domains,
+                samples: &samples,
+                max_allowed_levels: &caps,
+                die_temp_c: None,
+            })
+            .level(0);
+        assert_eq!(level, top());
+        assert_eq!(g.gear(), 4);
+    }
+
+    #[test]
+    fn respects_thermal_caps_in_every_gear() {
+        let mut g = Gears::default();
+        for die_c in [30.0, 60.0, 70.0, 90.0] {
+            assert!(decide(&mut g, die_c, 1.0, top(), 3) <= 3);
+        }
+    }
+
+    #[test]
+    fn big_first_clusters_read_successive_gear_columns() {
+        let domains = two_domains();
+        let samples = [
+            DomainSample {
+                avg_utilization: 1.0,
+                max_utilization: 1.0,
+                current_level: domains[0].max_index(),
+            },
+            DomainSample {
+                avg_utilization: 1.0,
+                max_utilization: 1.0,
+                current_level: domains[1].max_index(),
+            },
+        ];
+        let caps = [domains[0].max_index(), domains[1].max_index()];
+        let mut g = Gears::default();
+        // Drop to Emergency: big reads the 1 100 000 performance cap,
+        // LITTLE the 900 000 efficiency cap.
+        for _ in 0..3 {
+            g.decide(&GovernorInput {
+                domains: &domains,
+                samples: &samples,
+                max_allowed_levels: &caps,
+                die_temp_c: Some(90.0),
+            });
+        }
+        assert_eq!(g.gear(), 1);
+        let decision = g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+            die_temp_c: Some(90.0),
+        });
+        // nexus4 table: highest level ≤ 1 100 000 is 1 026 000 (index
+        // 6); the LITTLE fixture (lower half) tops at 918 000, whose
+        // highest level ≤ 900 000 is 810 000 (index 4).
+        assert_eq!(decision.levels(), &[6, 4]);
+    }
+
+    #[test]
+    fn reset_returns_to_turbo() {
+        let mut g = Gears::default();
+        for _ in 0..3 {
+            decide(&mut g, 95.0, 1.0, top(), top());
+        }
+        assert_eq!(g.gear(), 1);
+        g.reset();
+        assert_eq!(g.gear(), 4);
+    }
+}

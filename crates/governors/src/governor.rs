@@ -10,24 +10,34 @@
 //! single-domain device (the paper's Nexus 4) is the strict special
 //! case `domains.len() == 1`.
 
-use usta_soc::{OppTable, PerDomain};
+use usta_soc::{DomainKind, OppTable, PerDomain};
 
-/// Static description of one frequency domain (one cpufreq policy).
+/// Static description of one frequency domain. CPU clusters map to
+/// cpufreq policies; GPU and display domains carry their own OPP (or
+/// brightness) ladders through the same structure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FreqDomain {
     /// Index of the domain within its device (`0..domains`). Scheduling
-    /// order: lower ids are the faster ("big") clusters.
+    /// order: lower ids are the faster ("big") clusters; non-CPU
+    /// domains follow every cluster.
     pub id: usize,
-    /// Cluster name (`"big"`, `"little"`, `"cpu"` on single-domain
-    /// parts) — used for trace columns and fleet report rows.
+    /// Domain name (`"big"`, `"little"`, `"cpu"` on single-domain
+    /// parts, `"gpu"`, `"display"`) — used for trace columns and fleet
+    /// report rows.
     pub name: &'static str,
-    /// Number of cores sharing this domain's clock.
+    /// What hardware this domain scales. Factory CPU heuristics apply
+    /// only to [`DomainKind::CpuCluster`] domains; others follow
+    /// demand under the arbiter's caps.
+    pub kind: DomainKind,
+    /// Number of cores sharing this domain's clock (1 for GPU/display
+    /// domains).
     pub cores: usize,
-    /// The domain's operating-point table.
+    /// The domain's operating-point table. Display domains express
+    /// brightness permille as kHz.
     pub opp: OppTable,
-    /// Full-load dynamic power of the whole cluster at its top OPP,
-    /// watts — the weight the thermal layer uses to split a
-    /// skin-temperature budget across domains.
+    /// Full-load power of the whole domain at its top OPP, watts — the
+    /// weight the thermal layer uses to split a skin-temperature
+    /// budget across domains.
     pub full_load_w: f64,
 }
 
@@ -36,6 +46,24 @@ impl FreqDomain {
     pub fn max_index(&self) -> usize {
         self.opp.max_index()
     }
+}
+
+/// The lowest operating point that serves a domain's sampled demand:
+/// the demanded rate is the busiest-core utilization scaled by the
+/// current level's frequency plus 25 % headroom (the schedutil
+/// margin — without it a saturated domain could never climb, because
+/// `1.0 × current` rounds back to the current level), rounded up to
+/// the next level. This is the pass-through policy factory governors
+/// apply to non-CPU domains — the arbiter, not the CPU heuristic,
+/// decides how far those may rise.
+pub fn demand_following_level(domain: &FreqDomain, sample: &DomainSample) -> usize {
+    const HEADROOM: f64 = 1.25;
+    let current = domain
+        .opp
+        .level(domain.opp.clamp_index(sample.current_level));
+    let demanded_khz =
+        (sample.max_utilization.clamp(0.0, 1.0) * HEADROOM * current.khz as f64).ceil() as u32;
+    domain.opp.level_for_khz(demanded_khz)
 }
 
 /// One domain's sampled state at one governor instant.
@@ -64,6 +92,10 @@ pub struct GovernorInput<'a> {
     /// Per-domain highest allowed level (the thermal contract). Plain
     /// DVFS runs with each domain's `max_index()`; USTA lowers these.
     pub max_allowed_levels: &'a [usize],
+    /// Hottest CPU die temperature at this instant, °C, when the
+    /// caller observes one. Temperature-keyed governors (`gears`) read
+    /// it; every other governor ignores it.
+    pub die_temp_c: Option<f64>,
 }
 
 impl<'a> GovernorInput<'a> {
@@ -174,6 +206,7 @@ pub(crate) mod test_support {
         FreqDomain {
             id: 0,
             name: "cpu",
+            kind: DomainKind::CpuCluster,
             cores: 4,
             opp: nexus4::opp_table(),
             full_load_w: 3.6,
@@ -190,6 +223,7 @@ pub(crate) mod test_support {
             FreqDomain {
                 id: 0,
                 name: "big",
+                kind: DomainKind::CpuCluster,
                 cores: 4,
                 opp: big,
                 full_load_w: 3.6,
@@ -197,6 +231,7 @@ pub(crate) mod test_support {
             FreqDomain {
                 id: 1,
                 name: "little",
+                kind: DomainKind::CpuCluster,
                 cores: 4,
                 opp: little,
                 full_load_w: 0.9,
@@ -237,6 +272,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         };
         let decision = g.decide(&input);
         assert_eq!(decision.domain_count(), 1);
@@ -254,6 +290,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         };
         let decision = g.decide(&input);
         assert_eq!(decision.levels(), &[3, domains[1].max_index()]);
@@ -279,6 +316,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         };
         assert_eq!(input.cap(0), domains[0].max_index());
         assert_eq!(input.current(0), domains[0].max_index());

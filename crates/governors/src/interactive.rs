@@ -13,8 +13,8 @@
 //! table (a LITTLE cluster bursts to its nearest level, not the big
 //! cluster's).
 
-use crate::governor::{CpuGovernor, DvfsDecision, GovernorInput};
-use usta_soc::MAX_FREQ_DOMAINS;
+use crate::governor::{demand_following_level, CpuGovernor, DvfsDecision, GovernorInput};
+use usta_soc::{DomainKind, MAX_FREQ_DOMAINS};
 
 /// Tunables of the interactive governor (AOSP sysfs names).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +73,11 @@ impl Interactive {
     fn decide_domain(&mut self, input: &GovernorInput<'_>, d: usize) -> usize {
         let opp = &input.domains[d].opp;
         let cap = input.cap(d);
+        if input.domains[d].kind != DomainKind::CpuCluster {
+            // Burst/dwell heuristics govern CPU clusters only; GPU and
+            // display domains follow demand under the arbiter's caps.
+            return demand_following_level(&input.domains[d], &input.samples[d]).min(cap);
+        }
         let cur = input.current(d);
         let load = input.samples[d].max_utilization.clamp(0.0, 1.0);
         let hispeed = opp.level_for_khz(self.params.hispeed_khz).min(cap);
@@ -152,6 +157,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         })
         .level(0)
     }
@@ -238,6 +244,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         });
         assert_eq!(
             domains[0].opp.level(decision.level(0)).khz,
@@ -278,6 +285,7 @@ mod tests {
             domains: &domains,
             samples: &first,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         });
         // Now both want down: domain 0's dwell (2 samples) has elapsed,
         // domain 1's has not.
@@ -286,6 +294,7 @@ mod tests {
             domains: &domains,
             samples: &second,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         });
         assert!(decision.level(0) < 5, "domain 0 completed its dwell");
         assert_eq!(decision.level(1), 5, "domain 1 is still dwelling");

@@ -21,14 +21,17 @@
 //! use usta_soc::nexus4;
 //!
 //! let domains = vec![FreqDomain {
-//!     id: 0, name: "cpu", cores: 4, opp: nexus4::opp_table(), full_load_w: 3.6,
+//!     id: 0, name: "cpu", kind: usta_soc::DomainKind::CpuCluster, cores: 4,
+//!     opp: nexus4::opp_table(), full_load_w: 3.6,
 //! }];
 //! let top = domains[0].max_index();
 //! let mut gov = OnDemand::default();
 //! // A saturated domain pushes ondemand straight to its top level…
 //! let busy = [DomainSample { avg_utilization: 1.0, max_utilization: 1.0, current_level: 0 }];
 //! let free = [top];
-//! let input = GovernorInput { domains: &domains, samples: &busy, max_allowed_levels: &free };
+//! let input = GovernorInput {
+//!     domains: &domains, samples: &busy, max_allowed_levels: &free, die_temp_c: None,
+//! };
 //! assert_eq!(gov.decide(&input).level(0), top);
 //! // …unless the thermal layer caps that domain.
 //! let capped = [3usize];
@@ -42,6 +45,7 @@
 
 pub mod conservative;
 pub mod factory;
+pub mod gears;
 pub mod governor;
 pub mod interactive;
 pub mod ondemand;
@@ -49,7 +53,11 @@ pub mod simple;
 
 pub use conservative::Conservative;
 pub use factory::{by_name, try_by_name, UnknownGovernorError, NAMES};
-pub use governor::{CpuGovernor, DomainSample, DvfsDecision, FreqDomain, GovernorInput};
+pub use gears::Gears;
+pub use governor::{
+    demand_following_level, CpuGovernor, DomainSample, DvfsDecision, FreqDomain, GovernorInput,
+};
 pub use interactive::Interactive;
 pub use ondemand::OnDemand;
 pub use simple::{Performance, Powersave, Userspace};
+pub use usta_soc::DomainKind;

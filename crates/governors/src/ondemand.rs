@@ -14,8 +14,8 @@
 //! hold counter is per-domain, exactly like the kernel's per-policy
 //! `rate_mult`.
 
-use crate::governor::{CpuGovernor, DvfsDecision, GovernorInput};
-use usta_soc::MAX_FREQ_DOMAINS;
+use crate::governor::{demand_following_level, CpuGovernor, DvfsDecision, GovernorInput};
+use usta_soc::{DomainKind, MAX_FREQ_DOMAINS};
 
 /// Tunables of the ondemand governor (kernel sysfs names).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +69,11 @@ impl OnDemand {
     fn decide_domain(&mut self, input: &GovernorInput<'_>, d: usize) -> usize {
         let opp = &input.domains[d].opp;
         let cap = input.cap(d);
+        if input.domains[d].kind != DomainKind::CpuCluster {
+            // The CPU heuristic governs CPU clusters only; GPU and
+            // display domains follow demand under the arbiter's caps.
+            return demand_following_level(&input.domains[d], &input.samples[d]).min(cap);
+        }
         let cur = input.current(d);
         let load = input.samples[d].max_utilization.clamp(0.0, 1.0);
 
@@ -134,6 +139,7 @@ mod tests {
             domains,
             samples,
             max_allowed_levels: caps,
+            die_temp_c: None,
         }
     }
 

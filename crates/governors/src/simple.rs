@@ -1,8 +1,11 @@
 //! The stateless governors: performance, powersave, userspace.
 
-use crate::governor::{CpuGovernor, DvfsDecision, GovernorInput};
+use crate::governor::{demand_following_level, CpuGovernor, DvfsDecision, GovernorInput};
+use usta_soc::DomainKind;
 
-/// Always the highest allowed frequency, on every domain.
+/// Always the highest allowed frequency, on every CPU cluster. GPU and
+/// display domains follow demand instead — racing a display brighter
+/// than the user asked for is not "performance".
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Performance;
 
@@ -12,7 +15,13 @@ impl CpuGovernor for Performance {
     }
 
     fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
-        DvfsDecision::from_fn(input.domain_count(), |d| input.cap(d))
+        DvfsDecision::from_fn(input.domain_count(), |d| {
+            if input.domains[d].kind != DomainKind::CpuCluster {
+                return demand_following_level(&input.domains[d], &input.samples[d])
+                    .min(input.cap(d));
+            }
+            input.cap(d)
+        })
     }
 }
 
@@ -30,8 +39,10 @@ impl CpuGovernor for Powersave {
     }
 }
 
-/// A fixed, user-chosen level applied to every domain (clamped into
-/// each domain's table and under each domain's allowed maximum).
+/// A fixed, user-chosen level applied to every CPU cluster (clamped
+/// into each domain's table and under each domain's allowed maximum).
+/// GPU and display domains follow demand — the pinned CPU index has no
+/// meaning on their ladders.
 #[derive(Debug, Clone, Copy)]
 pub struct Userspace {
     level: usize,
@@ -61,6 +72,10 @@ impl CpuGovernor for Userspace {
 
     fn decide(&mut self, input: &GovernorInput<'_>) -> DvfsDecision {
         DvfsDecision::from_fn(input.domain_count(), |d| {
+            if input.domains[d].kind != DomainKind::CpuCluster {
+                return demand_following_level(&input.domains[d], &input.samples[d])
+                    .min(input.cap(d));
+            }
             input.domains[d]
                 .opp
                 .clamp_index(self.level)
@@ -87,6 +102,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         })
         .level(0)
     }
@@ -112,6 +128,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         });
         assert_eq!(decision.levels(), &[7, 2]);
     }
@@ -144,6 +161,7 @@ mod tests {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         });
         assert_eq!(decision.levels(), &[8, domains[1].max_index()]);
     }

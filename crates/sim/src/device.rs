@@ -17,8 +17,8 @@ use usta_core::FeatureVector;
 use usta_device::DeviceSpec;
 use usta_governors::FreqDomain;
 use usta_soc::{
-    Battery, ChargeState, Cpu, CpuPowerModel, Display, GpuPowerModel, PerDomain, SensorParams,
-    ThermalSensor,
+    Battery, ChargeState, Cpu, CpuPowerModel, Display, DomainKind, GpuPowerModel, OppTable,
+    PerDomain, SensorParams, ThermalSensor,
 };
 use usta_thermal::{Celsius, DeviceThermalModel, HeatLoad, ThermalTopology};
 use usta_workloads::DeviceDemand;
@@ -69,16 +69,22 @@ impl DeviceConfig {
 /// One frequency domain's observable state at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DomainState {
-    /// The domain's current frequency, kHz.
+    /// What hardware this domain scales.
+    pub kind: DomainKind,
+    /// The domain's current frequency, kHz. Display domains report the
+    /// panel's *effective* brightness as permille (the quantity
+    /// actually in effect, like a clock actually running).
     pub freq_khz: f64,
     /// The domain's current OPP index.
     pub level: usize,
     /// Mean utilization across the domain's cores, 0–1.
     pub avg_utilization: f64,
-    /// Busiest-core utilization within the domain, 0–1.
+    /// Busiest-core utilization within the domain, 0–1 (for GPU and
+    /// display domains: the demand signal against the current level).
     pub max_utilization: f64,
-    /// True temperature of the domain's own die node (the per-cluster
-    /// thermal attribution the data-driven topology adds).
+    /// True temperature of the domain's own thermal node — the
+    /// cluster's die, the GPU's own node where declared, the screen
+    /// for display domains.
     pub die_temp: Celsius,
 }
 
@@ -114,33 +120,84 @@ pub struct Observation {
 }
 
 impl Observation {
+    /// Number of CPU-cluster domains (the leading entries of
+    /// [`Observation::domains`]; GPU and display domains follow them).
+    pub fn cpu_domain_count(&self) -> usize {
+        self.domains
+            .iter()
+            .filter(|s| s.kind == DomainKind::CpuCluster)
+            .count()
+    }
+
     /// The predictor's feature vector for this observation: one
-    /// frequency input per domain and, on multi-die devices, the
-    /// hottest die temperature (single-die devices keep the paper's
-    /// exact 4-feature shape).
+    /// frequency input per *CPU* domain, on multi-die devices the
+    /// hottest die temperature, and — on devices with governed GPU or
+    /// display domains — the GPU frequency and effective brightness.
+    /// Single-die legacy devices keep the paper's exact 4-feature
+    /// shape.
     pub fn features(&self) -> FeatureVector {
+        let cpu = self.cpu_domain_count();
         FeatureVector {
             cpu_temp: self.cpu_temp,
             battery_temp: self.battery_temp,
             utilization: self.avg_utilization,
-            domain_freqs_khz: PerDomain::from_fn(self.domains.len(), |d| self.domains[d].freq_khz),
-            hottest_die: (self.domains.len() > 1).then(|| self.hottest_die()),
+            domain_freqs_khz: PerDomain::from_fn(cpu, |d| self.domains[d].freq_khz),
+            hottest_die: (cpu > 1).then(|| self.hottest_die()),
+            gpu_freq_khz: self
+                .domains
+                .iter()
+                .find(|s| s.kind == DomainKind::Gpu)
+                .map(|s| s.freq_khz),
+            brightness: self
+                .domains
+                .iter()
+                .find(|s| s.kind == DomainKind::Display)
+                .map(|s| s.freq_khz / 1000.0),
         }
     }
 
-    /// The hottest per-cluster die temperature of this observation.
+    /// The hottest per-cluster die temperature of this observation
+    /// (CPU dies only — the GPU's node keys its own domain).
     pub fn hottest_die(&self) -> Celsius {
         let mut best = self.domains[0].die_temp;
         for state in self.domains.iter().skip(1) {
-            best = best.max(state.die_temp);
+            if state.kind == DomainKind::CpuCluster {
+                best = best.max(state.die_temp);
+            }
         }
         best
     }
 
-    /// Per-domain die temperatures, big-first (for
-    /// [`usta_core::UstaGovernor::observe_die_temperatures`]).
+    /// Per-CPU-cluster die temperatures, big-first (for
+    /// [`usta_core::UstaGovernor::observe_die_temperatures`] and the
+    /// splitter's tie-breaks — GPU/display domains are excluded).
     pub fn die_temps(&self) -> PerDomain<Celsius> {
-        PerDomain::from_fn(self.domains.len(), |d| self.domains[d].die_temp)
+        PerDomain::from_fn(self.cpu_domain_count(), |d| self.domains[d].die_temp)
+    }
+}
+
+/// One governed non-CPU frequency domain's live state (the GPU's OPP
+/// ladder or the display's brightness ladder).
+#[derive(Debug)]
+struct SystemDomain {
+    opp: OppTable,
+    level: usize,
+    /// Demand signal against the current level, 0–1 (what the governor
+    /// samples as `max_utilization`).
+    utilization: f64,
+}
+
+impl SystemDomain {
+    fn new(opp: OppTable) -> SystemDomain {
+        SystemDomain {
+            opp,
+            level: 0,
+            utilization: 0.0,
+        }
+    }
+
+    fn khz(&self) -> f64 {
+        self.opp.level(self.level).khz as f64
     }
 }
 
@@ -152,7 +209,14 @@ pub struct Device {
     clusters: Vec<Cpu>,
     cluster_power: Vec<CpuPowerModel>,
     gpu_power: GpuPowerModel,
+    /// The governed GPU domain, on specs that declare one; `None`
+    /// keeps the legacy static GPU power model, bit for bit.
+    gpu_dom: Option<SystemDomain>,
     display: Display,
+    /// The governed display domain (brightness ladder), when declared.
+    display_dom: Option<SystemDomain>,
+    /// Effective panel brightness actually applied last step, 0–1.
+    effective_brightness: f64,
     battery: Battery,
     cpu_sensor: ThermalSensor,
     battery_sensor: ThermalSensor,
@@ -186,7 +250,14 @@ impl Device {
             clusters: usta_soc::spec::cpus(&config.spec)?,
             cluster_power: usta_soc::spec::cpu_power_models(&config.spec)?,
             gpu_power: usta_soc::spec::gpu_power_model(&config.spec)?,
+            gpu_dom: usta_soc::spec::gpu_opp_table(&config.spec)
+                .transpose()?
+                .map(SystemDomain::new),
             display: usta_soc::spec::display(&config.spec)?,
+            display_dom: usta_soc::spec::brightness_opp_table(&config.spec)
+                .transpose()?
+                .map(SystemDomain::new),
+            effective_brightness: 0.0,
             battery: usta_soc::spec::battery(&config.spec, config.battery_soc)?,
             spec: config.spec,
             thermal,
@@ -214,7 +285,9 @@ impl Device {
 
     /// Advances the device by `dt` seconds with the given demand, with
     /// each frequency domain at its own OPP index (`levels[d]`, clamped
-    /// into domain `d`'s table).
+    /// into domain `d`'s table). CPU clusters lead the level vector;
+    /// the governed GPU and display domains (where the spec declares
+    /// them) follow, in that order.
     ///
     /// # Panics
     ///
@@ -222,11 +295,25 @@ impl Device {
     pub fn apply(&mut self, demand: &DeviceDemand, levels: &[usize], dt: f64) {
         assert_eq!(
             levels.len(),
-            self.clusters.len(),
+            self.clusters.len()
+                + usize::from(self.gpu_dom.is_some())
+                + usize::from(self.display_dom.is_some()),
             "one level per frequency domain"
         );
-        for (cluster, &level) in self.clusters.iter_mut().zip(levels) {
+        let (cpu_levels, system_levels) = levels.split_at(self.clusters.len());
+        for (cluster, &level) in self.clusters.iter_mut().zip(cpu_levels) {
             cluster.set_level(level);
+        }
+        let mut system_levels = system_levels.iter();
+        if let Some(gpu) = &mut self.gpu_dom {
+            gpu.level = gpu
+                .opp
+                .clamp_index(*system_levels.next().expect("asserted"));
+        }
+        if let Some(panel) = &mut self.display_dom {
+            panel.level = panel
+                .opp
+                .clamp_index(*system_levels.next().expect("asserted"));
         }
 
         // Big-first spill scheduling: thread i lands on virtual core
@@ -248,7 +335,18 @@ impl Device {
         }
 
         self.display.set_on(demand.display_on);
-        self.display.set_brightness(demand.brightness);
+        // A governed display caps the requested brightness at the
+        // arbiter-chosen ladder rung; legacy panels apply it verbatim.
+        self.effective_brightness = match &mut self.display_dom {
+            Some(panel) => {
+                let requested = demand.brightness.clamp(0.0, 1.0);
+                let rung = panel.khz() / 1000.0;
+                panel.utilization = ((requested * 1000.0) / panel.khz()).min(1.0);
+                requested.min(rung)
+            }
+            None => demand.brightness,
+        };
+        self.display.set_brightness(self.effective_brightness);
         let charge_state = if demand.charging {
             // Once full, stay in Full (the battery handles the switch).
             if self.battery.charge_state() == ChargeState::Full {
@@ -272,7 +370,21 @@ impl Device {
             cpu_w += w;
             die_w.push(w);
         }
-        let gpu_w = self.gpu_power.power(demand.gpu_load);
+        // A governed GPU draws dynamic power for the work it actually
+        // runs at its arbiter-capped operating point; the legacy
+        // static model spends load-proportional power regardless of
+        // any (nonexistent) GPU clock. Heat from a governed GPU lands
+        // on its own thermal node (see `usta_thermal::NodeRoles::gpu`).
+        let gpu_w = match &mut self.gpu_dom {
+            Some(gpu) => {
+                let spec = self.spec.gpu.as_ref().expect("domain implies spec");
+                let load = demand.gpu_load.clamp(0.0, 1.0);
+                let capacity = gpu.khz() / spec.max_khz() as f64;
+                gpu.utilization = (load / capacity.max(1e-9)).min(1.0);
+                spec.idle_w + spec.opp_dynamic_power_w(gpu.level) * gpu.utilization
+            }
+            None => self.gpu_power.power(demand.gpu_load),
+        };
         let display_total_w = self.display.power();
         // The backlight LEDs and display driver sit on the board; only
         // part of the panel's power heats the mid-screen thermistor spot.
@@ -311,9 +423,10 @@ impl Device {
 
     /// Takes a full observation (sensor reads advance the noise streams).
     pub fn observe(&mut self) -> Observation {
-        let domains = PerDomain::from_fn(self.clusters.len(), |d| {
+        let mut domains = PerDomain::from_fn(self.clusters.len(), |d| {
             let cluster = &self.clusters[d];
             DomainState {
+                kind: DomainKind::CpuCluster,
                 freq_khz: cluster.frequency().khz as f64,
                 level: cluster.level(),
                 avg_utilization: cluster.average_utilization(),
@@ -321,6 +434,33 @@ impl Device {
                 die_temp: self.thermal.die_temperature(d),
             }
         });
+        if let Some(gpu) = &self.gpu_dom {
+            domains.push(DomainState {
+                kind: DomainKind::Gpu,
+                freq_khz: gpu.khz(),
+                level: gpu.level,
+                avg_utilization: gpu.utilization,
+                max_utilization: gpu.utilization,
+                die_temp: self
+                    .spec
+                    .thermal
+                    .gpu_node
+                    .and_then(|name| self.thermal.node_temperature_by_name(name))
+                    .unwrap_or_else(|| self.thermal.die_temperature(0)),
+            });
+        }
+        if let Some(panel) = &self.display_dom {
+            domains.push(DomainState {
+                kind: DomainKind::Display,
+                // Effective brightness as permille — the quantity in
+                // effect on the panel, traced like a clock.
+                freq_khz: self.effective_brightness * 1000.0,
+                level: panel.level,
+                avg_utilization: panel.utilization,
+                max_utilization: panel.utilization,
+                die_temp: self.thermal.screen_temperature(),
+            });
+        }
         let total_cores: usize = self.clusters.iter().map(Cpu::cores).sum();
         let mut util_sum = 0.0;
         let mut max_utilization = 0.0f64;
@@ -400,26 +540,63 @@ impl Device {
         self.screen_thermistor.reset();
     }
 
-    /// Number of frequency domains.
+    /// Number of frequency domains: the CPU clusters plus the governed
+    /// GPU and display domains where the spec declares them.
     pub fn domains(&self) -> usize {
+        self.clusters.len()
+            + usize::from(self.gpu_dom.is_some())
+            + usize::from(self.display_dom.is_some())
+    }
+
+    /// Number of CPU-cluster frequency domains.
+    pub fn cpu_domains(&self) -> usize {
         self.clusters.len()
     }
 
-    /// The control-plane descriptors of every frequency domain, in the
-    /// device's big-first order (owned copies — hand them to
+    /// The control-plane descriptors of every frequency domain —
+    /// big-first CPU clusters, then the governed GPU, then the display
+    /// (owned copies — hand them to
     /// [`usta_governors::GovernorInput`]).
     pub fn freq_domains(&self) -> Vec<FreqDomain> {
-        self.clusters
+        let mut domains: Vec<FreqDomain> = self
+            .clusters
             .iter()
             .enumerate()
             .map(|(d, cluster)| FreqDomain {
                 id: d,
                 name: self.spec.clusters[d].name,
+                kind: DomainKind::CpuCluster,
                 cores: cluster.cores(),
                 opp: cluster.opp_table().clone(),
                 full_load_w: self.spec.clusters[d].full_load_w(),
             })
-            .collect()
+            .collect();
+        if let Some(gpu) = &self.gpu_dom {
+            domains.push(FreqDomain {
+                id: domains.len(),
+                name: "gpu",
+                kind: DomainKind::Gpu,
+                cores: 1,
+                opp: gpu.opp.clone(),
+                full_load_w: self
+                    .spec
+                    .gpu
+                    .as_ref()
+                    .expect("domain implies spec")
+                    .full_load_w(),
+            });
+        }
+        if let Some(panel) = &self.display_dom {
+            domains.push(FreqDomain {
+                id: domains.len(),
+                name: "display",
+                kind: DomainKind::Display,
+                cores: 1,
+                opp: panel.opp.clone(),
+                full_load_w: self.spec.display.base_w + self.spec.display.full_brightness_w,
+            });
+        }
+        domains
     }
 
     /// The OPP table of frequency domain 0 — on single-domain devices,
@@ -573,19 +750,27 @@ mod tests {
     fn catalog_devices_build_and_expose_their_own_domains() {
         for id in usta_device::NAMES {
             let config = DeviceConfig::for_device_id(id).expect("catalog id");
-            let spec_domains = config.spec.domains();
+            let spec_clusters = config.spec.domains();
+            let system_domains = usize::from(config.spec.gpu.is_some())
+                + usize::from(config.spec.brightness_ladder.is_some());
             let spec_max = config.spec.max_khz();
             let d = Device::new(config).expect("catalog device builds");
-            assert_eq!(d.domains(), spec_domains, "{id}");
+            assert_eq!(d.cpu_domains(), spec_clusters, "{id}");
+            assert_eq!(d.domains(), spec_clusters + system_domains, "{id}");
             let freq_domains = d.freq_domains();
-            assert_eq!(freq_domains.len(), spec_domains, "{id}");
+            assert_eq!(freq_domains.len(), spec_clusters + system_domains, "{id}");
             // Big-first: domain 0 carries the device's top frequency.
             assert_eq!(freq_domains[0].opp.max().khz, spec_max, "{id}");
             assert_eq!(d.opp_table().max().khz, spec_max, "{id}");
-            // One die node per frequency domain, and every node named.
-            assert_eq!(d.die_node_names().len(), spec_domains, "{id}");
+            // One die node per CPU cluster, and every node named.
+            assert_eq!(d.die_node_names().len(), spec_clusters, "{id}");
             assert!(d.thermal_model().topology().nodes.len() >= 7, "{id}");
             assert!(freq_domains.iter().all(|fd| fd.full_load_w > 0.0), "{id}");
+            // Non-CPU domains trail the clusters in declaration order.
+            for (i, fd) in freq_domains.iter().enumerate() {
+                assert_eq!(fd.id, i, "{id}");
+                assert_eq!(fd.kind == DomainKind::CpuCluster, i < spec_clusters, "{id}");
+            }
         }
         assert!(DeviceConfig::for_device_id("no-such-device").is_none());
     }
@@ -607,7 +792,7 @@ mod tests {
             cpu_threads_khz: vec![500_000.0; 2],
             ..busy_demand()
         };
-        d.apply(&light, &[tops[0], tops[1]], 0.1);
+        d.apply(&light, &tops, 0.1);
         let o = d.observe();
         assert!(o.domains[0].avg_utilization > 0.0, "big runs the threads");
         assert_eq!(o.domains[1].avg_utilization, 0.0, "LITTLE idles");
@@ -616,7 +801,7 @@ mod tests {
             cpu_threads_khz: vec![500_000.0; 6],
             ..busy_demand()
         };
-        d.apply(&six, &[tops[0], tops[1]], 0.1);
+        d.apply(&six, &tops, 0.1);
         let o = d.observe();
         assert!(o.domains[0].avg_utilization > 0.0);
         assert!(o.domains[1].avg_utilization > 0.0, "spill reaches LITTLE");
@@ -637,7 +822,14 @@ mod tests {
             cpu_threads_khz: vec![400_000.0; 8],
             ..busy_demand()
         };
-        d.apply(&eight, &[10, 2], 0.1);
+        let mut levels: Vec<usize> = d
+            .freq_domains()
+            .iter()
+            .map(|fd| fd.opp.max_index())
+            .collect();
+        levels[0] = 10;
+        levels[1] = 2;
+        d.apply(&eight, &levels, 0.1);
         let o = d.observe();
         assert_eq!(o.domains[0].level, 10);
         assert_eq!(o.domains[1].level, 2);

@@ -86,6 +86,7 @@ impl DvfsLoop {
             domains: &self.domains,
             samples: samples.as_slice(),
             max_allowed_levels: &self.caps,
+            die_temp_c: Some(obs.hottest_die().value()),
         };
         let decision = governor.decide(&input);
         PerDomain::from_slice(enforce_caps(decision, &self.caps).levels())
@@ -127,9 +128,13 @@ pub struct RunResult {
     /// (capacity-weighted across domains; the domain frequency on
     /// single-domain devices).
     pub freq_trace: Vec<(f64, f64)>,
-    /// Per-domain CPU frequency (kHz) at every log instant, indexed
-    /// like `domain_names`.
+    /// Per-domain frequency (kHz) at every log instant, indexed like
+    /// `domain_names`. Display domains log effective brightness
+    /// permille in this column.
     pub domain_freq_traces: Vec<Vec<(f64, f64)>>,
+    /// Effective display brightness (0–1) at every log instant; empty
+    /// unless the device has a governed display domain.
+    pub brightness_trace: Vec<(f64, f64)>,
     /// Names of the per-cluster die nodes, in the device's big-first
     /// domain order (`["cpu"]` on single-domain devices).
     pub die_node_names: Vec<String>,
@@ -192,6 +197,11 @@ pub fn run_workload(
     let governor_name = governor.name();
     let domains = device.freq_domains();
     let n_domains = domains.len();
+    let die_node_names = device.die_node_names();
+    // Die traces follow the CPU-cluster die nodes; the GPU and display
+    // domains carry their own temperatures inside `obs.domains` but
+    // have no cluster die node of their own.
+    let n_dies = die_node_names.len();
     let caps: PerDomain<usize> = PerDomain::from_fn(n_domains, |d| domains[d].max_index());
 
     device.reset_qos_accounting();
@@ -207,14 +217,15 @@ pub fn run_workload(
     let mut screen_trace = Vec::new();
     let mut freq_trace = Vec::new();
     let mut domain_freq_traces: Vec<Vec<(f64, f64)>> = vec![Vec::new(); n_domains];
-    let mut die_temp_traces: Vec<Vec<(f64, Celsius)>> = vec![Vec::new(); n_domains];
+    let mut brightness_trace = Vec::new();
+    let mut die_temp_traces: Vec<Vec<(f64, Celsius)>> = vec![Vec::new(); n_dies];
     let mut predictions = Vec::new();
     let mut training_log = TrainingLog::new();
     let mut freq_time_khz = 0.0;
     let mut domain_freq_time_khz = vec![0.0f64; n_domains];
     let mut max_skin = Celsius(f64::NEG_INFINITY);
     let mut max_screen = Celsius(f64::NEG_INFINITY);
-    let mut max_die = vec![Celsius(f64::NEG_INFINITY); n_domains];
+    let mut max_die = vec![Celsius(f64::NEG_INFINITY); n_dies];
 
     for step_no in 0..total_steps {
         let demand = workload.demand_at(t, dt);
@@ -245,6 +256,7 @@ pub fn run_workload(
             domains: &domains,
             samples: samples.as_slice(),
             max_allowed_levels: caps.as_slice(),
+            die_temp_c: Some(obs.hottest_die().value()),
         };
         let decision = match governor {
             Governor::Baseline(g) => g.decide(&input),
@@ -259,7 +271,7 @@ pub fn run_workload(
         }
         max_skin = max_skin.max(obs.skin_true);
         max_screen = max_screen.max(obs.screen_true);
-        for (peak, state) in max_die.iter_mut().zip(obs.domains.iter()) {
+        for (peak, state) in max_die.iter_mut().zip(obs.domains.iter().take(n_dies)) {
             *peak = peak.max(state.die_temp);
         }
 
@@ -270,7 +282,17 @@ pub fn run_workload(
             for (trace, state) in domain_freq_traces.iter_mut().zip(obs.domains.iter()) {
                 trace.push((t, state.freq_khz));
             }
-            for (trace, state) in die_temp_traces.iter_mut().zip(obs.domains.iter()) {
+            if let Some(panel) = obs
+                .domains
+                .iter()
+                .find(|s| s.kind == usta_soc::DomainKind::Display)
+            {
+                brightness_trace.push((t, panel.freq_khz / 1000.0));
+            }
+            for (trace, state) in die_temp_traces
+                .iter_mut()
+                .zip(obs.domains.iter().take(n_dies))
+            {
                 trace.push((t, state.die_temp));
             }
             training_log.push(LoggedSample {
@@ -291,7 +313,8 @@ pub fn run_workload(
         screen_trace,
         freq_trace,
         domain_freq_traces,
-        die_node_names: device.die_node_names(),
+        brightness_trace,
+        die_node_names,
         die_temp_traces,
         max_die,
         predictions,
@@ -403,9 +426,13 @@ mod tests {
         let mut w = ConstantLoad::new("stress", 60.0, 900_000.0, 8);
         let mut g = Governor::Baseline(Box::new(OnDemand::default()));
         let r = run_workload(&mut d, &mut w, &mut g, &RunConfig::default());
-        assert_eq!(r.domain_names, vec!["big", "little"]);
-        assert_eq!(r.domain_freq_traces.len(), 2);
-        assert_eq!(r.avg_domain_freq_ghz.len(), 2);
+        assert_eq!(r.domain_names, vec!["big", "little", "gpu", "display"]);
+        assert_eq!(r.domain_freq_traces.len(), 4);
+        assert_eq!(r.avg_domain_freq_ghz.len(), 4);
+        assert_eq!(r.die_node_names.len(), 2);
+        assert_eq!(r.die_temp_traces.len(), 2);
+        assert_eq!(r.max_die.len(), 2);
+        assert!(!r.brightness_trace.is_empty());
         assert!(
             r.avg_domain_freq_ghz[0] > r.avg_domain_freq_ghz[1],
             "big sustains a higher clock than LITTLE: {:?}",

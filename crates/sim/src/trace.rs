@@ -78,7 +78,7 @@ fn check_lengths(result: &RunResult) -> Result<(), TraceError> {
     }
     for (name, trace) in result.domain_names.iter().zip(&result.domain_freq_traces) {
         if trace.len() != expected {
-            return Err(mismatch(&format!("freq_khz_{name}"), trace.len()));
+            return Err(mismatch(&domain_column(name), trace.len()));
         }
     }
     if result.die_temp_traces.len() != result.die_node_names.len() {
@@ -97,12 +97,24 @@ fn check_lengths(result: &RunResult) -> Result<(), TraceError> {
     Ok(())
 }
 
+/// The CSV column a domain's frequency trace lands in: `freq_khz_<name>`
+/// for CPU clusters and the GPU; the display domain traces effective
+/// brightness permille, exported as a 0–1 `brightness` column.
+fn domain_column(name: &str) -> String {
+    if name == "display" {
+        "brightness".to_owned()
+    } else {
+        format!("freq_khz_{name}")
+    }
+}
+
 /// Writes a run's traces as CSV: one row per log instant with columns
 /// `t_s, skin_c, screen_c, freq_khz, prediction_c` (the prediction
 /// column is empty for baseline runs and between USTA's 3 s updates).
 /// Multi-domain runs insert one `freq_khz_<domain>` column per
-/// frequency domain and one `temp_c_<node>` column per die node
-/// between `freq_khz` (the capacity-weighted aggregate) and
+/// frequency domain (a `brightness` column, 0–1, for the display
+/// domain) and one `temp_c_<node>` column per die node between
+/// `freq_khz` (the capacity-weighted CPU aggregate) and
 /// `prediction_c`; single-domain runs keep the historical five-column
 /// layout, where `freq_khz` *is* the domain frequency.
 ///
@@ -117,8 +129,8 @@ pub fn write_csv<W: Write>(result: &RunResult, mut w: W) -> Result<(), TraceErro
     let mut header = String::from("t_s,skin_c,screen_c,freq_khz");
     if multi_domain {
         for name in &result.domain_names {
-            header.push_str(",freq_khz_");
-            header.push_str(name);
+            header.push(',');
+            header.push_str(&domain_column(name));
         }
         for name in &result.die_node_names {
             header.push_str(",temp_c_");
@@ -155,8 +167,12 @@ pub fn write_csv<W: Write>(result: &RunResult, mut w: W) -> Result<(), TraceErro
             freq
         )?;
         if multi_domain {
-            for trace in &result.domain_freq_traces {
-                write!(w, ",{:.0}", trace[i].1)?;
+            for (name, trace) in result.domain_names.iter().zip(&result.domain_freq_traces) {
+                if *name == "display" {
+                    write!(w, ",{:.3}", trace[i].1 / 1000.0)?;
+                } else {
+                    write!(w, ",{:.0}", trace[i].1)?;
+                }
             }
             for trace in &result.die_temp_traces {
                 write!(w, ",{:.4}", trace[i].1.value())?;
@@ -258,11 +274,11 @@ mod tests {
         assert_eq!(
             lines[0],
             "t_s,skin_c,screen_c,freq_khz,freq_khz_big,freq_khz_little,\
-             temp_c_die_big,temp_c_die_little,prediction_c"
+             freq_khz_gpu,brightness,temp_c_die_big,temp_c_die_little,prediction_c"
         );
         for line in &lines[1..] {
             let fields: Vec<&str> = line.split(',').collect();
-            assert_eq!(fields.len(), 9, "{line:?}");
+            assert_eq!(fields.len(), 11, "{line:?}");
             let aggregate: f64 = fields[3].parse().unwrap();
             let big: f64 = fields[4].parse().unwrap();
             let little: f64 = fields[5].parse().unwrap();
@@ -270,8 +286,15 @@ mod tests {
                 little <= aggregate && aggregate <= big,
                 "aggregate must sit between the domain clocks: {line:?}"
             );
-            let big_die: f64 = fields[6].parse().unwrap();
-            let little_die: f64 = fields[7].parse().unwrap();
+            let gpu: f64 = fields[6].parse().unwrap();
+            assert!(gpu > 0.0, "GPU clock is a real frequency: {line:?}");
+            let brightness: f64 = fields[7].parse().unwrap();
+            assert!(
+                (0.0..=1.0).contains(&brightness),
+                "brightness is a fraction: {line:?}"
+            );
+            let big_die: f64 = fields[8].parse().unwrap();
+            let little_die: f64 = fields[9].parse().unwrap();
             assert!(big_die.is_finite() && little_die.is_finite(), "{line:?}");
         }
     }
@@ -308,6 +331,15 @@ mod tests {
         assert!(
             err.to_string().contains("freq_khz_cpu"),
             "domain mismatch names its column: {err}"
+        );
+
+        // The display domain's trace reports under its CSV column name.
+        let mut result = flagship_run();
+        result.domain_freq_traces[3].pop();
+        let err = to_csv_string(&result).unwrap_err();
+        assert!(
+            err.to_string().contains("\"brightness\""),
+            "display mismatch names the brightness column: {err}"
         );
 
         // Die-temp traces reuse the same structured error path.

@@ -9,10 +9,42 @@
 //! [`MAX_FREQ_DOMAINS`].
 
 /// The most frequency domains any device may declare (re-exported from
-/// the device catalog, the source of domain counts). Three covers
-/// every shipping phone topology (LITTLE + big + prime); four leaves
-/// headroom without bloating the inline arrays.
+/// the device catalog, the source of domain counts): up to four CPU
+/// clusters (LITTLE + big + prime covers every shipping phone, four
+/// leaves headroom) plus one GPU domain plus one display domain.
 pub use usta_device::MAX_FREQ_DOMAINS;
+
+/// What kind of hardware a frequency domain scales.
+///
+/// The control plane treats a device as a flat list of frequency
+/// domains; the kind tells governors and the power-budget arbiter how
+/// to handle each one — factory CPU heuristics apply only to
+/// [`DomainKind::CpuCluster`] domains, while GPU and display domains
+/// follow demand under the arbiter's caps. Arbiter priority under a
+/// shrinking budget: CPU clusters shed headroom first, then the GPU,
+/// and the display dims last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DomainKind {
+    /// A set of CPU cores sharing one clock (a cpufreq policy).
+    #[default]
+    CpuCluster,
+    /// The GPU on its own OPP table.
+    Gpu,
+    /// The display backlight: "frequency" levels are brightness
+    /// permille on the device's ladder.
+    Display,
+}
+
+impl DomainKind {
+    /// Short lower-case label (`cpu`/`gpu`/`display`) for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DomainKind::CpuCluster => "cpu",
+            DomainKind::Gpu => "gpu",
+            DomainKind::Display => "display",
+        }
+    }
+}
 
 /// A fixed-capacity, `Copy` vector with one slot per frequency domain.
 ///

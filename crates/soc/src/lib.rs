@@ -54,7 +54,7 @@ pub mod spec;
 pub use battery::{Battery, BatteryParams, ChargeState};
 pub use cpu::{CoreDemand, Cpu, CpuParams};
 pub use display::{Display, DisplayParams};
-pub use domain::{PerDomain, MAX_FREQ_DOMAINS};
+pub use domain::{DomainKind, PerDomain, MAX_FREQ_DOMAINS};
 pub use error::SocError;
 pub use freq::{FrequencyLevel, OppTable};
 pub use power::{CpuPowerModel, GpuPowerModel};

@@ -119,6 +119,48 @@ pub fn gpu_power_model(spec: &DeviceSpec) -> Result<GpuPowerModel, SocError> {
     GpuPowerModel::new(spec.gpu_power.max_w, spec.gpu_power.idle_w)
 }
 
+/// The governed GPU domain's OPP table, when the spec declares one.
+///
+/// # Errors
+///
+/// Returns [`SocError`] if the declared table is empty, unsorted, or
+/// non-positive (impossible for registry-validated specs).
+pub fn gpu_opp_table(spec: &DeviceSpec) -> Option<Result<OppTable, SocError>> {
+    spec.gpu.as_ref().map(|gpu| {
+        OppTable::new(
+            gpu.opp
+                .iter()
+                .map(|p| FrequencyLevel {
+                    khz: p.khz,
+                    volts: p.volts,
+                })
+                .collect(),
+        )
+    })
+}
+
+/// The spec's brightness ladder as a pseudo-OPP table — permille as
+/// kHz at a constant 1 V, so the display rides the same cap machinery
+/// as every other domain.
+///
+/// # Errors
+///
+/// Returns [`SocError`] if the declared ladder is empty or unsorted
+/// (impossible for registry-validated specs).
+pub fn brightness_opp_table(spec: &DeviceSpec) -> Option<Result<OppTable, SocError>> {
+    spec.brightness_ladder.map(|ladder| {
+        OppTable::new(
+            ladder
+                .iter()
+                .map(|&permille| FrequencyLevel {
+                    khz: permille,
+                    volts: 1.0,
+                })
+                .collect(),
+        )
+    })
+}
+
 /// The spec's display panel.
 ///
 /// # Errors
@@ -175,6 +217,14 @@ mod tests {
             assert!(gpu_power_model(spec).is_ok(), "{}", spec.id);
             assert!(display(spec).is_ok(), "{}", spec.id);
             assert!(battery(spec, 0.5).is_ok(), "{}", spec.id);
+            if let Some(table) = gpu_opp_table(spec) {
+                let table = table.unwrap_or_else(|e| panic!("{}/gpu: {e}", spec.id));
+                assert_eq!(table.len(), spec.gpu.as_ref().unwrap().opp.len());
+            }
+            if let Some(table) = brightness_opp_table(spec) {
+                let table = table.unwrap_or_else(|e| panic!("{}/display: {e}", spec.id));
+                assert_eq!(table.max().khz, 1000, "{}", spec.id);
+            }
         }
     }
 

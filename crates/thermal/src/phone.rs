@@ -246,6 +246,7 @@ impl PhoneThermalParams {
             roles: NodeRoles {
                 dies: vec![Cpu.index()],
                 package: Package.index(),
+                gpu: None,
                 board: Board.index(),
                 battery: Battery.index(),
                 screen: Screen.index(),

@@ -43,8 +43,12 @@ pub struct NodeRoles {
     /// One CPU die node per frequency domain, in the device's big-first
     /// cluster order. Cluster `d`'s CPU power lands on `dies[d]`.
     pub dies: Vec<usize>,
-    /// SoC package node — GPU heat lands here.
+    /// SoC package node — GPU heat lands here unless a dedicated GPU
+    /// node is designated.
     pub package: usize,
+    /// Dedicated GPU die node, when the topology declares one — GPU
+    /// heat is routed here instead of onto the package.
+    pub gpu: Option<usize>,
     /// Main-board node — radios, camera ISP, PMIC heat.
     pub board: usize,
     /// Battery pack node — charge/discharge losses.
@@ -74,6 +78,7 @@ impl NodeRoles {
                 self.screen,
                 self.skin,
             ])
+            .chain(self.gpu)
             .chain(self.back.iter().copied())
     }
 }
@@ -305,7 +310,7 @@ impl DeviceThermalModel {
         for (&node, &watts) in roles.dies.iter().zip(&heat.die_w) {
             net.add_power(ids[node], watts);
         }
-        net.add_power(ids[roles.package], heat.gpu_w);
+        net.add_power(ids[roles.gpu.unwrap_or(roles.package)], heat.gpu_w);
         net.add_power(ids[roles.board], heat.board_w);
         net.add_power(ids[roles.battery], heat.battery_w);
         net.add_power(ids[roles.screen], heat.display_w);
@@ -468,6 +473,7 @@ mod tests {
             roles: NodeRoles {
                 dies: vec![0, 1],
                 package: 2,
+                gpu: None,
                 board: 2,
                 battery: 3,
                 screen: 4,

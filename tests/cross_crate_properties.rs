@@ -23,6 +23,7 @@ proptest! {
         let domains = vec![FreqDomain {
             id: 0,
             name: "cpu",
+            kind: usta_soc::DomainKind::CpuCluster,
             cores: 4,
             opp: nexus4::opp_table(),
             full_load_w: 3.6,
@@ -37,6 +38,7 @@ proptest! {
             domains: &domains,
             samples: &samples,
             max_allowed_levels: &caps,
+            die_temp_c: None,
         };
         let mut governors: Vec<Box<dyn CpuGovernor>> = vec![
             Box::new(OnDemand::default()),
@@ -78,6 +80,7 @@ proptest! {
         let domains = vec![FreqDomain {
             id: 0,
             name: "cpu",
+            kind: usta_soc::DomainKind::CpuCluster,
             cores: 4,
             opp: nexus4::opp_table(),
             full_load_w: 3.6,
@@ -97,6 +100,7 @@ proptest! {
                 domains: &domains,
                 samples: &samples,
                 max_allowed_levels: &caps,
+                die_temp_c: None,
             };
             level = g.decide(&input).level(0);
         }

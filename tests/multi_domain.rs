@@ -14,6 +14,8 @@
 //!    one-level band before the LITTLE cluster loses anything.
 
 use proptest::prelude::*;
+use usta_core::policy::FrequencyCap;
+use usta_core::{arbitrate, BudgetAllocation};
 use usta_governors::{by_name, DomainSample, FreqDomain, GovernorInput, OnDemand, NAMES};
 use usta_sim::runner::DvfsLoop;
 use usta_sim::{run_workload, Device, DeviceConfig, Governor, RunConfig};
@@ -64,6 +66,7 @@ proptest! {
                     domains: &domains,
                     samples: &samples,
                     max_allowed_levels: &caps,
+                    die_temp_c: None,
                 };
                 let decision = governor.decide(&input);
                 prop_assert_eq!(decision.domain_count(), n, "{}/{}", id, name);
@@ -77,6 +80,78 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+fn band_of(index: usize) -> FrequencyCap {
+    match index {
+        0 => FrequencyCap::Unrestricted,
+        1 => FrequencyCap::OneLevelBelowMax,
+        2 => FrequencyCap::TwoLevelsBelowMax,
+        _ => FrequencyCap::MinimumFrequency,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite: the power-budget arbiter never spends more watts than
+    /// the band budget and never emits a cap above any domain's OPP
+    /// ceiling — on every catalog device, for every USTA band, across
+    /// random demand vectors and die temperatures.
+    #[test]
+    fn arbiter_respects_budget_and_opp_ceilings(
+        device_index in 0usize..usta_device::NAMES.len(),
+        band_index in 0usize..4,
+        demand_raw in proptest::collection::vec(0.0f64..1.0, 8),
+        die_raw in 15.0f64..95.0,
+        has_die in proptest::bool::ANY,
+    ) {
+        let die_c = has_die.then_some(die_raw);
+        let id = usta_device::NAMES[device_index];
+        let domains = freq_domains_of(id);
+        let demand: Vec<f64> = (0..domains.len())
+            .map(|d| demand_raw[d % demand_raw.len()])
+            .collect();
+        let band = band_of(band_index);
+        let allocation: BudgetAllocation = arbitrate(band, &domains, &demand, die_c);
+        prop_assert_eq!(allocation.caps.len(), domains.len(), "{}", id);
+        for (d, domain) in domains.iter().enumerate() {
+            prop_assert!(
+                allocation.caps[d] <= domain.max_index(),
+                "{}/{:?} domain {} cap {} above OPP ceiling {}",
+                id, band, d, allocation.caps[d], domain.max_index()
+            );
+        }
+        prop_assert!(
+            allocation.allocated_w <= allocation.budget_w * (1.0 + 1e-9) + 1e-12,
+            "{}/{:?} allocated {} W over budget {} W",
+            id, band, allocation.allocated_w, allocation.budget_w
+        );
+    }
+
+    /// The arbiter is a pure function of its inputs: identical calls
+    /// yield identical allocations (fleet determinism rides on this).
+    #[test]
+    fn arbiter_is_deterministic(
+        device_index in 0usize..usta_device::NAMES.len(),
+        band_index in 0usize..4,
+        demand_raw in proptest::collection::vec(0.0f64..1.0, 8),
+        die_raw in 15.0f64..95.0,
+        has_die in proptest::bool::ANY,
+    ) {
+        let die_c = has_die.then_some(die_raw);
+        let id = usta_device::NAMES[device_index];
+        let domains = freq_domains_of(id);
+        let demand: Vec<f64> = (0..domains.len())
+            .map(|d| demand_raw[d % demand_raw.len()])
+            .collect();
+        let band = band_of(band_index);
+        let a = arbitrate(band, &domains, &demand, die_c);
+        let b = arbitrate(band, &domains, &demand, die_c);
+        prop_assert_eq!(a.caps.as_slice(), b.caps.as_slice(), "{}", id);
+        prop_assert_eq!(a.allocated_w.to_bits(), b.allocated_w.to_bits(), "{}", id);
+        prop_assert_eq!(a.budget_w.to_bits(), b.budget_w.to_bits(), "{}", id);
     }
 }
 
@@ -150,7 +225,7 @@ fn flagship_domains_settle_at_distinct_frequencies() {
         &mut governor,
         &RunConfig::default(),
     );
-    assert_eq!(r.domain_names, vec!["big", "little"]);
+    assert_eq!(r.domain_names, vec!["big", "little", "gpu", "display"]);
     assert!(
         r.avg_domain_freq_ghz[0] > 2.0 * r.avg_domain_freq_ghz[1],
         "big {} GHz should dwarf idle LITTLE {} GHz",

@@ -26,10 +26,12 @@ fn device(id: &str, seed: u64) -> Device {
 }
 
 /// Per-cluster core ranges `(offset, cores)` in virtual-core order.
+/// Only CPU clusters carry schedulable cores; GPU and display domains
+/// are excluded.
 fn core_ranges(device: &Device) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut offset = 0;
-    for fd in device.freq_domains() {
+    for fd in device.freq_domains().iter().take(device.cpu_domains()) {
         ranges.push((offset, fd.cores));
         offset += fd.cores;
     }
@@ -130,7 +132,7 @@ proptest! {
             base.apply(&base_demand, &tops, 10.0);
             loaded.apply(&loaded_demand, &tops, 10.0);
         }
-        let rise: Vec<f64> = (0..base.domains())
+        let rise: Vec<f64> = (0..base.cpu_domains())
             .map(|d| loaded.die_temperature(d).value() - base.die_temperature(d).value())
             .collect();
         prop_assert!(
@@ -180,8 +182,9 @@ fn flagship_big_die_runs_hotter_than_little_under_big_load() {
     assert_eq!(obs.hottest_die(), big.max(little));
     let features = obs.features();
     assert_eq!(features.hottest_die, Some(obs.hottest_die()));
-    // 3 base features + 2 domain frequencies + hottest die.
-    assert_eq!(features.to_vec().len(), 6);
+    // 3 base features + 2 CPU domain frequencies + hottest die
+    // + GPU frequency + display brightness.
+    assert_eq!(features.to_vec().len(), 8);
 }
 
 /// A single-threaded burst on prime-flagship lands on the prime core
