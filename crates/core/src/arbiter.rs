@@ -116,6 +116,28 @@ fn marginal_utility(
     weight * demand * delta_capacity / delta_w
 }
 
+/// The band's watt envelope for one [`FrequencyCap`]: the predicted
+/// full-load power of every domain at its band-capped level (the
+/// historical splitter run over all domains).
+///
+/// A pure function of `(cap, domains)` — the domain set is fixed for a
+/// run, so callers deciding every governor period can cache this per
+/// band instead of re-pricing the whole OPP table each time (see
+/// [`crate::UstaGovernor`]).
+///
+/// # Panics
+///
+/// Panics if `domains` is empty.
+pub fn band_budget_w(cap: FrequencyCap, domains: &[FreqDomain]) -> f64 {
+    assert!(!domains.is_empty(), "a device has at least one domain");
+    let band_caps = cap.max_allowed_levels(domains);
+    domains
+        .iter()
+        .enumerate()
+        .map(|(d, domain)| power_at_level(domain, band_caps[d]))
+        .sum()
+}
+
 /// Runs the arbiter for one instant.
 ///
 /// `demand` is the per-domain demand signal, 0–1, parallel to
@@ -124,17 +146,31 @@ fn marginal_utility(
 /// `hottest_die_c` derates CPU-cluster utility when the die runs hot.
 ///
 /// The watt budget is the predicted power of the band's own per-domain
-/// caps (the historical splitter run over all domains), so
-/// [`FrequencyCap::Unrestricted`] always affords every domain its top
-/// level and [`FrequencyCap::MinimumFrequency`] affords exactly the
-/// floors — the band's envelope is preserved, only its distribution
-/// changes.
+/// caps ([`band_budget_w`]), so [`FrequencyCap::Unrestricted`] always
+/// affords every domain its top level and
+/// [`FrequencyCap::MinimumFrequency`] affords exactly the floors — the
+/// band's envelope is preserved, only its distribution changes.
 ///
 /// # Panics
 ///
 /// Panics if `domains` is empty or `demand` is not parallel to it.
 pub fn arbitrate(
     cap: FrequencyCap,
+    domains: &[FreqDomain],
+    demand: &[f64],
+    hottest_die_c: Option<f64>,
+) -> BudgetAllocation {
+    arbitrate_with_budget(band_budget_w(cap, domains), domains, demand, hottest_die_c)
+}
+
+/// [`arbitrate`] with the watt budget already priced — the greedy
+/// re-spend alone, for callers that cache [`band_budget_w`] per band.
+///
+/// # Panics
+///
+/// Panics if `domains` is empty or `demand` is not parallel to it.
+pub fn arbitrate_with_budget(
+    budget_w: f64,
     domains: &[FreqDomain],
     demand: &[f64],
     hottest_die_c: Option<f64>,
@@ -146,15 +182,7 @@ pub fn arbitrate(
         "one demand signal per frequency domain"
     );
 
-    // 1. The band's watt envelope, from the historical splitter.
-    let band_caps = cap.max_allowed_levels(domains);
-    let budget_w: f64 = domains
-        .iter()
-        .enumerate()
-        .map(|(d, domain)| power_at_level(domain, band_caps[d]))
-        .sum();
-
-    // 2. Greedy re-spend from the floors.
+    // Greedy re-spend from the floors.
     let mut levels: PerDomain<usize> = PerDomain::splat(domains.len(), 0);
     let mut allocated_w: f64 = domains.iter().map(|d| power_at_level(d, 0)).sum();
     let slack = budget_w.abs() * BUDGET_EPSILON;
@@ -392,6 +420,26 @@ mod tests {
             Some(60.0),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_budget_path_matches_arbitrate_exactly() {
+        let domains = system_domains();
+        for cap in [
+            FrequencyCap::Unrestricted,
+            FrequencyCap::OneLevelBelowMax,
+            FrequencyCap::TwoLevelsBelowMax,
+            FrequencyCap::MinimumFrequency,
+        ] {
+            let budget_w = band_budget_w(cap, &domains);
+            for demand in [[1.0; 4], [0.2, 0.9, 0.5, 1.0], [0.0; 4]] {
+                for die in [None, Some(35.0), Some(80.0)] {
+                    let direct = arbitrate(cap, &domains, &demand, die);
+                    let cached = arbitrate_with_budget(budget_w, &domains, &demand, die);
+                    assert_eq!(direct, cached, "{cap:?} {demand:?} {die:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,10 +22,17 @@ use crate::policy::{FrequencyCap, UstaPolicy};
 use crate::predictor::TemperaturePredictor;
 use usta_governors::{CpuGovernor, DvfsDecision, GovernorInput};
 use usta_soc::{DomainKind, PerDomain};
+use usta_telemetry::LocalTimings;
 use usta_thermal::Celsius;
 
 /// Default prediction cadence, seconds (§3.B).
 pub const DEFAULT_PREDICTION_PERIOD_S: f64 = 3.0;
+
+/// Local accumulator for arbiter wall-clock time: `[0, 100 µs)` in
+/// 100 ns bins, flushed by the sim runner as `usta.arbiter`.
+fn arbiter_timings() -> LocalTimings {
+    LocalTimings::new(0.0, 1e-4, 1000)
+}
 
 /// The USTA governor: baseline DVFS + predictor-driven frequency cap.
 #[derive(Debug)]
@@ -38,7 +45,16 @@ pub struct UstaGovernor {
     cap: FrequencyCap,
     last_prediction: Option<Celsius>,
     predictions_made: u64,
+    capped_decisions: u64,
+    arbiter_invocations: u64,
     die_temps: Option<PerDomain<f64>>,
+    /// The arbiter's watt budget is a pure function of
+    /// `(cap, domains)`; the domain set is fixed for a run, so one
+    /// `(cap, domain_count, budget)` entry memoizes the band pricing
+    /// across governor periods instead of re-walking every OPP table
+    /// each 100 ms.
+    budget_cache: Option<(FrequencyCap, usize, f64)>,
+    arbiter_timings: Option<LocalTimings>,
 }
 
 impl UstaGovernor {
@@ -58,7 +74,11 @@ impl UstaGovernor {
             cap: FrequencyCap::Unrestricted,
             last_prediction: None,
             predictions_made: 0,
+            capped_decisions: 0,
+            arbiter_invocations: 0,
             die_temps: None,
+            budget_cache: None,
+            arbiter_timings: usta_telemetry::enabled().then(arbiter_timings),
         }
     }
 
@@ -115,6 +135,30 @@ impl UstaGovernor {
         self.predictions_made
     }
 
+    /// How many [`CpuGovernor::decide`] calls this governor actually
+    /// tightened — its cap vector cut below the externally allowed
+    /// levels on at least one domain. Deterministic work, so it joins
+    /// the golden surface.
+    pub fn capped_decisions(&self) -> u64 {
+        self.capped_decisions
+    }
+
+    /// How many decisions engaged the power-budget arbiter (zero on
+    /// CPU-only devices). Deterministic work.
+    pub fn arbiter_invocations(&self) -> u64 {
+        self.arbiter_invocations
+    }
+
+    /// Drains the accumulated arbiter wall-clock timings, leaving a
+    /// fresh accumulator in place (`None` unless telemetry is
+    /// enabled; the sim runner flushes this as `usta.arbiter`).
+    pub fn take_arbiter_timings(&mut self) -> Option<LocalTimings> {
+        std::mem::replace(
+            &mut self.arbiter_timings,
+            usta_telemetry::enabled().then(arbiter_timings),
+        )
+    }
+
     /// The user policy in force.
     pub fn policy(&self) -> &UstaPolicy {
         &self.policy
@@ -157,7 +201,28 @@ impl CpuGovernor for UstaGovernor {
                     .as_ref()
                     .and_then(|t| t.iter().copied().reduce(f64::max))
             });
-            arbiter::arbitrate(self.cap, input.domains, demand.as_slice(), hottest).caps
+            let budget_w = match self.budget_cache {
+                Some((cap, count, budget_w)) if cap == self.cap && count == input.domains.len() => {
+                    budget_w
+                }
+                _ => {
+                    let budget_w = arbiter::band_budget_w(self.cap, input.domains);
+                    self.budget_cache = Some((self.cap, input.domains.len(), budget_w));
+                    budget_w
+                }
+            };
+            self.arbiter_invocations += 1;
+            let start = self
+                .arbiter_timings
+                .as_ref()
+                .map(|_| std::time::Instant::now());
+            let caps =
+                arbiter::arbitrate_with_budget(budget_w, input.domains, demand.as_slice(), hottest)
+                    .caps;
+            if let (Some(timings), Some(start)) = (self.arbiter_timings.as_mut(), start) {
+                timings.record(start.elapsed());
+            }
+            caps
         } else {
             match &self.die_temps {
                 Some(temps) => self
@@ -166,6 +231,9 @@ impl CpuGovernor for UstaGovernor {
                 None => self.cap.max_allowed_levels(input.domains),
             }
         };
+        if (0..input.domains.len()).any(|d| usta_caps[d] < input.max_allowed_levels[d]) {
+            self.capped_decisions += 1;
+        }
         let effective: PerDomain<usize> = PerDomain::from_fn(input.domains.len(), |d| {
             input.max_allowed_levels[d].min(usta_caps[d])
         });
@@ -184,7 +252,11 @@ impl CpuGovernor for UstaGovernor {
         self.cap = FrequencyCap::Unrestricted;
         self.last_prediction = None;
         self.predictions_made = 0;
+        self.capped_decisions = 0;
+        self.arbiter_invocations = 0;
         self.die_temps = None;
+        self.budget_cache = None;
+        self.arbiter_timings = usta_telemetry::enabled().then(arbiter_timings);
     }
 
     fn sampling_period(&self) -> f64 {
@@ -427,6 +499,84 @@ mod tests {
         g.tick(&features(36.9), 0.1);
         assert_eq!(g.cap(), FrequencyCap::Unrestricted);
         assert_eq!(g.policy().limit(), Celsius(42.8));
+    }
+
+    /// One CPU cluster plus a display — the smallest domain set that
+    /// engages the arbiter.
+    fn cpu_plus_display() -> Vec<FreqDomain> {
+        let display = usta_soc::OppTable::new(
+            [100u32, 400, 700, 1000]
+                .iter()
+                .map(|&p| usta_soc::FrequencyLevel { khz: p, volts: 1.0 })
+                .collect(),
+        )
+        .expect("valid ladder");
+        let mut domains = single_domain();
+        domains.push(FreqDomain {
+            id: 1,
+            name: "display",
+            kind: usta_soc::DomainKind::Display,
+            cores: 1,
+            opp: display,
+            full_load_w: 1.1,
+        });
+        domains
+    }
+
+    #[test]
+    fn capped_decisions_count_only_tightened_calls() {
+        let top = nexus4::opp_table().max_index();
+        let mut g = usta();
+        g.tick(&features(28.0), 0.1); // unrestricted
+        decide_single(&mut g, 0, top);
+        assert_eq!(g.capped_decisions(), 0);
+        assert_eq!(
+            g.arbiter_invocations(),
+            0,
+            "CPU-only devices never engage the arbiter"
+        );
+        g.tick(&features(36.8), 3.0); // minimum-frequency band
+        decide_single(&mut g, 5, top);
+        assert_eq!(g.capped_decisions(), 1);
+    }
+
+    #[test]
+    fn arbiter_counters_and_budget_cache_track_system_decides() {
+        let domains = cpu_plus_display();
+        let samples = [DomainSample {
+            avg_utilization: 1.0,
+            max_utilization: 1.0,
+            current_level: 0,
+        }; 2];
+        let caps = [domains[0].max_index(), domains[1].max_index()];
+        let input = GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+            die_temp_c: None,
+        };
+        let mut g = usta();
+        g.tick(&features(28.0), 0.1); // unrestricted
+        let first = g.decide(&input);
+        assert_eq!(g.arbiter_invocations(), 1);
+        assert_eq!(
+            g.capped_decisions(),
+            0,
+            "unrestricted band tightens nothing"
+        );
+        // The second decide hits the memoized budget and must agree.
+        let second = g.decide(&input);
+        assert_eq!(first.levels(), second.levels());
+        assert_eq!(g.arbiter_invocations(), 2);
+        // A new cap re-prices the budget: the minimum band pins both
+        // domains to their floors.
+        g.tick(&features(36.8), 3.0);
+        assert_eq!(g.cap(), FrequencyCap::MinimumFrequency);
+        assert_eq!(g.decide(&input).levels(), &[0, 0]);
+        assert_eq!(g.capped_decisions(), 1);
+        g.reset();
+        assert_eq!(g.arbiter_invocations(), 0);
+        assert_eq!(g.capped_decisions(), 0);
     }
 
     #[test]

@@ -243,6 +243,11 @@ pub struct FleetAggregate {
     /// devices' thermal story is `peak skin`). `BTreeMap` keeps report
     /// order deterministic.
     pub die_temp_c: std::collections::BTreeMap<String, MetricAggregate>,
+    /// Summed deterministic work counters across every folded triple.
+    /// Integer adds are exactly order-independent, so this joins the
+    /// thread-count-invariant golden surface (CI asserts it equal at
+    /// `--threads 1` vs `4`).
+    pub work: usta_sim::RunWork,
 }
 
 impl FleetAggregate {
@@ -280,6 +285,7 @@ impl FleetAggregate {
             domain_freq_ghz: std::collections::BTreeMap::new(),
             brightness: std::collections::BTreeMap::new(),
             die_temp_c: std::collections::BTreeMap::new(),
+            work: usta_sim::RunWork::default(),
         }
     }
 
@@ -287,6 +293,7 @@ impl FleetAggregate {
     pub fn record(&mut self, outcome: &TripleOutcome) {
         self.triples += 1;
         self.sim_seconds += outcome.sim_seconds;
+        self.work.merge(&outcome.work);
         self.peak_skin.record(outcome.peak_skin_c);
         self.time_over_limit.record(outcome.time_over_fraction);
         self.qos.record(outcome.qos);
@@ -325,6 +332,7 @@ impl FleetAggregate {
     pub fn merge(&mut self, other: &FleetAggregate) {
         self.triples += other.triples;
         self.sim_seconds += other.sim_seconds;
+        self.work.merge(&other.work);
         self.peak_skin.merge(&other.peak_skin);
         self.time_over_limit.merge(&other.time_over_limit);
         self.qos.merge(&other.qos);
@@ -434,6 +442,8 @@ pub struct TripleOutcome {
     /// Session-average effective display brightness, 0–1; `None` on
     /// devices without a governed display domain.
     pub avg_brightness: Option<f64>,
+    /// The run's deterministic work counters.
+    pub work: usta_sim::RunWork,
 }
 
 #[cfg(test)]
@@ -474,6 +484,7 @@ mod tests {
                 die_node_names: usta_soc::PerDomain::from_slice(&["die_big", "die_little"]),
                 peak_die_c: usta_soc::PerDomain::from_slice(&[45.0 + x % 20.0, 35.0 + x % 15.0]),
                 avg_brightness: Some(0.5 + (x % 0.5)),
+                work: usta_sim::RunWork::default(),
             }
         };
         let chunk = |c: usize| {
@@ -544,6 +555,7 @@ mod tests {
             die_node_names: usta_soc::PerDomain::from_slice(&["cpu"]),
             peak_die_c: usta_soc::PerDomain::from_slice(&[52.0]),
             avg_brightness: None,
+            work: usta_sim::RunWork::default(),
         }
     }
 
@@ -559,6 +571,7 @@ mod tests {
             die_node_names: usta_soc::PerDomain::from_slice(&["die_big", "die_little"]),
             peak_die_c: usta_soc::PerDomain::from_slice(&[30.0 * big_ghz, 30.0 * little_ghz]),
             avg_brightness: None,
+            work: usta_sim::RunWork::default(),
         }
     }
 

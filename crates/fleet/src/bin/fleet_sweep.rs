@@ -3,10 +3,17 @@
 //! The aggregate report goes to **stdout** and never mentions the
 //! thread count, so `--threads 1` and `--threads 4` runs of the same
 //! sweep emit bit-identical bytes (CI diffs them). Progress and timing
-//! go to stderr.
+//! go to stderr: a rate-limited progress line driven by the
+//! `fleet.triples` telemetry counter, silenced by `--quiet`.
+//!
+//! `--metrics-json` and `--chrome-trace` export the run's telemetry —
+//! the metrics file splits deterministic work counters (bit-identical
+//! at any `--threads`) from wall-clock timings (reported, never
+//! compared), and the trace file loads in `chrome://tracing` or
+//! Perfetto.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use usta_fleet::{run_sweep, SweepConfig};
 
@@ -31,6 +38,11 @@ OPTIONS:
     --trace-dir DIR    write a per-triple CSV summary (triples.csv) to DIR
     --trace-steps N    also write the first N triples' full step traces
                        (steps-<index>.csv, per-domain freq columns) to DIR
+    --metrics-json PATH  write the telemetry registry (deterministic
+                       counters + wall-clock timings) as JSON to PATH
+    --chrome-trace PATH  write the span trace as Chrome trace-event JSON
+                       (open in chrome://tracing or Perfetto) to PATH
+    --quiet            no stderr progress line
     --no-usta          sweep the bare baseline (no USTA wrap)
     --sim-seconds F    per-triple simulated-time cap      [default: 180]
     --smoke            CI preset: ~100 short triples per device, small training
@@ -46,7 +58,16 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, Strin
         .map_err(|_| format!("{flag}: cannot parse {value:?}"))
 }
 
-fn parse_args() -> Result<SweepConfig, String> {
+/// Everything parsed from argv: the sweep itself plus the CLI-only
+/// telemetry/export knobs.
+struct CliOptions {
+    config: SweepConfig,
+    quiet: bool,
+    metrics_json: Option<std::path::PathBuf>,
+    chrome_trace: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<CliOptions, String> {
     let mut args = std::env::args();
     let _argv0 = args.next();
     // First pass collects flags; --smoke swaps the base preset, and any
@@ -57,9 +78,11 @@ fn parse_args() -> Result<SweepConfig, String> {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--no-usta" => overrides.push(("no-usta".into(), String::new())),
+            "--quiet" => overrides.push(("quiet".into(), String::new())),
             "--help" | "-h" => return Err(String::new()),
             "--users" | "--scenarios" | "--threads" | "--seed" | "--governor" | "--sim-seconds"
-            | "--device" | "--trace-dir" | "--trace-steps" => {
+            | "--device" | "--trace-dir" | "--trace-steps" | "--metrics-json"
+            | "--chrome-trace" => {
                 let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 overrides.push((arg, value));
             }
@@ -72,6 +95,9 @@ fn parse_args() -> Result<SweepConfig, String> {
     } else {
         SweepConfig::default()
     };
+    let mut quiet = false;
+    let mut metrics_json = None;
+    let mut chrome_trace = None;
     for (flag, value) in overrides {
         match flag.as_str() {
             "--users" => config.users = parse_value(&flag, &value)?,
@@ -91,20 +117,77 @@ fn parse_args() -> Result<SweepConfig, String> {
             }
             "--trace-dir" => config.trace_dir = Some(value.into()),
             "--trace-steps" => config.trace_steps = parse_value(&flag, &value)?,
+            "--metrics-json" => metrics_json = Some(value.into()),
+            "--chrome-trace" => chrome_trace = Some(value.into()),
             "--sim-seconds" => config.max_sim_seconds = parse_value(&flag, &value)?,
             "no-usta" => config.usta = false,
+            "quiet" => quiet = true,
             _ => unreachable!("collected flags are known"),
         }
     }
     if config.threads == 0 {
         return Err("--threads must be at least 1".into());
     }
-    Ok(config)
+    Ok(CliOptions {
+        config,
+        quiet,
+        metrics_json,
+        chrome_trace,
+    })
+}
+
+/// The stderr progress line: one background thread re-renders
+/// `\r`-in-place at most twice a second from the `fleet.triples`
+/// counter, and clears itself when the sweep finishes.
+struct ProgressLine {
+    stop: std::sync::mpsc::Sender<()>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl ProgressLine {
+    fn spawn(total: usize, counter: usta_telemetry::Counter) -> ProgressLine {
+        let (stop, ticks) = std::sync::mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            let started = Instant::now();
+            let mut printed = false;
+            // The send (or a dropped sender) ends the loop; the
+            // timeout is the 500 ms render cadence.
+            while let Err(std::sync::mpsc::RecvTimeoutError::Timeout) =
+                ticks.recv_timeout(Duration::from_millis(500))
+            {
+                let done = counter.value().min(total as u64) as usize;
+                let elapsed = started.elapsed().as_secs_f64();
+                let rate = done as f64 / elapsed.max(1e-9);
+                let eta = if done > 0 {
+                    format!("{:.0} s", (total - done) as f64 / rate)
+                } else {
+                    "—".to_owned()
+                };
+                eprint!("\r{done}/{total} triples  {rate:.1} sims/s  eta {eta}    ");
+                printed = true;
+            }
+            if printed {
+                // Blank the line so the final timing message starts clean.
+                eprint!("\r{:78}\r", "");
+            }
+        });
+        ProgressLine { stop, handle }
+    }
+
+    fn finish(self) {
+        let _ = self.stop.send(());
+        let _ = self.handle.join();
+    }
+}
+
+/// Writes `contents` to `path`, mapping failures to a CLI error line.
+fn write_artifact(kind: &str, path: &std::path::Path, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("{kind} {}: {e}", path.display()))
 }
 
 fn main() -> ExitCode {
-    let config = match parse_args() {
-        Ok(config) => config,
+    let options = match parse_args() {
+        Ok(options) => options,
         Err(message) => {
             if message.is_empty() {
                 eprint!("{}", usage());
@@ -114,21 +197,63 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let config = &options.config;
 
-    eprintln!(
-        "sweeping {} triples on {} thread(s)…",
-        config.total_triples(),
-        config.threads
-    );
+    // Telemetry powers both the exports and the progress line; a quiet
+    // run with no export flags keeps the sink disabled (a true no-op).
+    let wants_telemetry =
+        !options.quiet || options.metrics_json.is_some() || options.chrome_trace.is_some();
+    if wants_telemetry {
+        usta_telemetry::enable();
+    }
+    let progress = (!options.quiet).then(|| {
+        ProgressLine::spawn(
+            config.total_triples(),
+            usta_telemetry::global().counter("fleet.triples"),
+        )
+    });
+
     let started = Instant::now();
-    match run_sweep(&config) {
+    let outcome = run_sweep(config);
+    if let Some(progress) = progress {
+        progress.finish();
+    }
+    match outcome {
         Ok(report) => {
             let elapsed = started.elapsed().as_secs_f64();
             print!("{}", report.summary());
-            eprintln!(
-                "done in {elapsed:.2} s ({:.0} simulated user-seconds per wall-second)",
-                report.aggregate.sim_seconds / elapsed
-            );
+            // The telemetry block rides along only when an export flag
+            // asked for it, and holds counters alone — deterministic,
+            // so the stdout diff across thread counts still passes.
+            if options.metrics_json.is_some() || options.chrome_trace.is_some() {
+                println!("telemetry:");
+                for (name, value) in usta_telemetry::global().counters() {
+                    println!("  {name} {value}");
+                }
+            }
+            if !options.quiet {
+                eprintln!(
+                    "done in {elapsed:.2} s ({:.0} simulated user-seconds per wall-second)",
+                    report.aggregate.sim_seconds / elapsed
+                );
+            }
+            let export = || -> Result<(), String> {
+                if let Some(path) = &options.metrics_json {
+                    write_artifact("metrics-json", path, &usta_telemetry::global().to_json())?;
+                }
+                if let Some(path) = &options.chrome_trace {
+                    write_artifact(
+                        "chrome-trace",
+                        path,
+                        &usta_telemetry::trace::chrome_trace_json(),
+                    )?;
+                }
+                Ok(())
+            };
+            if let Err(message) = export() {
+                eprintln!("error: {message}");
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Err(error) => {

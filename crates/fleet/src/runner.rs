@@ -404,8 +404,46 @@ fn run_triple(
             .iter()
             .position(|name| *name == "display")
             .map(|d| result.avg_domain_freq_ghz[d] * 1000.0),
+        work: result.work,
     };
     (outcome, steps_csv)
+}
+
+/// The fleet layer's registered instruments, resolved once per sweep so
+/// workers touch no registry locks on the hot path. `None` while
+/// telemetry is disabled — every instrumented site then reduces to an
+/// `Option` check.
+struct FleetTelemetry {
+    /// Kept for the per-triple spans, which need the registry to open.
+    registry: &'static usta_telemetry::Registry,
+    /// `fleet.triples`: finished triples (deterministic; also drives
+    /// the CLI progress line).
+    triples: usta_telemetry::Counter,
+    /// `fleet.chunks`: finished work-queue chunks (deterministic).
+    chunks: usta_telemetry::Counter,
+    /// `fleet.queue_wait`: how long a finished chunk sat between a
+    /// worker sending it and the coordinator merging it.
+    queue_wait: usta_telemetry::DurationHistogram,
+    /// `fleet.chunk_merge`: wall-clock seconds per aggregate merge.
+    chunk_merge: usta_telemetry::DurationHistogram,
+}
+
+impl FleetTelemetry {
+    fn from_sink() -> Option<FleetTelemetry> {
+        usta_telemetry::Sink::active().map(|registry| FleetTelemetry {
+            registry,
+            triples: registry.counter("fleet.triples"),
+            chunks: registry.counter("fleet.chunks"),
+            queue_wait: registry.histogram_with("fleet.queue_wait", 0.0, 0.1, 1000),
+            chunk_merge: registry.histogram_with("fleet.chunk_merge", 0.0, 0.01, 1000),
+        })
+    }
+
+    /// A `fleet.triple` span: wall-clock seconds per triple, and one
+    /// trace event per triple on the worker's own timeline.
+    fn triple_span(&self) -> usta_telemetry::Span {
+        self.registry.span_with("fleet.triple", 0.0, 10.0, 1000)
+    }
 }
 
 /// Header of the per-triple trace CSV.
@@ -461,11 +499,15 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
     if total == 0 {
         return Err(FleetError::EmptySweep);
     }
+    let telemetry = FleetTelemetry::from_sink();
     // Per-device training campaigns are independent, so spare threads
     // (capped at `config.threads`, like the sweep itself) run them
     // concurrently off a shared index queue; results land in per-device
     // slots, so the pools (and everything downstream) are identical to
     // a sequential run.
+    let train_span = usta_telemetry::Sink::active()
+        .filter(|_| config.usta)
+        .map(|registry| registry.span_with("fleet.train", 0.0, 60.0, 1000));
     let pools: Vec<(&'static str, Vec<TemperaturePredictor>)> = if config.usta {
         let trainers = config.threads.clamp(1, devices.len());
         let trained: Vec<Result<Vec<TemperaturePredictor>, FleetError>> = if trainers > 1 {
@@ -511,6 +553,7 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
     } else {
         Vec::new()
     };
+    drop(train_span);
     if config.usta && pools.iter().any(|(_, pool)| pool.is_empty()) {
         return Err(FleetError::NoTrainingData);
     }
@@ -539,7 +582,14 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
     // rest of a (possibly huge) grid just to discard it.
     let abort = std::sync::atomic::AtomicBool::new(false);
     type StepCsv = (usize, Result<String, String>);
-    let (tx, rx) = mpsc::channel::<(usize, FleetAggregate, Vec<String>, Vec<StepCsv>)>();
+    type ChunkMsg = (
+        usize,
+        FleetAggregate,
+        Vec<String>,
+        Vec<StepCsv>,
+        Option<std::time::Instant>,
+    );
+    let (tx, rx) = mpsc::channel::<ChunkMsg>();
     let tracing = trace.is_some();
     let trace_steps = if tracing { config.trace_steps } else { 0 };
 
@@ -551,6 +601,7 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
             let population = &population;
             let catalog = &catalog;
             let pools = &pools[..];
+            let telemetry = telemetry.as_ref();
             scope.spawn(move || loop {
                 let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
                 if chunk >= n_chunks || abort.load(Ordering::Relaxed) {
@@ -563,8 +614,13 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
                 let mut step_csvs: Vec<StepCsv> = Vec::new();
                 for index in lo..hi {
                     let capture_steps = index < trace_steps;
+                    let triple_span = telemetry.map(|t| t.triple_span());
                     let (outcome, steps) =
                         run_triple(config, population, catalog, pools, index, capture_steps);
+                    drop(triple_span);
+                    if let Some(telemetry) = telemetry {
+                        telemetry.triples.increment();
+                    }
                     if tracing {
                         rows.push(trace_row(index, catalog, &outcome));
                     }
@@ -573,9 +629,13 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
                     }
                     partial.record(&outcome);
                 }
+                if let Some(telemetry) = telemetry {
+                    telemetry.chunks.increment();
+                }
                 // The coordinator drains inside this scope; send only
                 // fails if it panicked, which propagates anyway.
-                let _ = tx.send((chunk, partial, rows, step_csvs));
+                let sent_at = telemetry.map(|_| std::time::Instant::now());
+                let _ = tx.send((chunk, partial, rows, step_csvs, sent_at));
             });
         }
         drop(tx);
@@ -591,10 +651,18 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
         let mut aggregate = FleetAggregate::new();
         let mut stragglers = std::collections::BTreeMap::new();
         let mut next_to_merge = 0usize;
-        for (chunk, partial, rows, step_csvs) in rx {
-            stragglers.insert(chunk, (partial, rows, step_csvs));
-            while let Some((partial, rows, step_csvs)) = stragglers.remove(&next_to_merge) {
+        for (chunk, partial, rows, step_csvs, sent_at) in rx {
+            stragglers.insert(chunk, (partial, rows, step_csvs, sent_at));
+            while let Some((partial, rows, step_csvs, sent_at)) = stragglers.remove(&next_to_merge)
+            {
+                if let (Some(telemetry), Some(sent)) = (telemetry.as_ref(), sent_at) {
+                    telemetry.queue_wait.record(sent.elapsed());
+                }
+                let merge_start = telemetry.as_ref().map(|_| std::time::Instant::now());
                 aggregate.merge(&partial);
+                if let (Some(telemetry), Some(start)) = (telemetry.as_ref(), merge_start) {
+                    telemetry.chunk_merge.record(start.elapsed());
+                }
                 if let Some(writer) = trace.as_mut() {
                     if trace_error.is_none() {
                         for row in &rows {

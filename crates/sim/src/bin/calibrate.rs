@@ -5,6 +5,10 @@
 //! paper's numbers stay in the right-hand column as a Nexus-4 anchor,
 //! so the diagnostics show how far another platform's thermals land
 //! from the paper's handset.
+//!
+//! `--metrics-json PATH` turns the telemetry sink on and writes the
+//! registry (deterministic work counters + wall-clock timings) to PATH
+//! after the table finishes.
 
 use std::process::ExitCode;
 
@@ -14,17 +18,25 @@ const USAGE: &str = "\
 calibrate — Table-1 calibration diagnostics
 
 USAGE:
-    calibrate [--device ID] [--seed N]
+    calibrate [--device ID] [--seed N] [--metrics-json PATH]
 
 OPTIONS:
     --device ID    catalog device to simulate       [default: nexus4]
     --seed N       run seed                         [default: 42]
+    --metrics-json PATH  write the telemetry registry as JSON to PATH
     --help         print this help
 ";
 
-fn parse_args() -> Result<(&'static usta_device::DeviceSpec, u64), String> {
+struct CliOptions {
+    spec: &'static usta_device::DeviceSpec,
+    seed: u64,
+    metrics_json: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<CliOptions, String> {
     let mut device = "nexus4".to_owned();
     let mut seed = 42u64;
+    let mut metrics_json = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,16 +45,23 @@ fn parse_args() -> Result<(&'static usta_device::DeviceSpec, u64), String> {
                 let v = args.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("--seed: bad value {v:?}"))?;
             }
+            "--metrics-json" => {
+                metrics_json = Some(args.next().ok_or("--metrics-json needs a value")?.into());
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     let spec = usta_device::try_by_id(&device).map_err(|e| e.to_string())?;
-    Ok((spec, seed))
+    Ok(CliOptions {
+        spec,
+        seed,
+        metrics_json,
+    })
 }
 
 fn main() -> ExitCode {
-    let (spec, seed) = match parse_args() {
+    let options = match parse_args() {
         Ok(parsed) => parsed,
         Err(message) => {
             if message.is_empty() {
@@ -53,8 +72,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if options.metrics_json.is_some() {
+        usta_telemetry::enable();
+    }
+    let spec = options.spec;
     println!("device: {} ({})", spec.id, spec.description);
-    let t = table1_on(spec, seed);
+    let t = table1_on(spec, options.seed);
     println!("{}", t.to_display_string());
     println!("headline claim holds: {}", t.headline_claim_holds());
     // Shape diagnostics: ordering correlation of peak skin temps.
@@ -62,5 +85,12 @@ fn main() -> ExitCode {
     let paper: Vec<f64> = PAPER_TABLE1.iter().map(|p| p.1).collect();
     let corr = usta_ml::metrics::correlation(&paper, &ours);
     println!("baseline peak-skin correlation vs paper: {corr:.3}");
+    if let Some(path) = &options.metrics_json {
+        let json = usta_telemetry::global().to_json();
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: metrics-json {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -225,6 +225,11 @@ pub struct Device {
     clock_s: f64,
     total_demand_khz_s: f64,
     unserved_khz_s: f64,
+    /// Wall-clock time spent in the thermal RC step, accumulated
+    /// locally and drained by the runner as `sim.thermal_step`.
+    /// `None` (and therefore zero overhead) unless telemetry is
+    /// enabled when the device is built.
+    thermal_timings: Option<usta_telemetry::LocalTimings>,
 }
 
 impl Device {
@@ -268,6 +273,8 @@ impl Device {
             clock_s: 0.0,
             total_demand_khz_s: 0.0,
             unserved_khz_s: 0.0,
+            thermal_timings: usta_telemetry::enabled()
+                .then(|| usta_telemetry::LocalTimings::new(0.0, 1e-3, 1000)),
         })
     }
 
@@ -403,7 +410,14 @@ impl Device {
             battery_w,
             board_w,
         });
+        let thermal_start = self
+            .thermal_timings
+            .as_ref()
+            .map(|_| std::time::Instant::now());
         self.thermal.step(dt);
+        if let (Some(timings), Some(start)) = (self.thermal_timings.as_mut(), thermal_start) {
+            timings.record(start.elapsed());
+        }
 
         self.total_demand_khz_s += demand.total_cpu_khz() * dt;
         let mut unserved = 0.0;
@@ -514,6 +528,16 @@ impl Device {
     pub fn reset_qos_accounting(&mut self) {
         self.total_demand_khz_s = 0.0;
         self.unserved_khz_s = 0.0;
+    }
+
+    /// Drains the accumulated thermal-step wall-clock timings, leaving
+    /// a fresh accumulator in place (`None` unless telemetry is
+    /// enabled; the runner flushes this as `sim.thermal_step`).
+    pub fn take_thermal_timings(&mut self) -> Option<usta_telemetry::LocalTimings> {
+        std::mem::replace(
+            &mut self.thermal_timings,
+            usta_telemetry::enabled().then(|| usta_telemetry::LocalTimings::new(0.0, 1e-3, 1000)),
+        )
     }
 
     /// The thermal model (read access for experiments).

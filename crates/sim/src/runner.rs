@@ -111,6 +111,61 @@ fn enforce_caps(decision: DvfsDecision, caps: &[usize]) -> DvfsDecision {
     decision.clamped_to(caps)
 }
 
+/// Deterministic work counters for one run — integer counts of what
+/// the simulation *did*, never how long it took. For a given
+/// configuration they are bit-identical at any thread count and on any
+/// machine, so they join the golden surface: the fleet layer sums them
+/// across triples and CI asserts equality across `--threads`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunWork {
+    /// Simulation steps advanced (`sim.steps`).
+    pub steps: u64,
+    /// Governor `decide` calls (`sim.governor_decisions`).
+    pub governor_decisions: u64,
+    /// Log windows emitted (`sim.log_windows`).
+    pub log_windows: u64,
+    /// USTA skin-temperature predictions (`usta.predictions`).
+    pub predictions: u64,
+    /// Decisions USTA actually tightened below the external caps
+    /// (`usta.capped_decisions`).
+    pub capped_decisions: u64,
+    /// Decisions that engaged the power-budget arbiter
+    /// (`usta.arbiter_invocations`; zero on CPU-only devices).
+    pub arbiter_invocations: u64,
+}
+
+impl RunWork {
+    /// Adds another run's counts into this one (commutative and
+    /// associative, so merge order never matters).
+    pub fn merge(&mut self, other: &RunWork) {
+        self.steps += other.steps;
+        self.governor_decisions += other.governor_decisions;
+        self.log_windows += other.log_windows;
+        self.predictions += other.predictions;
+        self.capped_decisions += other.capped_decisions;
+        self.arbiter_invocations += other.arbiter_invocations;
+    }
+
+    /// The counters with their registry names, in export order.
+    pub fn entries(&self) -> [(&'static str, u64); 6] {
+        [
+            ("sim.steps", self.steps),
+            ("sim.governor_decisions", self.governor_decisions),
+            ("sim.log_windows", self.log_windows),
+            ("usta.predictions", self.predictions),
+            ("usta.capped_decisions", self.capped_decisions),
+            ("usta.arbiter_invocations", self.arbiter_invocations),
+        ]
+    }
+
+    /// Adds every counter to `registry` under its catalog name.
+    pub fn flush_to(&self, registry: &usta_telemetry::Registry) {
+        for (name, value) in self.entries() {
+            registry.counter(name).add(value);
+        }
+    }
+}
+
 /// Everything a run produces.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -161,6 +216,8 @@ pub struct RunResult {
     pub unserved_fraction: f64,
     /// The sensor-level training log (features + thermistor truths).
     pub training_log: TrainingLog,
+    /// Deterministic work counters for the run.
+    pub work: RunWork,
 }
 
 impl RunResult {
@@ -206,6 +263,23 @@ pub fn run_workload(
 
     device.reset_qos_accounting();
 
+    // Deterministic work counting is unconditional (plain integer adds);
+    // wall-clock timing exists only while telemetry is enabled — the
+    // sink resolves once per run, and the disabled path carries no
+    // `Instant::now` calls and no atomics.
+    let mut work = RunWork::default();
+    let usta_before = match governor {
+        Governor::Usta(g) => (
+            g.predictions_made(),
+            g.capped_decisions(),
+            g.arbiter_invocations(),
+        ),
+        Governor::Baseline(_) => (0, 0, 0),
+    };
+    let sink = usta_telemetry::Sink::active();
+    let mut decide_timings = sink.map(|_| usta_telemetry::LocalTimings::new(0.0, 1e-4, 1000));
+    let mut step_timings = sink.map(|_| usta_telemetry::LocalTimings::new(0.0, 1e-3, 1000));
+
     let mut levels: PerDomain<usize> = PerDomain::splat(n_domains, 0);
     let mut t = 0.0;
     // Integer step counts avoid f64 accumulation drift at both the log
@@ -228,8 +302,13 @@ pub fn run_workload(
     let mut max_die = vec![Celsius(f64::NEG_INFINITY); n_dies];
 
     for step_no in 0..total_steps {
+        work.steps += 1;
         let demand = workload.demand_at(t, dt);
+        let apply_start = step_timings.as_ref().map(|_| std::time::Instant::now());
         device.apply(&demand, levels.as_slice(), dt);
+        if let (Some(timings), Some(start)) = (step_timings.as_mut(), apply_start) {
+            timings.record(start.elapsed());
+        }
         let obs = device.observe();
 
         // USTA's 3-second prediction loop rides on the sensor stream;
@@ -258,10 +337,15 @@ pub fn run_workload(
             max_allowed_levels: caps.as_slice(),
             die_temp_c: Some(obs.hottest_die().value()),
         };
+        work.governor_decisions += 1;
+        let decide_start = decide_timings.as_ref().map(|_| std::time::Instant::now());
         let decision = match governor {
             Governor::Baseline(g) => g.decide(&input),
             Governor::Usta(g) => g.decide(&input),
         };
+        if let (Some(timings), Some(start)) = (decide_timings.as_mut(), decide_start) {
+            timings.record(start.elapsed());
+        }
         let decision = enforce_caps(decision, caps.as_slice());
         levels = PerDomain::from_slice(decision.levels());
 
@@ -276,6 +360,7 @@ pub fn run_workload(
         }
 
         if step_no.is_multiple_of(steps_per_log) {
+            work.log_windows += 1;
             skin_trace.push((t, obs.skin_true));
             screen_trace.push((t, obs.screen_true));
             freq_trace.push((t, obs.freq_khz));
@@ -305,6 +390,31 @@ pub fn run_workload(
         t += dt;
     }
 
+    // USTA's own counters are cumulative across runs (governors can be
+    // reused); the per-run delta is what belongs to this result.
+    if let Governor::Usta(g) = governor {
+        work.predictions = g.predictions_made() - usta_before.0;
+        work.capped_decisions = g.capped_decisions() - usta_before.1;
+        work.arbiter_invocations = g.arbiter_invocations() - usta_before.2;
+    }
+    if let Some(registry) = sink {
+        work.flush_to(registry);
+        if let Some(timings) = &decide_timings {
+            registry.merge_timings("sim.governor_decide", timings);
+        }
+        if let Some(timings) = &step_timings {
+            registry.merge_timings("sim.device_step", timings);
+        }
+        if let Some(timings) = device.take_thermal_timings() {
+            registry.merge_timings("sim.thermal_step", &timings);
+        }
+        if let Governor::Usta(g) = governor {
+            if let Some(timings) = g.take_arbiter_timings() {
+                registry.merge_timings("usta.arbiter", &timings);
+            }
+        }
+    }
+
     RunResult {
         workload: workload.name().to_owned(),
         governor: governor_name,
@@ -328,6 +438,7 @@ pub fn run_workload(
         max_screen,
         unserved_fraction: device.unserved_fraction(),
         training_log,
+        work,
     }
 }
 
@@ -413,6 +524,29 @@ mod tests {
         assert_eq!(a.avg_freq_ghz, b.avg_freq_ghz);
         assert_eq!(a.max_skin, b.max_skin);
         assert_eq!(a.skin_trace, b.skin_trace);
+        assert_eq!(a.work, b.work);
+    }
+
+    #[test]
+    fn work_counters_count_the_deterministic_work() {
+        let mut d = device();
+        let mut w = ConstantLoad::new("x", 30.0, 500_000.0, 2);
+        let mut g = Governor::Baseline(Box::new(OnDemand::default()));
+        let r = run_workload(&mut d, &mut w, &mut g, &RunConfig::default());
+        // 30 s at 100 ms steps, logging every 3 s.
+        assert_eq!(r.work.steps, 300);
+        assert_eq!(r.work.governor_decisions, 300);
+        assert_eq!(r.work.log_windows, 10);
+        assert_eq!(r.work.predictions, 0, "baseline makes no predictions");
+        assert_eq!(r.work.arbiter_invocations, 0);
+        let mut merged = RunWork::default();
+        merged.merge(&r.work);
+        merged.merge(&r.work);
+        assert_eq!(merged.steps, 600);
+        assert_eq!(
+            r.work.entries().iter().map(|(_, v)| v).sum::<u64>(),
+            300 + 300 + 10
+        );
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! # usta-telemetry — metrics, spans, and trace-event export
+//!
+//! A zero-dependency observability layer for the sim and fleet stack:
+//!
+//! * [`Registry`] — named counters, gauges, and fixed-bin duration
+//!   histograms (the same saturating sketch shape `usta-fleet` uses
+//!   for its aggregation), all merge-order independent;
+//! * [`Span`] — a lightweight RAII timer that records into a
+//!   histogram and emits one trace event on drop;
+//! * [`trace`] — a per-thread trace-event ring buffer exporting
+//!   Chrome `chrome://tracing` JSON (also loadable in Perfetto);
+//! * [`json`] — a minimal validating JSON parser used by the test
+//!   suite to check the exporters' output.
+//!
+//! ## Deterministic counters vs wall-clock timings
+//!
+//! The contract every instrumented layer follows: **counters count
+//! deterministic work** (simulation steps, governor decisions, arbiter
+//! invocations) and are bit-identical for a given configuration at any
+//! thread count — they join the golden surface and CI asserts their
+//! equality across `--threads`. **Histograms and gauges carry
+//! wall-clock quantities** and are reported but never compared.
+//!
+//! ## The disabled path is a no-op
+//!
+//! Telemetry is off until [`enable`] is called (once, by a CLI).
+//! Hot loops check [`Sink::active`] once per run and keep an
+//! `Option<LocalTimings>` — when disabled there are no atomics, no
+//! `Instant::now` calls, and no registry traffic, which the
+//! `telemetry_overhead` criterion bench in `usta-bench` pins.
+//!
+//! ```
+//! use usta_telemetry::{Registry, Sink};
+//!
+//! // Hot path: resolve the sink once, accumulate locally, flush once.
+//! let registry = Registry::new(); // or Sink::active() for the global one
+//! let mut local = usta_telemetry::LocalTimings::new(0.0, 1e-3, 1000);
+//! for _ in 0..100 {
+//!     local.record(std::time::Duration::from_micros(12));
+//! }
+//! registry.merge_timings("demo.step", &local);
+//! registry.counter("demo.steps").add(100);
+//! assert_eq!(registry.counters(), vec![("demo.steps", 100)]);
+//! assert!(Sink::active().is_none() || usta_telemetry::enabled());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+pub use registry::{Counter, DurationHistogram, Gauge, HistogramSnapshot, LocalTimings, Registry};
+pub use span::Span;
+pub use trace::TraceEvent;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Turns the global sink on (idempotent). Trace-event timestamps count
+/// from the first call.
+pub fn enable() {
+    EPOCH.get_or_init(Instant::now);
+    GLOBAL.get_or_init(Registry::new);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Whether [`enable`] has been called.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// The process-wide registry (created on first use; empty and inert
+/// until [`enable`]).
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The instant trace timestamps count from.
+pub(crate) fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The static switch in front of the global registry.
+///
+/// Instrumented code resolves the sink **once per run** and branches on
+/// the resulting `Option` — the disabled path is a single relaxed
+/// atomic load followed by `None` everywhere.
+#[derive(Debug, Clone, Copy)]
+pub struct Sink;
+
+impl Sink {
+    /// The global registry when telemetry is enabled, `None` otherwise.
+    #[inline]
+    pub fn active() -> Option<&'static Registry> {
+        if enabled() {
+            Some(global())
+        } else {
+            None
+        }
+    }
+}
