@@ -11,7 +11,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 use usta_governors::OnDemand;
-use usta_sim::{run_workload, Device, Governor, RunConfig};
+use usta_sim::{run_workload, run_workload_recorded, Device, Governor, RunConfig};
+use usta_telemetry::{DecisionEvent, FlightRecorder};
 use usta_workloads::{Benchmark, PhasedWorkload, Workload};
 
 /// A 10-second slice of the Skype phase mix: long enough to exercise
@@ -52,6 +53,37 @@ fn bench(c: &mut Criterion) {
                 &mut governor,
                 &RunConfig::default(),
             ))
+        })
+    });
+
+    // The flight recorder's disabled path is one `Option` check per
+    // step: this run must cost the same as `run_10s_disabled_sink`.
+    group.bench_function("run_10s_disabled_recorder", |bench| {
+        bench.iter(|| {
+            let mut device = Device::with_seed(7).expect("default device builds");
+            let mut workload = Slice(Benchmark::Skype.workload(7));
+            let mut governor = Governor::Baseline(Box::new(OnDemand::default()));
+            black_box(run_workload_recorded(
+                &mut device,
+                &mut workload,
+                &mut governor,
+                &RunConfig::default(),
+                None,
+            ))
+        })
+    });
+
+    // Recording itself: one Copy into preallocated ring storage.
+    group.bench_function("flight_ring_record", |bench| {
+        let mut ring = FlightRecorder::new(512);
+        let event = DecisionEvent::new(0, 0.0, 4);
+        bench.iter(|| {
+            for w in 0..10_000u64 {
+                let mut e = black_box(event);
+                e.window = w;
+                ring.record(e);
+            }
+            black_box(ring.recorded())
         })
     });
 

@@ -17,10 +17,12 @@
 //!   internally rate-limited to the 3-second prediction cadence.
 
 use crate::arbiter;
+use crate::decision::{ArbiterShare, DecisionRecord};
 use crate::features::FeatureVector;
 use crate::policy::{FrequencyCap, UstaPolicy};
 use crate::predictor::TemperaturePredictor;
 use usta_governors::{CpuGovernor, DvfsDecision, GovernorInput};
+use usta_ml::ResidualStats;
 use usta_soc::{DomainKind, PerDomain};
 use usta_telemetry::LocalTimings;
 use usta_thermal::Celsius;
@@ -55,6 +57,12 @@ pub struct UstaGovernor {
     /// each 100 ms.
     budget_cache: Option<(FrequencyCap, usize, f64)>,
     arbiter_timings: Option<LocalTimings>,
+    /// Provenance of the most recent `decide` call — the flight
+    /// recorder's source. Inline `Copy` data, refreshed in place.
+    last_record: Option<DecisionRecord>,
+    /// Streaming prediction residuals (predicted − actual at each
+    /// prediction instant), fed by [`UstaGovernor::score_prediction`].
+    residuals: ResidualStats,
 }
 
 impl UstaGovernor {
@@ -79,6 +87,8 @@ impl UstaGovernor {
             die_temps: None,
             budget_cache: None,
             arbiter_timings: usta_telemetry::enabled().then(arbiter_timings),
+            last_record: None,
+            residuals: ResidualStats::new(),
         }
     }
 
@@ -128,6 +138,28 @@ impl UstaGovernor {
     /// The most recent skin-temperature prediction.
     pub fn last_prediction(&self) -> Option<Celsius> {
         self.last_prediction
+    }
+
+    /// Scores the *previous* prediction against the skin temperature
+    /// actually reached by the time the next prediction ran: the run
+    /// loop calls this at each prediction instant with the prior
+    /// prediction and the current true (or thermistor) skin reading.
+    /// The signed residual (predicted − actual) folds into
+    /// [`UstaGovernor::residuals`] and surfaces on the next
+    /// [`DecisionRecord`].
+    pub fn score_prediction(&mut self, predicted: Celsius, actual: Celsius) {
+        self.residuals.record(predicted.value() - actual.value());
+    }
+
+    /// Streaming residual statistics over every scored prediction.
+    pub fn residuals(&self) -> &ResidualStats {
+        &self.residuals
+    }
+
+    /// Provenance of the most recent [`CpuGovernor::decide`] call
+    /// (`None` before the first decision or after a reset).
+    pub fn last_decision_record(&self) -> Option<&DecisionRecord> {
+        self.last_record.as_ref()
     }
 
     /// How many predictions have run (for overhead accounting).
@@ -193,6 +225,7 @@ impl CpuGovernor for UstaGovernor {
             .domains
             .iter()
             .any(|d| d.kind != DomainKind::CpuCluster);
+        let mut arbiter_share = None;
         let usta_caps = if system_level {
             let demand: PerDomain<f64> =
                 PerDomain::from_fn(input.domains.len(), |d| input.samples[d].max_utilization);
@@ -216,13 +249,16 @@ impl CpuGovernor for UstaGovernor {
                 .arbiter_timings
                 .as_ref()
                 .map(|_| std::time::Instant::now());
-            let caps =
-                arbiter::arbitrate_with_budget(budget_w, input.domains, demand.as_slice(), hottest)
-                    .caps;
+            let allocation =
+                arbiter::arbitrate_with_budget(budget_w, input.domains, demand.as_slice(), hottest);
             if let (Some(timings), Some(start)) = (self.arbiter_timings.as_mut(), start) {
                 timings.record(start.elapsed());
             }
-            caps
+            arbiter_share = Some(ArbiterShare {
+                budget_w: allocation.budget_w,
+                allocated_w: allocation.allocated_w,
+            });
+            allocation.caps
         } else {
             match &self.die_temps {
                 Some(temps) => self
@@ -231,9 +267,19 @@ impl CpuGovernor for UstaGovernor {
                 None => self.cap.max_allowed_levels(input.domains),
             }
         };
-        if (0..input.domains.len()).any(|d| usta_caps[d] < input.max_allowed_levels[d]) {
+        let tightened =
+            (0..input.domains.len()).any(|d| usta_caps[d] < input.max_allowed_levels[d]);
+        if tightened {
             self.capped_decisions += 1;
         }
+        self.last_record = Some(DecisionRecord {
+            band: self.cap,
+            usta_caps,
+            tightened,
+            arbiter: arbiter_share,
+            predicted_skin: self.last_prediction,
+            residual_c: (!self.residuals.is_empty()).then(|| self.residuals.last()),
+        });
         let effective: PerDomain<usize> = PerDomain::from_fn(input.domains.len(), |d| {
             input.max_allowed_levels[d].min(usta_caps[d])
         });
@@ -257,6 +303,8 @@ impl CpuGovernor for UstaGovernor {
         self.die_temps = None;
         self.budget_cache = None;
         self.arbiter_timings = usta_telemetry::enabled().then(arbiter_timings);
+        self.last_record = None;
+        self.residuals = ResidualStats::new();
     }
 
     fn sampling_period(&self) -> f64 {
@@ -577,6 +625,73 @@ mod tests {
         g.reset();
         assert_eq!(g.arbiter_invocations(), 0);
         assert_eq!(g.capped_decisions(), 0);
+    }
+
+    #[test]
+    fn decision_record_surfaces_band_caps_and_tightening() {
+        let top = nexus4::opp_table().max_index();
+        let mut g = usta();
+        assert!(g.last_decision_record().is_none(), "no decision yet");
+        g.tick(&features(28.0), 0.1); // unrestricted
+        decide_single(&mut g, 0, top);
+        let record = *g.last_decision_record().expect("decision ran");
+        assert_eq!(record.band, FrequencyCap::Unrestricted);
+        assert!(!record.tightened);
+        assert!(record.arbiter.is_none(), "CPU-only path skips the arbiter");
+        assert!(record.predicted_skin.is_some());
+        assert!(record.residual_c.is_none(), "one prediction has no score");
+        g.tick(&features(36.8), 3.0); // minimum band
+        decide_single(&mut g, 5, top);
+        let record = g.last_decision_record().expect("decision ran");
+        assert_eq!(record.band, FrequencyCap::MinimumFrequency);
+        assert!(record.tightened);
+        assert_eq!(record.usta_caps.as_slice(), &[0]);
+        g.reset();
+        assert!(
+            g.last_decision_record().is_none(),
+            "reset clears the record"
+        );
+    }
+
+    #[test]
+    fn decision_record_carries_the_arbiter_budget_on_system_devices() {
+        let domains = cpu_plus_display();
+        let samples = [DomainSample {
+            avg_utilization: 1.0,
+            max_utilization: 1.0,
+            current_level: 0,
+        }; 2];
+        let caps = [domains[0].max_index(), domains[1].max_index()];
+        let mut g = usta();
+        g.tick(&features(28.0), 0.1);
+        g.decide(&GovernorInput {
+            domains: &domains,
+            samples: &samples,
+            max_allowed_levels: &caps,
+            die_temp_c: None,
+        });
+        let share = g
+            .last_decision_record()
+            .and_then(|r| r.arbiter)
+            .expect("system-level decide engages the arbiter");
+        assert!(share.budget_w > 0.0);
+        assert!(share.allocated_w <= share.budget_w + 1e-9);
+    }
+
+    #[test]
+    fn scored_predictions_surface_as_residuals() {
+        let mut g = usta();
+        assert!(g.residuals().is_empty());
+        g.tick(&features(30.0), 0.1);
+        let first = g.last_prediction().expect("prediction ran");
+        g.tick(&features(30.0), 3.0);
+        g.score_prediction(first, Celsius(first.value() + 0.5));
+        assert_eq!(g.residuals().count(), 1);
+        assert!((g.residuals().last() + 0.5).abs() < 1e-12);
+        let top = nexus4::opp_table().max_index();
+        decide_single(&mut g, 0, top);
+        let record = g.last_decision_record().expect("decision ran");
+        assert_eq!(record.residual_c, Some(g.residuals().last()));
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 pub mod arbiter;
 pub mod comfort;
+pub mod decision;
 pub mod features;
 pub mod governor;
 pub mod policy;
@@ -52,6 +53,7 @@ pub mod user;
 
 pub use arbiter::{arbitrate, BudgetAllocation};
 pub use comfort::ComfortStats;
+pub use decision::{ArbiterShare, DecisionRecord};
 pub use features::FeatureVector;
 pub use governor::UstaGovernor;
 pub use policy::{FrequencyCap, UstaPolicy};

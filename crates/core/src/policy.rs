@@ -31,6 +31,18 @@ pub enum FrequencyCap {
 }
 
 impl FrequencyCap {
+    /// The band's stable wire code (0 = unrestricted … 3 = minimum),
+    /// the value [`usta_telemetry::flight::DecisionEvent::band`]
+    /// carries and `usta_telemetry::flight::band_name` names.
+    pub fn code(self) -> u8 {
+        match self {
+            FrequencyCap::Unrestricted => 0,
+            FrequencyCap::OneLevelBelowMax => 1,
+            FrequencyCap::TwoLevelsBelowMax => 2,
+            FrequencyCap::MinimumFrequency => 3,
+        }
+    }
+
     /// The highest allowed OPP index under this cap.
     pub fn max_allowed_level(self, opp: &OppTable) -> usize {
         match self {

@@ -1,0 +1,122 @@
+//! Single-triple replay CLI: a causal account of one sweep triple.
+//!
+//! Given the same sweep-shaping flags as `fleet_sweep` plus `--triple
+//! N`, replays that one (user, scenario, device) triple with a
+//! full-duration flight recorder attached and prints why the governor
+//! did what it did: the band-transition timeline, the worst prediction
+//! residuals, the arbiter's budget changes, and the windows where
+//! thermal caps actually bound. The replayed outcome is bit-identical
+//! to what the sweep recorded for that triple (`triples.csv` /
+//! `flight-*.json`), so the account is evidence, not approximation.
+
+use std::process::ExitCode;
+
+use usta_fleet::{explain_triple, SweepConfig};
+
+fn usage() -> String {
+    format!(
+        "\
+explain — replay one sweep triple and print its decision provenance
+
+USAGE:
+    explain --triple N [SWEEP OPTIONS]
+
+The sweep options must match the fleet_sweep run being explained:
+
+OPTIONS:
+    --triple N         triple index to replay (required)
+    --users N          sampled users                      [default: 100]
+    --scenarios N      scenarios sampled from the grid    [default: 4]
+    --seed N           run seed                           [default: 42]
+    --governor NAME    baseline governor                  [default: ondemand]
+    --device LIST      comma-separated device ids, or \"all\" [default: nexus4]
+                       (known: {})
+    --no-usta          explain the bare baseline (no USTA wrap)
+    --sim-seconds F    per-triple simulated-time cap      [default: 180]
+    --smoke            the CI smoke preset grid
+    --help             print this help
+",
+        usta_device::NAMES.join(", ")
+    )
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: cannot parse {value:?}"))
+}
+
+fn parse_args() -> Result<(SweepConfig, usize), String> {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    let mut smoke = false;
+    let mut overrides: Vec<(String, String)> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--no-usta" => overrides.push(("no-usta".into(), String::new())),
+            "--help" | "-h" => return Err(String::new()),
+            "--triple" | "--users" | "--scenarios" | "--seed" | "--governor" | "--sim-seconds"
+            | "--device" => {
+                let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                overrides.push((arg, value));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let mut config = if smoke {
+        SweepConfig::smoke()
+    } else {
+        SweepConfig::default()
+    };
+    let mut triple: Option<usize> = None;
+    for (flag, value) in overrides {
+        match flag.as_str() {
+            "--triple" => triple = Some(parse_value(&flag, &value)?),
+            "--users" => config.users = parse_value(&flag, &value)?,
+            "--scenarios" => {
+                config.scenarios = parse_value(&flag, &value)?;
+                config.smoke = false;
+            }
+            "--seed" => config.seed = parse_value(&flag, &value)?,
+            "--governor" => config.governor = value,
+            "--device" => {
+                config.devices = if value.eq_ignore_ascii_case("all") {
+                    usta_device::NAMES.iter().map(|&n| n.to_owned()).collect()
+                } else {
+                    value.split(',').map(|s| s.trim().to_owned()).collect()
+                };
+            }
+            "--sim-seconds" => config.max_sim_seconds = parse_value(&flag, &value)?,
+            "no-usta" => config.usta = false,
+            _ => unreachable!("collected flags are known"),
+        }
+    }
+    let triple = triple.ok_or_else(|| "--triple is required".to_owned())?;
+    Ok((config, triple))
+}
+
+fn main() -> ExitCode {
+    let (config, triple) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            if message.is_empty() {
+                eprint!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match explain_triple(&config, triple) {
+        Ok(explanation) => {
+            print!("{}", explanation.render());
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

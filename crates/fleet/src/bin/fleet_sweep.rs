@@ -35,11 +35,19 @@ OPTIONS:
     --governor NAME    baseline governor                  [default: ondemand]
     --device LIST      comma-separated device ids, or \"all\" [default: nexus4]
                        (known: {})
-    --trace-dir DIR    write a per-triple CSV summary (triples.csv) to DIR
+    --trace-dir DIR    write a per-triple CSV summary (triples.csv) to DIR,
+                       plus triaged flight recordings (flight-<index>.json)
+                       and the worst-triples table in the report
     --trace-steps N    also write the first N triples' full step traces
                        (steps-<index>.csv, per-domain freq columns) to DIR
+    --flight-windows N flight-recorder ring capacity per triple (governor
+                       windows kept for triage; 0 disables) [default: 512]
+    --triage-over F    dump a triple's recording when its time-over-limit
+                       fraction reaches F                  [default: 0.02]
     --metrics-json PATH  write the telemetry registry (deterministic
                        counters + wall-clock timings) as JSON to PATH
+    --metrics-prom PATH  write the registry in Prometheus/OpenMetrics
+                       text exposition format to PATH
     --chrome-trace PATH  write the span trace as Chrome trace-event JSON
                        (open in chrome://tracing or Perfetto) to PATH
     --quiet            no stderr progress line
@@ -64,6 +72,7 @@ struct CliOptions {
     config: SweepConfig,
     quiet: bool,
     metrics_json: Option<std::path::PathBuf>,
+    metrics_prom: Option<std::path::PathBuf>,
     chrome_trace: Option<std::path::PathBuf>,
 }
 
@@ -81,8 +90,8 @@ fn parse_args() -> Result<CliOptions, String> {
             "--quiet" => overrides.push(("quiet".into(), String::new())),
             "--help" | "-h" => return Err(String::new()),
             "--users" | "--scenarios" | "--threads" | "--seed" | "--governor" | "--sim-seconds"
-            | "--device" | "--trace-dir" | "--trace-steps" | "--metrics-json"
-            | "--chrome-trace" => {
+            | "--device" | "--trace-dir" | "--trace-steps" | "--flight-windows"
+            | "--triage-over" | "--metrics-json" | "--metrics-prom" | "--chrome-trace" => {
                 let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 overrides.push((arg, value));
             }
@@ -97,6 +106,7 @@ fn parse_args() -> Result<CliOptions, String> {
     };
     let mut quiet = false;
     let mut metrics_json = None;
+    let mut metrics_prom = None;
     let mut chrome_trace = None;
     for (flag, value) in overrides {
         match flag.as_str() {
@@ -117,7 +127,10 @@ fn parse_args() -> Result<CliOptions, String> {
             }
             "--trace-dir" => config.trace_dir = Some(value.into()),
             "--trace-steps" => config.trace_steps = parse_value(&flag, &value)?,
+            "--flight-windows" => config.flight_windows = parse_value(&flag, &value)?,
+            "--triage-over" => config.triage_over_fraction = parse_value(&flag, &value)?,
             "--metrics-json" => metrics_json = Some(value.into()),
+            "--metrics-prom" => metrics_prom = Some(value.into()),
             "--chrome-trace" => chrome_trace = Some(value.into()),
             "--sim-seconds" => config.max_sim_seconds = parse_value(&flag, &value)?,
             "no-usta" => config.usta = false,
@@ -132,6 +145,7 @@ fn parse_args() -> Result<CliOptions, String> {
         config,
         quiet,
         metrics_json,
+        metrics_prom,
         chrome_trace,
     })
 }
@@ -145,7 +159,12 @@ struct ProgressLine {
 }
 
 impl ProgressLine {
-    fn spawn(total: usize, counter: usta_telemetry::Counter) -> ProgressLine {
+    fn spawn(
+        total: usize,
+        counter: usta_telemetry::Counter,
+        inflight: usta_telemetry::Gauge,
+        queue_depth: usta_telemetry::Gauge,
+    ) -> ProgressLine {
         let (stop, ticks) = std::sync::mpsc::channel::<()>();
         let handle = std::thread::spawn(move || {
             let started = Instant::now();
@@ -163,7 +182,12 @@ impl ProgressLine {
                 } else {
                     "—".to_owned()
                 };
-                eprint!("\r{done}/{total} triples  {rate:.1} sims/s  eta {eta}    ");
+                eprint!(
+                    "\r{done}/{total} triples  {rate:.1} sims/s  \
+                     inflight {:.0}  queue {:.0}  eta {eta}    ",
+                    inflight.value(),
+                    queue_depth.value(),
+                );
                 printed = true;
             }
             if printed {
@@ -201,8 +225,10 @@ fn main() -> ExitCode {
 
     // Telemetry powers both the exports and the progress line; a quiet
     // run with no export flags keeps the sink disabled (a true no-op).
-    let wants_telemetry =
-        !options.quiet || options.metrics_json.is_some() || options.chrome_trace.is_some();
+    let wants_telemetry = !options.quiet
+        || options.metrics_json.is_some()
+        || options.metrics_prom.is_some()
+        || options.chrome_trace.is_some();
     if wants_telemetry {
         usta_telemetry::enable();
     }
@@ -210,6 +236,8 @@ fn main() -> ExitCode {
         ProgressLine::spawn(
             config.total_triples(),
             usta_telemetry::global().counter("fleet.triples"),
+            usta_telemetry::global().gauge("fleet.inflight_triples"),
+            usta_telemetry::global().gauge("fleet.queue_depth"),
         )
     });
 
@@ -225,7 +253,10 @@ fn main() -> ExitCode {
             // The telemetry block rides along only when an export flag
             // asked for it, and holds counters alone — deterministic,
             // so the stdout diff across thread counts still passes.
-            if options.metrics_json.is_some() || options.chrome_trace.is_some() {
+            if options.metrics_json.is_some()
+                || options.metrics_prom.is_some()
+                || options.chrome_trace.is_some()
+            {
                 println!("telemetry:");
                 for (name, value) in usta_telemetry::global().counters() {
                     println!("  {name} {value}");
@@ -240,6 +271,13 @@ fn main() -> ExitCode {
             let export = || -> Result<(), String> {
                 if let Some(path) = &options.metrics_json {
                     write_artifact("metrics-json", path, &usta_telemetry::global().to_json())?;
+                }
+                if let Some(path) = &options.metrics_prom {
+                    write_artifact(
+                        "metrics-prom",
+                        path,
+                        &usta_telemetry::global().render_prometheus(),
+                    )?;
                 }
                 if let Some(path) = &options.chrome_trace {
                     write_artifact(

@@ -44,11 +44,13 @@
 #![warn(missing_debug_implementations)]
 
 pub mod aggregate;
+pub mod explain;
 pub mod runner;
 pub mod scenario;
 
 pub use aggregate::{FleetAggregate, Histogram, MetricAggregate, OnlineStats, TripleOutcome};
-pub use runner::{run_sweep, FleetError, FleetReport, SweepConfig};
+pub use explain::{explain_triple, Explanation};
+pub use runner::{run_sweep, FleetError, FleetReport, SweepConfig, WorstTriple};
 pub use scenario::{
     AmbientBand, CaseKind, Scenario, ScenarioCatalog, ScenarioWorkload, DEFAULT_DEVICE,
 };

@@ -37,7 +37,8 @@ use usta_core::{TemperaturePredictor, UserPopulation, UstaGovernor, UstaPolicy};
 use usta_governors::by_name;
 use usta_ml::reptree::RepTreeParams;
 use usta_ml::Learner;
-use usta_sim::{run_workload, Device, Governor, RunConfig};
+use usta_sim::{run_workload, run_workload_recorded, Device, Governor, RunConfig};
+use usta_telemetry::FlightRecorder;
 use usta_workloads::{Benchmark, Workload};
 
 use crate::aggregate::{FleetAggregate, TripleOutcome};
@@ -89,6 +90,20 @@ pub struct SweepConfig {
     /// are byte-identical at any `--threads`. Requires `trace_dir`;
     /// 0 disables.
     pub trace_steps: usize,
+    /// Flight-recorder ring capacity (governor windows kept per
+    /// triple) for the anomaly-triage sink. Triage runs only when
+    /// `trace_dir` is set; 0 disables it even then.
+    pub flight_windows: usize,
+    /// Triage threshold: a triple whose time-over-limit fraction
+    /// reaches this value dumps its recording as
+    /// `flight-<index>.json`.
+    pub triage_over_fraction: f64,
+    /// Triage threshold: a triple whose peak skin temperature reaches
+    /// the user's limit plus this margin (°C) dumps its recording.
+    pub triage_peak_margin_c: f64,
+    /// Rows in the report's worst-triples table (kept and printed only
+    /// while triage is active; 0 hides the table).
+    pub worst_k: usize,
 }
 
 impl Default for SweepConfig {
@@ -115,6 +130,10 @@ impl Default for SweepConfig {
             devices: vec![DEFAULT_DEVICE.to_owned()],
             trace_dir: None,
             trace_steps: 0,
+            flight_windows: usta_telemetry::flight::DEFAULT_WINDOWS,
+            triage_over_fraction: 0.02,
+            triage_peak_margin_c: 0.5,
+            worst_k: 10,
         }
     }
 }
@@ -182,6 +201,14 @@ pub enum FleetError {
     UnknownDevice(String),
     /// The sweep would contain zero triples.
     EmptySweep,
+    /// The requested triple index is outside the sweep
+    /// (`explain`-only).
+    TripleOutOfRange {
+        /// The requested triple index.
+        index: usize,
+        /// Triples in the configured sweep.
+        total: usize,
+    },
     /// The predictor pool or its training campaign is empty.
     NoTrainingData,
     /// A simulated-time cap is zero, negative, or NaN — the sweep would
@@ -209,6 +236,9 @@ impl std::fmt::Display for FleetError {
                 write!(f, "{}", usta_device::UnknownDeviceError::new(name.clone()))
             }
             FleetError::EmptySweep => write!(f, "sweep has zero (user, scenario) triples"),
+            FleetError::TripleOutOfRange { index, total } => {
+                write!(f, "triple {index} is outside the sweep's {total} triples")
+            }
             FleetError::NoTrainingData => {
                 write!(f, "predictor pool needs at least one history and benchmark")
             }
@@ -239,6 +269,62 @@ pub struct FleetReport {
     pub devices: Vec<&'static str>,
     /// The merged streaming aggregate.
     pub aggregate: FleetAggregate,
+    /// The top-K worst triples (time over limit, then peak, then
+    /// index), populated only while triage is active — deterministic
+    /// and bit-identical at any thread count, like the aggregate.
+    pub worst: Vec<WorstTriple>,
+}
+
+/// One row of the report's worst-triples table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorstTriple {
+    /// Triple index within the sweep.
+    pub index: usize,
+    /// Sampled-population user index.
+    pub user: usize,
+    /// That user's skin-comfort limit, °C.
+    pub limit_c: f64,
+    /// Scenario name (`benchmark/ambient/…`).
+    pub scenario: String,
+    /// Device id the triple ran on.
+    pub device: &'static str,
+    /// Peak true skin temperature, °C.
+    pub peak_skin_c: f64,
+    /// Fraction of simulated time spent over the user's limit.
+    pub time_over_fraction: f64,
+    /// Whether the triage thresholds dumped this triple's flight
+    /// recording (`flight-<index>.json` in the trace directory).
+    pub dumped: bool,
+}
+
+impl WorstTriple {
+    /// Strict "worse than" ordering: more time over the limit, then a
+    /// higher peak, then (for a total deterministic order) the lower
+    /// triple index. Exact f64 comparisons — both sides come from the
+    /// same deterministic computation.
+    fn worse_than(&self, other: &WorstTriple) -> bool {
+        match self
+            .time_over_fraction
+            .total_cmp(&other.time_over_fraction)
+            .then(self.peak_skin_c.total_cmp(&other.peak_skin_c))
+        {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => self.index < other.index,
+        }
+    }
+}
+
+/// Sorts worst-first and keeps the top `k`.
+fn keep_worst(rows: &mut Vec<WorstTriple>, k: usize) {
+    rows.sort_by(|a, b| {
+        if a.worse_than(b) {
+            std::cmp::Ordering::Less
+        } else {
+            std::cmp::Ordering::Greater
+        }
+    });
+    rows.truncate(k);
 }
 
 impl FleetReport {
@@ -256,6 +342,26 @@ impl FleetReport {
             s.push_str(&format!("devices: {}\n", self.devices.join(", ")));
         }
         s.push_str(&self.aggregate.table());
+        if !self.worst.is_empty() {
+            s.push_str("worst triples (time over limit, then peak):\n");
+            for row in &self.worst {
+                s.push_str(&format!(
+                    "  #{:<6} user {:<4} limit {:5.2} C  {}/{}  peak {:6.2} C  {:5.1}% over{}\n",
+                    row.index,
+                    row.user,
+                    row.limit_c,
+                    row.device,
+                    row.scenario,
+                    row.peak_skin_c,
+                    row.time_over_fraction * 100.0,
+                    if row.dumped {
+                        format!("  flight-{:06}.json", row.index)
+                    } else {
+                        String::new()
+                    },
+                ));
+            }
+        }
         s
     }
 }
@@ -273,7 +379,7 @@ fn triple_stream(run_seed: u64, index: u64) -> ChaCha8Rng {
 /// sampled subset of the per-benchmark logs — modelling users whose
 /// phones logged different app histories. Campaign seeds are shared
 /// across devices; the device itself is what differs.
-fn train_predictor_pool(
+pub(crate) fn train_predictor_pool(
     config: &SweepConfig,
     device: &'static str,
 ) -> Result<Vec<TemperaturePredictor>, FleetError> {
@@ -331,14 +437,17 @@ fn train_predictor_pool(
 /// Runs one (user, device, scenario) triple to completion. `pools`
 /// holds one trained predictor pool per swept device (empty for
 /// baseline-only sweeps). When `capture_steps` is set the full
-/// per-step trace CSV rides along for the `--trace-steps` sink.
-fn run_triple(
+/// per-step trace CSV rides along for the `--trace-steps` sink; a
+/// `recorder` captures per-window decision provenance for the triage
+/// sink and the `explain` CLI.
+pub(crate) fn run_triple(
     config: &SweepConfig,
     population: &UserPopulation,
     catalog: &ScenarioCatalog,
     pools: &[(&'static str, Vec<TemperaturePredictor>)],
     index: usize,
     capture_steps: bool,
+    recorder: Option<&mut FlightRecorder>,
 ) -> (TripleOutcome, Option<Result<String, String>>) {
     let user = &population.users()[index / catalog.len()];
     let scenario = &catalog.scenarios()[index % catalog.len()];
@@ -375,11 +484,12 @@ fn run_triple(
         Governor::Baseline(baseline)
     };
 
-    let result = run_workload(
+    let result = run_workload_recorded(
         &mut device,
         &mut workload,
         &mut governor,
         &RunConfig::default(),
+        recorder,
     );
     let comfort =
         ComfortStats::from_trace(&result.skin_trace, result.log_period_s, user.skin_limit);
@@ -409,11 +519,101 @@ fn run_triple(
     (outcome, steps_csv)
 }
 
+/// The report's governor-stack label (`"usta(<baseline>)"` or the bare
+/// baseline name).
+fn governor_label(config: &SweepConfig) -> String {
+    if config.usta {
+        format!("usta({})", config.governor)
+    } else {
+        config.governor.clone()
+    }
+}
+
+/// Whether a triple's outcome trips the triage thresholds (≥, so a
+/// zero threshold dumps every triple).
+fn triage_hit(config: &SweepConfig, limit_c: f64, outcome: &TripleOutcome) -> bool {
+    outcome.time_over_fraction >= config.triage_over_fraction
+        || outcome.peak_skin_c >= limit_c + config.triage_peak_margin_c
+}
+
+/// Serializes one triaged triple's recording as a `usta-flight/v1`
+/// JSON document. Purely a function of the triple's deterministic run
+/// — no timestamps, no thread identity — so the file's bytes are
+/// identical at any `--threads`.
+fn flight_json(
+    config: &SweepConfig,
+    population: &UserPopulation,
+    catalog: &ScenarioCatalog,
+    index: usize,
+    outcome: &TripleOutcome,
+    ring: &FlightRecorder,
+) -> String {
+    use usta_telemetry::json::{json_number, json_string};
+    let user_index = index / catalog.len();
+    let user = &population.users()[user_index];
+    let scenario = &catalog.scenarios()[index % catalog.len()];
+    let domains: Vec<String> = outcome
+        .domain_names
+        .as_slice()
+        .iter()
+        .map(|name| json_string(name))
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"usta-flight/v1\",\n  \"triple\": {index},\n  \
+         \"user\": {user_index},\n  \"user_limit_c\": {},\n  \
+         \"scenario\": {},\n  \"device\": {},\n  \"governor\": {},\n  \
+         \"peak_skin_c\": {},\n  \"time_over_fraction\": {},\n  \
+         \"qos\": {},\n  \"windows\": {{\"recorded\": {}, \"kept\": {}, \
+         \"capacity\": {}}},\n  \"domains\": [{}],\n  \"events\": {}\n}}\n",
+        json_number(user.skin_limit.value()),
+        json_string(&scenario.name()),
+        json_string(scenario.device),
+        json_string(&governor_label(config)),
+        json_number(outcome.peak_skin_c),
+        json_number(outcome.time_over_fraction),
+        json_number(outcome.qos),
+        ring.recorded(),
+        ring.len(),
+        ring.capacity(),
+        domains.join(", "),
+        ring.events_json(),
+    )
+}
+
+/// Validates the sweep's static inputs and builds the grid shared by
+/// [`run_sweep`] and [`crate::explain`]: resolved device ids, the
+/// scenario catalog, and the sampled user population.
+pub(crate) fn sweep_inputs(
+    config: &SweepConfig,
+) -> Result<(Vec<&'static str>, ScenarioCatalog, UserPopulation), FleetError> {
+    usta_governors::try_by_name(&config.governor)
+        .map_err(|e| FleetError::UnknownGovernor(e.name().to_owned()))?;
+    let caps_valid = config.max_sim_seconds > 0.0 && config.training_cap_seconds > 0.0;
+    if !caps_valid {
+        // NaN fails the comparisons, so it lands here too.
+        return Err(FleetError::NonPositiveSimCap);
+    }
+    let devices = config.resolved_devices()?;
+    if devices.is_empty() {
+        return Err(FleetError::EmptySweep);
+    }
+    let catalog = if config.smoke {
+        ScenarioCatalog::smoke_on(&devices)
+    } else {
+        ScenarioCatalog::sampled_on(config.seed ^ 0x5CE4_A210, config.scenarios, &devices)
+    };
+    let population = UserPopulation::sampled(config.seed, config.users);
+    if population.len() * catalog.len() == 0 {
+        return Err(FleetError::EmptySweep);
+    }
+    Ok((devices, catalog, population))
+}
+
 /// The fleet layer's registered instruments, resolved once per sweep so
 /// workers touch no registry locks on the hot path. `None` while
 /// telemetry is disabled — every instrumented site then reduces to an
 /// `Option` check.
-struct FleetTelemetry {
+pub(crate) struct FleetTelemetry {
     /// Kept for the per-triple spans, which need the registry to open.
     registry: &'static usta_telemetry::Registry,
     /// `fleet.triples`: finished triples (deterministic; also drives
@@ -421,28 +621,71 @@ struct FleetTelemetry {
     triples: usta_telemetry::Counter,
     /// `fleet.chunks`: finished work-queue chunks (deterministic).
     chunks: usta_telemetry::Counter,
+    /// `fleet.flight_dumps`: triage recordings written (deterministic
+    /// — the dump set is a pure function of the config).
+    flight_dumps: usta_telemetry::Counter,
     /// `fleet.queue_wait`: how long a finished chunk sat between a
     /// worker sending it and the coordinator merging it.
     queue_wait: usta_telemetry::DurationHistogram,
     /// `fleet.chunk_merge`: wall-clock seconds per aggregate merge.
     chunk_merge: usta_telemetry::DurationHistogram,
+    /// `fleet.queue_depth`: chunks still unclaimed in the work queue
+    /// (gauge — wall-clock territory, sampled by the progress line).
+    queue_depth: usta_telemetry::Gauge,
+    /// `fleet.inflight_triples`: triples currently simulating across
+    /// all workers (gauge, sampled by the progress line).
+    inflight: usta_telemetry::Gauge,
+    /// Exact in-flight count behind the `inflight` gauge (gauges are
+    /// last-write-wins; the atomic makes concurrent updates add up).
+    inflight_count: std::sync::atomic::AtomicI64,
 }
 
 impl FleetTelemetry {
     fn from_sink() -> Option<FleetTelemetry> {
-        usta_telemetry::Sink::active().map(|registry| FleetTelemetry {
+        usta_telemetry::Sink::active().map(FleetTelemetry::with_registry)
+    }
+
+    /// Wires the instruments against an explicit registry (the sweep
+    /// uses the global sink; tests pass their own).
+    pub(crate) fn with_registry(registry: &'static usta_telemetry::Registry) -> FleetTelemetry {
+        FleetTelemetry {
             registry,
             triples: registry.counter("fleet.triples"),
             chunks: registry.counter("fleet.chunks"),
+            flight_dumps: registry.counter("fleet.flight_dumps"),
             queue_wait: registry.histogram_with("fleet.queue_wait", 0.0, 0.1, 1000),
             chunk_merge: registry.histogram_with("fleet.chunk_merge", 0.0, 0.01, 1000),
-        })
+            queue_depth: registry.gauge("fleet.queue_depth"),
+            inflight: registry.gauge("fleet.inflight_triples"),
+            inflight_count: std::sync::atomic::AtomicI64::new(0),
+        }
     }
 
     /// A `fleet.triple` span: wall-clock seconds per triple, and one
     /// trace event per triple on the worker's own timeline.
     fn triple_span(&self) -> usta_telemetry::Span {
         self.registry.span_with("fleet.triple", 0.0, 10.0, 1000)
+    }
+
+    /// A worker claimed `chunk` of `n_chunks`: the queue now holds
+    /// everything after it.
+    pub(crate) fn chunk_claimed(&self, chunk: usize, n_chunks: usize) {
+        self.queue_depth
+            .set(n_chunks.saturating_sub(chunk + 1) as f64);
+    }
+
+    /// A triple started simulating on some worker.
+    pub(crate) fn triple_started(&self) {
+        let now = self.inflight_count.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inflight.set(now as f64);
+    }
+
+    /// A triple finished (bumps the deterministic `fleet.triples`
+    /// counter and drops the in-flight gauge).
+    pub(crate) fn triple_finished(&self) {
+        self.triples.increment();
+        let now = self.inflight_count.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.inflight.set(now as f64);
     }
 }
 
@@ -473,32 +716,13 @@ fn trace_row(index: usize, catalog: &ScenarioCatalog, outcome: &TripleOutcome) -
 /// unknown, the sweep is empty, the predictor pool cannot be trained,
 /// or the trace sink cannot be written.
 pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
-    usta_governors::try_by_name(&config.governor)
-        .map_err(|e| FleetError::UnknownGovernor(e.name().to_owned()))?;
-    let caps_valid = config.max_sim_seconds > 0.0 && config.training_cap_seconds > 0.0;
-    if !caps_valid {
-        // NaN fails the comparisons, so it lands here too.
-        return Err(FleetError::NonPositiveSimCap);
-    }
     if config.trace_steps > 0 && config.trace_dir.is_none() {
         return Err(FleetError::TraceSink(
             "trace_steps requires a trace_dir to write into".to_owned(),
         ));
     }
-    let devices = config.resolved_devices()?;
-    if devices.is_empty() {
-        return Err(FleetError::EmptySweep);
-    }
-    let catalog = if config.smoke {
-        ScenarioCatalog::smoke_on(&devices)
-    } else {
-        ScenarioCatalog::sampled_on(config.seed ^ 0x5CE4_A210, config.scenarios, &devices)
-    };
-    let population = UserPopulation::sampled(config.seed, config.users);
+    let (devices, catalog, population) = sweep_inputs(config)?;
     let total = population.len() * catalog.len();
-    if total == 0 {
-        return Err(FleetError::EmptySweep);
-    }
     let telemetry = FleetTelemetry::from_sink();
     // Per-device training campaigns are independent, so spare threads
     // (capped at `config.threads`, like the sweep itself) run them
@@ -582,18 +806,27 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
     // rest of a (possibly huge) grid just to discard it.
     let abort = std::sync::atomic::AtomicBool::new(false);
     type StepCsv = (usize, Result<String, String>);
-    type ChunkMsg = (
-        usize,
-        FleetAggregate,
-        Vec<String>,
-        Vec<StepCsv>,
-        Option<std::time::Instant>,
-    );
+    struct ChunkMsg {
+        chunk: usize,
+        partial: FleetAggregate,
+        rows: Vec<String>,
+        step_csvs: Vec<StepCsv>,
+        /// Triaged flight recordings, `(triple index, file contents)`.
+        flights: Vec<(usize, String)>,
+        /// The chunk's worst-triples candidates, already top-K'd.
+        worst: Vec<WorstTriple>,
+        sent_at: Option<std::time::Instant>,
+    }
     let (tx, rx) = mpsc::channel::<ChunkMsg>();
     let tracing = trace.is_some();
     let trace_steps = if tracing { config.trace_steps } else { 0 };
+    // Triage (flight dumps + the worst-triples table) rides on the
+    // trace sink: without a directory to dump into there is nothing to
+    // record, and the flag-less report stays byte-identical to the
+    // pre-flight-recorder format.
+    let flight_windows = if tracing { config.flight_windows } else { 0 };
 
-    let aggregate = std::thread::scope(|scope| {
+    let (aggregate, worst) = std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next_chunk = &next_chunk;
@@ -602,40 +835,97 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
             let catalog = &catalog;
             let pools = &pools[..];
             let telemetry = telemetry.as_ref();
-            scope.spawn(move || loop {
-                let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
-                if chunk >= n_chunks || abort.load(Ordering::Relaxed) {
-                    break;
-                }
-                let lo = chunk * chunk_size;
-                let hi = (lo + chunk_size).min(total);
-                let mut partial = FleetAggregate::new();
-                let mut rows = Vec::new();
-                let mut step_csvs: Vec<StepCsv> = Vec::new();
-                for index in lo..hi {
-                    let capture_steps = index < trace_steps;
-                    let triple_span = telemetry.map(|t| t.triple_span());
-                    let (outcome, steps) =
-                        run_triple(config, population, catalog, pools, index, capture_steps);
-                    drop(triple_span);
+            scope.spawn(move || {
+                // One preallocated ring per worker, cleared between
+                // triples — recording never allocates on the hot path.
+                let mut ring = (flight_windows > 0).then(|| FlightRecorder::new(flight_windows));
+                loop {
+                    let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
+                    if chunk >= n_chunks || abort.load(Ordering::Relaxed) {
+                        break;
+                    }
                     if let Some(telemetry) = telemetry {
-                        telemetry.triples.increment();
+                        telemetry.chunk_claimed(chunk, n_chunks);
                     }
-                    if tracing {
-                        rows.push(trace_row(index, catalog, &outcome));
+                    let lo = chunk * chunk_size;
+                    let hi = (lo + chunk_size).min(total);
+                    let mut partial = FleetAggregate::new();
+                    let mut rows = Vec::new();
+                    let mut step_csvs: Vec<StepCsv> = Vec::new();
+                    let mut flights: Vec<(usize, String)> = Vec::new();
+                    let mut worst: Vec<WorstTriple> = Vec::new();
+                    for index in lo..hi {
+                        let capture_steps = index < trace_steps;
+                        if let Some(ring) = ring.as_mut() {
+                            ring.clear();
+                        }
+                        let triple_span = telemetry.map(|t| t.triple_span());
+                        if let Some(telemetry) = telemetry {
+                            telemetry.triple_started();
+                        }
+                        let (outcome, steps) = run_triple(
+                            config,
+                            population,
+                            catalog,
+                            pools,
+                            index,
+                            capture_steps,
+                            ring.as_mut(),
+                        );
+                        if let Some(telemetry) = telemetry {
+                            telemetry.triple_finished();
+                        }
+                        drop(triple_span);
+                        if tracing {
+                            rows.push(trace_row(index, catalog, &outcome));
+                        }
+                        if let Some(csv) = steps {
+                            step_csvs.push((index, csv));
+                        }
+                        if let Some(ring) = ring.as_ref() {
+                            let user = &population.users()[index / catalog.len()];
+                            let limit_c = user.skin_limit.value();
+                            let dumped = triage_hit(config, limit_c, &outcome);
+                            if dumped {
+                                flights.push((
+                                    index,
+                                    flight_json(config, population, catalog, index, &outcome, ring),
+                                ));
+                            }
+                            if config.worst_k > 0 {
+                                let scenario = &catalog.scenarios()[index % catalog.len()];
+                                worst.push(WorstTriple {
+                                    index,
+                                    user: index / catalog.len(),
+                                    limit_c,
+                                    scenario: scenario.name(),
+                                    device: scenario.device,
+                                    peak_skin_c: outcome.peak_skin_c,
+                                    time_over_fraction: outcome.time_over_fraction,
+                                    dumped,
+                                });
+                            }
+                        }
+                        partial.record(&outcome);
                     }
-                    if let Some(csv) = steps {
-                        step_csvs.push((index, csv));
+                    keep_worst(&mut worst, config.worst_k);
+                    if let Some(telemetry) = telemetry {
+                        telemetry.chunks.increment();
                     }
-                    partial.record(&outcome);
+                    // The coordinator drains inside this scope; send
+                    // only fails if it panicked, which propagates
+                    // anyway.
+                    let sent_at = telemetry.map(|_| std::time::Instant::now());
+                    let _ = tx.send(ChunkMsg {
+                        chunk,
+                        partial,
+                        rows,
+                        step_csvs,
+                        flights,
+                        worst,
+                        sent_at,
+                    });
                 }
-                if let Some(telemetry) = telemetry {
-                    telemetry.chunks.increment();
-                }
-                // The coordinator drains inside this scope; send only
-                // fails if it panicked, which propagates anyway.
-                let sent_at = telemetry.map(|_| std::time::Instant::now());
-                let _ = tx.send((chunk, partial, rows, step_csvs, sent_at));
             });
         }
         drop(tx);
@@ -649,23 +939,29 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
         // in-flight spread — memory stays O(workers × chunk), never
         // O(chunks).
         let mut aggregate = FleetAggregate::new();
+        let mut worst: Vec<WorstTriple> = Vec::new();
         let mut stragglers = std::collections::BTreeMap::new();
         let mut next_to_merge = 0usize;
-        for (chunk, partial, rows, step_csvs, sent_at) in rx {
-            stragglers.insert(chunk, (partial, rows, step_csvs, sent_at));
-            while let Some((partial, rows, step_csvs, sent_at)) = stragglers.remove(&next_to_merge)
-            {
-                if let (Some(telemetry), Some(sent)) = (telemetry.as_ref(), sent_at) {
+        for msg in rx {
+            stragglers.insert(msg.chunk, msg);
+            while let Some(msg) = stragglers.remove(&next_to_merge) {
+                if let (Some(telemetry), Some(sent)) = (telemetry.as_ref(), msg.sent_at) {
                     telemetry.queue_wait.record(sent.elapsed());
                 }
                 let merge_start = telemetry.as_ref().map(|_| std::time::Instant::now());
-                aggregate.merge(&partial);
+                aggregate.merge(&msg.partial);
                 if let (Some(telemetry), Some(start)) = (telemetry.as_ref(), merge_start) {
                     telemetry.chunk_merge.record(start.elapsed());
                 }
+                // The worst-triples table folds in chunk-merge order
+                // too: candidates append in triple order and the
+                // (total, exact) sort keeps the same K rows at any
+                // thread count.
+                worst.extend(msg.worst);
+                keep_worst(&mut worst, config.worst_k);
                 if let Some(writer) = trace.as_mut() {
                     if trace_error.is_none() {
-                        for row in &rows {
+                        for row in &msg.rows {
                             if let Err(e) = writer.write_all(row.as_bytes()) {
                                 trace_error = Some(e.to_string());
                                 abort.store(true, Ordering::Relaxed);
@@ -679,7 +975,7 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
                     // order as the summary rows; each file's bytes only
                     // depend on its triple, so the sink is
                     // thread-count invariant.
-                    for (index, csv) in &step_csvs {
+                    for (index, csv) in &msg.step_csvs {
                         let written = csv.as_ref().map_err(Clone::clone).and_then(|csv| {
                             let dir = config.trace_dir.as_ref().expect("trace_steps needs dir");
                             std::fs::write(dir.join(format!("steps-{index:06}.csv")), csv)
@@ -692,6 +988,24 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
                         }
                     }
                 }
+                if trace_error.is_none() {
+                    // Triaged flight recordings follow the same
+                    // contract: written in chunk-merge order, each
+                    // file a pure function of its triple.
+                    for (index, json) in &msg.flights {
+                        let dir = config.trace_dir.as_ref().expect("triage needs trace_dir");
+                        if let Err(e) =
+                            std::fs::write(dir.join(format!("flight-{index:06}.json")), json)
+                        {
+                            trace_error = Some(e.to_string());
+                            abort.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        if let Some(telemetry) = telemetry.as_ref() {
+                            telemetry.flight_dumps.increment();
+                        }
+                    }
+                }
                 next_to_merge += 1;
             }
         }
@@ -699,7 +1013,7 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
             trace_error.is_some() || next_to_merge == n_chunks,
             "every chunk merged unless the sweep aborted"
         );
-        aggregate
+        (aggregate, worst)
     });
 
     if let Some(writer) = trace.as_mut() {
@@ -711,18 +1025,14 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
         return Err(FleetError::TraceSink(message));
     }
 
-    let governor = if config.usta {
-        format!("usta({})", config.governor)
-    } else {
-        config.governor.clone()
-    };
     Ok(FleetReport {
         users: population.len(),
         scenarios: catalog.len(),
         seed: config.seed,
-        governor,
+        governor: governor_label(config),
         devices,
         aggregate,
+        worst,
     })
 }
 
@@ -741,6 +1051,52 @@ mod tests {
             smoke: true,
             ..SweepConfig::default()
         }
+    }
+
+    #[test]
+    fn fleet_telemetry_gauges_track_queue_depth_and_inflight_triples() {
+        // A private registry so the global sink's state (shared with
+        // every other test) stays untouched.
+        let registry: &'static usta_telemetry::Registry =
+            Box::leak(Box::new(usta_telemetry::Registry::new()));
+        let telemetry = FleetTelemetry::with_registry(registry);
+        telemetry.chunk_claimed(0, 8);
+        assert_eq!(registry.gauge("fleet.queue_depth").value(), 7.0);
+        telemetry.triple_started();
+        telemetry.triple_started();
+        assert_eq!(registry.gauge("fleet.inflight_triples").value(), 2.0);
+        telemetry.triple_finished();
+        assert_eq!(registry.gauge("fleet.inflight_triples").value(), 1.0);
+        assert_eq!(registry.counter("fleet.triples").value(), 1);
+        telemetry.chunk_claimed(7, 8);
+        assert_eq!(registry.gauge("fleet.queue_depth").value(), 0.0);
+        // Claims past the end saturate instead of wrapping.
+        telemetry.chunk_claimed(9, 8);
+        assert_eq!(registry.gauge("fleet.queue_depth").value(), 0.0);
+    }
+
+    #[test]
+    fn keep_worst_orders_by_time_over_then_peak_then_index() {
+        let row = |index: usize, over: f64, peak: f64| WorstTriple {
+            index,
+            user: 0,
+            limit_c: 37.0,
+            scenario: "s".to_owned(),
+            device: "nexus4",
+            peak_skin_c: peak,
+            time_over_fraction: over,
+            dumped: false,
+        };
+        let mut rows = vec![
+            row(0, 0.1, 38.0),
+            row(1, 0.3, 37.0),
+            row(2, 0.1, 39.0),
+            row(3, 0.3, 37.0),
+            row(4, 0.0, 40.0),
+        ];
+        keep_worst(&mut rows, 3);
+        let order: Vec<usize> = rows.iter().map(|r| r.index).collect();
+        assert_eq!(order, vec![1, 3, 2], "over desc, peak desc, index asc");
     }
 
     #[test]

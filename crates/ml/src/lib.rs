@@ -55,6 +55,7 @@ pub use dataset::Dataset;
 pub use error::MlError;
 pub use linreg::{LinearModel, LinearRegressionParams};
 pub use m5p::{M5p, M5pParams};
+pub use metrics::ResidualStats;
 pub use mlp::{Mlp, MlpParams};
 pub use regressor::{Learner, Regressor};
 pub use reptree::{RepTree, RepTreeParams};

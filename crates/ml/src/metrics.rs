@@ -120,6 +120,88 @@ pub fn max_abs_error(expected: &[f64], predicted: &[f64]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// Streaming prediction-residual accumulator: feed it one signed
+/// residual (predicted − actual) per prediction instant and read back
+/// the running bias, magnitude, and extremes without retaining the
+/// series. Deterministic — a pure fold over the residual stream — so
+/// deployment layers (the USTA governor, the flight recorder) can
+/// surface live predictor error on the golden surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResidualStats {
+    count: u64,
+    sum: f64,
+    sum_abs: f64,
+    max_abs: f64,
+    last: f64,
+}
+
+impl ResidualStats {
+    /// An empty accumulator.
+    pub fn new() -> ResidualStats {
+        ResidualStats::default()
+    }
+
+    /// Folds in one signed residual (predicted − actual). Non-finite
+    /// residuals are ignored — a NaN would otherwise poison every
+    /// aggregate permanently.
+    pub fn record(&mut self, residual: f64) {
+        if !residual.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += residual;
+        self.sum_abs += residual.abs();
+        self.max_abs = self.max_abs.max(residual.abs());
+        self.last = residual;
+    }
+
+    /// Residuals recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean signed residual — the predictor's bias (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Mean absolute residual (NaN when empty).
+    pub fn mean_abs(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum_abs / self.count as f64
+        }
+    }
+
+    /// Largest absolute residual seen (NaN when empty).
+    pub fn max_abs(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max_abs
+        }
+    }
+
+    /// The most recent residual (NaN when empty).
+    pub fn last(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.last
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +266,31 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn length_mismatch_panics() {
         let _ = error_rate(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn residual_stats_track_bias_magnitude_and_extremes() {
+        let mut stats = ResidualStats::new();
+        assert!(stats.is_empty());
+        assert!(stats.mean().is_nan() && stats.last().is_nan());
+        for r in [0.5, -1.5, 1.0] {
+            stats.record(r);
+        }
+        assert_eq!(stats.count(), 3);
+        assert!((stats.mean() - 0.0).abs() < 1e-12);
+        assert!((stats.mean_abs() - 1.0).abs() < 1e-12);
+        assert_eq!(stats.max_abs(), 1.5);
+        assert_eq!(stats.last(), 1.0);
+    }
+
+    #[test]
+    fn residual_stats_ignore_nonfinite_input() {
+        let mut stats = ResidualStats::new();
+        stats.record(f64::NAN);
+        stats.record(f64::INFINITY);
+        assert!(stats.is_empty());
+        stats.record(0.25);
+        assert_eq!(stats.count(), 1);
+        assert_eq!(stats.mean(), 0.25);
     }
 }

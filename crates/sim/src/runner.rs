@@ -5,6 +5,7 @@ use usta_core::training::{LoggedSample, TrainingLog};
 use usta_core::UstaGovernor;
 use usta_governors::{CpuGovernor, DomainSample, DvfsDecision, FreqDomain, GovernorInput};
 use usta_soc::PerDomain;
+use usta_telemetry::{DecisionEvent, FlightRecorder};
 use usta_thermal::Celsius;
 use usta_workloads::Workload;
 
@@ -249,6 +250,25 @@ pub fn run_workload(
     governor: &mut Governor,
     config: &RunConfig,
 ) -> RunResult {
+    run_workload_recorded(device, workload, governor, config, None)
+}
+
+/// [`run_workload`] with an optional flight recorder.
+///
+/// When `recorder` is `Some`, one [`DecisionEvent`] is written per
+/// governor period: the per-domain utilization/frequency/levels the
+/// decision saw and emitted, the true skin and die temperatures, and —
+/// under USTA — the band, the effective per-domain caps, the standing
+/// prediction with its latest residual, and the arbiter's budget
+/// arithmetic. Recording is `Copy`-only into the ring's preallocated
+/// storage; the `None` path costs one `Option` check per step.
+pub fn run_workload_recorded(
+    device: &mut Device,
+    workload: &mut dyn Workload,
+    governor: &mut Governor,
+    config: &RunConfig,
+    mut recorder: Option<&mut FlightRecorder>,
+) -> RunResult {
     let dt = config.governor_period_s;
     let duration = workload.duration();
     let governor_name = governor.name();
@@ -316,7 +336,14 @@ pub fn run_workload(
         // splitter can break power-share ties toward the hotter die.
         if let Governor::Usta(usta) = governor {
             usta.observe_die_temperatures(obs.die_temps().as_slice());
+            // Each new prediction scores the previous one against the
+            // skin temperature it was predicting — the residual stream
+            // the flight recorder and `DecisionRecord` surface.
+            let previous = usta.last_prediction();
             if usta.tick(&obs.features(), dt).is_some() {
+                if let Some(previous) = previous {
+                    usta.score_prediction(previous, obs.skin_true);
+                }
                 if let Some(p) = usta.last_prediction() {
                     predictions.push((obs.t, p));
                 }
@@ -348,6 +375,42 @@ pub fn run_workload(
         }
         let decision = enforce_caps(decision, caps.as_slice());
         levels = PerDomain::from_slice(decision.levels());
+
+        if let Some(ring) = recorder.as_deref_mut() {
+            let mut event = DecisionEvent::new(step_no, t, n_domains);
+            event.skin_c = obs.skin_true.value();
+            event.dies = n_dies as u8;
+            for d in 0..n_domains {
+                event.util[d] = obs.domains[d].avg_utilization;
+                event.freq_khz[d] = obs.domains[d].freq_khz;
+                event.level[d] = levels[d] as u16;
+                event.max_level[d] = caps[d] as u16;
+                // Baseline runs cap nothing: effective cap = external.
+                event.cap[d] = caps[d] as u16;
+            }
+            for d in 0..n_dies {
+                event.die_c[d] = obs.domains[d].die_temp.value();
+            }
+            if let Governor::Usta(g) = governor {
+                if let Some(record) = g.last_decision_record() {
+                    event.band = record.band.code();
+                    if let Some(p) = record.predicted_skin {
+                        event.predicted_skin_c = p.value();
+                    }
+                    if let Some(r) = record.residual_c {
+                        event.residual_c = r;
+                    }
+                    if let Some(share) = record.arbiter {
+                        event.budget_w = share.budget_w;
+                        event.allocated_w = share.allocated_w;
+                    }
+                    for d in 0..n_domains {
+                        event.cap[d] = record.usta_caps[d].min(caps[d]) as u16;
+                    }
+                }
+            }
+            ring.record(event);
+        }
 
         freq_time_khz += obs.freq_khz * dt;
         for (acc, state) in domain_freq_time_khz.iter_mut().zip(obs.domains.iter()) {
@@ -573,6 +636,80 @@ mod tests {
             r.avg_domain_freq_ghz
         );
         assert!(r.unserved_fraction < 0.05);
+    }
+
+    #[test]
+    fn flight_recorder_captures_one_event_per_step_without_perturbing_the_run() {
+        let run = |recorder: Option<&mut FlightRecorder>| {
+            let mut d = Device::with_seed(7).unwrap();
+            let mut w = ConstantLoad::new("x", 30.0, 900_000.0, 4);
+            let mut g = Governor::Baseline(Box::new(OnDemand::default()));
+            run_workload_recorded(&mut d, &mut w, &mut g, &RunConfig::default(), recorder)
+        };
+        let bare = run(None);
+        let mut ring = FlightRecorder::new(64);
+        let recorded = run(Some(&mut ring));
+        assert_eq!(bare.skin_trace, recorded.skin_trace);
+        assert_eq!(bare.work, recorded.work);
+        assert_eq!(ring.recorded(), 300, "one event per governor period");
+        assert_eq!(ring.len(), 64, "ring keeps the newest 64");
+        let last = ring.events().last().copied().unwrap();
+        assert_eq!(last.window, 299);
+        assert_eq!(last.band, usta_telemetry::flight::BAND_NONE);
+        assert!(last.skin_c.is_finite());
+        assert!(last.util[0] >= 0.0);
+        assert_eq!(last.max_level[0], 11, "nexus4 top OPP index");
+        assert_eq!(last.cap[0], 11, "baseline never tightens");
+        assert!(!last.caps_bound());
+    }
+
+    #[test]
+    fn flight_events_under_usta_carry_band_and_prediction_provenance() {
+        use usta_core::{TemperaturePredictor, UstaPolicy};
+        let mut d = Device::with_seed(7).unwrap();
+        let mut train_w = ConstantLoad::new("train", 120.0, 1_200_000.0, 4);
+        let mut base = Governor::Baseline(Box::new(OnDemand::default()));
+        let training = run_workload(&mut d, &mut train_w, &mut base, &RunConfig::default());
+        let predictor = TemperaturePredictor::train(
+            &usta_ml::Learner::RepTree(usta_ml::reptree::RepTreeParams::default()),
+            &training.training_log,
+            usta_core::PredictionTarget::Skin,
+            42,
+        )
+        .unwrap();
+        // A limit below the training run's own peak: the hotter stress
+        // run must push predictions deep into the banding range.
+        let limit = Celsius(training.max_skin.value() - 2.0);
+        let usta = usta_core::UstaGovernor::new(
+            Box::new(OnDemand::default()),
+            predictor,
+            UstaPolicy::new(limit),
+        );
+        let mut d = Device::with_seed(7).unwrap();
+        let mut w = ConstantLoad::new("stress", 120.0, 1_500_000.0, 4);
+        let mut g = Governor::Usta(Box::new(usta));
+        let mut ring = FlightRecorder::new(2048);
+        let r = run_workload_recorded(
+            &mut d,
+            &mut w,
+            &mut g,
+            &RunConfig::default(),
+            Some(&mut ring),
+        );
+        assert!(r.work.capped_decisions > 0, "the 33 °C limit must bite");
+        let events: Vec<_> = ring.events().copied().collect();
+        assert!(events
+            .iter()
+            .any(|e| e.band != usta_telemetry::flight::BAND_NONE && e.band > 0));
+        assert!(
+            events.iter().any(|e| e.caps_bound()),
+            "capped decisions must show as binding caps"
+        );
+        assert!(events.iter().any(|e| e.predicted_skin_c.is_finite()));
+        assert!(
+            events.iter().any(|e| e.residual_c.is_finite()),
+            "scored predictions must surface residuals"
+        );
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! The flight recorder: a bounded ring of per-window [`DecisionEvent`]s.
+//!
+//! Where [`crate::trace`] answers *how long* things took (wall-clock,
+//! never compared), the flight recorder answers *why the governor did
+//! what it did*: one structured event per governor period carrying the
+//! band in force, the predicted vs. actual skin temperature, the
+//! predictor residual, the arbiter's watt budget, and every domain's
+//! utilization / frequency / cap / chosen level. Events are plain
+//! `Copy` data over fixed-size per-domain arrays, so the hot loop
+//! neither allocates nor touches atomics; the ring itself is owned by
+//! one run (the sim runner takes `Option<&mut FlightRecorder>` — the
+//! disabled path is a single `Option` check per step, mirroring the
+//! [`crate::Sink::active`] convention).
+//!
+//! A recording is a **deterministic** function of the run that produced
+//! it: no timestamps, no thread identity. The fleet layer leans on that
+//! to dump bit-identical `flight-*.json` files at any `--threads`.
+
+use crate::registry::{json_number, json_string};
+
+/// Per-domain array capacity. Matches the workspace's
+/// `MAX_FREQ_DOMAINS` (the flagship's big + LITTLE + GPU + display);
+/// `usta-telemetry` sits below `usta-soc`, so the bound is restated
+/// here and checked by the recording call sites.
+pub const MAX_DOMAINS: usize = 4;
+
+/// [`DecisionEvent::band`] value for runs with no banding governor.
+pub const BAND_NONE: u8 = u8::MAX;
+
+/// Default ring capacity for triage recordings: the last ~51 simulated
+/// seconds at the 100 ms governor period.
+pub const DEFAULT_WINDOWS: usize = 512;
+
+/// Human-readable band name for a [`DecisionEvent::band`] code.
+///
+/// Codes 0–3 follow the paper's banding order (unrestricted → pinned
+/// to minimum); anything else — notably [`BAND_NONE`] — reads as
+/// `"none"` (a baseline run with no banding in force).
+pub fn band_name(code: u8) -> &'static str {
+    match code {
+        0 => "unrestricted",
+        1 => "one-below-max",
+        2 => "two-below-max",
+        3 => "minimum",
+        _ => "none",
+    }
+}
+
+/// One governor window's decision provenance. All temperatures are °C;
+/// fields that do not apply to the window (no prediction yet, arbiter
+/// not engaged) hold NaN and export as JSON `null`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecisionEvent {
+    /// Window index (the run's governor-period step number).
+    pub window: u64,
+    /// Simulated time at the window's start, seconds.
+    pub t_s: f64,
+    /// Banding cap in force (0–3, see [`band_name`]; [`BAND_NONE`]
+    /// when no banding governor ran).
+    pub band: u8,
+    /// True skin temperature this window.
+    pub skin_c: f64,
+    /// The standing skin prediction (NaN before the first prediction
+    /// or on baseline runs).
+    pub predicted_skin_c: f64,
+    /// Predictor residual at the last prediction instant: previous
+    /// prediction minus the actual skin temperature it aimed at (NaN
+    /// until two predictions have run).
+    pub residual_c: f64,
+    /// The arbiter's watt budget for the band (NaN when the arbiter
+    /// was not engaged — CPU-only devices or baseline runs).
+    pub budget_w: f64,
+    /// Watts the arbiter's emitted caps are predicted to draw (NaN
+    /// when not engaged).
+    pub allocated_w: f64,
+    /// Frequency domains actually present (≤ [`MAX_DOMAINS`]).
+    pub domains: u8,
+    /// Per-cluster die nodes present (≤ `domains`).
+    pub dies: u8,
+    /// Average utilization per domain, 0–1.
+    pub util: [f64; MAX_DOMAINS],
+    /// Frequency per domain, kHz (display domains carry brightness
+    /// permille here, like the step traces).
+    pub freq_khz: [f64; MAX_DOMAINS],
+    /// The thermal cap (highest allowed OPP index) per domain this
+    /// window — USTA's cap vector, or the unrestricted maximum on
+    /// baseline runs.
+    pub cap: [u16; MAX_DOMAINS],
+    /// The OPP level actually chosen per domain (post-clamp).
+    pub level: [u16; MAX_DOMAINS],
+    /// Each domain's top OPP index (caps below this are active).
+    pub max_level: [u16; MAX_DOMAINS],
+    /// Die temperature per die node, °C.
+    pub die_c: [f64; MAX_DOMAINS],
+}
+
+impl DecisionEvent {
+    /// A blank event for `domains` domains: band `none`, caps at zero,
+    /// every optional field NaN.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` is zero or exceeds [`MAX_DOMAINS`].
+    pub fn new(window: u64, t_s: f64, domains: usize) -> DecisionEvent {
+        assert!(
+            domains > 0 && domains <= MAX_DOMAINS,
+            "domain count {domains} outside 1..={MAX_DOMAINS}"
+        );
+        DecisionEvent {
+            window,
+            t_s,
+            band: BAND_NONE,
+            skin_c: f64::NAN,
+            predicted_skin_c: f64::NAN,
+            residual_c: f64::NAN,
+            budget_w: f64::NAN,
+            allocated_w: f64::NAN,
+            domains: domains as u8,
+            dies: 0,
+            util: [0.0; MAX_DOMAINS],
+            freq_khz: [0.0; MAX_DOMAINS],
+            cap: [0; MAX_DOMAINS],
+            level: [0; MAX_DOMAINS],
+            max_level: [0; MAX_DOMAINS],
+            die_c: [f64::NAN; MAX_DOMAINS],
+        }
+    }
+
+    /// Domains where the cap actually bound this window: the chosen
+    /// level sits *at* a cap that is below the domain's maximum.
+    pub fn binding_domains(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.domains as usize)
+            .filter(|&d| self.level[d] == self.cap[d] && self.cap[d] < self.max_level[d])
+    }
+
+    /// Whether any domain's cap bound this window.
+    pub fn caps_bound(&self) -> bool {
+        self.binding_domains().next().is_some()
+    }
+
+    /// The event as one deterministic JSON object (floats in shortest
+    /// round-trip form, NaN as `null`, arrays truncated to the real
+    /// domain/die counts).
+    pub fn to_json(&self) -> String {
+        let floats = |values: &[f64]| -> String {
+            let inner: Vec<String> = values.iter().map(|&v| json_number(v)).collect();
+            format!("[{}]", inner.join(", "))
+        };
+        let ints = |values: &[u16]| -> String {
+            let inner: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+            format!("[{}]", inner.join(", "))
+        };
+        let n = self.domains as usize;
+        let dies = self.dies as usize;
+        format!(
+            "{{\"w\": {}, \"t_s\": {}, \"band\": {}, \"skin_c\": {}, \
+             \"predicted_skin_c\": {}, \"residual_c\": {}, \"budget_w\": {}, \
+             \"allocated_w\": {}, \"util\": {}, \"freq_khz\": {}, \"cap\": {}, \
+             \"level\": {}, \"max_level\": {}, \"die_c\": {}}}",
+            self.window,
+            json_number(self.t_s),
+            json_string(band_name(self.band)),
+            json_number(self.skin_c),
+            json_number(self.predicted_skin_c),
+            json_number(self.residual_c),
+            json_number(self.budget_w),
+            json_number(self.allocated_w),
+            floats(&self.util[..n]),
+            floats(&self.freq_khz[..n]),
+            ints(&self.cap[..n]),
+            ints(&self.level[..n]),
+            ints(&self.max_level[..n]),
+            floats(&self.die_c[..dies]),
+        )
+    }
+}
+
+/// A bounded drop-oldest ring of [`DecisionEvent`]s, preallocated up
+/// front so recording never reallocates.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    events: Vec<DecisionEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    recorded: u64,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// An empty ring keeping the newest `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "flight recorder needs capacity");
+        FlightRecorder {
+            events: Vec::with_capacity(capacity),
+            head: 0,
+            recorded: 0,
+            capacity,
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded (kept + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events dropped to ring overflow (always the oldest).
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.events.len() as u64
+    }
+
+    /// Appends one event, overwriting the oldest at capacity. No heap
+    /// traffic: the backing storage was allocated in
+    /// [`FlightRecorder::new`].
+    pub fn record(&mut self, event: DecisionEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.recorded += 1;
+    }
+
+    /// Empties the ring for reuse, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.head = 0;
+        self.recorded = 0;
+    }
+
+    /// The kept events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &DecisionEvent> {
+        self.events[self.head..]
+            .iter()
+            .chain(self.events[..self.head].iter())
+    }
+
+    /// The kept events as a deterministic JSON array (one event object
+    /// per line, oldest first).
+    pub fn events_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, event) in self.events().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            out.push_str(&event.to_json());
+        }
+        out.push_str(if self.events.is_empty() { "]" } else { "\n  ]" });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(window: u64) -> DecisionEvent {
+        let mut e = DecisionEvent::new(window, window as f64 * 0.1, 2);
+        e.skin_c = 30.0 + window as f64;
+        e.cap[0] = 3;
+        e.level[0] = 3;
+        e.max_level[0] = 5;
+        e.max_level[1] = 5;
+        e.dies = 1;
+        e.die_c[0] = 45.0;
+        e
+    }
+
+    #[test]
+    fn ring_at_capacity_keeps_the_newest_events() {
+        let mut rec = FlightRecorder::new(4);
+        for w in 0..10 {
+            rec.record(event(w));
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.recorded(), 10);
+        assert_eq!(rec.dropped(), 6);
+        let windows: Vec<u64> = rec.events().map(|e| e.window).collect();
+        assert_eq!(windows, vec![6, 7, 8, 9], "oldest events are dropped");
+    }
+
+    #[test]
+    fn ring_below_capacity_drops_nothing() {
+        let mut rec = FlightRecorder::new(8);
+        for w in 0..3 {
+            rec.record(event(w));
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 0);
+        let windows: Vec<u64> = rec.events().map(|e| e.window).collect();
+        assert_eq!(windows, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn clear_keeps_the_allocation_and_resets_counts() {
+        let mut rec = FlightRecorder::new(2);
+        for w in 0..5 {
+            rec.record(event(w));
+        }
+        rec.clear();
+        assert!(rec.is_empty());
+        assert_eq!(rec.recorded(), 0);
+        rec.record(event(7));
+        assert_eq!(rec.events().next().unwrap().window, 7);
+    }
+
+    #[test]
+    fn binding_detection_requires_an_active_cap_at_the_chosen_level() {
+        let mut e = DecisionEvent::new(0, 0.0, 2);
+        e.max_level = [5, 5, 0, 0];
+        e.cap = [3, 5, 0, 0];
+        e.level = [3, 5, 0, 0];
+        // Domain 0: level == cap < max → binding. Domain 1: cap is the
+        // max, so nothing binds even though level == cap.
+        assert_eq!(e.binding_domains().collect::<Vec<_>>(), vec![0]);
+        assert!(e.caps_bound());
+        e.level[0] = 2; // baseline chose below the cap on its own
+        assert!(!e.caps_bound());
+    }
+
+    #[test]
+    fn events_json_is_valid_and_truncates_to_the_domain_count() {
+        let mut rec = FlightRecorder::new(4);
+        rec.record(event(0));
+        rec.record(event(1));
+        let text = format!("{{\"events\": {}}}", rec.events_json());
+        let value = crate::json::parse(&text).expect("valid JSON");
+        let events = value.as_object().unwrap()["events"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        let first = events[0].as_object().unwrap();
+        assert_eq!(first["band"].as_str(), Some("none"));
+        assert_eq!(first["util"].as_array().unwrap().len(), 2);
+        assert_eq!(first["die_c"].as_array().unwrap().len(), 1);
+        // NaN fields export as null.
+        assert!(first["predicted_skin_c"].as_f64().is_none());
+        assert_eq!(first["skin_c"].as_f64(), Some(30.0));
+    }
+
+    #[test]
+    fn empty_recorder_exports_an_empty_array() {
+        let rec = FlightRecorder::new(4);
+        assert_eq!(rec.events_json(), "[]");
+    }
+
+    #[test]
+    fn band_names_cover_every_code() {
+        assert_eq!(band_name(0), "unrestricted");
+        assert_eq!(band_name(1), "one-below-max");
+        assert_eq!(band_name(2), "two-below-max");
+        assert_eq!(band_name(3), "minimum");
+        assert_eq!(band_name(BAND_NONE), "none");
+        assert_eq!(band_name(17), "none");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        FlightRecorder::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain count")]
+    fn excess_domains_are_rejected() {
+        DecisionEvent::new(0, 0.0, MAX_DOMAINS + 1);
+    }
+}

@@ -8,6 +8,8 @@
 use std::collections::BTreeMap;
 use std::str::Chars;
 
+pub use crate::registry::{json_number, json_string};
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {

@@ -9,6 +9,10 @@
 //!   histogram and emits one trace event on drop;
 //! * [`trace`] — a per-thread trace-event ring buffer exporting
 //!   Chrome `chrome://tracing` JSON (also loadable in Perfetto);
+//! * [`flight`] — the flight recorder: a bounded per-run ring of
+//!   structured per-window [`DecisionEvent`]s (band, predicted vs.
+//!   actual skin temperature, arbiter budget, per-domain caps) with a
+//!   deterministic JSON export;
 //! * [`json`] — a minimal validating JSON parser used by the test
 //!   suite to check the exporters' output.
 //!
@@ -48,11 +52,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod flight;
 pub mod json;
 pub mod registry;
 pub mod span;
 pub mod trace;
 
+pub use flight::{DecisionEvent, FlightRecorder};
 pub use registry::{Counter, DurationHistogram, Gauge, HistogramSnapshot, LocalTimings, Registry};
 pub use span::Span;
 pub use trace::TraceEvent;

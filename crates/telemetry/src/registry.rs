@@ -493,10 +493,91 @@ impl Registry {
         out.push('\n');
         out
     }
+    /// The registry in Prometheus/OpenMetrics text exposition format:
+    /// counters and gauges one sample each, histograms as cumulative
+    /// `_bucket{le="…"}` series (the fixed-width sketch bins coarsened
+    /// to at most [`PROM_MAX_BUCKETS`] edges plus `+Inf`) with exact
+    /// `_sum` and `_count`. Metric names flatten to the Prometheus
+    /// charset under a `usta_` prefix (`fleet.queue_wait` →
+    /// `usta_fleet_queue_wait`); histogram values are seconds, the
+    /// conventional Prometheus duration unit.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters() {
+            let prom = prom_name(name);
+            out.push_str(&format!("# TYPE {prom} counter\n{prom} {value}\n"));
+        }
+        for (name, value) in self.gauges() {
+            let prom = prom_name(name);
+            out.push_str(&format!(
+                "# TYPE {prom} gauge\n{prom} {}\n",
+                prom_number(value)
+            ));
+        }
+        let cells: Vec<(&'static str, Arc<HistCell>)> = self
+            .histograms
+            .lock()
+            .expect("histogram map not poisoned")
+            .iter()
+            .map(|(&name, cell)| (name, Arc::clone(cell)))
+            .collect();
+        for (name, cell) in cells {
+            let prom = prom_name(name);
+            out.push_str(&format!("# TYPE {prom} histogram\n"));
+            let bins: Vec<u64> = cell.bins.iter().map(|b| b.load(ORDER)).collect();
+            let group = bins.len().div_ceil(PROM_MAX_BUCKETS);
+            let width = (cell.hi_s - cell.lo_s) / bins.len() as f64;
+            let mut cumulative = 0u64;
+            for (i, chunk) in bins.chunks(group).enumerate() {
+                cumulative += chunk.iter().sum::<u64>();
+                let upper = cell.lo_s + width * ((i * group + chunk.len()) as f64);
+                out.push_str(&format!(
+                    "{prom}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    prom_number(upper)
+                ));
+            }
+            let count = cell.count.load(ORDER);
+            out.push_str(&format!("{prom}_bucket{{le=\"+Inf\"}} {count}\n"));
+            out.push_str(&format!(
+                "{prom}_sum {}\n{prom}_count {count}\n",
+                prom_number(cell.sum_ns.load(ORDER) as f64 * 1e-9)
+            ));
+        }
+        out
+    }
+}
+
+/// Most cumulative buckets [`Registry::render_prometheus`] emits per
+/// histogram (the 1000-bin sketches coarsen to 20 edges plus `+Inf`).
+pub const PROM_MAX_BUCKETS: usize = 20;
+
+/// A registry name flattened to the Prometheus metric-name charset
+/// under the workspace prefix.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("usta_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// A Prometheus sample value: shortest round-trip floats, with the
+/// exposition format's spellings for non-finite values.
+fn prom_number(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
 }
 
 /// A JSON string literal (quotes and escapes included).
-pub(crate) fn json_string(s: &str) -> String {
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -515,7 +596,7 @@ pub(crate) fn json_string(s: &str) -> String {
 }
 
 /// A JSON number literal; non-finite values become `null`.
-pub(crate) fn json_number(v: f64) -> String {
+pub fn json_number(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -661,6 +742,72 @@ mod tests {
         let obj = value.as_object().unwrap();
         assert!(obj["deterministic"].as_object().unwrap().is_empty());
         assert!(obj["wallclock"].as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn prometheus_rendering_types_every_instrument() {
+        let r = Registry::new();
+        r.counter("fleet.triples").add(7);
+        r.gauge("fleet.queue_depth").set(3.0);
+        let h = r.histogram_with("fleet.queue_wait", 0.0, 0.1, 1000);
+        h.record(Duration::from_millis(5));
+        h.record(Duration::from_millis(95));
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE usta_fleet_triples counter\nusta_fleet_triples 7\n"));
+        assert!(text.contains("# TYPE usta_fleet_queue_depth gauge\nusta_fleet_queue_depth 3\n"));
+        assert!(text.contains("# TYPE usta_fleet_queue_wait histogram\n"));
+        assert!(text.contains("usta_fleet_queue_wait_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("usta_fleet_queue_wait_count 2\n"));
+        let sum: f64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("usta_fleet_queue_wait_sum "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((sum - 0.1).abs() < 1e-9, "exact sum survives: {sum}");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_bounded() {
+        let r = Registry::new();
+        let h = r.histogram_with("h", 0.0, 1.0, 1000);
+        for ms in 0..1000u64 {
+            h.record_nanos(ms * 1_000_000);
+        }
+        let text = r.render_prometheus();
+        let buckets: Vec<(f64, u64)> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("usta_h_bucket{le=\""))
+            .filter_map(|rest| {
+                let (le, count) = rest.split_once("\"} ")?;
+                if le == "+Inf" {
+                    return None;
+                }
+                Some((le.parse().ok()?, count.parse().ok()?))
+            })
+            .collect();
+        assert_eq!(buckets.len(), PROM_MAX_BUCKETS, "1000 bins coarsen to 20");
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "edges ascend");
+            assert!(pair[0].1 <= pair[1].1, "counts are cumulative");
+        }
+        assert_eq!(buckets.last().unwrap().1, 1000, "last edge holds all");
+        assert!((buckets.last().unwrap().0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prometheus_nonfinite_gauges_use_exposition_spellings() {
+        let r = Registry::new();
+        r.gauge("a").set(f64::NAN);
+        r.gauge("b").set(f64::INFINITY);
+        let text = r.render_prometheus();
+        assert!(text.contains("usta_a NaN\n"));
+        assert!(text.contains("usta_b +Inf\n"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_prometheus_text() {
+        assert_eq!(Registry::new().render_prometheus(), "");
     }
 
     #[test]
