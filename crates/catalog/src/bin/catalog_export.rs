@@ -1,0 +1,67 @@
+//! Serializes the built-in device registry to catalog TOML files —
+//! the tool that generated (and regenerates) the committed `catalog/`
+//! directory's built-in entries. CI re-runs it and diffs against the
+//! committed files, so drift between code and catalog is caught.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use usta_catalog::device_to_toml;
+
+const USAGE: &str = "\
+catalog_export — serialize the built-in device registry to catalog files
+
+USAGE:
+    catalog_export [--out DIR]
+
+Writes one <id>.toml per built-in device (see usta_device::NAMES) into
+DIR [default: catalog/]. Existing files are overwritten; hand-written
+entries with other ids are left alone.
+
+OPTIONS:
+    --out DIR    output directory (created if missing)
+    --help       print this help
+";
+
+fn parse_args() -> Result<PathBuf, String> {
+    let mut args = std::env::args();
+    let _argv0 = args.next();
+    let mut out = PathBuf::from("catalog");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let out = match parse_args() {
+        Ok(out) => out,
+        Err(message) => {
+            if message.is_empty() {
+                eprint!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(error) = std::fs::create_dir_all(&out) {
+        eprintln!("error: cannot create {}: {error}", out.display());
+        return ExitCode::FAILURE;
+    }
+    for spec in usta_device::Registry::builtin().specs() {
+        let path = out.join(format!("{}.toml", spec.id));
+        if let Err(error) = std::fs::write(&path, device_to_toml(spec)) {
+            eprintln!("error: cannot write {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("{}", path.display());
+    }
+    ExitCode::SUCCESS
+}

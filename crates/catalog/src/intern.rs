@@ -1,0 +1,65 @@
+//! String and slice interning for file-loaded specs.
+//!
+//! `DeviceSpec` carries `&'static str` names throughout (ids, cluster
+//! names, thermal node names) and an optional `&'static [u32]`
+//! brightness ladder. Built-in specs get those from string literals; a
+//! file-loaded spec gets them from a process-wide intern pool. The
+//! pool deduplicates, so parsing the same catalog repeatedly (tests,
+//! the `catalog_load` bench) leaks a bounded amount of memory — one
+//! allocation per *distinct* string, not per parse.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Mutex, OnceLock};
+
+/// Interns `s`, returning a `&'static str` stable for the process
+/// lifetime. Repeated calls with equal strings return the same
+/// reference.
+pub(crate) fn intern_str(s: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .expect("intern pool poisoned");
+    if let Some(&interned) = pool.get(s) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+/// Interns a `u32` slice (brightness ladders), deduplicating equal
+/// contents.
+pub(crate) fn intern_u32s(values: &[u32]) -> &'static [u32] {
+    static POOL: OnceLock<Mutex<BTreeMap<Vec<u32>, &'static [u32]>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(BTreeMap::new()))
+        .lock()
+        .expect("intern pool poisoned");
+    if let Some(&interned) = pool.get(values) {
+        return interned;
+    }
+    let leaked: &'static [u32] = Box::leak(values.to_vec().into_boxed_slice());
+    pool.insert(values.to_vec(), leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_strings_share_one_allocation() {
+        let a = intern_str("catalog-intern-test-a");
+        let b = intern_str("catalog-intern-test-a");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn equal_slices_share_one_allocation() {
+        let a = intern_u32s(&[100, 250, 400]);
+        let b = intern_u32s(&[100, 250, 400]);
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, &[100, 250, 400]);
+    }
+}

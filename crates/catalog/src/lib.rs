@@ -1,0 +1,321 @@
+//! # usta-catalog — file-driven device & scenario catalogs
+//!
+//! Every device and scenario grid used to be compiled into the binary;
+//! growing the fleet toward "hundreds of devices × scenarios without
+//! recompiling" needs a declarative catalog on disk. This crate is
+//! that catalog: a zero-dependency, strict TOML-subset parser (written
+//! in the same in-house style as the telemetry crate's JSON parser)
+//! that deserializes [`usta_device::DeviceSpec`] — clusters, OPP
+//! tables, GPU/display domains, thermal topology — and
+//! [`ScenarioGridSpec`] sweep axes from `.toml` files, with structured
+//! [`CatalogError`]s carrying file/line/key context and the full
+//! `DeviceSpec::validate` suite running on every load.
+//!
+//! A [`Catalog`] is what one directory of files parses into;
+//! [`Catalog::install`] merges its devices over the built-ins in the
+//! process-wide registry (`usta_device::install`), after which every
+//! consumer of `usta_device::by_id` — scenario resolution, sweeps,
+//! `--device all` expansion, error listings — sees the merged set. The
+//! file round trip is exact: serializing a built-in with
+//! [`device_to_toml`] and re-parsing yields an **equal** spec, so a
+//! sweep over `catalog/nexus4.toml` is bit-identical to one over the
+//! compiled-in nexus4.
+//!
+//! ```
+//! use usta_catalog::{device_to_toml, parse_device};
+//!
+//! let nexus4 = usta_device::nexus4();
+//! let text = device_to_toml(&nexus4);
+//! assert_eq!(parse_device(&text).expect("round-trips"), nexus4);
+//! ```
+//!
+//! Dependency direction: this crate sits beside `usta-device` (whose
+//! specs it de/serializes) and below `usta-fleet` (which resolves grid
+//! axis strings against its scenario enums and exposes the CLI flags).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use usta_device::{DeviceSpec, Registry};
+
+pub mod device;
+pub mod error;
+pub mod grid;
+mod intern;
+pub mod toml;
+
+pub use device::{device_to_toml, material_name, parse_device};
+pub use error::{CatalogError, ErrorKind};
+pub use grid::{grid_to_toml, parse_grid, ScenarioGridSpec};
+
+/// The `schema` value of a device file.
+pub const DEVICE_SCHEMA: &str = "usta-catalog/device/v1";
+/// The `schema` value of a scenario-grid file.
+pub const GRID_SCHEMA: &str = "usta-catalog/grid/v1";
+
+/// Everything one catalog directory parsed into: validated device
+/// specs and scenario grids, in filename order.
+///
+/// Loading does **not** touch the process-wide registry — call
+/// [`Catalog::install`] for that (CLIs do it once at startup; the
+/// `catalog_load` bench loads repeatedly without installing).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Catalog {
+    /// Device specs, validated, in filename order.
+    pub devices: Vec<DeviceSpec>,
+    /// Scenario grids, in filename order.
+    pub grids: Vec<ScenarioGridSpec>,
+}
+
+impl Catalog {
+    /// Loads every `*.toml` file in `dir` (non-recursive, filename
+    /// order), dispatching on each file's `schema` key.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CatalogError`] encountered — unreadable
+    /// directory or file, malformed TOML, unknown schema, a spec that
+    /// fails validation, or a device id / grid name duplicated
+    /// *within the directory* (overriding a built-in is fine; two
+    /// files claiming the same id is a mistake).
+    pub fn load_dir(dir: impl AsRef<Path>) -> Result<Catalog, CatalogError> {
+        let dir = dir.as_ref();
+        let entries = fs::read_dir(dir)
+            .map_err(|e| CatalogError::io(format!("cannot read {}: {e}", dir.display())))?;
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| CatalogError::io(format!("cannot read {}: {e}", dir.display())))?;
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "toml") {
+                paths.push(path);
+            }
+        }
+        paths.sort();
+        let mut catalog = Catalog::default();
+        for path in &paths {
+            catalog.load_file(path)?;
+        }
+        Ok(catalog)
+    }
+
+    fn load_file(&mut self, path: &Path) -> Result<(), CatalogError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| CatalogError::io(format!("cannot read file: {e}")).with_file(path))?;
+        let doc = toml::parse(&text)
+            .map_err(|e| CatalogError::parse(e.line, e.message).with_file(path))?;
+        let root = device::Section::new(&doc, "");
+        let schema = root.string("schema").map_err(|e| e.with_file(path))?;
+        match schema.as_str() {
+            DEVICE_SCHEMA => {
+                let spec = device::device_from_document(&doc).map_err(|e| e.with_file(path))?;
+                if let Some(previous) = self
+                    .devices
+                    .iter()
+                    .find(|d| d.id.eq_ignore_ascii_case(spec.id))
+                {
+                    return Err(CatalogError::schema(
+                        0,
+                        "device.id",
+                        format!(
+                            "device {:?} is defined by another file in this catalog",
+                            previous.id
+                        ),
+                    )
+                    .with_file(path));
+                }
+                self.devices.push(spec);
+            }
+            GRID_SCHEMA => {
+                let spec = grid::grid_from_document(&doc).map_err(|e| e.with_file(path))?;
+                if self.grids.iter().any(|g| g.name == spec.name) {
+                    return Err(CatalogError::schema(
+                        0,
+                        "grid.name",
+                        format!(
+                            "grid {:?} is defined by another file in this catalog",
+                            spec.name
+                        ),
+                    )
+                    .with_file(path));
+                }
+                self.grids.push(spec);
+            }
+            other => {
+                return Err(CatalogError::schema(
+                    root.require_item("schema")
+                        .map(|item| item.line)
+                        .unwrap_or(0),
+                    "schema",
+                    format!(
+                        "unsupported schema {other:?} (known: {DEVICE_SCHEMA:?}, {GRID_SCHEMA:?})"
+                    ),
+                )
+                .with_file(path));
+            }
+        }
+        Ok(())
+    }
+
+    /// Installs every device into the process-wide merged registry
+    /// (`usta_device::install`): file entries override same-id
+    /// built-ins, new ids are appended. Returns the installed
+    /// `&'static` specs in catalog order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatalogError`] if a spec fails validation — only
+    /// possible for specs mutated after loading, since `load_dir`
+    /// validates.
+    pub fn install(&self) -> Result<Vec<&'static DeviceSpec>, CatalogError> {
+        self.devices
+            .iter()
+            .map(|spec| {
+                usta_device::install(spec.clone()).map_err(|e| CatalogError::device(0, "device", e))
+            })
+            .collect()
+    }
+
+    /// The loaded device with this id (case-insensitive), if any.
+    pub fn device(&self, id: &str) -> Option<&DeviceSpec> {
+        self.devices.iter().find(|d| d.id.eq_ignore_ascii_case(id))
+    }
+
+    /// The loaded grid with this name, if any.
+    pub fn grid(&self, name: &str) -> Option<&ScenarioGridSpec> {
+        self.grids.iter().find(|g| g.name == name)
+    }
+}
+
+/// Catalog-aware construction for [`usta_device::Registry`].
+///
+/// An extension trait because inherent impls cannot cross crates:
+/// `usta-device` knows nothing about files, `usta-catalog` adds the
+/// file-driven constructor.
+pub trait RegistryExt: Sized {
+    /// Builds a registry holding the built-ins with the catalog
+    /// directory's entries merged over them (same-id file entries
+    /// replace built-ins, new ids append).
+    ///
+    /// This is a *local* registry — unlike [`Catalog::install`] it
+    /// does not touch the process-wide one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CatalogError`] for any load failure (see
+    /// [`Catalog::load_dir`]).
+    fn from_dir(dir: impl AsRef<Path>) -> Result<Self, CatalogError>;
+}
+
+impl RegistryExt for Registry {
+    fn from_dir(dir: impl AsRef<Path>) -> Result<Registry, CatalogError> {
+        let catalog = Catalog::load_dir(dir)?;
+        let mut specs: Vec<DeviceSpec> = Registry::builtin().specs().to_vec();
+        for device in &catalog.devices {
+            match specs
+                .iter_mut()
+                .find(|s| s.id.eq_ignore_ascii_case(device.id))
+            {
+                Some(slot) => *slot = device.clone(),
+                None => specs.push(device.clone()),
+            }
+        }
+        Registry::new(specs).map_err(|e| CatalogError::device(0, "device", e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_dir(files: &[(&str, String)]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "usta-catalog-test-{}-{:p}",
+            std::process::id(),
+            files.as_ptr()
+        ));
+        fs::create_dir_all(&dir).expect("create temp dir");
+        for (name, text) in files {
+            fs::write(dir.join(name), text).expect("write catalog file");
+        }
+        dir
+    }
+
+    #[test]
+    fn load_dir_collects_devices_and_grids_in_filename_order() {
+        let grid = ScenarioGridSpec {
+            name: "tiny".to_owned(),
+            benchmarks: vec!["YouTube".to_owned()],
+            ambients: vec!["office".to_owned()],
+            cases: vec!["naked".to_owned()],
+            charging: vec![false],
+            hand_held: vec![true],
+        };
+        let dir = write_dir(&[
+            ("b-nexus4.toml", device_to_toml(&usta_device::nexus4())),
+            ("a-octa.toml", device_to_toml(&usta_device::flagship_octa())),
+            ("z-grid.toml", grid_to_toml(&grid)),
+        ]);
+        let catalog = Catalog::load_dir(&dir).expect("loads");
+        let ids: Vec<&str> = catalog.devices.iter().map(|d| d.id).collect();
+        assert_eq!(ids, ["flagship-octa", "nexus4"]);
+        assert_eq!(catalog.grids, vec![grid]);
+        assert_eq!(catalog.device("NEXUS4").map(|d| d.id), Some("nexus4"));
+        assert!(catalog.grid("tiny").is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_id_across_files_is_rejected() {
+        let dir = write_dir(&[
+            ("one.toml", device_to_toml(&usta_device::nexus4())),
+            ("two.toml", device_to_toml(&usta_device::nexus4())),
+        ]);
+        let error = Catalog::load_dir(&dir).unwrap_err();
+        assert_eq!(error.key.as_deref(), Some("device.id"));
+        assert!(error.to_string().contains("two.toml"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected_with_file_context() {
+        let dir = write_dir(&[("odd.toml", "schema = \"usta-catalog/odd/v1\"\n".to_owned())]);
+        let error = Catalog::load_dir(&dir).unwrap_err();
+        assert!(error.to_string().contains("odd.toml"));
+        assert!(error.to_string().contains("unsupported schema"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_an_io_error() {
+        let error = Catalog::load_dir("/nonexistent/usta-catalog").unwrap_err();
+        assert!(matches!(error.kind, ErrorKind::Io(_)));
+    }
+
+    #[test]
+    fn registry_from_dir_merges_over_builtins() {
+        let mut renamed = usta_device::nexus4();
+        renamed.description = "overridden from file";
+        let fresh = {
+            let mut spec = usta_device::budget_quad();
+            spec.id = "from-dir-only";
+            spec
+        };
+        let dir = write_dir(&[
+            ("nexus4.toml", device_to_toml(&renamed)),
+            ("fresh.toml", device_to_toml(&fresh)),
+        ]);
+        let registry = Registry::from_dir(&dir).expect("merges");
+        assert_eq!(registry.len(), usta_device::NAMES.len() + 1);
+        assert_eq!(
+            registry.by_id("nexus4").map(|d| d.description),
+            Some("overridden from file")
+        );
+        assert!(registry.by_id("from-dir-only").is_some());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

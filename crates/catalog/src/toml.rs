@@ -1,0 +1,604 @@
+//! A strict TOML-subset parser, written in the same in-house style as
+//! the telemetry crate's JSON parser: character-level, zero
+//! dependencies, with a line counter so every error lands on a source
+//! line.
+//!
+//! The accepted subset is exactly what catalog files need:
+//!
+//! - comments (`# ...`), blank lines
+//! - bare keys (`[A-Za-z0-9_-]+`), `key = value`
+//! - table headers `[a.b]` and array-of-tables headers `[[a.b]]`
+//! - basic strings with `\"`, `\\`, `\n`, `\t`, `\r` escapes
+//! - integers (with `_` separators), floats, booleans
+//! - arrays, possibly spanning multiple lines, possibly heterogeneous
+//!   (catalog thermal nodes are `[["cpu", 1.2], ...]`)
+//!
+//! Deliberately rejected: inline tables, dotted keys in assignments,
+//! dates, multi-line strings, and re-opening an already-defined table.
+//! Catalog files are machine-written or short; strictness buys better
+//! error messages.
+
+use std::collections::BTreeMap;
+use std::str::Chars;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An array of values (heterogeneous allowed).
+    Arr(Vec<Value>),
+}
+
+impl Value {
+    /// Human name of the value's type, for schema error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "a string",
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Bool(_) => "a boolean",
+            Value::Arr(_) => "an array",
+        }
+    }
+}
+
+/// A `key = value` entry plus the line it was written on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    /// The parsed value.
+    pub value: Value,
+    /// 1-based source line of the key.
+    pub line: usize,
+}
+
+/// One node of the parsed document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A `key = value` entry.
+    Item(Item),
+    /// A `[header]` table (or an implicitly created parent).
+    Table(Table),
+    /// An `[[header]]` array of tables, in file order.
+    Array(Vec<Table>),
+}
+
+impl Node {
+    /// Best-effort source line for this node.
+    pub fn line(&self) -> usize {
+        match self {
+            Node::Item(item) => item.line,
+            Node::Table(table) => table.line,
+            Node::Array(tables) => tables.first().map_or(0, |t| t.line),
+        }
+    }
+}
+
+/// A TOML table: named entries in key-sorted order, plus the line of
+/// the header that opened it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// 1-based line of the `[header]` (0 for the root table).
+    pub line: usize,
+    entries: BTreeMap<String, Node>,
+}
+
+impl Table {
+    fn new(line: usize) -> Self {
+        Table {
+            line,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Looks up a direct child by key.
+    pub fn get(&self, key: &str) -> Option<&Node> {
+        self.entries.get(key)
+    }
+
+    /// Iterates direct children as `(key, node)` in key order.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &Node)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+/// A parse failure: message plus the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// Parses a catalog TOML document into its root table.
+pub fn parse(text: &str) -> Result<Table, ParseError> {
+    let mut parser = Parser {
+        chars: text.chars(),
+        peeked: None,
+        line: 1,
+    };
+    let mut root = Table::new(0);
+    // Dotted path of the table that `key = value` lines currently
+    // target; empty means the root table.
+    let mut path: Vec<String> = Vec::new();
+    loop {
+        parser.skip_trivia();
+        match parser.peek() {
+            None => break,
+            Some('[') => {
+                let line = parser.line;
+                let (segments, is_array) = parser.header()?;
+                define_table(&mut root, &segments, is_array, line)
+                    .map_err(|message| ParseError { line, message })?;
+                path = segments;
+            }
+            Some(c) if is_key_char(c) => {
+                let line = parser.line;
+                let key = parser.key()?;
+                parser.skip_inline_ws();
+                parser.expect('=')?;
+                parser.skip_inline_ws();
+                let value = parser.value()?;
+                parser.end_of_line()?;
+                let table = current_table(&mut root, &path);
+                if table
+                    .entries
+                    .insert(key.clone(), Node::Item(Item { value, line }))
+                    .is_some()
+                {
+                    return Err(ParseError {
+                        line,
+                        message: format!("duplicate key {key:?}"),
+                    });
+                }
+            }
+            Some(c) => {
+                return Err(parser.error(format!("expected a key or table header, found {c:?}")))
+            }
+        }
+    }
+    Ok(root)
+}
+
+/// Registers a `[a.b]` or `[[a.b]]` header in the document tree.
+fn define_table(
+    root: &mut Table,
+    segments: &[String],
+    is_array: bool,
+    line: usize,
+) -> Result<(), String> {
+    let (last, parents) = segments.split_last().expect("header has >= 1 segment");
+    let mut table = root;
+    for segment in parents {
+        let node = table
+            .entries
+            .entry(segment.clone())
+            .or_insert_with(|| Node::Table(Table::new(line)));
+        table = match node {
+            Node::Table(inner) => inner,
+            Node::Array(tables) => tables.last_mut().expect("array of tables is non-empty"),
+            Node::Item(_) => return Err(format!("key {segment:?} is not a table")),
+        };
+    }
+    match table.entries.get_mut(last) {
+        None if is_array => {
+            table
+                .entries
+                .insert(last.clone(), Node::Array(vec![Table::new(line)]));
+            Ok(())
+        }
+        None => {
+            table
+                .entries
+                .insert(last.clone(), Node::Table(Table::new(line)));
+            Ok(())
+        }
+        Some(Node::Array(tables)) if is_array => {
+            tables.push(Table::new(line));
+            Ok(())
+        }
+        Some(_) if is_array => Err(format!("key {last:?} is not an array of tables")),
+        Some(_) => Err(format!("table [{}] defined twice", segments.join("."))),
+    }
+}
+
+/// Resolves the table a `key = value` line targets. The path was
+/// registered by `define_table`, so every step must succeed.
+fn current_table<'a>(root: &'a mut Table, path: &[String]) -> &'a mut Table {
+    let mut table = root;
+    for segment in path {
+        table = match table.entries.get_mut(segment) {
+            Some(Node::Table(inner)) => inner,
+            Some(Node::Array(tables)) => tables.last_mut().expect("array of tables is non-empty"),
+            _ => unreachable!("header path was registered"),
+        };
+    }
+    table
+}
+
+fn is_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '-' || c == '_'
+}
+
+struct Parser<'a> {
+    chars: Chars<'a>,
+    peeked: Option<char>,
+    line: usize,
+}
+
+impl Parser<'_> {
+    fn next(&mut self) -> Option<char> {
+        let c = self.peeked.take().or_else(|| self.chars.next());
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.error(format!("expected {want:?}, found {c:?}"))),
+            None => Err(self.error(format!("expected {want:?}, found end of file"))),
+        }
+    }
+
+    /// Spaces and tabs only.
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.next();
+        }
+    }
+
+    /// Whitespace, newlines, and comments — between statements.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(' ') | Some('\t') | Some('\r') | Some('\n') => {
+                    self.next();
+                }
+                Some('#') => {
+                    while !matches!(self.peek(), None | Some('\n')) {
+                        self.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// After a value or header: optional comment, then newline or EOF.
+    fn end_of_line(&mut self) -> Result<(), ParseError> {
+        self.skip_inline_ws();
+        if self.peek() == Some('#') {
+            while !matches!(self.peek(), None | Some('\n')) {
+                self.next();
+            }
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some('\n') => {
+                self.next();
+                Ok(())
+            }
+            Some('\r') => {
+                self.next();
+                self.expect('\n')
+            }
+            Some(c) => Err(self.error(format!("unexpected trailing content starting at {c:?}"))),
+        }
+    }
+
+    fn key(&mut self) -> Result<String, ParseError> {
+        let mut key = String::new();
+        while let Some(c) = self.peek() {
+            if is_key_char(c) {
+                key.push(c);
+                self.next();
+            } else {
+                break;
+            }
+        }
+        if key.is_empty() {
+            return Err(self.error("expected a key"));
+        }
+        Ok(key)
+    }
+
+    /// `[a.b]` or `[[a.b]]`; consumes through end of line.
+    fn header(&mut self) -> Result<(Vec<String>, bool), ParseError> {
+        self.expect('[')?;
+        let is_array = self.peek() == Some('[');
+        if is_array {
+            self.next();
+        }
+        let mut segments = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            segments.push(self.key()?);
+            self.skip_inline_ws();
+            match self.peek() {
+                Some('.') => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+        self.expect(']')?;
+        if is_array {
+            self.expect(']')?;
+        }
+        self.end_of_line()?;
+        Ok((segments, is_array))
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some('"') => self.string().map(Value::Str),
+            Some('[') => self.array(),
+            Some('t') => self.literal("true").map(|()| Value::Bool(true)),
+            Some('f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(c) if c == '-' || c == '+' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(format!("expected a value, found {c:?}"))),
+            None => Err(self.error("expected a value, found end of file")),
+        }
+    }
+
+    fn literal(&mut self, want: &str) -> Result<(), ParseError> {
+        for expected in want.chars() {
+            match self.next() {
+                Some(c) if c == expected => {}
+                Some(c) => return Err(self.error(format!("expected {want:?}, found {c:?}"))),
+                None => return Err(self.error(format!("expected {want:?}, found end of file"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        let start = self.line;
+        let unterminated = || ParseError {
+            line: start,
+            message: "unterminated string".to_owned(),
+        };
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some(c) => return Err(self.error(format!("unknown escape \\{c}"))),
+                    None => return Err(unterminated()),
+                },
+                Some('\n') | None => return Err(unterminated()),
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect('[')?;
+        let mut values = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(']') {
+                self.next();
+                return Ok(Value::Arr(values));
+            }
+            values.push(self.value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.next();
+                }
+                Some(']') => {
+                    self.next();
+                    return Ok(Value::Arr(values));
+                }
+                Some(c) => {
+                    return Err(self.error(format!("expected ',' or ']' in array, found {c:?}")))
+                }
+                None => return Err(self.error("unterminated array")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, '_' | '+' | '-' | '.' | 'e' | 'E') {
+                text.push(c);
+                self.next();
+            } else {
+                break;
+            }
+        }
+        if text.starts_with('_') || text.ends_with('_') || text.contains("__") {
+            return Err(self.error(format!("malformed number {text:?}")));
+        }
+        let digits: String = text.chars().filter(|&c| c != '_').collect();
+        let is_float = digits.contains('.') || digits.contains('e') || digits.contains('E');
+        if is_float {
+            match digits.parse::<f64>() {
+                Ok(v) if v.is_finite() => Ok(Value::Float(v)),
+                _ => Err(self.error(format!("malformed number {text:?}"))),
+            }
+        } else {
+            digits
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.error(format!("malformed number {text:?}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item<'a>(table: &'a Table, key: &str) -> &'a Value {
+        match table.get(key) {
+            Some(Node::Item(item)) => &item.value,
+            other => panic!("expected item at {key}, found {other:?}"),
+        }
+    }
+
+    fn subtable<'a>(table: &'a Table, key: &str) -> &'a Table {
+        match table.get(key) {
+            Some(Node::Table(inner)) => inner,
+            other => panic!("expected table at {key}, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_scalars_headers_and_arrays() {
+        let doc = parse(
+            "\
+schema = \"usta-catalog/device/v1\" # trailing comment
+
+[device]
+id = \"nexus4\"
+cores = 4
+ratio = 0.28
+big = 1_512_000
+on = true
+
+[device.thermal]
+nodes = [
+    [\"cpu\", 1.2],  # heterogeneous rows
+    [\"skin\", 26.0],
+]
+",
+        )
+        .expect("parses");
+        assert_eq!(
+            item(&doc, "schema"),
+            &Value::Str("usta-catalog/device/v1".into())
+        );
+        let device = subtable(&doc, "device");
+        assert_eq!(item(device, "id"), &Value::Str("nexus4".into()));
+        assert_eq!(item(device, "cores"), &Value::Int(4));
+        assert_eq!(item(device, "ratio"), &Value::Float(0.28));
+        assert_eq!(item(device, "big"), &Value::Int(1_512_000));
+        assert_eq!(item(device, "on"), &Value::Bool(true));
+        let thermal = subtable(device, "thermal");
+        assert_eq!(
+            item(thermal, "nodes"),
+            &Value::Arr(vec![
+                Value::Arr(vec![Value::Str("cpu".into()), Value::Float(1.2)]),
+                Value::Arr(vec![Value::Str("skin".into()), Value::Float(26.0)]),
+            ])
+        );
+    }
+
+    #[test]
+    fn array_of_tables_collects_in_order() {
+        let doc = parse(
+            "\
+[device]
+[[device.cluster]]
+name = \"big\"
+[[device.cluster]]
+name = \"little\"
+",
+        )
+        .expect("parses");
+        let device = subtable(&doc, "device");
+        match device.get("cluster") {
+            Some(Node::Array(tables)) => {
+                assert_eq!(tables.len(), 2);
+                assert_eq!(item(&tables[0], "name"), &Value::Str("big".into()));
+                assert_eq!(item(&tables[1], "name"), &Value::Str("little".into()));
+                assert_eq!(tables[0].line, 2);
+                assert_eq!(tables[1].line, 4);
+            }
+            other => panic!("expected array of tables, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let doc = parse("s = \"a\\\"b\\\\c\\nd\\te\\rf\"\n").expect("parses");
+        assert_eq!(item(&doc, "s"), &Value::Str("a\"b\\c\nd\te\rf".into()));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let error = parse("a = 1\nb = 2\nc = \"oops\n").unwrap_err();
+        assert_eq!(error.line, 3);
+        assert!(error.message.contains("unterminated string"));
+    }
+
+    #[test]
+    fn malformed_inputs_error_and_never_panic() {
+        for text in [
+            "a",
+            "a =",
+            "a = @",
+            "= 3",
+            "[table",
+            "[[x]",
+            "[a..b]",
+            "a = \"unterminated",
+            "a = [1, 2",
+            "a = [1,, 2]",
+            "a = 1 2",
+            "a = 1__2",
+            "a = _1",
+            "a = 1_",
+            "a = 1.2.3",
+            "a = tru",
+            "a = falsy",
+            "a = \"\\q\"",
+            "a = 1\na = 2\n",
+            "[t]\n[t]\n",
+            "a = 1\n[a]\n",
+            "a = 1\n[a.b]\n",
+            "[t]\n[[t]]\n",
+            "a = 99999999999999999999",
+            "a = 1e999",
+        ] {
+            assert!(parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn duplicate_key_reports_its_line() {
+        let error = parse("[t]\nx = 1\nx = 2\n").unwrap_err();
+        assert_eq!(error.line, 3);
+        assert!(error.message.contains("duplicate key"));
+    }
+
+    #[test]
+    fn crlf_line_endings_are_accepted() {
+        let doc = parse("a = 1\r\nb = 2\r\n").expect("parses");
+        assert_eq!(item(&doc, "a"), &Value::Int(1));
+        assert_eq!(item(&doc, "b"), &Value::Int(2));
+    }
+}

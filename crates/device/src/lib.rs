@@ -62,7 +62,9 @@ pub mod thermal;
 
 pub use catalog::{budget_quad, flagship_octa, nexus4, prime_flagship, tablet_10in};
 pub use error::DeviceError;
-pub use registry::{by_id, try_by_id, Registry, UnknownDeviceError, NAMES};
+pub use registry::{
+    by_id, install, merged, merged_ids, try_by_id, Registry, UnknownDeviceError, NAMES,
+};
 pub use spec::{
     BatterySpec, ClusterSpec, CpuPowerSpec, DeviceSpec, DisplaySpec, GpuDomainSpec, GpuPowerSpec,
     OppPoint, MAX_CPU_CLUSTERS, MAX_FREQ_DOMAINS,

@@ -1,6 +1,16 @@
 //! Id-based spec lookup for CLIs, sweeps, and benches.
+//!
+//! Two registries live here: the immutable built-in catalog
+//! ([`Registry::builtin`], [`NAMES`]) and a process-wide *merged* view
+//! that overlays extras [`install`]ed at runtime — typically file
+//! entries loaded by `usta-catalog`. The free functions
+//! ([`by_id`], [`try_by_id`], [`merged`], [`merged_ids`]) consult the
+//! merged view, so a CLI that installs a catalog once at startup makes
+//! every downstream lookup, `--device all` expansion, and "unknown
+//! device" listing see the merged set. With nothing installed the
+//! merged view **is** the built-in catalog, bit for bit.
 
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 use crate::catalog::{budget_quad, flagship_octa, nexus4, prime_flagship, tablet_10in};
 use crate::error::DeviceError;
@@ -87,7 +97,73 @@ impl Registry {
     }
 }
 
-/// Looks a built-in spec up by id, ASCII case-insensitively.
+/// Runtime-installed extras overlaying the built-in catalog, in
+/// install order. Leaked `&'static` specs: installs are rare (one
+/// catalog load per CLI invocation) and specs live for the process
+/// anyway.
+fn extras() -> &'static RwLock<Vec<&'static DeviceSpec>> {
+    static EXTRAS: OnceLock<RwLock<Vec<&'static DeviceSpec>>> = OnceLock::new();
+    EXTRAS.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// Validates `spec` and installs it into the process-wide merged
+/// registry: a spec whose id matches an earlier install replaces it; a
+/// new id is appended after the built-ins. Ids are matched ASCII
+/// case-insensitively.
+///
+/// The spec is leaked to `'static` — intended for one-shot catalog
+/// loads at CLI startup, not for churning specs in a loop.
+///
+/// # Errors
+///
+/// Returns the [`DeviceError`] when `spec` fails validation; the
+/// registry is unchanged.
+pub fn install(spec: DeviceSpec) -> Result<&'static DeviceSpec, DeviceError> {
+    spec.validate()?;
+    let leaked: &'static DeviceSpec = Box::leak(Box::new(spec));
+    let mut extras = extras().write().expect("device registry lock poisoned");
+    match extras
+        .iter_mut()
+        .find(|s| s.id.eq_ignore_ascii_case(leaked.id))
+    {
+        Some(slot) => *slot = leaked,
+        None => extras.push(leaked),
+    }
+    Ok(leaked)
+}
+
+/// The merged registry view: the built-ins in [`NAMES`] order (each
+/// replaced by a same-id [`install`]ed extra, if any), followed by
+/// extras with new ids in install order.
+pub fn merged() -> Vec<&'static DeviceSpec> {
+    let extras = extras().read().expect("device registry lock poisoned");
+    let mut specs: Vec<&'static DeviceSpec> = Registry::builtin()
+        .specs()
+        .iter()
+        .map(|builtin| {
+            extras
+                .iter()
+                .copied()
+                .find(|e| e.id.eq_ignore_ascii_case(builtin.id))
+                .unwrap_or(builtin)
+        })
+        .collect();
+    for &extra in extras.iter() {
+        if !specs.iter().any(|s| s.id.eq_ignore_ascii_case(extra.id)) {
+            specs.push(extra);
+        }
+    }
+    specs
+}
+
+/// Ids of the merged registry, in [`merged`] order. Equals [`NAMES`]
+/// until something is [`install`]ed.
+pub fn merged_ids() -> Vec<&'static str> {
+    merged().iter().map(|s| s.id).collect()
+}
+
+/// Looks a spec up by id in the merged registry (installed extras
+/// override built-ins), ASCII case-insensitively.
 ///
 /// ```
 /// use usta_device::by_id;
@@ -98,12 +174,21 @@ impl Registry {
 /// assert!(by_id("pixel-9").is_none());
 /// ```
 pub fn by_id(id: &str) -> Option<&'static DeviceSpec> {
+    if let Some(&spec) = extras()
+        .read()
+        .expect("device registry lock poisoned")
+        .iter()
+        .find(|s| s.id.eq_ignore_ascii_case(id))
+    {
+        return Some(spec);
+    }
     Registry::builtin().by_id(id)
 }
 
 /// The error [`try_by_id`] returns for unknown device ids. Its
-/// `Display` lists [`NAMES`], so CLIs can surface it verbatim — the
-/// single source of the "unknown device" wording.
+/// `Display` lists the *merged* registry's ids ([`merged_ids`] —
+/// [`NAMES`] plus anything [`install`]ed), so CLIs can surface it
+/// verbatim — the single source of the "unknown device" wording.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnknownDeviceError {
     name: String,
@@ -127,7 +212,7 @@ impl std::fmt::Display for UnknownDeviceError {
             f,
             "unknown device {:?} (known: {})",
             self.name,
-            NAMES.join(", ")
+            merged_ids().join(", ")
         )
     }
 }
@@ -135,11 +220,11 @@ impl std::fmt::Display for UnknownDeviceError {
 impl std::error::Error for UnknownDeviceError {}
 
 /// [`by_id`] with a CLI-ready error: ASCII case-insensitive, and the
-/// failure message lists every built-in id.
+/// failure message lists every merged-registry id.
 ///
 /// # Errors
 ///
-/// Returns [`UnknownDeviceError`] when `id` matches no built-in spec.
+/// Returns [`UnknownDeviceError`] when `id` matches no merged spec.
 pub fn try_by_id(id: &str) -> Result<&'static DeviceSpec, UnknownDeviceError> {
     by_id(id).ok_or_else(|| UnknownDeviceError::new(id))
 }
@@ -190,6 +275,48 @@ mod tests {
         let mut bad = crate::nexus4();
         bad.clusters[0].opp.clear();
         assert_eq!(Registry::new(vec![bad]), Err(DeviceError::EmptyOppTable));
+    }
+
+    #[test]
+    fn install_overlays_and_replaces_extras() {
+        // Unique ids: the extras overlay is process-global and other
+        // tests in this binary observe it.
+        let mut spec = crate::budget_quad();
+        spec.id = "registry-test-extra";
+        spec.description = "first install";
+        let installed = install(spec.clone()).expect("valid spec installs");
+        assert_eq!(installed.id, "registry-test-extra");
+        assert_eq!(by_id("REGISTRY-TEST-EXTRA"), Some(installed));
+        assert!(merged_ids().contains(&"registry-test-extra"));
+        // Built-ins stay in NAMES order at the front of the merged view.
+        assert_eq!(&merged_ids()[..NAMES.len()], &NAMES);
+        // Unknown-device errors now list the extra.
+        let message = try_by_id("iphone").unwrap_err().to_string();
+        assert!(message.contains("registry-test-extra"), "{message:?}");
+
+        // A same-id re-install replaces, not duplicates.
+        spec.description = "second install";
+        install(spec).expect("replacement installs");
+        assert_eq!(
+            by_id("registry-test-extra").map(|s| s.description),
+            Some("second install")
+        );
+        assert_eq!(
+            merged_ids()
+                .iter()
+                .filter(|&&id| id == "registry-test-extra")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn install_rejects_invalid_specs_without_registering() {
+        let mut bad = crate::budget_quad();
+        bad.id = "registry-test-bad";
+        bad.clusters[0].opp.clear();
+        assert_eq!(install(bad), Err(DeviceError::EmptyOppTable));
+        assert!(by_id("registry-test-bad").is_none());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use usta_fleet::{explain_triple, SweepConfig};
+use usta_fleet::{explain_triple, GridAxes, SweepConfig};
 
 fn usage() -> String {
     format!(
@@ -31,12 +31,16 @@ OPTIONS:
     --governor NAME    baseline governor                  [default: ondemand]
     --device LIST      comma-separated device ids, or \"all\" [default: nexus4]
                        (known: {})
+    --catalog DIR      merge device/grid catalog files from DIR over the
+                       built-in registry (must match the sweep's)
+    --grid NAME        sample scenarios from the named catalog grid's axes
+                       (needs --catalog; must match the sweep's)
     --no-usta          explain the bare baseline (no USTA wrap)
     --sim-seconds F    per-triple simulated-time cap      [default: 180]
     --smoke            the CI smoke preset grid
     --help             print this help
 ",
-        usta_device::NAMES.join(", ")
+        usta_device::merged_ids().join(", ")
     )
 }
 
@@ -57,11 +61,21 @@ fn parse_args() -> Result<(SweepConfig, usize), String> {
             "--no-usta" => overrides.push(("no-usta".into(), String::new())),
             "--help" | "-h" => return Err(String::new()),
             "--triple" | "--users" | "--scenarios" | "--seed" | "--governor" | "--sim-seconds"
-            | "--device" => {
+            | "--device" | "--catalog" | "--grid" => {
                 let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 overrides.push((arg, value));
             }
             other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    // Catalogs install before other flags resolve, exactly like
+    // fleet_sweep, so `--device all` and `--grid` see the merged set.
+    let mut catalog = usta_catalog::Catalog::default();
+    for (flag, value) in &overrides {
+        if flag == "--catalog" {
+            catalog = usta_catalog::Catalog::load_dir(value).map_err(|e| e.to_string())?;
+            catalog.install().map_err(|e| e.to_string())?;
         }
     }
 
@@ -83,10 +97,21 @@ fn parse_args() -> Result<(SweepConfig, usize), String> {
             "--governor" => config.governor = value,
             "--device" => {
                 config.devices = if value.eq_ignore_ascii_case("all") {
-                    usta_device::NAMES.iter().map(|&n| n.to_owned()).collect()
+                    usta_device::merged_ids()
+                        .iter()
+                        .map(|&n| n.to_owned())
+                        .collect()
                 } else {
                     value.split(',').map(|s| s.trim().to_owned()).collect()
                 };
+            }
+            "--catalog" => {} // handled in the install pass above
+            "--grid" => {
+                let spec = catalog.grid(&value).ok_or_else(|| {
+                    format!("--grid: unknown grid {value:?} (pass --catalog DIR first)")
+                })?;
+                config.grid = Some(GridAxes::from_spec(spec)?);
+                config.smoke = false;
             }
             "--sim-seconds" => config.max_sim_seconds = parse_value(&flag, &value)?,
             "no-usta" => config.usta = false,

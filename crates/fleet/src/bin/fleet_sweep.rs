@@ -15,10 +15,11 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use usta_fleet::{run_sweep, SweepConfig};
+use usta_fleet::{run_sweep, GridAxes, ScenarioCatalog, SweepConfig};
 
-/// The help text, with the device list taken from the live registry so
-/// catalog growth never goes stale here.
+/// The help text, with the device list taken from the live *merged*
+/// registry (built-ins plus any `--catalog` installs) so catalog
+/// growth never goes stale here.
 fn usage() -> String {
     format!(
         "\
@@ -35,6 +36,13 @@ OPTIONS:
     --governor NAME    baseline governor                  [default: ondemand]
     --device LIST      comma-separated device ids, or \"all\" [default: nexus4]
                        (known: {})
+    --catalog DIR      load device/grid catalog files (*.toml) from DIR and
+                       merge them over the built-in registry — file entries
+                       override same-id built-ins, new ids append
+    --grid NAME        sample scenarios from the named catalog grid's axes
+                       instead of the full paper grid (needs --catalog)
+    --list-devices     print the merged device registry and exit
+    --list-scenarios   print the scenario catalogs and loaded grids and exit
     --trace-dir DIR    write a per-triple CSV summary (triples.csv) to DIR,
                        plus triaged flight recordings (flight-<index>.json)
                        and the worst-triples table in the report
@@ -56,7 +64,7 @@ OPTIONS:
     --smoke            CI preset: ~100 short triples per device, small training
     --help             print this help
 ",
-        usta_device::NAMES.join(", ")
+        usta_device::merged_ids().join(", ")
     )
 }
 
@@ -71,6 +79,12 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, Strin
 struct CliOptions {
     config: SweepConfig,
     quiet: bool,
+    list_devices: bool,
+    list_scenarios: bool,
+    /// The last `--catalog` directory's parse, kept for `--grid`
+    /// resolution and the `--list-scenarios` grid listing (its devices
+    /// are already installed into the process-wide registry).
+    catalog: usta_catalog::Catalog,
     metrics_json: Option<std::path::PathBuf>,
     metrics_prom: Option<std::path::PathBuf>,
     chrome_trace: Option<std::path::PathBuf>,
@@ -88,14 +102,29 @@ fn parse_args() -> Result<CliOptions, String> {
             "--smoke" => smoke = true,
             "--no-usta" => overrides.push(("no-usta".into(), String::new())),
             "--quiet" => overrides.push(("quiet".into(), String::new())),
+            "--list-devices" => overrides.push(("list-devices".into(), String::new())),
+            "--list-scenarios" => overrides.push(("list-scenarios".into(), String::new())),
             "--help" | "-h" => return Err(String::new()),
             "--users" | "--scenarios" | "--threads" | "--seed" | "--governor" | "--sim-seconds"
-            | "--device" | "--trace-dir" | "--trace-steps" | "--flight-windows"
-            | "--triage-over" | "--metrics-json" | "--metrics-prom" | "--chrome-trace" => {
+            | "--device" | "--catalog" | "--grid" | "--trace-dir" | "--trace-steps"
+            | "--flight-windows" | "--triage-over" | "--metrics-json" | "--metrics-prom"
+            | "--chrome-trace" => {
                 let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 overrides.push((arg, value));
             }
             other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    // Catalogs install into the process-wide merged registry before any
+    // other flag resolves, so `--device all` expansion, unknown-device
+    // listings, and the help text see the merged set regardless of
+    // where `--catalog` sits on the command line.
+    let mut catalog = usta_catalog::Catalog::default();
+    for (flag, value) in &overrides {
+        if flag == "--catalog" {
+            catalog = usta_catalog::Catalog::load_dir(value).map_err(|e| e.to_string())?;
+            catalog.install().map_err(|e| e.to_string())?;
         }
     }
 
@@ -105,6 +134,8 @@ fn parse_args() -> Result<CliOptions, String> {
         SweepConfig::default()
     };
     let mut quiet = false;
+    let mut list_devices = false;
+    let mut list_scenarios = false;
     let mut metrics_json = None;
     let mut metrics_prom = None;
     let mut chrome_trace = None;
@@ -120,10 +151,27 @@ fn parse_args() -> Result<CliOptions, String> {
             "--governor" => config.governor = value,
             "--device" => {
                 config.devices = if value.eq_ignore_ascii_case("all") {
-                    usta_device::NAMES.iter().map(|&n| n.to_owned()).collect()
+                    usta_device::merged_ids()
+                        .iter()
+                        .map(|&n| n.to_owned())
+                        .collect()
                 } else {
                     value.split(',').map(|s| s.trim().to_owned()).collect()
                 };
+            }
+            "--catalog" => {} // handled in the install pass above
+            "--grid" => {
+                let spec = catalog.grid(&value).ok_or_else(|| {
+                    let known: Vec<&str> =
+                        catalog.grids.iter().map(|g| g.name.as_str()).collect();
+                    if known.is_empty() {
+                        format!("--grid: unknown grid {value:?} (no grids loaded — pass --catalog DIR first)")
+                    } else {
+                        format!("--grid: unknown grid {value:?} (known: {})", known.join(", "))
+                    }
+                })?;
+                config.grid = Some(GridAxes::from_spec(spec)?);
+                config.smoke = false;
             }
             "--trace-dir" => config.trace_dir = Some(value.into()),
             "--trace-steps" => config.trace_steps = parse_value(&flag, &value)?,
@@ -135,6 +183,8 @@ fn parse_args() -> Result<CliOptions, String> {
             "--sim-seconds" => config.max_sim_seconds = parse_value(&flag, &value)?,
             "no-usta" => config.usta = false,
             "quiet" => quiet = true,
+            "list-devices" => list_devices = true,
+            "list-scenarios" => list_scenarios = true,
             _ => unreachable!("collected flags are known"),
         }
     }
@@ -144,10 +194,81 @@ fn parse_args() -> Result<CliOptions, String> {
     Ok(CliOptions {
         config,
         quiet,
+        list_devices,
+        list_scenarios,
+        catalog,
         metrics_json,
         metrics_prom,
         chrome_trace,
     })
+}
+
+/// The `--list-devices` text: one row per merged-registry spec (file
+/// installs override built-ins), with domain and thermal summaries.
+fn list_devices_text() -> String {
+    let merged = usta_device::merged();
+    let builtin = usta_device::Registry::builtin().len();
+    let mut s = format!("devices ({builtin} built-in, {} total):\n", merged.len());
+    for spec in merged {
+        let mut domains: Vec<&str> = spec.clusters.iter().map(|c| c.name).collect();
+        if spec.gpu.is_some() {
+            domains.push("gpu");
+        }
+        if spec.brightness_ladder.is_some() {
+            domains.push("display");
+        }
+        s.push_str(&format!(
+            "  {:<16} {} cores ({}), domains: {}; thermal: {} nodes, die: {}; back: {}\n",
+            spec.id,
+            spec.cores(),
+            spec.topology(),
+            domains.join(", "),
+            spec.thermal.nodes.len(),
+            spec.thermal.die_nodes.join(", "),
+            usta_catalog::material_name(spec.back_cover),
+        ));
+        s.push_str(&format!("  {:<16} {}\n", "", spec.description));
+    }
+    s
+}
+
+/// The `--list-scenarios` text: the built-in full and smoke catalogs
+/// plus any grids the `--catalog` directory loaded.
+fn list_scenarios_text(catalog: &usta_catalog::Catalog) -> String {
+    let full = GridAxes::default();
+    let mut s = String::from("scenario catalogs (per device):\n");
+    s.push_str(&format!(
+        "  {:<16} {} scenarios ({} benchmarks x {} ambients x {} cases x {} charging x {} grip)\n",
+        "full",
+        full.len_per_device(),
+        full.benchmarks.len(),
+        full.ambients.len(),
+        full.cases.len(),
+        full.charging.len(),
+        full.hand_held.len(),
+    ));
+    s.push_str(&format!(
+        "  {:<16} {} fixed short scenarios (CI preset)\n",
+        "smoke",
+        ScenarioCatalog::smoke().len(),
+    ));
+    s.push_str("grids loaded from --catalog:\n");
+    if catalog.grids.is_empty() {
+        s.push_str("  (none — pass --catalog DIR to load grid files)\n");
+    }
+    for grid in &catalog.grids {
+        s.push_str(&format!(
+            "  {:<16} {} scenarios ({} benchmarks x {} ambients x {} cases x {} charging x {} grip)\n",
+            grid.name,
+            grid.len_per_device(),
+            grid.benchmarks.len(),
+            grid.ambients.len(),
+            grid.cases.len(),
+            grid.charging.len(),
+            grid.hand_held.len(),
+        ));
+    }
+    s
 }
 
 /// The stderr progress line: one background thread re-renders
@@ -222,6 +343,16 @@ fn main() -> ExitCode {
         }
     };
     let config = &options.config;
+
+    if options.list_devices || options.list_scenarios {
+        if options.list_devices {
+            print!("{}", list_devices_text());
+        }
+        if options.list_scenarios {
+            print!("{}", list_scenarios_text(&options.catalog));
+        }
+        return ExitCode::SUCCESS;
+    }
 
     // Telemetry powers both the exports and the progress line; a quiet
     // run with no export flags keeps the sink disabled (a true no-op).

@@ -52,5 +52,5 @@ pub use aggregate::{FleetAggregate, Histogram, MetricAggregate, OnlineStats, Tri
 pub use explain::{explain_triple, Explanation};
 pub use runner::{run_sweep, FleetError, FleetReport, SweepConfig, WorstTriple};
 pub use scenario::{
-    AmbientBand, CaseKind, Scenario, ScenarioCatalog, ScenarioWorkload, DEFAULT_DEVICE,
+    AmbientBand, CaseKind, GridAxes, Scenario, ScenarioCatalog, ScenarioWorkload, DEFAULT_DEVICE,
 };

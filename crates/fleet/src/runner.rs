@@ -42,7 +42,7 @@ use usta_telemetry::FlightRecorder;
 use usta_workloads::{Benchmark, Workload};
 
 use crate::aggregate::{FleetAggregate, TripleOutcome};
-use crate::scenario::{ScenarioCatalog, DEFAULT_DEVICE};
+use crate::scenario::{GridAxes, ScenarioCatalog, DEFAULT_DEVICE};
 
 /// Everything that defines a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +74,11 @@ pub struct SweepConfig {
     pub chunk_size: usize,
     /// Use the fixed short smoke catalog instead of grid sampling.
     pub smoke: bool,
+    /// The benchmark/environment axes scenario sampling draws from.
+    /// `None` is the paper's full grid ([`GridAxes::default`]) —
+    /// byte-identical to the pre-grid sampler. Ignored by `smoke`,
+    /// whose catalog is fixed.
+    pub grid: Option<GridAxes>,
     /// Device ids to sweep (see [`usta_device::NAMES`]); duplicates
     /// collapse, order is preserved. The default is the paper's
     /// `"nexus4"` alone, which reproduces the pre-device-axis grid
@@ -127,6 +132,7 @@ impl Default for SweepConfig {
             training_cap_seconds: 240.0,
             chunk_size: 16,
             smoke: false,
+            grid: None,
             devices: vec![DEFAULT_DEVICE.to_owned()],
             trace_dir: None,
             trace_steps: 0,
@@ -600,7 +606,20 @@ pub(crate) fn sweep_inputs(
     let catalog = if config.smoke {
         ScenarioCatalog::smoke_on(&devices)
     } else {
-        ScenarioCatalog::sampled_on(config.seed ^ 0x5CE4_A210, config.scenarios, &devices)
+        let default_axes;
+        let axes = match &config.grid {
+            Some(axes) => axes,
+            None => {
+                default_axes = GridAxes::default();
+                &default_axes
+            }
+        };
+        ScenarioCatalog::sampled_grid_on(
+            config.seed ^ 0x5CE4_A210,
+            config.scenarios,
+            axes,
+            &devices,
+        )
     };
     let population = UserPopulation::sampled(config.seed, config.users);
     if population.len() * catalog.len() == 0 {
@@ -1212,6 +1231,46 @@ mod tests {
     fn default_device_summary_has_no_devices_line() {
         let report = run_sweep(&tiny_config()).unwrap();
         assert!(!report.summary().contains("devices:"));
+    }
+
+    #[test]
+    fn restricted_grid_samples_only_its_axes() {
+        use crate::scenario::{AmbientBand, CaseKind};
+        let config = SweepConfig {
+            smoke: false,
+            scenarios: 6,
+            grid: Some(GridAxes {
+                benchmarks: vec![Benchmark::GfxBench],
+                ambients: vec![AmbientBand::Office, AmbientBand::HotCar],
+                cases: vec![CaseKind::Naked],
+                charging: vec![false],
+                hand_held: vec![false, true],
+            }),
+            ..tiny_config()
+        };
+        let (_, catalog, _) = sweep_inputs(&config).unwrap();
+        assert_eq!(catalog.len(), 6);
+        assert!(catalog
+            .scenarios()
+            .iter()
+            .all(|s| s.benchmark == Benchmark::GfxBench
+                && s.case == CaseKind::Naked
+                && !s.charging));
+    }
+
+    #[test]
+    fn default_grid_axes_match_the_flagless_sampler() {
+        let flagless = SweepConfig {
+            smoke: false,
+            ..tiny_config()
+        };
+        let explicit = SweepConfig {
+            grid: Some(GridAxes::default()),
+            ..flagless.clone()
+        };
+        let (_, a, _) = sweep_inputs(&flagless).unwrap();
+        let (_, b, _) = sweep_inputs(&explicit).unwrap();
+        assert_eq!(a, b, "explicit default axes must not disturb sampling");
     }
 
     #[test]

@@ -258,6 +258,115 @@ impl Workload for ScenarioWorkload {
     }
 }
 
+/// The benchmark/environment axes a sweep grid crosses. The default is
+/// the paper's full grid (every benchmark, ambient, case, and both
+/// charging/grip states); a catalog file's [`ScenarioGridSpec`]
+/// restricts it via [`GridAxes::from_spec`].
+///
+/// [`ScenarioGridSpec`]: usta_catalog::ScenarioGridSpec
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridAxes {
+    /// Benchmarks to cross, in grid order.
+    pub benchmarks: Vec<Benchmark>,
+    /// Ambient bands to cross.
+    pub ambients: Vec<AmbientBand>,
+    /// Enclosures to cross.
+    pub cases: Vec<CaseKind>,
+    /// Charging states to cross.
+    pub charging: Vec<bool>,
+    /// Grip states to cross.
+    pub hand_held: Vec<bool>,
+}
+
+impl Default for GridAxes {
+    fn default() -> GridAxes {
+        GridAxes {
+            benchmarks: Benchmark::ALL.to_vec(),
+            ambients: AmbientBand::ALL.to_vec(),
+            cases: CaseKind::ALL.to_vec(),
+            charging: vec![false, true],
+            hand_held: vec![false, true],
+        }
+    }
+}
+
+impl GridAxes {
+    /// Resolves a catalog grid's axis strings against the fleet enums:
+    /// benchmarks by their display name (`"AnTuTu Full"`, see
+    /// [`Benchmark::name`]), ambients and cases by their report name
+    /// (`"hot-car"`, `"slim-shell"`). Axis order in the file is grid
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a CLI-ready message naming the grid, the bad value, and
+    /// every known value for that axis.
+    pub fn from_spec(spec: &usta_catalog::ScenarioGridSpec) -> Result<GridAxes, String> {
+        fn axis<T: Copy>(
+            grid: &str,
+            axis_name: &str,
+            values: &[String],
+            known: &[T],
+            name_of: impl Fn(T) -> &'static str,
+        ) -> Result<Vec<T>, String> {
+            values
+                .iter()
+                .map(|value| {
+                    known
+                        .iter()
+                        .copied()
+                        .find(|&k| name_of(k) == value)
+                        .ok_or_else(|| {
+                            format!(
+                                "grid {grid:?}: unknown {axis_name} {value:?} (known: {})",
+                                known
+                                    .iter()
+                                    .map(|&k| name_of(k))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        })
+                })
+                .collect()
+        }
+        Ok(GridAxes {
+            benchmarks: axis(
+                &spec.name,
+                "benchmark",
+                &spec.benchmarks,
+                &Benchmark::ALL,
+                Benchmark::name,
+            )?,
+            ambients: axis(
+                &spec.name,
+                "ambient",
+                &spec.ambients,
+                &AmbientBand::ALL,
+                AmbientBand::name,
+            )?,
+            cases: axis(
+                &spec.name,
+                "case",
+                &spec.cases,
+                &CaseKind::ALL,
+                CaseKind::name,
+            )?,
+            charging: spec.charging.clone(),
+            hand_held: spec.hand_held.clone(),
+        })
+    }
+
+    /// Scenarios the axes generate per device (the axis-length
+    /// product).
+    pub fn len_per_device(&self) -> usize {
+        self.benchmarks.len()
+            * self.ambients.len()
+            * self.cases.len()
+            * self.charging.len()
+            * self.hand_held.len()
+    }
+}
+
 /// A deterministic list of scenarios to sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioCatalog {
@@ -277,13 +386,20 @@ impl ScenarioCatalog {
     /// per device. With a single device the order is exactly the
     /// single-device grid's.
     pub fn full_on(devices: &[&'static str]) -> ScenarioCatalog {
+        ScenarioCatalog::full_grid_on(&GridAxes::default(), devices)
+    }
+
+    /// The cartesian grid of the given axes across the given devices,
+    /// device-major then axis-major in [`GridAxes`] field order. With
+    /// the default axes this is exactly [`ScenarioCatalog::full_on`].
+    pub fn full_grid_on(axes: &GridAxes, devices: &[&'static str]) -> ScenarioCatalog {
         let mut scenarios = Vec::new();
         for &device in devices {
-            for benchmark in Benchmark::ALL {
-                for ambient in AmbientBand::ALL {
-                    for case in CaseKind::ALL {
-                        for charging in [false, true] {
-                            for hand_held in [false, true] {
+            for &benchmark in &axes.benchmarks {
+                for &ambient in &axes.ambients {
+                    for &case in &axes.cases {
+                        for &charging in &axes.charging {
+                            for &hand_held in &axes.hand_held {
                                 scenarios.push(Scenario {
                                     device,
                                     benchmark,
@@ -312,7 +428,22 @@ impl ScenarioCatalog {
     /// `(seed, n, devices)`. An empty device list yields an empty
     /// catalog.
     pub fn sampled_on(seed: u64, n: usize, devices: &[&'static str]) -> ScenarioCatalog {
-        let mut grid = ScenarioCatalog::full_on(devices).scenarios;
+        ScenarioCatalog::sampled_grid_on(seed, n, &GridAxes::default(), devices)
+    }
+
+    /// A deterministic `n`-scenario sample of an arbitrary-axes grid:
+    /// a seeded shuffle of [`ScenarioCatalog::full_grid_on`], cycled
+    /// when `n` exceeds the grid size. The sample is a pure function
+    /// of `(seed, n, axes, devices)`; with the default axes it is
+    /// exactly [`ScenarioCatalog::sampled_on`]'s. An empty device list
+    /// or empty axis yields an empty catalog.
+    pub fn sampled_grid_on(
+        seed: u64,
+        n: usize,
+        axes: &GridAxes,
+        devices: &[&'static str],
+    ) -> ScenarioCatalog {
+        let mut grid = ScenarioCatalog::full_grid_on(axes, devices).scenarios;
         if grid.is_empty() {
             return ScenarioCatalog { scenarios: grid };
         }
@@ -447,6 +578,77 @@ mod tests {
             ScenarioCatalog::sampled(42, 64),
             ScenarioCatalog::sampled_on(42, 64, &[DEFAULT_DEVICE])
         );
+    }
+
+    #[test]
+    fn default_axes_generate_the_legacy_grid_and_sample() {
+        let axes = GridAxes::default();
+        assert_eq!(axes.len_per_device(), 13 * 4 * 4 * 2 * 2);
+        assert_eq!(
+            ScenarioCatalog::full_grid_on(&axes, &[DEFAULT_DEVICE]),
+            ScenarioCatalog::full()
+        );
+        assert_eq!(
+            ScenarioCatalog::sampled_grid_on(42, 64, &axes, &[DEFAULT_DEVICE]),
+            ScenarioCatalog::sampled(42, 64)
+        );
+    }
+
+    #[test]
+    fn grid_axes_resolve_catalog_names() {
+        let spec = usta_catalog::ScenarioGridSpec {
+            name: "extremes".to_owned(),
+            benchmarks: vec!["GFXBench".to_owned(), "AnTuTu Full".to_owned()],
+            ambients: vec!["hot-car".to_owned()],
+            cases: vec!["rugged".to_owned(), "naked".to_owned()],
+            charging: vec![true],
+            hand_held: vec![false, true],
+        };
+        let axes = GridAxes::from_spec(&spec).expect("all names resolve");
+        assert_eq!(
+            axes.benchmarks,
+            vec![Benchmark::GfxBench, Benchmark::AntutuFull]
+        );
+        assert_eq!(axes.ambients, vec![AmbientBand::HotCar]);
+        assert_eq!(axes.cases, vec![CaseKind::Rugged, CaseKind::Naked]);
+        // 2 benchmarks × 1 ambient × 2 cases × 1 charging × 2 grips.
+        assert_eq!(axes.len_per_device(), 8);
+        let catalog = ScenarioCatalog::full_grid_on(&axes, &[DEFAULT_DEVICE]);
+        assert_eq!(catalog.len(), 8);
+        assert!(catalog.scenarios().iter().all(|s| s.charging));
+        assert!(catalog
+            .scenarios()
+            .iter()
+            .all(|s| s.ambient == AmbientBand::HotCar));
+        // File order is grid order, not enum order.
+        assert_eq!(catalog.scenarios()[0].benchmark, Benchmark::GfxBench);
+        assert_eq!(catalog.scenarios()[0].case, CaseKind::Rugged);
+    }
+
+    #[test]
+    fn grid_axes_reject_unknown_values_listing_the_known_ones() {
+        let mut spec = usta_catalog::ScenarioGridSpec {
+            name: "bad".to_owned(),
+            benchmarks: vec!["Quake".to_owned()],
+            ambients: vec!["office".to_owned()],
+            cases: vec!["naked".to_owned()],
+            charging: vec![false],
+            hand_held: vec![false],
+        };
+        let message = GridAxes::from_spec(&spec).unwrap_err();
+        assert!(message.contains("unknown benchmark \"Quake\""), "{message}");
+        assert!(message.contains("AnTuTu Full"), "{message}");
+        assert!(message.contains("GFXBench"), "{message}");
+        spec.benchmarks = vec!["Skype".to_owned()];
+        spec.ambients = vec!["tundra".to_owned()];
+        let message = GridAxes::from_spec(&spec).unwrap_err();
+        assert!(message.contains("unknown ambient \"tundra\""), "{message}");
+        assert!(message.contains("hot-car"), "{message}");
+        spec.ambients = vec!["winter".to_owned()];
+        spec.cases = vec!["leather".to_owned()];
+        let message = GridAxes::from_spec(&spec).unwrap_err();
+        assert!(message.contains("unknown case \"leather\""), "{message}");
+        assert!(message.contains("slim-shell"), "{message}");
     }
 
     #[test]

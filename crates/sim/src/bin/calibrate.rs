@@ -18,10 +18,12 @@ const USAGE: &str = "\
 calibrate — Table-1 calibration diagnostics
 
 USAGE:
-    calibrate [--device ID] [--seed N] [--metrics-json PATH]
+    calibrate [--device ID] [--catalog DIR] [--seed N] [--metrics-json PATH]
 
 OPTIONS:
     --device ID    catalog device to simulate       [default: nexus4]
+    --catalog DIR  merge device catalog files (*.toml) from DIR over the
+                   built-in registry before resolving --device
     --seed N       run seed                         [default: 42]
     --metrics-json PATH  write the telemetry registry as JSON to PATH
     --help         print this help
@@ -35,12 +37,14 @@ struct CliOptions {
 
 fn parse_args() -> Result<CliOptions, String> {
     let mut device = "nexus4".to_owned();
+    let mut catalog_dir: Option<String> = None;
     let mut seed = 42u64;
     let mut metrics_json = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--device" => device = args.next().ok_or("--device needs a value")?,
+            "--catalog" => catalog_dir = Some(args.next().ok_or("--catalog needs a value")?),
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("--seed: bad value {v:?}"))?;
@@ -51,6 +55,12 @@ fn parse_args() -> Result<CliOptions, String> {
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if let Some(dir) = catalog_dir {
+        // Install before resolution so --device (and the unknown-device
+        // listing) sees the merged registry.
+        let catalog = usta_catalog::Catalog::load_dir(&dir).map_err(|e| e.to_string())?;
+        catalog.install().map_err(|e| e.to_string())?;
     }
     let spec = usta_device::try_by_id(&device).map_err(|e| e.to_string())?;
     Ok(CliOptions {

@@ -19,10 +19,11 @@
 use crate::registry::{json_number, json_string};
 
 /// Per-domain array capacity. Matches the workspace's
-/// `MAX_FREQ_DOMAINS` (the flagship's big + LITTLE + GPU + display);
-/// `usta-telemetry` sits below `usta-soc`, so the bound is restated
-/// here and checked by the recording call sites.
-pub const MAX_DOMAINS: usize = 4;
+/// `MAX_FREQ_DOMAINS` (up to four CPU clusters plus the GPU and
+/// display domains — prime-flagship and sd8s-gen3 genuinely reach
+/// five); `usta-telemetry` sits below `usta-soc`, so the bound is
+/// restated here and checked by the recording call sites.
+pub const MAX_DOMAINS: usize = 6;
 
 /// [`DecisionEvent::band`] value for runs with no banding governor.
 pub const BAND_NONE: u8 = u8::MAX;
@@ -324,9 +325,9 @@ mod tests {
     #[test]
     fn binding_detection_requires_an_active_cap_at_the_chosen_level() {
         let mut e = DecisionEvent::new(0, 0.0, 2);
-        e.max_level = [5, 5, 0, 0];
-        e.cap = [3, 5, 0, 0];
-        e.level = [3, 5, 0, 0];
+        e.max_level[..2].copy_from_slice(&[5, 5]);
+        e.cap[..2].copy_from_slice(&[3, 5]);
+        e.level[..2].copy_from_slice(&[3, 5]);
         // Domain 0: level == cap < max → binding. Domain 1: cap is the
         // max, so nothing binds even though level == cap.
         assert_eq!(e.binding_domains().collect::<Vec<_>>(), vec![0]);

@@ -137,6 +137,18 @@ proptest! {
 }
 
 #[test]
+fn five_domain_devices_fit_the_flight_event() {
+    // prime-flagship carries three CPU clusters + GPU + display = five
+    // frequency domains (the catalog's sd8s-gen3 likewise), so the
+    // recorder's per-domain arrays must cover the workspace bound, not
+    // just flagship-octa's four.
+    let config = tiny_sweep("prime-flagship", 1, 1, 7);
+    let explanation = explain_triple(&config, 0).expect("five-domain replay runs");
+    assert!(!explanation.events.is_empty());
+    assert!(explanation.events.iter().all(|e| e.domains == 5));
+}
+
+#[test]
 fn explain_reproduces_the_sweeps_recorded_outcome_exactly() {
     let dir = std::env::temp_dir().join(format!("usta_flight_explain_{}", std::process::id()));
     let mut config = tiny_sweep("flagship-octa", 2, 4, 11);
