@@ -28,7 +28,7 @@ pub struct LoggedSample {
 
 /// An append-only log of observations across any number of benchmark
 /// runs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrainingLog {
     samples: Vec<LoggedSample>,
 }

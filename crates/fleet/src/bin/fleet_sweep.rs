@@ -15,7 +15,7 @@
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use usta_fleet::{run_sweep, GridAxes, ScenarioCatalog, SweepConfig};
+use usta_fleet::{run_sweep, target_percentile, GridAxes, ScenarioCatalog, SweepConfig};
 
 /// The help text, with the device list taken from the live *merged*
 /// registry (built-ins plus any `--catalog` installs) so catalog
@@ -58,6 +58,12 @@ OPTIONS:
                        text exposition format to PATH
     --chrome-trace PATH  write the span trace as Chrome trace-event JSON
                        (open in chrome://tracing or Perfetto) to PATH
+    --target-p99-over F  bisect the policy-limit population percentile for
+                       the laxest setting whose fleet p99 time-over-limit
+                       stays <= F; prints the probe trajectory, then the
+                       report at the chosen percentile (deterministic at
+                       any --threads)
+    --target-iters N   bisection rounds for --target-p99-over [default: 7]
     --quiet            no stderr progress line
     --no-usta          sweep the bare baseline (no USTA wrap)
     --sim-seconds F    per-triple simulated-time cap      [default: 180]
@@ -88,6 +94,11 @@ struct CliOptions {
     metrics_json: Option<std::path::PathBuf>,
     metrics_prom: Option<std::path::PathBuf>,
     chrome_trace: Option<std::path::PathBuf>,
+    /// `--target-p99-over` budget: switch from a single sweep to the
+    /// percentile-targeting bisection.
+    target_p99_over: Option<f64>,
+    /// Bisection rounds for `--target-p99-over`.
+    target_iters: usize,
 }
 
 fn parse_args() -> Result<CliOptions, String> {
@@ -108,7 +119,7 @@ fn parse_args() -> Result<CliOptions, String> {
             "--users" | "--scenarios" | "--threads" | "--seed" | "--governor" | "--sim-seconds"
             | "--device" | "--catalog" | "--grid" | "--trace-dir" | "--trace-steps"
             | "--flight-windows" | "--triage-over" | "--metrics-json" | "--metrics-prom"
-            | "--chrome-trace" => {
+            | "--chrome-trace" | "--target-p99-over" | "--target-iters" => {
                 let value = args.next().ok_or_else(|| format!("{arg} needs a value"))?;
                 overrides.push((arg, value));
             }
@@ -139,6 +150,8 @@ fn parse_args() -> Result<CliOptions, String> {
     let mut metrics_json = None;
     let mut metrics_prom = None;
     let mut chrome_trace = None;
+    let mut target_p99_over = None;
+    let mut target_iters = 7usize;
     for (flag, value) in overrides {
         match flag.as_str() {
             "--users" => config.users = parse_value(&flag, &value)?,
@@ -180,6 +193,8 @@ fn parse_args() -> Result<CliOptions, String> {
             "--metrics-json" => metrics_json = Some(value.into()),
             "--metrics-prom" => metrics_prom = Some(value.into()),
             "--chrome-trace" => chrome_trace = Some(value.into()),
+            "--target-p99-over" => target_p99_over = Some(parse_value(&flag, &value)?),
+            "--target-iters" => target_iters = parse_value(&flag, &value)?,
             "--sim-seconds" => config.max_sim_seconds = parse_value(&flag, &value)?,
             "no-usta" => config.usta = false,
             "quiet" => quiet = true,
@@ -191,6 +206,11 @@ fn parse_args() -> Result<CliOptions, String> {
     if config.threads == 0 {
         return Err("--threads must be at least 1".into());
     }
+    if let Some(budget) = target_p99_over {
+        if !(0.0..=1.0).contains(&budget) {
+            return Err("--target-p99-over must be a fraction in [0, 1]".into());
+        }
+    }
     Ok(CliOptions {
         config,
         quiet,
@@ -200,6 +220,8 @@ fn parse_args() -> Result<CliOptions, String> {
         metrics_json,
         metrics_prom,
         chrome_trace,
+        target_p99_over,
+        target_iters,
     })
 }
 
@@ -303,9 +325,33 @@ impl ProgressLine {
                 } else {
                     "—".to_owned()
                 };
+                // Per-worker busy fractions are wall-clock gauges
+                // (`fleet.worker<N>.busy`) — stderr only, never part
+                // of the diffed stdout surface.
+                let mut busy: Vec<(&str, f64)> = usta_telemetry::global()
+                    .gauges()
+                    .into_iter()
+                    .filter(|(name, _)| name.starts_with("fleet.worker") && name.ends_with(".busy"))
+                    .collect();
+                busy.sort_by_key(|&(name, _)| {
+                    name["fleet.worker".len()..name.len() - ".busy".len()]
+                        .parse::<usize>()
+                        .unwrap_or(usize::MAX)
+                });
+                let busy = if busy.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "  busy {}",
+                        busy.iter()
+                            .map(|(_, v)| format!("{:.0}%", v * 100.0))
+                            .collect::<Vec<_>>()
+                            .join("/")
+                    )
+                };
                 eprint!(
                     "\r{done}/{total} triples  {rate:.1} sims/s  \
-                     inflight {:.0}  queue {:.0}  eta {eta}    ",
+                     inflight {:.0}  queue {:.0}{busy}  eta {eta}    ",
                     inflight.value(),
                     queue_depth.value(),
                 );
@@ -363,9 +409,14 @@ fn main() -> ExitCode {
     if wants_telemetry {
         usta_telemetry::enable();
     }
+    // Percentile targeting runs up to 2 + iters full sweeps; size the
+    // progress denominator to that upper bound.
+    let probe_sweeps = options
+        .target_p99_over
+        .map_or(1, |_| 2 + options.target_iters);
     let progress = (!options.quiet).then(|| {
         ProgressLine::spawn(
-            config.total_triples(),
+            config.total_triples() * probe_sweeps,
             usta_telemetry::global().counter("fleet.triples"),
             usta_telemetry::global().gauge("fleet.inflight_triples"),
             usta_telemetry::global().gauge("fleet.queue_depth"),
@@ -373,7 +424,38 @@ fn main() -> ExitCode {
     });
 
     let started = Instant::now();
-    let outcome = run_sweep(config);
+    let outcome = match options.target_p99_over {
+        Some(budget) => {
+            target_percentile(config, budget, options.target_iters).map(|target| {
+                // The whole trajectory block is deterministic — CI
+                // diffs it across thread counts like the summary.
+                let mut s = format!("percentile target: p99 time-over-limit <= {budget:.4}\n");
+                for probe in &target.trajectory {
+                    s.push_str(&format!(
+                        "  probe {:>6.2}% -> p99 {:.4} ({})\n",
+                        probe.percentile,
+                        probe.p99_time_over,
+                        if probe.feasible { "ok" } else { "over" },
+                    ));
+                }
+                if target.feasible {
+                    s.push_str(&format!(
+                        "chosen percentile: {:.2} (p99 {:.4} <= {budget:.4})\n",
+                        target.percentile, target.p99_time_over,
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "no feasible percentile: strictest (0) still over \
+                         (p99 {:.4} > {budget:.4})\n",
+                        target.p99_time_over,
+                    ));
+                }
+                print!("{s}");
+                target.report
+            })
+        }
+        None => run_sweep(config),
+    };
     if let Some(progress) = progress {
         progress.finish();
     }

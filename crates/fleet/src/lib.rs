@@ -50,7 +50,10 @@ pub mod scenario;
 
 pub use aggregate::{FleetAggregate, Histogram, MetricAggregate, OnlineStats, TripleOutcome};
 pub use explain::{explain_triple, Explanation};
-pub use runner::{run_sweep, FleetError, FleetReport, SweepConfig, WorstTriple};
+pub use runner::{
+    run_sweep, target_percentile, FleetError, FleetReport, PercentileProbe, PercentileTarget,
+    SweepConfig, WorstTriple,
+};
 pub use scenario::{
     AmbientBand, CaseKind, GridAxes, Scenario, ScenarioCatalog, ScenarioWorkload, DEFAULT_DEVICE,
 };

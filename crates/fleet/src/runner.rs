@@ -23,10 +23,11 @@
 //! summary rows are written in chunk-index order, so the CSV is
 //! byte-identical at every thread count.
 
+use std::collections::VecDeque;
 use std::io::Write;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -37,8 +38,12 @@ use usta_core::{TemperaturePredictor, UserPopulation, UstaGovernor, UstaPolicy};
 use usta_governors::by_name;
 use usta_ml::reptree::RepTreeParams;
 use usta_ml::Learner;
-use usta_sim::{run_workload, run_workload_recorded, Device, Governor, RunConfig};
+use usta_sim::{
+    run_workload, run_workload_recorded, run_workloads_batched, BatchLane, Device, Governor,
+    RunConfig, RunResult,
+};
 use usta_telemetry::FlightRecorder;
+use usta_thermal::Celsius;
 use usta_workloads::{Benchmark, Workload};
 
 use crate::aggregate::{FleetAggregate, TripleOutcome};
@@ -109,6 +114,14 @@ pub struct SweepConfig {
     /// Rows in the report's worst-triples table (kept and printed only
     /// while triage is active; 0 hides the table).
     pub worst_k: usize,
+    /// When set, every USTA triple's policy limit is the population's
+    /// `p`-th percentile skin limit instead of that triple's own user's
+    /// limit — the knob [`target_percentile`] bisects. Comfort is
+    /// still judged against each user's own limit, so the report
+    /// measures how a *fleet-wide* policy setting lands on individual
+    /// users. `None` (the default) is the per-user paper behaviour,
+    /// byte-identical to every earlier release.
+    pub policy_limit_percentile: Option<f64>,
 }
 
 impl Default for SweepConfig {
@@ -140,6 +153,7 @@ impl Default for SweepConfig {
             triage_over_fraction: 0.02,
             triage_peak_margin_c: 0.5,
             worst_k: 10,
+            policy_limit_percentile: None,
         }
     }
 }
@@ -392,6 +406,44 @@ pub(crate) fn train_predictor_pool(
     if config.predictor_pool == 0 || config.training_benchmarks.is_empty() {
         return Err(FleetError::NoTrainingData);
     }
+    // Training is a pure function of (seed, device, benchmarks, caps,
+    // pool size), and percentile-targeting bisection re-runs the same
+    // sweep config many times in one process — memoize the pools so
+    // only the first run pays the campaign. The cache key spells out
+    // every input the campaign reads.
+    let key = format!(
+        "{}|{}|{}|{:?}|{}",
+        config.seed,
+        device,
+        config.predictor_pool,
+        config.training_benchmarks,
+        config.training_cap_seconds.to_bits(),
+    );
+    static CACHE: Mutex<Option<std::collections::HashMap<String, Vec<TemperaturePredictor>>>> =
+        Mutex::new(None);
+    if let Some(pool) = CACHE
+        .lock()
+        .expect("training cache not poisoned")
+        .get_or_insert_with(Default::default)
+        .get(&key)
+    {
+        return Ok(pool.clone());
+    }
+    let pool = train_predictor_pool_uncached(config, device)?;
+    CACHE
+        .lock()
+        .expect("training cache not poisoned")
+        .get_or_insert_with(Default::default)
+        .insert(key, pool.clone());
+    Ok(pool)
+}
+
+/// The actual training campaign behind [`train_predictor_pool`]'s
+/// memoization.
+fn train_predictor_pool_uncached(
+    config: &SweepConfig,
+    device: &'static str,
+) -> Result<Vec<TemperaturePredictor>, FleetError> {
     let spec = usta_device::by_id(device).expect("device validated up front");
     let mut per_benchmark: Vec<TrainingLog> = Vec::new();
     for (i, &benchmark) in config.training_benchmarks.iter().enumerate() {
@@ -440,21 +492,56 @@ pub(crate) fn train_predictor_pool(
     Ok(pool)
 }
 
-/// Runs one (user, device, scenario) triple to completion. `pools`
-/// holds one trained predictor pool per swept device (empty for
-/// baseline-only sweeps). When `capture_steps` is set the full
-/// per-step trace CSV rides along for the `--trace-steps` sink; a
-/// `recorder` captures per-window decision provenance for the triage
-/// sink and the `explain` CLI.
-pub(crate) fn run_triple(
+/// The policy limit a triple's USTA stack targets: the user's own
+/// comfort limit, or — under [`SweepConfig::policy_limit_percentile`]
+/// — the population-wide percentile limit. The percentile uses the
+/// deterministic nearest-rank rule over the sorted limits
+/// (`round(p/100 × (n−1))`), so the value is a pure function of the
+/// config at any thread count.
+pub(crate) fn policy_limit(
+    config: &SweepConfig,
+    population: &UserPopulation,
+    user: &usta_core::UserProfile,
+) -> Celsius {
+    match config.policy_limit_percentile {
+        None => user.skin_limit,
+        Some(p) => {
+            let mut limits: Vec<f64> = population
+                .users()
+                .iter()
+                .map(|u| u.skin_limit.value())
+                .collect();
+            limits.sort_by(f64::total_cmp);
+            let p = p.clamp(0.0, 100.0);
+            let rank = ((p / 100.0) * (limits.len() - 1) as f64).round() as usize;
+            Celsius(limits[rank])
+        }
+    }
+}
+
+/// One triple's fully constructed inputs, ready to run: the device,
+/// its workload, and the governor stack, with every per-triple RNG
+/// draw already made in the seed stream's canonical order
+/// (sensor seed, jitter seed, predictor pick).
+pub(crate) struct PreparedTriple {
+    device: Device,
+    workload: crate::scenario::ScenarioWorkload,
+    governor: Governor,
+    /// The workload's (cap-truncated) duration.
+    sim_seconds: f64,
+}
+
+/// Builds triple `index`'s device/workload/governor from its sweep
+/// coordinates. Bit-for-bit the construction [`run_triple`] has always
+/// done — the batched chunk path calls it separately so same-device
+/// triples can integrate together.
+pub(crate) fn prepare_triple(
     config: &SweepConfig,
     population: &UserPopulation,
     catalog: &ScenarioCatalog,
     pools: &[(&'static str, Vec<TemperaturePredictor>)],
     index: usize,
-    capture_steps: bool,
-    recorder: Option<&mut FlightRecorder>,
-) -> (TripleOutcome, Option<Result<String, String>>) {
+) -> PreparedTriple {
     let user = &population.users()[index / catalog.len()];
     let scenario = &catalog.scenarios()[index % catalog.len()];
     let mut rng = triple_stream(config.seed, index as u64);
@@ -475,32 +562,44 @@ pub(crate) fn run_triple(
         0
     };
 
-    let mut device =
-        Device::new(scenario.device_config(sensor_seed)).expect("scenario devices build");
-    let mut workload = scenario.workload(jitter_seed, config.max_sim_seconds);
+    let device = Device::new(scenario.device_config(sensor_seed)).expect("scenario devices build");
+    let workload = scenario.workload(jitter_seed, config.max_sim_seconds);
     let sim_seconds = workload.duration();
     let baseline = by_name(&config.governor).expect("governor validated up front");
-    let mut governor = if config.usta {
+    let governor = if config.usta {
         Governor::Usta(Box::new(UstaGovernor::new(
             baseline,
             predictors[predictor_pick].clone(),
-            UstaPolicy::new(user.skin_limit),
+            UstaPolicy::new(policy_limit(config, population, user)),
         )))
     } else {
         Governor::Baseline(baseline)
     };
+    PreparedTriple {
+        device,
+        workload,
+        governor,
+        sim_seconds,
+    }
+}
 
-    let result = run_workload_recorded(
-        &mut device,
-        &mut workload,
-        &mut governor,
-        &RunConfig::default(),
-        recorder,
-    );
+/// Folds a finished run back into the sweep's per-triple outcome.
+/// Comfort is always judged against the triple's own user's limit
+/// (the percentile knob moves only the *policy*, never the judge).
+pub(crate) fn finish_triple(
+    population: &UserPopulation,
+    catalog: &ScenarioCatalog,
+    index: usize,
+    sim_seconds: f64,
+    capture_steps: bool,
+    result: &RunResult,
+) -> (TripleOutcome, Option<Result<String, String>>) {
+    let user = &population.users()[index / catalog.len()];
+    let scenario = &catalog.scenarios()[index % catalog.len()];
     let comfort =
         ComfortStats::from_trace(&result.skin_trace, result.log_period_s, user.skin_limit);
     let steps_csv =
-        capture_steps.then(|| usta_sim::to_csv_string(&result).map_err(|e| e.to_string()));
+        capture_steps.then(|| usta_sim::to_csv_string(result).map_err(|e| e.to_string()));
     let outcome = TripleOutcome {
         sim_seconds,
         peak_skin_c: result.max_skin.value(),
@@ -523,6 +622,152 @@ pub(crate) fn run_triple(
         work: result.work,
     };
     (outcome, steps_csv)
+}
+
+/// Runs one (user, device, scenario) triple to completion. `pools`
+/// holds one trained predictor pool per swept device (empty for
+/// baseline-only sweeps). When `capture_steps` is set the full
+/// per-step trace CSV rides along for the `--trace-steps` sink; a
+/// `recorder` captures per-window decision provenance for the triage
+/// sink and the `explain` CLI.
+pub(crate) fn run_triple(
+    config: &SweepConfig,
+    population: &UserPopulation,
+    catalog: &ScenarioCatalog,
+    pools: &[(&'static str, Vec<TemperaturePredictor>)],
+    index: usize,
+    capture_steps: bool,
+    recorder: Option<&mut FlightRecorder>,
+) -> (TripleOutcome, Option<Result<String, String>>) {
+    let mut prepared = prepare_triple(config, population, catalog, pools, index);
+    let result = run_workload_recorded(
+        &mut prepared.device,
+        &mut prepared.workload,
+        &mut prepared.governor,
+        &RunConfig::default(),
+        recorder,
+    );
+    finish_triple(
+        population,
+        catalog,
+        index,
+        prepared.sim_seconds,
+        capture_steps,
+        &result,
+    )
+}
+
+/// A work-stealing chunk scheduler over `0..n_chunks`.
+///
+/// Each worker owns a deque seeded with a contiguous block of chunk
+/// indices. A worker pops its own deque's **front**; when empty it
+/// steals the richest victim's **back half** (ceil(m/2) chunks,
+/// order preserved) into its own deque and continues. Every chunk is
+/// claimed exactly once regardless of interleaving, and *which* worker
+/// runs a chunk never matters — results merge in chunk-index order
+/// downstream — so any steal schedule produces bit-identical output.
+///
+/// A worker that finds every deque empty exits. A steal in flight can
+/// briefly hide chunks from the scan (they sit in the thief's hands
+/// between locks), so a racing worker may retire early — that costs
+/// only parallelism at the tail, never work: the thief still runs what
+/// it took.
+pub(crate) struct ChunkScheduler {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Unclaimed chunks across all deques (drives the
+    /// `fleet.queue_depth` gauge without summing under locks).
+    remaining: AtomicUsize,
+}
+
+/// One claim's provenance, for the scheduling-counter telemetry.
+pub(crate) enum Claim {
+    /// Popped from the worker's own deque.
+    Local(usize),
+    /// Obtained by stealing another worker's back half.
+    Stolen(usize),
+}
+
+impl Claim {
+    pub(crate) fn chunk(&self) -> usize {
+        match *self {
+            Claim::Local(chunk) | Claim::Stolen(chunk) => chunk,
+        }
+    }
+}
+
+impl ChunkScheduler {
+    /// Partitions `0..n_chunks` into `workers` contiguous blocks,
+    /// front-loading the remainder so block sizes differ by at most 1.
+    pub(crate) fn new(n_chunks: usize, workers: usize) -> ChunkScheduler {
+        let workers = workers.max(1);
+        let base = n_chunks / workers;
+        let extra = n_chunks % workers;
+        let mut next = 0usize;
+        let deques = (0..workers)
+            .map(|w| {
+                let len = base + usize::from(w < extra);
+                let block: VecDeque<usize> = (next..next + len).collect();
+                next += len;
+                Mutex::new(block)
+            })
+            .collect();
+        debug_assert_eq!(next, n_chunks, "every chunk lands in exactly one deque");
+        ChunkScheduler {
+            deques,
+            remaining: AtomicUsize::new(n_chunks),
+        }
+    }
+
+    /// Unclaimed chunks across all deques (approximate during steals).
+    pub(crate) fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Relaxed)
+    }
+
+    /// Claims the next chunk for `worker`, stealing when its own deque
+    /// is empty. `None` means every deque looked empty — time to exit.
+    pub(crate) fn claim(&self, worker: usize) -> Option<Claim> {
+        if let Some(chunk) = self.deques[worker]
+            .lock()
+            .expect("deque not poisoned")
+            .pop_front()
+        {
+            self.remaining.fetch_sub(1, Ordering::Relaxed);
+            return Some(Claim::Local(chunk));
+        }
+        loop {
+            // Pick the victim with the most queued chunks; scanning
+            // takes each lock briefly, which is fine — steals only
+            // happen when this worker would otherwise idle.
+            let victim = self
+                .deques
+                .iter()
+                .enumerate()
+                .filter(|&(v, _)| v != worker)
+                .map(|(v, dq)| (dq.lock().expect("deque not poisoned").len(), v))
+                .max()
+                .filter(|&(len, _)| len > 0)
+                .map(|(_, v)| v)?;
+            // Take the back half (ceil(m/2)), keeping chunk order; the
+            // victim may have drained since the scan — rescan if so.
+            let mut taken = {
+                let mut dq = self.deques[victim].lock().expect("deque not poisoned");
+                let m = dq.len();
+                if m == 0 {
+                    continue;
+                }
+                dq.split_off(m - m.div_ceil(2))
+            };
+            let first = taken.pop_front().expect("stole at least one chunk");
+            self.remaining.fetch_sub(1, Ordering::Relaxed);
+            if !taken.is_empty() {
+                self.deques[worker]
+                    .lock()
+                    .expect("deque not poisoned")
+                    .append(&mut taken);
+            }
+            return Some(Claim::Stolen(first));
+        }
+    }
 }
 
 /// The report's governor-stack label (`"usta(<baseline>)"` or the bare
@@ -657,6 +902,29 @@ pub(crate) struct FleetTelemetry {
     /// Exact in-flight count behind the `inflight` gauge (gauges are
     /// last-write-wins; the atomic makes concurrent updates add up).
     inflight_count: std::sync::atomic::AtomicI64,
+    /// `fleet.steals`: successful work steals. A *scheduling* counter —
+    /// its value depends on thread interleaving, so it lives outside
+    /// the deterministic surface (JSON `"scheduling"` section, absent
+    /// from [`usta_telemetry::Registry::counters`] and the CLI's
+    /// diffed `telemetry:` block).
+    steals: usta_telemetry::Counter,
+    /// `fleet.steal_empty`: steal probes that found every deque empty
+    /// (the prober then retires). Scheduling counter, like `steals`.
+    steal_empty: usta_telemetry::Counter,
+}
+
+/// The `'static` gauge name for worker `w`'s busy fraction
+/// (`fleet.worker<w>.busy`). Names are leaked once per process-wide
+/// worker index — the registry API wants `&'static str`, and sweeps
+/// reuse the same handful of indices.
+fn worker_busy_gauge_name(worker: usize) -> &'static str {
+    static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut names = NAMES.lock().expect("gauge name cache not poisoned");
+    while names.len() <= worker {
+        let w = names.len();
+        names.push(Box::leak(format!("fleet.worker{w}.busy").into_boxed_str()));
+    }
+    names[worker]
 }
 
 impl FleetTelemetry {
@@ -677,20 +945,35 @@ impl FleetTelemetry {
             queue_depth: registry.gauge("fleet.queue_depth"),
             inflight: registry.gauge("fleet.inflight_triples"),
             inflight_count: std::sync::atomic::AtomicI64::new(0),
+            steals: registry.scheduling_counter("fleet.steals"),
+            steal_empty: registry.scheduling_counter("fleet.steal_empty"),
         }
+    }
+
+    /// The busy-fraction gauge for worker `worker` (busy wall-clock
+    /// over total wall-clock since the worker started; the progress
+    /// line renders these).
+    pub(crate) fn worker_busy(&self, worker: usize) -> usta_telemetry::Gauge {
+        self.registry.gauge(worker_busy_gauge_name(worker))
+    }
+
+    /// Records a claim's provenance and the queue depth after it.
+    pub(crate) fn chunk_claimed(&self, claim: &Claim, remaining: usize) {
+        if matches!(claim, Claim::Stolen(_)) {
+            self.steals.increment();
+        }
+        self.queue_depth.set(remaining as f64);
+    }
+
+    /// A steal probe found every deque empty.
+    pub(crate) fn steal_came_up_empty(&self) {
+        self.steal_empty.increment();
     }
 
     /// A `fleet.triple` span: wall-clock seconds per triple, and one
     /// trace event per triple on the worker's own timeline.
     fn triple_span(&self) -> usta_telemetry::Span {
         self.registry.span_with("fleet.triple", 0.0, 10.0, 1000)
-    }
-
-    /// A worker claimed `chunk` of `n_chunks`: the queue now holds
-    /// everything after it.
-    pub(crate) fn chunk_claimed(&self, chunk: usize, n_chunks: usize) {
-        self.queue_depth
-            .set(n_chunks.saturating_sub(chunk + 1) as f64);
     }
 
     /// A triple started simulating on some worker.
@@ -819,7 +1102,7 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
     let chunk_size = config.chunk_size.max(1);
     let n_chunks = total.div_ceil(chunk_size);
     let workers = config.threads.clamp(1, n_chunks);
-    let next_chunk = AtomicUsize::new(0);
+    let scheduler = ChunkScheduler::new(n_chunks, workers);
     // Set when the trace sink fails: the sweep's result is already lost
     // at that point, so workers drain fast instead of simulating the
     // rest of a (possibly huge) grid just to discard it.
@@ -845,27 +1128,46 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
     // pre-flight-recorder format.
     let flight_windows = if tracing { config.flight_windows } else { 0 };
 
+    /// One finished triple, parked until the in-order bookkeeping pass.
+    struct TripleDone {
+        outcome: TripleOutcome,
+        steps_csv: Option<Result<String, String>>,
+        /// The triaged flight dump, when the thresholds tripped.
+        flight: Option<String>,
+    }
+
     let (aggregate, worst) = std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker_id in 0..workers {
             let tx = tx.clone();
-            let next_chunk = &next_chunk;
+            let scheduler = &scheduler;
             let abort = &abort;
             let population = &population;
             let catalog = &catalog;
             let pools = &pools[..];
             let telemetry = telemetry.as_ref();
             scope.spawn(move || {
-                // One preallocated ring per worker, cleared between
-                // triples — recording never allocates on the hot path.
-                let mut ring = (flight_windows > 0).then(|| FlightRecorder::new(flight_windows));
+                // A preallocated ring pool per worker, grown to the
+                // largest same-device group and cleared between triples
+                // — recording never allocates on the hot path.
+                let mut rings: Vec<FlightRecorder> = Vec::new();
+                let started = std::time::Instant::now();
+                let mut busy = std::time::Duration::ZERO;
+                let busy_gauge = telemetry.map(|t| t.worker_busy(worker_id));
                 loop {
-                    let chunk = next_chunk.fetch_add(1, Ordering::Relaxed);
-                    if chunk >= n_chunks || abort.load(Ordering::Relaxed) {
+                    let Some(claim) = scheduler.claim(worker_id) else {
+                        if let Some(telemetry) = telemetry {
+                            telemetry.steal_came_up_empty();
+                        }
+                        break;
+                    };
+                    let chunk = claim.chunk();
+                    if abort.load(Ordering::Relaxed) {
                         break;
                     }
                     if let Some(telemetry) = telemetry {
-                        telemetry.chunk_claimed(chunk, n_chunks);
+                        telemetry.chunk_claimed(&claim, scheduler.remaining());
                     }
+                    let work_start = busy_gauge.as_ref().map(|_| std::time::Instant::now());
                     let lo = chunk * chunk_size;
                     let hi = (lo + chunk_size).min(total);
                     let mut partial = FleetAggregate::new();
@@ -873,49 +1175,156 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
                     let mut step_csvs: Vec<StepCsv> = Vec::new();
                     let mut flights: Vec<(usize, String)> = Vec::new();
                     let mut worst: Vec<WorstTriple> = Vec::new();
+
+                    // Group the chunk's triples by device (order
+                    // preserved): same-device groups integrate their
+                    // thermal networks together through one SoA batch,
+                    // singletons take the scalar path. Grouping is a
+                    // pure function of the chunk, so it cannot disturb
+                    // the determinism contract — and every outcome is
+                    // bit-identical either way.
+                    let mut groups: Vec<(&'static str, Vec<usize>)> = Vec::new();
                     for index in lo..hi {
-                        let capture_steps = index < trace_steps;
-                        if let Some(ring) = ring.as_mut() {
-                            ring.clear();
+                        let device = catalog.scenarios()[index % catalog.len()].device;
+                        match groups.iter_mut().find(|(d, _)| *d == device) {
+                            Some((_, members)) => members.push(index),
+                            None => groups.push((device, vec![index])),
                         }
-                        let triple_span = telemetry.map(|t| t.triple_span());
-                        if let Some(telemetry) = telemetry {
-                            telemetry.triple_started();
+                    }
+                    let mut done: Vec<Option<TripleDone>> = (lo..hi).map(|_| None).collect();
+
+                    for (_, members) in &groups {
+                        if flight_windows > 0 {
+                            while rings.len() < members.len() {
+                                rings.push(FlightRecorder::new(flight_windows));
+                            }
                         }
-                        let (outcome, steps) = run_triple(
-                            config,
-                            population,
-                            catalog,
-                            pools,
-                            index,
-                            capture_steps,
-                            ring.as_mut(),
-                        );
-                        if let Some(telemetry) = telemetry {
-                            telemetry.triple_finished();
+                        let triage = |index: usize,
+                                      outcome: &TripleOutcome,
+                                      ring: &FlightRecorder|
+                         -> Option<String> {
+                            let limit_c =
+                                population.users()[index / catalog.len()].skin_limit.value();
+                            triage_hit(config, limit_c, outcome).then(|| {
+                                flight_json(config, population, catalog, index, outcome, ring)
+                            })
+                        };
+                        if members.len() == 1 {
+                            let index = members[0];
+                            let capture_steps = index < trace_steps;
+                            if let Some(ring) = rings.first_mut() {
+                                ring.clear();
+                            }
+                            let triple_span = telemetry.map(|t| t.triple_span());
+                            if let Some(telemetry) = telemetry {
+                                telemetry.triple_started();
+                            }
+                            let (outcome, steps_csv) = run_triple(
+                                config,
+                                population,
+                                catalog,
+                                pools,
+                                index,
+                                capture_steps,
+                                rings.first_mut(),
+                            );
+                            if let Some(telemetry) = telemetry {
+                                telemetry.triple_finished();
+                            }
+                            drop(triple_span);
+                            let flight =
+                                rings.first().and_then(|ring| triage(index, &outcome, ring));
+                            done[index - lo] = Some(TripleDone {
+                                outcome,
+                                steps_csv,
+                                flight,
+                            });
+                        } else {
+                            let mut prepared: Vec<PreparedTriple> = members
+                                .iter()
+                                .map(|&index| {
+                                    prepare_triple(config, population, catalog, pools, index)
+                                })
+                                .collect();
+                            let spans: Vec<_> = members
+                                .iter()
+                                .map(|_| telemetry.map(|t| t.triple_span()))
+                                .collect();
+                            if let Some(telemetry) = telemetry {
+                                for _ in members {
+                                    telemetry.triple_started();
+                                }
+                            }
+                            let results = {
+                                for ring in rings.iter_mut() {
+                                    ring.clear();
+                                }
+                                let mut ring_iter = rings.iter_mut();
+                                let mut lanes: Vec<BatchLane<'_>> = prepared
+                                    .iter_mut()
+                                    .map(|p| BatchLane {
+                                        device: &mut p.device,
+                                        workload: &mut p.workload,
+                                        governor: &mut p.governor,
+                                        recorder: ring_iter.next(),
+                                    })
+                                    .collect();
+                                run_workloads_batched(&mut lanes, &RunConfig::default())
+                            };
+                            if let Some(telemetry) = telemetry {
+                                for _ in members {
+                                    telemetry.triple_finished();
+                                }
+                            }
+                            drop(spans);
+                            for (k, (&index, result)) in members.iter().zip(&results).enumerate() {
+                                let capture_steps = index < trace_steps;
+                                let (outcome, steps_csv) = finish_triple(
+                                    population,
+                                    catalog,
+                                    index,
+                                    prepared[k].sim_seconds,
+                                    capture_steps,
+                                    result,
+                                );
+                                let flight =
+                                    rings.get(k).and_then(|ring| triage(index, &outcome, ring));
+                                done[index - lo] = Some(TripleDone {
+                                    outcome,
+                                    steps_csv,
+                                    flight,
+                                });
+                            }
                         }
-                        drop(triple_span);
+                    }
+
+                    // Bookkeeping folds strictly in triple-index order
+                    // — the canonical association the determinism
+                    // contract promises, whatever order the groups ran.
+                    for index in lo..hi {
+                        let TripleDone {
+                            outcome,
+                            steps_csv,
+                            flight,
+                        } = done[index - lo].take().expect("every triple ran");
                         if tracing {
                             rows.push(trace_row(index, catalog, &outcome));
                         }
-                        if let Some(csv) = steps {
+                        if let Some(csv) = steps_csv {
                             step_csvs.push((index, csv));
                         }
-                        if let Some(ring) = ring.as_ref() {
-                            let user = &population.users()[index / catalog.len()];
-                            let limit_c = user.skin_limit.value();
-                            let dumped = triage_hit(config, limit_c, &outcome);
-                            if dumped {
-                                flights.push((
-                                    index,
-                                    flight_json(config, population, catalog, index, &outcome, ring),
-                                ));
+                        if flight_windows > 0 {
+                            let user_index = index / catalog.len();
+                            let limit_c = population.users()[user_index].skin_limit.value();
+                            let dumped = flight.is_some();
+                            if let Some(json) = flight {
+                                flights.push((index, json));
                             }
                             if config.worst_k > 0 {
                                 let scenario = &catalog.scenarios()[index % catalog.len()];
                                 worst.push(WorstTriple {
                                     index,
-                                    user: index / catalog.len(),
+                                    user: user_index,
                                     limit_c,
                                     scenario: scenario.name(),
                                     device: scenario.device,
@@ -944,6 +1353,10 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
                         worst,
                         sent_at,
                     });
+                    if let (Some(gauge), Some(t0)) = (&busy_gauge, work_start) {
+                        busy += t0.elapsed();
+                        gauge.set(busy.as_secs_f64() / started.elapsed().as_secs_f64().max(1e-9));
+                    }
                 }
             });
         }
@@ -1055,6 +1468,112 @@ pub fn run_sweep(config: &SweepConfig) -> Result<FleetReport, FleetError> {
     })
 }
 
+/// One probe of the percentile-targeting search: the percentile tried,
+/// the p99 time-over-limit fraction it produced, and whether it met the
+/// budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileProbe {
+    /// The population percentile handed to the policy.
+    pub percentile: f64,
+    /// The resulting fleet p99 of time-over-limit (fraction of run).
+    pub p99_time_over: f64,
+    /// `true` when `p99_time_over <= budget`.
+    pub feasible: bool,
+}
+
+/// The result of [`target_percentile`]: the laxest feasible policy
+/// percentile, the full probe trajectory, and the report at the chosen
+/// operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileTarget {
+    /// The chosen population percentile (laxest that met the budget, or
+    /// `0.0` when even the strictest limit misses it).
+    pub percentile: f64,
+    /// The fleet p99 time-over-limit at the chosen percentile.
+    pub p99_time_over: f64,
+    /// `false` when no percentile met the budget and the strictest
+    /// (percentile 0) result is returned as the fallback.
+    pub feasible: bool,
+    /// Every probe in evaluation order — deterministic, so two searches
+    /// from the same config produce identical trajectories at any
+    /// thread count.
+    pub trajectory: Vec<PercentileProbe>,
+    /// The sweep report at the chosen percentile.
+    pub report: FleetReport,
+}
+
+/// Bisects [`SweepConfig::policy_limit_percentile`] for the laxest
+/// population percentile whose fleet-wide p99 time-over-limit stays
+/// within `budget` (a fraction of the run, e.g. `0.05` for 5%).
+///
+/// Raising the percentile raises the shared policy limit, which
+/// monotonically raises time over each user's *own* limit — so the
+/// feasible set is a prefix of `[0, 100]` and bisection applies. The
+/// search probes percentile 100 first (done if already feasible), then
+/// percentile 0 (the fallback when nothing is feasible), then runs
+/// `iterations` rounds of bisection. Every probe is a full
+/// [`run_sweep`], so the whole search is bit-deterministic at any
+/// thread count; trace and flight sinks are disabled for probe runs.
+///
+/// # Errors
+///
+/// Propagates the first [`FleetError`] from any probe sweep.
+pub fn target_percentile(
+    config: &SweepConfig,
+    budget: f64,
+    iterations: usize,
+) -> Result<PercentileTarget, FleetError> {
+    let mut probe_config = config.clone();
+    probe_config.trace_dir = None;
+    probe_config.trace_steps = 0;
+    let mut trajectory = Vec::new();
+    let mut evaluate = |percentile: f64,
+                        trajectory: &mut Vec<PercentileProbe>|
+     -> Result<(f64, FleetReport), FleetError> {
+        probe_config.policy_limit_percentile = Some(percentile);
+        let report = run_sweep(&probe_config)?;
+        let p99_time_over = report.aggregate.time_over_limit.sketch.quantile(0.99);
+        trajectory.push(PercentileProbe {
+            percentile,
+            p99_time_over,
+            feasible: p99_time_over <= budget,
+        });
+        Ok((p99_time_over, report))
+    };
+
+    let (over_hi, report_hi) = evaluate(100.0, &mut trajectory)?;
+    if over_hi <= budget {
+        return Ok(PercentileTarget {
+            percentile: 100.0,
+            p99_time_over: over_hi,
+            feasible: true,
+            trajectory,
+            report: report_hi,
+        });
+    }
+    let (over_lo, report_lo) = evaluate(0.0, &mut trajectory)?;
+    let mut best = (0.0, over_lo, report_lo);
+    let (mut lo, mut hi) = (0.0_f64, 100.0_f64);
+    for _ in 0..iterations {
+        let mid = 0.5 * (lo + hi);
+        let (over, report) = evaluate(mid, &mut trajectory)?;
+        if over <= budget {
+            best = (mid, over, report);
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let (percentile, p99_time_over, report) = best;
+    Ok(PercentileTarget {
+        percentile,
+        feasible: p99_time_over <= budget,
+        p99_time_over,
+        trajectory,
+        report,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1079,7 +1598,7 @@ mod tests {
         let registry: &'static usta_telemetry::Registry =
             Box::leak(Box::new(usta_telemetry::Registry::new()));
         let telemetry = FleetTelemetry::with_registry(registry);
-        telemetry.chunk_claimed(0, 8);
+        telemetry.chunk_claimed(&Claim::Local(0), 7);
         assert_eq!(registry.gauge("fleet.queue_depth").value(), 7.0);
         telemetry.triple_started();
         telemetry.triple_started();
@@ -1087,11 +1606,95 @@ mod tests {
         telemetry.triple_finished();
         assert_eq!(registry.gauge("fleet.inflight_triples").value(), 1.0);
         assert_eq!(registry.counter("fleet.triples").value(), 1);
-        telemetry.chunk_claimed(7, 8);
-        assert_eq!(registry.gauge("fleet.queue_depth").value(), 0.0);
-        // Claims past the end saturate instead of wrapping.
-        telemetry.chunk_claimed(9, 8);
-        assert_eq!(registry.gauge("fleet.queue_depth").value(), 0.0);
+        // Steals land in the scheduling namespace, not the
+        // deterministic counter surface.
+        telemetry.chunk_claimed(&Claim::Stolen(3), 4);
+        telemetry.steal_came_up_empty();
+        assert_eq!(registry.gauge("fleet.queue_depth").value(), 4.0);
+        assert_eq!(
+            registry.scheduling_counters(),
+            vec![("fleet.steal_empty", 1), ("fleet.steals", 1)]
+        );
+        assert!(registry
+            .counters()
+            .iter()
+            .all(|(name, _)| !name.starts_with("fleet.steal")));
+        // Worker busy gauges resolve to stable leaked names.
+        telemetry.worker_busy(0).set(0.75);
+        assert_eq!(registry.gauge("fleet.worker0.busy").value(), 0.75);
+    }
+
+    #[test]
+    fn scheduler_partitions_contiguously_and_claims_every_chunk_once() {
+        let scheduler = ChunkScheduler::new(7, 3);
+        // Worker 0 gets 3 chunks, workers 1 and 2 get 2 each, all
+        // contiguous and front-loaded.
+        let mut seen = Vec::new();
+        for worker in 0..3 {
+            while let Some(chunk) = {
+                let mut dq = scheduler.deques[worker].lock().unwrap();
+                dq.pop_front()
+            } {
+                seen.push((worker, chunk));
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![(0, 0), (0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]
+        );
+    }
+
+    #[test]
+    fn scheduler_steals_the_richest_victims_back_half() {
+        let scheduler = ChunkScheduler::new(8, 2);
+        // Worker 0 holds 0..4, worker 1 holds 4..8. Drain worker 1,
+        // then its next claim must steal the back half (2, 3) of
+        // worker 0 and hand out chunk 2 first.
+        for expect in 4..8 {
+            match scheduler.claim(1) {
+                Some(Claim::Local(chunk)) => assert_eq!(chunk, expect),
+                other => panic!("expected local claim, got {:?}", other.map(|c| c.chunk())),
+            }
+        }
+        match scheduler.claim(1) {
+            Some(Claim::Stolen(chunk)) => assert_eq!(chunk, 2),
+            other => panic!("expected steal, got {:?}", other.map(|c| c.chunk())),
+        }
+        // The rest of the stolen run now sits in worker 1's own deque.
+        match scheduler.claim(1) {
+            Some(Claim::Local(chunk)) => assert_eq!(chunk, 3),
+            other => panic!("expected local claim, got {:?}", other.map(|c| c.chunk())),
+        }
+        assert_eq!(scheduler.remaining(), 2);
+        // Worker 0 still drains its untouched front half.
+        assert_eq!(scheduler.claim(0).map(|c| c.chunk()), Some(0));
+        assert_eq!(scheduler.claim(0).map(|c| c.chunk()), Some(1));
+        // Everything claimed: both workers see an empty world.
+        assert!(scheduler.claim(0).is_none());
+        assert!(scheduler.claim(1).is_none());
+        assert_eq!(scheduler.remaining(), 0);
+    }
+
+    #[test]
+    fn scheduler_claims_each_chunk_exactly_once_under_contention() {
+        for workers in [2usize, 3, 5] {
+            let scheduler = ChunkScheduler::new(97, workers);
+            let claimed = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for worker in 0..workers {
+                    let scheduler = &scheduler;
+                    let claimed = &claimed;
+                    scope.spawn(move || {
+                        while let Some(claim) = scheduler.claim(worker) {
+                            claimed.lock().unwrap().push(claim.chunk());
+                        }
+                    });
+                }
+            });
+            let mut chunks = claimed.into_inner().unwrap();
+            chunks.sort_unstable();
+            assert_eq!(chunks, (0..97).collect::<Vec<_>>(), "workers={workers}");
+        }
     }
 
     #[test]
@@ -1486,5 +2089,69 @@ mod tests {
         assert!(!report.summary().contains("freq [GHz]"));
         assert!(!report.summary().contains("brightness"));
         assert!(!report.summary().contains("temp [C]"));
+    }
+
+    #[test]
+    fn policy_limit_follows_the_nearest_rank_percentile() {
+        let population = UserPopulation::sampled(42, 11);
+        let user = &population.users()[0];
+        let mut limits: Vec<f64> = population
+            .users()
+            .iter()
+            .map(|u| u.skin_limit.value())
+            .collect();
+        limits.sort_by(f64::total_cmp);
+        let mut config = tiny_config();
+        assert_eq!(
+            policy_limit(&config, &population, user),
+            user.skin_limit,
+            "without a percentile the user's own limit applies"
+        );
+        for (p, rank) in [(0.0, 0), (50.0, 5), (100.0, 10), (1000.0, 10)] {
+            config.policy_limit_percentile = Some(p);
+            assert_eq!(
+                policy_limit(&config, &population, user),
+                Celsius(limits[rank]),
+                "percentile {p}"
+            );
+        }
+        // Monotone: a laxer percentile never lowers the limit.
+        let mut at = |p: f64| {
+            config.policy_limit_percentile = Some(p);
+            policy_limit(&config, &population, user).value()
+        };
+        for w in (0..=10)
+            .map(|i| i as f64 * 10.0)
+            .collect::<Vec<_>>()
+            .windows(2)
+        {
+            assert!(at(w[0]) <= at(w[1]));
+        }
+    }
+
+    #[test]
+    fn percentile_targeting_is_thread_count_invariant() {
+        let mut config = tiny_config();
+        config.threads = 1;
+        let one = target_percentile(&config, 0.05, 3).unwrap();
+        config.threads = 4;
+        let four = target_percentile(&config, 0.05, 3).unwrap();
+        assert_eq!(one, four, "trajectory and chosen report must match");
+        assert!(!one.trajectory.is_empty());
+        // Every probe's feasibility flag matches its p99 vs the budget.
+        for probe in &one.trajectory {
+            assert_eq!(probe.feasible, probe.p99_time_over <= 0.05);
+        }
+        if one.feasible {
+            assert!(one.p99_time_over <= 0.05);
+        }
+    }
+
+    #[test]
+    fn percentile_targeting_accepts_a_generous_budget_at_once() {
+        let target = target_percentile(&tiny_config(), 1.0, 5).unwrap();
+        assert_eq!(target.percentile, 100.0);
+        assert!(target.feasible);
+        assert_eq!(target.trajectory.len(), 1, "feasible at the first probe");
     }
 }

@@ -20,7 +20,7 @@ use usta_soc::{
     Battery, ChargeState, Cpu, CpuPowerModel, Display, DomainKind, GpuPowerModel, OppTable,
     PerDomain, SensorParams, ThermalSensor,
 };
-use usta_thermal::{Celsius, DeviceThermalModel, HeatLoad, ThermalTopology};
+use usta_thermal::{Celsius, DeviceThermalModel, ThermalTopology};
 use usta_workloads::DeviceDemand;
 
 /// Configuration of the simulated device.
@@ -225,6 +225,11 @@ pub struct Device {
     clock_s: f64,
     total_demand_khz_s: f64,
     unserved_khz_s: f64,
+    /// Reused per-step buffer for the big-first spill schedule (one
+    /// entry per virtual core).
+    per_core_scratch: Vec<f64>,
+    /// Reused per-step buffer for per-cluster CPU power.
+    die_w_scratch: Vec<f64>,
     /// Wall-clock time spent in the thermal RC step, accumulated
     /// locally and drained by the runner as `sim.thermal_step`.
     /// `None` (and therefore zero overhead) unless telemetry is
@@ -273,6 +278,8 @@ impl Device {
             clock_s: 0.0,
             total_demand_khz_s: 0.0,
             unserved_khz_s: 0.0,
+            per_core_scratch: Vec::new(),
+            die_w_scratch: Vec::new(),
             thermal_timings: usta_telemetry::enabled()
                 .then(|| usta_telemetry::LocalTimings::new(0.0, 1e-3, 1000)),
         })
@@ -300,6 +307,31 @@ impl Device {
     ///
     /// Panics if `levels.len()` differs from [`Device::domains`].
     pub fn apply(&mut self, demand: &DeviceDemand, levels: &[usize], dt: f64) {
+        self.apply_pre_thermal(demand, levels, dt);
+        let thermal_start = self
+            .thermal_timings
+            .as_ref()
+            .map(|_| std::time::Instant::now());
+        self.thermal.integrate(dt);
+        if let (Some(timings), Some(start)) = (self.thermal_timings.as_mut(), thermal_start) {
+            timings.record(start.elapsed());
+        }
+    }
+
+    /// Everything [`Device::apply`] does *except* the thermal time
+    /// integration: level changes, scheduling, power computation, heat
+    /// routing (including the hand term, staged via
+    /// [`DeviceThermalModel::prepare_step`]), and QoS/clock accounting.
+    ///
+    /// Callers must follow up by integrating the thermal model by the
+    /// same `dt` — either scalar ([`DeviceThermalModel::integrate`])
+    /// or batched across devices ([`usta_thermal::ThermalBatch`]);
+    /// `apply` is exactly this plus a scalar integrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len()` differs from [`Device::domains`].
+    pub fn apply_pre_thermal(&mut self, demand: &DeviceDemand, levels: &[usize], dt: f64) {
         assert_eq!(
             levels.len(),
             self.clusters.len()
@@ -328,16 +360,15 @@ impl Device {
         // Reassigning from scratch each window is migration at the
         // governor period.
         let total_cores: usize = self.clusters.iter().map(Cpu::cores).sum();
-        let mut per_core = vec![0.0f64; total_cores];
+        self.per_core_scratch.clear();
+        self.per_core_scratch.resize(total_cores, 0.0);
         for (i, &threads_khz) in demand.cpu_threads_khz.iter().enumerate() {
-            per_core[i % total_cores] += threads_khz.max(0.0);
+            self.per_core_scratch[i % total_cores] += threads_khz.max(0.0);
         }
         let mut offset = 0;
         for cluster in &mut self.clusters {
             let cores = cluster.cores();
-            cluster.apply_demand(&usta_soc::CoreDemand::per_core(
-                per_core[offset..offset + cores].to_vec(),
-            ));
+            cluster.apply_core_demand(&self.per_core_scratch[offset..offset + cores]);
             offset += cores;
         }
 
@@ -369,13 +400,13 @@ impl Device {
         // Each cluster's power is computed against — and routed back
         // into — its *own* die node, so leakage feedback and skin
         // heating are attributed per cluster.
-        let mut die_w = Vec::with_capacity(self.clusters.len());
+        self.die_w_scratch.clear();
         let mut cpu_w = 0.0;
         for (d, (cluster, power)) in self.clusters.iter().zip(&self.cluster_power).enumerate() {
             let die = self.thermal.die_temperature(d);
             let w = power.cluster_power(cluster.frequency(), cluster.utilizations(), die);
             cpu_w += w;
-            die_w.push(w);
+            self.die_w_scratch.push(w);
         }
         // A governed GPU draws dynamic power for the work it actually
         // runs at its arbiter-capped operating point; the legacy
@@ -403,21 +434,14 @@ impl Device {
         let load_w = cpu_w + gpu_w + display_total_w + demand.board_w;
         let battery_w = self.battery.step(load_w, dt);
 
-        self.thermal.set_heat(HeatLoad {
-            die_w,
-            gpu_w,
-            display_w,
-            battery_w,
-            board_w,
-        });
-        let thermal_start = self
-            .thermal_timings
-            .as_ref()
-            .map(|_| std::time::Instant::now());
-        self.thermal.step(dt);
-        if let (Some(timings), Some(start)) = (self.thermal_timings.as_mut(), thermal_start) {
-            timings.record(start.elapsed());
-        }
+        let heat = self.thermal.heat_mut();
+        heat.die_w.clear();
+        heat.die_w.extend_from_slice(&self.die_w_scratch);
+        heat.gpu_w = gpu_w;
+        heat.display_w = display_w;
+        heat.battery_w = battery_w;
+        heat.board_w = board_w;
+        self.thermal.prepare_step();
 
         self.total_demand_khz_s += demand.total_cpu_khz() * dt;
         let mut unserved = 0.0;
@@ -543,6 +567,22 @@ impl Device {
     /// The thermal model (read access for experiments).
     pub fn thermal_model(&self) -> &DeviceThermalModel {
         &self.thermal
+    }
+
+    /// Mutable thermal-model access for the batched runner (which
+    /// integrates several devices' networks through one
+    /// [`usta_thermal::ThermalBatch`]).
+    pub(crate) fn thermal_model_mut(&mut self) -> &mut DeviceThermalModel {
+        &mut self.thermal
+    }
+
+    /// Credits externally-measured thermal integration time (the
+    /// batched path's per-lane share) to this device's
+    /// `sim.thermal_step` accumulator.
+    pub(crate) fn record_thermal_time(&mut self, elapsed: std::time::Duration) {
+        if let Some(timings) = self.thermal_timings.as_mut() {
+            timings.record(elapsed);
+        }
     }
 
     /// The device spec this instance was built from.

@@ -155,6 +155,32 @@ impl Cpu {
         }
     }
 
+    /// Allocation-free variant of [`apply_demand`](Self::apply_demand)
+    /// for demand already folded down to exactly one non-negative
+    /// entry per core — the fleet hot path. Produces bit-identical
+    /// utilizations and unserved demand to `apply_demand` on the same
+    /// per-core values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_core.len()` differs from the core count.
+    pub fn apply_core_demand(&mut self, per_core: &[f64]) {
+        assert_eq!(
+            per_core.len(),
+            self.utilizations.len(),
+            "one demand entry per core"
+        );
+        let freq_khz = self.frequency().khz as f64;
+        self.unserved_khz = 0.0;
+        for (u, &d) in self.utilizations.iter_mut().zip(per_core) {
+            let raw = d / freq_khz;
+            *u = raw.min(1.0);
+            if raw > 1.0 {
+                self.unserved_khz += d - freq_khz;
+            }
+        }
+    }
+
     /// Per-core utilizations (0–1) for the last window.
     pub fn utilizations(&self) -> &[f64] {
         &self.utilizations

@@ -1,0 +1,419 @@
+//! Batched structure-of-arrays thermal stepping.
+//!
+//! A fleet sweep runs many *independent* copies of the same device
+//! topology side by side. Stepping them one network at a time walks a
+//! pointer-rich object per triple and re-derives the same structure
+//! (node count, boundary flags, coupling order) every time. A
+//! [`ThermalBatch`] instead lays the per-network state out as
+//! contiguous *lanes*: for `L` networks of `n` nodes, temperatures,
+//! powers, and derivatives live in one `n × L` lane-major buffer
+//! (`value[node * L + lane]`), and a single sub-stepped forward-Euler
+//! pass advances every lane with dense inner loops over the shared
+//! structure.
+//!
+//! # Bit-identity contract
+//!
+//! For each lane the arithmetic is *exactly* the scalar kernel of
+//! [`ThermalNetwork::step`]: the same three derivative passes in the
+//! same order (ambient pull + power, couplings in builder order,
+//! division — not reciprocal multiplication — by the heat capacity),
+//! the same `remaining → min(remaining, max_step)` sub-step schedule
+//! per lane, and the same `dt ≤ 0`/non-finite no-op guard. A lane
+//! stepped through a batch therefore produces bit-identical
+//! temperatures and elapsed time to stepping its model alone. Lanes
+//! may carry different capacitances, conductances, ambients, and `dt`s
+//! (a finished lane passes `dt = 0.0` and is untouched); only the
+//! *structure* — node count, boundary flags, coupling endpoints — must
+//! match, which [`ThermalBatch::try_new`] verifies.
+//!
+//! [`ThermalNetwork::step`]: crate::ThermalNetwork::step
+
+use crate::integrator::IntegrationMethod;
+use crate::topology::DeviceThermalModel;
+
+/// A lane-major batch of structurally identical thermal networks that
+/// advance together through one sub-stepped Euler pass.
+///
+/// Build one per group of same-device models with
+/// [`try_new`](Self::try_new), then call [`step`](Self::step) once per
+/// simulation step with the *same models in the same order*. The batch
+/// owns all scratch storage, so a worker can reuse one allocation
+/// across every step of a run.
+#[derive(Debug)]
+pub struct ThermalBatch {
+    lanes: usize,
+    nodes: usize,
+    /// Shared structure: per-node boundary flag.
+    boundary: Vec<bool>,
+    /// Shared structure: coupling endpoints in builder order.
+    pairs: Vec<(usize, usize)>,
+    /// `[coupling * lanes + lane]` conductances.
+    coupling_g: Vec<f64>,
+    /// `[node * lanes + lane]` heat capacities.
+    capacitance: Vec<f64>,
+    /// `[node * lanes + lane]` ambient conductances.
+    ambient_g: Vec<f64>,
+    /// Per-lane Euler sub-step bound.
+    max_step: Vec<f64>,
+    /// `[node * lanes + lane]` temperatures (loaded per step).
+    temps: Vec<f64>,
+    /// `[node * lanes + lane]` power injections (loaded per step).
+    power: Vec<f64>,
+    /// `[node * lanes + lane]` derivative scratch.
+    deriv: Vec<f64>,
+    /// Per-lane ambient temperature (loaded per step — scenarios may
+    /// move it between steps).
+    ambient: Vec<f64>,
+    /// Per-lane remaining time inside the current step.
+    remaining: Vec<f64>,
+    /// Per-lane sub-step size for the current Euler pass.
+    h: Vec<f64>,
+    /// Per-lane "this step is a real step" flag (the scalar no-op
+    /// guard, evaluated per lane).
+    active: Vec<bool>,
+}
+
+impl ThermalBatch {
+    /// Builds a batch over structurally identical Euler-integrated
+    /// models.
+    ///
+    /// Returns `None` when the slice is empty, any model integrates
+    /// with RK4, or the models disagree on node count, boundary flags,
+    /// or coupling endpoints/order — callers fall back to scalar
+    /// stepping in that case.
+    pub fn try_new(models: &[&DeviceThermalModel]) -> Option<ThermalBatch> {
+        let first = models.first()?.network();
+        if first.method() != IntegrationMethod::Euler {
+            return None;
+        }
+        let nodes = first.node_count();
+        let boundary: Vec<bool> = (0..nodes).map(|i| first.is_boundary(i)).collect();
+        let pairs: Vec<(usize, usize)> =
+            first.couplings().iter().map(|&(a, b, _)| (a, b)).collect();
+        for model in &models[1..] {
+            let net = model.network();
+            if net.method() != IntegrationMethod::Euler
+                || net.node_count() != nodes
+                || (0..nodes).any(|i| net.is_boundary(i) != boundary[i])
+                || net.couplings().len() != pairs.len()
+                || net
+                    .couplings()
+                    .iter()
+                    .zip(&pairs)
+                    .any(|(&(a, b, _), &(x, y))| (a, b) != (x, y))
+            {
+                return None;
+            }
+        }
+
+        let lanes = models.len();
+        let mut coupling_g = vec![0.0; pairs.len() * lanes];
+        let mut capacitance = vec![0.0; nodes * lanes];
+        let mut ambient_g = vec![0.0; nodes * lanes];
+        let mut max_step = vec![0.0; lanes];
+        for (l, model) in models.iter().enumerate() {
+            let net = model.network();
+            for (c, &(_, _, g)) in net.couplings().iter().enumerate() {
+                coupling_g[c * lanes + l] = g;
+            }
+            for i in 0..nodes {
+                capacitance[i * lanes + l] = net.capacitances()[i];
+                ambient_g[i * lanes + l] = net.ambient_conductances()[i];
+            }
+            max_step[l] = net.max_step();
+        }
+
+        Some(ThermalBatch {
+            lanes,
+            nodes,
+            boundary,
+            pairs,
+            coupling_g,
+            capacitance,
+            ambient_g,
+            max_step,
+            temps: vec![0.0; nodes * lanes],
+            power: vec![0.0; nodes * lanes],
+            deriv: vec![0.0; nodes * lanes],
+            ambient: vec![0.0; lanes],
+            remaining: vec![0.0; lanes],
+            h: vec![0.0; lanes],
+            active: vec![false; lanes],
+        })
+    }
+
+    /// Number of lanes (models) in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of nodes per lane.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Advances each prepared model by its `dts` entry in one shared
+    /// Euler pass.
+    ///
+    /// `models` must be the models the batch was built over, in the
+    /// same order; power injections are read as-is, so stage each
+    /// model first (e.g. with
+    /// [`DeviceThermalModel::prepare_step`]). A lane whose `dt` fails
+    /// the scalar no-op guard (`dt ≤ 0`, NaN, infinite) is left
+    /// completely untouched, exactly like `step(dt)` on that model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` or `dts` disagree with the batch's lane
+    /// count, or a model's node count no longer matches.
+    pub fn step(&mut self, models: &mut [&mut DeviceThermalModel], dts: &[f64]) {
+        assert_eq!(models.len(), self.lanes, "lane count mismatch");
+        assert_eq!(dts.len(), self.lanes, "dt count mismatch");
+        let lanes = self.lanes;
+
+        // Load lane state (temperatures, powers, ambient) and evaluate
+        // the scalar no-op guard per lane.
+        for (l, model) in models.iter().enumerate() {
+            let net = model.network();
+            assert_eq!(net.node_count(), self.nodes, "node count mismatch");
+            let dt = dts[l];
+            let active =
+                dt.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater) && dt.is_finite();
+            self.active[l] = active;
+            self.remaining[l] = if active { dt } else { 0.0 };
+            self.ambient[l] = net.ambient().value();
+            let temps = net.temps_slice();
+            let powers = net.powers();
+            for i in 0..self.nodes {
+                self.temps[i * lanes + l] = temps[i];
+                self.power[i * lanes + l] = powers[i];
+            }
+        }
+
+        // Shared sub-step loop: each lane follows exactly the scalar
+        // `remaining → min(remaining, max_step)` schedule; lanes that
+        // finish early idle with h = 0 and their state frozen.
+        while self.remaining.iter().any(|&r| r > 0.0) {
+            for l in 0..lanes {
+                self.h[l] = if self.remaining[l] > 0.0 {
+                    self.remaining[l].min(self.max_step[l])
+                } else {
+                    0.0
+                };
+            }
+            self.derivatives();
+            for i in 0..self.nodes {
+                let base = i * lanes;
+                for l in 0..lanes {
+                    let h = self.h[l];
+                    if h > 0.0 {
+                        self.temps[base + l] += h * self.deriv[base + l];
+                    }
+                }
+            }
+            for l in 0..lanes {
+                self.remaining[l] -= self.h[l];
+            }
+        }
+
+        // Store temperatures back and credit elapsed time on the lanes
+        // that actually stepped.
+        for (l, model) in models.iter_mut().enumerate() {
+            if !self.active[l] {
+                continue;
+            }
+            let net = model.network_mut();
+            let temps = net.temps_mut();
+            for (i, temp) in temps.iter_mut().enumerate().take(self.nodes) {
+                *temp = self.temps[i * lanes + l];
+            }
+            net.advance_elapsed(dts[l]);
+        }
+    }
+
+    /// Lane-major replica of the scalar derivative kernel (see
+    /// [`crate::network`]'s `derivatives_into`): three passes, coupling
+    /// accumulation in builder order, division by the capacitance.
+    fn derivatives(&mut self) {
+        let lanes = self.lanes;
+        for i in 0..self.nodes {
+            let base = i * lanes;
+            if self.boundary[i] {
+                self.deriv[base..base + lanes].fill(0.0);
+            } else {
+                for l in 0..lanes {
+                    self.deriv[base + l] = self.ambient_g[base + l]
+                        * (self.ambient[l] - self.temps[base + l])
+                        + self.power[base + l];
+                }
+            }
+        }
+        for (c, &(a, b)) in self.pairs.iter().enumerate() {
+            let gbase = c * lanes;
+            let abase = a * lanes;
+            let bbase = b * lanes;
+            match (self.boundary[a], self.boundary[b]) {
+                (false, false) => {
+                    for l in 0..lanes {
+                        let flow = self.coupling_g[gbase + l]
+                            * (self.temps[abase + l] - self.temps[bbase + l]);
+                        self.deriv[bbase + l] += flow;
+                        self.deriv[abase + l] -= flow;
+                    }
+                }
+                (false, true) => {
+                    for l in 0..lanes {
+                        let flow = self.coupling_g[gbase + l]
+                            * (self.temps[abase + l] - self.temps[bbase + l]);
+                        self.deriv[abase + l] -= flow;
+                    }
+                }
+                (true, false) => {
+                    for l in 0..lanes {
+                        let flow = self.coupling_g[gbase + l]
+                            * (self.temps[abase + l] - self.temps[bbase + l]);
+                        self.deriv[bbase + l] += flow;
+                    }
+                }
+                (true, true) => {}
+            }
+        }
+        for i in 0..self.nodes {
+            if self.boundary[i] {
+                continue;
+            }
+            let base = i * lanes;
+            for l in 0..lanes {
+                self.deriv[base + l] /= self.capacitance[base + l];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phone::PhoneThermalParams;
+    use crate::topology::HeatLoad;
+    use crate::units::Celsius;
+
+    fn phone_model() -> DeviceThermalModel {
+        DeviceThermalModel::new(PhoneThermalParams::default().topology()).unwrap()
+    }
+
+    fn assert_models_bit_equal(a: &DeviceThermalModel, b: &DeviceThermalModel) {
+        let ta = a.network().temps_slice();
+        let tb = b.network().temps_slice();
+        for (i, (x, y)) in ta.iter().zip(tb).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "node {i}: {x} vs {y}");
+        }
+        assert_eq!(a.elapsed().to_bits(), b.elapsed().to_bits());
+    }
+
+    #[test]
+    fn batched_lanes_are_bit_identical_to_scalar_steps() {
+        let heats = [
+            HeatLoad::single(3.1, 1.2, 0.9, 0.3, 0.2),
+            HeatLoad::single(0.4, 0.1, 0.6, 0.1, 0.05),
+            HeatLoad::single(5.0, 2.0, 1.1, 0.5, 0.4),
+        ];
+        let mut scalar: Vec<DeviceThermalModel> = heats.iter().map(|_| phone_model()).collect();
+        let mut batched: Vec<DeviceThermalModel> = heats.iter().map(|_| phone_model()).collect();
+        for (m, h) in scalar.iter_mut().zip(&heats) {
+            m.set_heat(h.clone());
+        }
+        for (m, h) in batched.iter_mut().zip(&heats) {
+            m.set_heat(h.clone());
+        }
+        scalar[1].set_hand_contact(true);
+        batched[1].set_hand_contact(true);
+
+        let mut batch =
+            ThermalBatch::try_new(&batched.iter().collect::<Vec<_>>()).expect("same structure");
+        assert_eq!(batch.lanes(), 3);
+        for _ in 0..600 {
+            for m in &mut scalar {
+                m.step(0.1);
+            }
+            for m in &mut batched {
+                m.prepare_step();
+            }
+            let mut refs: Vec<&mut DeviceThermalModel> = batched.iter_mut().collect();
+            batch.step(&mut refs, &[0.1; 3]);
+        }
+        for (a, b) in scalar.iter().zip(&batched) {
+            assert_models_bit_equal(a, b);
+        }
+    }
+
+    #[test]
+    fn zero_dt_lane_is_left_untouched() {
+        let mut scalar = phone_model();
+        let mut live = phone_model();
+        let mut frozen = phone_model();
+        for m in [&mut scalar, &mut live, &mut frozen] {
+            m.set_heat(HeatLoad::single(2.0, 0.5, 0.7, 0.2, 0.1));
+        }
+        let mut batch = ThermalBatch::try_new(&[&live, &frozen]).unwrap();
+        for _ in 0..50 {
+            scalar.step(0.1);
+            live.prepare_step();
+            frozen.prepare_step();
+            let mut refs: Vec<&mut DeviceThermalModel> = vec![&mut live, &mut frozen];
+            batch.step(&mut refs, &[0.1, 0.0]);
+        }
+        assert_models_bit_equal(&scalar, &live);
+        assert_eq!(frozen.elapsed(), 0.0);
+        // The frozen lane never integrated: still at its initial state.
+        let fresh = phone_model();
+        for (a, b) in frozen
+            .network()
+            .temps_slice()
+            .iter()
+            .zip(fresh.network().temps_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn structure_mismatch_falls_back_to_none() {
+        use crate::phone::HandContact;
+        use crate::topology::{NodeRoles, ThermalNode, ThermalTopology};
+        let phone = phone_model();
+        assert!(ThermalBatch::try_new(&[]).is_none());
+
+        // A two-node slab disagrees with the seven-node phone topology.
+        let tiny = DeviceThermalModel::new(ThermalTopology {
+            nodes: vec![
+                ThermalNode {
+                    name: "die".to_owned(),
+                    capacitance: 1.0,
+                },
+                ThermalNode {
+                    name: "case".to_owned(),
+                    capacitance: 10.0,
+                },
+            ],
+            couplings: vec![(0, 1, 1.0)],
+            ambient_links: vec![(1, 0.2)],
+            ambient: Celsius(25.0),
+            initial: Celsius(25.0),
+            hand: HandContact::default(),
+            roles: NodeRoles {
+                dies: vec![0],
+                package: 1,
+                gpu: None,
+                board: 1,
+                battery: 1,
+                screen: 1,
+                skin: 1,
+                back: vec![1],
+            },
+        })
+        .unwrap();
+        assert!(ThermalBatch::try_new(&[&phone, &tiny]).is_none());
+        // A homogeneous group of either still batches.
+        assert!(ThermalBatch::try_new(&[&tiny]).is_some());
+    }
+}

@@ -6,7 +6,7 @@
 //! which makes the scheme both stable and monotonic. RK4 gives 4th-order
 //! accuracy for validation runs; it uses the same sub-step for safety.
 
-use crate::network::ThermalNetwork;
+use crate::network::{derivatives_into, ThermalNetwork};
 
 /// Selects how [`ThermalNetwork::step`] advances the system.
 ///
@@ -22,33 +22,32 @@ pub enum IntegrationMethod {
 }
 
 /// Advances `net` by `dt` seconds using sub-stepped forward Euler.
+///
+/// The network's scratch buffer is borrowed in place (via
+/// [`ThermalNetwork::integration_state`]) rather than moved out and
+/// back each call, so the sub-step loop touches no `Vec` headers at
+/// all.
 pub(crate) fn euler_step(net: &mut ThermalNetwork, dt: f64) {
-    let max_step = net.max_step();
-    let mut scratch = net.take_scratch();
-    let n = net.temps_slice().len();
+    let (temps, scratch, params, max_step) = net.integration_state();
+    let n = temps.len();
     let (deriv, _) = scratch.split_at_mut(n);
 
     let mut remaining = dt;
     while remaining > 0.0 {
         let h = remaining.min(max_step);
-        net.derivatives(net.temps_slice(), deriv);
-        {
-            let temps = net.temps_mut();
-            for i in 0..n {
-                temps[i] += h * deriv[i];
-            }
+        derivatives_into(&params, temps, deriv);
+        for i in 0..n {
+            temps[i] += h * deriv[i];
         }
         remaining -= h;
     }
-    net.put_scratch(scratch);
 }
 
 /// Advances `net` by `dt` seconds using classic RK4 with the same
 /// sub-stepping bound as Euler.
 pub(crate) fn rk4_step(net: &mut ThermalNetwork, dt: f64) {
-    let max_step = net.max_step();
-    let mut scratch = net.take_scratch();
-    let n = net.temps_slice().len();
+    let (temps, scratch, params, max_step) = net.integration_state();
+    let n = temps.len();
     let (k1, rest) = scratch.split_at_mut(n);
     let (k2, rest) = rest.split_at_mut(n);
     let (k3, rest) = rest.split_at_mut(n);
@@ -59,28 +58,24 @@ pub(crate) fn rk4_step(net: &mut ThermalNetwork, dt: f64) {
     while remaining > 0.0 {
         let h = remaining.min(max_step);
 
-        net.derivatives(net.temps_slice(), k1);
+        derivatives_into(&params, temps, k1);
         for i in 0..n {
-            tmp[i] = net.temps_slice()[i] + 0.5 * h * k1[i];
+            tmp[i] = temps[i] + 0.5 * h * k1[i];
         }
-        net.derivatives(tmp, k2);
+        derivatives_into(&params, tmp, k2);
         for i in 0..n {
-            tmp[i] = net.temps_slice()[i] + 0.5 * h * k2[i];
+            tmp[i] = temps[i] + 0.5 * h * k2[i];
         }
-        net.derivatives(tmp, k3);
+        derivatives_into(&params, tmp, k3);
         for i in 0..n {
-            tmp[i] = net.temps_slice()[i] + h * k3[i];
+            tmp[i] = temps[i] + h * k3[i];
         }
-        net.derivatives(tmp, k4);
-        {
-            let temps = net.temps_mut();
-            for i in 0..n {
-                temps[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
-            }
+        derivatives_into(&params, tmp, k4);
+        for i in 0..n {
+            temps[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
         remaining -= h;
     }
-    net.put_scratch(scratch);
 }
 
 #[cfg(test)]

@@ -452,32 +452,6 @@ impl ThermalNetwork {
         out
     }
 
-    /// Writes dT/dt for the given temperature vector into `out`.
-    pub(crate) fn derivatives(&self, temps: &[f64], out: &mut [f64]) {
-        let amb = self.ambient.value();
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = if self.boundary[i] {
-                0.0
-            } else {
-                self.ambient_conductance[i] * (amb - temps[i]) + self.power[i]
-            };
-        }
-        for &(a, b, g) in &self.couplings {
-            let flow = g * (temps[a] - temps[b]); // a -> b
-            if !self.boundary[b] {
-                out[b] += flow;
-            }
-            if !self.boundary[a] {
-                out[a] -= flow;
-            }
-        }
-        for ((o, &b), &c) in out.iter_mut().zip(&self.boundary).zip(&self.capacitance) {
-            if !b {
-                *o /= c;
-            }
-        }
-    }
-
     /// Advances the network by `dt` seconds with the configured method,
     /// sub-stepping as needed for stability. `dt <= 0` is a no-op.
     pub fn step(&mut self, dt: f64) {
@@ -509,14 +483,6 @@ impl ThermalNetwork {
         self.max_step
     }
 
-    pub(crate) fn take_scratch(&mut self) -> Vec<f64> {
-        std::mem::take(&mut self.scratch)
-    }
-
-    pub(crate) fn put_scratch(&mut self, scratch: Vec<f64>) {
-        self.scratch = scratch;
-    }
-
     pub(crate) fn is_boundary(&self, i: usize) -> bool {
         self.boundary[i]
     }
@@ -531,6 +497,96 @@ impl ThermalNetwork {
 
     pub(crate) fn powers(&self) -> &[f64] {
         &self.power
+    }
+
+    pub(crate) fn capacitances(&self) -> &[f64] {
+        &self.capacitance
+    }
+
+    pub(crate) fn method(&self) -> IntegrationMethod {
+        self.method
+    }
+
+    /// Credits simulated time that was integrated externally (by the
+    /// batched stepper), keeping [`elapsed`](Self::elapsed) consistent
+    /// with the scalar path.
+    pub(crate) fn advance_elapsed(&mut self, dt: f64) {
+        self.elapsed += dt;
+    }
+
+    /// Splits the network into the pieces an integrator needs to hold
+    /// simultaneously: mutable temperatures, the resident scratch
+    /// buffer, the immutable derivative parameters, and the sub-step
+    /// bound. Borrow-splitting here is what lets the integrators work
+    /// in place instead of moving the scratch vector out and back every
+    /// step.
+    pub(crate) fn integration_state(&mut self) -> (&mut [f64], &mut [f64], NetParams<'_>, f64) {
+        let ThermalNetwork {
+            capacitance,
+            boundary,
+            couplings,
+            ambient_conductance,
+            ambient,
+            temps,
+            power,
+            max_step,
+            scratch,
+            ..
+        } = self;
+        (
+            temps.as_mut_slice(),
+            scratch.as_mut_slice(),
+            NetParams {
+                boundary,
+                capacitance,
+                couplings,
+                ambient_conductance,
+                ambient: ambient.value(),
+                power,
+            },
+            *max_step,
+        )
+    }
+}
+
+/// Immutable view of everything [`derivatives_into`] needs, borrowed
+/// apart from the temperature and scratch state so integrators can
+/// mutate those while the parameters stay shared.
+pub(crate) struct NetParams<'a> {
+    pub(crate) boundary: &'a [bool],
+    pub(crate) capacitance: &'a [f64],
+    pub(crate) couplings: &'a [(usize, usize, f64)],
+    pub(crate) ambient_conductance: &'a [f64],
+    pub(crate) ambient: f64,
+    pub(crate) power: &'a [f64],
+}
+
+/// Writes dT/dt for `temps` into `out`. This is the scalar reference
+/// kernel: the batched integrator in [`crate::batch`] replicates this
+/// arithmetic — same pass order, same accumulation order, division (not
+/// reciprocal multiplication) by the heat capacity — lane by lane.
+pub(crate) fn derivatives_into(p: &NetParams<'_>, temps: &[f64], out: &mut [f64]) {
+    let amb = p.ambient;
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = if p.boundary[i] {
+            0.0
+        } else {
+            p.ambient_conductance[i] * (amb - temps[i]) + p.power[i]
+        };
+    }
+    for &(a, b, g) in p.couplings {
+        let flow = g * (temps[a] - temps[b]); // a -> b
+        if !p.boundary[b] {
+            out[b] += flow;
+        }
+        if !p.boundary[a] {
+            out[a] -= flow;
+        }
+    }
+    for ((o, &b), &c) in out.iter_mut().zip(p.boundary).zip(p.capacitance) {
+        if !b {
+            *o /= c;
+        }
     }
 }
 

@@ -1,0 +1,143 @@
+//! ThermalBatch-vs-scalar bit-equality, as properties.
+//!
+//! The fleet runner batches same-device triples through one
+//! [`usta_sim::run_workloads_batched`] call; its whole determinism
+//! story rests on that path producing *bit-identical* results to the
+//! scalar [`usta_sim::run_workload`]. The unit test in `usta-sim` pins
+//! one hand-picked case; these tests sweep the claim across every
+//! catalog device and proptest-generated uneven lane sets.
+
+use proptest::prelude::*;
+use usta_governors::OnDemand;
+use usta_sim::{
+    run_workload, run_workloads_batched, BatchLane, Device, DeviceConfig, Governor, RunConfig,
+    RunResult,
+};
+use usta_workloads::ConstantLoad;
+
+fn device(id: &str) -> Device {
+    Device::new(DeviceConfig::for_device_id(id).expect("builtin id")).expect("device builds")
+}
+
+/// Scalar reference: each lane run alone on a fresh device.
+fn scalar_reference(id: &str, lanes: &[(f64, f64, usize)]) -> Vec<RunResult> {
+    let cfg = RunConfig::default();
+    lanes
+        .iter()
+        .map(|&(duration, khz, threads)| {
+            let mut d = device(id);
+            let mut w = ConstantLoad::new("lane", duration, khz, threads);
+            let mut g = Governor::Baseline(Box::new(OnDemand::default()));
+            run_workload(&mut d, &mut w, &mut g, &cfg)
+        })
+        .collect()
+}
+
+/// Batched run: the same lanes stepped through one ThermalBatch.
+fn batched(id: &str, lanes: &[(f64, f64, usize)]) -> Vec<RunResult> {
+    let cfg = RunConfig::default();
+    let mut devices: Vec<Device> = lanes.iter().map(|_| device(id)).collect();
+    let mut workloads: Vec<ConstantLoad> = lanes
+        .iter()
+        .map(|&(duration, khz, threads)| ConstantLoad::new("lane", duration, khz, threads))
+        .collect();
+    let mut governors: Vec<Governor> = lanes
+        .iter()
+        .map(|_| Governor::Baseline(Box::new(OnDemand::default())))
+        .collect();
+    let mut batch: Vec<BatchLane<'_>> = devices
+        .iter_mut()
+        .zip(workloads.iter_mut())
+        .zip(governors.iter_mut())
+        .map(|((device, workload), governor)| BatchLane {
+            device,
+            workload,
+            governor,
+            recorder: None,
+        })
+        .collect();
+    run_workloads_batched(&mut batch, &cfg)
+}
+
+/// Every builtin catalog device, uneven fixed lanes: batched == scalar,
+/// bit for bit.
+#[test]
+fn batched_equals_scalar_on_every_catalog_device() {
+    let lanes = [
+        (30.0, 1_200_000.0, 4),
+        (45.0, 300_000.0, 2),
+        (12.0, 700_000.0, 1),
+    ];
+    for spec in usta_device::Registry::builtin().specs() {
+        let expected = scalar_reference(spec.id, &lanes);
+        let got = batched(spec.id, &lanes);
+        assert_eq!(got, expected, "device {}", spec.id);
+    }
+}
+
+/// Lanes from *different* devices can't share a batch; the runner must
+/// fall back to per-lane scalar stepping and still match bit for bit.
+#[test]
+fn mixed_device_lanes_fall_back_to_scalar_and_still_match() {
+    let ids: Vec<&str> = usta_device::Registry::builtin()
+        .specs()
+        .iter()
+        .map(|s| s.id)
+        .collect();
+    assert!(ids.len() >= 2, "need at least two builtin devices");
+    let cfg = RunConfig::default();
+    let lane = (20.0, 900_000.0, 2);
+    let expected: Vec<RunResult> = ids
+        .iter()
+        .map(|id| scalar_reference(id, std::slice::from_ref(&lane)).remove(0))
+        .collect();
+    let mut devices: Vec<Device> = ids.iter().map(|id| device(id)).collect();
+    let mut workloads: Vec<ConstantLoad> = ids
+        .iter()
+        .map(|_| ConstantLoad::new("lane", lane.0, lane.1, lane.2))
+        .collect();
+    let mut governors: Vec<Governor> = ids
+        .iter()
+        .map(|_| Governor::Baseline(Box::new(OnDemand::default())))
+        .collect();
+    let mut batch: Vec<BatchLane<'_>> = devices
+        .iter_mut()
+        .zip(workloads.iter_mut())
+        .zip(governors.iter_mut())
+        .map(|((device, workload), governor)| BatchLane {
+            device,
+            workload,
+            governor,
+            recorder: None,
+        })
+        .collect();
+    let got = run_workloads_batched(&mut batch, &cfg);
+    assert_eq!(got, expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random uneven lane sets on a random catalog device: the batched
+    /// integrator (with its idle-lane masking as short lanes finish)
+    /// reproduces the scalar path exactly.
+    #[test]
+    fn batched_equals_scalar_for_random_lane_sets(
+        device_index in 0usize..usta_device::Registry::builtin().len(),
+        lane_count in 1usize..5,
+        durations in proptest::collection::vec(
+            proptest::sample::select(vec![6.0f64, 12.0, 21.0, 33.0, 45.0]),
+            4usize,
+        ),
+        khzs in proptest::collection::vec(100_000.0f64..2_000_000.0, 4usize),
+        thread_counts in proptest::collection::vec(1usize..5, 4usize),
+    ) {
+        let id = usta_device::Registry::builtin().specs()[device_index].id;
+        let lanes: Vec<(f64, f64, usize)> = (0..lane_count)
+            .map(|i| (durations[i], khzs[i], thread_counts[i]))
+            .collect();
+        let expected = scalar_reference(id, &lanes);
+        let got = batched(id, &lanes);
+        prop_assert_eq!(got, expected);
+    }
+}
